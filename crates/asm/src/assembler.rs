@@ -1,0 +1,1541 @@
+//! The two-pass assembler.
+//!
+//! Pass one walks the token stream computing a fixed size for every
+//! statement (recording, for size-variable pseudo-instructions like `li`,
+//! which expansion was chosen) and collects label addresses. Pass two
+//! evaluates all expressions against the complete symbol table and emits
+//! bytes. Every emitted instruction word is decoded back under the target
+//! [`IsaConfig`] so an image can never contain instructions its target
+//! configuration rejects.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::image::Image;
+use crate::lexer::{tokenize, Line, Tok};
+use s4e_isa::encode::{compress, encode, encode_compressed, Operands};
+use s4e_isa::{decode, CKind, Csr, InsnKind, IsaConfig};
+use std::collections::{BTreeMap, HashMap};
+
+/// Options controlling assembly.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_asm::{assemble_with, AsmOptions};
+/// use s4e_isa::IsaConfig;
+///
+/// let opts = AsmOptions::new().base(0x1000).isa(IsaConfig::rv32i());
+/// let image = assemble_with("nop", &opts)?;
+/// assert_eq!(image.base(), 0x1000);
+/// # Ok::<(), s4e_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmOptions {
+    base_addr: u32,
+    isa: IsaConfig,
+    compress: bool,
+}
+
+impl AsmOptions {
+    /// Default options: base `0x8000_0000`, full ISA.
+    pub fn new() -> AsmOptions {
+        AsmOptions {
+            base_addr: 0x8000_0000,
+            isa: IsaConfig::full(),
+            compress: false,
+        }
+    }
+
+    /// Sets the load/link base address.
+    #[must_use]
+    pub fn base(mut self, base: u32) -> AsmOptions {
+        self.base_addr = base;
+        self
+    }
+
+    /// Sets the target ISA configuration; instructions outside it are
+    /// rejected with [`AsmErrorKind::TargetRejects`].
+    #[must_use]
+    pub fn isa(mut self, isa: IsaConfig) -> AsmOptions {
+        self.isa = isa;
+        self
+    }
+
+    /// Enables automatic compression: base instructions with an equivalent
+    /// 16-bit encoding are emitted compressed (like GNU `.option rvc`,
+    /// which also toggles this per region). Control-flow instructions are
+    /// never auto-compressed — their offsets are layout-dependent.
+    #[must_use]
+    pub fn compress(mut self, on: bool) -> AsmOptions {
+        self.compress = on;
+        self
+    }
+}
+
+impl Default for AsmOptions {
+    fn default() -> Self {
+        AsmOptions::new()
+    }
+}
+
+/// Assembles `source` with default [`AsmOptions`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, carrying its source line.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_asm::assemble;
+///
+/// let image = assemble(r#"
+///     li   a0, 1234
+///     loop: addi a0, a0, -1
+///     bnez a0, loop
+///     ebreak
+/// "#)?;
+/// assert!(image.bytes().len() >= 16);
+/// # Ok::<(), s4e_asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    assemble_with(source, &AsmOptions::new())
+}
+
+/// Assembles `source` with explicit options.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, carrying its source line.
+pub fn assemble_with(source: &str, opts: &AsmOptions) -> Result<Image, AsmError> {
+    let lines = tokenize(source)?;
+    let mut asm = Assembler {
+        rvc_active: opts.compress,
+        opts: opts.clone(),
+        symbols: HashMap::new(),
+        li_wide: HashMap::new(),
+        compressed_stmts: std::collections::HashSet::new(),
+        numeric_labels: HashMap::new(),
+        in_pass2: false,
+        entry_expr: None,
+        bytes: Vec::new(),
+        source_map: BTreeMap::new(),
+        pc: opts.base_addr,
+        line: 0,
+        stmt_index: 0,
+    };
+    asm.pass1(&lines)?;
+    asm.pass2(&lines)
+}
+
+struct Assembler {
+    opts: AsmOptions,
+    symbols: HashMap<String, i64>,
+    /// Statement index → whether `li` chose the wide (8-byte) expansion.
+    li_wide: HashMap<usize, bool>,
+    /// Statement indices that auto-compression decided to emit as 16-bit.
+    compressed_stmts: std::collections::HashSet<usize>,
+    /// Whether auto-compression is currently active (`.option rvc`).
+    rvc_active: bool,
+    /// Numeric local labels: number → occurrences as (statement index,
+    /// address), in program order. Built in pass one.
+    numeric_labels: HashMap<i64, Vec<(usize, u32)>>,
+    /// Whether pass two is running (numeric refs resolve only then).
+    in_pass2: bool,
+    entry_expr: Option<(u32, Vec<Tok>)>,
+    bytes: Vec<u8>,
+    source_map: BTreeMap<u32, u32>,
+    pc: u32,
+    line: u32,
+    stmt_index: usize,
+}
+
+fn err(line: u32, kind: AsmErrorKind) -> AsmError {
+    AsmError::new(line, kind)
+}
+
+impl Assembler {
+    fn pass1(&mut self, lines: &[Line]) -> Result<(), AsmError> {
+        self.pc = self.opts.base_addr;
+        self.stmt_index = 0;
+        self.rvc_active = self.opts.compress;
+        for line in lines {
+            self.line = line.num;
+            let mut cur = Cursor::new(&line.toks, line.num);
+            self.consume_labels(&mut cur, true)?;
+            if cur.at_end() {
+                self.stmt_index += 1;
+                continue;
+            }
+            let head = cur.ident("mnemonic or directive")?;
+            if head.starts_with('.') {
+                self.directive(&head, &mut cur, Pass::Size)?;
+            } else {
+                let size = self.insn_size(&head, &mut cur)?;
+                self.pc = self.pc.wrapping_add(size);
+            }
+            self.stmt_index += 1;
+        }
+        Ok(())
+    }
+
+    fn pass2(&mut self, lines: &[Line]) -> Result<Image, AsmError> {
+        self.pc = self.opts.base_addr;
+        self.stmt_index = 0;
+        self.rvc_active = self.opts.compress;
+        self.in_pass2 = true;
+        self.bytes.clear();
+        for line in lines {
+            self.line = line.num;
+            let mut cur = Cursor::new(&line.toks, line.num);
+            self.consume_labels(&mut cur, false)?;
+            if cur.at_end() {
+                self.stmt_index += 1;
+                continue;
+            }
+            let head = cur.ident("mnemonic or directive")?;
+            if head.starts_with('.') {
+                self.directive(&head, &mut cur, Pass::Emit)?;
+            } else {
+                self.source_map.insert(self.pc, self.line);
+                self.emit_insn(&head, &mut cur)?;
+            }
+            if !cur.at_end() {
+                return Err(err(
+                    self.line,
+                    AsmErrorKind::BadOperands {
+                        mnemonic: head,
+                        expected: "end of statement",
+                    },
+                ));
+            }
+            self.stmt_index += 1;
+        }
+        let entry = match self.entry_expr.take() {
+            Some((line, toks)) => {
+                let mut c = Cursor::new(&toks, line);
+                let v = self.eval(&mut c, true)?.ok_or_else(|| {
+                    err(line, AsmErrorKind::UndefinedEntry("<entry expression>".into()))
+                })?;
+                v as u32
+            }
+            None => self
+                .symbols
+                .get("_start")
+                .map(|&v| v as u32)
+                .unwrap_or(self.opts.base_addr),
+        };
+        let symbols: BTreeMap<String, u32> = self
+            .symbols
+            .iter()
+            .map(|(k, &v)| (k.clone(), v as u32))
+            .collect();
+        Ok(Image::new(
+            self.opts.base_addr,
+            entry,
+            std::mem::take(&mut self.bytes),
+            symbols,
+            std::mem::take(&mut self.source_map),
+        ))
+    }
+
+    /// Consumes any `label:` prefixes (named or numeric), defining them in
+    /// pass one.
+    fn consume_labels(&mut self, cur: &mut Cursor<'_>, define: bool) -> Result<(), AsmError> {
+        loop {
+            if let Some((name, _)) = cur.peek_label() {
+                let name = name.to_string();
+                cur.bump(2);
+                if define {
+                    self.define_symbol(&name, self.pc as i64)?;
+                }
+            } else if let Some(n) = cur.peek_numeric_label() {
+                cur.bump(2);
+                if define {
+                    self.numeric_labels
+                        .entry(n)
+                        .or_default()
+                        .push((self.stmt_index, self.pc));
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Resolves a GNU-style numeric local-label reference (`1f`/`1b`):
+    /// the nearest definition of `n` after (forward) or at-or-before
+    /// (backward) the current statement. Numeric refs only resolve in pass
+    /// two (pass one treats them as unresolved, like forward symbols).
+    fn numeric_ref(&self, n: i64, forward: bool) -> Option<i64> {
+        if !self.in_pass2 {
+            return None;
+        }
+        let occurrences = self.numeric_labels.get(&n)?;
+        if forward {
+            occurrences
+                .iter()
+                .find(|(idx, _)| *idx > self.stmt_index)
+                .map(|&(_, addr)| addr as i64)
+        } else {
+            occurrences
+                .iter()
+                .rev()
+                .find(|(idx, _)| *idx <= self.stmt_index)
+                .map(|&(_, addr)| addr as i64)
+        }
+    }
+
+    fn define_symbol(&mut self, name: &str, value: i64) -> Result<(), AsmError> {
+        if self.symbols.insert(name.to_string(), value).is_some() {
+            return Err(err(self.line, AsmErrorKind::DuplicateSymbol(name.into())));
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- sizes
+
+    /// Pass-one: computes the size of an instruction statement and skips
+    /// its operand tokens.
+    fn insn_size(&mut self, mnemonic: &str, cur: &mut Cursor<'_>) -> Result<u32, AsmError> {
+        let size = if mnemonic == "li" {
+            // li chooses its expansion by value; unresolvable values take
+            // the worst-case two-instruction form.
+            let save = cur.pos;
+            let _rd = cur.gpr()?;
+            cur.comma()?;
+            let v = self.eval(cur, false)?;
+            cur.pos = save;
+            let wide = match v {
+                Some(v) => !(-2048..=2047).contains(&v),
+                None => true,
+            };
+            self.li_wide.insert(self.stmt_index, wide);
+            if wide {
+                8
+            } else {
+                4
+            }
+        } else if mnemonic == "la" {
+            8
+        } else if lookup_ckind(mnemonic).is_some() {
+            2
+        } else if let Some(kind) = lookup_kind(mnemonic) {
+            if self.rvc_active && self.try_auto_compress(kind, cur).is_some() {
+                self.compressed_stmts.insert(self.stmt_index);
+                2
+            } else {
+                4
+            }
+        } else if is_pseudo(mnemonic) {
+            4
+        } else {
+            return Err(err(
+                self.line,
+                AsmErrorKind::UnknownMnemonic(mnemonic.into()),
+            ));
+        };
+        cur.skip_rest();
+        Ok(size)
+    }
+
+    // ----------------------------------------------------------- directives
+
+    fn directive(&mut self, name: &str, cur: &mut Cursor<'_>, pass: Pass) -> Result<(), AsmError> {
+        match name {
+            ".org" => {
+                let v = self.eval_now(cur)? as u32;
+                if v < self.pc {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::OriginBackwards {
+                            current: self.pc,
+                            requested: v,
+                        },
+                    ));
+                }
+                let pad = v - self.pc;
+                self.emit_fill(pad as usize, 0, pass);
+                self.pc = v;
+            }
+            ".align" => {
+                let n = self.eval_now(cur)?;
+                if !(0..=16).contains(&n) {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::ValueOutOfRange {
+                            what: ".align exponent",
+                            value: n,
+                        },
+                    ));
+                }
+                let align = 1u32 << n;
+                let pad = self.pc.next_multiple_of(align) - self.pc;
+                self.emit_fill(pad as usize, 0, pass);
+                self.pc += pad;
+            }
+            ".balign" => {
+                let n = self.eval_now(cur)?;
+                if n <= 0 || n > 65536 {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::ValueOutOfRange {
+                            what: ".balign alignment",
+                            value: n,
+                        },
+                    ));
+                }
+                let pad = self.pc.next_multiple_of(n as u32) - self.pc;
+                self.emit_fill(pad as usize, 0, pass);
+                self.pc += pad;
+            }
+            ".word" | ".half" | ".byte" => {
+                let width = match name {
+                    ".word" => 4,
+                    ".half" => 2,
+                    _ => 1,
+                };
+                loop {
+                    match pass {
+                        Pass::Size => {
+                            self.eval(cur, false)?;
+                        }
+                        Pass::Emit => {
+                            if self.bytes.len().is_multiple_of(4) || width < 4 {
+                                self.source_map.insert(self.pc, self.line);
+                            }
+                            let v = self.eval_resolved(cur)?;
+                            let max = (1i64 << (width * 8)) - 1;
+                            let min = -(1i64 << (width * 8 - 1));
+                            if v > max || v < min {
+                                return Err(err(
+                                    self.line,
+                                    AsmErrorKind::ValueOutOfRange {
+                                        what: "data directive",
+                                        value: v,
+                                    },
+                                ));
+                            }
+                            let le = (v as u64).to_le_bytes();
+                            self.bytes.extend_from_slice(&le[..width]);
+                        }
+                    }
+                    self.pc += width as u32;
+                    if !cur.eat_comma() {
+                        break;
+                    }
+                }
+            }
+            ".ascii" | ".asciz" => {
+                let s = cur.string()?;
+                let extra = usize::from(name == ".asciz");
+                if pass == Pass::Emit {
+                    self.bytes.extend_from_slice(s.as_bytes());
+                    if extra == 1 {
+                        self.bytes.push(0);
+                    }
+                }
+                self.pc += (s.len() + extra) as u32;
+            }
+            ".space" => {
+                let n = self.eval_now(cur)?;
+                if n < 0 {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::ValueOutOfRange {
+                            what: ".space size",
+                            value: n,
+                        },
+                    ));
+                }
+                let fill = if cur.eat_comma() {
+                    self.eval_now(cur)? as u8
+                } else {
+                    0
+                };
+                self.emit_fill(n as usize, fill, pass);
+                self.pc += n as u32;
+            }
+            ".equ" | ".set" => {
+                let sym = cur.ident("symbol name")?;
+                cur.comma()?;
+                if pass == Pass::Size {
+                    let v = self.eval(cur, false)?.ok_or_else(|| {
+                        err(self.line, AsmErrorKind::ForwardReference(name.into()))
+                    })?;
+                    self.define_symbol(&sym, v)?;
+                } else {
+                    cur.skip_rest();
+                }
+            }
+            ".global" | ".globl" | ".text" | ".data" | ".section" => {
+                // Accepted for source compatibility; a flat image has no
+                // sections or linkage.
+                cur.skip_rest();
+            }
+            ".option" => {
+                match cur.ident("option name")?.as_str() {
+                    "rvc" => self.rvc_active = true,
+                    "norvc" => self.rvc_active = false,
+                    // Other GNU options (push/pop/pic/...) are accepted
+                    // and ignored for source compatibility.
+                    _ => {}
+                }
+                cur.skip_rest();
+            }
+            ".entry" => {
+                if pass == Pass::Size {
+                    self.entry_expr = Some((self.line, cur.rest().to_vec()));
+                }
+                cur.skip_rest();
+            }
+            other => {
+                return Err(err(
+                    self.line,
+                    AsmErrorKind::UnknownDirective(other.into()),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_fill(&mut self, n: usize, fill: u8, pass: Pass) {
+        if pass == Pass::Emit {
+            self.bytes.extend(std::iter::repeat_n(fill, n));
+        }
+    }
+
+    // --------------------------------------------------------- expressions
+
+    /// Evaluates an expression; `None` if it references an undefined symbol
+    /// (only permitted when `require` is false).
+    fn eval(&mut self, cur: &mut Cursor<'_>, require: bool) -> Result<Option<i64>, AsmError> {
+        let mut undefined = None;
+        let v = self.parse_or(cur, &mut undefined)?;
+        match undefined {
+            Some(name) if require => Err(err(self.line, AsmErrorKind::UndefinedSymbol(name))),
+            Some(_) => Ok(None),
+            None => Ok(Some(v)),
+        }
+    }
+
+    fn eval_resolved(&mut self, cur: &mut Cursor<'_>) -> Result<i64, AsmError> {
+        Ok(self.eval(cur, true)?.expect("require=true yields a value"))
+    }
+
+    /// Evaluates an expression that must be resolvable in the current pass.
+    fn eval_now(&mut self, cur: &mut Cursor<'_>) -> Result<i64, AsmError> {
+        self.eval(cur, false)?.ok_or_else(|| {
+            err(
+                self.line,
+                AsmErrorKind::ForwardReference("expression".into()),
+            )
+        })
+    }
+
+    fn parse_or(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+        let mut v = self.parse_xor(cur, ud)?;
+        while cur.eat(&Tok::Pipe) {
+            v |= self.parse_xor(cur, ud)?;
+        }
+        Ok(v)
+    }
+
+    fn parse_xor(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+        let mut v = self.parse_and(cur, ud)?;
+        while cur.eat(&Tok::Caret) {
+            v ^= self.parse_and(cur, ud)?;
+        }
+        Ok(v)
+    }
+
+    fn parse_and(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+        let mut v = self.parse_shift(cur, ud)?;
+        while cur.eat(&Tok::Amp) {
+            v &= self.parse_shift(cur, ud)?;
+        }
+        Ok(v)
+    }
+
+    fn parse_shift(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        ud: &mut Option<String>,
+    ) -> Result<i64, AsmError> {
+        let mut v = self.parse_add(cur, ud)?;
+        loop {
+            if cur.eat(&Tok::Shl) {
+                let r = self.parse_add(cur, ud)?;
+                v = v.wrapping_shl(r as u32);
+            } else if cur.eat(&Tok::Shr) {
+                let r = self.parse_add(cur, ud)?;
+                v = ((v as u64).wrapping_shr(r as u32)) as i64;
+            } else {
+                break;
+            }
+        }
+        Ok(v)
+    }
+
+    fn parse_add(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+        let mut v = self.parse_mul(cur, ud)?;
+        loop {
+            if cur.eat(&Tok::Plus) {
+                v = v.wrapping_add(self.parse_mul(cur, ud)?);
+            } else if cur.eat(&Tok::Minus) {
+                v = v.wrapping_sub(self.parse_mul(cur, ud)?);
+            } else {
+                break;
+            }
+        }
+        Ok(v)
+    }
+
+    fn parse_mul(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+        let mut v = self.parse_unary(cur, ud)?;
+        loop {
+            if cur.eat(&Tok::Star) {
+                v = v.wrapping_mul(self.parse_unary(cur, ud)?);
+            } else if cur.eat(&Tok::Slash) {
+                let r = self.parse_unary(cur, ud)?;
+                if r == 0 {
+                    return Err(err(self.line, AsmErrorKind::DivisionByZero));
+                }
+                v = v.wrapping_div(r);
+            } else if cur.eat(&Tok::Percent) {
+                let r = self.parse_unary(cur, ud)?;
+                if r == 0 {
+                    return Err(err(self.line, AsmErrorKind::DivisionByZero));
+                }
+                v = v.wrapping_rem(r);
+            } else {
+                break;
+            }
+        }
+        Ok(v)
+    }
+
+    fn parse_unary(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        ud: &mut Option<String>,
+    ) -> Result<i64, AsmError> {
+        if cur.eat(&Tok::Minus) {
+            return Ok(self.parse_unary(cur, ud)?.wrapping_neg());
+        }
+        if cur.eat(&Tok::Plus) {
+            return self.parse_unary(cur, ud);
+        }
+        if cur.eat(&Tok::Tilde) {
+            return Ok(!self.parse_unary(cur, ud)?);
+        }
+        self.parse_primary(cur, ud)
+    }
+
+    fn parse_primary(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        ud: &mut Option<String>,
+    ) -> Result<i64, AsmError> {
+        match cur.next() {
+            Some(Tok::Int(v)) => {
+                // GNU numeric local-label reference: `1f` lexes as
+                // Int(1) Ident("f").
+                if let Some(Tok::Ident(suffix)) = cur.peek() {
+                    let forward = match suffix.as_str() {
+                        "f" => Some(true),
+                        "b" => Some(false),
+                        _ => None,
+                    };
+                    if let Some(forward) = forward {
+                        cur.bump(1);
+                        return match self.numeric_ref(*v, forward) {
+                            Some(addr) => Ok(addr),
+                            None => {
+                                *ud = Some(format!(
+                                    "{v}{}",
+                                    if forward { "f" } else { "b" }
+                                ));
+                                Ok(0)
+                            }
+                        };
+                    }
+                }
+                Ok(*v)
+            }
+            Some(Tok::LParen) => {
+                let v = self.parse_or(cur, ud)?;
+                cur.expect(&Tok::RParen, "closing parenthesis")?;
+                Ok(v)
+            }
+            Some(Tok::Ident(name)) if name == "." => Ok(self.pc as i64),
+            Some(Tok::Ident(name)) if name == "%hi" || name == "%lo" => {
+                let hi = name == "%hi";
+                cur.expect(&Tok::LParen, "( after %hi/%lo")?;
+                let v = self.parse_or(cur, ud)?;
+                cur.expect(&Tok::RParen, "closing parenthesis")?;
+                let v = v as u32;
+                Ok(if hi {
+                    ((v.wrapping_add(0x800)) >> 12) as i64
+                } else {
+                    ((v as i32) << 20 >> 20) as i64
+                })
+            }
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                match self.symbols.get(&name) {
+                    Some(&v) => Ok(v),
+                    None => {
+                        *ud = Some(name);
+                        Ok(0)
+                    }
+                }
+            }
+            other => Err(err(
+                self.line,
+                AsmErrorKind::BadExpression(format!("unexpected token {other:?}")),
+            )),
+        }
+    }
+
+    // --------------------------------------------------------- instructions
+
+    fn emit_word(&mut self, raw: u32) -> Result<(), AsmError> {
+        decode(raw, &self.opts.isa)
+            .map_err(|e| err(self.line, AsmErrorKind::TargetRejects(e)))?;
+        self.bytes.extend_from_slice(&raw.to_le_bytes());
+        self.pc += 4;
+        Ok(())
+    }
+
+    fn emit_half(&mut self, raw: u16) -> Result<(), AsmError> {
+        decode(raw as u32, &self.opts.isa)
+            .map_err(|e| err(self.line, AsmErrorKind::TargetRejects(e)))?;
+        self.bytes.extend_from_slice(&raw.to_le_bytes());
+        self.pc += 2;
+        Ok(())
+    }
+
+    fn emit_kind(&mut self, kind: InsnKind, ops: Operands) -> Result<(), AsmError> {
+        if self.compressed_stmts.contains(&self.stmt_index) {
+            let half = compress(kind, ops).ok_or_else(|| {
+                err(
+                    self.line,
+                    AsmErrorKind::BadExpression(
+                        "internal phase error: compression decision did not replay".into(),
+                    ),
+                )
+            })?;
+            return self.emit_half(half);
+        }
+        let raw = encode(kind, ops).map_err(|e| err(self.line, AsmErrorKind::Encode(e)))?;
+        self.emit_word(raw)
+    }
+
+    /// Pass-one probe: parses a compressible base instruction's operands
+    /// tolerantly (undefined symbols abort) and checks whether a 16-bit
+    /// encoding exists. The cursor is left exhausted either way.
+    fn try_auto_compress(&mut self, kind: InsnKind, cur: &mut Cursor<'_>) -> Option<u16> {
+        use InsnKind::*;
+        let save = cur.pos;
+        let result = (|| -> Option<Operands> {
+            match kind {
+                Add | Sub | Xor | Or | And => {
+                    let rd = cur.try_gpr()?;
+                    cur.eat_comma().then_some(())?;
+                    let rs1 = cur.try_gpr()?;
+                    cur.eat_comma().then_some(())?;
+                    let rs2 = cur.try_gpr()?;
+                    Some(Operands { rd, rs1, rs2, imm: 0 })
+                }
+                Addi | Slli | Srli | Srai | Andi => {
+                    let rd = cur.try_gpr()?;
+                    cur.eat_comma().then_some(())?;
+                    let rs1 = cur.try_gpr()?;
+                    cur.eat_comma().then_some(())?;
+                    let imm = self.eval(cur, false).ok()?? as i32;
+                    Some(Operands { rd, rs1, imm, ..Default::default() })
+                }
+                Lui => {
+                    let rd = cur.try_gpr()?;
+                    cur.eat_comma().then_some(())?;
+                    let v = self.eval(cur, false).ok()??;
+                    (-(1 << 19)..(1 << 20)).contains(&v).then_some(())?;
+                    Some(Operands { rd, imm: (v as i32) << 12, ..Default::default() })
+                }
+                Lw => {
+                    let rd = cur.try_gpr()?;
+                    cur.eat_comma().then_some(())?;
+                    let (imm, rs1) = self.try_mem_operand(cur)?;
+                    Some(Operands { rd, rs1, imm, ..Default::default() })
+                }
+                Sw => {
+                    let rs2 = cur.try_gpr()?;
+                    cur.eat_comma().then_some(())?;
+                    let (imm, rs1) = self.try_mem_operand(cur)?;
+                    Some(Operands { rs1, rs2, imm, ..Default::default() })
+                }
+                Ebreak => Some(Operands::default()),
+                _ => None,
+            }
+        })();
+        cur.pos = save;
+        let ops = result?;
+        compress(kind, ops)
+    }
+
+    /// Tolerant `off(reg)` parse for the compression probe.
+    fn try_mem_operand(&mut self, cur: &mut Cursor<'_>) -> Option<(i32, u8)> {
+        let off = if cur.check(&Tok::LParen) {
+            0
+        } else {
+            self.eval(cur, false).ok()?? as i32
+        };
+        cur.eat(&Tok::LParen).then_some(())?;
+        let reg = cur.try_gpr()?;
+        cur.eat(&Tok::RParen).then_some(())?;
+        Some((off, reg))
+    }
+
+    /// Parses a branch/jump target expression and converts to a PC-relative
+    /// offset from the *current* instruction address.
+    fn target_offset(&mut self, cur: &mut Cursor<'_>) -> Result<i32, AsmError> {
+        let target = self.eval_resolved(cur)?;
+        Ok((target as u32).wrapping_sub(self.pc) as i32)
+    }
+
+    fn mem_operand(&mut self, cur: &mut Cursor<'_>) -> Result<(i32, u8), AsmError> {
+        // `off(reg)` with optional offset: `(reg)` means offset 0.
+        let off = if cur.check(&Tok::LParen) {
+            0
+        } else {
+            self.eval_resolved(cur)?
+        };
+        cur.expect(&Tok::LParen, "memory operand `off(reg)`")?;
+        let reg = cur.gpr()?;
+        cur.expect(&Tok::RParen, "closing parenthesis")?;
+        Ok((off as i32, reg))
+    }
+
+    fn csr_operand(&mut self, cur: &mut Cursor<'_>) -> Result<i32, AsmError> {
+        if let Some(Tok::Ident(name)) = cur.peek() {
+            if let Some(csr) = csr_by_name(name) {
+                cur.bump(1);
+                return Ok(csr.addr() as i32);
+            }
+        }
+        let v = self.eval_resolved(cur)?;
+        if !(0..0x1000).contains(&v) {
+            return Err(err(
+                self.line,
+                AsmErrorKind::ValueOutOfRange {
+                    what: "CSR address",
+                    value: v,
+                },
+            ));
+        }
+        Ok(v as i32)
+    }
+
+    fn emit_insn(&mut self, mnemonic: &str, cur: &mut Cursor<'_>) -> Result<(), AsmError> {
+        if let Some(kind) = lookup_kind(mnemonic) {
+            return self.emit_base(kind, cur);
+        }
+        if let Some(ck) = lookup_ckind(mnemonic) {
+            return self.emit_compressed(ck, cur);
+        }
+        self.emit_pseudo(mnemonic, cur)
+    }
+
+    fn emit_base(&mut self, kind: InsnKind, cur: &mut Cursor<'_>) -> Result<(), AsmError> {
+        use InsnKind::*;
+        let ops = match kind {
+            // rd, rs1, rs2
+            Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu
+            | Mulhu | Div | Divu | Rem | Remu | Andn | Orn | Xnor | Rol | Ror | Bext => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                cur.comma()?;
+                let rs2 = cur.gpr()?;
+                Operands { rd, rs1, rs2, imm: 0 }
+            }
+            // rd, rs
+            Clz | Ctz | Pcnt | Rev8 => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                Operands { rd, rs1, ..Default::default() }
+            }
+            // rd, rs1, imm
+            Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.eval_resolved(cur)? as i32;
+                Operands { rd, rs1, imm, ..Default::default() }
+            }
+            Lb | Lh | Lw | Lbu | Lhu => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let (imm, rs1) = self.mem_operand(cur)?;
+                Operands { rd, rs1, imm, ..Default::default() }
+            }
+            Sb | Sh | Sw => {
+                let rs2 = cur.gpr()?;
+                cur.comma()?;
+                let (imm, rs1) = self.mem_operand(cur)?;
+                Operands { rs1, rs2, imm, ..Default::default() }
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let rs1 = cur.gpr()?;
+                cur.comma()?;
+                let rs2 = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.target_offset(cur)?;
+                Operands { rs1, rs2, imm, ..Default::default() }
+            }
+            Jal => {
+                // `jal rd, target` or `jal target` (rd = ra)
+                let save = cur.pos;
+                let rd = match cur.try_gpr() {
+                    Some(r) if cur.check(&Tok::Comma) => {
+                        cur.comma()?;
+                        r
+                    }
+                    _ => {
+                        cur.pos = save;
+                        1
+                    }
+                };
+                let imm = self.target_offset(cur)?;
+                Operands { rd, imm, ..Default::default() }
+            }
+            Jalr => {
+                // `jalr rd, off(rs1)` | `jalr rd, rs1` | `jalr rs1`
+                let first = cur.gpr()?;
+                if cur.eat_comma() {
+                    if cur.check(&Tok::LParen) || !cur.peek_is_reg() {
+                        let (imm, rs1) = self.mem_operand(cur)?;
+                        Operands { rd: first, rs1, imm, ..Default::default() }
+                    } else {
+                        let rs1 = cur.gpr()?;
+                        let imm = if cur.eat_comma() {
+                            self.eval_resolved(cur)? as i32
+                        } else {
+                            0
+                        };
+                        Operands { rd: first, rs1, imm, ..Default::default() }
+                    }
+                } else {
+                    Operands { rd: 1, rs1: first, ..Default::default() }
+                }
+            }
+            Lui | Auipc => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let v = self.eval_resolved(cur)?;
+                if !(-(1 << 19)..(1 << 20)).contains(&v) {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::ValueOutOfRange {
+                            what: "20-bit upper immediate",
+                            value: v,
+                        },
+                    ));
+                }
+                Operands { rd, imm: (v as i32) << 12, ..Default::default() }
+            }
+            Fence => Operands { imm: 0x0ff, ..Default::default() },
+            FenceI | Ecall | Ebreak | Mret | Wfi => Operands::default(),
+            Csrrw | Csrrs | Csrrc => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.csr_operand(cur)?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                Operands { rd, rs1, imm, ..Default::default() }
+            }
+            Csrrwi | Csrrsi | Csrrci => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.csr_operand(cur)?;
+                cur.comma()?;
+                let z = self.eval_resolved(cur)?;
+                if !(0..32).contains(&z) {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::ValueOutOfRange { what: "zimm", value: z },
+                    ));
+                }
+                Operands { rd, rs1: z as u8, imm, ..Default::default() }
+            }
+            Flw => {
+                let rd = cur.fpr()?;
+                cur.comma()?;
+                let (imm, rs1) = self.mem_operand(cur)?;
+                Operands { rd, rs1, imm, ..Default::default() }
+            }
+            Fsw => {
+                let rs2 = cur.fpr()?;
+                cur.comma()?;
+                let (imm, rs1) = self.mem_operand(cur)?;
+                Operands { rs1, rs2, imm, ..Default::default() }
+            }
+            FaddS | FsubS | FmulS | FdivS | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS => {
+                let rd = cur.fpr()?;
+                cur.comma()?;
+                let rs1 = cur.fpr()?;
+                cur.comma()?;
+                let rs2 = cur.fpr()?;
+                Operands { rd, rs1, rs2, imm: 0 }
+            }
+            FsqrtS => {
+                let rd = cur.fpr()?;
+                cur.comma()?;
+                let rs1 = cur.fpr()?;
+                Operands { rd, rs1, ..Default::default() }
+            }
+            FcvtWS | FcvtWuS | FmvXW | FclassS => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.fpr()?;
+                Operands { rd, rs1, ..Default::default() }
+            }
+            FcvtSW | FcvtSWu | FmvWX => {
+                let rd = cur.fpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                Operands { rd, rs1, ..Default::default() }
+            }
+            FeqS | FltS | FleS => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.fpr()?;
+                cur.comma()?;
+                let rs2 = cur.fpr()?;
+                Operands { rd, rs1, rs2, imm: 0 }
+            }
+        };
+        self.emit_kind(kind, ops)
+    }
+
+    fn emit_compressed(&mut self, ck: CKind, cur: &mut Cursor<'_>) -> Result<(), AsmError> {
+        use CKind::*;
+        let ops = match ck {
+            CAddi4spn => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.eval_resolved(cur)? as i32;
+                Operands { rd, rs1, imm, ..Default::default() }
+            }
+            CLw | CFlw => {
+                let rd = if ck == CFlw { cur.fpr()? } else { cur.gpr()? };
+                cur.comma()?;
+                let (imm, rs1) = self.mem_operand(cur)?;
+                Operands { rd, rs1, imm, ..Default::default() }
+            }
+            CSw | CFsw => {
+                let rs2 = if ck == CFsw { cur.fpr()? } else { cur.gpr()? };
+                cur.comma()?;
+                let (imm, rs1) = self.mem_operand(cur)?;
+                Operands { rs1, rs2, imm, ..Default::default() }
+            }
+            CNop | CEbreak => Operands::default(),
+            CAddi | CSlli | CLi => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.eval_resolved(cur)? as i32;
+                let rs1 = if ck == CLi { 0 } else { rd };
+                Operands { rd, rs1, imm, ..Default::default() }
+            }
+            CSrli | CSrai | CAndi => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.eval_resolved(cur)? as i32;
+                Operands { rd, rs1: rd, imm, ..Default::default() }
+            }
+            CJal | CJ => {
+                let imm = self.target_offset(cur)?;
+                let rd = if ck == CJal { 1 } else { 0 };
+                Operands { rd, imm, ..Default::default() }
+            }
+            CAddi16sp => {
+                // `c.addi16sp sp, imm` or `c.addi16sp imm`
+                if cur.peek_is_reg() {
+                    let sp = cur.gpr()?;
+                    if sp != 2 {
+                        return Err(err(
+                            self.line,
+                            AsmErrorKind::BadOperands {
+                                mnemonic: "c.addi16sp".into(),
+                                expected: "sp as first operand",
+                            },
+                        ));
+                    }
+                    cur.comma()?;
+                }
+                let imm = self.eval_resolved(cur)? as i32;
+                Operands { rd: 2, rs1: 2, imm, ..Default::default() }
+            }
+            CLui => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let v = self.eval_resolved(cur)?;
+                Operands { rd, imm: (v as i32) << 12, ..Default::default() }
+            }
+            CSub | CXor | COr | CAnd | CMv | CAdd => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs2 = cur.gpr()?;
+                let rs1 = if ck == CMv { 0 } else { rd };
+                Operands { rd, rs1, rs2, imm: 0 }
+            }
+            CBeqz | CBnez => {
+                let rs1 = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.target_offset(cur)?;
+                Operands { rs1, imm, ..Default::default() }
+            }
+            CLwsp | CFlwsp => {
+                let rd = if ck == CFlwsp { cur.fpr()? } else { cur.gpr()? };
+                cur.comma()?;
+                let (imm, rs1) = self.mem_operand(cur)?;
+                if rs1 != 2 {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::BadOperands {
+                            mnemonic: ck.mnemonic().into(),
+                            expected: "sp-relative memory operand",
+                        },
+                    ));
+                }
+                Operands { rd, rs1, imm, ..Default::default() }
+            }
+            CSwsp | CFswsp => {
+                let rs2 = if ck == CFswsp { cur.fpr()? } else { cur.gpr()? };
+                cur.comma()?;
+                let (imm, rs1) = self.mem_operand(cur)?;
+                if rs1 != 2 {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::BadOperands {
+                            mnemonic: ck.mnemonic().into(),
+                            expected: "sp-relative memory operand",
+                        },
+                    ));
+                }
+                Operands { rs1, rs2, imm, ..Default::default() }
+            }
+            CJr | CJalr => {
+                let rs1 = cur.gpr()?;
+                Operands { rs1, ..Default::default() }
+            }
+        };
+        let half =
+            encode_compressed(ck, ops).map_err(|e| err(self.line, AsmErrorKind::Encode(e)))?;
+        self.emit_half(half)
+    }
+
+    fn emit_pseudo(&mut self, mnemonic: &str, cur: &mut Cursor<'_>) -> Result<(), AsmError> {
+        use InsnKind::*;
+        match mnemonic {
+            "nop" => self.emit_kind(Addi, Operands::default()),
+            "li" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let v = self.eval_resolved(cur)?;
+                if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::ValueOutOfRange { what: "li immediate", value: v },
+                    ));
+                }
+                let v = v as u32;
+                let wide = *self.li_wide.get(&self.stmt_index).unwrap_or(&true);
+                if wide {
+                    let hi = v.wrapping_add(0x800) & 0xffff_f000;
+                    let lo = (v.wrapping_sub(hi) as i32) << 20 >> 20;
+                    self.emit_kind(Lui, Operands { rd, imm: hi as i32, ..Default::default() })?;
+                    self.emit_kind(
+                        Addi,
+                        Operands { rd, rs1: rd, imm: lo, ..Default::default() },
+                    )
+                } else {
+                    self.emit_kind(
+                        Addi,
+                        Operands { rd, imm: v as i32, ..Default::default() },
+                    )
+                }
+            }
+            "la" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let v = self.eval_resolved(cur)? as u32;
+                let hi = v.wrapping_add(0x800) & 0xffff_f000;
+                let lo = (v.wrapping_sub(hi) as i32) << 20 >> 20;
+                self.emit_kind(Lui, Operands { rd, imm: hi as i32, ..Default::default() })?;
+                self.emit_kind(Addi, Operands { rd, rs1: rd, imm: lo, ..Default::default() })
+            }
+            "mv" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                self.emit_kind(Addi, Operands { rd, rs1, ..Default::default() })
+            }
+            "not" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                self.emit_kind(Xori, Operands { rd, rs1, imm: -1, ..Default::default() })
+            }
+            "neg" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs2 = cur.gpr()?;
+                self.emit_kind(Sub, Operands { rd, rs2, ..Default::default() })
+            }
+            "seqz" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                self.emit_kind(Sltiu, Operands { rd, rs1, imm: 1, ..Default::default() })
+            }
+            "snez" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs2 = cur.gpr()?;
+                self.emit_kind(Sltu, Operands { rd, rs2, ..Default::default() })
+            }
+            "sltz" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                self.emit_kind(Slt, Operands { rd, rs1, ..Default::default() })
+            }
+            "sgtz" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let rs2 = cur.gpr()?;
+                self.emit_kind(Slt, Operands { rd, rs2, ..Default::default() })
+            }
+            "beqz" | "bnez" | "blez" | "bgez" | "bltz" | "bgtz" => {
+                let rs = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.target_offset(cur)?;
+                let (kind, rs1, rs2) = match mnemonic {
+                    "beqz" => (Beq, rs, 0),
+                    "bnez" => (Bne, rs, 0),
+                    "blez" => (Bge, 0, rs),
+                    "bgez" => (Bge, rs, 0),
+                    "bltz" => (Blt, rs, 0),
+                    _ => (Blt, 0, rs),
+                };
+                self.emit_kind(kind, Operands { rs1, rs2, imm, ..Default::default() })
+            }
+            "bgt" | "ble" | "bgtu" | "bleu" => {
+                let a = cur.gpr()?;
+                cur.comma()?;
+                let b = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.target_offset(cur)?;
+                let kind = match mnemonic {
+                    "bgt" => Blt,
+                    "ble" => Bge,
+                    "bgtu" => Bltu,
+                    _ => Bgeu,
+                };
+                self.emit_kind(
+                    kind,
+                    Operands { rs1: b, rs2: a, imm, ..Default::default() },
+                )
+            }
+            "j" | "call" | "tail" => {
+                let imm = self.target_offset(cur)?;
+                let rd = if mnemonic == "call" { 1 } else { 0 };
+                self.emit_kind(Jal, Operands { rd, imm, ..Default::default() })
+            }
+            "jr" => {
+                let rs1 = cur.gpr()?;
+                self.emit_kind(Jalr, Operands { rs1, ..Default::default() })
+            }
+            "ret" => self.emit_kind(Jalr, Operands { rs1: 1, ..Default::default() }),
+            "csrr" => {
+                let rd = cur.gpr()?;
+                cur.comma()?;
+                let imm = self.csr_operand(cur)?;
+                self.emit_kind(Csrrs, Operands { rd, imm, ..Default::default() })
+            }
+            "csrw" | "csrs" | "csrc" => {
+                let imm = self.csr_operand(cur)?;
+                cur.comma()?;
+                let rs1 = cur.gpr()?;
+                let kind = match mnemonic {
+                    "csrw" => Csrrw,
+                    "csrs" => Csrrs,
+                    _ => Csrrc,
+                };
+                self.emit_kind(kind, Operands { rs1, imm, ..Default::default() })
+            }
+            "csrwi" | "csrsi" | "csrci" => {
+                let imm = self.csr_operand(cur)?;
+                cur.comma()?;
+                let z = self.eval_resolved(cur)?;
+                if !(0..32).contains(&z) {
+                    return Err(err(
+                        self.line,
+                        AsmErrorKind::ValueOutOfRange { what: "zimm", value: z },
+                    ));
+                }
+                let kind = match mnemonic {
+                    "csrwi" => Csrrwi,
+                    "csrsi" => Csrrsi,
+                    _ => Csrrci,
+                };
+                self.emit_kind(kind, Operands { rs1: z as u8, imm, ..Default::default() })
+            }
+            "rdcycle" | "rdinstret" => {
+                let rd = cur.gpr()?;
+                let csr = if mnemonic == "rdcycle" { Csr::CYCLE } else { Csr::INSTRET };
+                self.emit_kind(
+                    Csrrs,
+                    Operands { rd, imm: csr.addr() as i32, ..Default::default() },
+                )
+            }
+            "fmv.s" | "fabs.s" | "fneg.s" => {
+                let rd = cur.fpr()?;
+                cur.comma()?;
+                let rs = cur.fpr()?;
+                let kind = match mnemonic {
+                    "fmv.s" => FsgnjS,
+                    "fabs.s" => FsgnjxS,
+                    _ => FsgnjnS,
+                };
+                self.emit_kind(kind, Operands { rd, rs1: rs, rs2: rs, imm: 0 })
+            }
+            other => Err(err(self.line, AsmErrorKind::UnknownMnemonic(other.into()))),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    Size,
+    Emit,
+}
+
+// ------------------------------------------------------------------- cursor
+
+struct Cursor<'t> {
+    toks: &'t [Tok],
+    pos: usize,
+    line: u32,
+}
+
+impl<'t> Cursor<'t> {
+    fn new(toks: &'t [Tok], line: u32) -> Cursor<'t> {
+        Cursor { toks, pos: 0, line }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&'t Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'t Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn check(&self, t: &Tok) -> bool {
+        self.peek() == Some(t)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.check(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_comma(&mut self) -> bool {
+        self.eat(&Tok::Comma)
+    }
+
+    fn expect(&mut self, t: &Tok, what: &'static str) -> Result<(), AsmError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(err(
+                self.line,
+                AsmErrorKind::BadExpression(format!("expected {what}")),
+            ))
+        }
+    }
+
+    fn comma(&mut self) -> Result<(), AsmError> {
+        self.expect(&Tok::Comma, "comma")
+    }
+
+    fn skip_rest(&mut self) {
+        self.pos = self.toks.len();
+    }
+
+    fn rest(&self) -> &'t [Tok] {
+        &self.toks[self.pos..]
+    }
+
+    fn peek_numeric_label(&self) -> Option<i64> {
+        match (self.toks.get(self.pos), self.toks.get(self.pos + 1)) {
+            (Some(Tok::Int(n)), Some(Tok::Colon)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn peek_label(&self) -> Option<(&'t str, ())> {
+        match (self.toks.get(self.pos), self.toks.get(self.pos + 1)) {
+            (Some(Tok::Ident(name)), Some(Tok::Colon)) if !name.starts_with('.') => {
+                Some((name.as_str(), ()))
+            }
+            _ => None,
+        }
+    }
+
+    fn ident(&mut self, what: &'static str) -> Result<String, AsmError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s.clone()),
+            _ => Err(err(
+                self.line,
+                AsmErrorKind::BadExpression(format!("expected {what}")),
+            )),
+        }
+    }
+
+    fn peek_is_reg(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(name)) if gpr_by_name(name).is_some())
+    }
+
+    fn try_gpr(&mut self) -> Option<u8> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if let Some(r) = gpr_by_name(name) {
+                self.pos += 1;
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    fn gpr(&mut self) -> Result<u8, AsmError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => gpr_by_name(name).ok_or_else(|| {
+                err(
+                    self.line,
+                    AsmErrorKind::BadExpression(format!("`{name}` is not a register")),
+                )
+            }),
+            _ => Err(err(
+                self.line,
+                AsmErrorKind::BadExpression("expected a register".into()),
+            )),
+        }
+    }
+
+    fn fpr(&mut self) -> Result<u8, AsmError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => fpr_by_name(name).ok_or_else(|| {
+                err(
+                    self.line,
+                    AsmErrorKind::BadExpression(format!("`{name}` is not an FP register")),
+                )
+            }),
+            _ => Err(err(
+                self.line,
+                AsmErrorKind::BadExpression("expected an FP register".into()),
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, AsmError> {
+        match self.next() {
+            Some(Tok::Str(s)) => Ok(s.clone()),
+            _ => Err(err(
+                self.line,
+                AsmErrorKind::BadExpression("expected a string literal".into()),
+            )),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ lookups
+
+fn lookup_kind(mnemonic: &str) -> Option<InsnKind> {
+    InsnKind::ALL.iter().copied().find(|k| k.mnemonic() == mnemonic)
+}
+
+fn lookup_ckind(mnemonic: &str) -> Option<CKind> {
+    CKind::ALL.iter().copied().find(|k| k.mnemonic() == mnemonic)
+}
+
+const PSEUDOS: &[&str] = &[
+    "nop", "li", "la", "mv", "not", "neg", "seqz", "snez", "sltz", "sgtz", "beqz", "bnez",
+    "blez", "bgez", "bltz", "bgtz", "bgt", "ble", "bgtu", "bleu", "j", "jr", "ret", "call",
+    "tail", "csrr", "csrw", "csrs", "csrc", "csrwi", "csrsi", "csrci", "rdcycle", "rdinstret",
+    "fmv.s", "fabs.s", "fneg.s",
+];
+
+fn is_pseudo(mnemonic: &str) -> bool {
+    PSEUDOS.contains(&mnemonic)
+}
+
+fn gpr_by_name(name: &str) -> Option<u8> {
+    if let Some(num) = name.strip_prefix('x') {
+        if let Ok(n) = num.parse::<u8>() {
+            if n < 32 {
+                return Some(n);
+            }
+        }
+    }
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    if name == "fp" {
+        return Some(8);
+    }
+    ABI.iter().position(|&n| n == name).map(|i| i as u8)
+}
+
+fn fpr_by_name(name: &str) -> Option<u8> {
+    if let Some(num) = name.strip_prefix('f') {
+        if let Ok(n) = num.parse::<u8>() {
+            if n < 32 {
+                return Some(n);
+            }
+        }
+    }
+    const ABI: [&str; 32] = [
+        "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1",
+        "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+        "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+    ];
+    ABI.iter().position(|&n| n == name).map(|i| i as u8)
+}
+
+fn csr_by_name(name: &str) -> Option<Csr> {
+    Csr::implemented().find(|c| c.name() == Some(name))
+}

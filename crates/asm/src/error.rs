@@ -1,0 +1,131 @@
+//! Assembler error type.
+
+use core::fmt;
+use s4e_isa::{DecodeError, EncodeError};
+use std::error::Error;
+
+/// An assembly error, carrying the 1-based source line it occurred on.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_asm::assemble;
+///
+/// let err = assemble("frobnicate a0, a1").unwrap_err();
+/// assert_eq!(err.line(), 1);
+/// assert!(err.to_string().contains("frobnicate"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: u32,
+    kind: AsmErrorKind,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: u32, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, kind }
+    }
+
+    /// The 1-based source line the error occurred on.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> &AsmErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Categories of assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// A character the lexer cannot tokenize.
+    BadToken(char),
+    /// An unterminated string literal.
+    UnterminatedString,
+    /// A mnemonic that names no instruction, pseudo-instruction or
+    /// directive.
+    UnknownMnemonic(String),
+    /// A directive that is not supported.
+    UnknownDirective(String),
+    /// The operand list does not match the instruction's format.
+    BadOperands {
+        /// The mnemonic being assembled.
+        mnemonic: String,
+        /// Human-readable description of the expected operand shape.
+        expected: &'static str,
+    },
+    /// A symbol used in an expression was never defined.
+    UndefinedSymbol(String),
+    /// A label or `.equ` name was defined twice.
+    DuplicateSymbol(String),
+    /// Expression syntax error.
+    BadExpression(String),
+    /// Division by zero in a constant expression.
+    DivisionByZero,
+    /// A value does not fit the directive or instruction field.
+    ValueOutOfRange {
+        /// What was being emitted.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// `.org` moved the location counter backwards.
+    OriginBackwards {
+        /// Current location counter.
+        current: u32,
+        /// Requested origin.
+        requested: u32,
+    },
+    /// The instruction encoder rejected the operands.
+    Encode(EncodeError),
+    /// An emitted word failed to decode under the target ISA configuration
+    /// (e.g. a `mul` assembled for an RV32I-only target).
+    TargetRejects(DecodeError),
+    /// An instruction or directive needed a value in pass one that is only
+    /// known later (e.g. `.space` with a forward reference).
+    ForwardReference(String),
+    /// The `.entry` symbol was never defined.
+    UndefinedEntry(String),
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::BadToken(c) => write!(f, "unexpected character {c:?}"),
+            AsmErrorKind::UnterminatedString => f.write_str("unterminated string literal"),
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::BadOperands { mnemonic, expected } => {
+                write!(f, "bad operands for `{mnemonic}`: expected {expected}")
+            }
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            AsmErrorKind::BadExpression(s) => write!(f, "bad expression: {s}"),
+            AsmErrorKind::DivisionByZero => f.write_str("division by zero in expression"),
+            AsmErrorKind::ValueOutOfRange { what, value } => {
+                write!(f, "value {value} out of range for {what}")
+            }
+            AsmErrorKind::OriginBackwards { current, requested } => write!(
+                f,
+                ".org {requested:#x} is behind the current location {current:#x}"
+            ),
+            AsmErrorKind::Encode(e) => write!(f, "{e}"),
+            AsmErrorKind::TargetRejects(e) => write!(f, "target ISA rejects instruction: {e}"),
+            AsmErrorKind::ForwardReference(s) => {
+                write!(f, "`{s}` must be known in the first pass")
+            }
+            AsmErrorKind::UndefinedEntry(s) => write!(f, "entry symbol `{s}` is undefined"),
+        }
+    }
+}

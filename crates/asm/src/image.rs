@@ -1,0 +1,169 @@
+//! The assembler's output: a flat, loadable memory [`Image`].
+
+use std::collections::BTreeMap;
+
+/// A flat binary image produced by [`assemble`](crate::assemble), ready to
+/// be loaded into the virtual prototype's RAM.
+///
+/// An image records its load [`base`](Image::base) address, raw
+/// [`bytes`](Image::bytes), an [`entry`](Image::entry) point, the symbol
+/// table and an address→source-line map (used by the WCET and QTA tools to
+/// attribute timing to source lines).
+///
+/// # Examples
+///
+/// ```
+/// use s4e_asm::assemble;
+///
+/// let image = assemble("start: addi a0, zero, 7\n ebreak")?;
+/// assert_eq!(image.base(), 0x8000_0000);
+/// assert_eq!(image.symbol("start"), Some(0x8000_0000));
+/// assert_eq!(image.bytes().len(), 8);
+/// # Ok::<(), s4e_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Image {
+    base: u32,
+    entry: u32,
+    bytes: Vec<u8>,
+    symbols: BTreeMap<String, u32>,
+    source_map: BTreeMap<u32, u32>,
+}
+
+impl Image {
+    pub(crate) fn new(
+        base: u32,
+        entry: u32,
+        bytes: Vec<u8>,
+        symbols: BTreeMap<String, u32>,
+        source_map: BTreeMap<u32, u32>,
+    ) -> Image {
+        Image {
+            base,
+            entry,
+            bytes,
+            symbols,
+            source_map,
+        }
+    }
+
+    /// The load address of the first byte.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The entry-point address (defaults to the base, overridable with the
+    /// `.entry` directive).
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The raw image contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The address one past the last byte.
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// Looks up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The full symbol table, sorted by name.
+    pub fn symbols(&self) -> &BTreeMap<String, u32> {
+        &self.symbols
+    }
+
+    /// The 1-based source line that emitted the byte at `addr`, if any.
+    pub fn source_line(&self, addr: u32) -> Option<u32> {
+        self.source_map
+            .range(..=addr)
+            .next_back()
+            .filter(|(start, _)| **start <= addr && addr < self.end())
+            .map(|(_, line)| *line)
+    }
+
+    /// The symbol whose address most closely precedes `addr`, with offset —
+    /// used for human-readable addresses in reports.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s4e_asm::assemble;
+    /// let image = assemble("a: nop\nb: nop")?;
+    /// assert_eq!(image.nearest_symbol(image.base() + 4), Some(("b", 0)));
+    /// assert_eq!(image.nearest_symbol(image.base() + 2), Some(("a", 2)));
+    /// # Ok::<(), s4e_asm::AsmError>(())
+    /// ```
+    pub fn nearest_symbol(&self, addr: u32) -> Option<(&str, u32)> {
+        self.symbols
+            .iter()
+            .filter(|(_, &a)| a <= addr)
+            .max_by_key(|(_, &a)| a)
+            .map(|(name, &a)| (name.as_str(), addr - a))
+    }
+
+    /// Reads the little-endian 32-bit word at `addr`.
+    ///
+    /// Returns `None` if the range is outside the image.
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        let off = addr.checked_sub(self.base)? as usize;
+        let b = self.bytes.get(off..off + 4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads the little-endian 16-bit halfword at `addr`.
+    pub fn half_at(&self, addr: u32) -> Option<u16> {
+        let off = addr.checked_sub(self.base)? as usize;
+        let b = self.bytes.get(off..off + 2)?;
+        Some(u16::from_le_bytes([b[0], b[1]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Image {
+        let mut symbols = BTreeMap::new();
+        symbols.insert("start".to_string(), 0x100);
+        symbols.insert("data".to_string(), 0x108);
+        let mut src = BTreeMap::new();
+        src.insert(0x100, 1);
+        src.insert(0x104, 2);
+        Image::new(0x100, 0x100, vec![0x13, 0, 0, 0, 0x13, 0, 0, 0], symbols, src)
+    }
+
+    #[test]
+    fn word_access() {
+        let img = sample();
+        assert_eq!(img.word_at(0x100), Some(0x13));
+        assert_eq!(img.word_at(0x105), None);
+        assert_eq!(img.word_at(0xff), None);
+        assert_eq!(img.half_at(0x106), Some(0));
+        assert_eq!(img.end(), 0x108);
+    }
+
+    #[test]
+    fn source_lines() {
+        let img = sample();
+        assert_eq!(img.source_line(0x100), Some(1));
+        assert_eq!(img.source_line(0x103), Some(1));
+        assert_eq!(img.source_line(0x104), Some(2));
+        assert_eq!(img.source_line(0x108), None);
+        assert_eq!(img.source_line(0x0), None);
+    }
+
+    #[test]
+    fn nearest_symbols() {
+        let img = sample();
+        assert_eq!(img.nearest_symbol(0x100), Some(("start", 0)));
+        assert_eq!(img.nearest_symbol(0x107), Some(("start", 7)));
+        assert_eq!(img.nearest_symbol(0x109), Some(("data", 1)));
+        assert_eq!(img.nearest_symbol(0xff), None);
+    }
+}

@@ -1,0 +1,445 @@
+//! Line-oriented tokenizer for the assembler.
+//!
+//! Comments start with `#` or `//` and run to end of line; `;` separates
+//! statements on one line (treated like a newline). Identifiers may contain
+//! dots (for `fadd.s`, `c.addi`, `.word`) and `%` prefixes (`%hi`, `%lo`).
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// Identifier: mnemonic, register, symbol, directive (leading `.`), or
+    /// relocation function (leading `%`).
+    Ident(String),
+    /// Integer literal (decimal, `0x`, `0b`, `0o`, or character literal).
+    Int(i64),
+    /// String literal (escapes processed).
+    Str(String),
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+}
+
+/// One source line's tokens plus its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Line {
+    pub num: u32,
+    pub toks: Vec<Tok>,
+}
+
+/// Tokenizes a whole source file into non-empty statement lines.
+pub(crate) fn tokenize(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut lines = Vec::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let num = idx as u32 + 1;
+        for stmt in split_statements(raw_line) {
+            let toks = tokenize_line(stmt, num)?;
+            if !toks.is_empty() {
+                lines.push(Line { num, toks });
+            }
+        }
+    }
+    Ok(lines)
+}
+
+/// Splits a physical line on `;` outside string literals.
+fn split_statements(line: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '#' {
+            parts.push(&line[start..i]);
+            return parts;
+        } else if c == ';' {
+            parts.push(&line[start..i]);
+            start = i + 1;
+        } else if c == '/' && line[i + 1..].starts_with('/') {
+            parts.push(&line[start..i]);
+            return parts;
+        }
+    }
+    parts.push(&line[start..]);
+    parts
+}
+
+fn tokenize_line(line: &str, num: u32) -> Result<Vec<Tok>, AsmError> {
+    let mut toks = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            ':' => {
+                chars.next();
+                toks.push(Tok::Colon);
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            '+' => {
+                chars.next();
+                toks.push(Tok::Plus);
+            }
+            '-' => {
+                chars.next();
+                toks.push(Tok::Minus);
+            }
+            '*' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            '/' => {
+                chars.next();
+                toks.push(Tok::Slash);
+            }
+            '&' => {
+                chars.next();
+                toks.push(Tok::Amp);
+            }
+            '|' => {
+                chars.next();
+                toks.push(Tok::Pipe);
+            }
+            '^' => {
+                chars.next();
+                toks.push(Tok::Caret);
+            }
+            '~' => {
+                chars.next();
+                toks.push(Tok::Tilde);
+            }
+            '<' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('<') {
+                    chars.next();
+                    toks.push(Tok::Shl);
+                } else {
+                    return Err(AsmError::new(num, AsmErrorKind::BadToken('<')));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('>') {
+                    chars.next();
+                    toks.push(Tok::Shr);
+                } else {
+                    return Err(AsmError::new(num, AsmErrorKind::BadToken('>')));
+                }
+            }
+            '%' => {
+                chars.next();
+                // `%hi` / `%lo` form a single identifier token; a bare `%`
+                // is the modulo operator.
+                if chars.peek().is_some_and(|&(_, c)| c.is_ascii_alphabetic()) {
+                    let mut s = String::from("%");
+                    while let Some(&(_, c)) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            s.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push(Tok::Ident(s));
+                } else {
+                    toks.push(Tok::Percent);
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next().map(|(_, c)| c) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('0') => s.push('\0'),
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            _ => {
+                                return Err(AsmError::new(num, AsmErrorKind::UnterminatedString))
+                            }
+                        },
+                        c => s.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(AsmError::new(num, AsmErrorKind::UnterminatedString));
+                }
+                toks.push(Tok::Str(s));
+            }
+            '\'' => {
+                chars.next();
+                let c = match chars.next().map(|(_, c)| c) {
+                    Some('\\') => match chars.next().map(|(_, c)| c) {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some('r') => '\r',
+                        Some('0') => '\0',
+                        Some('\\') => '\\',
+                        Some('\'') => '\'',
+                        _ => return Err(AsmError::new(num, AsmErrorKind::BadToken('\''))),
+                    },
+                    Some(c) => c,
+                    None => return Err(AsmError::new(num, AsmErrorKind::BadToken('\''))),
+                };
+                if chars.next().map(|(_, c)| c) != Some('\'') {
+                    return Err(AsmError::new(num, AsmErrorKind::BadToken('\'')));
+                }
+                toks.push(Tok::Int(c as i64));
+            }
+            c if c.is_ascii_digit() => {
+                let rest = &line[i..];
+                let (value, consumed) = lex_number(rest, num)?;
+                for _ in 0..consumed {
+                    chars.next();
+                }
+                toks.push(Tok::Int(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            c => return Err(AsmError::new(num, AsmErrorKind::BadToken(c))),
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(s: &str, num: u32) -> Result<(i64, usize), AsmError> {
+    let bytes = s.as_bytes();
+    let (radix, mut idx) = if bytes.len() > 2 && bytes[0] == b'0' {
+        match bytes[1] {
+            b'x' | b'X' => (16, 2),
+            b'b' | b'B' => (2, 2),
+            b'o' | b'O' => (8, 2),
+            _ => (10, 0),
+        }
+    } else {
+        (10, 0)
+    };
+    let start = idx;
+    let mut value: i64 = 0;
+    while idx < bytes.len() {
+        let c = bytes[idx] as char;
+        if c == '_' {
+            idx += 1;
+            continue;
+        }
+        match c.to_digit(radix) {
+            Some(d) => {
+                value = value
+                    .checked_mul(radix as i64)
+                    .and_then(|v| v.checked_add(d as i64))
+                    .ok_or_else(|| {
+                        AsmError::new(
+                            num,
+                            AsmErrorKind::ValueOutOfRange {
+                                what: "integer literal",
+                                value: i64::MAX,
+                            },
+                        )
+                    })?;
+                idx += 1;
+            }
+            None => break,
+        }
+    }
+    if idx == start {
+        return Err(AsmError::new(num, AsmErrorKind::BadToken('0')));
+    }
+    Ok((value, idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Tok> {
+        let lines = tokenize(s).expect("tokenizes");
+        lines.into_iter().flat_map(|l| l.toks).collect()
+    }
+
+    #[test]
+    fn basic_instruction() {
+        assert_eq!(
+            lex("addi a0, a1, -3"),
+            vec![
+                Tok::Ident("addi".into()),
+                Tok::Ident("a0".into()),
+                Tok::Comma,
+                Tok::Ident("a1".into()),
+                Tok::Comma,
+                Tok::Minus,
+                Tok::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("0x10 0b101 0o17 42 1_000"), {
+            vec![
+                Tok::Int(16),
+                Tok::Int(5),
+                Tok::Int(15),
+                Tok::Int(42),
+                Tok::Int(1000),
+            ]
+        });
+    }
+
+    #[test]
+    fn memory_operand() {
+        assert_eq!(
+            lex("lw a0, 4(sp)"),
+            vec![
+                Tok::Ident("lw".into()),
+                Tok::Ident("a0".into()),
+                Tok::Comma,
+                Tok::Int(4),
+                Tok::LParen,
+                Tok::Ident("sp".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_semicolons() {
+        assert_eq!(lex("nop # comment"), vec![Tok::Ident("nop".into())]);
+        assert_eq!(lex("nop // comment"), vec![Tok::Ident("nop".into())]);
+        assert_eq!(
+            lex("nop; nop"),
+            vec![Tok::Ident("nop".into()), Tok::Ident("nop".into())]
+        );
+    }
+
+    #[test]
+    fn labels_and_directives() {
+        assert_eq!(
+            lex("loop: .word 1, 2"),
+            vec![
+                Tok::Ident("loop".into()),
+                Tok::Colon,
+                Tok::Ident(".word".into()),
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            lex(r#".asciz "hi\n""#),
+            vec![Tok::Ident(".asciz".into()), Tok::Str("hi\n".into())]
+        );
+        assert_eq!(lex("'A'"), vec![Tok::Int(65)]);
+        assert_eq!(lex(r"'\n'"), vec![Tok::Int(10)]);
+    }
+
+    #[test]
+    fn percent_functions() {
+        assert_eq!(
+            lex("%hi(x) % 3"),
+            vec![
+                Tok::Ident("%hi".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Percent,
+                Tok::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_mnemonics() {
+        assert_eq!(
+            lex("c.addi fadd.s"),
+            vec![Tok::Ident("c.addi".into()), Tok::Ident("fadd.s".into())]
+        );
+    }
+
+    #[test]
+    fn shift_operators() {
+        assert_eq!(lex("1 << 2 >> 3"), {
+            vec![Tok::Int(1), Tok::Shl, Tok::Int(2), Tok::Shr, Tok::Int(3)]
+        });
+    }
+
+    #[test]
+    fn line_numbers_preserved() {
+        let lines = tokenize("nop\n\nnop").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].num, 1);
+        assert_eq!(lines[1].num, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("nop @").is_err());
+        assert!(tokenize(".asciz \"open").is_err());
+        let e = tokenize("addi a0, a0, $5").unwrap_err();
+        assert_eq!(e.line(), 1);
+    }
+
+    #[test]
+    fn hash_inside_string_not_comment() {
+        assert_eq!(
+            lex(r#".asciz "a#b""#),
+            vec![Tok::Ident(".asciz".into()), Tok::Str("a#b".into())]
+        );
+    }
+}

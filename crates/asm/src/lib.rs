@@ -1,0 +1,44 @@
+//! # s4e-asm — a two-pass RISC-V assembler for the Scale4Edge ecosystem
+//!
+//! The ecosystem's test programs, Torture-generated suites and benchmark
+//! kernels are all assembled from source by this crate, replacing the
+//! commercial toolchain the published demonstrations relied on. The output
+//! is a flat, loadable [`Image`] (no ELF) that the virtual prototype maps
+//! directly into RAM.
+//!
+//! Supported syntax: the full instruction catalog of [`s4e_isa`] (including
+//! compressed `c.*` mnemonics and the custom BMI extension), the usual
+//! pseudo-instructions (`li`, `la`, `mv`, `call`, `ret`, `beqz`, …), data
+//! directives (`.word`, `.byte`, `.asciz`, `.space`, `.align`, `.org`),
+//! constant definitions (`.equ`), `%hi`/`%lo` relocation functions and full
+//! constant expressions.
+//!
+//! ## Example
+//!
+//! ```
+//! use s4e_asm::assemble;
+//!
+//! let image = assemble(r#"
+//!     .equ COUNT, 10
+//!     _start:
+//!         li   t0, COUNT
+//!     loop:
+//!         addi t0, t0, -1
+//!         bnez t0, loop
+//!         ebreak
+//! "#)?;
+//! assert_eq!(image.entry(), image.symbol("_start").unwrap());
+//! # Ok::<(), s4e_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assembler;
+mod error;
+mod image;
+mod lexer;
+
+pub use assembler::{assemble, assemble_with, AsmOptions};
+pub use error::{AsmError, AsmErrorKind};
+pub use image::Image;

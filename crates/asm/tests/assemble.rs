@@ -1,0 +1,611 @@
+//! Integration tests for the assembler: encodings, pseudo-instructions,
+//! directives, expressions, labels, error reporting, and disassembly
+//! round-trips.
+
+use s4e_asm::{assemble, assemble_with, AsmErrorKind, AsmOptions};
+use s4e_isa::{decode, CKind, InsnKind, IsaConfig};
+
+const BASE: u32 = 0x8000_0000;
+
+fn words(src: &str) -> Vec<u32> {
+    let img = assemble(src).expect("assembles");
+    img.bytes()
+        .chunks(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn first_insn(src: &str) -> s4e_isa::Insn {
+    let img = assemble(src).expect("assembles");
+    decode(img.word_at(img.base()).unwrap(), &IsaConfig::full()).expect("decodes")
+}
+
+#[test]
+fn known_encodings() {
+    assert_eq!(words("add a0, a1, a2"), vec![0x00c5_8533]);
+    assert_eq!(words("addi a0, a1, -3"), vec![0xffd5_8513]);
+    assert_eq!(words("sw a0, 4(a1)"), vec![0x00a5_a223]);
+    assert_eq!(words("ecall"), vec![0x0000_0073]);
+    assert_eq!(words("lui ra, 0xdeadb"), vec![0xdead_b0b7]);
+}
+
+#[test]
+fn registers_by_number_and_abi() {
+    assert_eq!(words("add x10, x11, x12"), words("add a0, a1, a2"));
+    assert_eq!(words("add s0, s0, s0"), words("add fp, fp, fp"));
+}
+
+#[test]
+fn branch_to_label_forward_and_back() {
+    let ws = words("loop: nop\nbeq zero, zero, loop\nbne zero, zero, end\nend: nop");
+    // beq at +4 targeting 0 → offset -4
+    let beq = decode(ws[1], &IsaConfig::rv32i()).unwrap();
+    assert_eq!(beq.imm(), -4);
+    // bne at +8 targeting +12 → offset +4
+    let bne = decode(ws[2], &IsaConfig::rv32i()).unwrap();
+    assert_eq!(bne.imm(), 4);
+}
+
+#[test]
+fn jal_forms() {
+    let i = first_insn("jal target\ntarget: nop");
+    assert_eq!(i.kind(), InsnKind::Jal);
+    assert_eq!(i.rd(), 1);
+    assert_eq!(i.imm(), 4);
+    let i = first_insn("jal zero, target\ntarget: nop");
+    assert_eq!(i.rd(), 0);
+}
+
+#[test]
+fn jalr_forms() {
+    let i = first_insn("jalr a0");
+    assert_eq!((i.kind(), i.rd(), i.rs1(), i.imm()), (InsnKind::Jalr, 1, 10, 0));
+    let i = first_insn("jalr zero, 8(a0)");
+    assert_eq!((i.rd(), i.rs1(), i.imm()), (0, 10, 8));
+    let i = first_insn("jalr t0, a0");
+    assert_eq!((i.rd(), i.rs1(), i.imm()), (5, 10, 0));
+}
+
+#[test]
+fn li_narrow_and_wide() {
+    assert_eq!(words("li a0, 42").len(), 1);
+    let ws = words("li a0, 0x12345678");
+    assert_eq!(ws.len(), 2);
+    let lui = decode(ws[0], &IsaConfig::rv32i()).unwrap();
+    let addi = decode(ws[1], &IsaConfig::rv32i()).unwrap();
+    assert_eq!(lui.kind(), InsnKind::Lui);
+    assert_eq!(addi.kind(), InsnKind::Addi);
+    let v = (lui.imm() as u32).wrapping_add(addi.imm() as u32);
+    assert_eq!(v, 0x1234_5678);
+}
+
+#[test]
+fn li_wide_negative_and_low_half_edge() {
+    for value in [-1i32, i32::MIN, 0x7fff_ffff, 0x0000_0800, -2049] {
+        let ws = words(&format!("li a0, {value}"));
+        let lui = decode(ws[0], &IsaConfig::rv32i()).unwrap();
+        let (hi, lo) = if ws.len() == 2 {
+            let addi = decode(ws[1], &IsaConfig::rv32i()).unwrap();
+            (lui.imm() as u32, addi.imm())
+        } else {
+            (0, lui.imm())
+        };
+        assert_eq!(
+            hi.wrapping_add(lo as u32),
+            value as u32,
+            "value {value}: hi {hi:#x} lo {lo}"
+        );
+    }
+}
+
+#[test]
+fn la_resolves_forward_symbols() {
+    let img = assemble("la a0, data\nebreak\ndata: .word 0xabcd").expect("assembles");
+    let lui = decode(img.word_at(BASE).unwrap(), &IsaConfig::rv32i()).unwrap();
+    let addi = decode(img.word_at(BASE + 4).unwrap(), &IsaConfig::rv32i()).unwrap();
+    let addr = (lui.imm() as u32).wrapping_add(addi.imm() as u32);
+    assert_eq!(Some(addr), img.symbol("data"));
+}
+
+#[test]
+fn pseudo_expansions() {
+    assert_eq!(words("nop"), vec![0x0000_0013]);
+    assert_eq!(first_insn("mv a0, a1").kind(), InsnKind::Addi);
+    assert_eq!(first_insn("not a0, a1").imm(), -1);
+    assert_eq!(first_insn("neg a0, a1").kind(), InsnKind::Sub);
+    assert_eq!(first_insn("seqz a0, a1").kind(), InsnKind::Sltiu);
+    assert_eq!(first_insn("snez a0, a1").kind(), InsnKind::Sltu);
+    assert_eq!(first_insn("ret").kind(), InsnKind::Jalr);
+    assert_eq!(first_insn("j next\nnext: nop").rd(), 0);
+    assert_eq!(first_insn("call next\nnext: nop").rd(), 1);
+    let i = first_insn("bgt a0, a1, t\nt: nop");
+    assert_eq!((i.kind(), i.rs1(), i.rs2()), (InsnKind::Blt, 11, 10));
+    let i = first_insn("blez a1, t\nt: nop");
+    assert_eq!((i.kind(), i.rs1(), i.rs2()), (InsnKind::Bge, 0, 11));
+}
+
+#[test]
+fn csr_pseudos_and_names() {
+    let i = first_insn("csrr a0, mcycle");
+    assert_eq!((i.kind(), i.csr()), (InsnKind::Csrrs, s4e_isa::Csr::MCYCLE));
+    let i = first_insn("csrw mtvec, a0");
+    assert_eq!(i.kind(), InsnKind::Csrrw);
+    assert_eq!(i.rd(), 0);
+    let i = first_insn("csrwi mscratch, 7");
+    assert_eq!(i.zimm(), 7);
+    let i = first_insn("csrr a0, 0x7c0");
+    assert_eq!(i.csr().addr(), 0x7c0);
+    let i = first_insn("rdcycle a0");
+    assert_eq!(i.csr(), s4e_isa::Csr::CYCLE);
+}
+
+#[test]
+fn compressed_mnemonics() {
+    let img = assemble("c.addi a0, -1\nc.nop\nc.ebreak").expect("assembles");
+    assert_eq!(img.bytes().len(), 6);
+    let i = decode(img.half_at(BASE).unwrap() as u32, &IsaConfig::full()).unwrap();
+    assert_eq!(i.ckind(), Some(CKind::CAddi));
+    assert_eq!(i.imm(), -1);
+    let i = decode(img.half_at(BASE + 4).unwrap() as u32, &IsaConfig::full()).unwrap();
+    assert_eq!(i.ckind(), Some(CKind::CEbreak));
+}
+
+#[test]
+fn compressed_branches_to_labels() {
+    let img = assemble("loop: c.nop\nc.bnez s0, loop\nc.j loop").expect("assembles");
+    let i = decode(img.half_at(BASE + 2).unwrap() as u32, &IsaConfig::full()).unwrap();
+    assert_eq!(i.ckind(), Some(CKind::CBnez));
+    assert_eq!(i.imm(), -2);
+    let i = decode(img.half_at(BASE + 4).unwrap() as u32, &IsaConfig::full()).unwrap();
+    assert_eq!(i.ckind(), Some(CKind::CJ));
+    assert_eq!(i.imm(), -4);
+}
+
+#[test]
+fn compressed_sp_forms() {
+    let img = assemble("c.lwsp a0, 8(sp)\nc.swsp a0, 8(sp)\nc.addi16sp sp, -32\nc.addi4spn a0, sp, 16")
+        .expect("assembles");
+    let i = decode(img.half_at(BASE).unwrap() as u32, &IsaConfig::full()).unwrap();
+    assert_eq!((i.kind(), i.rs1(), i.imm()), (InsnKind::Lw, 2, 8));
+}
+
+#[test]
+fn bmi_mnemonics() {
+    let i = first_insn("clz a0, a1");
+    assert_eq!(i.kind(), InsnKind::Clz);
+    let i = first_insn("andn a0, a1, a2");
+    assert_eq!(i.kind(), InsnKind::Andn);
+    let i = first_insn("rev8 a0, a0");
+    assert_eq!(i.kind(), InsnKind::Rev8);
+}
+
+#[test]
+fn fp_mnemonics() {
+    let i = first_insn("fadd.s ft0, fa0, fa1");
+    assert_eq!(i.kind(), InsnKind::FaddS);
+    let i = first_insn("flw fa0, 4(sp)");
+    assert_eq!((i.kind(), i.rs1(), i.imm()), (InsnKind::Flw, 2, 4));
+    let i = first_insn("fmv.s ft0, fa0");
+    assert_eq!(i.kind(), InsnKind::FsgnjS);
+    assert_eq!(i.rs1(), i.rs2());
+    let i = first_insn("fcvt.w.s a0, fa0");
+    assert_eq!(i.kind(), InsnKind::FcvtWS);
+}
+
+#[test]
+fn data_directives() {
+    let img = assemble(".byte 1, 2\n.half 0x3344\n.word 0x55667788").expect("assembles");
+    assert_eq!(img.bytes(), &[1, 2, 0x44, 0x33, 0x88, 0x77, 0x66, 0x55]);
+    let img = assemble(".asciz \"AB\"").expect("assembles");
+    assert_eq!(img.bytes(), b"AB\0");
+    let img = assemble(".ascii \"AB\"").expect("assembles");
+    assert_eq!(img.bytes(), b"AB");
+    let img = assemble(".space 3, 0xff").expect("assembles");
+    assert_eq!(img.bytes(), &[0xff; 3]);
+}
+
+#[test]
+fn align_and_org() {
+    let img = assemble(".byte 1\n.align 2\n.word 2").expect("assembles");
+    assert_eq!(img.bytes().len(), 8);
+    assert_eq!(img.word_at(BASE + 4), Some(2));
+    let img = assemble(".byte 1\n.balign 8\nmark: .word 2").expect("assembles");
+    assert_eq!(img.symbol("mark"), Some(BASE + 8));
+    let img = assemble(".org 0x80000010\nx: nop").expect("assembles");
+    assert_eq!(img.symbol("x"), Some(0x8000_0010));
+    assert_eq!(img.bytes().len(), 0x14);
+}
+
+#[test]
+fn equ_and_expressions() {
+    let img = assemble(".equ A, 3\n.equ B, A * 4 + 1\n.word B, A << 2, (A | 8) & 0xf, -A, ~A")
+        .expect("assembles");
+    assert_eq!(img.word_at(BASE), Some(13));
+    assert_eq!(img.word_at(BASE + 4), Some(12));
+    assert_eq!(img.word_at(BASE + 8), Some(11));
+    assert_eq!(img.word_at(BASE + 12), Some((-3i32) as u32));
+    assert_eq!(img.word_at(BASE + 16), Some(!3u32));
+}
+
+#[test]
+fn hi_lo_functions() {
+    let ws = words(".equ ADDR, 0x10000800\nlui a0, %hi(ADDR)\naddi a0, a0, %lo(ADDR)");
+    let lui = decode(ws[0], &IsaConfig::rv32i()).unwrap();
+    let addi = decode(ws[1], &IsaConfig::rv32i()).unwrap();
+    assert_eq!(
+        (lui.imm() as u32).wrapping_add(addi.imm() as u32),
+        0x1000_0800
+    );
+}
+
+#[test]
+fn dot_is_current_pc() {
+    let img = assemble("nop\n.word .").expect("assembles");
+    assert_eq!(img.word_at(BASE + 4), Some(BASE + 4));
+}
+
+#[test]
+fn entry_directive_and_start_symbol() {
+    let img = assemble("nop\n_start: nop").expect("assembles");
+    assert_eq!(img.entry(), BASE + 4);
+    let img = assemble(".entry go\nnop\ngo: nop").expect("assembles");
+    assert_eq!(img.entry(), BASE + 4);
+    let img = assemble("nop").expect("assembles");
+    assert_eq!(img.entry(), BASE);
+}
+
+#[test]
+fn source_map_lines() {
+    let img = assemble("nop\nnop\nbad_data: .word 7").expect("assembles");
+    assert_eq!(img.source_line(BASE), Some(1));
+    assert_eq!(img.source_line(BASE + 4), Some(2));
+    assert_eq!(img.source_line(BASE + 8), Some(3));
+}
+
+#[test]
+fn target_isa_rejection() {
+    let opts = AsmOptions::new().isa(IsaConfig::rv32i());
+    let e = assemble_with("mul a0, a0, a1", &opts).unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::TargetRejects(_)));
+    let e = assemble_with("c.nop", &opts).unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::TargetRejects(_)));
+    assert!(assemble_with("add a0, a0, a1", &opts).is_ok());
+}
+
+#[test]
+fn error_cases() {
+    let e = assemble("bogus a0").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::UnknownMnemonic(_)));
+    let e = assemble(".bogus 1").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::UnknownDirective(_)));
+    let e = assemble("addi a0, a0, undefined_sym").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::UndefinedSymbol(_)));
+    let e = assemble("x: nop\nx: nop").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::DuplicateSymbol(_)));
+    assert_eq!(e.line(), 2);
+    let e = assemble("addi a0, a0, 99999").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::Encode(_)));
+    let e = assemble(".org 0x80000010\n.org 0x80000000").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::OriginBackwards { .. }));
+    let e = assemble(".word 1/0").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::DivisionByZero));
+    let e = assemble(".space fwd\n.equ fwd, 4").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::ForwardReference(_)));
+    let e = assemble("lw a0, 4").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::BadExpression(_)));
+}
+
+#[test]
+fn error_line_numbers() {
+    let e = assemble("nop\nnop\nbogus").unwrap_err();
+    assert_eq!(e.line(), 3);
+}
+
+#[test]
+fn multiple_statements_per_line() {
+    assert_eq!(words("nop; nop; nop").len(), 3);
+}
+
+#[test]
+fn labels_on_own_line() {
+    let img = assemble("alone:\n  nop").expect("assembles");
+    assert_eq!(img.symbol("alone"), Some(BASE));
+}
+
+#[test]
+fn disassembly_reassembles() {
+    // Every base instruction we can disassemble must reassemble to the same
+    // word (branch/jump offsets print as `+N` targets, which re-parse as
+    // expressions relative to nothing — so we skip control flow here).
+    let srcs = [
+        "add a0, a1, a2",
+        "addi a0, a1, -3",
+        "lw a0, 4(a1)",
+        "sw a0, 4(a1)",
+        "lui a0, 0x12345",
+        "csrrw a0, mstatus, a1",
+        "csrrwi a0, mscratch, 5",
+        "mul a0, a1, a2",
+        "clz a0, a1",
+        "fadd.s ft0, fa0, fa1",
+        "flw fa0, 8(sp)",
+        "ecall",
+        "fence",
+    ];
+    for src in srcs {
+        let w = words(src)[0];
+        let text = decode(w, &IsaConfig::full()).unwrap().to_string();
+        let w2 = words(&text)[0];
+        assert_eq!(w, w2, "{src} → `{text}` → mismatch");
+    }
+}
+
+#[test]
+fn whole_program() {
+    let img = assemble(
+        r#"
+        .equ RESULT, 0x80000100
+        _start:
+            li   t0, 10        # counter
+            li   t1, 0         # accumulator
+        loop:
+            add  t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            la   t2, RESULT
+            sw   t1, 0(t2)
+            ebreak
+        "#,
+    )
+    .expect("assembles");
+    assert_eq!(img.entry(), BASE);
+    assert!(img.symbol("loop").is_some());
+    assert!(img.bytes().len() >= 9 * 4);
+}
+
+// ------------------------------------------------------- auto-compression
+
+#[test]
+fn auto_compression_shrinks_code() {
+    let src = r#"
+        addi a0, zero, 5    # c.li
+        addi a0, a0, 1      # c.addi
+        mv   a1, a0         # pseudo: not auto-compressed (expands to addi)
+        add  a1, a1, a0     # c.add
+        sub  s0, s0, s1     # wait: rd==rs1, prime → c.sub
+        lw   a2, 8(sp)      # c.lwsp
+        sw   a2, 8(sp)      # c.swsp
+        ebreak              # c.ebreak
+    "#;
+    let plain = assemble(src).expect("assembles");
+    let opts = AsmOptions::new().compress(true);
+    let packed = assemble_with(src, &opts).expect("assembles compressed");
+    assert!(
+        packed.bytes().len() < plain.bytes().len(),
+        "compressed {} vs plain {}",
+        packed.bytes().len(),
+        plain.bytes().len()
+    );
+    // First instruction became 16-bit c.li.
+    let half = packed.half_at(packed.base()).unwrap();
+    let insn = decode(half as u32, &IsaConfig::full()).unwrap();
+    assert!(insn.is_compressed());
+    assert_eq!(insn.kind(), InsnKind::Addi);
+}
+
+#[test]
+fn auto_compression_preserves_semantics() {
+    // Same program, both layouts, identical architectural results.
+    let src = r#"
+        li   t0, 10
+        li   a0, 0
+        loop:
+        add  a0, a0, t0
+        addi t0, t0, -1
+        bnez t0, loop
+        la   t1, out
+        sw   a0, 0(t1)
+        ebreak
+        .align 4
+        out: .word 0
+    "#;
+    use s4e_isa::Gpr;
+    use s4e_vp::{RunOutcome, Vp};
+    let run = |image: &s4e_asm::Image| {
+        let mut vp = Vp::new(IsaConfig::full());
+        vp.load(image.base(), image.bytes()).unwrap();
+        vp.cpu_mut().set_pc(image.entry());
+        assert_eq!(vp.run(), RunOutcome::Break);
+        vp.cpu().gpr(Gpr::A0)
+    };
+    let plain = assemble(src).expect("assembles");
+    let packed = assemble_with(src, &AsmOptions::new().compress(true)).expect("assembles");
+    assert!(packed.bytes().len() < plain.bytes().len());
+    assert_eq!(run(&plain), 55);
+    assert_eq!(run(&packed), 55);
+}
+
+#[test]
+fn option_rvc_toggles_regions() {
+    let src = r#"
+        addi a0, a0, 1      # not compressed (rvc off by default here)
+        .option rvc
+        addi a0, a0, 1      # compressed
+        .option norvc
+        addi a0, a0, 1      # not compressed
+        ebreak
+    "#;
+    let img = assemble(src).expect("assembles");
+    assert_eq!(img.bytes().len(), 4 + 2 + 4 + 4);
+}
+
+#[test]
+fn branches_never_auto_compressed() {
+    let src = ".option rvc\nloop: beq a0, zero, loop\nj loop\nebreak";
+    let img = assemble(src).expect("assembles");
+    // beq (4) + j→jal (4) + ebreak (2: compressible!)
+    assert_eq!(img.bytes().len(), 4 + 4 + 2);
+}
+
+#[test]
+fn forward_reference_blocks_compression() {
+    // The lui immediate references a forward symbol: unknown in pass one,
+    // so the instruction must stay 4 bytes even though the final value
+    // would fit c.lui.
+    let src = ".option rvc\nlui a0, FWD\nebreak\n.equ BWD, 2\n";
+    // (forward .equ would be rejected; use a label-based variant instead)
+    let img = assemble(".option rvc\nlui a0, (later - earlier)\nearlier: ebreak\nlater: nop")
+        .expect("assembles");
+    let _ = src;
+    // 4-byte lui + 2-byte c.ebreak
+    let first = img.half_at(img.base()).unwrap();
+    assert_eq!(first & 0b11, 0b11, "lui stayed wide");
+}
+
+#[test]
+fn compression_respects_target_isa() {
+    // Auto-compression with a C-less target would emit instructions the
+    // target rejects; the emit-side decode check must catch it.
+    let opts = AsmOptions::new().isa(IsaConfig::rv32i()).compress(true);
+    let e = assemble_with("addi a0, a0, 1\nebreak", &opts).unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::TargetRejects(_)));
+}
+
+// ------------------------------------------------- numeric local labels
+
+#[test]
+fn numeric_labels_forward_and_backward() {
+    let img = assemble(
+        r#"
+        1: addi a0, a0, 1
+        bnez a1, 1f
+        j 1b
+        1: ebreak
+        "#,
+    )
+    .expect("assembles");
+    // bnez at +4 targets the second `1:` at +12 → offset +8
+    let bnez = decode(img.word_at(BASE + 4).unwrap(), &IsaConfig::full()).unwrap();
+    assert_eq!(bnez.imm(), 8);
+    // j at +8 targets the first `1:` at +0 → offset -8
+    let j = decode(img.word_at(BASE + 8).unwrap(), &IsaConfig::full()).unwrap();
+    assert_eq!(j.kind(), InsnKind::Jal);
+    assert_eq!(j.imm(), -8);
+}
+
+#[test]
+fn numeric_labels_repeatable() {
+    // The same number can be defined many times; each ref binds nearest.
+    let img = assemble(
+        r#"
+        li t0, 3
+        2: addi t0, t0, -1
+        bnez t0, 2b
+        li t1, 3
+        2: addi t1, t1, -1
+        bnez t1, 2b
+        ebreak
+        "#,
+    )
+    .expect("assembles");
+    use s4e_isa::Gpr;
+    use s4e_vp::{RunOutcome, Vp};
+    let mut vp = Vp::new(IsaConfig::full());
+    vp.load(img.base(), img.bytes()).unwrap();
+    assert_eq!(vp.run(), RunOutcome::Break);
+    assert_eq!(vp.cpu().gpr(Gpr::new(5).unwrap()), 0);
+    assert_eq!(vp.cpu().gpr(Gpr::new(6).unwrap()), 0);
+}
+
+#[test]
+fn numeric_label_in_expressions() {
+    let img = assemble("1: nop\n.word 1b").expect("assembles");
+    assert_eq!(img.word_at(BASE + 4), Some(BASE));
+}
+
+#[test]
+fn undefined_numeric_ref_errors() {
+    let e = assemble("j 3f").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::UndefinedSymbol(s) if s == "3f"));
+    let e = assemble("1: nop\nj 1f").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::UndefinedSymbol(_)), "no forward 1");
+}
+
+// ------------------------------------------------------ more error paths
+
+#[test]
+fn align_exponent_validated() {
+    let e = assemble(".align 20").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::ValueOutOfRange { .. }));
+    let e = assemble(".balign 0").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::ValueOutOfRange { .. }));
+}
+
+#[test]
+fn equ_duplicate_rejected() {
+    let e = assemble(".equ A, 1\n.equ A, 2").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::DuplicateSymbol(_)));
+    // A label and an .equ with the same name also collide.
+    let e = assemble("x: nop\n.equ x, 5").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::DuplicateSymbol(_)));
+}
+
+#[test]
+fn entry_with_undefined_symbol_errors() {
+    let e = assemble(".entry nowhere\nnop").unwrap_err();
+    assert!(
+        matches!(e.kind(), AsmErrorKind::UndefinedSymbol(_))
+            || matches!(e.kind(), AsmErrorKind::UndefinedEntry(_)),
+        "{e}"
+    );
+}
+
+#[test]
+fn trailing_operand_junk_rejected() {
+    let e = assemble("nop nop").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::BadOperands { .. }));
+    let e = assemble("add a0, a1, a2, a3").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::BadOperands { .. }));
+}
+
+#[test]
+fn option_push_pop_ignored() {
+    // GNU sources carry .option push/pop; we accept and ignore them.
+    assert!(assemble(".option push\nnop\n.option pop").is_ok());
+}
+
+#[test]
+fn lo_function_sign_extends() {
+    // %lo of a value with bit 11 set is negative, pairing with the
+    // rounded-up %hi.
+    let img = assemble(".equ V, 0x00000800\n.word %lo(V), %hi(V)").expect("assembles");
+    assert_eq!(img.word_at(img.base()), Some((-2048i32) as u32));
+    assert_eq!(img.word_at(img.base() + 4), Some(1));
+}
+
+#[test]
+fn byte_value_range_checked() {
+    let e = assemble(".byte 256").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::ValueOutOfRange { .. }));
+    assert!(assemble(".byte -128, 255").is_ok());
+}
+
+#[test]
+fn branch_offset_out_of_range() {
+    // A branch target more than ±4 KiB away cannot encode.
+    let e = assemble("beq a0, a1, far\n.space 8192\nfar: nop").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::Encode(_)));
+}
+
+#[test]
+fn csr_numeric_out_of_range() {
+    let e = assemble("csrr a0, 0x1000").unwrap_err();
+    assert!(matches!(e.kind(), AsmErrorKind::ValueOutOfRange { .. }));
+}
+
+#[test]
+fn source_map_skips_data_gaps() {
+    let img = assemble("nop\n.space 8\nx: nop").expect("assembles");
+    assert_eq!(img.source_line(img.base()), Some(1));
+    assert_eq!(img.source_line(img.base() + 12), Some(3));
+}

@@ -1,0 +1,30 @@
+//! Ablation A1: translation-block cache on vs off, across kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use s4e_bench::kernels::{crc32, matmul, state_machine};
+use s4e_bench::{build, run_image};
+use s4e_isa::IsaConfig;
+
+fn bench_emulator(c: &mut Criterion) {
+    let isa = IsaConfig::full();
+    let kernels = [matmul(8), crc32(64), state_machine(128)];
+    let mut group = c.benchmark_group("emulator");
+    for kernel in &kernels {
+        let image = build(&kernel.source, isa);
+        let insns = run_image(&image, isa, true).instret;
+        group.throughput(Throughput::Elements(insns));
+        for (label, cache) in [("tb_cache", true), ("no_cache", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, kernel.name),
+                &image,
+                |b, image| {
+                    b.iter(|| run_image(image, isa, cache));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

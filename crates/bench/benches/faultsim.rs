@@ -1,0 +1,40 @@
+//! Ablation A4: mutant-classification cost — full golden-state comparison
+//! (registers + memory) vs exit-code-plus-registers-only.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use s4e_bench::build;
+use s4e_faultsim::{generate_mutants, Campaign, CampaignConfig, GeneratorConfig};
+use s4e_isa::IsaConfig;
+use s4e_torture::{torture_program, TortureConfig};
+
+fn bench_faultsim(c: &mut Criterion) {
+    let isa = IsaConfig::rv32imc();
+    let program = torture_program(&TortureConfig::new(0xbe_c4).insns(250).isa(isa));
+    let image = build(&program.source, isa);
+    let gen = GeneratorConfig {
+        stuck_per_gpr: 1,
+        transient_per_gpr: 1,
+        transient_per_fpr: 0,
+        opcode_mutants: 16,
+        data_mutants: 8,
+        seed: 4,
+    };
+
+    let mut group = c.benchmark_group("faultsim");
+    for (label, compare_memory) in [("full_compare", true), ("register_compare", false)] {
+        let campaign = Campaign::prepare(
+            image.base(),
+            image.bytes(),
+            image.entry(),
+            &CampaignConfig::new().isa(isa).compare_memory(compare_memory),
+        )
+        .expect("prepares");
+        let mutants = generate_mutants(campaign.golden().trace(), &gen);
+        group.throughput(Throughput::Elements(mutants.len() as u64));
+        group.bench_function(label, |b| b.iter(|| campaign.run_all(&mutants)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faultsim);
+criterion_main!(benches);

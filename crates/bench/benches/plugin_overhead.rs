@@ -1,0 +1,52 @@
+//! Ablation A2: cost of the instrumentation hooks — no plugins vs the
+//! coverage plugin vs the full QTA plugin.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use s4e_bench::kernels::matmul;
+use s4e_bench::{build, reconstruct};
+use s4e_core::QtaPlugin;
+use s4e_coverage::CoveragePlugin;
+use s4e_isa::IsaConfig;
+use s4e_vp::{RunOutcome, Vp};
+use s4e_wcet::{analyze, TimedCfg, WcetOptions};
+
+fn bench_plugins(c: &mut Criterion) {
+    let isa = IsaConfig::full();
+    let kernel = matmul(8);
+    let image = build(&kernel.source, isa);
+    let prog = reconstruct(&image, isa);
+    let report = analyze(&prog, &WcetOptions::new()).expect("analyzes");
+    let timed = TimedCfg::build(&prog, &report);
+
+    let run = |attach: &dyn Fn(&mut Vp)| {
+        let mut vp = Vp::new(isa);
+        vp.load(image.base(), image.bytes()).expect("fits");
+        vp.cpu_mut().set_pc(image.entry());
+        attach(&mut vp);
+        assert_eq!(vp.run_for(200_000_000), RunOutcome::Break);
+        vp.cpu().instret()
+    };
+    let insns = run(&|_| {});
+
+    let mut group = c.benchmark_group("plugin_overhead");
+    group.throughput(Throughput::Elements(insns));
+    group.bench_function("none", |b| b.iter(|| run(&|_| {})));
+    group.bench_function("coverage", |b| {
+        b.iter(|| run(&|vp| vp.add_plugin(Box::new(CoveragePlugin::new(isa)))))
+    });
+    group.bench_function("qta", |b| {
+        b.iter(|| run(&|vp| vp.add_plugin(Box::new(QtaPlugin::new(timed.clone())))))
+    });
+    group.bench_function("coverage_and_qta", |b| {
+        b.iter(|| {
+            run(&|vp| {
+                vp.add_plugin(Box::new(CoveragePlugin::new(isa)));
+                vp.add_plugin(Box::new(QtaPlugin::new(timed.clone())));
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plugins);
+criterion_main!(benches);

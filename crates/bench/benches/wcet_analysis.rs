@@ -1,0 +1,51 @@
+//! Ablation A3: static-analysis cost — CFG reconstruction, WCET with
+//! bound inference, and WCET with annotation-only bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s4e_bench::kernels::wcet_benchmarks;
+use s4e_bench::{build, reconstruct, wcet_options_for};
+use s4e_cfg::Program;
+use s4e_isa::IsaConfig;
+use s4e_wcet::{analyze, WcetOptions};
+
+fn bench_wcet(c: &mut Criterion) {
+    let isa = IsaConfig::full();
+    let mut group = c.benchmark_group("wcet_analysis");
+    for kernel in wcet_benchmarks() {
+        let image = build(&kernel.source, isa);
+        group.bench_with_input(
+            BenchmarkId::new("cfg_reconstruct", kernel.name),
+            &image,
+            |b, image| {
+                b.iter(|| {
+                    Program::from_bytes(image.base(), image.bytes(), image.entry(), &isa)
+                        .expect("reconstructs")
+                })
+            },
+        );
+        let prog = reconstruct(&image, isa);
+        let opts_infer = wcet_options_for(&kernel, &image);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_with_inference", kernel.name),
+            &prog,
+            |b, prog| b.iter(|| analyze(prog, &opts_infer).expect("analyzes")),
+        );
+        // Annotation-only: take the bounds the first analysis found and
+        // re-run with inference disabled.
+        let report = analyze(&prog, &opts_infer).expect("analyzes");
+        let opts_annot = WcetOptions {
+            bounds: report.all_bounds(),
+            infer_bounds: false,
+            ..WcetOptions::new()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("analyze_annotated", kernel.name),
+            &prog,
+            |b, prog| b.iter(|| analyze(prog, &opts_annot).expect("analyzes")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wcet);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **Experiment F1** — QTA timing co-simulation over the WCET benchmark
+//! set (MBMV 2021 QTA tool-demonstration analog).
+//!
+//! For every benchmark the three quantities are reported: the cycles
+//! actually consumed (dynamic), the worst-case time of the *executed*
+//! path (QTA), and the static WCET bound. Expected shape: the invariant
+//! chain `dynamic ≤ QTA ≤ static` on every row, with QTA tightening the
+//! static bound on input-dependent kernels (state machine, binary
+//! search).
+
+use s4e_bench::kernels::wcet_benchmarks;
+use s4e_bench::{build, wcet_options_for};
+use s4e_core::QtaSession;
+use s4e_isa::IsaConfig;
+
+fn main() {
+    let isa = IsaConfig::full();
+    println!("# F1 — dynamic vs QTA vs static WCET (cycles)");
+    println!();
+    println!("| benchmark | dynamic | QTA path | static WCET | QTA/dyn | static/dyn |");
+    println!("|---|---|---|---|---|---|");
+    for k in wcet_benchmarks() {
+        let image = build(&k.source, isa);
+        let options = wcet_options_for(&k, &image);
+        let session = QtaSession::prepare(
+            image.base(),
+            image.bytes(),
+            image.entry(),
+            isa,
+            &options,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let run = session.run().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert!(
+            run.invariant_holds(),
+            "{}: invariant chain violated: {run:?}",
+            k.name
+        );
+        assert!(run.violations.is_empty(), "{}: bound violations", k.name);
+        println!(
+            "| {} | {} | {} | {} | {:.3} | {:.3} |",
+            k.name,
+            run.dynamic_cycles,
+            run.qta_cycles,
+            run.static_wcet,
+            run.qta_cycles as f64 / run.dynamic_cycles as f64,
+            run.pessimism(),
+        );
+    }
+    println!();
+    println!("F1 shape check: PASS (dynamic ≤ QTA ≤ static on every benchmark)");
+}

@@ -1,0 +1,81 @@
+//! **Experiment T1** — instruction-type and register coverage of the three
+//! test suites and their union (MBMV 2021, Table 1 analog).
+//!
+//! Expected shape: no single suite is complete; the unified suite reaches
+//! 100 % GPR/FPR and ≈98.7 % instruction-type coverage (only `wfi`
+//! remains untested).
+
+use s4e_asm::assemble;
+use s4e_coverage::{CoveragePlugin, CoverageReport};
+use s4e_isa::IsaConfig;
+use s4e_torture::{architectural_suite, torture_program, unit_suite, TestProgram, TortureConfig};
+use s4e_vp::Vp;
+
+fn measure(isa: IsaConfig, programs: &[TestProgram]) -> CoverageReport {
+    let mut merged: Option<CoverageReport> = None;
+    for p in programs {
+        let image = assemble(&p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let mut vp = Vp::new(isa);
+        vp.load(image.base(), image.bytes()).expect("fits RAM");
+        vp.cpu_mut().set_pc(image.entry());
+        vp.add_plugin(Box::new(CoveragePlugin::new(isa)));
+        let outcome = vp.run_for(5_000_000);
+        assert!(outcome.is_normal_termination(), "{}: {outcome:?}", p.name);
+        let r = vp.plugin::<CoveragePlugin>().expect("attached").report();
+        match &mut merged {
+            Some(m) => m.merge(&r),
+            None => merged = Some(r),
+        }
+    }
+    merged.expect("suites are non-empty")
+}
+
+fn main() {
+    let isa = IsaConfig::rv32imfc();
+    let torture: Vec<TestProgram> = (0..100)
+        .map(|seed| torture_program(&TortureConfig::new(seed).insns(250).isa(isa)))
+        .collect();
+
+    let arch = measure(isa, &architectural_suite(&isa));
+    let unit = measure(isa, &unit_suite(&isa));
+    let tort = measure(isa, &torture);
+    let mut unified = arch.clone();
+    unified.merge(&unit);
+    unified.merge(&tort);
+
+    println!("# T1 — coverage of the test suites ({isa})", isa = isa);
+    println!();
+    println!("| suite | programs | insn types | GPR | FPR | CSR | compressed |");
+    println!("|---|---|---|---|---|---|---|");
+    let suites: [(&str, usize, &CoverageReport); 4] = [
+        ("architectural", architectural_suite(&isa).len(), &arch),
+        ("unit", unit_suite(&isa).len(), &unit),
+        ("torture (100 seeds)", torture.len(), &tort),
+        ("**unified**", 0, &unified),
+    ];
+    for (name, count, cov) in suites {
+        println!(
+            "| {name} | {count} | {} | {} | {} | {} | {} |",
+            cov.insn_type_coverage(),
+            cov.gpr_coverage(),
+            cov.fpr_coverage(),
+            cov.csr_coverage(),
+            cov.compressed_coverage(),
+        );
+    }
+    println!();
+    println!("uncovered instruction types (unified): {:?}", unified.uncovered_insns());
+    println!("uncovered compressed encodings (unified): {:?}", unified.uncovered_compressed());
+    println!();
+    println!("{}", unified.summary_table());
+
+    // The paper's headline shape.
+    assert!(unified.gpr_coverage().is_full(), "unified GPR must be 100%");
+    assert!(unified.fpr_coverage().is_full(), "unified FPR must be 100%");
+    let pct = unified.insn_type_coverage().percent();
+    assert!(
+        (98.0..100.0).contains(&pct),
+        "unified insn-type coverage {pct:.1}% should sit just below 100%"
+    );
+    println!("T1 shape check: PASS (insn {pct:.1}%, GPR/FPR 100%)");
+}

@@ -1,0 +1,97 @@
+//! **Experiment T2** — coverage-driven fault-effect campaigns across ISA
+//! subset configurations (MBMV 2020 analog).
+//!
+//! Expected shape: mutant counts scale with the configuration's execution
+//! footprint; a substantial fraction of mutants terminates normally (the
+//! "subjects for further investigation"); transient faults are masked
+//! more often than permanent ones.
+
+use s4e_bench::build;
+use s4e_faultsim::{
+    generate_mutants, Campaign, CampaignConfig, FaultKind, FaultOutcome, GeneratorConfig,
+};
+use s4e_isa::IsaConfig;
+use s4e_torture::{torture_program, TortureConfig};
+
+fn main() {
+    println!("# T2 — fault-effect campaigns per ISA subset");
+    println!();
+    println!("| ISA | mutants | masked | silent | detected | self-rep | timeout | normal-term |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let configs = [
+        ("RV32I", IsaConfig::rv32i()),
+        ("RV32IM", IsaConfig::rv32im()),
+        ("RV32IMC", IsaConfig::rv32imc()),
+    ];
+    let mut permanent_masked = 0usize;
+    let mut permanent_total = 0usize;
+    let mut transient_masked = 0usize;
+    let mut transient_total = 0usize;
+
+    for (name, isa) in configs {
+        // One representative generated workload per subset (fixed seed so
+        // the table is reproducible).
+        let program = torture_program(&TortureConfig::new(0x7e57).insns(300).isa(isa));
+        let image = build(&program.source, isa);
+        let campaign = Campaign::prepare(
+            image.base(),
+            image.bytes(),
+            image.entry(),
+            &CampaignConfig::new().isa(isa).threads(4),
+        )
+        .expect("golden run terminates");
+        let mutants = generate_mutants(
+            campaign.golden().trace(),
+            &GeneratorConfig {
+                stuck_per_gpr: 3,
+                transient_per_gpr: 3,
+                transient_per_fpr: 0,
+                opcode_mutants: 64,
+                data_mutants: 32,
+                seed: 1,
+            },
+        );
+        let report = campaign.run_all(&mutants);
+        let counts = report.counts();
+        let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+        println!(
+            "| {name} | {} | {} | {} | {} | {} | {} | {:.1}% |",
+            report.total(),
+            get("masked"),
+            get("silent corruption"),
+            get("detected"),
+            get("self-reported"),
+            get("timeout"),
+            report.normal_termination_rate() * 100.0,
+        );
+        for r in report.results() {
+            let masked = r.outcome == FaultOutcome::Masked;
+            match r.spec.kind {
+                FaultKind::StuckAt { .. } => {
+                    permanent_total += 1;
+                    permanent_masked += usize::from(masked);
+                }
+                FaultKind::Transient { .. } => {
+                    transient_total += 1;
+                    transient_masked += usize::from(masked);
+                }
+            }
+        }
+    }
+
+    let perm_rate = permanent_masked as f64 / permanent_total.max(1) as f64;
+    let trans_rate = transient_masked as f64 / transient_total.max(1) as f64;
+    println!();
+    println!(
+        "masking rate: permanent {permanent_masked}/{permanent_total} ({:.1}%) vs \
+         transient {transient_masked}/{transient_total} ({:.1}%)",
+        perm_rate * 100.0,
+        trans_rate * 100.0
+    );
+    assert!(
+        trans_rate > perm_rate,
+        "shape: transient faults should be masked more often than permanent ones"
+    );
+    println!("T2 shape check: PASS (transients masked more often than permanents)");
+}

@@ -1,0 +1,35 @@
+//! **Experiment T4** — runtime impact of the ten custom bit-manipulation
+//! instructions (PATMOS 2019 analog).
+//!
+//! Expected shape: cycle-count reduction on every kernel, largest for the
+//! crypto-style permutation; never a slowdown.
+
+use s4e_bench::kernels::bmi_pairs;
+use s4e_bench::run_kernel;
+use s4e_isa::IsaConfig;
+
+fn main() {
+    println!("# T4 — BMI extension impact (cycles per kernel, 64-word inputs)");
+    println!();
+    println!("| kernel | RV32IM cycles | +Xbmi cycles | speedup | insn reduction |");
+    println!("|---|---|---|---|---|");
+    let mut best: (f64, &str) = (0.0, "");
+    for pair in bmi_pairs(64) {
+        let base = run_kernel(&pair.base, IsaConfig::rv32im());
+        let bmi = run_kernel(&pair.bmi, IsaConfig::full());
+        assert_eq!(base.a0, bmi.a0, "{}: variants must agree", pair.name);
+        let speedup = base.cycles as f64 / bmi.cycles as f64;
+        let insn_red = 100.0 * (1.0 - bmi.instret as f64 / base.instret as f64);
+        if speedup > best.0 {
+            best = (speedup, pair.name);
+        }
+        println!(
+            "| {} | {} | {} | {:.2}x | {:.1}% |",
+            pair.name, base.cycles, bmi.cycles, speedup, insn_red
+        );
+        assert!(speedup >= 1.0, "{}: BMI must never slow down", pair.name);
+    }
+    println!();
+    println!("largest speedup: {} ({:.2}x)", best.1, best.0);
+    println!("T4 shape check: PASS (speedup on every kernel, none below 1.0x)");
+}

@@ -1,0 +1,177 @@
+//! Basic blocks and their terminators.
+
+use s4e_isa::Insn;
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Conditional branch: two successors.
+    Branch {
+        /// Target when the condition holds.
+        taken: u32,
+        /// The sequentially next address.
+        fallthrough: u32,
+    },
+    /// Unconditional direct jump within the function.
+    Jump {
+        /// The jump target.
+        target: u32,
+    },
+    /// Direct call (`jal` with a live link register): control continues at
+    /// `ret` after the callee completes.
+    Call {
+        /// The callee's entry address.
+        callee: u32,
+        /// The return point (successor block within this function).
+        ret: u32,
+    },
+    /// Tail call: a direct jump whose target belongs to another function.
+    TailCall {
+        /// The callee's entry address.
+        callee: u32,
+    },
+    /// Function return (`jalr x0, 0(ra)`).
+    Return,
+    /// Execution terminates (`ebreak`, `ecall`, `wfi`, `mret`).
+    Exit,
+    /// An indirect jump the static analysis cannot resolve (`jalr` not
+    /// matching the return idiom). Representable, but the WCET analysis
+    /// rejects functions containing it.
+    Indirect,
+    /// The block was split by a label: control falls through.
+    FallThrough {
+        /// The next block's address.
+        next: u32,
+    },
+}
+
+impl Terminator {
+    /// Intra-procedural successor addresses.
+    pub fn successors(&self) -> Vec<u32> {
+        match *self {
+            Terminator::Branch { taken, fallthrough } => {
+                if taken == fallthrough {
+                    vec![taken]
+                } else {
+                    vec![taken, fallthrough]
+                }
+            }
+            Terminator::Jump { target } => vec![target],
+            Terminator::Call { ret, .. } => vec![ret],
+            Terminator::FallThrough { next } => vec![next],
+            Terminator::TailCall { .. }
+            | Terminator::Return
+            | Terminator::Exit
+            | Terminator::Indirect => Vec::new(),
+        }
+    }
+
+    /// The callee entry address for calls and tail calls.
+    pub fn callee(&self) -> Option<u32> {
+        match *self {
+            Terminator::Call { callee, .. } | Terminator::TailCall { callee } => Some(callee),
+            _ => None,
+        }
+    }
+}
+
+/// A basic block: a maximal single-entry straight-line instruction
+/// sequence.
+///
+/// These are the nodes of the WCET-annotated control-flow graph — the
+/// "aiT blocks" of the QTA interchange format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    start: u32,
+    insns: Vec<(u32, Insn)>,
+    term: Terminator,
+}
+
+impl BasicBlock {
+    pub(crate) fn new(start: u32, insns: Vec<(u32, Insn)>, term: Terminator) -> BasicBlock {
+        debug_assert!(!insns.is_empty(), "blocks contain at least one insn");
+        debug_assert_eq!(insns[0].0, start);
+        BasicBlock { start, insns, term }
+    }
+
+    /// The address of the first instruction.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// The address one past the last instruction.
+    pub fn end(&self) -> u32 {
+        let (pc, insn) = self.insns.last().expect("blocks are non-empty");
+        insn.next_pc(*pc)
+    }
+
+    /// The instructions with their addresses.
+    pub fn insns(&self) -> &[(u32, Insn)] {
+        &self.insns
+    }
+
+    /// The number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the block is empty (never true for built blocks).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// How the block ends.
+    pub fn terminator(&self) -> &Terminator {
+        &self.term
+    }
+
+    /// Whether `addr` is the address of one of this block's instructions.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.insns.iter().any(|(pc, _)| *pc == addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4e_isa::{decode, IsaConfig};
+
+    #[test]
+    fn successors_of_terminators() {
+        assert_eq!(
+            Terminator::Branch { taken: 8, fallthrough: 4 }.successors(),
+            vec![8, 4]
+        );
+        assert_eq!(
+            Terminator::Branch { taken: 4, fallthrough: 4 }.successors(),
+            vec![4]
+        );
+        assert_eq!(Terminator::Jump { target: 16 }.successors(), vec![16]);
+        assert_eq!(
+            Terminator::Call { callee: 100, ret: 8 }.successors(),
+            vec![8]
+        );
+        assert!(Terminator::Return.successors().is_empty());
+        assert_eq!(Terminator::FallThrough { next: 4 }.successors(), vec![4]);
+        assert_eq!(Terminator::TailCall { callee: 7 }.callee(), Some(7));
+        assert_eq!(Terminator::Return.callee(), None);
+    }
+
+    #[test]
+    fn block_bounds() {
+        let isa = IsaConfig::rv32imc();
+        let add = decode(0x00c5_8533, &isa).unwrap();
+        let cnop = decode(0x0001, &isa).unwrap();
+        let b = BasicBlock::new(
+            0x100,
+            vec![(0x100, add), (0x104, cnop)],
+            Terminator::FallThrough { next: 0x106 },
+        );
+        assert_eq!(b.start(), 0x100);
+        assert_eq!(b.end(), 0x106);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert!(b.contains(0x104));
+        assert!(!b.contains(0x102));
+    }
+}

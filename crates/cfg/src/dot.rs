@@ -1,0 +1,68 @@
+//! Graphviz DOT export for reconstructed CFGs — the human-inspectable
+//! form of the QTA control-flow interchange format.
+
+use crate::block::Terminator;
+use crate::function::Function;
+use crate::program::Program;
+use std::fmt::Write;
+
+/// Renders one function as a Graphviz `digraph`.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_cfg::{function_to_dot, Program};
+/// use s4e_asm::assemble;
+/// use s4e_isa::IsaConfig;
+///
+/// let img = assemble("nop\nebreak")?;
+/// let prog = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())?;
+/// let dot = function_to_dot(prog.entry_function());
+/// assert!(dot.starts_with("digraph"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn function_to_dot(func: &Function) -> String {
+    let mut out = String::new();
+    let name = func
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("f_{:08x}", func.entry()));
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (addr, block) in func.blocks() {
+        let mut label = format!("{addr:#010x}\\l");
+        for (pc, insn) in block.insns() {
+            let _ = write!(label, "{pc:#010x}: {insn}\\l");
+        }
+        let _ = writeln!(out, "  b{addr:x} [label=\"{label}\"];");
+        match block.terminator() {
+            Terminator::Branch { taken, fallthrough } => {
+                let _ = writeln!(out, "  b{addr:x} -> b{taken:x} [label=\"T\"];");
+                let _ = writeln!(out, "  b{addr:x} -> b{fallthrough:x} [label=\"F\"];");
+            }
+            Terminator::Jump { target } => {
+                let _ = writeln!(out, "  b{addr:x} -> b{target:x};");
+            }
+            Terminator::Call { callee, ret } => {
+                let _ = writeln!(
+                    out,
+                    "  b{addr:x} -> b{ret:x} [label=\"call {callee:#x}\"];"
+                );
+            }
+            Terminator::FallThrough { next } => {
+                let _ = writeln!(out, "  b{addr:x} -> b{next:x};");
+            }
+            Terminator::TailCall { callee } => {
+                let _ = writeln!(out, "  b{addr:x} -> tail_{callee:x} [style=dashed];");
+            }
+            Terminator::Return | Terminator::Exit | Terminator::Indirect => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every function of a program, concatenated.
+pub fn program_to_dot(prog: &Program) -> String {
+    prog.functions().values().map(function_to_dot).collect()
+}

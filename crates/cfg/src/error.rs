@@ -1,0 +1,66 @@
+//! CFG reconstruction errors.
+
+use core::fmt;
+use s4e_isa::DecodeError;
+use std::error::Error;
+
+/// An error produced while reconstructing a control-flow graph from a
+/// binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CfgError {
+    /// An instruction could not be decoded at the given address.
+    Decode {
+        /// The address of the undecodable word.
+        addr: u32,
+        /// The decoder's error.
+        source: DecodeError,
+    },
+    /// Control flow reaches an address outside the provided code bytes.
+    OutOfRange {
+        /// The unreachable address.
+        addr: u32,
+    },
+    /// A control-transfer target is not halfword aligned.
+    MisalignedTarget {
+        /// The misaligned target.
+        addr: u32,
+        /// The address of the transferring instruction.
+        from: u32,
+    },
+    /// Straight-line code ran past the end of the code bytes without a
+    /// terminator.
+    RunsOffEnd {
+        /// The first address past the end.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::Decode { addr, source } => {
+                write!(f, "cannot decode instruction at {addr:#010x}: {source}")
+            }
+            CfgError::OutOfRange { addr } => {
+                write!(f, "control flow leaves the code image at {addr:#010x}")
+            }
+            CfgError::MisalignedTarget { addr, from } => write!(
+                f,
+                "misaligned control-transfer target {addr:#010x} from {from:#010x}"
+            ),
+            CfgError::RunsOffEnd { addr } => {
+                write!(f, "straight-line code runs off the image end at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for CfgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CfgError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

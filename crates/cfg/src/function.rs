@@ -1,0 +1,267 @@
+//! Per-function control-flow graphs and their analyses: reverse postorder,
+//! dominators, natural loops and reducibility.
+
+use crate::block::{BasicBlock, Terminator};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A natural loop: a back edge `latch → header` where the header dominates
+/// the latch, together with all blocks that can reach the latch without
+/// passing through the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header block address.
+    pub header: u32,
+    /// Latch blocks (sources of back edges to the header).
+    pub latches: Vec<u32>,
+    /// All block addresses in the loop body, including the header.
+    pub body: BTreeSet<u32>,
+}
+
+impl NaturalLoop {
+    /// Whether `addr` is part of the loop body.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.body.contains(&addr)
+    }
+}
+
+/// One function's control-flow graph.
+///
+/// Blocks are keyed by their start address; edges are derived from block
+/// terminators so the graph cannot drift out of sync with the decoded
+/// code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    entry: u32,
+    name: Option<String>,
+    blocks: BTreeMap<u32, BasicBlock>,
+}
+
+impl Function {
+    pub(crate) fn new(entry: u32, blocks: BTreeMap<u32, BasicBlock>) -> Function {
+        debug_assert!(blocks.contains_key(&entry));
+        Function {
+            entry,
+            name: None,
+            blocks,
+        }
+    }
+
+    pub(crate) fn set_name(&mut self, name: String) {
+        self.name = Some(name);
+    }
+
+    /// The entry block address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The symbol name, if one was provided at build time.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The blocks, keyed by start address.
+    pub fn blocks(&self) -> &BTreeMap<u32, BasicBlock> {
+        &self.blocks
+    }
+
+    /// Looks up the block starting at `addr`.
+    pub fn block(&self, addr: u32) -> Option<&BasicBlock> {
+        self.blocks.get(&addr)
+    }
+
+    /// The block *containing* the instruction at `addr`.
+    pub fn block_containing(&self, addr: u32) -> Option<&BasicBlock> {
+        self.blocks
+            .range(..=addr)
+            .next_back()
+            .map(|(_, b)| b)
+            .filter(|b| addr < b.end())
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn insn_count(&self) -> usize {
+        self.blocks.values().map(BasicBlock::len).sum()
+    }
+
+    /// Successor block addresses of the block at `addr`.
+    pub fn successors(&self, addr: u32) -> Vec<u32> {
+        self.blocks
+            .get(&addr)
+            .map(|b| b.terminator().successors())
+            .unwrap_or_default()
+    }
+
+    /// Predecessor map: block address → sorted predecessor addresses.
+    pub fn predecessors(&self) -> BTreeMap<u32, Vec<u32>> {
+        let mut preds: BTreeMap<u32, Vec<u32>> =
+            self.blocks.keys().map(|&a| (a, Vec::new())).collect();
+        for (&addr, block) in &self.blocks {
+            for succ in block.terminator().successors() {
+                preds.entry(succ).or_default().push(addr);
+            }
+        }
+        preds
+    }
+
+    /// Block addresses in reverse postorder from the entry.
+    pub fn reverse_postorder(&self) -> Vec<u32> {
+        let mut visited = BTreeSet::new();
+        let mut postorder = Vec::new();
+        // Iterative DFS with an explicit "children pending" marker.
+        let mut stack = vec![(self.entry, false)];
+        while let Some((addr, expanded)) = stack.pop() {
+            if expanded {
+                postorder.push(addr);
+                continue;
+            }
+            if !visited.insert(addr) {
+                continue;
+            }
+            stack.push((addr, true));
+            for succ in self.successors(addr) {
+                if !visited.contains(&succ) {
+                    stack.push((succ, false));
+                }
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+
+    /// Immediate dominators (Cooper–Harvey–Kennedy iterative algorithm).
+    ///
+    /// The entry block maps to itself. Unreachable blocks are absent.
+    pub fn dominators(&self) -> HashMap<u32, u32> {
+        let rpo = self.reverse_postorder();
+        let order: HashMap<u32, usize> = rpo.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let preds = self.predecessors();
+        let mut idom: HashMap<u32, u32> = HashMap::new();
+        idom.insert(self.entry, self.entry);
+        let intersect = |idom: &HashMap<u32, u32>, mut a: u32, mut b: u32| -> u32 {
+            while a != b {
+                while order[&a] > order[&b] {
+                    a = idom[&a];
+                }
+                while order[&b] > order[&a] {
+                    b = idom[&b];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &addr in rpo.iter().skip(1) {
+                let mut new_idom: Option<u32> = None;
+                for &p in preds.get(&addr).into_iter().flatten() {
+                    if !idom.contains_key(&p) {
+                        continue; // predecessor not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&addr) != Some(&ni) {
+                        idom.insert(addr, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom
+    }
+
+    /// Whether `a` dominates `b` (reflexive), given the idom map.
+    pub fn dominates(idom: &HashMap<u32, u32>, a: u32, b: u32) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom.get(&cur) {
+                Some(&parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The natural loops of the function, innermost-last, merged per
+    /// header (multiple back edges to one header form one loop).
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let idom = self.dominators();
+        let preds = self.predecessors();
+        let mut loops: BTreeMap<u32, NaturalLoop> = BTreeMap::new();
+        for (&src, block) in &self.blocks {
+            if !idom.contains_key(&src) {
+                continue; // unreachable
+            }
+            for dst in block.terminator().successors() {
+                if Self::dominates(&idom, dst, src) {
+                    // Back edge src → dst: collect the natural loop body.
+                    let entry = loops.entry(dst).or_insert_with(|| NaturalLoop {
+                        header: dst,
+                        latches: Vec::new(),
+                        body: BTreeSet::from([dst]),
+                    });
+                    entry.latches.push(src);
+                    let mut stack = vec![src];
+                    while let Some(n) = stack.pop() {
+                        if entry.body.insert(n) {
+                            for &p in preds.get(&n).into_iter().flatten() {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut v: Vec<NaturalLoop> = loops.into_values().collect();
+        // Sort outermost-first (larger bodies first, ties by header).
+        v.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        v
+    }
+
+    /// Whether the CFG is reducible: every retreating edge (w.r.t. a DFS
+    /// from the entry) targets a dominator of its source.
+    pub fn is_reducible(&self) -> bool {
+        let idom = self.dominators();
+        let rpo = self.reverse_postorder();
+        let order: HashMap<u32, usize> = rpo.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        for (&src, block) in &self.blocks {
+            let Some(&src_ord) = order.get(&src) else {
+                continue;
+            };
+            for dst in block.terminator().successors() {
+                if let Some(&dst_ord) = order.get(&dst) {
+                    if dst_ord <= src_ord && !Self::dominates(&idom, dst, src) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The callee entry addresses this function calls (direct and tail
+    /// calls), deduplicated and sorted.
+    pub fn callees(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .blocks
+            .values()
+            .filter_map(|b| b.terminator().callee())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Whether any block ends in an unresolvable indirect jump.
+    pub fn has_indirect_flow(&self) -> bool {
+        self.blocks
+            .values()
+            .any(|b| matches!(b.terminator(), Terminator::Indirect))
+    }
+}

@@ -1,0 +1,44 @@
+//! # s4e-cfg — binary control-flow-graph reconstruction
+//!
+//! Rebuilds per-function CFGs directly from RV32 machine code: basic-block
+//! discovery, call-graph construction, dominators, natural-loop detection
+//! and reducibility checking. This is the front half of the ecosystem's
+//! aiT substitute — `s4e-wcet` annotates these graphs with worst-case
+//! times, and the QTA engine in `s4e-core` co-simulates against them.
+//!
+//! ## Example
+//!
+//! ```
+//! use s4e_cfg::Program;
+//! use s4e_asm::assemble;
+//! use s4e_isa::IsaConfig;
+//!
+//! let img = assemble(r#"
+//!     li a0, 0
+//!     li t0, 8
+//!     loop: add a0, a0, t0
+//!     addi t0, t0, -1
+//!     bnez t0, loop
+//!     ebreak
+//! "#)?;
+//! let prog = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())?;
+//! let func = prog.entry_function();
+//! assert_eq!(func.natural_loops().len(), 1);
+//! assert!(func.is_reducible());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod block;
+mod dot;
+mod error;
+mod function;
+mod program;
+
+pub use block::{BasicBlock, Terminator};
+pub use dot::{function_to_dot, program_to_dot};
+pub use error::CfgError;
+pub use function::{Function, NaturalLoop};
+pub use program::Program;

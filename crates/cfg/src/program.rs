@@ -1,0 +1,354 @@
+//! Whole-binary CFG reconstruction: function discovery from the entry
+//! point, following direct calls.
+
+use crate::block::{BasicBlock, Terminator};
+use crate::error::CfgError;
+use crate::function::Function;
+use s4e_isa::{decode, Insn, InsnClass, InsnKind, IsaConfig};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A read-only view of the code bytes at their load address.
+#[derive(Debug, Clone, Copy)]
+struct CodeView<'a> {
+    base: u32,
+    bytes: &'a [u8],
+}
+
+impl CodeView<'_> {
+    fn fetch16(&self, addr: u32) -> Option<u16> {
+        let off = addr.checked_sub(self.base)? as usize;
+        let b = self.bytes.get(off..off + 2)?;
+        Some(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn fetch_insn(&self, addr: u32, isa: &IsaConfig) -> Result<Insn, CfgError> {
+        let lo = self
+            .fetch16(addr)
+            .ok_or(CfgError::OutOfRange { addr })?;
+        let raw = if lo & 0b11 == 0b11 {
+            let hi = self
+                .fetch16(addr + 2)
+                .ok_or(CfgError::OutOfRange { addr: addr + 2 })?;
+            (lo as u32) | ((hi as u32) << 16)
+        } else {
+            lo as u32
+        };
+        decode(raw, isa).map_err(|source| CfgError::Decode { addr, source })
+    }
+}
+
+/// The reconstructed control-flow graphs of a whole binary: one
+/// [`Function`] per discovered entry point, linked by a call graph.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_cfg::Program;
+/// use s4e_asm::assemble;
+/// use s4e_isa::IsaConfig;
+///
+/// let img = assemble(r#"
+///     li t0, 5
+///     loop: addi t0, t0, -1
+///     bnez t0, loop
+///     ebreak
+/// "#)?;
+/// let prog = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())?;
+/// let f = prog.entry_function();
+/// assert!(f.is_reducible());
+/// assert_eq!(f.natural_loops().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    entry: u32,
+    functions: BTreeMap<u32, Function>,
+}
+
+impl Program {
+    /// Reconstructs all functions reachable from `entry` in the code bytes
+    /// loaded at `base`.
+    ///
+    /// `jal` with a live link register is treated as a direct call; `jal
+    /// x0` as an intra-procedural jump; `jalr x0, 0(ra)` as a return; any
+    /// other `jalr` is recorded as unresolvable indirect flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CfgError`] when reachable code cannot be decoded, a
+    /// control transfer leaves the image or targets a misaligned address,
+    /// or straight-line code runs off the end of the image.
+    pub fn from_bytes(
+        base: u32,
+        bytes: &[u8],
+        entry: u32,
+        isa: &IsaConfig,
+    ) -> Result<Program, CfgError> {
+        let code = CodeView { base, bytes };
+        let mut functions = BTreeMap::new();
+        let mut work = vec![entry];
+        while let Some(fentry) = work.pop() {
+            if functions.contains_key(&fentry) {
+                continue;
+            }
+            let func = discover_function(&code, fentry, isa)?;
+            for callee in func.callees() {
+                if !functions.contains_key(&callee) {
+                    work.push(callee);
+                }
+            }
+            functions.insert(fentry, func);
+        }
+        Ok(Program { entry, functions })
+    }
+
+    /// Attaches names to functions whose entry addresses match symbols.
+    pub fn apply_symbols<'a, I>(&mut self, symbols: I)
+    where
+        I: IntoIterator<Item = (&'a str, u32)>,
+    {
+        for (name, addr) in symbols {
+            if let Some(f) = self.functions.get_mut(&addr) {
+                f.set_name(name.to_string());
+            }
+        }
+    }
+
+    /// The program entry address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The function at the program entry.
+    pub fn entry_function(&self) -> &Function {
+        &self.functions[&self.entry]
+    }
+
+    /// All functions, keyed by entry address.
+    pub fn functions(&self) -> &BTreeMap<u32, Function> {
+        &self.functions
+    }
+
+    /// Looks up a function by entry address.
+    pub fn function(&self, entry: u32) -> Option<&Function> {
+        self.functions.get(&entry)
+    }
+
+    /// The call graph: function entry → sorted callee entries.
+    pub fn call_graph(&self) -> BTreeMap<u32, Vec<u32>> {
+        self.functions
+            .iter()
+            .map(|(&e, f)| (e, f.callees()))
+            .collect()
+    }
+
+    /// Finds a cycle in the call graph, if any (recursion), as a path of
+    /// function entries ending where it started.
+    pub fn recursion_cycle(&self) -> Option<Vec<u32>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            Visiting,
+            Done,
+        }
+        let graph = self.call_graph();
+        let mut state: HashMap<u32, State> = HashMap::new();
+        let mut path = Vec::new();
+
+        fn dfs(
+            node: u32,
+            graph: &BTreeMap<u32, Vec<u32>>,
+            state: &mut HashMap<u32, State>,
+            path: &mut Vec<u32>,
+        ) -> Option<Vec<u32>> {
+            state.insert(node, State::Visiting);
+            path.push(node);
+            for &callee in graph.get(&node).into_iter().flatten() {
+                match state.get(&callee) {
+                    Some(State::Visiting) => {
+                        let start = path.iter().position(|&n| n == callee).unwrap_or(0);
+                        let mut cycle = path[start..].to_vec();
+                        cycle.push(callee);
+                        return Some(cycle);
+                    }
+                    Some(State::Done) => {}
+                    None => {
+                        if let Some(c) = dfs(callee, graph, state, path) {
+                            return Some(c);
+                        }
+                    }
+                }
+            }
+            path.pop();
+            state.insert(node, State::Done);
+            None
+        }
+        for &f in self.functions.keys() {
+            if !state.contains_key(&f) {
+                if let Some(c) = dfs(f, &graph, &mut state, &mut path) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Function entries in bottom-up (callees-before-callers) order.
+    ///
+    /// Returns `None` if the call graph is cyclic (recursion).
+    pub fn bottom_up_order(&self) -> Option<Vec<u32>> {
+        if self.recursion_cycle().is_some() {
+            return None;
+        }
+        let graph = self.call_graph();
+        let mut order = Vec::new();
+        let mut done: BTreeSet<u32> = BTreeSet::new();
+
+        fn visit(
+            node: u32,
+            graph: &BTreeMap<u32, Vec<u32>>,
+            done: &mut BTreeSet<u32>,
+            order: &mut Vec<u32>,
+        ) {
+            if done.contains(&node) {
+                return;
+            }
+            done.insert(node);
+            for &callee in graph.get(&node).into_iter().flatten() {
+                visit(callee, graph, done, order);
+            }
+            order.push(node);
+        }
+        for &f in self.functions.keys() {
+            visit(f, &graph, &mut done, &mut order);
+        }
+        Some(order)
+    }
+
+    /// Total instruction count across all functions.
+    pub fn insn_count(&self) -> usize {
+        self.functions.values().map(Function::insn_count).sum()
+    }
+}
+
+/// Control-flow classification used during discovery.
+enum Flow {
+    Sequential,
+    Branch { taken: u32, fallthrough: u32 },
+    Jump { target: u32 },
+    Call { callee: u32, ret: u32 },
+    Return,
+    Indirect,
+    Exit,
+}
+
+fn classify(addr: u32, insn: &Insn) -> Flow {
+    match insn.kind() {
+        InsnKind::Jal => {
+            let target = addr.wrapping_add(insn.imm() as u32);
+            if insn.rd() == 0 {
+                Flow::Jump { target }
+            } else {
+                Flow::Call {
+                    callee: target,
+                    ret: insn.next_pc(addr),
+                }
+            }
+        }
+        InsnKind::Jalr => {
+            if insn.rd() == 0 && insn.rs1() == 1 && insn.imm() == 0 {
+                Flow::Return
+            } else {
+                Flow::Indirect
+            }
+        }
+        k if k.is_branch() => Flow::Branch {
+            taken: addr.wrapping_add(insn.imm() as u32),
+            fallthrough: insn.next_pc(addr),
+        },
+        k if k.class() == InsnClass::System => Flow::Exit,
+        _ => Flow::Sequential,
+    }
+}
+
+fn discover_function(code: &CodeView<'_>, entry: u32, isa: &IsaConfig) -> Result<Function, CfgError> {
+    // Phase A: decode all reachable instructions, collecting block leaders.
+    let mut decoded: BTreeMap<u32, Insn> = BTreeMap::new();
+    let mut leaders: BTreeSet<u32> = BTreeSet::from([entry]);
+    let mut work = vec![entry];
+    let check_target = |t: u32, from: u32| -> Result<(), CfgError> {
+        if !t.is_multiple_of(2) {
+            Err(CfgError::MisalignedTarget { addr: t, from })
+        } else {
+            Ok(())
+        }
+    };
+    while let Some(start) = work.pop() {
+        let mut addr = start;
+        while !decoded.contains_key(&addr) {
+            let insn = code.fetch_insn(addr, isa)?;
+            let flow = classify(addr, &insn);
+            let next = insn.next_pc(addr);
+            decoded.insert(addr, insn);
+            match flow {
+                Flow::Sequential => {
+                    addr = next;
+                }
+                Flow::Branch { taken, fallthrough } => {
+                    check_target(taken, addr)?;
+                    leaders.insert(taken);
+                    leaders.insert(fallthrough);
+                    work.push(taken);
+                    work.push(fallthrough);
+                    break;
+                }
+                Flow::Jump { target } => {
+                    check_target(target, addr)?;
+                    leaders.insert(target);
+                    work.push(target);
+                    break;
+                }
+                Flow::Call { callee, ret } => {
+                    check_target(callee, addr)?;
+                    leaders.insert(ret);
+                    work.push(ret);
+                    break;
+                }
+                Flow::Return | Flow::Indirect | Flow::Exit => break,
+            }
+        }
+    }
+
+    // Phase B: materialize blocks, splitting at leaders.
+    let mut blocks = BTreeMap::new();
+    for &leader in &leaders {
+        let mut insns = Vec::new();
+        let mut addr = leader;
+        let term = loop {
+            let insn = decoded
+                .get(&addr)
+                .copied()
+                .ok_or(CfgError::RunsOffEnd { addr })?;
+            let flow = classify(addr, &insn);
+            let next = insn.next_pc(addr);
+            insns.push((addr, insn));
+            match flow {
+                Flow::Sequential => {
+                    if leaders.contains(&next) {
+                        break Terminator::FallThrough { next };
+                    }
+                    addr = next;
+                }
+                Flow::Branch { taken, fallthrough } => {
+                    break Terminator::Branch { taken, fallthrough }
+                }
+                Flow::Jump { target } => break Terminator::Jump { target },
+                Flow::Call { callee, ret } => break Terminator::Call { callee, ret },
+                Flow::Return => break Terminator::Return,
+                Flow::Indirect => break Terminator::Indirect,
+                Flow::Exit => break Terminator::Exit,
+            }
+        };
+        blocks.insert(leader, BasicBlock::new(leader, insns, term));
+    }
+    Ok(Function::new(entry, blocks))
+}

@@ -1,0 +1,358 @@
+//! CFG reconstruction tests against assembled programs.
+
+use s4e_asm::assemble;
+use s4e_cfg::{CfgError, Program, Terminator};
+use s4e_isa::IsaConfig;
+
+const BASE: u32 = 0x8000_0000;
+
+fn build(src: &str) -> Program {
+    let img = assemble(src).expect("assembles");
+    let mut prog = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
+        .expect("reconstructs");
+    prog.apply_symbols(img.symbols().iter().map(|(n, &a)| (n.as_str(), a)));
+    prog
+}
+
+#[test]
+fn straight_line_single_block() {
+    let prog = build("nop\nnop\nebreak");
+    let f = prog.entry_function();
+    assert_eq!(f.blocks().len(), 1);
+    let b = f.block(BASE).unwrap();
+    assert_eq!(b.len(), 3);
+    assert_eq!(*b.terminator(), Terminator::Exit);
+    assert!(f.natural_loops().is_empty());
+    assert!(f.is_reducible());
+}
+
+#[test]
+fn diamond_if_else() {
+    let prog = build(
+        r#"
+        bnez a0, then
+        addi a1, a1, 1
+        j join
+        then: addi a1, a1, 2
+        join: ebreak
+        "#,
+    );
+    let f = prog.entry_function();
+    assert_eq!(f.blocks().len(), 4);
+    let entry = f.block(BASE).unwrap();
+    assert!(matches!(entry.terminator(), Terminator::Branch { .. }));
+    // Dominators: entry dominates everything; neither arm dominates join.
+    let idom = f.dominators();
+    let join = *f
+        .blocks()
+        .iter()
+        .find(|(_, b)| matches!(b.terminator(), Terminator::Exit))
+        .unwrap()
+        .0;
+    assert_eq!(idom[&join], BASE);
+    assert!(f.natural_loops().is_empty());
+}
+
+#[test]
+fn simple_loop() {
+    let prog = build(
+        r#"
+        li t0, 10
+        loop: addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+        "#,
+    );
+    let f = prog.entry_function();
+    let loops = f.natural_loops();
+    assert_eq!(loops.len(), 1);
+    let l = &loops[0];
+    assert_eq!(l.latches.len(), 1);
+    assert!(l.contains(l.header));
+    assert_eq!(l.header, l.latches[0], "single-block loop");
+    assert!(f.is_reducible());
+}
+
+#[test]
+fn nested_loops() {
+    let prog = build(
+        r#"
+        li t0, 5
+        outer:
+        li t1, 3
+        inner:
+        addi t1, t1, -1
+        bnez t1, inner
+        addi t0, t0, -1
+        bnez t0, outer
+        ebreak
+        "#,
+    );
+    let f = prog.entry_function();
+    let loops = f.natural_loops();
+    assert_eq!(loops.len(), 2);
+    // Outermost first by our ordering (bigger body).
+    assert!(loops[0].body.len() > loops[1].body.len());
+    assert!(
+        loops[1].body.iter().all(|b| loops[0].body.contains(b)),
+        "inner loop nested in outer"
+    );
+    assert!(f.is_reducible());
+}
+
+#[test]
+fn call_discovery_and_callgraph() {
+    let prog = build(
+        r#"
+        _start:
+        call helper
+        call helper
+        ebreak
+        helper:
+        addi a0, a0, 1
+        ret
+        "#,
+    );
+    assert_eq!(prog.functions().len(), 2);
+    let f = prog.entry_function();
+    assert_eq!(f.name(), Some("_start"));
+    let helper_entry = f.callees()[0];
+    let helper = prog.function(helper_entry).unwrap();
+    assert_eq!(helper.name(), Some("helper"));
+    assert!(matches!(
+        helper.blocks().values().next().unwrap().terminator(),
+        Terminator::Return
+    ));
+    assert_eq!(prog.recursion_cycle(), None);
+    let order = prog.bottom_up_order().unwrap();
+    assert_eq!(order, vec![helper_entry, BASE]);
+}
+
+#[test]
+fn nested_calls_bottom_up() {
+    let prog = build(
+        r#"
+        _start: call a
+        ebreak
+        a: call b
+        ret
+        b: nop
+        ret
+        "#,
+    );
+    assert_eq!(prog.functions().len(), 3);
+    let order = prog.bottom_up_order().unwrap();
+    // b before a before _start
+    let pos = |addr: u32| order.iter().position(|&x| x == addr).unwrap();
+    let graph = prog.call_graph();
+    let a = graph[&BASE][0];
+    let b = graph[&a][0];
+    assert!(pos(b) < pos(a) && pos(a) < pos(BASE));
+}
+
+#[test]
+fn recursion_detected() {
+    let prog = build(
+        r#"
+        _start: call rec
+        ebreak
+        rec:
+        beqz a0, done
+        addi a0, a0, -1
+        call rec
+        done: ret
+        "#,
+    );
+    let cycle = prog.recursion_cycle().expect("recursion found");
+    assert_eq!(cycle.first(), cycle.last());
+    assert!(prog.bottom_up_order().is_none());
+}
+
+#[test]
+fn indirect_jump_flagged() {
+    let prog = build(
+        r#"
+        la t0, somewhere
+        jr t0
+        somewhere: ebreak
+        "#,
+    );
+    let f = prog.entry_function();
+    assert!(f.has_indirect_flow());
+}
+
+#[test]
+fn return_idiom_is_not_indirect() {
+    let prog = build("call f\nebreak\nf: ret");
+    for func in prog.functions().values() {
+        assert!(!func.has_indirect_flow());
+    }
+}
+
+#[test]
+fn block_split_at_branch_target() {
+    // The branch targets the middle of what would otherwise be one
+    // straight-line run; the run must be split with a FallThrough edge.
+    let prog = build(
+        r#"
+        addi a0, a0, 1
+        target: addi a0, a0, 2
+        addi a0, a0, 3
+        bnez a1, target
+        ebreak
+        "#,
+    );
+    let f = prog.entry_function();
+    let first = f.block(BASE).unwrap();
+    assert_eq!(first.len(), 1);
+    assert_eq!(
+        *first.terminator(),
+        Terminator::FallThrough { next: BASE + 4 }
+    );
+    assert!(f.block(BASE + 4).is_some());
+}
+
+#[test]
+fn compressed_instructions_in_blocks() {
+    let prog = build(
+        r#"
+        c.li a0, 1
+        c.nop
+        loop: c.addi a0, -1
+        c.bnez a0, loop
+        ebreak
+        "#,
+    );
+    let f = prog.entry_function();
+    assert!(f.is_reducible());
+    assert_eq!(f.natural_loops().len(), 1);
+    // Address arithmetic must respect 2-byte instructions.
+    let b = f.block(BASE).unwrap();
+    assert_eq!(b.end(), BASE + 4);
+}
+
+#[test]
+fn block_containing_lookup() {
+    let prog = build("nop\nnop\nnop\nebreak");
+    let f = prog.entry_function();
+    assert_eq!(f.block_containing(BASE + 8).unwrap().start(), BASE);
+    assert!(f.block_containing(BASE + 16).is_none());
+}
+
+#[test]
+fn decode_error_surfaces_address() {
+    let img = assemble("nop\n.word 0xffffffff").expect("assembles");
+    let err = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
+        .unwrap_err();
+    match err {
+        CfgError::Decode { addr, .. } => assert_eq!(addr, BASE + 4),
+        other => panic!("expected decode error, got {other}"),
+    }
+}
+
+#[test]
+fn runs_off_end_detected() {
+    let img = assemble("nop").expect("assembles");
+    let err = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
+        .unwrap_err();
+    assert!(matches!(err, CfgError::OutOfRange { .. }));
+}
+
+#[test]
+fn insn_counts() {
+    let prog = build("nop\nnop\ncall f\nebreak\nf: nop\nret");
+    assert_eq!(prog.entry_function().insn_count(), 4);
+    assert_eq!(prog.insn_count(), 6);
+}
+
+#[test]
+fn dot_output_contains_blocks_and_edges() {
+    let prog = build("loop: addi a0, a0, -1\nbnez a0, loop\nebreak");
+    let dot = s4e_cfg::program_to_dot(&prog);
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("->"));
+    assert!(dot.contains("bnez") || dot.contains("bne"));
+}
+
+#[test]
+fn rpo_starts_at_entry() {
+    let prog = build("bnez a0, x\nnop\nx: ebreak");
+    let f = prog.entry_function();
+    let rpo = f.reverse_postorder();
+    assert_eq!(rpo[0], BASE);
+    assert_eq!(rpo.len(), f.blocks().len());
+}
+
+#[test]
+fn predecessors_consistent_with_successors() {
+    let prog = build(
+        r#"
+        bnez a0, a
+        nop
+        a: bnez a1, b
+        nop
+        b: ebreak
+        "#,
+    );
+    let f = prog.entry_function();
+    let preds = f.predecessors();
+    for &addr in f.blocks().keys() {
+        for succ in f.successors(addr) {
+            assert!(preds[&succ].contains(&addr));
+        }
+    }
+}
+
+#[test]
+fn function_names_render_in_dot() {
+    let prog = build("_start: call f\nebreak\nf: ret");
+    let dot = s4e_cfg::program_to_dot(&prog);
+    assert!(dot.contains("digraph \"_start\""), "{dot}");
+    assert!(dot.contains("digraph \"f\""), "{dot}");
+    assert!(dot.contains("call"), "call edge labelled");
+}
+
+#[test]
+fn self_loop_block_is_reducible() {
+    // A block that branches to itself: header == latch == body.
+    let prog = build("x: bnez a0, x\nebreak");
+    let f = prog.entry_function();
+    assert!(f.is_reducible());
+    let loops = f.natural_loops();
+    assert_eq!(loops.len(), 1);
+    assert_eq!(loops[0].body.len(), 1);
+}
+
+#[test]
+fn loop_with_two_latches_merges() {
+    // Two back edges to one header form a single natural loop.
+    let prog = build(
+        r#"
+        li t0, 6
+        head:
+        addi t0, t0, -1
+        andi t1, t0, 1
+        beqz t1, even
+        bnez t0, head       # latch 1 (odd path)
+        j out
+        even:
+        bnez t0, head       # latch 2 (even path)
+        out: ebreak
+        "#,
+    );
+    let f = prog.entry_function();
+    let loops = f.natural_loops();
+    assert_eq!(loops.len(), 1, "one merged loop");
+    assert_eq!(loops[0].latches.len(), 2, "both latches recorded");
+    assert!(f.is_reducible());
+}
+
+#[test]
+fn branch_with_equal_targets_single_successor() {
+    // beq to the fallthrough address: exactly one successor, no dup edges.
+    let img = assemble("beq a0, a1, next\nnext: ebreak").expect("assembles");
+    let prog = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
+        .expect("reconstructs");
+    let f = prog.entry_function();
+    assert_eq!(f.successors(BASE).len(), 1);
+}

@@ -1,0 +1,46 @@
+//! QTA errors.
+
+use core::fmt;
+use s4e_vp::BusFault;
+use s4e_wcet::WcetError;
+use std::error::Error;
+
+/// An error produced while preparing or running a QTA co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QtaError {
+    /// The static WCET analysis (or CFG reconstruction) failed.
+    Wcet(WcetError),
+    /// The binary image does not fit the virtual prototype's RAM.
+    Load(BusFault),
+}
+
+impl fmt::Display for QtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QtaError::Wcet(e) => write!(f, "{e}"),
+            QtaError::Load(e) => write!(f, "cannot load image: {e}"),
+        }
+    }
+}
+
+impl Error for QtaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QtaError::Wcet(e) => Some(e),
+            QtaError::Load(e) => Some(e),
+        }
+    }
+}
+
+impl From<WcetError> for QtaError {
+    fn from(e: WcetError) -> Self {
+        QtaError::Wcet(e)
+    }
+}
+
+impl From<BusFault> for QtaError {
+    fn from(e: BusFault) -> Self {
+        QtaError::Load(e)
+    }
+}

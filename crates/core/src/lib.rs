@@ -1,0 +1,56 @@
+//! # s4e-core — the QEMU Timing Analyzer (QTA)
+//!
+//! The primary contribution of the reproduced ecosystem: co-simulation of
+//! a binary program together with its WCET-annotated control-flow graph.
+//!
+//! The published flow has three steps, all reproduced here:
+//!
+//! 1. **Static timing analysis** — performed by [`s4e_wcet`] (the aiT
+//!    substitute), producing a [`WcetReport`](s4e_wcet::WcetReport).
+//! 2. **Preprocessing (`ait2qta`)** — the report becomes a
+//!    [`TimedCfg`](s4e_wcet::TimedCfg): nodes are the analysis blocks,
+//!    annotated with worst-case traversal times and loop bounds.
+//! 3. **Co-simulation** — the binary and the annotated graph are loaded
+//!    together into the virtual prototype; the [`QtaPlugin`] (built on the
+//!    TCG-style hook API of [`s4e_vp`]) accumulates the worst-case time of
+//!    the *executed* path and checks loop bounds at runtime.
+//!
+//! The headline result of a run is the invariant chain
+//! `dynamic cycles ≤ QTA cycles ≤ static WCET bound`, surfaced by
+//! [`QtaRun::invariant_holds`].
+//!
+//! ## Example
+//!
+//! ```
+//! use s4e_asm::assemble;
+//! use s4e_core::QtaSession;
+//! use s4e_isa::IsaConfig;
+//! use s4e_wcet::WcetOptions;
+//!
+//! let img = assemble(r#"
+//!     li t0, 50
+//!     loop: addi t0, t0, -1
+//!     bnez t0, loop
+//!     ebreak
+//! "#)?;
+//! let session = QtaSession::prepare(
+//!     img.base(), img.bytes(), img.entry(),
+//!     IsaConfig::full(), &WcetOptions::new(),
+//! )?;
+//! let run = session.run()?;
+//! assert!(run.dynamic_cycles <= run.qta_cycles);
+//! assert!(run.qta_cycles <= run.static_wcet);
+//! assert!(run.violations.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod qta;
+mod session;
+
+pub use error::QtaError;
+pub use qta::{BoundViolation, QtaPlugin};
+pub use session::{QtaRun, QtaSession};

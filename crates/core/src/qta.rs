@@ -1,0 +1,131 @@
+//! The QTA instrumentation plugin: co-simulates a binary with its
+//! WCET-annotated control-flow graph.
+//!
+//! The plugin rides on the virtual prototype's TCG-style hook API. Every
+//! time execution enters an annotated block (the PC hits a block start),
+//! the block's static worst-case cost is added to the *worst-case path
+//! accumulator* — the time the program would have taken if every
+//! instruction on the executed path exhibited its architectural worst
+//! case. Loop headers are additionally checked against their static
+//! bounds at runtime: an entry from a non-latch block starts a fresh
+//! iteration count, an entry from a latch increments it, and exceeding
+//! the bound is recorded as a violation (a falsified WCET hypothesis).
+
+use s4e_isa::Insn;
+use s4e_vp::{Cpu, Plugin};
+use s4e_wcet::TimedCfg;
+use std::collections::BTreeMap;
+
+/// A runtime loop-bound violation observed during co-simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BoundViolation {
+    /// The loop header whose bound was exceeded.
+    pub header: u32,
+    /// The static bound.
+    pub bound: u64,
+    /// The iteration count actually observed (first exceeding entry).
+    pub observed: u64,
+}
+
+/// The QTA plugin. Attach to a [`Vp`](s4e_vp::Vp) via
+/// [`add_plugin`](s4e_vp::Vp::add_plugin), run the program, then recover
+/// it with [`plugin::<QtaPlugin>`](s4e_vp::Vp::plugin) and read the
+/// accumulated results.
+#[derive(Debug)]
+pub struct QtaPlugin {
+    cfg: TimedCfg,
+    worst_case_cycles: u64,
+    visits: BTreeMap<u32, u64>,
+    iteration_counts: BTreeMap<u32, u64>,
+    violations: Vec<BoundViolation>,
+    last_block: Option<u32>,
+    unmapped_insns: u64,
+}
+
+impl QtaPlugin {
+    /// Creates the plugin for a given annotated graph.
+    pub fn new(cfg: TimedCfg) -> QtaPlugin {
+        QtaPlugin {
+            cfg,
+            worst_case_cycles: 0,
+            visits: BTreeMap::new(),
+            iteration_counts: BTreeMap::new(),
+            violations: Vec::new(),
+            last_block: None,
+            unmapped_insns: 0,
+        }
+    }
+
+    /// The annotated graph being co-simulated.
+    pub fn cfg(&self) -> &TimedCfg {
+        &self.cfg
+    }
+
+    /// The worst-case cycles accumulated along the *executed* path.
+    ///
+    /// By construction `dynamic cycles ≤ this ≤ static WCET bound`
+    /// (provided all loop bounds hold — check
+    /// [`violations`](QtaPlugin::violations)).
+    pub fn worst_case_cycles(&self) -> u64 {
+        self.worst_case_cycles
+    }
+
+    /// Per-block visit counts, keyed by block start address.
+    pub fn visits(&self) -> &BTreeMap<u32, u64> {
+        &self.visits
+    }
+
+    /// Loop-bound violations observed at runtime (each header reported
+    /// once, at its first exceeding entry).
+    pub fn violations(&self) -> &[BoundViolation] {
+        &self.violations
+    }
+
+    /// Instructions executed at addresses not covered by the annotated
+    /// graph (e.g. trap handlers that static analysis never saw).
+    pub fn unmapped_insns(&self) -> u64 {
+        self.unmapped_insns
+    }
+
+    /// Resets all accumulated state (for re-running the same binary).
+    pub fn reset(&mut self) {
+        self.worst_case_cycles = 0;
+        self.visits.clear();
+        self.iteration_counts.clear();
+        self.violations.clear();
+        self.last_block = None;
+        self.unmapped_insns = 0;
+    }
+}
+
+impl Plugin for QtaPlugin {
+    fn on_insn_executed(&mut self, _cpu: &Cpu, pc: u32, _insn: &Insn) {
+        // Block entry: the PC sits exactly on an annotated block start.
+        if let Some(block) = self.cfg.block(pc) {
+            self.worst_case_cycles += block.wcet;
+            *self.visits.entry(pc).or_insert(0) += 1;
+            if let Some(bound) = block.loop_bound {
+                let from_latch = self
+                    .last_block
+                    .is_some_and(|lb| block.latches.contains(&lb));
+                let count = self.iteration_counts.entry(pc).or_insert(0);
+                if from_latch {
+                    *count += 1;
+                } else {
+                    *count = 1;
+                }
+                if *count == bound + 1 {
+                    self.violations.push(BoundViolation {
+                        header: pc,
+                        bound,
+                        observed: *count,
+                    });
+                }
+            }
+            self.last_block = Some(pc);
+        } else if self.cfg.block_containing(pc).is_none() {
+            self.unmapped_insns += 1;
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Coverage-metric tests against executing programs.
+
+use s4e_asm::assemble;
+use s4e_coverage::{CoveragePlugin, CoverageReport};
+use s4e_isa::{Extension, Gpr, InsnKind, IsaConfig};
+use s4e_vp::{RunOutcome, Vp};
+
+fn measure(src: &str, isa: IsaConfig) -> CoverageReport {
+    let img = assemble(src).expect("assembles");
+    let mut vp = Vp::new(isa);
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+    vp.add_plugin(Box::new(CoveragePlugin::new(isa)));
+    assert_eq!(vp.run(), RunOutcome::Break);
+    vp.plugin::<CoveragePlugin>().unwrap().report()
+}
+
+#[test]
+fn counts_instruction_types() {
+    let r = measure("add a0, a1, a2\nadd a3, a4, a5\nsub a0, a0, a1\nebreak", IsaConfig::rv32i());
+    assert_eq!(r.insn_count(InsnKind::Add), 2);
+    assert_eq!(r.insn_count(InsnKind::Sub), 1);
+    assert_eq!(r.insn_count(InsnKind::Ebreak), 1);
+    assert_eq!(r.insn_count(InsnKind::Mul), 0);
+    assert_eq!(r.total_insns(), 4);
+}
+
+#[test]
+fn register_coverage_read_and_write() {
+    let r = measure("add a0, a1, a2\nebreak", IsaConfig::rv32i());
+    // a0 written, a1/a2 read → covered; plus x0 untouched here.
+    let unc = r.uncovered_gprs();
+    assert!(!unc.contains(&Gpr::new(10).unwrap()));
+    assert!(!unc.contains(&Gpr::new(11).unwrap()));
+    assert!(unc.contains(&Gpr::new(5).unwrap()));
+    assert_eq!(r.gpr_coverage().covered(), 3);
+}
+
+#[test]
+fn x0_counts_as_register() {
+    // The metric observes x0 accesses like any register (nop reads/writes x0).
+    let r = measure("nop\nebreak", IsaConfig::rv32i());
+    assert!(!r.uncovered_gprs().contains(&Gpr::ZERO));
+}
+
+#[test]
+fn csr_coverage_counts_accesses() {
+    let r = measure("csrr a0, mcycle\ncsrw mscratch, a0\nebreak", IsaConfig::rv32i());
+    assert_eq!(r.csr_coverage().covered(), 2);
+    assert!(r.csr_coverage().covered() < r.csr_coverage().total());
+}
+
+#[test]
+fn compressed_encodings_tracked_separately() {
+    let r = measure("c.li a0, 1\nc.addi a0, 1\naddi a0, a0, 1\nebreak", IsaConfig::rv32imc());
+    // addi executed both compressed and wide: one insn type, two c-encodings.
+    assert_eq!(r.insn_count(InsnKind::Addi), 3);
+    assert_eq!(r.compressed_coverage().covered(), 2);
+}
+
+#[test]
+fn fpr_coverage_with_f() {
+    let r = measure(
+        "li t0, 1\nfcvt.s.w ft0, t0\nfadd.s ft1, ft0, ft0\nebreak",
+        IsaConfig::rv32imfc(),
+    );
+    assert_eq!(r.fpr_coverage().covered(), 2);
+    assert_eq!(r.fpr_coverage().total(), 32);
+    assert_eq!(r.uncovered_fprs().len(), 30);
+}
+
+#[test]
+fn mem_regions() {
+    let r = measure(
+        r#"
+        la t0, buf
+        sw zero, 0(t0)
+        li t1, 0x80100000
+        sw zero, 0(t1)
+        ebreak
+        buf: .space 4
+        "#,
+        IsaConfig::rv32i(),
+    );
+    assert_eq!(r.mem_regions_touched(), 2);
+}
+
+#[test]
+fn merge_unions_coverage() {
+    let isa = IsaConfig::rv32im();
+    let mut a = measure("add a0, a1, a2\nebreak", isa);
+    let b = measure("mul a0, a1, a2\nebreak", isa);
+    assert_eq!(a.insn_type_coverage_for(Extension::M).covered(), 0);
+    let a_before = a.insn_type_coverage().covered();
+    a.merge(&b);
+    assert_eq!(a.insn_type_coverage_for(Extension::M).covered(), 1);
+    assert!(a.insn_type_coverage().covered() > a_before);
+    assert_eq!(a.insn_count(InsnKind::Ebreak), 2, "counts accumulate");
+}
+
+#[test]
+fn merge_is_monotone() {
+    // Property: merging can only grow every coverage ratio.
+    let isa = IsaConfig::rv32imc();
+    let sources = [
+        "add a0, a1, a2\nebreak",
+        "mul s0, s1, s2\nebreak",
+        "c.li t0, 1\nc.nop\nebreak",
+        "lw a0, 0(sp)\nsw a0, 4(sp)\nebreak",
+    ];
+    let mut merged = measure("nop\nebreak", isa);
+    let mut last_insn = merged.insn_type_coverage().covered();
+    let mut last_gpr = merged.gpr_coverage().covered();
+    for src in sources {
+        let full = format!("li sp, 0x80010000\n{src}");
+        merged.merge(&measure(&full, isa));
+        let now_insn = merged.insn_type_coverage().covered();
+        let now_gpr = merged.gpr_coverage().covered();
+        assert!(now_insn >= last_insn);
+        assert!(now_gpr >= last_gpr);
+        last_insn = now_insn;
+        last_gpr = now_gpr;
+    }
+}
+
+#[test]
+fn uncovered_lists_are_exact_complement() {
+    let r = measure("add a0, a1, a2\nebreak", IsaConfig::rv32i());
+    let covered = r.insn_type_coverage().covered();
+    assert_eq!(covered + r.uncovered_insns().len(), r.insn_universe().len());
+}
+
+#[test]
+fn trapping_instruction_still_covered() {
+    // ecall traps; the metric must still record it (pre-exec hook
+    // semantics, like the TCG plugin API).
+    let src = "la t0, h\ncsrw mtvec, t0\necall\nebreak\nh: csrr t1, mepc\naddi t1, t1, 4\ncsrw mepc, t1\nmret";
+    let r = measure(src, IsaConfig::rv32i());
+    assert_eq!(r.insn_count(InsnKind::Ecall), 1);
+    assert_eq!(r.insn_count(InsnKind::Mret), 1);
+}
+
+#[test]
+fn summary_table_renders() {
+    let r = measure("add a0, a1, a2\nebreak", IsaConfig::rv32imc());
+    let t = r.summary_table();
+    assert!(t.contains("module I"));
+    assert!(t.contains("GPR coverage"));
+    assert!(t.contains("overall insn types"));
+}
+
+#[test]
+fn plugin_reset() {
+    let img = assemble("nop\nebreak").unwrap();
+    let mut vp = Vp::new(IsaConfig::rv32i());
+    vp.load(img.base(), img.bytes()).unwrap();
+    vp.add_plugin(Box::new(CoveragePlugin::new(IsaConfig::rv32i())));
+    vp.run();
+    assert!(vp.plugin::<CoveragePlugin>().unwrap().report().total_insns() > 0);
+    vp.plugin_mut::<CoveragePlugin>().unwrap().reset();
+    assert_eq!(vp.plugin::<CoveragePlugin>().unwrap().report().total_insns(), 0);
+}

@@ -1,0 +1,469 @@
+//! The fault-injection campaign runner: golden run, per-mutant execution
+//! with outcome classification, and scalable parallel sweeps.
+
+use crate::fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
+use crate::trace::{ExecTrace, TracePlugin};
+use core::fmt;
+use s4e_isa::{Gpr, IsaConfig};
+use s4e_vp::{BusFault, RunOutcome, TimingModel, Vp};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// An error preparing or running a campaign.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The image does not fit the configured RAM.
+    Load(BusFault),
+    /// The golden (fault-free) run did not terminate normally — nothing
+    /// meaningful can be classified against it.
+    GoldenAbnormal {
+        /// How the golden run actually ended.
+        outcome: RunOutcome,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Load(e) => write!(f, "cannot load image: {e}"),
+            CampaignError::GoldenAbnormal { outcome } => {
+                write!(f, "golden run ended abnormally: {outcome:?}")
+            }
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Load(e) => Some(e),
+            CampaignError::GoldenAbnormal { .. } => None,
+        }
+    }
+}
+
+impl From<BusFault> for CampaignError {
+    fn from(e: BusFault) -> Self {
+        CampaignError::Load(e)
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Target ISA of the simulated core.
+    pub isa: IsaConfig,
+    /// RAM size for the campaign VPs (small RAM keeps golden-state
+    /// comparison cheap).
+    pub ram_size: u32,
+    /// Instruction-budget multiplier relative to the golden run's retired
+    /// instructions; a mutant exceeding `multiplier × golden + 1000` is a
+    /// timeout.
+    pub budget_multiplier: u64,
+    /// Worker threads for [`Campaign::run_all`].
+    pub threads: usize,
+    /// Whether classification compares final memory in addition to
+    /// registers (the A4 ablation switches this off).
+    pub compare_memory: bool,
+}
+
+impl CampaignConfig {
+    /// Defaults: RV32IMC, 256 KiB RAM, 4× budget, single thread, memory
+    /// comparison on.
+    pub fn new() -> CampaignConfig {
+        CampaignConfig {
+            isa: IsaConfig::rv32imc(),
+            ram_size: 256 * 1024,
+            budget_multiplier: 4,
+            threads: 1,
+            compare_memory: true,
+        }
+    }
+
+    /// Sets the ISA.
+    #[must_use]
+    pub fn isa(mut self, isa: IsaConfig) -> CampaignConfig {
+        self.isa = isa;
+        self
+    }
+
+    /// Sets the worker thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> CampaignConfig {
+        assert!(threads > 0, "at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables final-memory comparison.
+    #[must_use]
+    pub fn compare_memory(mut self, on: bool) -> CampaignConfig {
+        self.compare_memory = on;
+        self
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig::new()
+    }
+}
+
+/// The golden (fault-free) reference run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenRun {
+    outcome: RunOutcome,
+    instret: u64,
+    gprs: [u32; 32],
+    fprs: [u32; 32],
+    mem: Vec<u8>,
+    trace: ExecTrace,
+}
+
+impl GoldenRun {
+    /// How the golden run terminated.
+    pub fn outcome(&self) -> RunOutcome {
+        self.outcome
+    }
+
+    /// Retired instructions of the golden run.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// The execution footprint (for coverage-driven mutant generation).
+    pub fn trace(&self) -> &ExecTrace {
+        &self.trace
+    }
+}
+
+/// One mutant's result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultResult {
+    /// The injected fault.
+    pub spec: FaultSpec,
+    /// Its classified effect.
+    pub outcome: FaultOutcome,
+}
+
+/// A prepared fault-injection campaign for one binary.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_asm::assemble;
+/// use s4e_faultsim::{Campaign, CampaignConfig, FaultKind, FaultSpec, FaultTarget};
+/// use s4e_isa::Gpr;
+///
+/// let img = assemble("li a0, 5\nli a1, 6\nadd a0, a0, a1\nebreak")?;
+/// let campaign = Campaign::prepare(
+///     img.base(), img.bytes(), img.entry(), &CampaignConfig::new(),
+/// )?;
+/// let result = campaign.run_one(&FaultSpec {
+///     target: FaultTarget::GprBit { reg: Gpr::A0, bit: 31 },
+///     kind: FaultKind::StuckAt { value: true },
+/// });
+/// assert!(!result.outcome.is_normal_termination() || result.outcome.is_normal_termination());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Campaign {
+    base: u32,
+    bytes: Vec<u8>,
+    entry: u32,
+    config: CampaignConfig,
+    golden: GoldenRun,
+    budget: u64,
+}
+
+
+
+impl Campaign {
+    /// Loads the binary, executes the golden run and records its final
+    /// state and execution footprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Load`] when the image does not fit RAM and
+    /// [`CampaignError::GoldenAbnormal`] when the fault-free run does not
+    /// terminate normally.
+    pub fn prepare(
+        base: u32,
+        bytes: &[u8],
+        entry: u32,
+        config: &CampaignConfig,
+    ) -> Result<Campaign, CampaignError> {
+        let mut vp = Self::build_vp(base, bytes, entry, config)?;
+        vp.add_plugin(Box::new(TracePlugin::new()));
+        let outcome = vp.run_for(50_000_000);
+        if !outcome.is_normal_termination() {
+            return Err(CampaignError::GoldenAbnormal { outcome });
+        }
+        let trace = vp.plugin::<TracePlugin>().expect("trace attached").trace();
+        let golden = GoldenRun {
+            outcome,
+            instret: vp.cpu().instret(),
+            gprs: snapshot_gprs(&vp),
+            fprs: snapshot_fprs(&vp),
+            mem: vp
+                .bus()
+                .dump(base & !0xfff, config.ram_size as usize)
+                .map_err(CampaignError::Load)?
+                .to_vec(),
+            trace,
+        };
+        let budget = golden.instret * config.budget_multiplier + 1000;
+        Ok(Campaign {
+            base,
+            bytes: bytes.to_vec(),
+            entry,
+            config: config.clone(),
+            golden,
+            budget,
+        })
+    }
+
+    /// The golden reference run.
+    pub fn golden(&self) -> &GoldenRun {
+        &self.golden
+    }
+
+    fn build_vp(
+        base: u32,
+        bytes: &[u8],
+        entry: u32,
+        config: &CampaignConfig,
+    ) -> Result<Vp, CampaignError> {
+        let mut vp = Vp::builder()
+            .isa(config.isa)
+            .ram(base & !0xfff, config.ram_size)
+            .timing(TimingModel::flat())
+            .build();
+        vp.load(base, bytes)?;
+        vp.cpu_mut().set_pc(entry);
+        Ok(vp)
+    }
+
+    /// Runs one mutant and classifies its effect.
+    pub fn run_one(&self, spec: &FaultSpec) -> FaultResult {
+        let outcome = self.execute_mutant(spec);
+        FaultResult {
+            spec: *spec,
+            outcome,
+        }
+    }
+
+    fn execute_mutant(&self, spec: &FaultSpec) -> FaultOutcome {
+        let mut vp = Self::build_vp(self.base, &self.bytes, self.entry, &self.config)
+            .expect("golden run proved the image loads");
+        // Static faults and time-zero transients are planted before
+        // execution.
+        let inject_now = |vp: &mut Vp| match spec.target {
+            FaultTarget::GprBit { reg, bit } => vp.cpu_mut().flip_gpr_bit(reg, bit),
+            FaultTarget::FprBit { reg, bit } => vp.cpu_mut().flip_fpr_bit(reg, bit),
+            FaultTarget::MemBit { addr, bit } => {
+                if let Some(byte) = vp.bus_mut().ram_byte_mut(addr) {
+                    *byte ^= 1 << bit;
+                }
+            }
+        };
+        let run_remaining = match spec.kind {
+            FaultKind::StuckAt { value } => {
+                match spec.target {
+                    FaultTarget::GprBit { reg, bit } => {
+                        vp.cpu_mut().plant_gpr_fault(reg, bit, value);
+                    }
+                    FaultTarget::FprBit { reg, bit } => {
+                        // Approximated as a time-zero forced value (see
+                        // FaultTarget docs).
+                        vp.cpu_mut().set_fpr_bit(reg, bit, value);
+                    }
+                    FaultTarget::MemBit { addr, bit } => {
+                        // Approximated as a time-zero flip to the stuck
+                        // value (see FaultKind docs).
+                        if let Some(byte) = vp.bus_mut().ram_byte_mut(addr) {
+                            if value {
+                                *byte |= 1 << bit;
+                            } else {
+                                *byte &= !(1 << bit);
+                            }
+                        }
+                    }
+                }
+                self.budget
+            }
+            FaultKind::Transient { at_insn: 0 } => {
+                inject_now(&mut vp);
+                self.budget
+            }
+            FaultKind::Transient { at_insn } => {
+                let warmup = at_insn.min(self.budget);
+                match vp.run_for(warmup) {
+                    RunOutcome::InsnLimit => {
+                        inject_now(&mut vp);
+                        self.budget - warmup
+                    }
+                    // Terminated before the injection time: the fault
+                    // never manifested.
+                    outcome => return self.classify(&mut vp, outcome),
+                }
+            }
+        };
+        let outcome = vp.run_for(run_remaining.max(1));
+        self.classify(&mut vp, outcome)
+    }
+
+    fn classify(&self, vp: &mut Vp, outcome: RunOutcome) -> FaultOutcome {
+        match outcome {
+            RunOutcome::Break | RunOutcome::Exit(0) => {
+                let regs_match = snapshot_gprs(vp) == self.golden.gprs
+                    && snapshot_fprs(vp) == self.golden.fprs;
+                let mem_match = !self.config.compare_memory
+                    || vp
+                        .bus()
+                        .dump(self.base & !0xfff, self.config.ram_size as usize)
+                        .map(|m| m == self.golden.mem.as_slice())
+                        .unwrap_or(false);
+                if regs_match && mem_match {
+                    FaultOutcome::Masked
+                } else {
+                    FaultOutcome::SilentCorruption
+                }
+            }
+            RunOutcome::Exit(code) => FaultOutcome::SelfReported { code },
+            RunOutcome::Fatal(trap) => FaultOutcome::Detected { trap },
+            RunOutcome::InsnLimit | RunOutcome::IdleWfi => FaultOutcome::Timeout,
+        }
+    }
+
+    /// Runs every mutant, in parallel across the configured worker
+    /// threads, preserving input order.
+    pub fn run_all(&self, specs: &[FaultSpec]) -> CampaignReport {
+        let threads = self.config.threads.min(specs.len().max(1));
+        let mut results: Vec<Option<FaultResult>> = vec![None; specs.len()];
+        if threads <= 1 {
+            for (slot, spec) in results.iter_mut().zip(specs) {
+                *slot = Some(self.run_one(spec));
+            }
+        } else {
+            let chunk = specs.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (spec_chunk, result_chunk) in
+                    specs.chunks(chunk).zip(results.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (slot, spec) in result_chunk.iter_mut().zip(spec_chunk) {
+                            *slot = Some(self.run_one(spec));
+                        }
+                    });
+                }
+            });
+        }
+        CampaignReport {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every slot filled"))
+                .collect(),
+        }
+    }
+}
+
+fn snapshot_fprs(vp: &Vp) -> [u32; 32] {
+    let mut fprs = [0u32; 32];
+    for (i, slot) in fprs.iter_mut().enumerate() {
+        *slot = vp.cpu().fpr(s4e_isa::Fpr::new(i as u8).expect("index < 32"));
+    }
+    fprs
+}
+
+fn snapshot_gprs(vp: &Vp) -> [u32; 32] {
+    // Snapshot the *architectural* values, bypassing active stuck-at
+    // masks: clear faults on a clone of the CPU state.
+    let mut cpu = vp.cpu().clone();
+    cpu.clear_faults();
+    let mut gprs = [0u32; 32];
+    for (i, slot) in gprs.iter_mut().enumerate() {
+        *slot = cpu.gpr(Gpr::new(i as u8).expect("index < 32"));
+    }
+    gprs
+}
+
+/// The aggregated campaign result.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CampaignReport {
+    results: Vec<FaultResult>,
+}
+
+impl CampaignReport {
+    /// All per-mutant results, in input order.
+    pub fn results(&self) -> &[FaultResult] {
+        &self.results
+    }
+
+    /// Total mutants executed.
+    pub fn total(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Mutant count per outcome class.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for r in &self.results {
+            let key = match r.outcome {
+                FaultOutcome::Masked => "masked",
+                FaultOutcome::SilentCorruption => "silent corruption",
+                FaultOutcome::Detected { .. } => "detected",
+                FaultOutcome::SelfReported { .. } => "self-reported",
+                FaultOutcome::Timeout => "timeout",
+            };
+            *map.entry(key).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Fraction of mutants that terminated normally (masked + silent) —
+    /// the paper's headline quantity.
+    pub fn normal_termination_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_normal_termination())
+            .count();
+        n as f64 / self.results.len() as f64
+    }
+
+    /// The mutants that need further investigation (normal termination on
+    /// faulty hardware).
+    pub fn suspects(&self) -> impl Iterator<Item = &FaultResult> {
+        self.results
+            .iter()
+            .filter(|r| r.outcome == FaultOutcome::SilentCorruption)
+    }
+
+    /// Renders the T2 summary rows.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "mutants: {}", self.total());
+        for (class, count) in self.counts() {
+            let pct = count as f64 * 100.0 / self.total().max(1) as f64;
+            let _ = writeln!(out, "  {class:<18} {count:>6} ({pct:5.1}%)");
+        }
+        let _ = writeln!(
+            out,
+            "  normal termination rate: {:.1}%",
+            self.normal_termination_rate() * 100.0
+        );
+        out
+    }
+}

@@ -1,0 +1,186 @@
+//! Fault specifications and outcome classification.
+
+use core::fmt;
+use s4e_isa::{Fpr, Gpr};
+use s4e_vp::Trap;
+
+/// Where a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultTarget {
+    /// A bit of a general-purpose register.
+    GprBit {
+        /// The register.
+        reg: Gpr,
+        /// Bit index, `0..32`.
+        bit: u8,
+    },
+    /// A bit of a floating-point register. Stuck-at faults on FPRs are
+    /// approximated as a forced bit value at injection time (time zero).
+    FprBit {
+        /// The register.
+        reg: Fpr,
+        /// Bit index, `0..32`.
+        bit: u8,
+    },
+    /// A bit of a RAM byte (covers both data corruption and opcode
+    /// mutation — code lives in RAM).
+    MemBit {
+        /// The byte address.
+        addr: u32,
+        /// Bit index within the byte, `0..8`.
+        bit: u8,
+    },
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::GprBit { reg, bit } => write!(f, "{reg}[{bit}]"),
+            FaultTarget::FprBit { reg, bit } => write!(f, "{reg}[{bit}]"),
+            FaultTarget::MemBit { addr, bit } => write!(f, "mem {addr:#010x}[{bit}]"),
+        }
+    }
+}
+
+/// When and how the fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultKind {
+    /// Permanent stuck-at fault, in force for the whole run.
+    ///
+    /// Only supported for register targets (a stuck memory cell would
+    /// require write interception; the campaigns model memory upsets as
+    /// transients, which is also the physically dominant effect).
+    StuckAt {
+        /// The forced bit value.
+        value: bool,
+    },
+    /// Single-event upset: the bit flips once, after `at_insn` retired
+    /// instructions (`0` = before execution starts, which for code bytes
+    /// is exactly a binary mutation).
+    Transient {
+        /// Injection time in retired instructions.
+        at_insn: u64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckAt { value } => write!(f, "stuck-at-{}", u8::from(*value)),
+            FaultKind::Transient { at_insn } => write!(f, "flip@{at_insn}"),
+        }
+    }
+}
+
+/// One fault to inject — a "mutant" of the hardware model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultSpec {
+    /// The fault location.
+    pub target: FaultTarget,
+    /// The fault's temporal behaviour.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.target, self.kind)
+    }
+}
+
+/// The classified effect of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultOutcome {
+    /// Normal termination with architecturally identical results — the
+    /// fault was masked.
+    Masked,
+    /// Normal termination but divergent results — silent data corruption,
+    /// the paper's "subject for further investigation".
+    SilentCorruption,
+    /// The fault crashed the program (unhandled trap).
+    Detected {
+        /// The fatal trap.
+        trap: Trap,
+    },
+    /// The program signalled failure itself (nonzero exit code).
+    SelfReported {
+        /// The exit code.
+        code: u32,
+    },
+    /// The run exceeded its instruction budget (hang / livelock).
+    Timeout,
+}
+
+impl FaultOutcome {
+    /// Whether the guest terminated normally despite the fault (masked or
+    /// silently corrupted) — the MBMV 2020 selection criterion.
+    pub fn is_normal_termination(&self) -> bool {
+        matches!(self, FaultOutcome::Masked | FaultOutcome::SilentCorruption)
+    }
+}
+
+impl fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOutcome::Masked => f.write_str("masked"),
+            FaultOutcome::SilentCorruption => f.write_str("silent corruption"),
+            FaultOutcome::Detected { trap } => write!(f, "detected ({trap})"),
+            FaultOutcome::SelfReported { code } => write!(f, "self-reported (exit {code})"),
+            FaultOutcome::Timeout => f.write_str("timeout"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let spec = FaultSpec {
+            target: FaultTarget::GprBit {
+                reg: Gpr::A0,
+                bit: 3,
+            },
+            kind: FaultKind::StuckAt { value: true },
+        };
+        assert_eq!(spec.to_string(), "a0[3] stuck-at-1");
+        let spec = FaultSpec {
+            target: FaultTarget::MemBit { addr: 0x100, bit: 7 },
+            kind: FaultKind::Transient { at_insn: 42 },
+        };
+        assert_eq!(spec.to_string(), "mem 0x00000100[7] flip@42");
+    }
+
+    #[test]
+    fn outcome_classes() {
+        assert!(FaultOutcome::Masked.is_normal_termination());
+        assert!(FaultOutcome::SilentCorruption.is_normal_termination());
+        assert!(!FaultOutcome::Timeout.is_normal_termination());
+        assert!(!FaultOutcome::Detected {
+            trap: Trap::EcallM
+        }
+        .is_normal_termination());
+    }
+}
+
+#[cfg(all(test, feature = "serde"))]
+mod serde_tests {
+    use super::*;
+
+    fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+    #[test]
+    fn fault_types_implement_serde() {
+        assert_serde::<FaultTarget>();
+        assert_serde::<FaultKind>();
+        assert_serde::<FaultSpec>();
+        assert_serde::<FaultOutcome>();
+        assert_serde::<crate::FaultResult>();
+        assert_serde::<crate::CampaignReport>();
+        assert_serde::<crate::ExecTrace>();
+    }
+}

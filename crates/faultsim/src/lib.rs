@@ -1,0 +1,51 @@
+//! # s4e-faultsim — a scalable fault-effect analysis platform
+//!
+//! Reproduces *A Scalable Platform for QEMU Based Fault Effect Analysis
+//! for RISC-V Hardware Architectures* (MBMV 2020): coverage-driven
+//! injection of permanent (stuck-at) and transient bitflips into the
+//! register file and memory (including executed opcodes), execution of
+//! every resulting "mutant" against a golden run, and classification of
+//! each outcome — with the normally-terminating-but-faulty mutants
+//! surfaced as the subjects for further safety investigation.
+//!
+//! The flow: [`Campaign::prepare`] performs the golden run and records its
+//! execution footprint ([`ExecTrace`]); [`generate_mutants`] derives a
+//! deterministic fault list from that footprint; [`Campaign::run_all`]
+//! executes the mutants (optionally across worker threads — the T3
+//! scalability axis) and aggregates a [`CampaignReport`].
+//!
+//! ## Example
+//!
+//! ```
+//! use s4e_asm::assemble;
+//! use s4e_faultsim::{generate_mutants, Campaign, CampaignConfig, GeneratorConfig};
+//!
+//! let img = assemble(r#"
+//!     li t0, 10
+//!     li a0, 0
+//!     loop: add a0, a0, t0
+//!     addi t0, t0, -1
+//!     bnez t0, loop
+//!     ebreak
+//! "#)?;
+//! let campaign = Campaign::prepare(img.base(), img.bytes(), img.entry(), &CampaignConfig::new())?;
+//! let mutants = generate_mutants(campaign.golden().trace(), &GeneratorConfig::new(42));
+//! let report = campaign.run_all(&mutants);
+//! assert_eq!(report.total(), mutants.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod campaign;
+mod fault;
+mod generate;
+mod trace;
+
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignError, CampaignReport, FaultResult, GoldenRun,
+};
+pub use fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
+pub use generate::{generate_mutants, GeneratorConfig};
+pub use trace::{ExecTrace, TracePlugin};

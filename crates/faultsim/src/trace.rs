@@ -1,0 +1,69 @@
+//! Execution tracing for coverage-driven mutant generation.
+
+use s4e_isa::{Fpr, Gpr, Insn};
+use s4e_vp::{Cpu, MemAccess, Plugin};
+use std::collections::BTreeSet;
+
+/// What the golden run touched — the footprint that coverage-driven fault
+/// injection targets (MBMV 2020: inject only where the software actually
+/// exercises the hardware).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExecTrace {
+    /// Addresses of executed instructions.
+    pub executed_pcs: BTreeSet<u32>,
+    /// GPRs read or written by executed instructions.
+    pub touched_gprs: BTreeSet<Gpr>,
+    /// FPRs read or written by executed instructions.
+    pub touched_fprs: BTreeSet<Fpr>,
+    /// Byte addresses of data memory the program wrote.
+    pub written_bytes: BTreeSet<u32>,
+    /// Total retired instructions.
+    pub instret: u64,
+}
+
+/// The plugin that records an [`ExecTrace`].
+#[derive(Debug, Default)]
+pub struct TracePlugin {
+    trace: ExecTrace,
+}
+
+impl TracePlugin {
+    /// Creates an empty trace recorder.
+    pub fn new() -> TracePlugin {
+        TracePlugin::default()
+    }
+
+    /// A snapshot of the recorded trace.
+    pub fn trace(&self) -> ExecTrace {
+        self.trace.clone()
+    }
+}
+
+impl Plugin for TracePlugin {
+    fn on_insn_executed(&mut self, _cpu: &Cpu, pc: u32, insn: &Insn) {
+        self.trace.executed_pcs.insert(pc);
+        self.trace.instret += 1;
+        let uses = insn.reg_uses();
+        for g in uses.gprs_read() {
+            self.trace.touched_gprs.insert(g);
+        }
+        if let Some(g) = uses.gpr_written {
+            self.trace.touched_gprs.insert(g);
+        }
+        for fp in uses.fprs_read() {
+            self.trace.touched_fprs.insert(fp);
+        }
+        if let Some(fp) = uses.fpr_written {
+            self.trace.touched_fprs.insert(fp);
+        }
+    }
+
+    fn on_mem_access(&mut self, _cpu: &Cpu, access: &MemAccess) {
+        if access.is_store {
+            for i in 0..access.size as u32 {
+                self.trace.written_bytes.insert(access.addr + i);
+            }
+        }
+    }
+}

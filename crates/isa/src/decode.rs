@@ -1,0 +1,846 @@
+//! Instruction decoding for 32-bit and 16-bit (compressed) encodings.
+//!
+//! The decoder is organized the way QEMU's DecodeTree generations are: one
+//! dispatch level per encoding field (opcode → funct3 → funct7), with the
+//! immediate scrambles written out per format. Decoding is
+//! configuration-sensitive: instructions from disabled ISA modules return
+//! [`DecodeError::Unsupported`] rather than silently decoding, which is what
+//! lets the coverage and fault experiments run per ISA subset.
+
+use crate::insn::Insn;
+use crate::kind::{CKind, Extension, InsnKind, IsaConfig};
+use core::fmt;
+use std::error::Error;
+
+/// An error produced by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bit pattern does not encode any instruction known to the
+    /// ecosystem (including reserved compressed patterns).
+    Illegal {
+        /// The offending instruction word (low 16 bits for compressed).
+        raw: u32,
+    },
+    /// The bit pattern encodes an instruction from an ISA module that the
+    /// supplied [`IsaConfig`] does not enable.
+    Unsupported {
+        /// The offending instruction word.
+        raw: u32,
+        /// The module that would be required.
+        ext: Extension,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Illegal { raw } => write!(f, "illegal instruction {raw:#010x}"),
+            DecodeError::Unsupported { raw, ext } => write!(
+                f,
+                "instruction {raw:#010x} requires the disabled {ext} extension"
+            ),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl DecodeError {
+    /// The offending instruction word.
+    pub const fn raw(self) -> u32 {
+        match self {
+            DecodeError::Illegal { raw } | DecodeError::Unsupported { raw, .. } => raw,
+        }
+    }
+}
+
+#[inline]
+const fn bits(x: u32, hi: u32, lo: u32) -> u32 {
+    (x >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+const fn sign_extend(value: u32, width: u32) -> i32 {
+    let shift = 32 - width;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes one instruction word under the given ISA configuration.
+///
+/// If the two low bits of `raw` are `11` the word is a 32-bit encoding;
+/// otherwise the low 16 bits are decoded as a compressed instruction (any
+/// upper bits are ignored), mirroring how an instruction-fetch unit consumes
+/// the stream.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Illegal`] for unknown or reserved patterns and
+/// [`DecodeError::Unsupported`] when the pattern belongs to an ISA module
+/// disabled in `isa`.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_isa::{decode, DecodeError, Extension, InsnKind, IsaConfig};
+///
+/// let mul = 0x02b5_0533; // mul a0, a0, a1
+/// assert_eq!(decode(mul, &IsaConfig::rv32im())?.kind(), InsnKind::Mul);
+/// assert_eq!(
+///     decode(mul, &IsaConfig::rv32i()),
+///     Err(DecodeError::Unsupported { raw: mul, ext: Extension::M })
+/// );
+/// # Ok::<(), DecodeError>(())
+/// ```
+pub fn decode(raw: u32, isa: &IsaConfig) -> Result<Insn, DecodeError> {
+    let insn = if raw & 0b11 == 0b11 {
+        decode32(raw)?
+    } else {
+        decode16((raw & 0xffff) as u16)?
+    };
+    if insn.is_compressed() && !isa.has(Extension::C) {
+        return Err(DecodeError::Unsupported {
+            raw: insn.raw(),
+            ext: Extension::C,
+        });
+    }
+    let ext = insn.kind().extension();
+    if !isa.has(ext) {
+        return Err(DecodeError::Unsupported {
+            raw: insn.raw(),
+            ext,
+        });
+    }
+    Ok(insn)
+}
+
+fn insn32(kind: InsnKind, rd: u32, rs1: u32, rs2: u32, imm: i32, raw: u32) -> Insn {
+    Insn::from_parts(kind, rd, rs1, rs2, imm, 4, raw, None)
+}
+
+fn decode32(raw: u32) -> Result<Insn, DecodeError> {
+    let opcode = bits(raw, 6, 0);
+    let rd = bits(raw, 11, 7);
+    let funct3 = bits(raw, 14, 12);
+    let rs1 = bits(raw, 19, 15);
+    let rs2 = bits(raw, 24, 20);
+    let funct7 = bits(raw, 31, 25);
+
+    let imm_i = (raw as i32) >> 20;
+    let imm_s = (bits(raw, 11, 7) | (((raw as i32) >> 25) << 5) as u32) as i32;
+    let imm_b = sign_extend(
+        (bits(raw, 11, 8) << 1)
+            | (bits(raw, 30, 25) << 5)
+            | (bits(raw, 7, 7) << 11)
+            | (bits(raw, 31, 31) << 12),
+        13,
+    );
+    let imm_u = (raw & 0xffff_f000) as i32;
+    let imm_j = sign_extend(
+        (bits(raw, 30, 21) << 1)
+            | (bits(raw, 20, 20) << 11)
+            | (bits(raw, 19, 12) << 12)
+            | (bits(raw, 31, 31) << 20),
+        21,
+    );
+
+    use InsnKind::*;
+    let illegal = Err(DecodeError::Illegal { raw });
+    let insn = match opcode {
+        0b011_0111 => insn32(Lui, rd, 0, 0, imm_u, raw),
+        0b001_0111 => insn32(Auipc, rd, 0, 0, imm_u, raw),
+        0b110_1111 => insn32(Jal, rd, 0, 0, imm_j, raw),
+        0b110_0111 => match funct3 {
+            0 => insn32(Jalr, rd, rs1, 0, imm_i, raw),
+            _ => return illegal,
+        },
+        0b110_0011 => {
+            let kind = match funct3 {
+                0b000 => Beq,
+                0b001 => Bne,
+                0b100 => Blt,
+                0b101 => Bge,
+                0b110 => Bltu,
+                0b111 => Bgeu,
+                _ => return illegal,
+            };
+            insn32(kind, 0, rs1, rs2, imm_b, raw)
+        }
+        0b000_0011 => {
+            let kind = match funct3 {
+                0b000 => Lb,
+                0b001 => Lh,
+                0b010 => Lw,
+                0b100 => Lbu,
+                0b101 => Lhu,
+                _ => return illegal,
+            };
+            insn32(kind, rd, rs1, 0, imm_i, raw)
+        }
+        0b000_0111 => match funct3 {
+            0b010 => insn32(Flw, rd, rs1, 0, imm_i, raw),
+            _ => return illegal,
+        },
+        0b010_0011 => {
+            let kind = match funct3 {
+                0b000 => Sb,
+                0b001 => Sh,
+                0b010 => Sw,
+                _ => return illegal,
+            };
+            insn32(kind, 0, rs1, rs2, imm_s, raw)
+        }
+        0b010_0111 => match funct3 {
+            0b010 => insn32(Fsw, 0, rs1, rs2, imm_s, raw),
+            _ => return illegal,
+        },
+        0b001_0011 => match funct3 {
+            0b000 => insn32(Addi, rd, rs1, 0, imm_i, raw),
+            0b010 => insn32(Slti, rd, rs1, 0, imm_i, raw),
+            0b011 => insn32(Sltiu, rd, rs1, 0, imm_i, raw),
+            0b100 => insn32(Xori, rd, rs1, 0, imm_i, raw),
+            0b110 => insn32(Ori, rd, rs1, 0, imm_i, raw),
+            0b111 => insn32(Andi, rd, rs1, 0, imm_i, raw),
+            0b001 => match funct7 {
+                0b000_0000 => insn32(Slli, rd, rs1, 0, rs2 as i32, raw),
+                0b011_0000 => match rs2 {
+                    0b00000 => insn32(Clz, rd, rs1, 0, 0, raw),
+                    0b00001 => insn32(Ctz, rd, rs1, 0, 0, raw),
+                    0b00010 => insn32(Pcnt, rd, rs1, 0, 0, raw),
+                    _ => return illegal,
+                },
+                _ => return illegal,
+            },
+            0b101 => match funct7 {
+                0b000_0000 => insn32(Srli, rd, rs1, 0, rs2 as i32, raw),
+                0b010_0000 => insn32(Srai, rd, rs1, 0, rs2 as i32, raw),
+                0b011_0100 if rs2 == 0b11000 => insn32(Rev8, rd, rs1, 0, 0, raw),
+                _ => return illegal,
+            },
+            _ => unreachable!("funct3 is three bits"),
+        },
+        0b011_0011 => {
+            let kind = match (funct7, funct3) {
+                (0b000_0000, 0b000) => Add,
+                (0b010_0000, 0b000) => Sub,
+                (0b000_0000, 0b001) => Sll,
+                (0b000_0000, 0b010) => Slt,
+                (0b000_0000, 0b011) => Sltu,
+                (0b000_0000, 0b100) => Xor,
+                (0b000_0000, 0b101) => Srl,
+                (0b010_0000, 0b101) => Sra,
+                (0b000_0000, 0b110) => Or,
+                (0b000_0000, 0b111) => And,
+                (0b000_0001, 0b000) => Mul,
+                (0b000_0001, 0b001) => Mulh,
+                (0b000_0001, 0b010) => Mulhsu,
+                (0b000_0001, 0b011) => Mulhu,
+                (0b000_0001, 0b100) => Div,
+                (0b000_0001, 0b101) => Divu,
+                (0b000_0001, 0b110) => Rem,
+                (0b000_0001, 0b111) => Remu,
+                (0b010_0000, 0b111) => Andn,
+                (0b010_0000, 0b110) => Orn,
+                (0b010_0000, 0b100) => Xnor,
+                (0b011_0000, 0b001) => Rol,
+                (0b011_0000, 0b101) => Ror,
+                (0b010_0100, 0b101) => Bext,
+                _ => return illegal,
+            };
+            insn32(kind, rd, rs1, rs2, 0, raw)
+        }
+        0b000_1111 => match funct3 {
+            0b000 => insn32(Fence, rd, rs1, 0, imm_i, raw),
+            0b001 => insn32(FenceI, rd, rs1, 0, imm_i, raw),
+            _ => return illegal,
+        },
+        0b111_0011 => match funct3 {
+            0b000 => match raw {
+                0x0000_0073 => insn32(Ecall, 0, 0, 0, 0, raw),
+                0x0010_0073 => insn32(Ebreak, 0, 0, 0, 0, raw),
+                0x3020_0073 => insn32(Mret, 0, 0, 0, 0, raw),
+                0x1050_0073 => insn32(Wfi, 0, 0, 0, 0, raw),
+                _ => return illegal,
+            },
+            0b001 => insn32(Csrrw, rd, rs1, 0, bits(raw, 31, 20) as i32, raw),
+            0b010 => insn32(Csrrs, rd, rs1, 0, bits(raw, 31, 20) as i32, raw),
+            0b011 => insn32(Csrrc, rd, rs1, 0, bits(raw, 31, 20) as i32, raw),
+            0b101 => insn32(Csrrwi, rd, rs1, 0, bits(raw, 31, 20) as i32, raw),
+            0b110 => insn32(Csrrsi, rd, rs1, 0, bits(raw, 31, 20) as i32, raw),
+            0b111 => insn32(Csrrci, rd, rs1, 0, bits(raw, 31, 20) as i32, raw),
+            _ => return illegal,
+        },
+        0b101_0011 => {
+            // Floating-point computational instructions; the rounding-mode
+            // field (funct3) is carried in `imm`.
+            let rm = funct3 as i32;
+            match funct7 {
+                0b000_0000 => insn32(FaddS, rd, rs1, rs2, rm, raw),
+                0b000_0100 => insn32(FsubS, rd, rs1, rs2, rm, raw),
+                0b000_1000 => insn32(FmulS, rd, rs1, rs2, rm, raw),
+                0b000_1100 => insn32(FdivS, rd, rs1, rs2, rm, raw),
+                0b010_1100 if rs2 == 0 => insn32(FsqrtS, rd, rs1, 0, rm, raw),
+                0b001_0000 => match funct3 {
+                    0b000 => insn32(FsgnjS, rd, rs1, rs2, 0, raw),
+                    0b001 => insn32(FsgnjnS, rd, rs1, rs2, 0, raw),
+                    0b010 => insn32(FsgnjxS, rd, rs1, rs2, 0, raw),
+                    _ => return illegal,
+                },
+                0b001_0100 => match funct3 {
+                    0b000 => insn32(FminS, rd, rs1, rs2, 0, raw),
+                    0b001 => insn32(FmaxS, rd, rs1, rs2, 0, raw),
+                    _ => return illegal,
+                },
+                0b110_0000 => match rs2 {
+                    0b00000 => insn32(FcvtWS, rd, rs1, 0, rm, raw),
+                    0b00001 => insn32(FcvtWuS, rd, rs1, 0, rm, raw),
+                    _ => return illegal,
+                },
+                0b111_0000 => match (rs2, funct3) {
+                    (0, 0b000) => insn32(FmvXW, rd, rs1, 0, 0, raw),
+                    (0, 0b001) => insn32(FclassS, rd, rs1, 0, 0, raw),
+                    _ => return illegal,
+                },
+                0b101_0000 => match funct3 {
+                    0b010 => insn32(FeqS, rd, rs1, rs2, 0, raw),
+                    0b001 => insn32(FltS, rd, rs1, rs2, 0, raw),
+                    0b000 => insn32(FleS, rd, rs1, rs2, 0, raw),
+                    _ => return illegal,
+                },
+                0b110_1000 => match rs2 {
+                    0b00000 => insn32(FcvtSW, rd, rs1, 0, rm, raw),
+                    0b00001 => insn32(FcvtSWu, rd, rs1, 0, rm, raw),
+                    _ => return illegal,
+                },
+                0b111_1000 => match (rs2, funct3) {
+                    (0, 0b000) => insn32(FmvWX, rd, rs1, 0, 0, raw),
+                    _ => return illegal,
+                },
+                _ => return illegal,
+            }
+        }
+        _ => return illegal,
+    };
+    Ok(insn)
+}
+
+fn insn16(
+    kind: InsnKind,
+    ckind: CKind,
+    rd: u32,
+    rs1: u32,
+    rs2: u32,
+    imm: i32,
+    raw: u16,
+) -> Insn {
+    Insn::from_parts(kind, rd, rs1, rs2, imm, 2, raw as u32, Some(ckind))
+}
+
+fn decode16(raw: u16) -> Result<Insn, DecodeError> {
+    let r = raw as u32;
+    let illegal = Err(DecodeError::Illegal { raw: r });
+    let op = bits(r, 1, 0);
+    let funct3 = bits(r, 15, 13);
+    // x8-relative three-bit register fields
+    let r_4_2 = 8 + bits(r, 4, 2);
+    let r_9_7 = 8 + bits(r, 9, 7);
+    // full five-bit fields
+    let rd_full = bits(r, 11, 7);
+    let rs2_full = bits(r, 6, 2);
+
+    use CKind::*;
+    use InsnKind::*;
+
+    // c.j / c.jal offset scramble
+    let cj_imm = sign_extend(
+        (bits(r, 12, 12) << 11)
+            | (bits(r, 11, 11) << 4)
+            | (bits(r, 10, 9) << 8)
+            | (bits(r, 8, 8) << 10)
+            | (bits(r, 7, 7) << 6)
+            | (bits(r, 6, 6) << 7)
+            | (bits(r, 5, 3) << 1)
+            | (bits(r, 2, 2) << 5),
+        12,
+    );
+    // c.beqz / c.bnez offset scramble
+    let cb_imm = sign_extend(
+        (bits(r, 12, 12) << 8)
+            | (bits(r, 11, 10) << 3)
+            | (bits(r, 6, 5) << 6)
+            | (bits(r, 4, 3) << 1)
+            | (bits(r, 2, 2) << 5),
+        9,
+    );
+    // six-bit immediate (c.addi, c.li, c.andi)
+    let ci_imm = sign_extend((bits(r, 12, 12) << 5) | bits(r, 6, 2), 6);
+    // shift amount (RV32: bit 12 must be zero)
+    let shamt = (bits(r, 12, 12) << 5) | bits(r, 6, 2);
+
+    let insn = match (op, funct3) {
+        (0b00, 0b000) => {
+            if raw == 0 {
+                return illegal; // defined-illegal all-zero instruction
+            }
+            let imm = (bits(r, 12, 11) << 4)
+                | (bits(r, 10, 7) << 6)
+                | (bits(r, 6, 6) << 2)
+                | (bits(r, 5, 5) << 3);
+            if imm == 0 {
+                return illegal; // reserved
+            }
+            insn16(Addi, CAddi4spn, r_4_2, 2, 0, imm as i32, raw)
+        }
+        (0b00, 0b010) | (0b00, 0b011) | (0b00, 0b110) | (0b00, 0b111) => {
+            let imm = ((bits(r, 12, 10) << 3) | (bits(r, 6, 6) << 2) | (bits(r, 5, 5) << 6)) as i32;
+            match funct3 {
+                0b010 => insn16(Lw, CLw, r_4_2, r_9_7, 0, imm, raw),
+                0b011 => insn16(Flw, CFlw, r_4_2, r_9_7, 0, imm, raw),
+                0b110 => insn16(Sw, CSw, 0, r_9_7, r_4_2, imm, raw),
+                _ => insn16(Fsw, CFsw, 0, r_9_7, r_4_2, imm, raw),
+            }
+        }
+        (0b00, _) => return illegal,
+        (0b01, 0b000) => {
+            if rd_full == 0 {
+                insn16(Addi, CNop, 0, 0, 0, ci_imm, raw)
+            } else {
+                insn16(Addi, CAddi, rd_full, rd_full, 0, ci_imm, raw)
+            }
+        }
+        (0b01, 0b001) => insn16(Jal, CJal, 1, 0, 0, cj_imm, raw),
+        (0b01, 0b010) => insn16(Addi, CLi, rd_full, 0, 0, ci_imm, raw),
+        (0b01, 0b011) => {
+            if rd_full == 2 {
+                let imm = sign_extend(
+                    (bits(r, 12, 12) << 9)
+                        | (bits(r, 6, 6) << 4)
+                        | (bits(r, 5, 5) << 6)
+                        | (bits(r, 4, 3) << 7)
+                        | (bits(r, 2, 2) << 5),
+                    10,
+                );
+                if imm == 0 {
+                    return illegal; // reserved
+                }
+                insn16(Addi, CAddi16sp, 2, 2, 0, imm, raw)
+            } else {
+                let imm = sign_extend((bits(r, 12, 12) << 17) | (bits(r, 6, 2) << 12), 18);
+                if imm == 0 || rd_full == 0 {
+                    return illegal; // reserved / hint space we reject
+                }
+                insn16(Lui, CLui, rd_full, 0, 0, imm, raw)
+            }
+        }
+        (0b01, 0b100) => match bits(r, 11, 10) {
+            0b00 | 0b01 => {
+                if bits(r, 12, 12) != 0 {
+                    return illegal; // RV32: shamt[5] must be zero
+                }
+                if bits(r, 11, 10) == 0b00 {
+                    insn16(Srli, CSrli, r_9_7, r_9_7, 0, shamt as i32, raw)
+                } else {
+                    insn16(Srai, CSrai, r_9_7, r_9_7, 0, shamt as i32, raw)
+                }
+            }
+            0b10 => insn16(Andi, CAndi, r_9_7, r_9_7, 0, ci_imm, raw),
+            _ => {
+                if bits(r, 12, 12) != 0 {
+                    return illegal; // RV64 c.subw/c.addw space
+                }
+                let (kind, ck) = match bits(r, 6, 5) {
+                    0b00 => (Sub, CSub),
+                    0b01 => (Xor, CXor),
+                    0b10 => (Or, COr),
+                    _ => (And, CAnd),
+                };
+                insn16(kind, ck, r_9_7, r_9_7, r_4_2, 0, raw)
+            }
+        },
+        (0b01, 0b101) => insn16(Jal, CJ, 0, 0, 0, cj_imm, raw),
+        (0b01, 0b110) => insn16(Beq, CBeqz, 0, r_9_7, 0, cb_imm, raw),
+        (0b01, 0b111) => insn16(Bne, CBnez, 0, r_9_7, 0, cb_imm, raw),
+        (0b10, 0b000) => {
+            if bits(r, 12, 12) != 0 || rd_full == 0 {
+                return illegal; // RV32: shamt[5] must be zero; rd=x0 is a hint we reject
+            }
+            insn16(Slli, CSlli, rd_full, rd_full, 0, shamt as i32, raw)
+        }
+        (0b10, 0b010) | (0b10, 0b011) => {
+            let imm =
+                ((bits(r, 12, 12) << 5) | (bits(r, 6, 4) << 2) | (bits(r, 3, 2) << 6)) as i32;
+            if funct3 == 0b010 {
+                if rd_full == 0 {
+                    return illegal; // reserved
+                }
+                insn16(Lw, CLwsp, rd_full, 2, 0, imm, raw)
+            } else {
+                insn16(Flw, CFlwsp, rd_full, 2, 0, imm, raw)
+            }
+        }
+        (0b10, 0b100) => {
+            let bit12 = bits(r, 12, 12);
+            match (bit12, rd_full, rs2_full) {
+                (0, 0, _) => return illegal,
+                (0, rs1, 0) => insn16(Jalr, CJr, 0, rs1, 0, 0, raw),
+                (0, rd, rs2) => insn16(Add, CMv, rd, 0, rs2, 0, raw),
+                (1, 0, 0) => insn16(Ebreak, CEbreak, 0, 0, 0, 0, raw),
+                (1, rs1, 0) => insn16(Jalr, CJalr, 1, rs1, 0, 0, raw),
+                (1, 0, _) => return illegal, // c.add rd=x0 is a hint we reject
+                (1, rd, rs2) => insn16(Add, CAdd, rd, rd, rs2, 0, raw),
+                _ => unreachable!("bit12 is one bit"),
+            }
+        }
+        (0b10, 0b110) | (0b10, 0b111) => {
+            let imm = ((bits(r, 12, 9) << 2) | (bits(r, 8, 7) << 6)) as i32;
+            if funct3 == 0b110 {
+                insn16(Sw, CSwsp, 0, 2, rs2_full, imm, raw)
+            } else {
+                insn16(Fsw, CFswsp, 0, 2, rs2_full, imm, raw)
+            }
+        }
+        (0b10, _) => return illegal,
+        _ => return illegal, // op == 0b11 cannot reach here; quadrant 0b01/0b00 misses
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::IsaConfig;
+
+    const FULL: IsaConfig = IsaConfig::full();
+
+    fn k(raw: u32) -> InsnKind {
+        decode(raw, &FULL).expect("decodes").kind()
+    }
+
+    #[test]
+    fn rv32i_basics() {
+        assert_eq!(k(0x0000_0013), InsnKind::Addi); // nop
+        assert_eq!(k(0x0000_0037), InsnKind::Lui);
+        assert_eq!(k(0x0000_0017), InsnKind::Auipc);
+        assert_eq!(k(0x0000_006f), InsnKind::Jal);
+        assert_eq!(k(0x0000_8067), InsnKind::Jalr);
+        assert_eq!(k(0x0000_0073), InsnKind::Ecall);
+        assert_eq!(k(0x0010_0073), InsnKind::Ebreak);
+        assert_eq!(k(0x3020_0073), InsnKind::Mret);
+        assert_eq!(k(0x1050_0073), InsnKind::Wfi);
+        assert_eq!(k(0x0000_000f), InsnKind::Fence);
+        assert_eq!(k(0x0000_100f), InsnKind::FenceI);
+    }
+
+    #[test]
+    fn imm_i_sign_extension() {
+        let i = decode(0xfff0_0093, &FULL).unwrap(); // addi ra, x0, -1
+        assert_eq!(i.imm(), -1);
+        let i = decode(0x7ff0_0093, &FULL).unwrap(); // addi ra, x0, 2047
+        assert_eq!(i.imm(), 2047);
+    }
+
+    #[test]
+    fn imm_u() {
+        let i = decode(0xdead_b0b7, &FULL).unwrap(); // lui ra, 0xdeadb
+        assert_eq!(i.imm() as u32, 0xdead_b000);
+    }
+
+    #[test]
+    fn imm_j_negative() {
+        // jal x0, -4: imm=-4 → bits: imm[20]=1 sign, imm[10:1]=0x3fe
+        let i = decode(0xffdf_f06f, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Jal);
+        assert_eq!(i.imm(), -4);
+    }
+
+    #[test]
+    fn imm_b_negative() {
+        // beq x0, x0, -8
+        let i = decode(0xfe00_0ce3, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Beq);
+        assert_eq!(i.imm(), -8);
+    }
+
+    #[test]
+    fn store_imm_split() {
+        // sw a0, -20(s0): imm=-20
+        let i = decode(0xfea4_2623, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Sw);
+        assert_eq!(i.imm(), -20);
+    }
+
+    #[test]
+    fn shifts_and_bmi_op_imm() {
+        assert_eq!(k(0x0015_1513), InsnKind::Slli);
+        assert_eq!(k(0x0015_5513), InsnKind::Srli);
+        assert_eq!(k(0x4015_5513), InsnKind::Srai);
+        assert_eq!(k(0x6005_1513), InsnKind::Clz);
+        assert_eq!(k(0x6015_1513), InsnKind::Ctz);
+        assert_eq!(k(0x6025_1513), InsnKind::Pcnt);
+        assert_eq!(k(0x6985_5513), InsnKind::Rev8);
+    }
+
+    #[test]
+    fn bmi_r_type() {
+        assert_eq!(k(0x40b5_7533), InsnKind::Andn);
+        assert_eq!(k(0x40b5_6533), InsnKind::Orn);
+        assert_eq!(k(0x40b5_4533), InsnKind::Xnor);
+        assert_eq!(k(0x60b5_1533), InsnKind::Rol);
+        assert_eq!(k(0x60b5_5533), InsnKind::Ror);
+        assert_eq!(k(0x48b5_5533), InsnKind::Bext);
+    }
+
+    #[test]
+    fn m_extension_gated() {
+        let mul = 0x02b5_0533;
+        assert_eq!(k(mul), InsnKind::Mul);
+        assert_eq!(
+            decode(mul, &IsaConfig::rv32i()),
+            Err(DecodeError::Unsupported {
+                raw: mul,
+                ext: Extension::M
+            })
+        );
+    }
+
+    #[test]
+    fn bmi_gated() {
+        let clz = 0x6005_1513;
+        assert!(matches!(
+            decode(clz, &IsaConfig::rv32imc()),
+            Err(DecodeError::Unsupported {
+                ext: Extension::Xbmi,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn illegal_patterns() {
+        assert_eq!(
+            decode(0xffff_ffff, &FULL),
+            Err(DecodeError::Illegal { raw: 0xffff_ffff })
+        );
+        assert_eq!(decode(0, &FULL), Err(DecodeError::Illegal { raw: 0 }));
+        // System funct3=0 with nonzero rd is illegal
+        assert!(decode(0x0000_00f3, &FULL).is_err());
+    }
+
+    #[test]
+    fn compressed_gated() {
+        // c.nop = 0x0001
+        let i = decode(0x0001, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Addi);
+        assert_eq!(i.ckind(), Some(CKind::CNop));
+        assert!(i.is_compressed());
+        assert!(matches!(
+            decode(0x0001, &IsaConfig::rv32im()),
+            Err(DecodeError::Unsupported {
+                ext: Extension::C,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn c_addi4spn() {
+        // c.addi4spn a0, sp, 8 : funct3=000 op=00 rd'=a0(2) imm8 → uimm[3]=1
+        // bits: imm[5:4]@12:11=0, imm[9:6]@10:7=0, imm[2]@6=0, imm[3]@5=1, rd'@4:2=010
+        let raw = (1 << 5) | (0b010 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Addi);
+        assert_eq!(i.ckind(), Some(CKind::CAddi4spn));
+        assert_eq!(i.rd(), 10);
+        assert_eq!(i.rs1(), 2);
+        assert_eq!(i.imm(), 8);
+    }
+
+    #[test]
+    fn c_lw_sw_offsets() {
+        // c.lw a0, 4(a1): rd'=010 (a0=x10), rs1'=011 (a1=x11), uimm=4 → bit6=1
+        let raw = (0b010 << 13) | (0b011 << 7) | (1 << 6) | (0b010 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Lw);
+        assert_eq!((i.rd(), i.rs1(), i.imm()), (10, 11, 4));
+        // c.sw a0, 4(a1)
+        let raw = (0b110 << 13) | (0b011 << 7) | (1 << 6) | (0b010 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Sw);
+        assert_eq!((i.rs2(), i.rs1(), i.imm()), (10, 11, 4));
+    }
+
+    #[test]
+    fn c_addi_and_li() {
+        // c.addi a0, -1: funct3=000 op=01 rd=10 imm=-1 (bit12=1, bits6:2=11111)
+        let raw = (0b01) | (1 << 12) | (10 << 7) | (0b11111 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Addi);
+        assert_eq!(i.ckind(), Some(CKind::CAddi));
+        assert_eq!(i.imm(), -1);
+        assert_eq!((i.rd(), i.rs1()), (10, 10));
+        // c.li a0, 31
+        let raw = (0b010 << 13) | (0b01) | (10 << 7) | (0b11111 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.ckind(), Some(CKind::CLi));
+        assert_eq!(i.imm(), 31);
+        assert_eq!(i.rs1(), 0);
+    }
+
+    #[test]
+    fn c_addi16sp_and_lui() {
+        // c.addi16sp 16: imm[4]@6=1 → raw: funct3=011, rd=2, bit6=1, op=01
+        let raw = (0b011 << 13) | (0b01) | (2 << 7) | (1 << 6);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.ckind(), Some(CKind::CAddi16sp));
+        assert_eq!(i.imm(), 16);
+        // c.lui a0, 1 → imm=1<<12
+        let raw = (0b011 << 13) | (0b01) | (10 << 7) | (1 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.ckind(), Some(CKind::CLui));
+        assert_eq!(i.kind(), InsnKind::Lui);
+        assert_eq!(i.imm(), 4096);
+        // negative: c.lui a0, 0x3ffff → bit12=1, bits6:2=0b11111 → -4096
+        let raw = (0b011 << 13) | (0b01) | (10 << 7) | (1 << 12) | (0b11111 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.imm(), -4096);
+    }
+
+    #[test]
+    fn c_alu_group() {
+        // c.sub s0, s1: rd'=000 (x8), rs2'=001 (x9)
+        let raw = (0b100 << 13) | 0b01 | (0b11 << 10) | (0b001 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Sub);
+        assert_eq!(i.ckind(), Some(CKind::CSub));
+        assert_eq!((i.rd(), i.rs1(), i.rs2()), (8, 8, 9));
+        // c.andi s0, 5
+        let raw = ((0b100 << 13) | (0b01) | (0b10 << 10)) | (0b00101 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Andi);
+        assert_eq!(i.imm(), 5);
+    }
+
+    #[test]
+    fn c_jumps_and_branches() {
+        // c.j +4: imm[3:1]@5:3 = 010
+        let raw = (0b101 << 13) | (0b01) | (0b010 << 3);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Jal);
+        assert_eq!(i.rd(), 0);
+        assert_eq!(i.imm(), 4);
+        // c.jal +4
+        let raw = (0b001 << 13) | (0b01) | (0b010 << 3);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.rd(), 1);
+        assert_eq!(i.imm(), 4);
+        // c.beqz s0, +4: imm[2:1]@4:3 = 10
+        let raw = ((0b110 << 13) | (0b01)) | (0b10 << 3);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Beq);
+        assert_eq!((i.rs1(), i.rs2(), i.imm()), (8, 0, 4));
+    }
+
+    #[test]
+    fn c_quadrant2() {
+        // c.slli a0, 3
+        let raw = (0b10) | (10 << 7) | (3 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Slli);
+        assert_eq!(i.imm(), 3);
+        // c.lwsp a0, 8(sp): uimm[4:2]@6:4 = 010
+        let raw = (0b010 << 13) | (0b10) | (10 << 7) | (0b010 << 4);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Lw);
+        assert_eq!((i.rd(), i.rs1(), i.imm()), (10, 2, 8));
+        // c.swsp a0, 8(sp): uimm[5:2]@12:9 = 0010
+        let raw = (0b110 << 13) | (0b10) | (0b0010 << 9) | (10 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Sw);
+        assert_eq!((i.rs2(), i.rs1(), i.imm()), (10, 2, 8));
+        // c.jr ra
+        let raw = (0b100 << 13) | (0b10) | (1 << 7);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Jalr);
+        assert_eq!((i.rd(), i.rs1()), (0, 1));
+        // c.mv a0, a1
+        let raw = (0b100 << 13) | (0b10) | (10 << 7) | (11 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Add);
+        assert_eq!((i.rd(), i.rs1(), i.rs2()), (10, 0, 11));
+        // c.add a0, a1
+        let raw = (0b100 << 13) | (0b10) | (1 << 12) | (10 << 7) | (11 << 2);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!((i.rd(), i.rs1(), i.rs2()), (10, 10, 11));
+        // c.ebreak
+        let raw = (0b100 << 13) | (0b10) | (1 << 12);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Ebreak);
+        // c.jalr a0
+        let raw = (0b100 << 13) | (0b10) | (1 << 12) | (10 << 7);
+        let i = decode(raw, &FULL).unwrap();
+        assert_eq!(i.kind(), InsnKind::Jalr);
+        assert_eq!((i.rd(), i.rs1()), (1, 10));
+    }
+
+    #[test]
+    fn c_reserved_patterns() {
+        // all-zero halfword (the defined-illegal instruction)
+        assert!(decode(0x0000, &FULL).is_err());
+        // c.addi4spn with zero imm
+        assert!(decode(0x0004, &FULL).is_err()); // funct3=000, only rd bits set
+        // c.lwsp with rd=0
+        let raw = (0b010 << 13) | (0b10) | (0b010 << 4);
+        assert!(decode(raw, &FULL).is_err());
+        // RV32 shift with shamt[5]=1
+        let raw = (0b10) | (1 << 12) | (10 << 7) | (3 << 2);
+        assert!(decode(raw, &FULL).is_err());
+    }
+
+    #[test]
+    fn fp_decode() {
+        assert_eq!(k(0x0000_0053), InsnKind::FaddS);
+        assert_eq!(k(0x0800_0053), InsnKind::FsubS);
+        assert_eq!(k(0x1000_0053), InsnKind::FmulS);
+        assert_eq!(k(0x1800_0053), InsnKind::FdivS);
+        assert_eq!(k(0x5800_0053), InsnKind::FsqrtS);
+        assert_eq!(k(0x2000_0053), InsnKind::FsgnjS);
+        assert_eq!(k(0x2000_1053), InsnKind::FsgnjnS);
+        assert_eq!(k(0x2000_2053), InsnKind::FsgnjxS);
+        assert_eq!(k(0x2800_0053), InsnKind::FminS);
+        assert_eq!(k(0x2800_1053), InsnKind::FmaxS);
+        assert_eq!(k(0xc000_0053), InsnKind::FcvtWS);
+        assert_eq!(k(0xc010_0053), InsnKind::FcvtWuS);
+        assert_eq!(k(0xe000_0053), InsnKind::FmvXW);
+        assert_eq!(k(0xe000_1053), InsnKind::FclassS);
+        assert_eq!(k(0xa000_2053), InsnKind::FeqS);
+        assert_eq!(k(0xa000_1053), InsnKind::FltS);
+        assert_eq!(k(0xa000_0053), InsnKind::FleS);
+        assert_eq!(k(0xd000_0053), InsnKind::FcvtSW);
+        assert_eq!(k(0xd010_0053), InsnKind::FcvtSWu);
+        assert_eq!(k(0xf000_0053), InsnKind::FmvWX);
+        assert_eq!(k(0x0000_2007), InsnKind::Flw);
+        assert_eq!(k(0x0000_2027), InsnKind::Fsw);
+    }
+
+    #[test]
+    fn fp_gated() {
+        assert!(matches!(
+            decode(0x0000_0053, &IsaConfig::rv32imc()),
+            Err(DecodeError::Unsupported {
+                ext: Extension::F,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::Illegal { raw: 0xdead_beef };
+        assert_eq!(e.to_string(), "illegal instruction 0xdeadbeef");
+        let e = DecodeError::Unsupported {
+            raw: 4,
+            ext: Extension::M,
+        };
+        assert!(e.to_string().contains("requires the disabled M extension"));
+        assert_eq!(e.raw(), 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Textual disassembly of decoded instructions.
+//!
+//! The output follows standard RISC-V assembly syntax and is accepted back
+//! by the `s4e-asm` assembler, which the cross-crate round-trip tests rely
+//! on. Compressed instructions are printed in their *expanded* form (the
+//! original encoding is available via [`Insn::ckind`](crate::Insn::ckind)).
+
+use crate::insn::Insn;
+use crate::kind::{InsnClass, InsnKind};
+use core::fmt;
+
+pub(crate) fn format_insn(insn: &Insn, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use InsnKind::*;
+    let m = insn.kind().mnemonic();
+    let rd = insn.rd_gpr();
+    let rs1 = insn.rs1_gpr();
+    let rs2 = insn.rs2_gpr();
+    let imm = insn.imm();
+    match insn.kind() {
+        Lui | Auipc => write!(f, "{m} {rd}, {:#x}", (imm as u32) >> 12),
+        Jal => write!(f, "{m} {rd}, {imm:+}"),
+        Jalr => write!(f, "{m} {rd}, {imm}({rs1})"),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => write!(f, "{m} {rs1}, {rs2}, {imm:+}"),
+        Lb | Lh | Lw | Lbu | Lhu => write!(f, "{m} {rd}, {imm}({rs1})"),
+        Sb | Sh | Sw => write!(f, "{m} {rs2}, {imm}({rs1})"),
+        Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai => {
+            write!(f, "{m} {rd}, {rs1}, {imm}")
+        }
+        Clz | Ctz | Pcnt | Rev8 => write!(f, "{m} {rd}, {rs1}"),
+        Fence | FenceI | Ecall | Ebreak | Mret | Wfi => f.write_str(m),
+        Csrrw | Csrrs | Csrrc => write!(f, "{m} {rd}, {}, {rs1}", insn.csr()),
+        Csrrwi | Csrrsi | Csrrci => write!(f, "{m} {rd}, {}, {}", insn.csr(), insn.zimm()),
+        Flw => write!(f, "{m} {}, {imm}({rs1})", insn.rd_fpr()),
+        Fsw => write!(f, "{m} {}, {imm}({rs1})", insn.rs2_fpr()),
+        FsqrtS => write!(f, "{m} {}, {}", insn.rd_fpr(), insn.rs1_fpr()),
+        FcvtWS | FcvtWuS | FmvXW | FclassS => write!(f, "{m} {rd}, {}", insn.rs1_fpr()),
+        FcvtSW | FcvtSWu | FmvWX => write!(f, "{m} {}, {rs1}", insn.rd_fpr()),
+        FeqS | FltS | FleS => {
+            write!(f, "{m} {rd}, {}, {}", insn.rs1_fpr(), insn.rs2_fpr())
+        }
+        k if k.extension() == crate::Extension::F => write!(
+            f,
+            "{m} {}, {}, {}",
+            insn.rd_fpr(),
+            insn.rs1_fpr(),
+            insn.rs2_fpr()
+        ),
+        // Remaining kinds are all three-operand integer R-type.
+        _ => {
+            debug_assert!(matches!(
+                insn.class(),
+                InsnClass::Alu | InsnClass::Mul | InsnClass::Div
+            ));
+            write!(f, "{m} {rd}, {rs1}, {rs2}")
+        }
+    }
+}
+
+/// Disassembles a single instruction word.
+///
+/// Convenience wrapper over [`decode`](crate::decode) + `Display`;
+/// undecodable words render as `.insn <raw>`.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_isa::{disassemble, IsaConfig};
+/// assert_eq!(disassemble(0x00c5_8533, &IsaConfig::rv32i()), "add a0, a1, a2");
+/// assert_eq!(disassemble(0xffff_ffff, &IsaConfig::rv32i()), ".insn 0xffffffff");
+/// ```
+pub fn disassemble(raw: u32, isa: &crate::IsaConfig) -> String {
+    match crate::decode(raw, isa) {
+        Ok(insn) => insn.to_string(),
+        Err(_) => format!(".insn {raw:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::kind::IsaConfig;
+
+    const FULL: IsaConfig = IsaConfig::full();
+
+    fn dis(raw: u32) -> String {
+        decode(raw, &FULL).expect("decodes").to_string()
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(dis(0x00c5_8533), "add a0, a1, a2");
+        assert_eq!(dis(0xffd5_8513), "addi a0, a1, -3");
+        assert_eq!(dis(0x00a5_a223), "sw a0, 4(a1)");
+        assert_eq!(dis(0x0000_0463), "beq zero, zero, +8");
+        assert_eq!(dis(0x0000_8067), "jalr zero, 0(ra)");
+        assert_eq!(dis(0x0000_0073), "ecall");
+        assert_eq!(dis(0x3005_9573), "csrrw a0, mstatus, a1");
+        assert_eq!(dis(0x3402_d573), "csrrwi a0, mscratch, 5");
+        assert_eq!(dis(0x6005_1513), "clz a0, a0");
+    }
+
+    #[test]
+    fn lui_prints_shifted() {
+        assert_eq!(dis(0xdead_b0b7), "lui ra, 0xdeadb");
+    }
+
+    #[test]
+    fn fp_formats() {
+        assert_eq!(dis(0x0000_2007), "flw ft0, 0(zero)");
+        assert_eq!(dis(0xd005_0053), "fcvt.s.w ft0, a0");
+    }
+
+    #[test]
+    fn disassemble_fallback() {
+        assert_eq!(disassemble(0, &FULL), ".insn 0x00000000");
+    }
+}

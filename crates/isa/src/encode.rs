@@ -1,0 +1,925 @@
+//! Instruction encoding: the inverse of [`decode`](crate::decode).
+//!
+//! Encoding is how the assembler, the Torture generator and the
+//! fault-injection tool synthesize instruction words. Every encoder
+//! validates operand ranges ([C-VALIDATE]) and returns a typed
+//! [`EncodeError`] rather than silently truncating immediates — truncation
+//! bugs in instruction synthesis would invalidate every downstream
+//! experiment.
+//!
+//! [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+
+use crate::insn::Insn;
+use crate::kind::{CKind, InsnKind};
+use core::fmt;
+use std::error::Error;
+
+/// Operand bundle for the encoders.
+///
+/// Only the fields a given instruction format consumes are read; the rest
+/// are ignored. Register fields are raw five-bit indices (GPR or FPR index
+/// depending on the instruction kind's operand roles).
+///
+/// # Examples
+///
+/// ```
+/// use s4e_isa::encode::{encode, Operands};
+/// use s4e_isa::{decode, InsnKind, IsaConfig};
+///
+/// let raw = encode(InsnKind::Addi, Operands { rd: 10, rs1: 11, imm: -3, ..Default::default() })?;
+/// let insn = decode(raw, &IsaConfig::rv32i()).expect("own encoding decodes");
+/// assert_eq!(insn.imm(), -3);
+/// # Ok::<(), s4e_isa::EncodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Operands {
+    /// Destination register field.
+    pub rd: u8,
+    /// First source register field (also the zimm of `csrr?i`).
+    pub rs1: u8,
+    /// Second source register field.
+    pub rs2: u8,
+    /// Immediate (interpretation depends on the format; CSR address for
+    /// Zicsr kinds, rounding mode for FP computational kinds).
+    pub imm: i32,
+}
+
+impl Operands {
+    /// Extracts the operand bundle of a decoded instruction, suitable for
+    /// re-encoding.
+    pub fn of(insn: &Insn) -> Operands {
+        Operands {
+            rd: insn.rd(),
+            rs1: insn.rs1(),
+            rs2: insn.rs2(),
+            imm: insn.imm(),
+        }
+    }
+}
+
+/// An error produced by the encoders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The immediate does not fit the instruction format.
+    ImmOutOfRange {
+        /// The mnemonic of the instruction being encoded.
+        mnemonic: &'static str,
+        /// The rejected immediate.
+        imm: i32,
+        /// Smallest accepted value.
+        min: i32,
+        /// Largest accepted value.
+        max: i32,
+    },
+    /// The immediate violates the format's alignment requirement.
+    ImmMisaligned {
+        /// The mnemonic of the instruction being encoded.
+        mnemonic: &'static str,
+        /// The rejected immediate.
+        imm: i32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// A register operand is not expressible in the (compressed) format,
+    /// or a register field exceeds 31.
+    BadRegister {
+        /// The mnemonic of the instruction being encoded.
+        mnemonic: &'static str,
+        /// The rejected register field value.
+        reg: u8,
+    },
+    /// The operand combination has no encoding (e.g. a compressed form with
+    /// a mandatory-nonzero immediate of zero).
+    NotEncodable {
+        /// The mnemonic of the instruction being encoded.
+        mnemonic: &'static str,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange {
+                mnemonic,
+                imm,
+                min,
+                max,
+            } => write!(
+                f,
+                "immediate {imm} out of range [{min}, {max}] for `{mnemonic}`"
+            ),
+            EncodeError::ImmMisaligned {
+                mnemonic,
+                imm,
+                align,
+            } => write!(
+                f,
+                "immediate {imm} not aligned to {align} bytes for `{mnemonic}`"
+            ),
+            EncodeError::BadRegister { mnemonic, reg } => {
+                write!(f, "register x{reg} not encodable in `{mnemonic}`")
+            }
+            EncodeError::NotEncodable { mnemonic } => {
+                write!(f, "operand combination not encodable for `{mnemonic}`")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+type Result<T> = core::result::Result<T, EncodeError>;
+
+fn check_imm(mnemonic: &'static str, imm: i32, min: i32, max: i32) -> Result<()> {
+    if imm < min || imm > max {
+        Err(EncodeError::ImmOutOfRange {
+            mnemonic,
+            imm,
+            min,
+            max,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_align(mnemonic: &'static str, imm: i32, align: u32) -> Result<()> {
+    if imm % align as i32 != 0 {
+        Err(EncodeError::ImmMisaligned {
+            mnemonic,
+            imm,
+            align,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_reg(mnemonic: &'static str, reg: u8) -> Result<u32> {
+    if reg < 32 {
+        Ok(reg as u32)
+    } else {
+        Err(EncodeError::BadRegister { mnemonic, reg })
+    }
+}
+
+fn enc_r(f7: u32, rs2: u32, rs1: u32, f3: u32, rd: u32, op: u32) -> u32 {
+    (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+}
+
+fn enc_i(m: &'static str, imm: i32, rs1: u32, f3: u32, rd: u32, op: u32) -> Result<u32> {
+    check_imm(m, imm, -2048, 2047)?;
+    Ok((((imm as u32) & 0xfff) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op)
+}
+
+fn enc_s(m: &'static str, imm: i32, rs2: u32, rs1: u32, f3: u32, op: u32) -> Result<u32> {
+    check_imm(m, imm, -2048, 2047)?;
+    let imm = imm as u32;
+    Ok(((imm >> 5 & 0x7f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | ((imm & 0x1f) << 7)
+        | op)
+}
+
+fn enc_b(m: &'static str, imm: i32, rs2: u32, rs1: u32, f3: u32) -> Result<u32> {
+    check_imm(m, imm, -4096, 4094)?;
+    check_align(m, imm, 2)?;
+    let imm = imm as u32;
+    Ok(((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | ((imm >> 1 & 0xf) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | 0b110_0011)
+}
+
+fn enc_u(m: &'static str, imm: i32, rd: u32, op: u32) -> Result<u32> {
+    if imm as u32 & 0xfff != 0 {
+        return Err(EncodeError::ImmMisaligned {
+            mnemonic: m,
+            imm,
+            align: 4096,
+        });
+    }
+    Ok((imm as u32) | (rd << 7) | op)
+}
+
+fn enc_j(m: &'static str, imm: i32, rd: u32) -> Result<u32> {
+    check_imm(m, imm, -(1 << 20), (1 << 20) - 2)?;
+    check_align(m, imm, 2)?;
+    let imm = imm as u32;
+    Ok(((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3ff) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xff) << 12)
+        | (rd << 7)
+        | 0b110_1111)
+}
+
+fn enc_shift(m: &'static str, f7: u32, imm: i32, rs1: u32, f3: u32, rd: u32) -> Result<u32> {
+    check_imm(m, imm, 0, 31)?;
+    Ok(enc_r(f7, imm as u32, rs1, f3, rd, 0b001_0011))
+}
+
+fn enc_csr(m: &'static str, csr: i32, rs1: u32, f3: u32, rd: u32) -> Result<u32> {
+    check_imm(m, csr, 0, 0xfff)?;
+    Ok(((csr as u32) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | 0b111_0011)
+}
+
+fn enc_fp(m: &'static str, f7: u32, rs2: u32, rs1: u32, rm: i32, rd: u32) -> Result<u32> {
+    check_imm(m, rm, 0, 7)?;
+    Ok(enc_r(f7, rs2, rs1, rm as u32, rd, 0b101_0011))
+}
+
+/// Encodes a 32-bit instruction word.
+///
+/// Compressed encodings are produced by [`encode_compressed`]; this
+/// function always emits the four-byte form (so `encode(InsnKind::Addi, …)`
+/// yields the `addi` word even when a `c.addi` encoding would exist).
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an immediate is out of range or
+/// misaligned for the instruction format, or a register field exceeds 31.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_isa::encode::{encode, Operands};
+/// use s4e_isa::InsnKind;
+///
+/// // add a0, a1, a2
+/// let raw = encode(InsnKind::Add, Operands { rd: 10, rs1: 11, rs2: 12, imm: 0 })?;
+/// assert_eq!(raw, 0x00c5_8533);
+/// # Ok::<(), s4e_isa::EncodeError>(())
+/// ```
+pub fn encode(kind: InsnKind, ops: Operands) -> Result<u32> {
+    use InsnKind::*;
+    let m = kind.mnemonic();
+    let rd = check_reg(m, ops.rd)?;
+    let rs1 = check_reg(m, ops.rs1)?;
+    let rs2 = check_reg(m, ops.rs2)?;
+    let imm = ops.imm;
+    let word = match kind {
+        Lui => enc_u(m, imm, rd, 0b011_0111)?,
+        Auipc => enc_u(m, imm, rd, 0b001_0111)?,
+        Jal => enc_j(m, imm, rd)?,
+        Jalr => enc_i(m, imm, rs1, 0b000, rd, 0b110_0111)?,
+        Beq => enc_b(m, imm, rs2, rs1, 0b000)?,
+        Bne => enc_b(m, imm, rs2, rs1, 0b001)?,
+        Blt => enc_b(m, imm, rs2, rs1, 0b100)?,
+        Bge => enc_b(m, imm, rs2, rs1, 0b101)?,
+        Bltu => enc_b(m, imm, rs2, rs1, 0b110)?,
+        Bgeu => enc_b(m, imm, rs2, rs1, 0b111)?,
+        Lb => enc_i(m, imm, rs1, 0b000, rd, 0b000_0011)?,
+        Lh => enc_i(m, imm, rs1, 0b001, rd, 0b000_0011)?,
+        Lw => enc_i(m, imm, rs1, 0b010, rd, 0b000_0011)?,
+        Lbu => enc_i(m, imm, rs1, 0b100, rd, 0b000_0011)?,
+        Lhu => enc_i(m, imm, rs1, 0b101, rd, 0b000_0011)?,
+        Sb => enc_s(m, imm, rs2, rs1, 0b000, 0b010_0011)?,
+        Sh => enc_s(m, imm, rs2, rs1, 0b001, 0b010_0011)?,
+        Sw => enc_s(m, imm, rs2, rs1, 0b010, 0b010_0011)?,
+        Addi => enc_i(m, imm, rs1, 0b000, rd, 0b001_0011)?,
+        Slti => enc_i(m, imm, rs1, 0b010, rd, 0b001_0011)?,
+        Sltiu => enc_i(m, imm, rs1, 0b011, rd, 0b001_0011)?,
+        Xori => enc_i(m, imm, rs1, 0b100, rd, 0b001_0011)?,
+        Ori => enc_i(m, imm, rs1, 0b110, rd, 0b001_0011)?,
+        Andi => enc_i(m, imm, rs1, 0b111, rd, 0b001_0011)?,
+        Slli => enc_shift(m, 0b000_0000, imm, rs1, 0b001, rd)?,
+        Srli => enc_shift(m, 0b000_0000, imm, rs1, 0b101, rd)?,
+        Srai => enc_shift(m, 0b010_0000, imm, rs1, 0b101, rd)?,
+        Add => enc_r(0b000_0000, rs2, rs1, 0b000, rd, 0b011_0011),
+        Sub => enc_r(0b010_0000, rs2, rs1, 0b000, rd, 0b011_0011),
+        Sll => enc_r(0b000_0000, rs2, rs1, 0b001, rd, 0b011_0011),
+        Slt => enc_r(0b000_0000, rs2, rs1, 0b010, rd, 0b011_0011),
+        Sltu => enc_r(0b000_0000, rs2, rs1, 0b011, rd, 0b011_0011),
+        Xor => enc_r(0b000_0000, rs2, rs1, 0b100, rd, 0b011_0011),
+        Srl => enc_r(0b000_0000, rs2, rs1, 0b101, rd, 0b011_0011),
+        Sra => enc_r(0b010_0000, rs2, rs1, 0b101, rd, 0b011_0011),
+        Or => enc_r(0b000_0000, rs2, rs1, 0b110, rd, 0b011_0011),
+        And => enc_r(0b000_0000, rs2, rs1, 0b111, rd, 0b011_0011),
+        Fence => enc_i(m, imm, rs1, 0b000, rd, 0b000_1111)?,
+        FenceI => enc_i(m, imm, rs1, 0b001, rd, 0b000_1111)?,
+        Ecall => 0x0000_0073,
+        Ebreak => 0x0010_0073,
+        Mret => 0x3020_0073,
+        Wfi => 0x1050_0073,
+        Csrrw => enc_csr(m, imm, rs1, 0b001, rd)?,
+        Csrrs => enc_csr(m, imm, rs1, 0b010, rd)?,
+        Csrrc => enc_csr(m, imm, rs1, 0b011, rd)?,
+        Csrrwi => enc_csr(m, imm, rs1, 0b101, rd)?,
+        Csrrsi => enc_csr(m, imm, rs1, 0b110, rd)?,
+        Csrrci => enc_csr(m, imm, rs1, 0b111, rd)?,
+        Mul => enc_r(0b000_0001, rs2, rs1, 0b000, rd, 0b011_0011),
+        Mulh => enc_r(0b000_0001, rs2, rs1, 0b001, rd, 0b011_0011),
+        Mulhsu => enc_r(0b000_0001, rs2, rs1, 0b010, rd, 0b011_0011),
+        Mulhu => enc_r(0b000_0001, rs2, rs1, 0b011, rd, 0b011_0011),
+        Div => enc_r(0b000_0001, rs2, rs1, 0b100, rd, 0b011_0011),
+        Divu => enc_r(0b000_0001, rs2, rs1, 0b101, rd, 0b011_0011),
+        Rem => enc_r(0b000_0001, rs2, rs1, 0b110, rd, 0b011_0011),
+        Remu => enc_r(0b000_0001, rs2, rs1, 0b111, rd, 0b011_0011),
+        Andn => enc_r(0b010_0000, rs2, rs1, 0b111, rd, 0b011_0011),
+        Orn => enc_r(0b010_0000, rs2, rs1, 0b110, rd, 0b011_0011),
+        Xnor => enc_r(0b010_0000, rs2, rs1, 0b100, rd, 0b011_0011),
+        Rol => enc_r(0b011_0000, rs2, rs1, 0b001, rd, 0b011_0011),
+        Ror => enc_r(0b011_0000, rs2, rs1, 0b101, rd, 0b011_0011),
+        Bext => enc_r(0b010_0100, rs2, rs1, 0b101, rd, 0b011_0011),
+        Clz => enc_r(0b011_0000, 0b00000, rs1, 0b001, rd, 0b001_0011),
+        Ctz => enc_r(0b011_0000, 0b00001, rs1, 0b001, rd, 0b001_0011),
+        Pcnt => enc_r(0b011_0000, 0b00010, rs1, 0b001, rd, 0b001_0011),
+        Rev8 => enc_r(0b011_0100, 0b11000, rs1, 0b101, rd, 0b001_0011),
+        Flw => enc_i(m, imm, rs1, 0b010, rd, 0b000_0111)?,
+        Fsw => enc_s(m, imm, rs2, rs1, 0b010, 0b010_0111)?,
+        FaddS => enc_fp(m, 0b000_0000, rs2, rs1, imm, rd)?,
+        FsubS => enc_fp(m, 0b000_0100, rs2, rs1, imm, rd)?,
+        FmulS => enc_fp(m, 0b000_1000, rs2, rs1, imm, rd)?,
+        FdivS => enc_fp(m, 0b000_1100, rs2, rs1, imm, rd)?,
+        FsqrtS => enc_fp(m, 0b010_1100, 0, rs1, imm, rd)?,
+        FsgnjS => enc_r(0b001_0000, rs2, rs1, 0b000, rd, 0b101_0011),
+        FsgnjnS => enc_r(0b001_0000, rs2, rs1, 0b001, rd, 0b101_0011),
+        FsgnjxS => enc_r(0b001_0000, rs2, rs1, 0b010, rd, 0b101_0011),
+        FminS => enc_r(0b001_0100, rs2, rs1, 0b000, rd, 0b101_0011),
+        FmaxS => enc_r(0b001_0100, rs2, rs1, 0b001, rd, 0b101_0011),
+        FcvtWS => enc_fp(m, 0b110_0000, 0b00000, rs1, imm, rd)?,
+        FcvtWuS => enc_fp(m, 0b110_0000, 0b00001, rs1, imm, rd)?,
+        FmvXW => enc_r(0b111_0000, 0, rs1, 0b000, rd, 0b101_0011),
+        FclassS => enc_r(0b111_0000, 0, rs1, 0b001, rd, 0b101_0011),
+        FeqS => enc_r(0b101_0000, rs2, rs1, 0b010, rd, 0b101_0011),
+        FltS => enc_r(0b101_0000, rs2, rs1, 0b001, rd, 0b101_0011),
+        FleS => enc_r(0b101_0000, rs2, rs1, 0b000, rd, 0b101_0011),
+        FcvtSW => enc_fp(m, 0b110_1000, 0b00000, rs1, imm, rd)?,
+        FcvtSWu => enc_fp(m, 0b110_1000, 0b00001, rs1, imm, rd)?,
+        FmvWX => enc_r(0b111_1000, 0, rs1, 0b000, rd, 0b101_0011),
+    };
+    Ok(word)
+}
+
+fn prime(m: &'static str, reg: u8) -> Result<u32> {
+    if (8..16).contains(&reg) {
+        Ok((reg - 8) as u32)
+    } else {
+        Err(EncodeError::BadRegister { mnemonic: m, reg })
+    }
+}
+
+fn nonzero_reg(m: &'static str, reg: u8) -> Result<u32> {
+    let r = check_reg(m, reg)?;
+    if r == 0 {
+        Err(EncodeError::BadRegister { mnemonic: m, reg })
+    } else {
+        Ok(r)
+    }
+}
+
+fn ci6(m: &'static str, imm: i32) -> Result<(u32, u32)> {
+    check_imm(m, imm, -32, 31)?;
+    let u = imm as u32;
+    Ok((u >> 5 & 1, u & 0x1f))
+}
+
+/// Encodes a 16-bit compressed instruction.
+///
+/// The operand bundle uses *expanded* conventions (the same field values a
+/// decoded compressed instruction carries): full five-bit register indices
+/// and base-instruction immediates — e.g. `c.lui` takes the final 32-bit
+/// `lui` immediate, and the `c.*sp` forms ignore `rs1` (it is implicitly
+/// `sp`).
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when a register is outside the compressed
+/// register set, an immediate is out of range or misaligned, or the
+/// combination is reserved (e.g. `c.addi4spn` with a zero immediate).
+///
+/// # Examples
+///
+/// ```
+/// use s4e_isa::encode::{encode_compressed, Operands};
+/// use s4e_isa::{decode, CKind, IsaConfig};
+///
+/// let half = encode_compressed(CKind::CAddi, Operands { rd: 10, rs1: 10, imm: -1, ..Default::default() })?;
+/// let insn = decode(half as u32, &IsaConfig::rv32imc()).expect("own encoding decodes");
+/// assert_eq!(insn.imm(), -1);
+/// assert!(insn.is_compressed());
+/// # Ok::<(), s4e_isa::EncodeError>(())
+/// ```
+pub fn encode_compressed(ckind: CKind, ops: Operands) -> Result<u16> {
+    use CKind::*;
+    let m = ckind.mnemonic();
+    let imm = ops.imm;
+    let word: u32 = match ckind {
+        CAddi4spn => {
+            let rd = prime(m, ops.rd)?;
+            check_imm(m, imm, 4, 1020)?;
+            check_align(m, imm, 4)?;
+            let u = imm as u32;
+            ((u >> 4 & 3) << 11)
+                | ((u >> 6 & 0xf) << 7)
+                | ((u >> 2 & 1) << 6)
+                | ((u >> 3 & 1) << 5)
+                | (rd << 2)
+        }
+        CLw | CFlw | CSw | CFsw => {
+            check_imm(m, imm, 0, 124)?;
+            check_align(m, imm, 4)?;
+            let u = imm as u32;
+            let rs1 = prime(m, ops.rs1)?;
+            let (f3, reg) = match ckind {
+                CLw => (0b010, prime(m, ops.rd)?),
+                CFlw => (0b011, prime(m, ops.rd)?),
+                CSw => (0b110, prime(m, ops.rs2)?),
+                _ => (0b111, prime(m, ops.rs2)?),
+            };
+            (f3 << 13)
+                | ((u >> 3 & 7) << 10)
+                | (rs1 << 7)
+                | ((u >> 2 & 1) << 6)
+                | ((u >> 6 & 1) << 5)
+                | (reg << 2)
+        }
+        CNop => {
+            let (hi, lo) = ci6(m, imm)?;
+            0b01 | (hi << 12) | (lo << 2)
+        }
+        CAddi => {
+            let rd = nonzero_reg(m, ops.rd)?;
+            let (hi, lo) = ci6(m, imm)?;
+            0b01 | (hi << 12) | (rd << 7) | (lo << 2)
+        }
+        CJal | CJ => {
+            check_imm(m, imm, -2048, 2046)?;
+            check_align(m, imm, 2)?;
+            let u = imm as u32;
+            let f3 = if ckind == CJal { 0b001 } else { 0b101 };
+            0b01 | (f3 << 13)
+                | ((u >> 11 & 1) << 12)
+                | ((u >> 4 & 1) << 11)
+                | ((u >> 8 & 3) << 9)
+                | ((u >> 10 & 1) << 8)
+                | ((u >> 6 & 1) << 7)
+                | ((u >> 7 & 1) << 6)
+                | ((u >> 1 & 7) << 3)
+                | ((u >> 5 & 1) << 2)
+        }
+        CLi => {
+            let rd = check_reg(m, ops.rd)?;
+            let (hi, lo) = ci6(m, imm)?;
+            0b01 | (0b010 << 13) | (hi << 12) | (rd << 7) | (lo << 2)
+        }
+        CAddi16sp => {
+            check_imm(m, imm, -512, 496)?;
+            check_align(m, imm, 16)?;
+            if imm == 0 {
+                return Err(EncodeError::NotEncodable { mnemonic: m });
+            }
+            let u = imm as u32;
+            0b01 | (0b011 << 13)
+                | ((u >> 9 & 1) << 12)
+                | (2 << 7)
+                | ((u >> 4 & 1) << 6)
+                | ((u >> 6 & 1) << 5)
+                | ((u >> 7 & 3) << 3)
+                | ((u >> 5 & 1) << 2)
+        }
+        CLui => {
+            let rd = check_reg(m, ops.rd)?;
+            if rd == 0 || rd == 2 {
+                return Err(EncodeError::BadRegister {
+                    mnemonic: m,
+                    reg: ops.rd,
+                });
+            }
+            check_align(m, imm, 4096)?;
+            let imm12 = imm >> 12;
+            check_imm(m, imm12, -32, 31)?;
+            if imm12 == 0 {
+                return Err(EncodeError::NotEncodable { mnemonic: m });
+            }
+            let u = imm12 as u32;
+            0b01 | (0b011 << 13) | ((u >> 5 & 1) << 12) | (rd << 7) | ((u & 0x1f) << 2)
+        }
+        CSrli | CSrai => {
+            let rd = prime(m, ops.rd)?;
+            check_imm(m, imm, 0, 31)?;
+            let f2 = if ckind == CSrli { 0b00 } else { 0b01 };
+            0b01 | (0b100 << 13) | (f2 << 10) | (rd << 7) | ((imm as u32) << 2)
+        }
+        CAndi => {
+            let rd = prime(m, ops.rd)?;
+            let (hi, lo) = ci6(m, imm)?;
+            0b01 | (0b100 << 13) | (hi << 12) | (0b10 << 10) | (rd << 7) | (lo << 2)
+        }
+        CSub | CXor | COr | CAnd => {
+            let rd = prime(m, ops.rd)?;
+            let rs2 = prime(m, ops.rs2)?;
+            let f2 = match ckind {
+                CSub => 0b00,
+                CXor => 0b01,
+                COr => 0b10,
+                _ => 0b11,
+            };
+            0b01 | (0b100 << 13) | (0b011 << 10) | (rd << 7) | (f2 << 5) | (rs2 << 2)
+        }
+        CBeqz | CBnez => {
+            let rs1 = prime(m, ops.rs1)?;
+            check_imm(m, imm, -256, 254)?;
+            check_align(m, imm, 2)?;
+            let u = imm as u32;
+            let f3 = if ckind == CBeqz { 0b110 } else { 0b111 };
+            0b01 | (f3 << 13)
+                | ((u >> 8 & 1) << 12)
+                | ((u >> 3 & 3) << 10)
+                | (rs1 << 7)
+                | ((u >> 6 & 3) << 5)
+                | ((u >> 1 & 3) << 3)
+                | ((u >> 5 & 1) << 2)
+        }
+        CSlli => {
+            let rd = nonzero_reg(m, ops.rd)?;
+            check_imm(m, imm, 0, 31)?;
+            0b10 | (rd << 7) | ((imm as u32) << 2)
+        }
+        CLwsp | CFlwsp => {
+            check_imm(m, imm, 0, 252)?;
+            check_align(m, imm, 4)?;
+            let u = imm as u32;
+            let (f3, rd) = if ckind == CLwsp {
+                (0b010, nonzero_reg(m, ops.rd)?)
+            } else {
+                (0b011, check_reg(m, ops.rd)?)
+            };
+            0b10 | (f3 << 13) | ((u >> 5 & 1) << 12) | (rd << 7) | ((u >> 2 & 7) << 4)
+                | ((u >> 6 & 3) << 2)
+        }
+        CJr => {
+            let rs1 = nonzero_reg(m, ops.rs1)?;
+            0b10 | (0b100 << 13) | (rs1 << 7)
+        }
+        CMv => {
+            let rd = nonzero_reg(m, ops.rd)?;
+            let rs2 = nonzero_reg(m, ops.rs2)?;
+            0b10 | (0b100 << 13) | (rd << 7) | (rs2 << 2)
+        }
+        CEbreak => 0b10 | (0b100 << 13) | (1 << 12),
+        CJalr => {
+            let rs1 = nonzero_reg(m, ops.rs1)?;
+            0b10 | (0b100 << 13) | (1 << 12) | (rs1 << 7)
+        }
+        CAdd => {
+            let rd = nonzero_reg(m, ops.rd)?;
+            let rs2 = nonzero_reg(m, ops.rs2)?;
+            0b10 | (0b100 << 13) | (1 << 12) | (rd << 7) | (rs2 << 2)
+        }
+        CSwsp | CFswsp => {
+            check_imm(m, imm, 0, 252)?;
+            check_align(m, imm, 4)?;
+            let u = imm as u32;
+            let rs2 = check_reg(m, ops.rs2)?;
+            let f3 = if ckind == CSwsp { 0b110 } else { 0b111 };
+            0b10 | (f3 << 13) | ((u >> 2 & 0xf) << 9) | ((u >> 6 & 3) << 7) | (rs2 << 2)
+        }
+    };
+    Ok(word as u16)
+}
+
+/// Finds a compressed encoding equivalent to the given base instruction,
+/// if one exists.
+///
+/// This is the compression direction of the C extension: given a 32-bit
+/// instruction kind and operands, return the 16-bit halfword that decodes
+/// to the identical architectural operation. Control-flow instructions
+/// *are* considered (`c.j`, `c.beqz`, …) — callers doing layout (like the
+/// assembler's auto-compression) are responsible for only compressing
+/// them when the offset arithmetic stays valid.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_isa::encode::{compress, Operands};
+/// use s4e_isa::{decode, InsnKind, IsaConfig};
+///
+/// // addi a0, a0, -1  →  c.addi a0, -1
+/// let ops = Operands { rd: 10, rs1: 10, imm: -1, ..Default::default() };
+/// let half = compress(InsnKind::Addi, ops).expect("compressible");
+/// let insn = decode(half as u32, &IsaConfig::rv32imc()).expect("decodes");
+/// assert_eq!(insn.kind(), InsnKind::Addi);
+/// assert_eq!(insn.imm(), -1);
+///
+/// // addi a0, a1, -1 has no compressed form (rd != rs1, rs1 != x0)
+/// let ops = Operands { rd: 10, rs1: 11, imm: -1, ..Default::default() };
+/// assert_eq!(compress(InsnKind::Addi, ops), None);
+/// ```
+pub fn compress(kind: InsnKind, ops: Operands) -> Option<u16> {
+    use CKind::*;
+    use InsnKind::*;
+    let try_c = |ck: CKind| encode_compressed(ck, ops).ok();
+    match kind {
+        Addi => {
+            if ops.rd == ops.rs1 && ops.rd == 2 {
+                try_c(CAddi16sp).or_else(|| try_c(CAddi))
+            } else if ops.rd == ops.rs1 && ops.rd != 0 {
+                try_c(CAddi)
+            } else if ops.rs1 == 0 {
+                try_c(CLi)
+            } else if ops.rs1 == 2 {
+                try_c(CAddi4spn)
+            } else {
+                None
+            }
+        }
+        Lui => try_c(CLui),
+        Lw => {
+            if ops.rs1 == 2 {
+                try_c(CLwsp).or_else(|| try_c(CLw))
+            } else {
+                try_c(CLw)
+            }
+        }
+        Sw => {
+            if ops.rs1 == 2 {
+                try_c(CSwsp).or_else(|| try_c(CSw))
+            } else {
+                try_c(CSw)
+            }
+        }
+        Flw => {
+            if ops.rs1 == 2 {
+                try_c(CFlwsp).or_else(|| try_c(CFlw))
+            } else {
+                try_c(CFlw)
+            }
+        }
+        Fsw => {
+            if ops.rs1 == 2 {
+                try_c(CFswsp).or_else(|| try_c(CFsw))
+            } else {
+                try_c(CFsw)
+            }
+        }
+        Slli if ops.rd == ops.rs1 => try_c(CSlli),
+        Srli if ops.rd == ops.rs1 => try_c(CSrli),
+        Srai if ops.rd == ops.rs1 => try_c(CSrai),
+        Andi if ops.rd == ops.rs1 => try_c(CAndi),
+        Add => {
+            if ops.rs1 == 0 {
+                try_c(CMv)
+            } else if ops.rd == ops.rs1 {
+                try_c(CAdd)
+            } else if ops.rd == ops.rs2 {
+                // add rd, rs1, rd is commutatively c.add rd, rs1.
+                let swapped = Operands {
+                    rs2: ops.rs1,
+                    rs1: ops.rd,
+                    ..ops
+                };
+                encode_compressed(CAdd, swapped).ok()
+            } else {
+                None
+            }
+        }
+        Sub if ops.rd == ops.rs1 => try_c(CSub),
+        Xor if ops.rd == ops.rs1 => try_c(CXor),
+        Or if ops.rd == ops.rs1 => try_c(COr),
+        And if ops.rd == ops.rs1 => try_c(CAnd),
+        Jal => match ops.rd {
+            0 => try_c(CJ),
+            1 => try_c(CJal),
+            _ => None,
+        },
+        Jalr if ops.imm == 0 && ops.rs1 != 0 => match ops.rd {
+            0 => try_c(CJr),
+            1 => try_c(CJalr),
+            _ => None,
+        },
+        Beq if ops.rs2 == 0 => try_c(CBeqz),
+        Bne if ops.rs2 == 0 => try_c(CBnez),
+        Ebreak if ops == Operands::default() => try_c(CEbreak),
+        _ => None,
+    }
+}
+
+/// Re-encodes a decoded instruction to its original width.
+///
+/// For a compressed instruction the 16-bit word is returned in the low half
+/// of the `u32`. This is the inverse of [`decode`](crate::decode) and is
+/// used by the round-trip property tests and by fault injection when it
+/// reconstructs instruction words after a bitflip.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if the instruction's operands cannot be
+/// re-encoded; this cannot happen for values produced by
+/// [`decode`](crate::decode).
+pub fn reencode(insn: &Insn) -> Result<u32> {
+    match insn.ckind() {
+        Some(ck) => encode_compressed(ck, Operands::of(insn)).map(|h| h as u32),
+        None => encode(insn.kind(), Operands::of(insn)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::kind::IsaConfig;
+
+    const FULL: IsaConfig = IsaConfig::full();
+
+    #[test]
+    fn known_words() {
+        let w = encode(
+            InsnKind::Addi,
+            Operands {
+                rd: 10,
+                rs1: 11,
+                imm: -3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(w, 0xffd5_8513);
+        let w = encode(
+            InsnKind::Sw,
+            Operands {
+                rs1: 11,
+                rs2: 10,
+                imm: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(w, 0x00a5_a223);
+    }
+
+    #[test]
+    fn imm_range_rejected() {
+        let e = encode(
+            InsnKind::Addi,
+            Operands {
+                imm: 5000,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, EncodeError::ImmOutOfRange { .. }));
+        let e = encode(
+            InsnKind::Beq,
+            Operands {
+                imm: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, EncodeError::ImmMisaligned { .. }));
+        let e = encode(
+            InsnKind::Lui,
+            Operands {
+                imm: 0x123,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, EncodeError::ImmMisaligned { .. }));
+    }
+
+    #[test]
+    fn register_validation() {
+        let e = encode(
+            InsnKind::Add,
+            Operands {
+                rd: 40,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, EncodeError::BadRegister { .. }));
+    }
+
+    #[test]
+    fn every_base_kind_roundtrips_via_decode() {
+        // Use operand values that are legal for every format.
+        for &kind in InsnKind::ALL {
+            let ops = Operands {
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+                imm: match kind.class() {
+                    crate::InsnClass::Branch => 16,
+                    crate::InsnClass::Jump => 16,
+                    _ if kind == InsnKind::Lui || kind == InsnKind::Auipc => 0x1000,
+                    crate::InsnClass::Csr => 0x340,
+                    _ if matches!(kind, InsnKind::Slli | InsnKind::Srli | InsnKind::Srai) => 7,
+                    _ => 0,
+                },
+            };
+            let raw = encode(kind, ops).unwrap_or_else(|e| panic!("encode {kind}: {e}"));
+            let insn = decode(raw, &FULL).unwrap_or_else(|e| panic!("decode {kind}: {e}"));
+            assert_eq!(insn.kind(), kind, "kind mismatch for {kind}");
+            assert_eq!(insn.raw(), raw);
+        }
+    }
+
+    #[test]
+    fn compressed_known_words() {
+        // c.nop
+        let w = encode_compressed(CKind::CNop, Operands::default()).unwrap();
+        assert_eq!(w, 0x0001);
+        // c.ebreak = 0x9002
+        let w = encode_compressed(CKind::CEbreak, Operands::default()).unwrap();
+        assert_eq!(w, 0x9002);
+    }
+
+    #[test]
+    fn compressed_roundtrip_all_kinds() {
+        use CKind::*;
+        let cases: Vec<(CKind, Operands)> = vec![
+            (CAddi4spn, Operands { rd: 10, rs1: 2, imm: 8, ..Default::default() }),
+            (CLw, Operands { rd: 10, rs1: 11, imm: 4, ..Default::default() }),
+            (CSw, Operands { rs1: 11, rs2: 10, imm: 4, ..Default::default() }),
+            (CFlw, Operands { rd: 10, rs1: 11, imm: 4, ..Default::default() }),
+            (CFsw, Operands { rs1: 11, rs2: 10, imm: 4, ..Default::default() }),
+            (CNop, Operands::default()),
+            (CAddi, Operands { rd: 10, rs1: 10, imm: -1, ..Default::default() }),
+            (CJal, Operands { rd: 1, imm: -2, ..Default::default() }),
+            (CLi, Operands { rd: 10, imm: 31, ..Default::default() }),
+            (CAddi16sp, Operands { rd: 2, rs1: 2, imm: -64, ..Default::default() }),
+            (CLui, Operands { rd: 10, imm: -4096, ..Default::default() }),
+            (CSrli, Operands { rd: 8, rs1: 8, imm: 3, ..Default::default() }),
+            (CSrai, Operands { rd: 8, rs1: 8, imm: 3, ..Default::default() }),
+            (CAndi, Operands { rd: 8, rs1: 8, imm: -5, ..Default::default() }),
+            (CSub, Operands { rd: 8, rs1: 8, rs2: 9, ..Default::default() }),
+            (CXor, Operands { rd: 8, rs1: 8, rs2: 9, ..Default::default() }),
+            (COr, Operands { rd: 8, rs1: 8, rs2: 9, ..Default::default() }),
+            (CAnd, Operands { rd: 8, rs1: 8, rs2: 9, ..Default::default() }),
+            (CJ, Operands { imm: 64, ..Default::default() }),
+            (CBeqz, Operands { rs1: 8, imm: -16, ..Default::default() }),
+            (CBnez, Operands { rs1: 8, imm: 254, ..Default::default() }),
+            (CSlli, Operands { rd: 10, rs1: 10, imm: 7, ..Default::default() }),
+            (CLwsp, Operands { rd: 10, rs1: 2, imm: 8, ..Default::default() }),
+            (CFlwsp, Operands { rd: 10, rs1: 2, imm: 8, ..Default::default() }),
+            (CJr, Operands { rs1: 1, ..Default::default() }),
+            (CMv, Operands { rd: 10, rs2: 11, ..Default::default() }),
+            (CEbreak, Operands::default()),
+            (CJalr, Operands { rd: 1, rs1: 10, ..Default::default() }),
+            (CAdd, Operands { rd: 10, rs1: 10, rs2: 11, ..Default::default() }),
+            (CSwsp, Operands { rs1: 2, rs2: 10, imm: 8, ..Default::default() }),
+            (CFswsp, Operands { rs1: 2, rs2: 10, imm: 8, ..Default::default() }),
+        ];
+        assert_eq!(cases.len(), CKind::ALL.len(), "cover every CKind");
+        for (ck, ops) in cases {
+            let half = encode_compressed(ck, ops)
+                .unwrap_or_else(|e| panic!("encode {ck}: {e}"));
+            let insn = decode(half as u32, &FULL)
+                .unwrap_or_else(|e| panic!("decode {ck} ({half:#06x}): {e}"));
+            assert_eq!(insn.ckind(), Some(ck), "ckind mismatch for {ck}");
+            let re = reencode(&insn).unwrap();
+            assert_eq!(re, half as u32, "reencode mismatch for {ck}");
+            // Operand fields must survive the round trip.
+            assert_eq!(Operands::of(&insn), ops, "operand mismatch for {ck}");
+        }
+    }
+
+    #[test]
+    fn compressed_validation() {
+        // c.addi4spn imm=0 reserved
+        assert!(encode_compressed(
+            CKind::CAddi4spn,
+            Operands { rd: 10, rs1: 2, imm: 0, ..Default::default() }
+        )
+        .is_err());
+        // non-prime register in c.lw
+        assert!(encode_compressed(
+            CKind::CLw,
+            Operands { rd: 2, rs1: 11, imm: 4, ..Default::default() }
+        )
+        .is_err());
+        // c.lui of x2
+        assert!(encode_compressed(
+            CKind::CLui,
+            Operands { rd: 2, imm: 4096, ..Default::default() }
+        )
+        .is_err());
+        // c.mv from x0
+        assert!(encode_compressed(
+            CKind::CMv,
+            Operands { rd: 10, rs2: 0, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EncodeError::ImmOutOfRange {
+            mnemonic: "addi",
+            imm: 9999,
+            min: -2048,
+            max: 2047,
+        };
+        assert!(e.to_string().contains("9999"));
+        assert!(e.to_string().contains("addi"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # s4e-isa — the RISC-V instruction-set substrate of the Scale4Edge ecosystem
+//!
+//! This crate models the RV32 instruction set the rest of the ecosystem is
+//! built on: decoding ([`decode`]), encoding ([`encode`]), disassembly
+//! ([`disassemble`]), register identity ([`Gpr`], [`Fpr`], [`Csr`]) and the
+//! instruction-type catalog ([`InsnKind`], [`CKind`]) that the coverage
+//! metric of the MBMV 2021 paper counts over.
+//!
+//! Supported modules: RV32I (incl. `mret`/`wfi`), M, F (executable subset,
+//! no fused multiply-add), C, Zicsr, Zifencei, and the custom `Xbmi`
+//! bit-manipulation extension (ten instructions per the PATMOS 2019 paper,
+//! encoded at the ratified Zbb/Zbs code points). The active module set is a
+//! value — [`IsaConfig`] — so the same binary can be decoded under
+//! different core configurations, which is what the per-ISA-subset fault
+//! and coverage experiments do.
+//!
+//! ## Example
+//!
+//! ```
+//! use s4e_isa::{decode, encode::{encode, Operands}, InsnKind, IsaConfig};
+//!
+//! let raw = encode(InsnKind::Add, Operands { rd: 10, rs1: 11, rs2: 12, imm: 0 })?;
+//! let insn = decode(raw, &IsaConfig::rv32i()).expect("own encodings decode");
+//! assert_eq!(insn.to_string(), "add a0, a1, a2");
+//! # Ok::<(), s4e_isa::EncodeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod decode;
+mod disasm;
+pub mod encode;
+mod insn;
+mod kind;
+mod reg;
+
+pub use decode::{decode, DecodeError};
+pub use disasm::disassemble;
+pub use encode::EncodeError;
+pub use insn::{Insn, RegUses};
+pub use kind::{CKind, Extension, InsnClass, InsnKind, IsaConfig};
+pub use reg::{Csr, Fpr, Gpr};

@@ -1,0 +1,392 @@
+//! The Torture-style random test-program generator.
+//!
+//! Generates self-contained, guaranteed-terminating assembly programs:
+//! random computational instructions over the whole register file, memory
+//! accesses confined to a scratch buffer, forward-only branches, and a
+//! final signature fold stored to a known location before `ebreak`. Like
+//! the RISC-V Torture generator, programs are seeded and fully
+//! deterministic.
+
+use crate::TestProgram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s4e_isa::{Extension, IsaConfig};
+use std::fmt::Write as _;
+
+/// Configuration for [`torture_program`].
+///
+/// # Examples
+///
+/// ```
+/// use s4e_torture::{torture_program, TortureConfig};
+///
+/// let cfg = TortureConfig::new(42);
+/// let a = torture_program(&cfg);
+/// let b = torture_program(&cfg);
+/// assert_eq!(a.source, b.source, "seeded generation is deterministic");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TortureConfig {
+    /// RNG seed; equal seeds generate identical programs.
+    pub seed: u64,
+    /// Approximate number of generated body instructions.
+    pub insn_count: usize,
+    /// Target ISA (controls which instruction classes are emitted).
+    pub isa: IsaConfig,
+    /// Whether to emit bounded counted loops (always of the shape the
+    /// WCET counted-loop inference recovers, so generated programs stay
+    /// statically analyzable).
+    pub loops: bool,
+}
+
+impl TortureConfig {
+    /// A default configuration (200 instructions, RV32IMFC + Zicsr +
+    /// Zifencei) with the given seed.
+    pub fn new(seed: u64) -> TortureConfig {
+        TortureConfig {
+            seed,
+            insn_count: 200,
+            isa: IsaConfig::rv32imfc(),
+            loops: false,
+        }
+    }
+
+    /// Sets the body instruction count.
+    #[must_use]
+    pub fn insns(mut self, n: usize) -> TortureConfig {
+        self.insn_count = n;
+        self
+    }
+
+    /// Sets the target ISA.
+    #[must_use]
+    pub fn isa(mut self, isa: IsaConfig) -> TortureConfig {
+        self.isa = isa;
+        self
+    }
+
+    /// Enables bounded counted loops in the generated body.
+    #[must_use]
+    pub fn with_loops(mut self, on: bool) -> TortureConfig {
+        self.loops = on;
+        self
+    }
+}
+
+/// Writable general-purpose registers for random selection: everything
+/// except `x0` (hardwired) and `x2`/`sp` (reserved as the scratch-buffer
+/// base).
+const WRITABLE: &[u8] = &[
+    1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
+    27, 28, 29, 30, 31,
+];
+
+/// Compressed-form registers (`x8`–`x15`).
+const PRIME: &[u8] = &[8, 9, 10, 11, 12, 13, 14, 15];
+
+fn reg(n: u8) -> String {
+    format!("x{n}")
+}
+
+/// Generates one random self-checking program.
+pub fn torture_program(cfg: &TortureConfig) -> TestProgram {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::new();
+    let isa = &cfg.isa;
+    let _ = writeln!(out, "# torture seed={} insns={}", cfg.seed, cfg.insn_count);
+    let _ = writeln!(out, "_start:");
+    // Scratch buffer base in sp; buffer is 256 bytes at the end.
+    let _ = writeln!(out, "    la sp, scratch");
+    // Random initial values in every writable register.
+    for &r in WRITABLE {
+        if r == 2 {
+            continue;
+        }
+        let _ = writeln!(out, "    li {}, {}", reg(r), rng.random::<i32>());
+    }
+    if isa.has(Extension::F) {
+        for f in 0..32 {
+            let src = WRITABLE[rng.random_range(0..WRITABLE.len())];
+            let _ = writeln!(out, "    fcvt.s.w f{f}, {}", reg(src));
+        }
+    }
+
+    let mut label = 0u32;
+    let mut emitted = 0usize;
+    while emitted < cfg.insn_count {
+        if cfg.loops && rng.random_range(0..12) == 0 {
+            emitted += emit_counted_loop(&mut out, &mut rng, isa, &mut label);
+        } else {
+            emitted += emit_random(&mut out, &mut rng, isa, &mut label, None);
+        }
+    }
+
+    // Signature fold: xor every register into x31... then move to a0.
+    let _ = writeln!(out, "    # signature");
+    let _ = writeln!(out, "    or x31, x31, zero"); // touch x0 in every program
+    for &r in WRITABLE {
+        if r == 31 || r == 2 {
+            continue;
+        }
+        let _ = writeln!(out, "    xor x31, x31, {}", reg(r));
+    }
+    if isa.has(Extension::F) {
+        for f in 0..4 {
+            let _ = writeln!(out, "    fmv.x.w x30, f{f}");
+            let _ = writeln!(out, "    xor x31, x31, x30");
+        }
+    }
+    let _ = writeln!(out, "    mv a0, x31");
+    let _ = writeln!(out, "    la x30, result");
+    let _ = writeln!(out, "    sw a0, 0(x30)");
+    let _ = writeln!(out, "    ebreak");
+    let _ = writeln!(out, ".align 4");
+    let _ = writeln!(out, "result: .word 0");
+    let _ = writeln!(out, "scratch: .space 256");
+
+    TestProgram {
+        name: format!("torture_{:016x}", cfg.seed),
+        source: out,
+    }
+}
+
+/// Emits a bounded counted loop whose body is random (but never writes
+/// the loop counter), in exactly the shape the WCET counted-loop
+/// inference recovers.
+fn emit_counted_loop(
+    out: &mut String,
+    rng: &mut StdRng,
+    isa: &IsaConfig,
+    label: &mut u32,
+) -> usize {
+    // The counter register: avoid sp (x2) and keep it out of the body.
+    let counter = [28u8, 29, 30, 31][rng.random_range(0..4)];
+    let bound = rng.random_range(2..9);
+    *label += 1;
+    let head = format!("lp_{label}");
+    let _ = writeln!(out, "    li x{counter}, {bound}");
+    let _ = writeln!(out, "{head}:");
+    let body_len = rng.random_range(2..6);
+    let mut emitted = 2; // li + the addi/bnez pair counts below
+    for _ in 0..body_len {
+        emitted += emit_random(out, rng, isa, label, Some(counter));
+    }
+    let _ = writeln!(out, "    addi x{counter}, x{counter}, -1");
+    let _ = writeln!(out, "    bnez x{counter}, {head}");
+    emitted + body_len.max(1)
+}
+
+/// Emits one random construct; returns how many instructions it produced.
+/// `exclude` is a register that must not be written (an enclosing loop's
+/// counter).
+fn emit_random(
+    out: &mut String,
+    rng: &mut StdRng,
+    isa: &IsaConfig,
+    label: &mut u32,
+    exclude: Option<u8>,
+) -> usize {
+    let pick = |rng: &mut StdRng, regs: &[u8]| loop {
+        let r = regs[rng.random_range(0..regs.len())];
+        if Some(r) != exclude {
+            break r;
+        }
+    };
+    let rd = pick(rng, WRITABLE);
+    let rs1 = pick(rng, WRITABLE);
+    let rs2 = pick(rng, WRITABLE);
+    let d = reg(rd);
+    let s1 = reg(rs1);
+    let s2 = reg(rs2);
+    let mut choices: Vec<u32> = vec![0, 1, 2, 3, 4]; // alu-r, alu-i, shift, mem, branch
+    if isa.has(Extension::M) {
+        choices.push(5);
+    }
+    if isa.has(Extension::C) {
+        choices.push(6);
+    }
+    if isa.has(Extension::F) {
+        choices.push(7);
+    }
+    if isa.has(Extension::Xbmi) {
+        choices.push(8);
+    }
+    choices.push(9); // csr / misc
+    match choices[rng.random_range(0..choices.len())] {
+        0 => {
+            let op = ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and"]
+                [rng.random_range(0..10)];
+            let _ = writeln!(out, "    {op} {d}, {s1}, {s2}");
+            1
+        }
+        1 => {
+            let op = ["addi", "slti", "sltiu", "xori", "ori", "andi"][rng.random_range(0..6)];
+            let imm: i32 = rng.random_range(-2048..2048);
+            let _ = writeln!(out, "    {op} {d}, {s1}, {imm}");
+            1
+        }
+        2 => {
+            let op = ["slli", "srli", "srai"][rng.random_range(0..3)];
+            let sh: u32 = rng.random_range(0..32);
+            let _ = writeln!(out, "    {op} {d}, {s1}, {sh}");
+            1
+        }
+        3 => {
+            // Scratch-confined memory access.
+            match rng.random_range(0..6) {
+                0 => {
+                    let off = rng.random_range(0..64) * 4;
+                    let _ = writeln!(out, "    sw {s1}, {off}(sp)");
+                }
+                1 => {
+                    let off = rng.random_range(0..64) * 4;
+                    let _ = writeln!(out, "    lw {d}, {off}(sp)");
+                }
+                2 => {
+                    let off = rng.random_range(0..128) * 2;
+                    let _ = writeln!(out, "    sh {s1}, {off}(sp)");
+                }
+                3 => {
+                    let off = rng.random_range(0..128) * 2;
+                    let _ = writeln!(
+                        out,
+                        "    {} {d}, {off}(sp)",
+                        if rng.random() { "lh" } else { "lhu" }
+                    );
+                }
+                4 => {
+                    let off = rng.random_range(0..256);
+                    let _ = writeln!(out, "    sb {s1}, {off}(sp)");
+                }
+                _ => {
+                    let off = rng.random_range(0..256);
+                    let _ = writeln!(
+                        out,
+                        "    {} {d}, {off}(sp)",
+                        if rng.random() { "lb" } else { "lbu" }
+                    );
+                }
+            }
+            1
+        }
+        4 => {
+            // Forward branch over a short filler run — always terminates.
+            let op = ["beq", "bne", "blt", "bge", "bltu", "bgeu"][rng.random_range(0..6)];
+            *label += 1;
+            let l = format!("t_{label}");
+            let fill = rng.random_range(1..4);
+            let _ = writeln!(out, "    {op} {s1}, {s2}, {l}");
+            for _ in 0..fill {
+                let fd = reg(pick(rng, WRITABLE));
+                let _ = writeln!(out, "    addi {fd}, {fd}, 1");
+            }
+            let _ = writeln!(out, "{l}:");
+            1 + fill
+        }
+        5 => {
+            let op = ["mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"]
+                [rng.random_range(0..8)];
+            let _ = writeln!(out, "    {op} {d}, {s1}, {s2}");
+            1
+        }
+        6 => {
+            let pd = reg(pick(rng, PRIME));
+            let ps = reg(pick(rng, PRIME));
+            match rng.random_range(0..7) {
+                0 => {
+                    let _ = writeln!(out, "    c.li {d}, {}", rng.random_range(-32..32));
+                }
+                1 => {
+                    let _ = writeln!(out, "    c.addi {d}, {}", rng.random_range(-32..32).max(-32));
+                }
+                2 => {
+                    let _ = writeln!(out, "    c.mv {d}, {s1}");
+                }
+                3 => {
+                    let _ = writeln!(out, "    c.add {d}, {s1}");
+                }
+                4 => {
+                    let op = ["c.and", "c.or", "c.xor", "c.sub"][rng.random_range(0..4)];
+                    let _ = writeln!(out, "    {op} {pd}, {ps}");
+                }
+                5 => {
+                    let op = ["c.srli", "c.srai", "c.andi"][rng.random_range(0..3)];
+                    let v = rng.random_range(0..32);
+                    let _ = writeln!(out, "    {op} {pd}, {v}");
+                }
+                _ => {
+                    let off = rng.random_range(0..16) * 4;
+                    if rng.random() {
+                        let _ = writeln!(out, "    c.lwsp {d}, {off}(sp)");
+                    } else {
+                        let _ = writeln!(out, "    c.swsp {s1}, {off}(sp)");
+                    }
+                }
+            }
+            1
+        }
+        7 => {
+            let fd = rng.random_range(0..32);
+            let fa = rng.random_range(0..32);
+            let fb = rng.random_range(0..32);
+            match rng.random_range(0..6) {
+                0 => {
+                    let op = ["fadd.s", "fsub.s", "fmul.s", "fmin.s", "fmax.s"]
+                        [rng.random_range(0..5)];
+                    let _ = writeln!(out, "    {op} f{fd}, f{fa}, f{fb}");
+                }
+                1 => {
+                    let op = ["fsgnj.s", "fsgnjn.s", "fsgnjx.s"][rng.random_range(0..3)];
+                    let _ = writeln!(out, "    {op} f{fd}, f{fa}, f{fb}");
+                }
+                2 => {
+                    let op = ["feq.s", "flt.s", "fle.s"][rng.random_range(0..3)];
+                    let _ = writeln!(out, "    {op} {d}, f{fa}, f{fb}");
+                }
+                3 => {
+                    let _ = writeln!(out, "    fcvt.s.w f{fd}, {s1}");
+                }
+                4 => {
+                    let _ = writeln!(out, "    fmv.x.w {d}, f{fa}");
+                }
+                _ => {
+                    let off = rng.random_range(0..32) * 4;
+                    if rng.random() {
+                        let _ = writeln!(out, "    fsw f{fa}, {off}(sp)");
+                    } else {
+                        let _ = writeln!(out, "    flw f{fd}, {off}(sp)");
+                    }
+                }
+            }
+            1
+        }
+        8 => {
+            match rng.random_range(0..4) {
+                0 => {
+                    let op = ["clz", "ctz", "pcnt", "rev8"][rng.random_range(0..4)];
+                    let _ = writeln!(out, "    {op} {d}, {s1}");
+                }
+                _ => {
+                    let op = ["andn", "orn", "xnor", "rol", "ror", "bext"]
+                        [rng.random_range(0..6)];
+                    let _ = writeln!(out, "    {op} {d}, {s1}, {s2}");
+                }
+            }
+            1
+        }
+        _ => {
+            match rng.random_range(0..3) {
+                0 => {
+                    let _ = writeln!(out, "    csrw mscratch, {s1}");
+                }
+                1 => {
+                    let _ = writeln!(out, "    csrr {d}, mscratch");
+                }
+                _ => {
+                    let _ = writeln!(out, "    lui {d}, {}", rng.random_range(0..0x100000));
+                }
+            }
+            1
+        }
+    }
+}

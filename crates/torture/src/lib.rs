@@ -1,0 +1,44 @@
+//! # s4e-torture — test-program generation for the Scale4Edge ecosystem
+//!
+//! Three program sources reproduce the three suites of the MBMV 2021
+//! coverage experiment:
+//!
+//! * [`architectural_suite`] — one directed program per instruction type
+//!   (the riscv-arch-test analog);
+//! * [`unit_suite`] — per-functional-unit programs (the riscv-tests
+//!   analog);
+//! * [`torture_program`] — seeded random self-checking programs over the
+//!   full register file (the RISC-V Torture analog).
+//!
+//! All programs are emitted as assembly text for `s4e-asm` and terminate
+//! deterministically at an `ebreak`.
+//!
+//! ## Example
+//!
+//! ```
+//! use s4e_torture::{torture_program, TortureConfig};
+//! use s4e_asm::assemble;
+//!
+//! let p = torture_program(&TortureConfig::new(7).insns(50));
+//! let image = assemble(&p.source)?;
+//! assert!(!image.bytes().is_empty());
+//! # Ok::<(), s4e_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generator;
+mod suites;
+
+pub use generator::{torture_program, TortureConfig};
+pub use suites::{architectural_suite, unit_suite};
+
+/// A named test program in assembly-source form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestProgram {
+    /// A unique, filesystem-safe name.
+    pub name: String,
+    /// The assembly source, accepted by [`s4e_asm::assemble`].
+    pub source: String,
+}

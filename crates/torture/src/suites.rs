@@ -1,0 +1,328 @@
+//! The directed test suites of experiment T1: the architectural suite
+//! (one small directed program per instruction type) and the unit suite
+//! (per-functional-unit programs).
+//!
+//! By design the suites have the complementary coverage characters the
+//! MBMV 2021 paper reports: the architectural suite reaches near-total
+//! *instruction-type* coverage using a small fixed register set; the
+//! Torture-generated programs reach total *register* coverage from a
+//! computational instruction subset; the unit suite sits in between.
+//! `wfi` is the one deliberately untested instruction (it would park the
+//! hart), which is what keeps the unified suite just under 100 %
+//! instruction-type coverage.
+
+use crate::TestProgram;
+use s4e_isa::{Extension, InsnKind, IsaConfig};
+
+/// Shared program prologue: a trap handler that skips the trapping
+/// instruction, so system instructions are testable.
+const TRAP_PROLOGUE: &str = r#"
+    la t0, __handler
+    csrw mtvec, t0
+    j __body
+__handler:
+    csrr t0, mepc
+    addi t0, t0, 4
+    csrw mepc, t0
+    mret
+__body:
+"#;
+
+const EPILOGUE: &str = "    ebreak\n.align 4\n__data: .word 0x11223344, 0x55667788, 0, 0\n";
+
+fn prog(name: &str, body: &str) -> TestProgram {
+    TestProgram {
+        name: name.to_string(),
+        source: format!("{TRAP_PROLOGUE}{body}\n{EPILOGUE}"),
+    }
+}
+
+/// The architectural suite: one directed program per testable instruction
+/// type of the configuration. `wfi` is intentionally excluded.
+pub fn architectural_suite(isa: &IsaConfig) -> Vec<TestProgram> {
+    InsnKind::ALL
+        .iter()
+        .filter(|k| isa.has(k.extension()))
+        .filter(|k| **k != InsnKind::Wfi)
+        .map(|&kind| {
+            let body = directed_body(kind);
+            prog(&format!("arch_{}", kind.mnemonic().replace('.', "_")), &body)
+        })
+        .collect()
+}
+
+/// A directed snippet exercising one instruction type. Uses only
+/// `t0`–`t2` / `a0`–`a1` (plus the FP temporaries), giving the suite its
+/// characteristically low register coverage.
+fn directed_body(kind: InsnKind) -> String {
+    use InsnKind::*;
+    let m = kind.mnemonic();
+    match kind {
+        Lui => "    lui a0, 0x12345".to_string(),
+        Auipc => "    auipc a0, 0".to_string(),
+        Jal => "    jal a0, Ljal\nLjal: nop".to_string(),
+        Jalr => "    la t0, Ljalr\n    jalr a0, 0(t0)\nLjalr: nop".to_string(),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => format!(
+            "    li t0, 1\n    li t1, 2\n    {m} t0, t1, Lb1\n    nop\nLb1: {m} t1, t0, Lb2\n    nop\nLb2: nop"
+        ),
+        Lb | Lh | Lw | Lbu | Lhu => format!("    la t0, __data\n    {m} a0, 0(t0)"),
+        Sb | Sh | Sw => format!("    la t0, __data\n    li a0, 0x5a\n    {m} a0, 8(t0)"),
+        Addi | Slti | Sltiu | Xori | Ori | Andi => {
+            format!("    li t0, 7\n    {m} a0, t0, -3")
+        }
+        Slli | Srli | Srai => format!("    li t0, -64\n    {m} a0, t0, 3"),
+        Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu
+        | Mulhu | Div | Divu | Rem | Remu | Andn | Orn | Xnor | Rol | Ror | Bext => {
+            format!("    li t0, -7\n    li t1, 3\n    {m} a0, t0, t1")
+        }
+        Clz | Ctz | Pcnt | Rev8 => format!("    li t0, 0x00f0\n    {m} a0, t0"),
+        Fence => "    fence".to_string(),
+        FenceI => "    fence.i".to_string(),
+        Ecall => "    ecall".to_string(),
+        Ebreak => "    nop  # ebreak is the epilogue".to_string(),
+        Mret => "    ecall  # handler returns via mret".to_string(),
+        Wfi => unreachable!("wfi is excluded from the suite"),
+        Csrrw => "    li t0, 5\n    csrrw a0, mscratch, t0".to_string(),
+        Csrrs => "    csrrs a0, mscratch, t0".to_string(),
+        Csrrc => "    csrrc a0, mscratch, t0".to_string(),
+        Csrrwi => "    csrrwi a0, mscratch, 5".to_string(),
+        Csrrsi => "    csrrsi a0, mscratch, 2".to_string(),
+        Csrrci => "    csrrci a0, mscratch, 1".to_string(),
+        Flw => "    la t0, __data\n    flw ft0, 0(t0)".to_string(),
+        Fsw => "    la t0, __data\n    fsw ft0, 8(t0)".to_string(),
+        FaddS | FsubS | FmulS | FdivS | FminS | FmaxS | FsgnjS | FsgnjnS | FsgnjxS => format!(
+            "    li t0, 6\n    li t1, 3\n    fcvt.s.w ft0, t0\n    fcvt.s.w ft1, t1\n    {m} ft2, ft0, ft1"
+        ),
+        FsqrtS => "    li t0, 16\n    fcvt.s.w ft0, t0\n    fsqrt.s ft1, ft0".to_string(),
+        FeqS | FltS | FleS => format!(
+            "    li t0, 1\n    li t1, 2\n    fcvt.s.w ft0, t0\n    fcvt.s.w ft1, t1\n    {m} a0, ft0, ft1"
+        ),
+        FcvtWS | FcvtWuS | FmvXW | FclassS => {
+            format!("    li t0, 9\n    fcvt.s.w ft0, t0\n    {m} a0, ft0")
+        }
+        FcvtSW | FcvtSWu | FmvWX => format!("    li t0, 9\n    {m} ft0, t0"),
+    }
+}
+
+/// The unit suite: per-functional-unit programs with moderate register
+/// variety.
+pub fn unit_suite(isa: &IsaConfig) -> Vec<TestProgram> {
+    let mut suite = vec![
+        prog(
+            "unit_arith",
+            r#"
+    li s0, 100
+    li s1, -3
+    add s2, s0, s1
+    sub s3, s0, s1
+    slt s4, s1, s0
+    sltu s5, s0, s1
+    xor s6, s0, s1
+    or  s7, s0, s1
+    and s8, s0, s1
+    addi s9, s2, 17
+"#,
+        ),
+        prog(
+            "unit_shift",
+            r#"
+    li s0, 0x80000001
+    sll s1, s0, s0
+    srl s2, s0, s0
+    sra s3, s0, s0
+    slli s4, s0, 4
+    srli s5, s0, 4
+    srai s6, s0, 4
+"#,
+        ),
+        prog(
+            "unit_branch",
+            r#"
+    li s0, 3
+    li s1, 0
+loop:
+    addi s1, s1, 2
+    addi s0, s0, -1
+    bnez s0, loop
+    beq s1, s1, ok
+    nop
+ok:
+    blt s0, s1, done
+    nop
+done:
+    nop
+"#,
+        ),
+        prog(
+            "unit_memory",
+            r#"
+    la s0, __data
+    lw s1, 0(s0)
+    sw s1, 8(s0)
+    lh s2, 0(s0)
+    lhu s3, 2(s0)
+    sh s2, 12(s0)
+    lb s4, 1(s0)
+    lbu s5, 1(s0)
+    sb s4, 13(s0)
+"#,
+        ),
+        prog(
+            "unit_upper",
+            r#"
+    lui s0, 0xfffff
+    auipc s1, 1
+    jal s2, Lu1
+Lu1: la s3, __data
+"#,
+        ),
+        prog(
+            "unit_csr",
+            r#"
+    csrr s0, mcycle
+    csrr s1, minstret
+    li s2, 0xff
+    csrw mscratch, s2
+    csrr s3, mscratch
+    csrsi mscratch, 1
+    csrci mscratch, 1
+    csrr s4, mhartid
+    csrr s5, misa
+"#,
+        ),
+    ];
+    if isa.has(Extension::M) {
+        suite.push(prog(
+            "unit_muldiv",
+            r#"
+    li s0, -1234
+    li s1, 77
+    mul s2, s0, s1
+    mulh s3, s0, s1
+    mulhu s4, s0, s1
+    mulhsu s5, s0, s1
+    div s6, s0, s1
+    divu s7, s0, s1
+    rem s8, s0, s1
+    remu s9, s0, s1
+"#,
+        ));
+    }
+    if isa.has(Extension::C) {
+        suite.push(prog(
+            "unit_compressed",
+            r#"
+    la sp, __cstack + 64
+    c.li s0, 9
+    c.addi s0, -2
+    c.mv s1, s0
+    c.add s1, s0
+    c.and s1, s0
+    c.or s1, s0
+    c.xor s1, s0
+    c.sub s1, s0
+    c.slli s1, 2
+    c.srli s0, 1
+    c.srai s0, 1
+    c.andi s0, 7
+    c.swsp s0, 4(sp)
+    c.lwsp s2, 4(sp)
+    c.addi16sp sp, -16
+    c.addi4spn a3, sp, 8
+    c.j Lc1
+    c.nop
+Lc1: c.beqz a5, Lc2
+    c.nop
+Lc2: c.bnez s0, Lc3
+    c.nop
+Lc3: c.lui s5, 4
+    nop
+    j Lc4
+__cstack: .space 80
+Lc4: nop
+"#,
+        ));
+    }
+    if isa.has(Extension::F) {
+        suite.push(prog(
+            "unit_fp",
+            r#"
+    li s0, 25
+    li s1, 4
+    fcvt.s.w fs0, s0
+    fcvt.s.wu fs1, s1
+    fadd.s fs2, fs0, fs1
+    fsub.s fs3, fs0, fs1
+    fmul.s fs4, fs0, fs1
+    fdiv.s fs5, fs0, fs1
+    fsqrt.s fs6, fs0
+    fmin.s fs7, fs0, fs1
+    fmax.s fs8, fs0, fs1
+    fsgnj.s fs9, fs0, fs1
+    feq.s s2, fs0, fs1
+    flt.s s3, fs0, fs1
+    fle.s s4, fs0, fs1
+    fclass.s s5, fs0
+    fcvt.w.s s6, fs2
+    fcvt.wu.s s7, fs2
+    fmv.x.w s8, fs3
+    fmv.w.x fs10, s8
+    la s9, __data
+    fsw fs4, 8(s9)
+    flw fs11, 8(s9)
+"#,
+        ));
+    }
+    if isa.has(Extension::Xbmi) {
+        suite.push(prog(
+            "unit_bmi",
+            r#"
+    li s0, 0x00ff00f0
+    li s1, 5
+    clz s2, s0
+    ctz s3, s0
+    pcnt s4, s0
+    rev8 s5, s0
+    andn s6, s0, s1
+    orn s7, s0, s1
+    xnor s8, s0, s1
+    rol s9, s0, s1
+    ror s10, s0, s1
+    bext s11, s0, s1
+"#,
+        ));
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_suite_covers_all_but_wfi() {
+        let isa = IsaConfig::rv32imfc();
+        let suite = architectural_suite(&isa);
+        let universe = InsnKind::ALL
+            .iter()
+            .filter(|k| isa.has(k.extension()))
+            .count();
+        assert_eq!(suite.len(), universe - 1, "every kind except wfi");
+    }
+
+    #[test]
+    fn suites_scale_with_isa() {
+        let small = unit_suite(&IsaConfig::rv32i()).len();
+        let big = unit_suite(&IsaConfig::full()).len();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn program_names_unique() {
+        let suite = architectural_suite(&IsaConfig::full());
+        let mut names: Vec<_> = suite.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+}

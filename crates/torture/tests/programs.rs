@@ -1,0 +1,178 @@
+//! Every generated program must assemble and terminate normally on the
+//! virtual prototype — and the suites must exhibit the coverage characters
+//! the T1 experiment relies on.
+
+use s4e_asm::assemble;
+use s4e_isa::IsaConfig;
+use s4e_torture::{architectural_suite, torture_program, unit_suite, TortureConfig};
+use s4e_vp::{RunOutcome, Vp};
+
+fn runs_to_break(source: &str, isa: IsaConfig) -> Vp {
+    let img = assemble(source).unwrap_or_else(|e| panic!("assembles: {e}\n{source}"));
+    let mut vp = Vp::new(isa);
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+    let outcome = vp.run_for(5_000_000);
+    assert_eq!(outcome, RunOutcome::Break, "terminates\n{source}");
+    vp
+}
+
+#[test]
+fn architectural_suite_runs() {
+    let isa = IsaConfig::rv32imfc();
+    for p in architectural_suite(&isa) {
+        runs_to_break(&p.source, isa);
+    }
+}
+
+#[test]
+fn architectural_suite_runs_full_isa() {
+    let isa = IsaConfig::full();
+    for p in architectural_suite(&isa) {
+        runs_to_break(&p.source, isa);
+    }
+}
+
+#[test]
+fn unit_suite_runs() {
+    let isa = IsaConfig::full();
+    for p in unit_suite(&isa) {
+        runs_to_break(&p.source, isa);
+    }
+}
+
+#[test]
+fn torture_programs_run_across_seeds() {
+    for seed in 0..25 {
+        let p = torture_program(&TortureConfig::new(seed).insns(150));
+        runs_to_break(&p.source, IsaConfig::rv32imfc());
+    }
+}
+
+#[test]
+fn torture_with_bmi_runs() {
+    let isa = IsaConfig::full();
+    for seed in 100..105 {
+        let p = torture_program(&TortureConfig::new(seed).insns(120).isa(isa));
+        runs_to_break(&p.source, isa);
+    }
+}
+
+#[test]
+fn torture_rv32i_only_emits_rv32i() {
+    // An RV32I-targeted program must run on an RV32I-only core.
+    let isa = IsaConfig::rv32i();
+    for seed in 200..205 {
+        let p = torture_program(&TortureConfig::new(seed).insns(100).isa(isa));
+        runs_to_break(&p.source, isa);
+    }
+}
+
+#[test]
+fn torture_determinism() {
+    let cfg = TortureConfig::new(0xdead_beef).insns(80);
+    let a = torture_program(&cfg);
+    let b = torture_program(&cfg);
+    assert_eq!(a, b);
+    let c = torture_program(&TortureConfig::new(0xdead_bef0).insns(80));
+    assert_ne!(a.source, c.source, "different seeds differ");
+}
+
+#[test]
+fn torture_signature_is_deterministic() {
+    let p = torture_program(&TortureConfig::new(11).insns(100));
+    let img = assemble(&p.source).expect("assembles");
+    let result_addr = img.symbol("result").expect("result symbol");
+    let sig1 = {
+        let vp = runs_to_break(&p.source, IsaConfig::rv32imfc());
+        vp.bus().dump(result_addr, 4).unwrap().to_vec()
+    };
+    let sig2 = {
+        let vp = runs_to_break(&p.source, IsaConfig::rv32imfc());
+        vp.bus().dump(result_addr, 4).unwrap().to_vec()
+    };
+    assert_eq!(sig1, sig2);
+}
+
+#[test]
+fn coverage_characters_of_the_suites() {
+    use s4e_coverage::CoveragePlugin;
+    let isa = IsaConfig::rv32imfc();
+    let run_cov = |source: &str| {
+        let img = assemble(source).expect("assembles");
+        let mut vp = Vp::new(isa);
+        vp.load(img.base(), img.bytes()).expect("loads");
+        vp.cpu_mut().set_pc(img.entry());
+        vp.add_plugin(Box::new(CoveragePlugin::new(isa)));
+        assert_eq!(vp.run_for(5_000_000), RunOutcome::Break);
+        vp.plugin::<CoveragePlugin>().unwrap().report()
+    };
+    // Architectural: near-total insn coverage.
+    let mut arch = run_cov("nop\nebreak");
+    for p in architectural_suite(&isa) {
+        arch.merge(&run_cov(&p.source));
+    }
+    assert!(
+        arch.insn_type_coverage().percent() > 95.0,
+        "arch insn coverage: {}",
+        arch.insn_type_coverage()
+    );
+    // Torture: total GPR coverage.
+    let mut tort = run_cov("nop\nebreak");
+    for seed in 0..10 {
+        let p = torture_program(&TortureConfig::new(seed).insns(200).isa(isa));
+        tort.merge(&run_cov(&p.source));
+    }
+    assert!(
+        tort.gpr_coverage().is_full(),
+        "torture GPR coverage: {}",
+        tort.gpr_coverage()
+    );
+    assert!(
+        tort.fpr_coverage().is_full(),
+        "torture FPR coverage: {}",
+        tort.fpr_coverage()
+    );
+    // Torture covers fewer insn types than the architectural suite.
+    assert!(tort.insn_type_coverage().covered() < arch.insn_type_coverage().covered());
+}
+
+#[test]
+fn torture_with_loops_runs_and_iterates() {
+    for seed in 300..310 {
+        let cfg = TortureConfig::new(seed).insns(150).with_loops(true);
+        let p = torture_program(&cfg);
+        let vp = runs_to_break(&p.source, IsaConfig::rv32imfc());
+        // Loop programs retire more instructions than their static count.
+        assert!(vp.cpu().instret() > 150, "seed {seed}");
+    }
+}
+
+#[test]
+fn torture_loops_remain_wcet_analyzable() {
+    // The generator only emits counted loops in the exact shape the
+    // bound inference recovers — so even loopy random programs analyze
+    // without annotations, and the QTA invariant holds.
+    use s4e_core::QtaSession;
+    use s4e_wcet::WcetOptions;
+    let isa = IsaConfig::rv32imfc();
+    let mut saw_loop = false;
+    for seed in 400..412 {
+        let cfg = TortureConfig::new(seed).insns(120).isa(isa).with_loops(true);
+        let p = torture_program(&cfg);
+        saw_loop |= p.source.contains("lp_");
+        let img = assemble(&p.source).expect("assembles");
+        let session = QtaSession::prepare(
+            img.base(),
+            img.bytes(),
+            img.entry(),
+            isa,
+            &WcetOptions::new(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", p.source));
+        let run = session.run().expect("runs");
+        assert!(run.invariant_holds(), "seed {seed}: {run:?}");
+        assert!(run.violations.is_empty(), "seed {seed}");
+    }
+    assert!(saw_loop, "at least one seed generated a loop");
+}

@@ -1,0 +1,427 @@
+//! The system bus: RAM plus memory-mapped devices.
+
+use crate::dev::Device;
+use core::fmt;
+use std::error::Error;
+
+/// Default RAM base address (matches the assembler's default link base).
+pub const RAM_BASE: u32 = 0x8000_0000;
+/// Default RAM size in bytes (4 MiB).
+pub const RAM_SIZE: u32 = 4 << 20;
+
+/// A bus access fault (no RAM or device claims the address, or the device
+/// rejected the access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusFault {
+    /// The faulting physical address.
+    pub addr: u32,
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus fault at {:#010x}", self.addr)
+    }
+}
+
+impl Error for BusFault {}
+
+/// An event signalled by a device in response to a store (e.g. the system
+/// controller's exit register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusEvent {
+    /// The guest requested simulation exit with the given code.
+    Exit(u32),
+}
+
+struct Mapping {
+    base: u32,
+    size: u32,
+    dev: Box<dyn Device>,
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {:#010x}..{:#010x}",
+            self.dev.name(),
+            self.base,
+            self.base + self.size
+        )
+    }
+}
+
+/// The system bus: a single RAM region plus memory-mapped devices.
+///
+/// Alignment is *not* checked here — the CPU core checks effective-address
+/// alignment architecturally and raises the corresponding trap; the bus
+/// only distinguishes mapped from unmapped addresses.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_vp::Bus;
+///
+/// let mut bus = Bus::new(0x8000_0000, 0x1000);
+/// bus.write32(0x8000_0010, 0xdead_beef, 0)?;
+/// assert_eq!(bus.read32(0x8000_0010, 0)?, 0xdead_beef);
+/// assert!(bus.read32(0x4000_0000, 0).is_err());
+/// # Ok::<(), s4e_vp::BusFault>(())
+/// ```
+#[derive(Debug)]
+pub struct Bus {
+    ram_base: u32,
+    ram: Vec<u8>,
+    devices: Vec<Mapping>,
+    /// Event raised by the most recent store, if any.
+    pending_event: Option<BusEvent>,
+}
+
+impl Bus {
+    /// Creates a bus with RAM at `ram_base` spanning `ram_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ram_size` is zero or the RAM region wraps the address
+    /// space.
+    pub fn new(ram_base: u32, ram_size: u32) -> Bus {
+        assert!(ram_size > 0, "RAM size must be nonzero");
+        assert!(
+            ram_base.checked_add(ram_size - 1).is_some(),
+            "RAM region wraps the 32-bit address space"
+        );
+        Bus {
+            ram_base,
+            ram: vec![0; ram_size as usize],
+            devices: Vec::new(),
+            pending_event: None,
+        }
+    }
+
+    /// Maps a device at `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps RAM or an existing device.
+    pub fn map_device(&mut self, base: u32, size: u32, dev: Box<dyn Device>) {
+        let overlaps = |b1: u32, s1: u32, b2: u32, s2: u32| {
+            (b1 as u64) < (b2 as u64 + s2 as u64) && (b2 as u64) < (b1 as u64 + s1 as u64)
+        };
+        assert!(
+            !overlaps(base, size, self.ram_base, self.ram.len() as u32),
+            "device {} overlaps RAM",
+            dev.name()
+        );
+        for m in &self.devices {
+            assert!(
+                !overlaps(base, size, m.base, m.size),
+                "device {} overlaps {}",
+                dev.name(),
+                m.dev.name()
+            );
+        }
+        self.devices.push(Mapping { base, size, dev });
+    }
+
+    /// The RAM base address.
+    pub fn ram_base(&self) -> u32 {
+        self.ram_base
+    }
+
+    /// The RAM size in bytes.
+    pub fn ram_size(&self) -> u32 {
+        self.ram.len() as u32
+    }
+
+    /// Whether `addr` lies in RAM.
+    pub fn is_ram(&self, addr: u32) -> bool {
+        self.ram_index(addr).is_some()
+    }
+
+    /// The name of the device mapped at `addr`, if any.
+    pub fn device_name_at(&self, addr: u32) -> Option<&'static str> {
+        self.devices
+            .iter()
+            .find(|m| addr >= m.base && (addr as u64) < m.base as u64 + m.size as u64)
+            .map(|m| m.dev.name())
+    }
+
+    /// Mutable access to a mapped device, downcast to its concrete type.
+    ///
+    /// Returns the first device whose concrete type is `T`.
+    pub fn device_mut<T: Device + 'static>(&mut self) -> Option<&mut T> {
+        self.devices
+            .iter_mut()
+            .find_map(|m| m.dev.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Shared access to a mapped device, downcast to its concrete type.
+    pub fn device<T: Device + 'static>(&self) -> Option<&T> {
+        self.devices
+            .iter()
+            .find_map(|m| m.dev.as_any().downcast_ref::<T>())
+    }
+
+    /// Takes the event raised by the most recent device store, if any.
+    pub fn take_event(&mut self) -> Option<BusEvent> {
+        self.pending_event.take()
+    }
+
+    /// The machine-level interrupt-pending bits contributed by all devices
+    /// at cycle `now` (an `mip`-format mask).
+    pub fn mip_bits(&self, now: u64) -> u32 {
+        self.devices
+            .iter()
+            .fold(0, |acc, m| acc | m.dev.mip_bits(now))
+    }
+
+    #[inline]
+    fn ram_index(&self, addr: u32) -> Option<usize> {
+        let off = addr.wrapping_sub(self.ram_base) as usize;
+        if off < self.ram.len() {
+            Some(off)
+        } else {
+            None
+        }
+    }
+
+    fn device_access(
+        &mut self,
+        addr: u32,
+    ) -> Option<(&mut Box<dyn Device>, u32)> {
+        self.devices
+            .iter_mut()
+            .find(|m| addr >= m.base && (addr as u64) < m.base as u64 + m.size as u64)
+            .map(|m| {
+                let off = addr - m.base;
+                (&mut m.dev, off)
+            })
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no RAM or device claims the address.
+    pub fn read8(&mut self, addr: u32, now: u64) -> Result<u8, BusFault> {
+        if let Some(i) = self.ram_index(addr) {
+            return Ok(self.ram[i]);
+        }
+        self.read_dev(addr, 1, now).map(|v| v as u8)
+    }
+
+    /// Reads a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no RAM or device claims the address range.
+    pub fn read16(&mut self, addr: u32, now: u64) -> Result<u16, BusFault> {
+        if let Some(i) = self.ram_index(addr) {
+            if i + 1 < self.ram.len() {
+                return Ok(u16::from_le_bytes([self.ram[i], self.ram[i + 1]]));
+            }
+            return Err(BusFault { addr });
+        }
+        self.read_dev(addr, 2, now).map(|v| v as u16)
+    }
+
+    /// Reads a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no RAM or device claims the address range.
+    pub fn read32(&mut self, addr: u32, now: u64) -> Result<u32, BusFault> {
+        if let Some(i) = self.ram_index(addr) {
+            if i + 3 < self.ram.len() {
+                return Ok(u32::from_le_bytes([
+                    self.ram[i],
+                    self.ram[i + 1],
+                    self.ram[i + 2],
+                    self.ram[i + 3],
+                ]));
+            }
+            return Err(BusFault { addr });
+        }
+        self.read_dev(addr, 4, now)
+    }
+
+    fn read_dev(&mut self, addr: u32, size: u8, now: u64) -> Result<u32, BusFault> {
+        match self.device_access(addr) {
+            Some((dev, off)) => dev.read(off, size, now).ok_or(BusFault { addr }),
+            None => Err(BusFault { addr }),
+        }
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no RAM or device claims the address.
+    pub fn write8(&mut self, addr: u32, value: u8, now: u64) -> Result<(), BusFault> {
+        if let Some(i) = self.ram_index(addr) {
+            self.ram[i] = value;
+            return Ok(());
+        }
+        self.write_dev(addr, value as u32, 1, now)
+    }
+
+    /// Writes a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no RAM or device claims the address range.
+    pub fn write16(&mut self, addr: u32, value: u16, now: u64) -> Result<(), BusFault> {
+        if let Some(i) = self.ram_index(addr) {
+            if i + 1 < self.ram.len() {
+                self.ram[i..i + 2].copy_from_slice(&value.to_le_bytes());
+                return Ok(());
+            }
+            return Err(BusFault { addr });
+        }
+        self.write_dev(addr, value as u32, 2, now)
+    }
+
+    /// Writes a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no RAM or device claims the address range.
+    pub fn write32(&mut self, addr: u32, value: u32, now: u64) -> Result<(), BusFault> {
+        if let Some(i) = self.ram_index(addr) {
+            if i + 3 < self.ram.len() {
+                self.ram[i..i + 4].copy_from_slice(&value.to_le_bytes());
+                return Ok(());
+            }
+            return Err(BusFault { addr });
+        }
+        self.write_dev(addr, value, 4, now)
+    }
+
+    fn write_dev(&mut self, addr: u32, value: u32, size: u8, now: u64) -> Result<(), BusFault> {
+        let (dev, off) = self.device_access(addr).ok_or(BusFault { addr })?;
+        match dev.write(off, value, size, now) {
+            Some(event) => {
+                if let Some(e) = event {
+                    self.pending_event = Some(e);
+                }
+                Ok(())
+            }
+            None => Err(BusFault { addr }),
+        }
+    }
+
+    /// Copies `bytes` into RAM starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if any byte falls outside RAM.
+    pub fn load(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusFault> {
+        let start = self.ram_index(addr).ok_or(BusFault { addr })?;
+        let end = start + bytes.len();
+        if end > self.ram.len() {
+            return Err(BusFault {
+                addr: addr + (self.ram.len() - start) as u32,
+            });
+        }
+        self.ram[start..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads `len` bytes of RAM starting at `addr` (for test assertions and
+    /// golden-run comparison).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if the range is outside RAM.
+    pub fn dump(&self, addr: u32, len: usize) -> Result<&[u8], BusFault> {
+        let start = self
+            .ram_index(addr)
+            .filter(|&s| s + len <= self.ram.len())
+            .ok_or(BusFault { addr })?;
+        Ok(&self.ram[start..start + len])
+    }
+
+    /// Direct mutable access to a RAM byte (used by fault injection to
+    /// plant permanent memory faults without going through the bus).
+    pub fn ram_byte_mut(&mut self, addr: u32) -> Option<&mut u8> {
+        self.ram_index(addr).map(move |i| &mut self.ram[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dev::Syscon;
+
+    fn bus() -> Bus {
+        Bus::new(0x8000_0000, 0x1000)
+    }
+
+    #[test]
+    fn ram_rw_all_widths() {
+        let mut b = bus();
+        b.write8(0x8000_0000, 0xaa, 0).unwrap();
+        b.write16(0x8000_0002, 0xbbcc, 0).unwrap();
+        b.write32(0x8000_0004, 0x1122_3344, 0).unwrap();
+        assert_eq!(b.read8(0x8000_0000, 0).unwrap(), 0xaa);
+        assert_eq!(b.read16(0x8000_0002, 0).unwrap(), 0xbbcc);
+        assert_eq!(b.read32(0x8000_0004, 0).unwrap(), 0x1122_3344);
+        // little-endian layout
+        assert_eq!(b.read8(0x8000_0004, 0).unwrap(), 0x44);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut b = bus();
+        assert_eq!(
+            b.read32(0x7fff_ffff, 0),
+            Err(BusFault { addr: 0x7fff_ffff })
+        );
+        assert!(b.read32(0x8000_0ffd, 0).is_err()); // straddles the end
+        assert!(b.write32(0x8000_0ffd, 0, 0).is_err());
+        assert!(b.read8(0x8000_1000, 0).is_err());
+    }
+
+    #[test]
+    fn load_and_dump() {
+        let mut b = bus();
+        b.load(0x8000_0100, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(b.dump(0x8000_0100, 4).unwrap(), &[1, 2, 3, 4]);
+        assert!(b.load(0x8000_0ffe, &[0; 4]).is_err());
+        assert!(b.dump(0x8000_0ffe, 4).is_err());
+    }
+
+    #[test]
+    fn device_mapping_and_event() {
+        let mut b = bus();
+        b.map_device(0x1100_0000, 0x100, Box::new(Syscon::new()));
+        assert_eq!(b.device_name_at(0x1100_0004), Some("syscon"));
+        assert_eq!(b.device_name_at(0x1200_0000), None);
+        b.write32(0x1100_0000, 42, 0).unwrap();
+        assert_eq!(b.take_event(), Some(BusEvent::Exit(42)));
+        assert_eq!(b.take_event(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_devices_rejected() {
+        let mut b = bus();
+        b.map_device(0x1100_0000, 0x100, Box::new(Syscon::new()));
+        b.map_device(0x1100_0080, 0x100, Box::new(Syscon::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps RAM")]
+    fn device_over_ram_rejected() {
+        let mut b = bus();
+        b.map_device(0x8000_0800, 0x100, Box::new(Syscon::new()));
+    }
+
+    #[test]
+    fn ram_byte_mut() {
+        let mut b = bus();
+        *b.ram_byte_mut(0x8000_0000).unwrap() = 7;
+        assert_eq!(b.read8(0x8000_0000, 0).unwrap(), 7);
+        assert!(b.ram_byte_mut(0x9000_0000).is_none());
+    }
+}

@@ -1,0 +1,396 @@
+//! Memory-mapped devices: UART, system controller, and CLINT timer.
+
+use crate::bus::BusEvent;
+use core::fmt;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Default UART base address.
+pub const UART_BASE: u32 = 0x1000_0000;
+/// Default UART window size.
+pub const UART_SIZE: u32 = 0x100;
+/// Default system-controller base address.
+pub const SYSCON_BASE: u32 = 0x1100_0000;
+/// Default system-controller window size.
+pub const SYSCON_SIZE: u32 = 0x100;
+/// Default CLINT base address.
+pub const CLINT_BASE: u32 = 0x0200_0000;
+/// Default CLINT window size.
+pub const CLINT_SIZE: u32 = 0x1_0000;
+
+/// A memory-mapped device.
+///
+/// Reads and writes receive the offset within the device window, the access
+/// size in bytes (1, 2 or 4) and the current cycle count (`now`, which is
+/// the time base for timer devices). A return of `None` is an access fault.
+pub trait Device: fmt::Debug + Any {
+    /// Stable device name used in plugin events and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Handles a load. `None` signals an access fault.
+    fn read(&mut self, offset: u32, size: u8, now: u64) -> Option<u32>;
+
+    /// Handles a store. Outer `None` signals an access fault; the inner
+    /// option optionally raises a [`BusEvent`].
+    fn write(&mut self, offset: u32, value: u32, size: u8, now: u64) -> Option<Option<BusEvent>>;
+
+    /// The `mip` bits this device asserts at cycle `now`.
+    fn mip_bits(&self, _now: u64) -> u32 {
+        0
+    }
+
+    /// Upcast for concrete-type access through the bus.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcast for concrete-type mutation through the bus.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+// ------------------------------------------------------------------- UART
+
+/// UART register offsets.
+pub mod uart_reg {
+    /// Write: transmit one byte.
+    pub const TXDATA: u32 = 0x0;
+    /// Read: received byte, or `0xffff_ffff` when the queue is empty.
+    pub const RXDATA: u32 = 0x4;
+    /// Read: bit 0 = TX ready (always), bit 1 = RX available.
+    pub const STATUS: u32 = 0x8;
+    /// Read/write: interrupt enable — bit 0 raises the machine external
+    /// interrupt (`mip.MEIP`) while receive data is available.
+    pub const IER: u32 = 0xc;
+}
+
+/// A simple memory-mapped UART.
+///
+/// Transmitted bytes accumulate in an output buffer readable by the host;
+/// the host can queue input bytes for the guest. This is the peripheral of
+/// the MBMV 2019 lock-control scenario: the IO-guard example watches
+/// accesses to this device's window.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_vp::dev::{Uart, Device, uart_reg};
+///
+/// let mut uart = Uart::new();
+/// uart.write(uart_reg::TXDATA, b'H' as u32, 1, 0);
+/// uart.write(uart_reg::TXDATA, b'i' as u32, 1, 0);
+/// assert_eq!(uart.take_output(), b"Hi");
+/// ```
+#[derive(Debug, Default)]
+pub struct Uart {
+    out: Vec<u8>,
+    input: VecDeque<u8>,
+    rx_irq_enabled: bool,
+}
+
+impl Uart {
+    /// Creates a UART with empty buffers.
+    pub fn new() -> Uart {
+        Uart::default()
+    }
+
+    /// Takes everything the guest transmitted so far.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// A view of the transmitted bytes without consuming them.
+    pub fn output(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Queues bytes for the guest to receive.
+    pub fn push_input(&mut self, bytes: &[u8]) {
+        self.input.extend(bytes);
+    }
+
+    /// Whether the receive interrupt is enabled (the `IER` register).
+    pub fn rx_irq_enabled(&self) -> bool {
+        self.rx_irq_enabled
+    }
+}
+
+impl Device for Uart {
+    fn name(&self) -> &'static str {
+        "uart"
+    }
+
+    fn read(&mut self, offset: u32, _size: u8, _now: u64) -> Option<u32> {
+        match offset {
+            uart_reg::TXDATA => Some(0),
+            uart_reg::RXDATA => Some(match self.input.pop_front() {
+                Some(b) => b as u32,
+                None => 0xffff_ffff,
+            }),
+            uart_reg::STATUS => Some(1 | (u32::from(!self.input.is_empty()) << 1)),
+            uart_reg::IER => Some(self.rx_irq_enabled as u32),
+            _ => None,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32, _size: u8, _now: u64) -> Option<Option<BusEvent>> {
+        match offset {
+            uart_reg::TXDATA => {
+                self.out.push(value as u8);
+                Some(None)
+            }
+            uart_reg::IER => {
+                self.rx_irq_enabled = value & 1 != 0;
+                Some(None)
+            }
+            uart_reg::RXDATA | uart_reg::STATUS => Some(None),
+            _ => None,
+        }
+    }
+
+    fn mip_bits(&self, _now: u64) -> u32 {
+        if self.rx_irq_enabled && !self.input.is_empty() {
+            1 << 11 // MEIP
+        } else {
+            0
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ----------------------------------------------------------------- Syscon
+
+/// System-controller register offsets.
+pub mod syscon_reg {
+    /// Write: end the simulation with the written exit code.
+    pub const EXIT: u32 = 0x0;
+    /// Write: print one byte to the host console buffer.
+    pub const PUTCHAR: u32 = 0x4;
+}
+
+/// The simulation system controller ("HTIF substitute"): exit register and
+/// console output.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_vp::dev::{Syscon, Device, syscon_reg};
+/// use s4e_vp::BusEvent;
+///
+/// let mut sys = Syscon::new();
+/// let ev = sys.write(syscon_reg::EXIT, 3, 4, 0).unwrap();
+/// assert_eq!(ev, Some(BusEvent::Exit(3)));
+/// ```
+#[derive(Debug, Default)]
+pub struct Syscon {
+    console: Vec<u8>,
+}
+
+impl Syscon {
+    /// Creates a system controller.
+    pub fn new() -> Syscon {
+        Syscon::default()
+    }
+
+    /// The console bytes printed via the `PUTCHAR` register.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Takes the console buffer.
+    pub fn take_console(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.console)
+    }
+}
+
+impl Device for Syscon {
+    fn name(&self) -> &'static str {
+        "syscon"
+    }
+
+    fn read(&mut self, offset: u32, _size: u8, _now: u64) -> Option<u32> {
+        match offset {
+            syscon_reg::EXIT | syscon_reg::PUTCHAR => Some(0),
+            _ => None,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32, _size: u8, _now: u64) -> Option<Option<BusEvent>> {
+        match offset {
+            syscon_reg::EXIT => Some(Some(BusEvent::Exit(value))),
+            syscon_reg::PUTCHAR => {
+                self.console.push(value as u8);
+                Some(None)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ------------------------------------------------------------------ CLINT
+
+/// CLINT register offsets.
+pub mod clint_reg {
+    /// Machine software-interrupt pending (bit 0).
+    pub const MSIP: u32 = 0x0;
+    /// Machine timer compare, low word.
+    pub const MTIMECMP_LO: u32 = 0x4000;
+    /// Machine timer compare, high word.
+    pub const MTIMECMP_HI: u32 = 0x4004;
+    /// Machine timer, low word (read-only; tracks the cycle counter).
+    pub const MTIME_LO: u32 = 0xbff8;
+    /// Machine timer, high word.
+    pub const MTIME_HI: u32 = 0xbffc;
+}
+
+/// The core-local interruptor: software interrupt bit and 64-bit machine
+/// timer driven by the cycle counter.
+#[derive(Debug)]
+pub struct Clint {
+    msip: bool,
+    mtimecmp: u64,
+}
+
+impl Clint {
+    /// Creates a CLINT with `mtimecmp` at its maximum (no timer interrupt).
+    pub fn new() -> Clint {
+        Clint {
+            msip: false,
+            mtimecmp: u64::MAX,
+        }
+    }
+
+    /// The current `mtimecmp` value.
+    pub fn mtimecmp(&self) -> u64 {
+        self.mtimecmp
+    }
+
+    /// Whether the software-interrupt bit is set.
+    pub fn msip(&self) -> bool {
+        self.msip
+    }
+}
+
+impl Default for Clint {
+    fn default() -> Self {
+        Clint::new()
+    }
+}
+
+impl Device for Clint {
+    fn name(&self) -> &'static str {
+        "clint"
+    }
+
+    fn read(&mut self, offset: u32, _size: u8, now: u64) -> Option<u32> {
+        match offset {
+            clint_reg::MSIP => Some(self.msip as u32),
+            clint_reg::MTIMECMP_LO => Some(self.mtimecmp as u32),
+            clint_reg::MTIMECMP_HI => Some((self.mtimecmp >> 32) as u32),
+            clint_reg::MTIME_LO => Some(now as u32),
+            clint_reg::MTIME_HI => Some((now >> 32) as u32),
+            _ => None,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32, _size: u8, _now: u64) -> Option<Option<BusEvent>> {
+        match offset {
+            clint_reg::MSIP => {
+                self.msip = value & 1 != 0;
+                Some(None)
+            }
+            clint_reg::MTIMECMP_LO => {
+                self.mtimecmp = (self.mtimecmp & !0xffff_ffff) | value as u64;
+                Some(None)
+            }
+            clint_reg::MTIMECMP_HI => {
+                self.mtimecmp = (self.mtimecmp & 0xffff_ffff) | ((value as u64) << 32);
+                Some(None)
+            }
+            clint_reg::MTIME_LO | clint_reg::MTIME_HI => Some(None), // read-only, ignore
+            _ => None,
+        }
+    }
+
+    fn mip_bits(&self, now: u64) -> u32 {
+        let mut mip = 0;
+        if self.msip {
+            mip |= 1 << 3; // MSIP
+        }
+        if now >= self.mtimecmp {
+            mip |= 1 << 7; // MTIP
+        }
+        mip
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_loopback() {
+        let mut u = Uart::new();
+        assert_eq!(u.read(uart_reg::RXDATA, 1, 0), Some(0xffff_ffff));
+        assert_eq!(u.read(uart_reg::STATUS, 1, 0), Some(1));
+        u.push_input(b"ok");
+        assert_eq!(u.read(uart_reg::STATUS, 1, 0), Some(3));
+        assert_eq!(u.read(uart_reg::RXDATA, 1, 0), Some(b'o' as u32));
+        assert_eq!(u.read(uart_reg::RXDATA, 1, 0), Some(b'k' as u32));
+        assert_eq!(u.read(uart_reg::RXDATA, 1, 0), Some(0xffff_ffff));
+        u.write(uart_reg::TXDATA, b'!' as u32, 1, 0);
+        assert_eq!(u.output(), b"!");
+        assert_eq!(u.take_output(), b"!");
+        assert!(u.output().is_empty());
+        assert_eq!(u.read(0x40, 1, 0), None);
+    }
+
+    #[test]
+    fn syscon_console_and_exit() {
+        let mut s = Syscon::new();
+        s.write(syscon_reg::PUTCHAR, b'x' as u32, 1, 0);
+        assert_eq!(s.console(), b"x");
+        assert_eq!(
+            s.write(syscon_reg::EXIT, 0, 4, 0),
+            Some(Some(BusEvent::Exit(0)))
+        );
+        assert_eq!(s.write(0x80, 0, 4, 0), None);
+    }
+
+    #[test]
+    fn clint_timer() {
+        let mut c = Clint::new();
+        assert_eq!(c.mip_bits(1_000_000), 0);
+        c.write(clint_reg::MTIMECMP_LO, 500, 4, 0);
+        c.write(clint_reg::MTIMECMP_HI, 0, 4, 0);
+        assert_eq!(c.mtimecmp(), 500);
+        assert_eq!(c.mip_bits(499), 0);
+        assert_eq!(c.mip_bits(500), 1 << 7);
+        c.write(clint_reg::MSIP, 1, 4, 0);
+        assert!(c.msip());
+        assert_eq!(c.mip_bits(0), 1 << 3);
+        // mtime reflects `now`
+        assert_eq!(c.read(clint_reg::MTIME_LO, 4, 0x1_2345_6789), Some(0x2345_6789));
+        assert_eq!(c.read(clint_reg::MTIME_HI, 4, 0x1_2345_6789), Some(1));
+    }
+}

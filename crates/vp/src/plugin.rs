@@ -1,0 +1,170 @@
+//! The instrumentation hook API — the ecosystem's analog of QEMU's TCG
+//! plugin interface.
+//!
+//! Every analysis tool in the ecosystem (coverage, fault classification,
+//! the QTA timing co-simulation, the IO-access guard) observes execution
+//! exclusively through this trait, never by reaching into CPU internals —
+//! the "non-invasive" property of the MBMV 2019 approach. The event
+//! vocabulary mirrors the TCG plugin API: block translated (`tb_trans`),
+//! block executed (`tb_exec`), instruction executed (`insn_exec`), memory
+//! access (`mem`), plus device accesses and traps which QEMU exposes
+//! through the same mechanism.
+
+use crate::cpu::Cpu;
+use crate::trap::Trap;
+use s4e_isa::Insn;
+use std::any::Any;
+
+/// A translated basic block, reported once when it enters the block cache.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockInfo<'a> {
+    /// Address of the first instruction.
+    pub start_pc: u32,
+    /// The decoded instructions with their addresses.
+    pub insns: &'a [(u32, Insn)],
+}
+
+impl BlockInfo<'_> {
+    /// The address one past the last instruction byte.
+    pub fn end_pc(&self) -> u32 {
+        match self.insns.last() {
+            Some((pc, insn)) => insn.next_pc(*pc),
+            None => self.start_pc,
+        }
+    }
+}
+
+/// A data-memory access performed by the guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemAccess {
+    /// PC of the accessing instruction.
+    pub pc: u32,
+    /// Effective address.
+    pub addr: u32,
+    /// Access size in bytes (1, 2 or 4).
+    pub size: u8,
+    /// The value stored, or loaded (zero-extended).
+    pub value: u32,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// An access that hit a memory-mapped device rather than RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceAccess {
+    /// The device's stable name (e.g. `"uart"`).
+    pub device: &'static str,
+    /// PC of the accessing instruction.
+    pub pc: u32,
+    /// Effective address.
+    pub addr: u32,
+    /// The value stored, or loaded.
+    pub value: u32,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// Object-safe upcast support so plugins can be recovered by concrete type
+/// after a run (see [`Vp::plugin_mut`](crate::Vp::plugin_mut)).
+///
+/// Implemented automatically for every `'static` type.
+pub trait AsAny {
+    /// Upcasts to [`Any`].
+    fn as_any(&self) -> &dyn Any;
+    /// Upcasts to mutable [`Any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An execution observer, called by the virtual prototype at the
+/// corresponding events. All methods have empty defaults; implement only
+/// what the tool needs.
+///
+/// Callbacks receive the CPU state *read-only*: observation is
+/// non-invasive by construction.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_vp::{Cpu, Plugin};
+/// use s4e_isa::Insn;
+///
+/// /// Counts executed instructions, like QEMU's `insn` example plugin.
+/// #[derive(Debug, Default)]
+/// struct InsnCounter {
+///     executed: u64,
+/// }
+///
+/// impl Plugin for InsnCounter {
+///     fn on_insn_executed(&mut self, _cpu: &Cpu, _pc: u32, _insn: &Insn) {
+///         self.executed += 1;
+///     }
+/// }
+/// ```
+#[allow(unused_variables)]
+pub trait Plugin: AsAny + std::fmt::Debug {
+    /// A basic block was translated (decoded into the block cache).
+    fn on_block_translated(&mut self, block: &BlockInfo<'_>) {}
+
+    /// A basic block is about to execute.
+    fn on_block_executed(&mut self, cpu: &Cpu, start_pc: u32) {}
+
+    /// An instruction retired (state already updated).
+    fn on_insn_executed(&mut self, cpu: &Cpu, pc: u32, insn: &Insn) {}
+
+    /// A data-memory access to RAM completed.
+    fn on_mem_access(&mut self, cpu: &Cpu, access: &MemAccess) {}
+
+    /// A data access hit a memory-mapped device.
+    fn on_device_access(&mut self, cpu: &Cpu, access: &DeviceAccess) {}
+
+    /// A trap (exception or interrupt) is being taken.
+    fn on_trap(&mut self, cpu: &Cpu, trap: &Trap) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4e_isa::{decode, IsaConfig};
+
+    #[test]
+    fn block_info_end() {
+        let isa = IsaConfig::rv32imc();
+        let add = decode(0x00c5_8533, &isa).unwrap();
+        let cnop = decode(0x0001, &isa).unwrap();
+        let insns = [(0x100u32, add), (0x104, cnop)];
+        let block = BlockInfo {
+            start_pc: 0x100,
+            insns: &insns,
+        };
+        assert_eq!(block.end_pc(), 0x106);
+        let empty = BlockInfo {
+            start_pc: 0x100,
+            insns: &[],
+        };
+        assert_eq!(empty.end_pc(), 0x100);
+    }
+
+    #[test]
+    fn as_any_downcast() {
+        #[derive(Debug, Default)]
+        struct P(u32);
+        impl Plugin for P {}
+        let mut boxed: Box<dyn Plugin> = Box::<P>::default();
+        // Deref explicitly: calling `as_any` on the Box itself would hit
+        // the blanket impl for `Box<dyn Plugin>` and downcast to the box.
+        boxed.as_mut().as_any_mut().downcast_mut::<P>().unwrap().0 = 7;
+        assert_eq!(boxed.as_ref().as_any().downcast_ref::<P>().unwrap().0, 7);
+    }
+}

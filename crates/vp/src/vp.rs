@@ -1,0 +1,956 @@
+//! The virtual prototype: fetch/decode/execute loop with a translation
+//! block cache, device bus, interrupt handling and plugin instrumentation.
+
+use crate::bus::{Bus, BusEvent, BusFault, RAM_BASE, RAM_SIZE};
+use crate::cpu::Cpu;
+use crate::dev::{Clint, Syscon, Uart, CLINT_BASE, CLINT_SIZE, SYSCON_BASE, SYSCON_SIZE, UART_BASE, UART_SIZE};
+use crate::plugin::{BlockInfo, DeviceAccess, MemAccess, Plugin};
+use crate::timing::TimingModel;
+use crate::trap::Trap;
+use s4e_isa::{decode, Extension, Insn, InsnKind, IsaConfig};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Maximum instructions per translation block.
+const MAX_BLOCK_INSNS: usize = 32;
+
+/// Default instruction budget of [`Vp::run`].
+pub const DEFAULT_INSN_LIMIT: u64 = 100_000_000;
+
+/// Why a [`Vp::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RunOutcome {
+    /// The guest wrote the system controller's exit register.
+    Exit(u32),
+    /// The guest executed `ebreak` (the suite's "stop simulation"
+    /// convention, like QEMU semihosting).
+    Break,
+    /// The instruction budget was exhausted; execution can be resumed.
+    InsnLimit,
+    /// `wfi` with no wake-up source armed.
+    IdleWfi,
+    /// A trap was raised with no trap vector installed (`mtvec == 0`) —
+    /// the fault campaigns' "crash" outcome.
+    Fatal(Trap),
+}
+
+impl RunOutcome {
+    /// Whether the guest terminated normally (exit code 0 or `ebreak`).
+    pub fn is_normal_termination(&self) -> bool {
+        matches!(self, RunOutcome::Exit(0) | RunOutcome::Break)
+    }
+}
+
+/// One decoded basic block.
+#[derive(Debug)]
+struct Block {
+    insns: Vec<(u32, Insn)>,
+}
+
+/// Builder for a [`Vp`].
+///
+/// # Examples
+///
+/// ```
+/// use s4e_vp::{Vp, TimingModel};
+/// use s4e_isa::IsaConfig;
+///
+/// let vp = Vp::builder()
+///     .isa(IsaConfig::rv32i())
+///     .ram(0x8000_0000, 64 * 1024)
+///     .timing(TimingModel::flat())
+///     .block_cache(false)
+///     .build();
+/// assert_eq!(vp.bus().ram_size(), 64 * 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VpBuilder {
+    isa: IsaConfig,
+    ram_base: u32,
+    ram_size: u32,
+    timing: TimingModel,
+    cache_enabled: bool,
+    standard_devices: bool,
+}
+
+impl VpBuilder {
+    /// Sets the ISA configuration (default: RV32IMC).
+    #[must_use]
+    pub fn isa(mut self, isa: IsaConfig) -> VpBuilder {
+        self.isa = isa;
+        self
+    }
+
+    /// Sets RAM base and size (default: 4 MiB at `0x8000_0000`).
+    #[must_use]
+    pub fn ram(mut self, base: u32, size: u32) -> VpBuilder {
+        self.ram_base = base;
+        self.ram_size = size;
+        self
+    }
+
+    /// Sets the timing model (default: [`TimingModel::new`]).
+    #[must_use]
+    pub fn timing(mut self, timing: TimingModel) -> VpBuilder {
+        self.timing = timing;
+        self
+    }
+
+    /// Enables or disables the translation block cache (default: enabled).
+    /// Disabling re-decodes every instruction — the ablation baseline of
+    /// experiment A1.
+    #[must_use]
+    pub fn block_cache(mut self, enabled: bool) -> VpBuilder {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Whether to map the standard devices (UART, system controller,
+    /// CLINT). Default: mapped.
+    #[must_use]
+    pub fn standard_devices(mut self, mapped: bool) -> VpBuilder {
+        self.standard_devices = mapped;
+        self
+    }
+
+    /// Builds the virtual prototype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RAM region is empty or wraps the address space.
+    pub fn build(self) -> Vp {
+        let mut bus = Bus::new(self.ram_base, self.ram_size);
+        if self.standard_devices {
+            bus.map_device(UART_BASE, UART_SIZE, Box::new(Uart::new()));
+            bus.map_device(SYSCON_BASE, SYSCON_SIZE, Box::new(Syscon::new()));
+            bus.map_device(CLINT_BASE, CLINT_SIZE, Box::new(Clint::new()));
+        }
+        Vp {
+            cpu: Cpu::new(self.isa, self.ram_base),
+            bus,
+            timing: self.timing,
+            plugins: Vec::new(),
+            cache: HashMap::new(),
+            cache_enabled: self.cache_enabled,
+            code_lo: u32::MAX,
+            code_hi: 0,
+            block_exit_pending: false,
+        }
+    }
+}
+
+impl Default for VpBuilder {
+    fn default() -> Self {
+        VpBuilder {
+            isa: IsaConfig::rv32imc(),
+            ram_base: RAM_BASE,
+            ram_size: RAM_SIZE,
+            timing: TimingModel::new(),
+            cache_enabled: true,
+            standard_devices: true,
+        }
+    }
+}
+
+/// The virtual prototype: a single RV32 hart, RAM, devices and plugins.
+///
+/// # Examples
+///
+/// Running a small program to completion:
+///
+/// ```
+/// use s4e_vp::{RunOutcome, Vp};
+/// use s4e_isa::{Gpr, IsaConfig};
+///
+/// // addi a0, zero, 5 ; ebreak
+/// let code = [0x13, 0x05, 0x50, 0x00, 0x73, 0x00, 0x10, 0x00];
+/// let mut vp = Vp::new(IsaConfig::rv32i());
+/// vp.load(0x8000_0000, &code)?;
+/// assert_eq!(vp.run(), RunOutcome::Break);
+/// assert_eq!(vp.cpu().gpr(Gpr::A0), 5);
+/// # Ok::<(), s4e_vp::BusFault>(())
+/// ```
+#[derive(Debug)]
+pub struct Vp {
+    cpu: Cpu,
+    bus: Bus,
+    timing: TimingModel,
+    plugins: Vec<Box<dyn Plugin>>,
+    cache: HashMap<u32, Rc<Block>>,
+    cache_enabled: bool,
+    code_lo: u32,
+    code_hi: u32,
+    /// Set when a store hit a device: the run loop leaves the current
+    /// block so interrupt state raised by the device is sampled promptly.
+    block_exit_pending: bool,
+}
+
+enum Step {
+    Next,
+    Jump(u32),
+    Trap(Trap),
+    Break,
+    Wfi,
+}
+
+impl Vp {
+    /// Creates a VP with default RAM, devices and timing for the given ISA.
+    pub fn new(isa: IsaConfig) -> Vp {
+        Vp::builder().isa(isa).build()
+    }
+
+    /// Returns a builder for non-default configurations.
+    pub fn builder() -> VpBuilder {
+        VpBuilder::default()
+    }
+
+    /// The hart's architectural state.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable access to the hart state (fault injection, entry-point
+    /// setup).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The system bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable access to the bus (image loading, device state, memory
+    /// fault injection).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        // Memory contents may change: drop translated code.
+        self.cache.clear();
+        &mut self.bus
+    }
+
+    /// The timing model in force.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Attaches an instrumentation plugin.
+    pub fn add_plugin(&mut self, plugin: Box<dyn Plugin>) {
+        self.plugins.push(plugin);
+    }
+
+    /// Recovers an attached plugin by concrete type (first match).
+    pub fn plugin<T: Plugin + 'static>(&self) -> Option<&T> {
+        self.plugins
+            .iter()
+            .find_map(|p| p.as_ref().as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable access to an attached plugin by concrete type.
+    pub fn plugin_mut<T: Plugin + 'static>(&mut self) -> Option<&mut T> {
+        self.plugins
+            .iter_mut()
+            .find_map(|p| p.as_mut().as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Loads raw bytes into RAM and invalidates translated code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if the range is outside RAM.
+    pub fn load(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusFault> {
+        self.cache.clear();
+        self.bus.load(addr, bytes)
+    }
+
+    /// Runs with the default instruction budget.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_for(DEFAULT_INSN_LIMIT)
+    }
+
+    /// Runs at most `max_insns` instructions. Returns
+    /// [`RunOutcome::InsnLimit`] when the budget is exhausted; calling
+    /// `run_for` again resumes execution.
+    pub fn run_for(&mut self, max_insns: u64) -> RunOutcome {
+        let mut remaining = max_insns;
+        loop {
+            // Interrupts are sampled at block boundaries, like QEMU.
+            let mip = self.bus.mip_bits(self.cpu.cycles());
+            self.cpu.set_mip(mip);
+            if let Some(irq) = self.cpu.pending_interrupt() {
+                if let Some(fatal) = self.raise(irq) {
+                    return fatal;
+                }
+                continue;
+            }
+            let block = match self.fetch_block(self.cpu.pc()) {
+                Ok(b) => b,
+                Err(trap) => {
+                    if let Some(fatal) = self.raise(trap) {
+                        return fatal;
+                    }
+                    continue;
+                }
+            };
+            if !self.plugins.is_empty() {
+                let pc = self.cpu.pc();
+                for p in &mut self.plugins {
+                    p.on_block_executed(&self.cpu, pc);
+                }
+            }
+            for (pc, insn) in &block.insns {
+                if remaining == 0 {
+                    return RunOutcome::InsnLimit;
+                }
+                remaining -= 1;
+                match self.exec_insn(*pc, insn) {
+                    Some(outcome) => return outcome,
+                    None => {
+                        if self.block_exit_pending {
+                            self.block_exit_pending = false;
+                            break;
+                        }
+                        // Control left the block (jump/branch/trap)?
+                        if self.cpu.pc() != insn.next_pc(*pc) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction at `pc`. Returns `Some` when the run ends.
+    fn exec_insn(&mut self, pc: u32, insn: &Insn) -> Option<RunOutcome> {
+        let step = self.semantics(pc, insn);
+        match step {
+            Step::Next => {
+                self.cpu.add_cycles(self.timing.cost(insn, false));
+                self.cpu.set_pc(insn.next_pc(pc));
+                self.finish_insn(pc, insn);
+                None
+            }
+            Step::Jump(target) => {
+                self.cpu.add_cycles(self.timing.cost(insn, true));
+                let ialign = if self.cpu.isa().has(Extension::C) { 2 } else { 4 };
+                if target % ialign != 0 {
+                    self.notify_insn(pc, insn);
+                    return self.raise(Trap::InsnMisaligned { addr: target });
+                }
+                self.cpu.set_pc(target);
+                self.finish_insn(pc, insn);
+                None
+            }
+            Step::Trap(trap) => {
+                self.cpu.add_cycles(self.timing.cost(insn, false));
+                // The instruction does not retire, but instrumentation still
+                // observes it (like the TCG plugin API's pre-exec hook).
+                self.notify_insn(pc, insn);
+                self.raise(trap)
+            }
+            Step::Break => {
+                self.cpu.add_cycles(self.timing.cost(insn, false));
+                self.finish_insn(pc, insn);
+                Some(RunOutcome::Break)
+            }
+            Step::Wfi => {
+                self.cpu.add_cycles(self.timing.cost(insn, false));
+                self.cpu.set_pc(insn.next_pc(pc));
+                self.finish_insn(pc, insn);
+                self.wait_for_interrupt()
+            }
+        }
+        .or_else(|| {
+            // Device stores can raise bus events (exit request).
+            if insn.kind().is_store() {
+                if let Some(BusEvent::Exit(code)) = self.bus.take_event() {
+                    return Some(RunOutcome::Exit(code));
+                }
+            }
+            None
+        })
+    }
+
+    fn finish_insn(&mut self, pc: u32, insn: &Insn) {
+        self.cpu.retire();
+        self.notify_insn(pc, insn);
+    }
+
+    fn notify_insn(&mut self, pc: u32, insn: &Insn) {
+        if !self.plugins.is_empty() {
+            for p in &mut self.plugins {
+                p.on_insn_executed(&self.cpu, pc, insn);
+            }
+        }
+    }
+
+    /// Handles `wfi`: fast-forwards to the next armed timer event, or stops.
+    fn wait_for_interrupt(&mut self) -> Option<RunOutcome> {
+        loop {
+            let now = self.cpu.cycles();
+            let mip = self.bus.mip_bits(now);
+            self.cpu.set_mip(mip);
+            if self.cpu.wfi_wake_pending() {
+                return None;
+            }
+            let Some(clint) = self.bus.device::<Clint>() else {
+                return Some(RunOutcome::IdleWfi);
+            };
+            let cmp = clint.mtimecmp();
+            if self.cpu.timer_interrupt_enabled() && cmp != u64::MAX && cmp > now {
+                self.cpu.add_cycles(cmp - now);
+                continue;
+            }
+            return Some(RunOutcome::IdleWfi);
+        }
+    }
+
+    /// Takes a trap; returns the fatal outcome if no vector is installed.
+    fn raise(&mut self, trap: Trap) -> Option<RunOutcome> {
+        if !self.plugins.is_empty() {
+            for p in &mut self.plugins {
+                p.on_trap(&self.cpu, &trap);
+            }
+        }
+        if self.cpu.enter_trap(trap) {
+            None
+        } else {
+            Some(RunOutcome::Fatal(trap))
+        }
+    }
+
+    // ------------------------------------------------------------- fetch
+
+    fn fetch_block(&mut self, pc: u32) -> Result<Rc<Block>, Trap> {
+        if self.cache_enabled {
+            if let Some(b) = self.cache.get(&pc) {
+                return Ok(Rc::clone(b));
+            }
+        }
+        let block = Rc::new(self.translate_block(pc)?);
+        if !self.plugins.is_empty() {
+            let info = BlockInfo {
+                start_pc: pc,
+                insns: &block.insns,
+            };
+            for p in &mut self.plugins {
+                p.on_block_translated(&info);
+            }
+        }
+        if self.cache_enabled {
+            let end = block
+                .insns
+                .last()
+                .map(|(a, i)| i.next_pc(*a))
+                .unwrap_or(pc);
+            self.code_lo = self.code_lo.min(pc);
+            self.code_hi = self.code_hi.max(end);
+            self.cache.insert(pc, Rc::clone(&block));
+        }
+        Ok(block)
+    }
+
+    fn translate_block(&mut self, pc: u32) -> Result<Block, Trap> {
+        let mut insns = Vec::new();
+        let mut addr = pc;
+        let isa = *self.cpu.isa();
+        for _ in 0..MAX_BLOCK_INSNS {
+            if !addr.is_multiple_of(2) {
+                if insns.is_empty() {
+                    return Err(Trap::InsnMisaligned { addr });
+                }
+                break;
+            }
+            if !self.bus.is_ram(addr) {
+                if insns.is_empty() {
+                    return Err(Trap::InsnAccessFault { addr });
+                }
+                break;
+            }
+            let now = self.cpu.cycles();
+            let fetch16 = |bus: &mut Bus, a: u32| {
+                bus.read16(a, now)
+                    .map_err(|_| Trap::InsnAccessFault { addr: a })
+            };
+            let lo = match fetch16(&mut self.bus, addr) {
+                Ok(v) => v,
+                Err(t) => {
+                    if insns.is_empty() {
+                        return Err(t);
+                    }
+                    break;
+                }
+            };
+            let raw = if lo & 0b11 == 0b11 {
+                match fetch16(&mut self.bus, addr + 2) {
+                    Ok(hi) => (lo as u32) | ((hi as u32) << 16),
+                    Err(t) => {
+                        if insns.is_empty() {
+                            return Err(t);
+                        }
+                        break;
+                    }
+                }
+            } else {
+                lo as u32
+            };
+            match decode(raw, &isa) {
+                Ok(insn) => {
+                    let ends = insn.kind().ends_block();
+                    insns.push((addr, insn));
+                    addr = insn.next_pc(addr);
+                    if ends {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    if insns.is_empty() {
+                        return Err(Trap::IllegalInsn { raw: e.raw() });
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(Block { insns })
+    }
+
+    // ----------------------------------------------------------- memory
+
+    fn mem_load(&mut self, pc: u32, addr: u32, size: u8) -> Result<u32, Trap> {
+        if !addr.is_multiple_of(size as u32) {
+            return Err(Trap::LoadMisaligned { addr });
+        }
+        let now = self.cpu.cycles();
+        let value = match size {
+            1 => self.bus.read8(addr, now).map(|v| v as u32),
+            2 => self.bus.read16(addr, now).map(|v| v as u32),
+            _ => self.bus.read32(addr, now),
+        }
+        .map_err(|f| Trap::LoadAccessFault { addr: f.addr })?;
+        self.observe_access(pc, addr, size, value, false);
+        Ok(value)
+    }
+
+    fn mem_store(&mut self, pc: u32, addr: u32, size: u8, value: u32) -> Result<(), Trap> {
+        if !addr.is_multiple_of(size as u32) {
+            return Err(Trap::StoreMisaligned { addr });
+        }
+        let now = self.cpu.cycles();
+        match size {
+            1 => self.bus.write8(addr, value as u8, now),
+            2 => self.bus.write16(addr, value as u16, now),
+            _ => self.bus.write32(addr, value, now),
+        }
+        .map_err(|f| Trap::StoreAccessFault { addr: f.addr })?;
+        if !self.bus.is_ram(addr) {
+            // A device store may raise interrupt state (CLINT msip /
+            // mtimecmp); leave the block so it is sampled promptly.
+            self.block_exit_pending = true;
+        }
+        // Self-modifying code: drop translated blocks when code is written.
+        if self.cache_enabled
+            && !self.cache.is_empty()
+            && addr.wrapping_add(size as u32) > self.code_lo
+            && addr < self.code_hi
+        {
+            self.cache.clear();
+            self.code_lo = u32::MAX;
+            self.code_hi = 0;
+        }
+        self.observe_access(pc, addr, size, value, true);
+        Ok(())
+    }
+
+    fn observe_access(&mut self, pc: u32, addr: u32, size: u8, value: u32, is_store: bool) {
+        if self.plugins.is_empty() {
+            return;
+        }
+        if let Some(device) = self.bus.device_name_at(addr) {
+            let access = DeviceAccess {
+                device,
+                pc,
+                addr,
+                value,
+                is_store,
+            };
+            for p in &mut self.plugins {
+                p.on_device_access(&self.cpu, &access);
+            }
+        } else {
+            let access = MemAccess {
+                pc,
+                addr,
+                size,
+                value,
+                is_store,
+            };
+            for p in &mut self.plugins {
+                p.on_mem_access(&self.cpu, &access);
+            }
+        }
+    }
+
+    // -------------------------------------------------------- semantics
+
+    #[allow(clippy::too_many_lines)]
+    fn semantics(&mut self, pc: u32, insn: &Insn) -> Step {
+        use InsnKind::*;
+        let rs1 = self.cpu.gpr(insn.rs1_gpr());
+        let rs2 = self.cpu.gpr(insn.rs2_gpr());
+        let rd = insn.rd_gpr();
+        let imm = insn.imm();
+        macro_rules! set {
+            ($v:expr) => {{
+                self.cpu.set_gpr(rd, $v);
+                Step::Next
+            }};
+        }
+        macro_rules! load {
+            ($size:expr, $conv:expr) => {{
+                let addr = rs1.wrapping_add(imm as u32);
+                match self.mem_load(pc, addr, $size) {
+                    Ok(v) => set!($conv(v)),
+                    Err(t) => Step::Trap(t),
+                }
+            }};
+        }
+        macro_rules! store {
+            ($size:expr, $v:expr) => {{
+                let addr = rs1.wrapping_add(imm as u32);
+                match self.mem_store(pc, addr, $size, $v) {
+                    Ok(()) => Step::Next,
+                    Err(t) => Step::Trap(t),
+                }
+            }};
+        }
+        macro_rules! branch {
+            ($cond:expr) => {{
+                if $cond {
+                    Step::Jump(pc.wrapping_add(imm as u32))
+                } else {
+                    Step::Next
+                }
+            }};
+        }
+        match insn.kind() {
+            Lui => set!(imm as u32),
+            Auipc => set!(pc.wrapping_add(imm as u32)),
+            Jal => {
+                self.cpu.set_gpr(rd, insn.next_pc(pc));
+                Step::Jump(pc.wrapping_add(imm as u32))
+            }
+            Jalr => {
+                let target = rs1.wrapping_add(imm as u32) & !1;
+                self.cpu.set_gpr(rd, insn.next_pc(pc));
+                Step::Jump(target)
+            }
+            Beq => branch!(rs1 == rs2),
+            Bne => branch!(rs1 != rs2),
+            Blt => branch!((rs1 as i32) < rs2 as i32),
+            Bge => branch!(rs1 as i32 >= rs2 as i32),
+            Bltu => branch!(rs1 < rs2),
+            Bgeu => branch!(rs1 >= rs2),
+            Lb => load!(1, |v: u32| v as u8 as i8 as i32 as u32),
+            Lh => load!(2, |v: u32| v as u16 as i16 as i32 as u32),
+            Lw => load!(4, |v: u32| v),
+            Lbu => load!(1, |v: u32| v),
+            Lhu => load!(2, |v: u32| v),
+            Sb => store!(1, rs2),
+            Sh => store!(2, rs2),
+            Sw => store!(4, rs2),
+            Addi => set!(rs1.wrapping_add(imm as u32)),
+            Slti => set!(((rs1 as i32) < imm) as u32),
+            Sltiu => set!((rs1 < imm as u32) as u32),
+            Xori => set!(rs1 ^ imm as u32),
+            Ori => set!(rs1 | imm as u32),
+            Andi => set!(rs1 & imm as u32),
+            Slli => set!(rs1 << (imm as u32 & 31)),
+            Srli => set!(rs1 >> (imm as u32 & 31)),
+            Srai => set!(((rs1 as i32) >> (imm as u32 & 31)) as u32),
+            Add => set!(rs1.wrapping_add(rs2)),
+            Sub => set!(rs1.wrapping_sub(rs2)),
+            Sll => set!(rs1 << (rs2 & 31)),
+            Slt => set!(((rs1 as i32) < rs2 as i32) as u32),
+            Sltu => set!((rs1 < rs2) as u32),
+            Xor => set!(rs1 ^ rs2),
+            Srl => set!(rs1 >> (rs2 & 31)),
+            Sra => set!(((rs1 as i32) >> (rs2 & 31)) as u32),
+            Or => set!(rs1 | rs2),
+            And => set!(rs1 & rs2),
+            Mul => set!(rs1.wrapping_mul(rs2)),
+            Mulh => set!((((rs1 as i32 as i64) * (rs2 as i32 as i64)) >> 32) as u32),
+            Mulhsu => set!((((rs1 as i32 as i64) * (rs2 as u64 as i64)) >> 32) as u32),
+            Mulhu => set!((((rs1 as u64) * (rs2 as u64)) >> 32) as u32),
+            Div => set!(if rs2 == 0 {
+                u32::MAX
+            } else if rs1 == 0x8000_0000 && rs2 == u32::MAX {
+                0x8000_0000
+            } else {
+                ((rs1 as i32) / (rs2 as i32)) as u32
+            }),
+            #[allow(clippy::manual_div_ceil)]
+            Divu => set!(rs1.checked_div(rs2).unwrap_or(u32::MAX)),
+            Rem => set!(if rs2 == 0 {
+                rs1
+            } else if rs1 == 0x8000_0000 && rs2 == u32::MAX {
+                0
+            } else {
+                ((rs1 as i32) % (rs2 as i32)) as u32
+            }),
+            Remu => set!(if rs2 == 0 { rs1 } else { rs1 % rs2 }),
+            Fence => Step::Next,
+            FenceI => {
+                self.cache.clear();
+                self.code_lo = u32::MAX;
+                self.code_hi = 0;
+                Step::Next
+            }
+            Ecall => Step::Trap(Trap::EcallM),
+            Ebreak => Step::Break,
+            Mret => {
+                let target = self.cpu.leave_trap();
+                Step::Jump(target)
+            }
+            Wfi => Step::Wfi,
+            Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => self.exec_csr(insn, rs1),
+            Clz => set!(rs1.leading_zeros()),
+            Ctz => set!(rs1.trailing_zeros()),
+            Pcnt => set!(rs1.count_ones()),
+            Andn => set!(rs1 & !rs2),
+            Orn => set!(rs1 | !rs2),
+            Xnor => set!(!(rs1 ^ rs2)),
+            Rol => set!(rs1.rotate_left(rs2 & 31)),
+            Ror => set!(rs1.rotate_right(rs2 & 31)),
+            Rev8 => set!(rs1.swap_bytes()),
+            Bext => set!((rs1 >> (rs2 & 31)) & 1),
+            Flw => {
+                let addr = rs1.wrapping_add(imm as u32);
+                match self.mem_load(pc, addr, 4) {
+                    Ok(v) => {
+                        self.cpu.set_fpr(insn.rd_fpr(), v);
+                        Step::Next
+                    }
+                    Err(t) => Step::Trap(t),
+                }
+            }
+            Fsw => {
+                let addr = rs1.wrapping_add(imm as u32);
+                let v = self.cpu.fpr(insn.rs2_fpr());
+                match self.mem_store(pc, addr, 4, v) {
+                    Ok(()) => Step::Next,
+                    Err(t) => Step::Trap(t),
+                }
+            }
+            kind => self.exec_fp(kind, insn),
+        }
+    }
+
+    fn exec_csr(&mut self, insn: &Insn, rs1_value: u32) -> Step {
+        use InsnKind::*;
+        let csr = insn.csr();
+        let raw = insn.raw();
+        let Some(old) = self.cpu.csr_read(csr) else {
+            return Step::Trap(Trap::IllegalInsn { raw });
+        };
+        let (write, new) = match insn.kind() {
+            Csrrw => (true, rs1_value),
+            Csrrs => (insn.rs1() != 0, old | rs1_value),
+            Csrrc => (insn.rs1() != 0, old & !rs1_value),
+            Csrrwi => (true, insn.zimm()),
+            Csrrsi => (insn.zimm() != 0, old | insn.zimm()),
+            Csrrci => (insn.zimm() != 0, old & !insn.zimm()),
+            _ => unreachable!("exec_csr called for non-CSR kind"),
+        };
+        if write {
+            if self.cpu.csr_write(csr, new).is_none() {
+                return Step::Trap(Trap::IllegalInsn { raw });
+            }
+            if csr == s4e_isa::Csr::MSTATUS || csr == s4e_isa::Csr::MIE {
+                // Interrupt-enable state changed: leave the block so the
+                // run loop re-samples pending interrupts (QEMU ends the
+                // translation block for these writes).
+                self.block_exit_pending = true;
+            }
+        }
+        self.cpu.set_gpr(insn.rd_gpr(), old);
+        Step::Next
+    }
+
+    #[allow(clippy::if_same_then_else)] // NaN arms read clearer spelled out
+    fn exec_fp(&mut self, kind: InsnKind, insn: &Insn) -> Step {
+        use InsnKind::*;
+        let a_bits = self.cpu.fpr(insn.rs1_fpr());
+        let b_bits = self.cpu.fpr(insn.rs2_fpr());
+        let a = f32::from_bits(a_bits);
+        let b = f32::from_bits(b_bits);
+        let canon = |f: f32| -> u32 {
+            if f.is_nan() {
+                0x7fc0_0000
+            } else {
+                f.to_bits()
+            }
+        };
+        let set_f = |cpu: &mut Cpu, bits: u32| {
+            cpu.set_fpr(insn.rd_fpr(), bits);
+        };
+        let set_x = |cpu: &mut Cpu, v: u32| {
+            cpu.set_gpr(insn.rd_gpr(), v);
+        };
+        match kind {
+            FaddS => set_f(&mut self.cpu, canon(a + b)),
+            FsubS => set_f(&mut self.cpu, canon(a - b)),
+            FmulS => set_f(&mut self.cpu, canon(a * b)),
+            FdivS => set_f(&mut self.cpu, canon(a / b)),
+            FsqrtS => set_f(&mut self.cpu, canon(a.sqrt())),
+            FsgnjS => set_f(&mut self.cpu, (a_bits & 0x7fff_ffff) | (b_bits & 0x8000_0000)),
+            FsgnjnS => set_f(
+                &mut self.cpu,
+                (a_bits & 0x7fff_ffff) | (!b_bits & 0x8000_0000),
+            ),
+            FsgnjxS => set_f(&mut self.cpu, a_bits ^ (b_bits & 0x8000_0000)),
+            FminS => set_f(
+                &mut self.cpu,
+                if a.is_nan() && b.is_nan() {
+                    0x7fc0_0000
+                } else if a.is_nan() {
+                    b_bits
+                } else if b.is_nan() {
+                    a_bits
+                } else if a < b || (a == b && a.is_sign_negative()) {
+                    a_bits
+                } else {
+                    b_bits
+                },
+            ),
+            FmaxS => set_f(
+                &mut self.cpu,
+                if a.is_nan() && b.is_nan() {
+                    0x7fc0_0000
+                } else if a.is_nan() {
+                    b_bits
+                } else if b.is_nan() {
+                    a_bits
+                } else if a > b || (a == b && b.is_sign_negative()) {
+                    a_bits
+                } else {
+                    b_bits
+                },
+            ),
+            FcvtWS => set_x(
+                &mut self.cpu,
+                if a.is_nan() {
+                    i32::MAX as u32
+                } else if a >= i32::MAX as f32 {
+                    i32::MAX as u32
+                } else if a <= i32::MIN as f32 {
+                    i32::MIN as u32
+                } else {
+                    (a as i32) as u32
+                },
+            ),
+            FcvtWuS => set_x(
+                &mut self.cpu,
+                if a.is_nan() || a >= u32::MAX as f32 {
+                    u32::MAX
+                } else if a <= -1.0 {
+                    0
+                } else {
+                    a as u32
+                },
+            ),
+            FmvXW => set_x(&mut self.cpu, a_bits),
+            FclassS => set_x(&mut self.cpu, fclass(a_bits)),
+            FeqS => set_x(&mut self.cpu, (a == b) as u32),
+            FltS => set_x(&mut self.cpu, (a < b) as u32),
+            FleS => set_x(&mut self.cpu, (a <= b) as u32),
+            FcvtSW => {
+                let x = self.cpu.gpr(insn.rs1_gpr()) as i32;
+                set_f(&mut self.cpu, (x as f32).to_bits());
+            }
+            FcvtSWu => {
+                let x = self.cpu.gpr(insn.rs1_gpr());
+                set_f(&mut self.cpu, (x as f32).to_bits());
+            }
+            FmvWX => {
+                let x = self.cpu.gpr(insn.rs1_gpr());
+                set_f(&mut self.cpu, x);
+            }
+            other => {
+                debug_assert!(false, "unhandled kind {other}");
+                return Step::Trap(Trap::IllegalInsn { raw: insn.raw() });
+            }
+        }
+        Step::Next
+    }
+}
+
+/// The `fclass.s` classification mask for the given single-precision bits.
+fn fclass(bits: u32) -> u32 {
+    let sign = bits >> 31 != 0;
+    let exp = (bits >> 23) & 0xff;
+    let frac = bits & 0x7f_ffff;
+    match (exp, frac) {
+        (0xff, 0) => {
+            if sign {
+                1 << 0 // -inf
+            } else {
+                1 << 7 // +inf
+            }
+        }
+        (0xff, f) => {
+            if f & (1 << 22) != 0 {
+                1 << 9 // quiet NaN
+            } else {
+                1 << 8 // signaling NaN
+            }
+        }
+        (0, 0) => {
+            if sign {
+                1 << 3 // -0
+            } else {
+                1 << 4 // +0
+            }
+        }
+        (0, _) => {
+            if sign {
+                1 << 2 // negative subnormal
+            } else {
+                1 << 5 // positive subnormal
+            }
+        }
+        _ => {
+            if sign {
+                1 << 1 // negative normal
+            } else {
+                1 << 6 // positive normal
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fclass_masks() {
+        assert_eq!(fclass(f32::NEG_INFINITY.to_bits()), 1);
+        assert_eq!(fclass((-1.5f32).to_bits()), 1 << 1);
+        assert_eq!(fclass(0x8000_0001), 1 << 2);
+        assert_eq!(fclass(0x8000_0000), 1 << 3);
+        assert_eq!(fclass(0), 1 << 4);
+        assert_eq!(fclass(1), 1 << 5);
+        assert_eq!(fclass(1.5f32.to_bits()), 1 << 6);
+        assert_eq!(fclass(f32::INFINITY.to_bits()), 1 << 7);
+        assert_eq!(fclass(0x7f80_0001), 1 << 8);
+        assert_eq!(fclass(0x7fc0_0000), 1 << 9);
+    }
+
+    #[test]
+    fn outcome_normal_termination() {
+        assert!(RunOutcome::Exit(0).is_normal_termination());
+        assert!(RunOutcome::Break.is_normal_termination());
+        assert!(!RunOutcome::Exit(1).is_normal_termination());
+        assert!(!RunOutcome::Fatal(Trap::EcallM).is_normal_termination());
+    }
+}

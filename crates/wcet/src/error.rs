@@ -1,0 +1,96 @@
+//! WCET analysis errors.
+
+use core::fmt;
+use s4e_cfg::CfgError;
+use std::error::Error;
+
+/// An error produced by the static WCET analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WcetError {
+    /// CFG reconstruction failed.
+    Cfg(CfgError),
+    /// A loop has no annotated bound and none could be inferred.
+    MissingLoopBound {
+        /// The function containing the loop.
+        function: u32,
+        /// The loop header block address.
+        header: u32,
+    },
+    /// The call graph is recursive; the analysis requires acyclic calls.
+    Recursion {
+        /// A call cycle, as function entry addresses (first == last).
+        cycle: Vec<u32>,
+    },
+    /// A function's CFG is irreducible (a retreating edge that is not a
+    /// natural-loop back edge).
+    Irreducible {
+        /// The function entry address.
+        function: u32,
+    },
+    /// A function contains an indirect jump the analysis cannot resolve.
+    IndirectFlow {
+        /// The function entry address.
+        function: u32,
+    },
+    /// A callee's WCET was needed before it was computed (internal
+    /// ordering failure; not expected to occur).
+    UnknownCallee {
+        /// The callee entry address.
+        callee: u32,
+    },
+    /// A loop bound of zero was supplied; bounds count body executions
+    /// and must be at least one.
+    ZeroBound {
+        /// The loop header the bound was attached to.
+        header: u32,
+    },
+}
+
+impl fmt::Display for WcetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcetError::Cfg(e) => write!(f, "{e}"),
+            WcetError::MissingLoopBound { function, header } => write!(
+                f,
+                "no loop bound for header {header:#010x} in function {function:#010x} \
+                 (annotate it or enable inference)"
+            ),
+            WcetError::Recursion { cycle } => {
+                write!(f, "recursive call chain:")?;
+                for (i, a) in cycle.iter().enumerate() {
+                    write!(f, "{}{a:#010x}", if i == 0 { " " } else { " -> " })?;
+                }
+                Ok(())
+            }
+            WcetError::Irreducible { function } => {
+                write!(f, "irreducible control flow in function {function:#010x}")
+            }
+            WcetError::IndirectFlow { function } => write!(
+                f,
+                "unresolvable indirect jump in function {function:#010x}"
+            ),
+            WcetError::UnknownCallee { callee } => {
+                write!(f, "callee {callee:#010x} analyzed out of order")
+            }
+            WcetError::ZeroBound { header } => {
+                write!(f, "loop bound for header {header:#010x} must be at least 1")
+            }
+        }
+    }
+}
+
+impl Error for WcetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WcetError::Cfg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CfgError> for WcetError {
+    fn from(e: CfgError) -> Self {
+        WcetError::Cfg(e)
+    }
+}

@@ -1,0 +1,53 @@
+//! # s4e-wcet — static worst-case execution-time analysis
+//!
+//! The ecosystem's substitute for the proprietary aiT analyzer: it
+//! consumes the binary CFGs reconstructed by [`s4e_cfg`], obtains loop
+//! bounds from annotations ([`LoopBounds`]) or counted-loop inference,
+//! charges each block the worst-case cost of its instructions under the
+//! *same* [`TimingModel`](s4e_vp::TimingModel) the virtual prototype
+//! executes with, and computes per-function WCETs by structural IPET
+//! (innermost-first loop collapse, then DAG longest path), bottom-up over
+//! the call graph.
+//!
+//! The result is a [`WcetReport`] — the aiT-report equivalent — from which
+//! [`TimedCfg`] derives the WCET-annotated control-flow graph that the QTA
+//! co-simulation engine in `s4e-core` loads next to the binary (the
+//! `ait2qta` step of the published flow).
+//!
+//! ## Example
+//!
+//! ```
+//! use s4e_asm::assemble;
+//! use s4e_cfg::Program;
+//! use s4e_isa::IsaConfig;
+//! use s4e_wcet::{analyze, WcetOptions};
+//!
+//! let img = assemble(r#"
+//!     li t0, 100
+//!     loop: addi t0, t0, -1
+//!     bnez t0, loop
+//!     ebreak
+//! "#)?;
+//! let prog = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())?;
+//! let report = analyze(&prog, &WcetOptions::new())?;
+//! // The loop bound (100) was inferred automatically.
+//! let f = report.function(report.entry()).unwrap();
+//! assert_eq!(f.loops[0].bound, 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analysis;
+mod bounds;
+mod error;
+mod render;
+mod timed_cfg;
+
+pub use analysis::{
+    analyze, BlockTiming, BoundSource, FunctionWcet, LoopTiming, WcetOptions, WcetReport,
+};
+pub use bounds::{infer_bound, LoopBounds};
+pub use error::WcetError;
+pub use timed_cfg::{ParseTimedCfgError, TimedBlock, TimedCfg};

@@ -1,0 +1,101 @@
+//! Human-readable rendering of a [`WcetReport`] — the analog of the
+//! textual aiT report the published flow starts from.
+
+use crate::analysis::{BoundSource, WcetReport};
+use std::fmt::Write as _;
+
+impl WcetReport {
+    /// Renders the report as a text listing: per-function WCET, loop
+    /// bounds with provenance, and per-block costs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s4e_asm::assemble;
+    /// use s4e_cfg::Program;
+    /// use s4e_isa::IsaConfig;
+    /// use s4e_wcet::{analyze, WcetOptions};
+    ///
+    /// let img = assemble("li t0, 3\nl: addi t0, t0, -1\nbnez t0, l\nebreak")?;
+    /// let prog = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())?;
+    /// let report = analyze(&prog, &WcetOptions::new())?;
+    /// let text = report.render_text();
+    /// assert!(text.contains("WCET"));
+    /// assert!(text.contains("bound 3"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "WCET report — entry {:#010x}, program WCET {} cycles",
+            self.entry(),
+            self.total_wcet()
+        );
+        for f in self.functions().values() {
+            let name = f
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("f_{:08x}", f.entry));
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "function {name} @ {:#010x}: WCET {} cycles, {} blocks, {} loops",
+                f.entry,
+                f.wcet,
+                f.blocks.len(),
+                f.loops.len()
+            );
+            for l in &f.loops {
+                let src = match l.source {
+                    BoundSource::Annotated => "annotated",
+                    BoundSource::Inferred => "inferred",
+                };
+                let _ = writeln!(
+                    out,
+                    "  loop @ {:#010x}: bound {} ({src}), {} cycles/iteration, {} total",
+                    l.header, l.bound, l.per_iteration, l.total
+                );
+            }
+            for b in &f.blocks {
+                let call = if b.call_cost > 0 {
+                    format!(" (+{} callee)", b.call_cost)
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "  block {:#010x}..{:#010x}: {} cycles{call}",
+                    b.start, b.end, b.cost
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze, WcetOptions};
+    use s4e_asm::assemble;
+    use s4e_cfg::Program;
+    use s4e_isa::IsaConfig;
+
+    #[test]
+    fn render_includes_calls_and_loops() {
+        let img = assemble(
+            "li sp, 0x80020000\ncall f\nebreak\nf: li t0, 4\nl: addi t0, t0, -1\nbnez t0, l\nret",
+        )
+        .expect("assembles");
+        let mut prog =
+            Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
+                .expect("reconstructs");
+        prog.apply_symbols(img.symbols().iter().map(|(n, &a)| (n.as_str(), a)));
+        let report = analyze(&prog, &WcetOptions::new()).expect("analyzes");
+        let text = report.render_text();
+        assert!(text.contains("function f @"), "{text}");
+        assert!(text.contains("bound 4 (inferred)"), "{text}");
+        assert!(text.contains("callee"), "{text}");
+        assert!(text.contains("program WCET"), "{text}");
+    }
+}

@@ -1,0 +1,71 @@
+//! The T1 coverage audit in miniature: measure instruction-type and
+//! register coverage of the three test suites (architectural, unit,
+//! Torture) individually and unified.
+//!
+//! Run with: `cargo run --example coverage_audit`
+
+use scale4edge::prelude::*;
+
+fn measure_suite(
+    isa: IsaConfig,
+    programs: &[scale4edge::torture::TestProgram],
+) -> Result<CoverageReport, Box<dyn std::error::Error>> {
+    let mut merged: Option<CoverageReport> = None;
+    for p in programs {
+        let image = assemble(&p.source)?;
+        let mut vp = Vp::new(isa);
+        boot(&mut vp, &image)?;
+        vp.add_plugin(Box::new(CoveragePlugin::new(isa)));
+        let outcome = vp.run_for(5_000_000);
+        assert!(
+            outcome.is_normal_termination(),
+            "{} must terminate, got {outcome:?}",
+            p.name
+        );
+        let report = vp.plugin::<CoveragePlugin>().expect("attached").report();
+        match &mut merged {
+            Some(m) => m.merge(&report),
+            None => merged = Some(report),
+        }
+    }
+    Ok(merged.expect("at least one program"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let isa = IsaConfig::rv32imfc();
+
+    let arch = architectural_suite(&isa);
+    let unit = unit_suite(&isa);
+    let torture: Vec<_> = (0..60)
+        .map(|seed| torture_program(&TortureConfig::new(seed).insns(250).isa(isa)))
+        .collect();
+
+    let arch_cov = measure_suite(isa, &arch)?;
+    let unit_cov = measure_suite(isa, &unit)?;
+    let tort_cov = measure_suite(isa, &torture)?;
+    let mut unified = arch_cov.clone();
+    unified.merge(&unit_cov);
+    unified.merge(&tort_cov);
+
+    println!("suite            insn-types        GPR              FPR");
+    for (name, cov) in [
+        ("architectural", &arch_cov),
+        ("unit         ", &unit_cov),
+        ("torture      ", &tort_cov),
+        ("unified      ", &unified),
+    ] {
+        println!(
+            "{name}    {:>16}  {:>14}  {:>14}",
+            cov.insn_type_coverage().to_string(),
+            cov.gpr_coverage().to_string(),
+            cov.fpr_coverage().to_string(),
+        );
+    }
+    println!("\nunified-suite detail:\n{}", unified.summary_table());
+    if !unified.uncovered_insns().is_empty() {
+        println!("never executed: {:?}", unified.uncovered_insns());
+    }
+    assert!(unified.gpr_coverage().is_full(), "unified GPR coverage is 100%");
+    assert!(unified.fpr_coverage().is_full(), "unified FPR coverage is 100%");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: assemble a program, run it on the virtual prototype, then
+//! co-simulate it against its WCET-annotated CFG with the QTA.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use scale4edge::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small kernel: sum an array, with a data-dependent early exit.
+    let source = r#"
+        _start:
+            la   t0, data
+            li   t1, 8          # element count
+            li   a0, 0          # accumulator
+        loop:
+            lw   t2, 0(t0)
+            beqz t2, done       # early exit on zero sentinel
+            add  a0, a0, t2
+            addi t0, t0, 4
+            addi t1, t1, -1
+            bnez t1, loop
+        done:
+            ebreak
+        .align 4
+        data: .word 3, 1, 4, 1, 5, 9, 2, 6
+    "#;
+
+    // 1. Assemble.
+    let image = assemble(source)?;
+    println!(
+        "assembled {} bytes at {:#010x}, entry {:#010x}",
+        image.bytes().len(),
+        image.base(),
+        image.entry()
+    );
+
+    // 2. Plain functional execution on the virtual prototype.
+    let mut vp = Vp::new(IsaConfig::full());
+    boot(&mut vp, &image)?;
+    let outcome = vp.run();
+    println!(
+        "functional run: {:?}, a0 = {}, {} instructions, {} cycles",
+        outcome,
+        vp.cpu().gpr(Gpr::A0),
+        vp.cpu().instret(),
+        vp.cpu().cycles()
+    );
+
+    // 3. Static WCET analysis + QTA co-simulation. The early-exit loop is
+    //    not a simple counted loop, so we annotate its bound (8: the
+    //    element count).
+    let program = Program::from_bytes(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        &IsaConfig::full(),
+    )?;
+    let header = program.entry_function().natural_loops()[0].header;
+    let options = WcetOptions {
+        bounds: LoopBounds::new().with_bound(header, 8),
+        ..WcetOptions::new()
+    };
+    let session = QtaSession::prepare(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        IsaConfig::full(),
+        &options,
+    )?;
+    let run = session.run()?;
+    println!("\nQTA timing comparison:");
+    println!("  dynamic cycles     : {}", run.dynamic_cycles);
+    println!("  QTA worst-case path: {}", run.qta_cycles);
+    println!("  static WCET bound  : {}", run.static_wcet);
+    println!("  pessimism          : {:.2}x", run.pessimism());
+    println!("  invariant chain    : {}", run.invariant_holds());
+    assert!(run.invariant_holds());
+    assert!(run.violations.is_empty());
+    Ok(())
+}

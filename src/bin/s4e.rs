@@ -1,0 +1,12 @@
+//! The `s4e` binary: see `s4e help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match scale4edge::cli::run_cli(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

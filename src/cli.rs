@@ -1,0 +1,349 @@
+//! The `s4e` command-line driver: assemble, run, disassemble, analyze and
+//! fault-test RISC-V programs from the shell.
+//!
+//! The CLI is a thin layer over the library crates; all commands return
+//! their output as a `String` so they are directly testable.
+
+use crate::prelude::*;
+use s4e_cfg::program_to_dot;
+use s4e_vp::dev::{Syscon, Uart};
+use std::fmt::Write as _;
+
+/// A CLI usage or execution error, with the message shown to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> CliError {
+        CliError(msg.into())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+const USAGE: &str = "\
+s4e — the Scale4Edge RISC-V ecosystem driver
+
+USAGE:
+    s4e <command> <file.s> [options]
+
+COMMANDS:
+    run       assemble and execute on the virtual prototype
+    disasm    assemble and print the disassembly listing
+    cfg       reconstruct and print the control-flow graph (DOT)
+    wcet      static WCET analysis report
+    qta       WCET-annotated co-simulation (dynamic / QTA / static)
+    coverage  instruction and register coverage of one run
+    faults    coverage-driven fault-injection campaign
+
+OPTIONS:
+    --isa <rv32i|rv32im|rv32imc|rv32imfc|full>   core configuration [full]
+    --rvc                                        enable auto-compression
+    --bound <label>=<n>                          annotate a loop bound (wcet/qta)
+    --emit-tcfg <path>                           write the annotated CFG (wcet)
+    --tcfg <path>                                co-simulate a shipped CFG (qta)
+    --mutants <n>                                mutant count scale (faults) [2]
+    --threads <n>                                campaign worker threads [1]
+    --max-insns <n>                              execution budget [100000000]
+";
+
+struct Options {
+    isa: IsaConfig,
+    rvc: bool,
+    bounds: Vec<(String, u64)>,
+    mutants: usize,
+    threads: usize,
+    max_insns: u64,
+    emit_tcfg: Option<String>,
+    tcfg: Option<String>,
+}
+
+fn parse_isa(name: &str) -> Result<IsaConfig, CliError> {
+    Ok(match name {
+        "rv32i" => IsaConfig::rv32i(),
+        "rv32im" => IsaConfig::rv32im(),
+        "rv32imc" => IsaConfig::rv32imc(),
+        "rv32imfc" => IsaConfig::rv32imfc(),
+        "full" => IsaConfig::full(),
+        other => return Err(CliError::new(format!("unknown ISA `{other}`"))),
+    })
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options {
+        isa: IsaConfig::full(),
+        rvc: false,
+        bounds: Vec::new(),
+        mutants: 2,
+        threads: 1,
+        max_insns: 100_000_000,
+        emit_tcfg: None,
+        tcfg: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::new(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--isa" => opts.isa = parse_isa(&value("--isa")?)?,
+            "--rvc" => opts.rvc = true,
+            "--bound" => {
+                let v = value("--bound")?;
+                let (label, n) = v
+                    .split_once('=')
+                    .ok_or_else(|| CliError::new("--bound expects label=N"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| CliError::new(format!("bad bound `{n}`")))?;
+                opts.bounds.push((label.to_string(), n));
+            }
+            "--mutants" => {
+                opts.mutants = value("--mutants")?
+                    .parse()
+                    .map_err(|_| CliError::new("bad --mutants value"))?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| CliError::new("bad --threads value"))?;
+            }
+            "--emit-tcfg" => opts.emit_tcfg = Some(value("--emit-tcfg")?),
+            "--tcfg" => opts.tcfg = Some(value("--tcfg")?),
+            "--max-insns" => {
+                opts.max_insns = value("--max-insns")?
+                    .parse()
+                    .map_err(|_| CliError::new("bad --max-insns value"))?;
+            }
+            other => return Err(CliError::new(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_image(source: &str, opts: &Options) -> Result<Image, CliError> {
+    let asm_opts = AsmOptions::new().isa(opts.isa).compress(opts.rvc);
+    assemble_with(source, &asm_opts).map_err(|e| CliError::new(format!("assembly failed: {e}")))
+}
+
+fn wcet_options(image: &Image, opts: &Options) -> Result<WcetOptions, CliError> {
+    let mut bounds = LoopBounds::new();
+    for (label, n) in &opts.bounds {
+        let addr = image
+            .symbol(label)
+            .ok_or_else(|| CliError::new(format!("--bound label `{label}` is not a symbol")))?;
+        bounds.set(addr, *n);
+    }
+    Ok(WcetOptions {
+        bounds,
+        ..WcetOptions::new()
+    })
+}
+
+/// Runs one CLI invocation. `args` excludes the program name.
+///
+/// Returns the text the command prints on success.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with the user-facing message for usage errors,
+/// unreadable files, assembly failures, or failed analyses.
+///
+/// # Examples
+///
+/// ```no_run
+/// let out = scale4edge::cli::run_cli(&["run".into(), "prog.s".into()])?;
+/// println!("{out}");
+/// # Ok::<(), scale4edge::cli::CliError>(())
+/// ```
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::new(USAGE));
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(USAGE.to_string());
+    }
+    let path = args
+        .get(1)
+        .ok_or_else(|| CliError::new(format!("`{command}` needs an input file\n\n{USAGE}")))?;
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read `{path}`: {e}")))?;
+    let opts = parse_options(&args[2..])?;
+    run_command_inner(command, &source, &opts)
+}
+
+/// Runs one CLI command against in-memory source (the testable core of
+/// [`run_cli`]).
+///
+/// # Errors
+///
+/// Returns [`CliError`] as [`run_cli`] does, minus the file handling.
+pub fn run_command(command: &str, source: &str, opts_args: &[&str]) -> Result<String, CliError> {
+    let owned: Vec<String> = opts_args.iter().map(|s| s.to_string()).collect();
+    let opts = parse_options(&owned)?;
+    run_command_inner(command, source, &opts)
+}
+
+fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<String, CliError> {
+    let image = build_image(source, opts)?;
+    let mut out = String::new();
+    match command {
+        "run" => {
+            let mut vp = Vp::new(opts.isa);
+            crate::boot(&mut vp, &image)
+                .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
+            let outcome = vp.run_for(opts.max_insns);
+            let _ = writeln!(out, "outcome : {outcome:?}");
+            let _ = writeln!(out, "a0      : {}", vp.cpu().gpr(Gpr::A0));
+            let _ = writeln!(out, "insns   : {}", vp.cpu().instret());
+            let _ = writeln!(out, "cycles  : {}", vp.cpu().cycles());
+            if let Some(uart) = vp.bus_mut().device_mut::<Uart>() {
+                let bytes = uart.take_output();
+                if !bytes.is_empty() {
+                    let _ = writeln!(out, "uart    : {}", String::from_utf8_lossy(&bytes));
+                }
+            }
+            if let Some(sys) = vp.bus_mut().device_mut::<Syscon>() {
+                let bytes = sys.take_console();
+                if !bytes.is_empty() {
+                    let _ = writeln!(out, "console : {}", String::from_utf8_lossy(&bytes));
+                }
+            }
+        }
+        "disasm" => {
+            let mut addr = image.base();
+            while addr < image.end() {
+                let Some(half) = image.half_at(addr) else {
+                    break;
+                };
+                let raw = if half & 0b11 == 0b11 {
+                    match image.word_at(addr) {
+                        Some(w) => w,
+                        None => break,
+                    }
+                } else {
+                    half as u32
+                };
+                if let Some((sym, 0)) = image.nearest_symbol(addr) {
+                    let _ = writeln!(out, "{sym}:");
+                }
+                let text = s4e_isa::disassemble(raw, &opts.isa);
+                let _ = writeln!(out, "  {addr:#010x}: {text}");
+                addr += match decode(raw, &opts.isa) {
+                    Ok(i) => i.len() as u32,
+                    Err(_) => 4,
+                };
+            }
+        }
+        "cfg" => {
+            let mut prog =
+                Program::from_bytes(image.base(), image.bytes(), image.entry(), &opts.isa)
+                    .map_err(|e| CliError::new(format!("CFG reconstruction failed: {e}")))?;
+            prog.apply_symbols(image.symbols().iter().map(|(n, &a)| (n.as_str(), a)));
+            out.push_str(&program_to_dot(&prog));
+        }
+        "wcet" => {
+            let prog = Program::from_bytes(image.base(), image.bytes(), image.entry(), &opts.isa)
+                .map_err(|e| CliError::new(format!("CFG reconstruction failed: {e}")))?;
+            let mut prog = prog;
+            prog.apply_symbols(image.symbols().iter().map(|(n, &a)| (n.as_str(), a)));
+            let wopts = wcet_options(&image, opts)?;
+            let report = analyze(&prog, &wopts)
+                .map_err(|e| CliError::new(format!("WCET analysis failed: {e}")))?;
+            out.push_str(&report.render_text());
+            if let Some(path) = &opts.emit_tcfg {
+                let tcfg = TimedCfg::build(&prog, &report);
+                std::fs::write(path, tcfg.to_text())
+                    .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+                let _ = writeln!(out, "\nannotated CFG written to {path}");
+            }
+        }
+        "qta" => {
+            let session = if let Some(path) = &opts.tcfg {
+                // The deployed flow: binary + shipped annotated CFG.
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::new(format!("cannot read `{path}`: {e}")))?;
+                let tcfg = TimedCfg::from_text(&text)
+                    .map_err(|e| CliError::new(format!("bad annotated CFG: {e}")))?;
+                QtaSession::from_timed_cfg(
+                    image.base(),
+                    image.bytes(),
+                    image.entry(),
+                    opts.isa,
+                    TimingModel::new(),
+                    tcfg,
+                )
+            } else {
+                let wopts = wcet_options(&image, opts)?;
+                QtaSession::prepare(image.base(), image.bytes(), image.entry(), opts.isa, &wopts)
+                    .map_err(|e| CliError::new(format!("QTA preparation failed: {e}")))?
+            };
+            let run = session
+                .run()
+                .map_err(|e| CliError::new(format!("QTA run failed: {e}")))?;
+            let _ = writeln!(out, "outcome        : {:?}", run.outcome);
+            let _ = writeln!(out, "dynamic cycles : {}", run.dynamic_cycles);
+            let _ = writeln!(out, "QTA path cycles: {}", run.qta_cycles);
+            let _ = writeln!(out, "static WCET    : {}", run.static_wcet);
+            let _ = writeln!(out, "pessimism      : {:.3}x", run.pessimism());
+            let _ = writeln!(out, "invariant chain: {}", run.invariant_holds());
+            for v in &run.violations {
+                let _ = writeln!(
+                    out,
+                    "BOUND VIOLATION: header {:#010x} bound {} observed {}",
+                    v.header, v.bound, v.observed
+                );
+            }
+        }
+        "coverage" => {
+            let mut vp = Vp::new(opts.isa);
+            crate::boot(&mut vp, &image)
+                .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
+            vp.add_plugin(Box::new(CoveragePlugin::new(opts.isa)));
+            let outcome = vp.run_for(opts.max_insns);
+            let _ = writeln!(out, "outcome: {outcome:?}");
+            let report = vp
+                .plugin::<CoveragePlugin>()
+                .expect("plugin attached above")
+                .report();
+            out.push_str(&report.summary_table());
+        }
+        "faults" => {
+            let cfg = CampaignConfig::new().isa(opts.isa).threads(opts.threads);
+            let campaign = Campaign::prepare(image.base(), image.bytes(), image.entry(), &cfg)
+                .map_err(|e| CliError::new(format!("campaign preparation failed: {e}")))?;
+            let gen = GeneratorConfig {
+                stuck_per_gpr: opts.mutants,
+                transient_per_gpr: opts.mutants,
+                transient_per_fpr: opts.mutants.div_ceil(2),
+                opcode_mutants: opts.mutants * 16,
+                data_mutants: opts.mutants * 8,
+                seed: 1,
+            };
+            let mutants = generate_mutants(campaign.golden().trace(), &gen);
+            let report = campaign.run_all(&mutants);
+            out.push_str(&report.summary_table());
+            let suspects: Vec<String> = report
+                .suspects()
+                .take(10)
+                .map(|s| format!("  {}", s.spec))
+                .collect();
+            if !suspects.is_empty() {
+                let _ = writeln!(out, "first silent-corruption mutants:");
+                let _ = writeln!(out, "{}", suspects.join("\n"));
+            }
+        }
+        other => {
+            return Err(CliError::new(format!("unknown command `{other}`\n\n{USAGE}")));
+        }
+    }
+    Ok(out)
+}

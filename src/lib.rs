@@ -1,0 +1,92 @@
+//! # scale4edge — a Rust reproduction of the Scale4Edge RISC-V ecosystem
+//!
+//! One facade over the ecosystem's subsystems (DATE 2022 overview paper
+//! plus its companion tool papers):
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`isa`] | `s4e-isa` | RV32IMFC + Zicsr/Zifencei/Xbmi decode, encode, disassembly |
+//! | [`asm`] | `s4e-asm` | two-pass assembler producing flat loadable images |
+//! | [`vp`] | `s4e-vp` | the virtual prototype (QEMU substitute) with the TCG-style [`vp::Plugin`] hook API |
+//! | [`cfg`](mod@cfg) | `s4e-cfg` | binary CFG reconstruction, dominators, natural loops |
+//! | [`wcet`] | `s4e-wcet` | static WCET analysis (aiT substitute) and the `ait2qta` interchange graph |
+//! | [`qta`] | `s4e-core` | the QEMU Timing Analyzer: WCET-annotated co-simulation |
+//! | [`coverage`] | `s4e-coverage` | instruction-type / register coverage metric |
+//! | [`faultsim`] | `s4e-faultsim` | coverage-driven fault-effect campaigns |
+//! | [`torture`] | `s4e-torture` | directed suites + random test-program generation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scale4edge::prelude::*;
+//!
+//! let image = scale4edge::asm::assemble(r#"
+//!     li t0, 25
+//!     loop: addi t0, t0, -1
+//!     bnez t0, loop
+//!     ebreak
+//! "#)?;
+//! let session = QtaSession::prepare(
+//!     image.base(), image.bytes(), image.entry(),
+//!     IsaConfig::full(), &WcetOptions::new(),
+//! )?;
+//! let run = session.run()?;
+//! assert!(run.invariant_holds());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use s4e_asm as asm;
+pub use s4e_cfg as cfg;
+pub use s4e_core as qta;
+pub use s4e_coverage as coverage;
+pub use s4e_faultsim as faultsim;
+pub use s4e_isa as isa;
+pub use s4e_torture as torture;
+pub use s4e_vp as vp;
+pub use s4e_wcet as wcet;
+
+/// Loads an assembled [`Image`](s4e_asm::Image) into a virtual prototype
+/// and points the PC at its entry.
+///
+/// # Errors
+///
+/// Returns [`BusFault`](s4e_vp::BusFault) when the image does not fit the
+/// VP's RAM.
+///
+/// # Examples
+///
+/// ```
+/// use scale4edge::{boot, vp::Vp, isa::IsaConfig};
+///
+/// let image = scale4edge::asm::assemble("li a0, 3\nebreak")?;
+/// let mut vp = Vp::new(IsaConfig::full());
+/// boot(&mut vp, &image)?;
+/// vp.run();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn boot(vp: &mut s4e_vp::Vp, image: &s4e_asm::Image) -> Result<(), s4e_vp::BusFault> {
+    vp.load(image.base(), image.bytes())?;
+    vp.cpu_mut().set_pc(image.entry());
+    Ok(())
+}
+
+/// The commonly-used names in one import.
+pub mod prelude {
+    pub use crate::boot;
+    pub use s4e_asm::{assemble, assemble_with, AsmOptions, Image};
+    pub use s4e_cfg::Program;
+    pub use s4e_core::{QtaPlugin, QtaRun, QtaSession};
+    pub use s4e_coverage::{CoveragePlugin, CoverageReport};
+    pub use s4e_faultsim::{
+        generate_mutants, Campaign, CampaignConfig, FaultKind, FaultOutcome, FaultSpec,
+        FaultTarget, GeneratorConfig,
+    };
+    pub use s4e_isa::{decode, disassemble, Extension, Gpr, Insn, InsnKind, IsaConfig};
+    pub use s4e_torture::{architectural_suite, torture_program, unit_suite, TortureConfig};
+    pub use s4e_vp::{Plugin, RunOutcome, TimingModel, Vp};
+    pub use s4e_wcet::{analyze, LoopBounds, TimedCfg, WcetOptions};
+}

@@ -1,0 +1,151 @@
+//! Tests for the `s4e` command-line driver (through the testable
+//! `run_command` core).
+
+use scale4edge::cli::{run_cli, run_command};
+
+const LOOP_PROGRAM: &str = "li t0, 5\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak";
+
+#[test]
+fn help_prints_usage() {
+    let out = run_cli(&["help".to_string()]).expect("help works");
+    assert!(out.contains("USAGE"));
+    assert!(out.contains("qta"));
+}
+
+#[test]
+fn missing_args_are_usage_errors() {
+    assert!(run_cli(&[]).is_err());
+    assert!(run_cli(&["run".to_string()]).is_err());
+    let e = run_cli(&["run".to_string(), "/nonexistent.s".to_string()]).unwrap_err();
+    assert!(e.to_string().contains("cannot read"));
+}
+
+#[test]
+fn run_command_executes() {
+    let out = run_command("run", "li a0, 42\nebreak", &[]).expect("runs");
+    assert!(out.contains("outcome : Break"));
+    assert!(out.contains("a0      : 42"));
+}
+
+#[test]
+fn run_reports_console_output() {
+    let src = r#"
+        .equ SYSCON, 0x11000000
+        li t0, SYSCON
+        li t1, 'h'
+        sw t1, 4(t0)
+        li t1, 'i'
+        sw t1, 4(t0)
+        ebreak
+    "#;
+    let out = run_command("run", src, &[]).expect("runs");
+    assert!(out.contains("console : hi"), "{out}");
+}
+
+#[test]
+fn disasm_lists_instructions_and_symbols() {
+    let out = run_command("disasm", "main: addi a0, zero, 7\nebreak", &[]).expect("disasm");
+    assert!(out.contains("main:"), "{out}");
+    assert!(out.contains("addi a0, zero, 7"), "{out}");
+    assert!(out.contains("0x80000000"), "{out}");
+}
+
+#[test]
+fn cfg_emits_dot() {
+    let out = run_command("cfg", LOOP_PROGRAM, &[]).expect("cfg");
+    assert!(out.contains("digraph"));
+    assert!(out.contains("->"));
+}
+
+#[test]
+fn wcet_report_with_inferred_bound() {
+    let out = run_command("wcet", LOOP_PROGRAM, &[]).expect("wcet");
+    assert!(out.contains("bound 5 (inferred)"), "{out}");
+    assert!(out.contains("program WCET"), "{out}");
+}
+
+#[test]
+fn wcet_with_explicit_bound() {
+    // An uninferable loop (data-dependent sub) needs --bound.
+    let src = "li t0, 8\nli t1, 1\nlabel: sub t0, t0, t1\nbnez t0, label\nebreak";
+    let err = run_command("wcet", src, &[]).unwrap_err();
+    assert!(err.to_string().contains("no loop bound"), "{err}");
+    let out = run_command("wcet", src, &["--bound", "label=8"]).expect("wcet");
+    assert!(out.contains("bound 8 (annotated)"), "{out}");
+}
+
+#[test]
+fn qta_invariant_line() {
+    let out = run_command("qta", LOOP_PROGRAM, &[]).expect("qta");
+    assert!(out.contains("invariant chain: true"), "{out}");
+    assert!(out.contains("dynamic cycles"));
+}
+
+#[test]
+fn coverage_summary() {
+    let out = run_command("coverage", "add a0, a1, a2\nebreak", &["--isa", "rv32i"]).expect("cov");
+    assert!(out.contains("GPR coverage"), "{out}");
+    assert!(out.contains("RV32IZicsr"), "{out}");
+}
+
+#[test]
+fn faults_summary() {
+    let out = run_command(
+        "faults",
+        "li a0, 1\nli a1, 2\nadd a0, a0, a1\nla t0, d\nsw a0, 0(t0)\nebreak\nd: .word 0",
+        &["--mutants", "1", "--isa", "rv32imc"],
+    )
+    .expect("faults");
+    assert!(out.contains("mutants:"), "{out}");
+    assert!(out.contains("normal termination rate"), "{out}");
+}
+
+#[test]
+fn bad_option_values_error() {
+    assert!(run_command("run", "ebreak", &["--isa", "rv64"]).is_err());
+    assert!(run_command("run", "ebreak", &["--bound", "nonsense"]).is_err());
+    assert!(run_command("run", "ebreak", &["--what"]).is_err());
+    assert!(run_command("nonsense", "ebreak", &[]).is_err());
+    assert!(run_command("wcet", LOOP_PROGRAM, &["--bound", "nosuch=4"]).is_err());
+}
+
+#[test]
+fn rvc_option_shrinks_disasm() {
+    let plain = run_command("disasm", "addi a0, a0, 1\nebreak", &[]).expect("disasm");
+    let packed = run_command("disasm", "addi a0, a0, 1\nebreak", &["--rvc"]).expect("disasm");
+    // Second instruction starts earlier under compression.
+    assert!(plain.contains("0x80000004"));
+    assert!(packed.contains("0x80000002"));
+}
+
+#[test]
+fn max_insns_budget() {
+    let out = run_command(
+        "run",
+        "loop: j loop",
+        &["--max-insns", "1000"],
+    )
+    .expect("runs");
+    assert!(out.contains("InsnLimit"), "{out}");
+}
+
+#[test]
+fn two_step_flow_emit_and_consume_tcfg() {
+    // The published deployment flow: produce the annotated CFG once
+    // (the ait2qta output), then co-simulate binary + shipped CFG without
+    // re-running analysis.
+    let dir = std::env::temp_dir().join("s4e_cli_tcfg_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tcfg = dir.join("prog.tcfg");
+    let tcfg_str = tcfg.to_str().unwrap();
+
+    let out = run_command("wcet", LOOP_PROGRAM, &["--emit-tcfg", tcfg_str]).expect("wcet");
+    assert!(out.contains("annotated CFG written"), "{out}");
+    let shipped = std::fs::read_to_string(&tcfg).unwrap();
+    assert!(shipped.contains("wcet "), "{shipped}");
+    assert!(shipped.contains("bound=5"), "{shipped}");
+
+    let out = run_command("qta", LOOP_PROGRAM, &["--tcfg", tcfg_str]).expect("qta from tcfg");
+    assert!(out.contains("invariant chain: true"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,181 @@
+//! Cross-crate end-to-end scenarios: the full toolchain (assembler → CFG
+//! → WCET → QTA → coverage → fault injection) on one program.
+
+use scale4edge::prelude::*;
+
+/// A two-function fixed-point program with a counted loop — analyzable by
+/// every tool in the ecosystem.
+const PIPELINE_PROGRAM: &str = r#"
+    _start:
+        li   sp, 0x80020000
+        li   s0, 12
+        li   s1, 0
+    accumulate:
+        mv   a0, s0
+        call square
+        add  s1, s1, a0
+        addi s0, s0, -1
+        bnez s0, accumulate
+        la   t0, result
+        sw   s1, 0(t0)
+        ebreak
+    square:
+        mul  a0, a0, a0
+        ret
+    .align 4
+    result: .word 0
+"#;
+
+/// Sum of squares 1..=12 = 12·13·25/6.
+const EXPECTED: u32 = 650;
+
+#[test]
+fn full_pipeline_one_program() {
+    let image = assemble(PIPELINE_PROGRAM).expect("assembles");
+
+    // Functional result.
+    let mut vp = Vp::new(IsaConfig::full());
+    boot(&mut vp, &image).expect("boots");
+    vp.add_plugin(Box::new(CoveragePlugin::new(IsaConfig::full())));
+    assert_eq!(vp.run(), RunOutcome::Break);
+    let result_addr = image.symbol("result").expect("symbol");
+    assert_eq!(
+        vp.bus().dump(result_addr, 4).unwrap(),
+        EXPECTED.to_le_bytes()
+    );
+
+    // Coverage observed both functions' instructions.
+    let cov = vp.plugin::<CoveragePlugin>().unwrap().report();
+    assert!(cov.insn_count(InsnKind::Mul) > 0);
+    assert!(cov.insn_count(InsnKind::Jalr) > 0, "ret executed");
+
+    // CFG: two functions, one loop, acyclic call graph.
+    let prog = Program::from_bytes(image.base(), image.bytes(), image.entry(), &IsaConfig::full())
+        .expect("reconstructs");
+    assert_eq!(prog.functions().len(), 2);
+    assert_eq!(prog.entry_function().natural_loops().len(), 1);
+    assert!(prog.recursion_cycle().is_none());
+
+    // WCET + QTA invariant chain.
+    let session = QtaSession::prepare(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        IsaConfig::full(),
+        &WcetOptions::new(),
+    )
+    .expect("prepares");
+    let f = session.report().expect("prepared with analysis").function(image.entry()).unwrap();
+    assert_eq!(f.loops[0].bound, 12, "loop bound inferred through the call");
+    let run = session.run().expect("runs");
+    assert!(run.invariant_holds(), "{run:?}");
+    assert!(run.violations.is_empty());
+    assert_eq!(run.unmapped_insns, 0);
+
+    // Fault campaign on the same binary.
+    let campaign = Campaign::prepare(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        &CampaignConfig::new().isa(IsaConfig::full()).threads(2),
+    )
+    .expect("prepares campaign");
+    let mutants = generate_mutants(campaign.golden().trace(), &GeneratorConfig::new(1));
+    let report = campaign.run_all(&mutants);
+    assert_eq!(report.total(), mutants.len());
+    assert!(report.counts().len() >= 2, "{:?}", report.counts());
+}
+
+#[test]
+fn qta_detects_fault_induced_bound_violation() {
+    // Inject a fault into the loop counter mid-run and co-simulate: the
+    // QTA's runtime loop-bound check must notice the loop running past
+    // its statically proven bound — fault detection through timing
+    // analysis, the ecosystem's tools composing.
+    let src = r#"
+        li t0, 10
+        loop: addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    "#;
+    let image = assemble(src).expect("assembles");
+    let session = QtaSession::prepare(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        IsaConfig::full(),
+        &WcetOptions::new(),
+    )
+    .expect("prepares");
+
+    let mut vp = session.build_vp().expect("builds");
+    // Warm up 6 instructions (3 iterations), then set the counter's high
+    // bit: the countdown now takes ~2^31 more iterations.
+    assert_eq!(vp.run_for(6), RunOutcome::InsnLimit);
+    vp.cpu_mut().flip_gpr_bit(Gpr::new(5).unwrap(), 20);
+    let outcome = vp.run_for(100_000);
+    let run = session.collect(&mut vp, outcome);
+    assert!(
+        !run.violations.is_empty(),
+        "loop-bound check must fire under the fault"
+    );
+    assert_eq!(run.violations[0].bound, 10);
+}
+
+#[test]
+fn disassembler_round_trips_through_vp_blocks() {
+    // Whatever the assembler emits, the disassembly of every instruction
+    // must reassemble to identical bytes (control flow excluded: targets
+    // print as relative offsets).
+    let image = assemble("li a0, 77\nmv a1, a0\nnot a2, a1\nclz a3, a2\nebreak").unwrap();
+    let mut addr = image.base();
+    while addr < image.end() {
+        let half = image.half_at(addr).unwrap();
+        let raw = if half & 3 == 3 {
+            image.word_at(addr).unwrap()
+        } else {
+            half as u32
+        };
+        let insn = decode(raw, &IsaConfig::full()).expect("image decodes");
+        let text = insn.to_string();
+        let re = assemble(&format!("{text}\nebreak")).expect("disassembly reassembles");
+        let re_raw = if insn.len() == 4 {
+            re.word_at(re.base()).unwrap()
+        } else {
+            re.half_at(re.base()).unwrap() as u32
+        };
+        assert_eq!(re_raw, raw, "`{text}`");
+        addr += insn.len() as u32;
+    }
+}
+
+#[test]
+fn prelude_surface_is_usable() {
+    // Compile-time check that the prelude exposes the advertised names.
+    let _ = IsaConfig::full();
+    let _ = TimingModel::new();
+    let _ = LoopBounds::new();
+    let _ = AsmOptions::new();
+    let _ = CampaignConfig::new();
+    let _ = GeneratorConfig::new(0);
+    let _ = TortureConfig::new(0);
+    let _ = WcetOptions::new();
+}
+
+#[test]
+fn torture_program_full_pipeline() {
+    // Random programs flow through assembler + VP + coverage; they contain
+    // forward branches only, so they are also WCET-analyzable (no loops).
+    let p = torture_program(&TortureConfig::new(31).insns(120));
+    let image = assemble(&p.source).expect("assembles");
+    let session = QtaSession::prepare(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        IsaConfig::rv32imfc(),
+        &WcetOptions::new(),
+    )
+    .expect("loop-free programs always analyze");
+    let run = session.run().expect("runs");
+    assert!(run.invariant_holds(), "{run:?}");
+}

@@ -1,0 +1,116 @@
+//! Property-based cross-crate invariants, driven by randomly generated
+//! torture programs.
+
+use proptest::prelude::*;
+use scale4edge::prelude::*;
+
+fn run_to_break(image: &Image, isa: IsaConfig, cache: bool) -> Vp {
+    let mut vp = Vp::builder().isa(isa).block_cache(cache).build();
+    boot(&mut vp, image).expect("boots");
+    let outcome = vp.run_for(10_000_000);
+    assert_eq!(outcome, RunOutcome::Break);
+    vp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The block cache is a pure performance feature: architectural
+    /// results, cycle counts and instruction counts are identical with and
+    /// without it, for arbitrary generated programs.
+    #[test]
+    fn block_cache_is_transparent(seed in any::<u64>()) {
+        let isa = IsaConfig::rv32imfc();
+        let p = torture_program(&TortureConfig::new(seed).insns(120).isa(isa));
+        let image = assemble(&p.source).expect("generated programs assemble");
+        let cached = run_to_break(&image, isa, true);
+        let uncached = run_to_break(&image, isa, false);
+        prop_assert_eq!(cached.cpu().cycles(), uncached.cpu().cycles());
+        prop_assert_eq!(cached.cpu().instret(), uncached.cpu().instret());
+        for i in 0..32u8 {
+            let r = Gpr::new(i).expect("index");
+            prop_assert_eq!(cached.cpu().gpr(r), uncached.cpu().gpr(r));
+        }
+    }
+
+    /// The QTA invariant chain `dynamic ≤ qta ≤ static` holds for
+    /// arbitrary loop-free generated programs.
+    #[test]
+    fn qta_invariant_on_random_programs(seed in any::<u64>()) {
+        let isa = IsaConfig::rv32imfc();
+        let p = torture_program(&TortureConfig::new(seed).insns(100).isa(isa));
+        let image = assemble(&p.source).expect("assembles");
+        let session = QtaSession::prepare(
+            image.base(), image.bytes(), image.entry(), isa, &WcetOptions::new(),
+        ).expect("loop-free programs analyze");
+        let run = session.run().expect("runs");
+        prop_assert!(run.dynamic_cycles <= run.qta_cycles,
+            "dynamic {} > qta {}", run.dynamic_cycles, run.qta_cycles);
+        prop_assert!(run.qta_cycles <= run.static_wcet,
+            "qta {} > static {}", run.qta_cycles, run.static_wcet);
+        prop_assert!(run.violations.is_empty());
+    }
+
+    /// Coverage merging is monotone and idempotent on identical reports.
+    #[test]
+    fn coverage_merge_properties(seed in any::<u64>()) {
+        let isa = IsaConfig::rv32imfc();
+        let p = torture_program(&TortureConfig::new(seed).insns(80).isa(isa));
+        let image = assemble(&p.source).expect("assembles");
+        let mut vp = Vp::new(isa);
+        boot(&mut vp, &image).expect("boots");
+        vp.add_plugin(Box::new(CoveragePlugin::new(isa)));
+        vp.run_for(10_000_000);
+        let single = vp.plugin::<CoveragePlugin>().unwrap().report();
+        let mut doubled = single.clone();
+        doubled.merge(&single);
+        // Coverage ratios are invariant under self-merge (counts double,
+        // coverage does not).
+        prop_assert_eq!(doubled.insn_type_coverage(), single.insn_type_coverage());
+        prop_assert_eq!(doubled.gpr_coverage(), single.gpr_coverage());
+        prop_assert_eq!(doubled.total_insns(), 2 * single.total_insns());
+    }
+
+    /// A mutant campaign never panics and classifies every mutant, for
+    /// arbitrary generated programs and fault lists.
+    #[test]
+    fn campaign_total_on_random_programs(seed in 0u64..500) {
+        let isa = IsaConfig::rv32imc();
+        let p = torture_program(&TortureConfig::new(seed).insns(60).isa(isa));
+        let image = assemble(&p.source).expect("assembles");
+        let campaign = Campaign::prepare(
+            image.base(), image.bytes(), image.entry(),
+            &CampaignConfig::new().isa(isa),
+        ).expect("golden runs terminate");
+        let gen = GeneratorConfig {
+            stuck_per_gpr: 1,
+            transient_per_gpr: 1,
+            transient_per_fpr: 0,
+            opcode_mutants: 4,
+            data_mutants: 2,
+            seed,
+        };
+        let mutants = generate_mutants(campaign.golden().trace(), &gen);
+        let report = campaign.run_all(&mutants);
+        prop_assert_eq!(report.total(), mutants.len());
+        let classified: usize = report.counts().values().sum();
+        prop_assert_eq!(classified, mutants.len());
+    }
+
+    /// Register-coverage of a torture program includes every register the
+    /// generator initialized (the generator writes all writable GPRs).
+    #[test]
+    fn torture_touches_initialized_registers(seed in any::<u64>()) {
+        let isa = IsaConfig::rv32imfc();
+        let p = torture_program(&TortureConfig::new(seed).insns(40).isa(isa));
+        let image = assemble(&p.source).expect("assembles");
+        let mut vp = Vp::new(isa);
+        boot(&mut vp, &image).expect("boots");
+        vp.add_plugin(Box::new(CoveragePlugin::new(isa)));
+        vp.run_for(10_000_000);
+        let report = vp.plugin::<CoveragePlugin>().unwrap().report();
+        // All 32 GPRs: initialization writes + signature reads + x0/sp use.
+        prop_assert!(report.gpr_coverage().is_full(),
+            "uncovered: {:?}", report.uncovered_gprs());
+    }
+}
