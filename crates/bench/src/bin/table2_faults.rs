@@ -12,12 +12,13 @@ use s4e_faultsim::{
 };
 use s4e_isa::IsaConfig;
 use s4e_torture::{torture_program, TortureConfig};
+use std::time::Duration;
 
 fn main() {
     println!("# T2 — fault-effect campaigns per ISA subset");
     println!();
-    println!("| ISA | mutants | masked | silent | detected | self-rep | timeout | normal-term |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("| ISA | mutants | masked | silent | detected | self-rep | timeout | hang | supervised | normal-term |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
 
     let configs = [
         ("RV32I", IsaConfig::rv32i()),
@@ -34,11 +35,16 @@ fn main() {
         // the table is reproducible).
         let program = torture_program(&TortureConfig::new(0x7e57).insns(300).isa(isa));
         let image = build(&program.source, isa);
+        // The supervised engine: 4 workers stealing from one queue, a
+        // 30 s wall-clock watchdog as the livelock backstop.
         let campaign = Campaign::prepare(
             image.base(),
             image.bytes(),
             image.entry(),
-            &CampaignConfig::new().isa(isa).threads(4),
+            &CampaignConfig::new()
+                .isa(isa)
+                .threads(4)
+                .timeout(Duration::from_secs(30)),
         )
         .expect("golden run terminates");
         let mutants = generate_mutants(
@@ -55,15 +61,23 @@ fn main() {
         let report = campaign.run_all(&mutants);
         let counts = report.counts();
         let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+        // Watchdog expiries and isolated harness panics — zero on a
+        // healthy sweep, but they no longer abort the campaign.
+        let supervised = get("cancelled") + get("harness error");
         println!(
-            "| {name} | {} | {} | {} | {} | {} | {} | {:.1}% |",
+            "| {name} | {} | {} | {} | {} | {} | {} | {} | {supervised} | {:.1}% |",
             report.total(),
             get("masked"),
             get("silent corruption"),
             get("detected"),
             get("self-reported"),
             get("timeout"),
+            get("hang"),
             report.normal_termination_rate() * 100.0,
+        );
+        assert!(
+            report.harness_panics().is_empty(),
+            "healthy harness: no isolated panics expected"
         );
         for r in report.results() {
             let masked = r.outcome == FaultOutcome::Masked;

@@ -7,9 +7,10 @@
 
 use s4e_bench::kernels::matmul;
 use s4e_bench::build;
-use s4e_faultsim::{generate_mutants, Campaign, CampaignConfig, GeneratorConfig};
+use s4e_faultsim::{generate_mutants, Campaign, CampaignConfig, GeneratorConfig, JsonlSink};
 use s4e_isa::IsaConfig;
 use s4e_torture::{torture_program, TortureConfig};
+use s4e_vp::CancelToken;
 use std::time::Instant;
 
 fn main() {
@@ -114,6 +115,54 @@ fn main() {
             ms
         );
     }
+    // Axis 3: supervision overhead. The checkpointed engine flushes one
+    // JSONL line per mutant; a resume over a complete checkpoint skips
+    // every mutant and should be near-instant.
+    println!();
+    println!("## checkpoint overhead and resume (4 threads)");
+    println!();
+    println!("| mode | mutants | wall time |");
+    println!("|---|---|---|");
+    let campaign = Campaign::prepare(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        &CampaignConfig::new().isa(isa).threads(4),
+    )
+    .expect("prepares");
+    let mutants = generate_mutants(campaign.golden().trace(), &gen);
+    let t0 = Instant::now();
+    let plain = campaign.run_all(&mutants);
+    let plain_dt = t0.elapsed().as_secs_f64();
+    println!("| plain | {} | {:.3} s |", plain.total(), plain_dt);
+
+    let path = std::env::temp_dir().join("s4e-table3-checkpoint.jsonl");
+    let mut sink = JsonlSink::create(&path).expect("checkpoint file");
+    let t0 = Instant::now();
+    let checkpointed = campaign
+        .run_all_checkpointed(&mutants, &mut sink, &CancelToken::new())
+        .expect("checkpointed sweep");
+    let ckpt_dt = t0.elapsed().as_secs_f64();
+    println!("| checkpointed | {} | {ckpt_dt:.3} s |", checkpointed.total());
+
+    let t0 = Instant::now();
+    let resumed = campaign
+        .resume(&mutants, &path, &CancelToken::new())
+        .expect("resume");
+    let resume_dt = t0.elapsed().as_secs_f64();
+    println!("| resume (all skipped) | {} | {resume_dt:.3} s |", resumed.total());
+    std::fs::remove_file(&path).ok();
+    assert_eq!(plain.results(), checkpointed.results());
+    assert_eq!(
+        plain.results(),
+        resumed.results(),
+        "a resumed sweep reports exactly what an uninterrupted one does"
+    );
+    assert!(
+        resume_dt < plain_dt / 2.0 + 0.1,
+        "shape: resuming a complete checkpoint must skip the simulation work"
+    );
+
     println!();
     println!("T3 shape check: PASS (threads scale, per-mutant cost grows with program size)");
 }

@@ -2,18 +2,23 @@
 //! with outcome classification, and scalable parallel sweeps.
 
 use crate::fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
+use crate::runner::MutantHook;
 use crate::trace::{ExecTrace, TracePlugin};
 use core::fmt;
 use s4e_isa::{Gpr, IsaConfig};
-use s4e_vp::{BusFault, RunOutcome, TimingModel, Vp};
+use s4e_vp::{BusFault, CancelToken, RunOutcome, TimingModel, Vp};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// An error preparing or running a campaign.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CampaignError {
+    /// The configuration is invalid (zero worker threads, zero budget
+    /// multiplier, empty RAM).
+    Config(String),
     /// The image does not fit the configured RAM.
     Load(BusFault),
     /// The golden (fault-free) run did not terminate normally — nothing
@@ -22,15 +27,20 @@ pub enum CampaignError {
         /// How the golden run actually ended.
         outcome: RunOutcome,
     },
+    /// Reading or writing the checkpoint stream failed (the underlying
+    /// I/O error message).
+    Checkpoint(String),
 }
 
 impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CampaignError::Config(msg) => write!(f, "invalid campaign configuration: {msg}"),
             CampaignError::Load(e) => write!(f, "cannot load image: {e}"),
             CampaignError::GoldenAbnormal { outcome } => {
                 write!(f, "golden run ended abnormally: {outcome:?}")
             }
+            CampaignError::Checkpoint(msg) => write!(f, "checkpoint I/O failed: {msg}"),
         }
     }
 }
@@ -39,7 +49,7 @@ impl Error for CampaignError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CampaignError::Load(e) => Some(e),
-            CampaignError::GoldenAbnormal { .. } => None,
+            _ => None,
         }
     }
 }
@@ -67,11 +77,16 @@ pub struct CampaignConfig {
     /// Whether classification compares final memory in addition to
     /// registers (the A4 ablation switches this off).
     pub compare_memory: bool,
+    /// Per-mutant wall-clock watchdog for the supervised runner: a mutant
+    /// still executing after this long is stopped and classified
+    /// [`FaultOutcome::Cancelled`]. `None` (the default) bounds mutants by
+    /// instruction budget only.
+    pub timeout: Option<Duration>,
 }
 
 impl CampaignConfig {
     /// Defaults: RV32IMC, 256 KiB RAM, 4× budget, single thread, memory
-    /// comparison on.
+    /// comparison on, no wall-clock watchdog.
     pub fn new() -> CampaignConfig {
         CampaignConfig {
             isa: IsaConfig::rv32imc(),
@@ -79,6 +94,7 @@ impl CampaignConfig {
             budget_multiplier: 4,
             threads: 1,
             compare_memory: true,
+            timeout: None,
         }
     }
 
@@ -89,15 +105,27 @@ impl CampaignConfig {
         self
     }
 
-    /// Sets the worker thread count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
+    /// Sets the worker thread count. Zero is rejected by
+    /// [`Campaign::prepare`] as [`CampaignError::Config`].
     #[must_use]
     pub fn threads(mut self, threads: usize) -> CampaignConfig {
-        assert!(threads > 0, "at least one worker thread");
         self.threads = threads;
+        self
+    }
+
+    /// Sets the instruction-budget multiplier relative to the golden
+    /// run. Zero is rejected by [`Campaign::prepare`] as
+    /// [`CampaignError::Config`].
+    #[must_use]
+    pub fn budget_multiplier(mut self, multiplier: u64) -> CampaignConfig {
+        self.budget_multiplier = multiplier;
+        self
+    }
+
+    /// Arms the per-mutant wall-clock watchdog.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> CampaignConfig {
+        self.timeout = Some(timeout);
         self
     }
 
@@ -106,6 +134,33 @@ impl CampaignConfig {
     pub fn compare_memory(mut self, on: bool) -> CampaignConfig {
         self.compare_memory = on;
         self
+    }
+
+    /// Checks the configuration for nonsensical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.threads == 0 {
+            return Err(CampaignError::Config(
+                "threads must be at least 1".into(),
+            ));
+        }
+        if self.budget_multiplier == 0 {
+            return Err(CampaignError::Config(
+                "budget_multiplier must be at least 1".into(),
+            ));
+        }
+        if self.ram_size == 0 {
+            return Err(CampaignError::Config("ram_size must be nonzero".into()));
+        }
+        if self.timeout == Some(Duration::ZERO) {
+            return Err(CampaignError::Config(
+                "timeout must be nonzero (omit it to disable the watchdog)".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -173,7 +228,6 @@ pub struct FaultResult {
 /// assert!(!result.outcome.is_normal_termination() || result.outcome.is_normal_termination());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
 pub struct Campaign {
     base: u32,
     bytes: Vec<u8>,
@@ -181,9 +235,20 @@ pub struct Campaign {
     config: CampaignConfig,
     golden: GoldenRun,
     budget: u64,
+    mutant_hook: Option<MutantHook>,
 }
 
-
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("base", &self.base)
+            .field("entry", &self.entry)
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("mutant_hook", &self.mutant_hook.is_some())
+            .finish_non_exhaustive()
+    }
+}
 
 impl Campaign {
     /// Loads the binary, executes the golden run and records its final
@@ -191,7 +256,8 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Returns [`CampaignError::Load`] when the image does not fit RAM and
+    /// Returns [`CampaignError::Config`] for an invalid configuration,
+    /// [`CampaignError::Load`] when the image does not fit RAM and
     /// [`CampaignError::GoldenAbnormal`] when the fault-free run does not
     /// terminate normally.
     pub fn prepare(
@@ -200,6 +266,7 @@ impl Campaign {
         entry: u32,
         config: &CampaignConfig,
     ) -> Result<Campaign, CampaignError> {
+        config.validate()?;
         let mut vp = Self::build_vp(base, bytes, entry, config)?;
         vp.add_plugin(Box::new(TracePlugin::new()));
         let outcome = vp.run_for(50_000_000);
@@ -227,12 +294,36 @@ impl Campaign {
             config: config.clone(),
             golden,
             budget,
+            mutant_hook: None,
         })
     }
 
     /// The golden reference run.
     pub fn golden(&self) -> &GoldenRun {
         &self.golden
+    }
+
+    /// The configuration this campaign was prepared with.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The per-mutant instruction budget derived from the golden run.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Installs an observation hook called by the supervised runner
+    /// right before each mutant executes, with the mutant's queue index
+    /// and spec — progress reporting, throttling, and (in the test
+    /// suite) a way to exercise the runner's panic isolation: a hook
+    /// panic is caught and classified like any other harness panic.
+    pub fn set_mutant_hook(&mut self, hook: MutantHook) {
+        self.mutant_hook = Some(hook);
+    }
+
+    pub(crate) fn mutant_hook(&self) -> Option<&MutantHook> {
+        self.mutant_hook.as_ref()
     }
 
     fn build_vp(
@@ -253,16 +344,31 @@ impl Campaign {
 
     /// Runs one mutant and classifies its effect.
     pub fn run_one(&self, spec: &FaultSpec) -> FaultResult {
-        let outcome = self.execute_mutant(spec);
+        self.run_one_cancellable(spec, None)
+    }
+
+    /// Runs one mutant under cooperative cancellation: when `cancel`
+    /// trips (explicit cancel or its wall-clock deadline) the mutant is
+    /// classified [`FaultOutcome::Cancelled`].
+    pub fn run_one_cancellable(
+        &self,
+        spec: &FaultSpec,
+        cancel: Option<&CancelToken>,
+    ) -> FaultResult {
+        let outcome = self.execute_mutant(spec, cancel);
         FaultResult {
             spec: *spec,
             outcome,
         }
     }
 
-    fn execute_mutant(&self, spec: &FaultSpec) -> FaultOutcome {
+    fn execute_mutant(&self, spec: &FaultSpec, cancel: Option<&CancelToken>) -> FaultOutcome {
         let mut vp = Self::build_vp(self.base, &self.bytes, self.entry, &self.config)
             .expect("golden run proved the image loads");
+        let run = |vp: &mut Vp, budget: u64| match cancel {
+            Some(token) => vp.run_until(budget, token),
+            None => vp.run_for(budget),
+        };
         // Static faults and time-zero transients are planted before
         // execution.
         let inject_now = |vp: &mut Vp| match spec.target {
@@ -305,7 +411,7 @@ impl Campaign {
             }
             FaultKind::Transient { at_insn } => {
                 let warmup = at_insn.min(self.budget);
-                match vp.run_for(warmup) {
+                match run(&mut vp, warmup) {
                     RunOutcome::InsnLimit => {
                         inject_now(&mut vp);
                         self.budget - warmup
@@ -316,7 +422,7 @@ impl Campaign {
                 }
             }
         };
-        let outcome = vp.run_for(run_remaining.max(1));
+        let outcome = run(&mut vp, run_remaining.max(1));
         self.classify(&mut vp, outcome)
     }
 
@@ -339,39 +445,19 @@ impl Campaign {
             }
             RunOutcome::Exit(code) => FaultOutcome::SelfReported { code },
             RunOutcome::Fatal(trap) => FaultOutcome::Detected { trap },
-            RunOutcome::InsnLimit | RunOutcome::IdleWfi => FaultOutcome::Timeout,
+            // Still burning instructions at the budget: runaway/livelock.
+            RunOutcome::InsnLimit => FaultOutcome::Timeout,
+            // Parked in `wfi` with nothing armed to wake it: idle hang.
+            RunOutcome::IdleWfi => FaultOutcome::Hang,
+            RunOutcome::Cancelled => FaultOutcome::Cancelled,
         }
     }
 
-    /// Runs every mutant, in parallel across the configured worker
-    /// threads, preserving input order.
-    pub fn run_all(&self, specs: &[FaultSpec]) -> CampaignReport {
-        let threads = self.config.threads.min(specs.len().max(1));
-        let mut results: Vec<Option<FaultResult>> = vec![None; specs.len()];
-        if threads <= 1 {
-            for (slot, spec) in results.iter_mut().zip(specs) {
-                *slot = Some(self.run_one(spec));
-            }
-        } else {
-            let chunk = specs.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (spec_chunk, result_chunk) in
-                    specs.chunks(chunk).zip(results.chunks_mut(chunk))
-                {
-                    scope.spawn(move || {
-                        for (slot, spec) in result_chunk.iter_mut().zip(spec_chunk) {
-                            *slot = Some(self.run_one(spec));
-                        }
-                    });
-                }
-            });
-        }
-        CampaignReport {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("every slot filled"))
-                .collect(),
-        }
+    pub(crate) fn build_report(
+        results: Vec<FaultResult>,
+        panics: Vec<(FaultSpec, String)>,
+    ) -> CampaignReport {
+        CampaignReport { results, panics }
     }
 }
 
@@ -400,12 +486,20 @@ fn snapshot_gprs(vp: &Vp) -> [u32; 32] {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CampaignReport {
     results: Vec<FaultResult>,
+    panics: Vec<(FaultSpec, String)>,
 }
 
 impl CampaignReport {
     /// All per-mutant results, in input order.
     pub fn results(&self) -> &[FaultResult] {
         &self.results
+    }
+
+    /// The captured payloads of harness panics isolated by the
+    /// supervised runner, in input order — one entry per
+    /// [`FaultOutcome::HarnessError`] result with a known payload.
+    pub fn harness_panics(&self) -> &[(FaultSpec, String)] {
+        &self.panics
     }
 
     /// Total mutants executed.
@@ -417,14 +511,7 @@ impl CampaignReport {
     pub fn counts(&self) -> BTreeMap<&'static str, usize> {
         let mut map = BTreeMap::new();
         for r in &self.results {
-            let key = match r.outcome {
-                FaultOutcome::Masked => "masked",
-                FaultOutcome::SilentCorruption => "silent corruption",
-                FaultOutcome::Detected { .. } => "detected",
-                FaultOutcome::SelfReported { .. } => "self-reported",
-                FaultOutcome::Timeout => "timeout",
-            };
-            *map.entry(key).or_insert(0) += 1;
+            *map.entry(r.outcome.class_name()).or_insert(0) += 1;
         }
         map
     }
@@ -464,6 +551,14 @@ impl CampaignReport {
             "  normal termination rate: {:.1}%",
             self.normal_termination_rate() * 100.0
         );
+        if !self.panics.is_empty() {
+            let _ = writeln!(
+                out,
+                "  harness panics isolated: {} (first: {})",
+                self.panics.len(),
+                self.panics[0].1.lines().next().unwrap_or_default()
+            );
+        }
         out
     }
 }

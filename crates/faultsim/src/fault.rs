@@ -110,8 +110,21 @@ pub enum FaultOutcome {
         /// The exit code.
         code: u32,
     },
-    /// The run exceeded its instruction budget (hang / livelock).
+    /// The run exceeded its instruction budget while still executing
+    /// (runaway / livelock by instruction count).
     Timeout,
+    /// The guest parked itself in `wfi` with no wake-up source armed —
+    /// an idle hang, distinct from a [`Timeout`](FaultOutcome::Timeout)
+    /// that is still burning instructions.
+    Hang,
+    /// The supervised runner's wall-clock watchdog stopped the mutant, or
+    /// the campaign was cancelled while it ran.
+    Cancelled,
+    /// The *harness* panicked while executing this mutant — a simulator
+    /// bug surfaced by the fault, isolated instead of aborting the sweep.
+    /// The panic payload is captured in
+    /// [`CampaignReport::harness_panics`](crate::CampaignReport::harness_panics).
+    HarnessError,
 }
 
 impl FaultOutcome {
@@ -120,16 +133,28 @@ impl FaultOutcome {
     pub fn is_normal_termination(&self) -> bool {
         matches!(self, FaultOutcome::Masked | FaultOutcome::SilentCorruption)
     }
+
+    /// The summary-table class name of this outcome.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::SilentCorruption => "silent corruption",
+            FaultOutcome::Detected { .. } => "detected",
+            FaultOutcome::SelfReported { .. } => "self-reported",
+            FaultOutcome::Timeout => "timeout",
+            FaultOutcome::Hang => "hang",
+            FaultOutcome::Cancelled => "cancelled",
+            FaultOutcome::HarnessError => "harness error",
+        }
+    }
 }
 
 impl fmt::Display for FaultOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FaultOutcome::Masked => f.write_str("masked"),
-            FaultOutcome::SilentCorruption => f.write_str("silent corruption"),
             FaultOutcome::Detected { trap } => write!(f, "detected ({trap})"),
             FaultOutcome::SelfReported { code } => write!(f, "self-reported (exit {code})"),
-            FaultOutcome::Timeout => f.write_str("timeout"),
+            other => f.write_str(other.class_name()),
         }
     }
 }
@@ -160,10 +185,30 @@ mod tests {
         assert!(FaultOutcome::Masked.is_normal_termination());
         assert!(FaultOutcome::SilentCorruption.is_normal_termination());
         assert!(!FaultOutcome::Timeout.is_normal_termination());
+        assert!(!FaultOutcome::Hang.is_normal_termination());
+        assert!(!FaultOutcome::Cancelled.is_normal_termination());
+        assert!(!FaultOutcome::HarnessError.is_normal_termination());
         assert!(!FaultOutcome::Detected {
             trap: Trap::EcallM
         }
         .is_normal_termination());
+    }
+
+    #[test]
+    fn class_names_distinct() {
+        let all = [
+            FaultOutcome::Masked,
+            FaultOutcome::SilentCorruption,
+            FaultOutcome::Detected { trap: Trap::EcallM },
+            FaultOutcome::SelfReported { code: 1 },
+            FaultOutcome::Timeout,
+            FaultOutcome::Hang,
+            FaultOutcome::Cancelled,
+            FaultOutcome::HarnessError,
+        ];
+        let names: std::collections::BTreeSet<_> =
+            all.iter().map(|o| o.class_name()).collect();
+        assert_eq!(names.len(), all.len());
     }
 }
 

@@ -14,6 +14,15 @@
 //! executes the mutants (optionally across worker threads — the T3
 //! scalability axis) and aggregates a [`CampaignReport`].
 //!
+//! At campaign scale the harness itself must be resilient: `run_all` is
+//! built on a *supervised* engine (see [`runner`](Campaign::run_all))
+//! with per-mutant panic isolation ([`FaultOutcome::HarnessError`]),
+//! optional wall-clock watchdogs ([`CampaignConfig::timeout`] →
+//! [`FaultOutcome::Cancelled`]), work-stealing dispatch across workers,
+//! and streaming JSONL checkpoints
+//! ([`Campaign::run_all_checkpointed`] / [`Campaign::resume`]) so an
+//! interrupted sweep restarts where it stopped.
+//!
 //! ## Example
 //!
 //! ```
@@ -39,13 +48,20 @@
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod checkpoint;
 mod fault;
 mod generate;
+mod runner;
 mod trace;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignError, CampaignReport, FaultResult, GoldenRun,
 };
+pub use checkpoint::{
+    decode_result, encode_result, read_checkpoint, CampaignSink, CheckpointLoad, JsonlSink,
+    MemorySink, NullSink,
+};
 pub use fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
 pub use generate::{generate_mutants, GeneratorConfig};
+pub use runner::MutantHook;
 pub use trace::{ExecTrace, TracePlugin};

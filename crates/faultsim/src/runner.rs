@@ -1,0 +1,260 @@
+//! The supervised campaign engine: work-stealing dispatch with panic
+//! isolation, per-mutant wall-clock watchdogs, streaming checkpoints and
+//! resume.
+//!
+//! The MBMV 2020 campaigns run tens of thousands of mutants; at that
+//! scale the harness itself is part of the fault model. The engine
+//! therefore supervises every mutant:
+//!
+//! - **Panic isolation** — each mutant executes under
+//!   [`std::panic::catch_unwind`]. A harness panic (a simulator bug the
+//!   fault surfaced) classifies that one mutant as
+//!   [`FaultOutcome::HarnessError`] with the payload captured into the
+//!   report, instead of aborting the whole sweep.
+//! - **Watchdog** — with [`CampaignConfig::timeout`] armed, each mutant
+//!   runs under a [`CancelToken`] child whose deadline bounds it by wall
+//!   clock ([`FaultOutcome::Cancelled`]), catching livelocks (interrupt
+//!   storms) that an instruction budget alone bounds poorly.
+//! - **Work stealing** — mutants are claimed from a shared atomic index,
+//!   so a long-tail mutant occupies one worker while the others drain
+//!   the queue, and any worker that dies leaves no stranded items.
+//! - **Checkpoint/resume** — every classification streams through a
+//!   [`CampaignSink`] the moment it is produced;
+//!   [`Campaign::resume`] skips specs already classified in a JSONL
+//!   checkpoint, so an interrupted 50k-mutant campaign restarts where it
+//!   stopped.
+//!
+//! Cancelling the campaign-level token shuts the sweep down: workers
+//! stop claiming mutants, and in-flight mutants are left *unrecorded*
+//! (reported as [`FaultOutcome::Cancelled`], but absent from the
+//! checkpoint) so a resume re-runs them. A per-mutant watchdog expiry,
+//! by contrast, is a final classification and is checkpointed.
+
+use crate::campaign::{Campaign, CampaignError, CampaignReport, FaultResult};
+use crate::checkpoint::{read_checkpoint, CampaignSink, JsonlSink, NullSink};
+use crate::fault::{FaultOutcome, FaultSpec};
+use s4e_vp::CancelToken;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An observation hook invoked before each supervised mutant runs, with
+/// the mutant's queue index and spec. See [`Campaign::set_mutant_hook`].
+pub type MutantHook = Arc<dyn Fn(usize, &FaultSpec) + Send + Sync>;
+
+/// One worker's classification of one queue slot.
+type SlotResult = (usize, FaultOutcome, Option<String>);
+
+/// Already-classified specs carried into a run (the resume path).
+type DoneMap = HashMap<FaultSpec, (FaultOutcome, Option<String>)>;
+
+impl Campaign {
+    /// Runs every mutant under the supervised engine, preserving input
+    /// order in the report. Harness panics and watchdog expiries are
+    /// classified per mutant; the sweep itself always completes.
+    pub fn run_all(&self, specs: &[FaultSpec]) -> CampaignReport {
+        self.run_all_cancellable(specs, &CancelToken::new())
+    }
+
+    /// [`run_all`](Campaign::run_all) with a campaign-level cancellation
+    /// token: cancelling it stops the sweep promptly, and every mutant
+    /// not yet classified is reported as [`FaultOutcome::Cancelled`].
+    pub fn run_all_cancellable(
+        &self,
+        specs: &[FaultSpec],
+        cancel: &CancelToken,
+    ) -> CampaignReport {
+        self.run_supervised(specs, &mut NullSink, cancel, &DoneMap::new())
+            .expect("the null sink cannot fail")
+    }
+
+    /// Runs every mutant, streaming each classification through `sink`
+    /// the moment it is produced (completion order). Pair with a
+    /// [`JsonlSink`] to make the sweep restartable via
+    /// [`resume`](Campaign::resume).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Checkpoint`] when the sink fails; the
+    /// sweep is cancelled and already-streamed results remain valid.
+    pub fn run_all_checkpointed(
+        &self,
+        specs: &[FaultSpec],
+        sink: &mut dyn CampaignSink,
+        cancel: &CancelToken,
+    ) -> Result<CampaignReport, CampaignError> {
+        self.run_supervised(specs, sink, cancel, &DoneMap::new())
+    }
+
+    /// Resumes an interrupted checkpointed sweep: specs already
+    /// classified in the JSONL checkpoint at `path` are skipped (their
+    /// recorded outcome is reused), the rest are executed and appended
+    /// to the same file. Corrupted or truncated checkpoint lines are
+    /// skipped, and their mutants re-run. A missing checkpoint file
+    /// degenerates to a fresh [`run_all_checkpointed`](Campaign::run_all_checkpointed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Checkpoint`] when the checkpoint cannot
+    /// be read or appended to.
+    pub fn resume(
+        &self,
+        specs: &[FaultSpec],
+        path: impl AsRef<Path>,
+        cancel: &CancelToken,
+    ) -> Result<CampaignReport, CampaignError> {
+        let path = path.as_ref();
+        let load = read_checkpoint(path)
+            .map_err(|e| CampaignError::Checkpoint(format!("{}: {e}", path.display())))?;
+        let mut done = DoneMap::with_capacity(load.entries.len());
+        for (result, panic) in load.entries {
+            done.insert(result.spec, (result.outcome, panic));
+        }
+        let mut sink = JsonlSink::append(path)
+            .map_err(|e| CampaignError::Checkpoint(format!("{}: {e}", path.display())))?;
+        self.run_supervised(specs, &mut sink, cancel, &done)
+    }
+
+    fn run_supervised(
+        &self,
+        specs: &[FaultSpec],
+        sink: &mut dyn CampaignSink,
+        cancel: &CancelToken,
+        done: &DoneMap,
+    ) -> Result<CampaignReport, CampaignError> {
+        let threads = self.config().threads.min(specs.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let sink = Mutex::new(sink);
+        let sink_error: Mutex<Option<String>> = Mutex::new(None);
+
+        let worker_slots: Vec<Vec<SlotResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| self.worker(specs, &next, &sink, &sink_error, cancel, done))
+                })
+                .collect();
+            handles
+                .into_iter()
+                // A worker that somehow died (a panic escaping the
+                // per-mutant isolation) contributes nothing; the shared
+                // queue means survivors already drained its remaining
+                // items, and its in-flight slot is filled below.
+                .filter_map(|h| h.join().ok())
+                .collect()
+        });
+
+        if let Some(msg) = sink_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(CampaignError::Checkpoint(msg));
+        }
+
+        let mut slots: Vec<Option<(FaultOutcome, Option<String>)>> = vec![None; specs.len()];
+        for (index, outcome, panic) in worker_slots.into_iter().flatten() {
+            slots[index] = Some((outcome, panic));
+        }
+        let shutdown = cancel.flag_raised();
+        let mut results = Vec::with_capacity(specs.len());
+        let mut panics = Vec::new();
+        for (spec, slot) in specs.iter().zip(slots) {
+            let (outcome, panic) = slot.unwrap_or_else(|| {
+                if shutdown {
+                    // Cancelled before this mutant was classified; absent
+                    // from the checkpoint, so resume re-runs it.
+                    (FaultOutcome::Cancelled, None)
+                } else {
+                    // The only way a slot stays empty in a completed
+                    // sweep is a worker dying mid-mutant.
+                    (
+                        FaultOutcome::HarnessError,
+                        Some("worker thread died before classifying this mutant".into()),
+                    )
+                }
+            });
+            if let Some(msg) = panic {
+                panics.push((*spec, msg));
+            }
+            results.push(FaultResult {
+                spec: *spec,
+                outcome,
+            });
+        }
+        Ok(Campaign::build_report(results, panics))
+    }
+
+    fn worker(
+        &self,
+        specs: &[FaultSpec],
+        next: &AtomicUsize,
+        sink: &Mutex<&mut dyn CampaignSink>,
+        sink_error: &Mutex<Option<String>>,
+        cancel: &CancelToken,
+        done: &DoneMap,
+    ) -> Vec<SlotResult> {
+        let mut out = Vec::new();
+        loop {
+            if cancel.flag_raised() {
+                break;
+            }
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            let Some(spec) = specs.get(index) else {
+                break;
+            };
+            if let Some((outcome, panic)) = done.get(spec) {
+                // Classified by a previous (interrupted) run: reuse the
+                // checkpointed outcome without re-recording it.
+                out.push((index, *outcome, panic.clone()));
+                continue;
+            }
+            let mutant_token = match self.config().timeout {
+                Some(timeout) => cancel.child(timeout),
+                None => cancel.clone(),
+            };
+            let execution = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(hook) = self.mutant_hook() {
+                    hook(index, spec);
+                }
+                self.run_one_cancellable(spec, Some(&mutant_token)).outcome
+            }));
+            let (outcome, panic) = match execution {
+                Ok(FaultOutcome::Cancelled) if cancel.flag_raised() => {
+                    // Campaign shutdown, not a watchdog expiry: leave the
+                    // mutant unclassified so a resume re-runs it.
+                    break;
+                }
+                Ok(outcome) => (outcome, None),
+                Err(payload) => (FaultOutcome::HarnessError, Some(panic_message(&*payload))),
+            };
+            let recorded = {
+                let mut guard = sink.lock().unwrap_or_else(|p| p.into_inner());
+                guard.record(
+                    &FaultResult {
+                        spec: *spec,
+                        outcome,
+                    },
+                    panic.as_deref(),
+                )
+            };
+            if let Err(e) = recorded {
+                *sink_error.lock().unwrap_or_else(|p| p.into_inner()) =
+                    Some(format!("recording mutant {index}: {e}"));
+                cancel.cancel();
+                break;
+            }
+            out.push((index, outcome, panic));
+        }
+        out
+    }
+}
+
+/// Renders a caught panic payload — the `&str`/`String` payloads that
+/// `panic!` produces, with a fallback for exotic types.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,427 @@
+//! Supervised campaign engine tests: panic isolation, watchdogs,
+//! work-stealing dispatch, checkpoint/resume, and the runner's edge
+//! cases (empty queues, tiny queues, corrupted checkpoints).
+
+use s4e_asm::assemble;
+use s4e_faultsim::{
+    encode_result, read_checkpoint, Campaign, CampaignConfig, CampaignError, FaultKind,
+    FaultOutcome, FaultSpec, FaultTarget, JsonlSink, MemorySink,
+};
+use s4e_isa::Gpr;
+use s4e_vp::CancelToken;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SUM_PROGRAM: &str = r#"
+    li t0, 10
+    li a0, 0
+    loop: add a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    la t1, result
+    sw a0, 0(t1)
+    ebreak
+    result: .word 0
+"#;
+
+fn campaign(src: &str, cfg: &CampaignConfig) -> Campaign {
+    let img = assemble(src).expect("assembles");
+    Campaign::prepare(img.base(), img.bytes(), img.entry(), cfg).expect("prepares")
+}
+
+/// A deterministic, duplicate-free mutant list: transient accumulator
+/// flips across every bit and a spread of injection times. Unique specs
+/// keep checkpoint-identity reasoning exact even with index-keyed hooks.
+fn unique_specs(bits: u8, times: u64) -> Vec<FaultSpec> {
+    let mut specs = Vec::new();
+    for bit in 0..bits {
+        for t in 0..times {
+            specs.push(FaultSpec {
+                target: FaultTarget::GprBit { reg: Gpr::A0, bit },
+                kind: FaultKind::Transient { at_insn: t },
+            });
+        }
+    }
+    specs
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("s4e-runner-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+// ------------------------------------------------------- configuration
+
+#[test]
+fn zero_threads_is_a_config_error_not_a_panic() {
+    let img = assemble(SUM_PROGRAM).expect("assembles");
+    let err = Campaign::prepare(
+        img.base(),
+        img.bytes(),
+        img.entry(),
+        &CampaignConfig::new().threads(0),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CampaignError::Config(_)), "{err}");
+    assert!(err.to_string().contains("threads"), "{err}");
+}
+
+#[test]
+fn invalid_configs_rejected_by_validate() {
+    assert!(CampaignConfig::new().validate().is_ok());
+    assert!(matches!(
+        CampaignConfig::new().threads(0).validate(),
+        Err(CampaignError::Config(_))
+    ));
+    assert!(matches!(
+        CampaignConfig::new().budget_multiplier(0).validate(),
+        Err(CampaignError::Config(_))
+    ));
+    assert!(matches!(
+        CampaignConfig::new().timeout(Duration::ZERO).validate(),
+        Err(CampaignError::Config(_))
+    ));
+}
+
+#[test]
+fn budget_multiplier_setter_scales_the_budget() {
+    let four = campaign(SUM_PROGRAM, &CampaignConfig::new());
+    let eight = campaign(SUM_PROGRAM, &CampaignConfig::new().budget_multiplier(8));
+    assert_eq!(four.budget(), four.golden().instret() * 4 + 1000);
+    assert_eq!(eight.budget(), eight.golden().instret() * 8 + 1000);
+}
+
+// -------------------------------------------------- outcome taxonomy
+
+#[test]
+fn idle_wfi_classifies_as_hang_not_timeout() {
+    // Golden path skips the `wfi`; a stuck flag bit steers into it with
+    // no wake-up source armed → an idle hang, burning no instructions.
+    let src = "li t0, 0\nbnez t0, bad\nebreak\nbad: wfi";
+    let c = campaign(src, &CampaignConfig::new());
+    let hang = c.run_one(&FaultSpec {
+        target: FaultTarget::GprBit {
+            reg: Gpr::new(5).unwrap(),
+            bit: 0,
+        },
+        kind: FaultKind::StuckAt { value: true },
+    });
+    assert_eq!(hang.outcome, FaultOutcome::Hang);
+
+    // A stuck countdown keeps executing until the budget: Timeout.
+    let c = campaign(SUM_PROGRAM, &CampaignConfig::new());
+    let timeout = c.run_one(&FaultSpec {
+        target: FaultTarget::GprBit {
+            reg: Gpr::new(5).unwrap(),
+            bit: 31,
+        },
+        kind: FaultKind::StuckAt { value: true },
+    });
+    assert_eq!(timeout.outcome, FaultOutcome::Timeout);
+}
+
+#[test]
+fn cancelled_token_classifies_as_cancelled() {
+    let c = campaign(SUM_PROGRAM, &CampaignConfig::new());
+    let token = CancelToken::new();
+    token.cancel();
+    let r = c.run_one_cancellable(
+        &FaultSpec {
+            target: FaultTarget::GprBit { reg: Gpr::A0, bit: 0 },
+            kind: FaultKind::Transient { at_insn: 5 },
+        },
+        Some(&token),
+    );
+    assert_eq!(r.outcome, FaultOutcome::Cancelled);
+}
+
+// ------------------------------------------------------- runner edges
+
+#[test]
+fn empty_spec_list() {
+    let c = campaign(SUM_PROGRAM, &CampaignConfig::new().threads(4));
+    let report = c.run_all(&[]);
+    assert_eq!(report.total(), 0);
+    assert_eq!(report.normal_termination_rate(), 0.0);
+    assert!(report.harness_panics().is_empty());
+    assert!(report.summary_table().contains("mutants: 0"));
+}
+
+#[test]
+fn fewer_specs_than_threads() {
+    let c = campaign(SUM_PROGRAM, &CampaignConfig::new().threads(8));
+    let specs = unique_specs(2, 1);
+    assert!(specs.len() < 8);
+    let report = c.run_all(&specs);
+    assert_eq!(report.total(), specs.len());
+    let seq = campaign(SUM_PROGRAM, &CampaignConfig::new());
+    assert_eq!(report.results(), seq.run_all(&specs).results());
+}
+
+#[test]
+fn transient_beyond_budget_never_manifests() {
+    let c = campaign(SUM_PROGRAM, &CampaignConfig::new());
+    let spec = FaultSpec {
+        target: FaultTarget::GprBit { reg: Gpr::A0, bit: 4 },
+        kind: FaultKind::Transient {
+            at_insn: c.budget() + 12345,
+        },
+    };
+    assert_eq!(c.run_one(&spec).outcome, FaultOutcome::Masked);
+    // And through the supervised engine, including a watchdog.
+    let c = campaign(
+        SUM_PROGRAM,
+        &CampaignConfig::new().timeout(Duration::from_secs(30)),
+    );
+    let report = c.run_all(&[spec]);
+    assert_eq!(report.results()[0].outcome, FaultOutcome::Masked);
+}
+
+#[test]
+fn work_stealing_preserves_input_order_and_results() {
+    let specs = unique_specs(16, 4);
+    let seq = campaign(SUM_PROGRAM, &CampaignConfig::new());
+    let par = campaign(SUM_PROGRAM, &CampaignConfig::new().threads(6));
+    let a = seq.run_all(&specs);
+    let b = par.run_all(&specs);
+    assert_eq!(a.results(), b.results());
+    for (result, spec) in b.results().iter().zip(&specs) {
+        assert_eq!(result.spec, *spec, "input order preserved");
+    }
+}
+
+// ------------------------------------------------- supervision proper
+
+#[test]
+fn harness_panic_is_isolated_and_captured() {
+    let mut c = campaign(SUM_PROGRAM, &CampaignConfig::new().threads(4));
+    c.set_mutant_hook(Arc::new(|index, _spec| {
+        assert!(index != 7, "injected harness bug at mutant 7");
+    }));
+    let specs = unique_specs(8, 4);
+    let report = c.run_all(&specs);
+    assert_eq!(report.total(), specs.len());
+    let harness_errors: Vec<_> = report
+        .results()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.outcome == FaultOutcome::HarnessError)
+        .collect();
+    assert_eq!(harness_errors.len(), 1, "exactly the injected bug");
+    assert_eq!(harness_errors[0].0, 7);
+    assert_eq!(report.harness_panics().len(), 1);
+    assert!(
+        report.harness_panics()[0].1.contains("injected harness bug"),
+        "payload captured: {:?}",
+        report.harness_panics()[0].1
+    );
+    assert!(report
+        .summary_table()
+        .contains("harness panics isolated: 1"));
+}
+
+#[test]
+fn watchdog_cancels_a_stalled_mutant() {
+    let mut c = campaign(
+        SUM_PROGRAM,
+        &CampaignConfig::new()
+            .threads(4)
+            .timeout(Duration::from_millis(200)),
+    );
+    // Mutant 5 stalls well past the watchdog; everyone else is sub-ms.
+    c.set_mutant_hook(Arc::new(|index, _spec| {
+        if index == 5 {
+            std::thread::sleep(Duration::from_millis(600));
+        }
+    }));
+    let specs = unique_specs(8, 2);
+    let report = c.run_all(&specs);
+    let cancelled: Vec<_> = report
+        .results()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.outcome == FaultOutcome::Cancelled)
+        .collect();
+    assert_eq!(cancelled.len(), 1, "only the stalled mutant");
+    assert_eq!(cancelled[0].0, 5);
+}
+
+// ------------------------------------------------- checkpoint / resume
+
+#[test]
+fn checkpointed_run_streams_every_result() {
+    let c = campaign(SUM_PROGRAM, &CampaignConfig::new());
+    let specs = unique_specs(6, 3);
+    let mut sink = MemorySink::new();
+    let report = c
+        .run_all_checkpointed(&specs, &mut sink, &CancelToken::new())
+        .expect("sweep completes");
+    assert_eq!(sink.records().len(), specs.len());
+    // Single worker: completion order is input order.
+    for ((recorded, _), result) in sink.records().iter().zip(report.results()) {
+        assert_eq!(recorded, result);
+    }
+}
+
+#[test]
+fn resume_skips_valid_lines_and_reruns_corrupt_ones() {
+    let reference = campaign(SUM_PROGRAM, &CampaignConfig::new().threads(2));
+    let specs = unique_specs(10, 4);
+    let full = reference.run_all(&specs);
+
+    // A checkpoint holding the first half of the results, one corrupted
+    // line, and a truncated tail (the `kill -9` signature).
+    let path = temp_path("corrupt-resume.jsonl");
+    {
+        let mut file = std::fs::File::create(&path).expect("checkpoint");
+        for result in &full.results()[..specs.len() / 2] {
+            writeln!(file, "{}", encode_result(result, None)).unwrap();
+        }
+        writeln!(file, "!! not json: disk corruption !!").unwrap();
+        write!(file, "{{\"tgt\":\"gpr\",\"loc\":10,\"bi").unwrap();
+    }
+    let resumed = reference
+        .resume(&specs, &path, &CancelToken::new())
+        .expect("resume survives corruption");
+    assert_eq!(resumed.results(), full.results());
+
+    // The repaired checkpoint now classifies every spec: a second resume
+    // reuses it all without re-running anything (instant even if the
+    // engine were slow).
+    let load = read_checkpoint(&path).expect("readable");
+    assert_eq!(load.skipped_lines, 2);
+    assert_eq!(load.entries.len(), specs.len());
+    let again = reference
+        .resume(&specs, &path, &CancelToken::new())
+        .expect("second resume");
+    assert_eq!(again.results(), full.results());
+    assert_eq!(
+        read_checkpoint(&path).expect("readable").entries.len(),
+        specs.len(),
+        "a fully-skipped resume appends nothing"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sink_failure_surfaces_as_checkpoint_error() {
+    struct FailingSink;
+    impl s4e_faultsim::CampaignSink for FailingSink {
+        fn record(
+            &mut self,
+            _result: &s4e_faultsim::FaultResult,
+            _panic: Option<&str>,
+        ) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk full"))
+        }
+    }
+    let c = campaign(SUM_PROGRAM, &CampaignConfig::new().threads(2));
+    let err = c
+        .run_all_checkpointed(&unique_specs(4, 2), &mut FailingSink, &CancelToken::new())
+        .unwrap_err();
+    assert!(matches!(err, CampaignError::Checkpoint(_)), "{err}");
+    assert!(err.to_string().contains("disk full"), "{err}");
+}
+
+// ------------------------------------------------- the acceptance sweep
+
+/// The ISSUE acceptance scenario: ≥1000 mutants, one of which panics the
+/// harness and one of which stalls past the watchdog. The sweep must
+/// complete with exactly one `HarnessError` and exactly one `Cancelled`;
+/// killing the campaign mid-sweep and resuming must reproduce the
+/// uninterrupted report exactly.
+#[test]
+fn thousand_mutant_campaign_survives_panic_livelock_and_kill() {
+    const PANIC_AT: usize = 137;
+    const STALL_AT: usize = 620;
+    const KILL_AFTER: usize = 300;
+
+    let specs = unique_specs(32, 35);
+    assert!(specs.len() >= 1000, "{} mutants", specs.len());
+
+    let config = CampaignConfig::new()
+        .threads(4)
+        .timeout(Duration::from_millis(500));
+    let supervise = |index: usize, _spec: &FaultSpec| {
+        if index == PANIC_AT {
+            panic!("simulated harness bug on mutant {index}");
+        }
+        if index == STALL_AT {
+            // Livelock stand-in: stall far beyond the 500 ms watchdog.
+            std::thread::sleep(Duration::from_millis(1500));
+        }
+    };
+
+    // Uninterrupted reference sweep.
+    let mut reference = campaign(SUM_PROGRAM, &config);
+    reference.set_mutant_hook(Arc::new(supervise));
+    let uninterrupted = reference.run_all(&specs);
+    assert_eq!(uninterrupted.total(), specs.len());
+    let counts = uninterrupted.counts();
+    assert_eq!(counts.get("harness error"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("cancelled"), Some(&1), "{counts:?}");
+    assert_eq!(
+        uninterrupted.results()[PANIC_AT].outcome,
+        FaultOutcome::HarnessError
+    );
+    assert_eq!(
+        uninterrupted.results()[STALL_AT].outcome,
+        FaultOutcome::Cancelled
+    );
+    assert_eq!(uninterrupted.harness_panics().len(), 1);
+
+    // The same sweep, killed after ~300 classifications.
+    let path = temp_path("acceptance-kill.jsonl");
+    let kill_switch = CancelToken::new();
+    let started = AtomicUsize::new(0);
+    let mut killed = campaign(SUM_PROGRAM, &config);
+    killed.set_mutant_hook(Arc::new({
+        let kill_switch = kill_switch.clone();
+        move |index, spec| {
+            if started.fetch_add(1, Ordering::Relaxed) + 1 == KILL_AFTER {
+                kill_switch.cancel();
+            }
+            supervise(index, spec);
+        }
+    }));
+    let mut sink = JsonlSink::create(&path).expect("checkpoint");
+    let interrupted = killed
+        .run_all_checkpointed(&specs, &mut sink, &kill_switch)
+        .expect("interrupted sweep still reports");
+    drop(sink);
+    let unfinished = interrupted
+        .results()
+        .iter()
+        .filter(|r| r.outcome == FaultOutcome::Cancelled)
+        .count();
+    assert!(unfinished > 1, "the kill left work undone");
+    let checkpointed = read_checkpoint(&path).expect("readable").entries.len();
+    assert!(
+        checkpointed < specs.len(),
+        "{checkpointed} of {} checkpointed before the kill",
+        specs.len()
+    );
+
+    // Resume with a healthy supervisor (no kill switch): the merged
+    // report must be indistinguishable from the uninterrupted run.
+    let mut resumer = campaign(SUM_PROGRAM, &config);
+    resumer.set_mutant_hook(Arc::new(supervise));
+    let resumed = resumer
+        .resume(&specs, &path, &CancelToken::new())
+        .expect("resume");
+    assert_eq!(resumed.results(), uninterrupted.results());
+    assert_eq!(
+        resumed.harness_panics().len(),
+        uninterrupted.harness_panics().len()
+    );
+    assert_eq!(
+        read_checkpoint(&path).expect("readable").entries.len(),
+        specs.len(),
+        "the checkpoint now covers the whole campaign"
+    );
+    std::fs::remove_file(&path).ok();
+}

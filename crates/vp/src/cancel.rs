@@ -1,0 +1,139 @@
+//! Cooperative cancellation for bounded-wall-clock runs.
+//!
+//! A [`CancelToken`] combines a *shared* cancellation flag (one
+//! [`CancelToken::cancel`] call stops every clone — the whole campaign)
+//! with a *per-token* wall-clock deadline (a watchdog bounding one
+//! mutant). [`Vp::run_until`](crate::Vp::run_until) polls the token at
+//! translation-block boundaries, so even mutants that livelock inside
+//! interrupt storms — where the instruction budget may take minutes to
+//! exhaust — are bounded by real time.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation handle with an optional wall-clock deadline.
+///
+/// Clones share the cancellation flag; deadlines are per-token, so a
+/// campaign-wide token can hand each worker a [`child`](CancelToken::child)
+/// whose deadline bounds one mutant without affecting its siblings.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_vp::CancelToken;
+/// use std::time::Duration;
+///
+/// let campaign = CancelToken::new();
+/// let mutant = campaign.child(Duration::from_millis(50));
+/// assert!(!mutant.is_cancelled());
+/// campaign.cancel();
+/// assert!(mutant.is_cancelled(), "cancellation reaches every child");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A fresh token expiring `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        let mut token = CancelToken::new();
+        token.deadline = Instant::now().checked_add(timeout);
+        token
+    }
+
+    /// A token sharing this one's cancellation flag, with its own
+    /// deadline `timeout` from now. Cancelling the parent (or any
+    /// sibling) cancels the child; the child's deadline expiring does
+    /// *not* cancel the parent.
+    pub fn child(&self, timeout: Duration) -> CancelToken {
+        CancelToken {
+            cancelled: Arc::clone(&self.cancelled),
+            deadline: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// Requests cancellation of this token and every clone/child sharing
+    /// its flag.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or this token's deadline has
+    /// passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// Whether cancellation was explicitly requested (ignores the
+    /// deadline) — cheap enough for per-block polling.
+    pub fn flag_raised(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// This token's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.flag_raised());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones_and_children() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        let child = t.child(Duration::from_secs(3600));
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(child.is_cancelled());
+    }
+
+    #[test]
+    fn child_deadline_does_not_cancel_parent() {
+        let t = CancelToken::new();
+        let child = t.child(Duration::ZERO);
+        assert!(child.is_cancelled(), "zero deadline expires immediately");
+        assert!(!t.is_cancelled(), "parent unaffected by child expiry");
+        assert!(!t.flag_raised());
+    }
+
+    #[test]
+    fn expired_timeout_cancels() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert!(!t.flag_raised(), "deadline expiry is not an explicit cancel");
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod bus;
+mod cancel;
 mod cpu;
 pub mod dev;
 mod plugin;
@@ -36,6 +37,7 @@ mod trap;
 mod vp;
 
 pub use bus::{Bus, BusEvent, BusFault, RAM_BASE, RAM_SIZE};
+pub use cancel::CancelToken;
 pub use cpu::Cpu;
 pub use plugin::{AsAny, BlockInfo, DeviceAccess, MemAccess, Plugin};
 pub use timing::TimingModel;

@@ -2,6 +2,7 @@
 //! block cache, device bus, interrupt handling and plugin instrumentation.
 
 use crate::bus::{Bus, BusEvent, BusFault, RAM_BASE, RAM_SIZE};
+use crate::cancel::CancelToken;
 use crate::cpu::Cpu;
 use crate::dev::{Clint, Syscon, Uart, CLINT_BASE, CLINT_SIZE, SYSCON_BASE, SYSCON_SIZE, UART_BASE, UART_SIZE};
 use crate::plugin::{BlockInfo, DeviceAccess, MemAccess, Plugin};
@@ -33,6 +34,9 @@ pub enum RunOutcome {
     /// A trap was raised with no trap vector installed (`mtvec == 0`) —
     /// the fault campaigns' "crash" outcome.
     Fatal(Trap),
+    /// A [`Vp::run_until`] call observed its [`CancelToken`] cancelled or
+    /// past its wall-clock deadline; execution can be resumed.
+    Cancelled,
 }
 
 impl RunOutcome {
@@ -272,8 +276,34 @@ impl Vp {
     /// [`RunOutcome::InsnLimit`] when the budget is exhausted; calling
     /// `run_for` again resumes execution.
     pub fn run_for(&mut self, max_insns: u64) -> RunOutcome {
+        self.run_loop(max_insns, None)
+    }
+
+    /// Runs at most `max_insns` instructions under cooperative
+    /// cancellation: `cancel` is polled at translation-block boundaries
+    /// and the run returns [`RunOutcome::Cancelled`] once it trips —
+    /// bounding even livelocked guests (e.g. interrupt storms) by wall
+    /// clock, not just by instruction count. Execution can be resumed.
+    ///
+    /// The explicit cancellation flag is checked every block; the
+    /// (costlier) deadline clock is sampled on the first block and every
+    /// 64 blocks thereafter, so an already-expired token is observed
+    /// before any guest instruction runs and the watchdog granularity is
+    /// on the order of a couple of thousand guest instructions.
+    pub fn run_until(&mut self, max_insns: u64, cancel: &CancelToken) -> RunOutcome {
+        self.run_loop(max_insns, Some(cancel))
+    }
+
+    fn run_loop(&mut self, max_insns: u64, cancel: Option<&CancelToken>) -> RunOutcome {
         let mut remaining = max_insns;
+        let mut blocks = 0u32;
         loop {
+            if let Some(token) = cancel {
+                blocks = blocks.wrapping_add(1);
+                if token.flag_raised() || (blocks & 63 == 1 && token.is_cancelled()) {
+                    return RunOutcome::Cancelled;
+                }
+            }
             // Interrupts are sampled at block boundaries, like QEMU.
             let mip = self.bus.mip_bits(self.cpu.cycles());
             self.cpu.set_mip(mip);

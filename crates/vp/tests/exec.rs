@@ -935,3 +935,66 @@ fn uart_irq_masked_without_ier() {
     assert_eq!(vp.run_for(10_000), RunOutcome::InsnLimit);
     assert_eq!(gpr(&vp, A0), 0, "no interrupt without IER");
 }
+
+// ------------------------------------------------------- cancellation
+
+#[test]
+fn run_until_without_cancellation_matches_run_for() {
+    let src = "li t0, 10\nli a0, 0\nloop: add a0, a0, t0\naddi t0, t0, -1\nbnez t0, loop\nebreak";
+    let img = assemble(src).expect("assembles");
+    let mut a = Vp::new(IsaConfig::full());
+    a.load(img.base(), img.bytes()).expect("loads");
+    a.cpu_mut().set_pc(img.entry());
+    let mut b = Vp::new(IsaConfig::full());
+    b.load(img.base(), img.bytes()).expect("loads");
+    b.cpu_mut().set_pc(img.entry());
+    let token = s4e_vp::CancelToken::new();
+    assert_eq!(a.run_for(1_000_000), b.run_until(1_000_000, &token));
+    assert_eq!(a.cpu().gpr(Gpr::A0), b.cpu().gpr(Gpr::A0));
+    assert_eq!(a.cpu().instret(), b.cpu().instret());
+}
+
+#[test]
+fn run_until_observes_explicit_cancel() {
+    // Infinite loop: only the token stops it (budget is effectively
+    // unbounded for the test's purposes).
+    let img = assemble("spin: j spin").expect("assembles");
+    let mut vp = Vp::new(IsaConfig::full());
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+    let token = s4e_vp::CancelToken::new();
+    token.cancel();
+    assert_eq!(vp.run_until(u64::MAX, &token), RunOutcome::Cancelled);
+}
+
+#[test]
+fn run_until_observes_deadline() {
+    let img = assemble("spin: j spin").expect("assembles");
+    let mut vp = Vp::new(IsaConfig::full());
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+    let token = s4e_vp::CancelToken::with_timeout(std::time::Duration::from_millis(20));
+    let t0 = std::time::Instant::now();
+    assert_eq!(vp.run_until(u64::MAX, &token), RunOutcome::Cancelled);
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(10),
+        "watchdog must fire long before the instruction budget"
+    );
+    assert!(vp.cpu().instret() > 0, "the guest did make progress");
+}
+
+#[test]
+fn run_until_resumes_after_cancellation() {
+    let src = "li t0, 10\nli a0, 0\nloop: add a0, a0, t0\naddi t0, t0, -1\nbnez t0, loop\nebreak";
+    let img = assemble(src).expect("assembles");
+    let mut vp = Vp::new(IsaConfig::full());
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+    let cancelled = s4e_vp::CancelToken::new();
+    cancelled.cancel();
+    assert_eq!(vp.run_until(1_000_000, &cancelled), RunOutcome::Cancelled);
+    // A fresh token resumes exactly where the run stopped.
+    let live = s4e_vp::CancelToken::new();
+    assert_eq!(vp.run_until(1_000_000, &live), RunOutcome::Break);
+    assert_eq!(gpr(&vp, A0), 55);
+}

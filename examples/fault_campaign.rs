@@ -1,7 +1,9 @@
 //! A coverage-driven fault-effect campaign on a CRC-protected sensor
 //! record — the MBMV 2020 flow end to end: golden run, mutant generation
-//! from the execution footprint, parallel mutant simulation, outcome
-//! classification, and the "subjects for further investigation" list.
+//! from the execution footprint, supervised parallel mutant simulation
+//! (work-stealing workers, wall-clock watchdog, panic isolation),
+//! outcome classification, streaming JSONL checkpointing with resume,
+//! and the "subjects for further investigation" list.
 //!
 //! Run with: `cargo run --example fault_campaign`
 
@@ -40,9 +42,12 @@ const GUARDED_PROGRAM: &str = r#"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = assemble(GUARDED_PROGRAM)?;
+    // Four work-stealing workers; a 10 s wall-clock watchdog bounds any
+    // mutant that livelocks beyond its instruction budget.
     let config = CampaignConfig::new()
         .isa(IsaConfig::full())
-        .threads(4);
+        .threads(4)
+        .timeout(std::time::Duration::from_secs(10));
     let campaign = Campaign::prepare(image.base(), image.bytes(), image.entry(), &config)?;
     println!(
         "golden run: {:?} in {} instructions",
@@ -66,8 +71,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mutants = generate_mutants(trace, &gen);
     println!("\ninjecting {} mutants on 4 threads...", mutants.len());
-    let report = campaign.run_all(&mutants);
+
+    // Stream every classification to a JSONL checkpoint as it is
+    // produced: a killed campaign restarts from the last flushed line.
+    let checkpoint = std::env::temp_dir().join("fault_campaign.jsonl");
+    let mut sink = JsonlSink::create(&checkpoint)?;
+    let report = campaign.run_all_checkpointed(&mutants, &mut sink, &CancelToken::new())?;
     println!("{}", report.summary_table());
+
+    // Resuming over the complete checkpoint skips every mutant — this is
+    // what a restart after `kill -9` looks like, minus the re-runs.
+    let resumed = campaign.resume(&mutants, &checkpoint, &CancelToken::new())?;
+    assert_eq!(resumed.results(), report.results());
+    println!(
+        "resume over the finished checkpoint reused all {} classifications\n",
+        resumed.total()
+    );
+    std::fs::remove_file(&checkpoint).ok();
 
     println!("first subjects for further investigation (silent corruption):");
     for suspect in report.suspects().take(8) {

@@ -40,7 +40,7 @@ COMMANDS:
     wcet      static WCET analysis report
     qta       WCET-annotated co-simulation (dynamic / QTA / static)
     coverage  instruction and register coverage of one run
-    faults    coverage-driven fault-injection campaign
+    campaign  coverage-driven fault-injection campaign (alias: faults)
 
 OPTIONS:
     --isa <rv32i|rv32im|rv32imc|rv32imfc|full>   core configuration [full]
@@ -48,8 +48,11 @@ OPTIONS:
     --bound <label>=<n>                          annotate a loop bound (wcet/qta)
     --emit-tcfg <path>                           write the annotated CFG (wcet)
     --tcfg <path>                                co-simulate a shipped CFG (qta)
-    --mutants <n>                                mutant count scale (faults) [2]
+    --mutants <n>                                mutant count scale (campaign) [2]
     --threads <n>                                campaign worker threads [1]
+    --timeout-ms <n>                             per-mutant wall-clock watchdog, 0 = off [0]
+    --checkpoint <path>                          stream per-mutant results to a JSONL file
+    --resume                                     skip mutants already in --checkpoint
     --max-insns <n>                              execution budget [100000000]
 ";
 
@@ -59,6 +62,9 @@ struct Options {
     bounds: Vec<(String, u64)>,
     mutants: usize,
     threads: usize,
+    timeout_ms: u64,
+    checkpoint: Option<String>,
+    resume: bool,
     max_insns: u64,
     emit_tcfg: Option<String>,
     tcfg: Option<String>,
@@ -82,6 +88,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         bounds: Vec::new(),
         mutants: 2,
         threads: 1,
+        timeout_ms: 0,
+        checkpoint: None,
+        resume: false,
         max_insns: 100_000_000,
         emit_tcfg: None,
         tcfg: None,
@@ -116,6 +125,13 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| CliError::new("bad --threads value"))?;
             }
+            "--timeout-ms" => {
+                opts.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| CliError::new("bad --timeout-ms value"))?;
+            }
+            "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => opts.resume = true,
             "--emit-tcfg" => opts.emit_tcfg = Some(value("--emit-tcfg")?),
             "--tcfg" => opts.tcfg = Some(value("--tcfg")?),
             "--max-insns" => {
@@ -316,8 +332,14 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
                 .report();
             out.push_str(&report.summary_table());
         }
-        "faults" => {
-            let cfg = CampaignConfig::new().isa(opts.isa).threads(opts.threads);
+        "faults" | "campaign" => {
+            if opts.resume && opts.checkpoint.is_none() {
+                return Err(CliError::new("--resume needs --checkpoint <path>"));
+            }
+            let mut cfg = CampaignConfig::new().isa(opts.isa).threads(opts.threads);
+            if opts.timeout_ms > 0 {
+                cfg = cfg.timeout(std::time::Duration::from_millis(opts.timeout_ms));
+            }
             let campaign = Campaign::prepare(image.base(), image.bytes(), image.entry(), &cfg)
                 .map_err(|e| CliError::new(format!("campaign preparation failed: {e}")))?;
             let gen = GeneratorConfig {
@@ -329,8 +351,32 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
                 seed: 1,
             };
             let mutants = generate_mutants(campaign.golden().trace(), &gen);
-            let report = campaign.run_all(&mutants);
+            let cancel = CancelToken::new();
+            let report = match &opts.checkpoint {
+                Some(path) if opts.resume => campaign
+                    .resume(&mutants, path, &cancel)
+                    .map_err(|e| CliError::new(format!("campaign failed: {e}")))?,
+                Some(path) => {
+                    let mut sink = JsonlSink::create(path).map_err(|e| {
+                        CliError::new(format!("cannot create checkpoint `{path}`: {e}"))
+                    })?;
+                    campaign
+                        .run_all_checkpointed(&mutants, &mut sink, &cancel)
+                        .map_err(|e| CliError::new(format!("campaign failed: {e}")))?
+                }
+                None => campaign.run_all(&mutants),
+            };
             out.push_str(&report.summary_table());
+            if let Some(path) = &opts.checkpoint {
+                let _ = writeln!(out, "checkpoint: {path}");
+            }
+            for (spec, payload) in report.harness_panics().iter().take(5) {
+                let _ = writeln!(
+                    out,
+                    "harness panic on {spec}: {}",
+                    payload.lines().next().unwrap_or_default()
+                );
+            }
             let suspects: Vec<String> = report
                 .suspects()
                 .take(10)

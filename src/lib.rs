@@ -82,11 +82,11 @@ pub mod prelude {
     pub use s4e_core::{QtaPlugin, QtaRun, QtaSession};
     pub use s4e_coverage::{CoveragePlugin, CoverageReport};
     pub use s4e_faultsim::{
-        generate_mutants, Campaign, CampaignConfig, FaultKind, FaultOutcome, FaultSpec,
-        FaultTarget, GeneratorConfig,
+        generate_mutants, Campaign, CampaignConfig, CampaignReport, CampaignSink, FaultKind,
+        FaultOutcome, FaultResult, FaultSpec, FaultTarget, GeneratorConfig, JsonlSink,
     };
     pub use s4e_isa::{decode, disassemble, Extension, Gpr, Insn, InsnKind, IsaConfig};
     pub use s4e_torture::{architectural_suite, torture_program, unit_suite, TortureConfig};
-    pub use s4e_vp::{Plugin, RunOutcome, TimingModel, Vp};
+    pub use s4e_vp::{CancelToken, Plugin, RunOutcome, TimingModel, Vp};
     pub use s4e_wcet::{analyze, LoopBounds, TimedCfg, WcetOptions};
 }

@@ -1,0 +1,159 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stub provides the bench surface the workspace uses (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`). It runs each benchmark a small
+//! fixed number of iterations and prints mean wall-clock time — crude
+//! numbers rather than criterion's statistics, but the benches stay
+//! compilable and runnable.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Iterations per benchmark (after one warm-up).
+const ITERS: u32 = 10;
+
+/// Top-level bench driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("# group {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher { elapsed_ns: 0.0 };
+        f(&mut b);
+        self.report(&id.to_string(), b.elapsed_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { elapsed_ns: 0.0 };
+        f(&mut b, input);
+        self.report(&id.label, b.elapsed_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, mean_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / mean_ns * 1000.0)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MiB/s)", n as f64 / mean_ns * 1000.0 * 1e6 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{label}: {:.3} ms/iter{rate}",
+            self.name,
+            mean_ns / 1e6
+        );
+    }
+}
+
+/// Times a closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.elapsed_ns = t0.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects bench functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stub reimplements the subset of proptest the workspace tests rely on:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`any`], integer-range strategies, `prop_assert!`/`prop_assert_eq!`,
+//! and [`test_runner::Config::with_cases`]. Sampling is deterministic
+//! per test (seeded from the test name), so failures reproduce exactly.
+//! Shrinking is not implemented — a failing case reports its arguments
+//! instead.
+
+use std::ops::Range;
+
+/// Deterministic sample source handed to strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator: the stub's notion of a proptest strategy.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value. `case` is the 0-based case index, letting
+    /// strategies cover boundary values on early cases.
+    fn sample(&self, rng: &mut Gen, case: u32) -> Self::Value;
+}
+
+/// Whole-domain generation for primitive types, via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one value, biased toward boundary values on early cases.
+    fn arbitrary(rng: &mut Gen, case: u32) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Gen, case: u32) -> Self {
+                // First cases hit the classic boundary values.
+                match case {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Gen, case: u32) -> Self {
+        match case {
+            0 => false,
+            1 => true,
+            _ => rng.next_u64() & 1 == 1,
+        }
+    }
+}
+
+/// Marker strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut Gen, case: u32) -> T {
+        T::arbitrary(rng, case)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut Gen, case: u32) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // First two cases pin the range boundaries.
+                let off = match case {
+                    0 => 0,
+                    1 => span - 1,
+                    _ => (rng.next_u64() as u128) % span,
+                };
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Runner configuration and failure types.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` looping over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            // Deterministic per-test seed: FNV-1a of the test name.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in stringify!($name).bytes() {
+                seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            let mut rng = $crate::Gen::new(seed);
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng, case);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let Err(e) = result {
+                    panic!(
+                        "property `{}` failed at case {case}: {e}\n  inputs: {}",
+                        stringify!($name),
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u8..32, y in -10i32..10, z in any::<u64>()) {
+            prop_assert!(x < 32);
+            prop_assert!((-10..10).contains(&y));
+            let _ = z;
+        }
+
+        #[test]
+        fn early_return_ok_works(raw in any::<u16>()) {
+            if raw & 1 == 0 { return Ok(()); }
+            prop_assert_eq!(raw & 1, 1);
+        }
+    }
+
+    #[test]
+    fn boundary_cases_first() {
+        let mut rng = crate::Gen::new(1);
+        assert_eq!(u32::arbitrary_first(&mut rng), (0, u32::MAX));
+    }
+
+    trait ArbFirst: Sized {
+        fn arbitrary_first(rng: &mut crate::Gen) -> (Self, Self);
+    }
+
+    impl ArbFirst for u32 {
+        fn arbitrary_first(rng: &mut crate::Gen) -> (u32, u32) {
+            (
+                crate::Arbitrary::arbitrary(rng, 0),
+                crate::Arbitrary::arbitrary(rng, 1),
+            )
+        }
+    }
+}

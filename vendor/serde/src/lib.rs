@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io. The workspace only
+//! uses serde through *optional* `#[cfg_attr(feature = "serde", ...)]`
+//! derives, so this stub provides blanket-implemented marker traits and
+//! re-exports a no-op derive: enabling the feature still compiles, and
+//! nothing in the tree depends on actual serialization through serde
+//! (the faultsim checkpoint format is hand-rolled JSONL).
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T> Serialize for T {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
