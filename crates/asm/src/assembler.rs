@@ -214,7 +214,10 @@ impl Assembler {
             Some((line, toks)) => {
                 let mut c = Cursor::new(&toks, line);
                 let v = self.eval(&mut c, true)?.ok_or_else(|| {
-                    err(line, AsmErrorKind::UndefinedEntry("<entry expression>".into()))
+                    err(
+                        line,
+                        AsmErrorKind::UndefinedEntry("<entry expression>".into()),
+                    )
                 })?;
                 v as u32
             }
@@ -488,12 +491,7 @@ impl Assembler {
                 }
                 cur.skip_rest();
             }
-            other => {
-                return Err(err(
-                    self.line,
-                    AsmErrorKind::UnknownDirective(other.into()),
-                ))
-            }
+            other => return Err(err(self.line, AsmErrorKind::UnknownDirective(other.into()))),
         }
         Ok(())
     }
@@ -540,7 +538,11 @@ impl Assembler {
         Ok(v)
     }
 
-    fn parse_xor(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+    fn parse_xor(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        ud: &mut Option<String>,
+    ) -> Result<i64, AsmError> {
         let mut v = self.parse_and(cur, ud)?;
         while cur.eat(&Tok::Caret) {
             v ^= self.parse_and(cur, ud)?;
@@ -548,7 +550,11 @@ impl Assembler {
         Ok(v)
     }
 
-    fn parse_and(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+    fn parse_and(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        ud: &mut Option<String>,
+    ) -> Result<i64, AsmError> {
         let mut v = self.parse_shift(cur, ud)?;
         while cur.eat(&Tok::Amp) {
             v &= self.parse_shift(cur, ud)?;
@@ -576,7 +582,11 @@ impl Assembler {
         Ok(v)
     }
 
-    fn parse_add(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+    fn parse_add(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        ud: &mut Option<String>,
+    ) -> Result<i64, AsmError> {
         let mut v = self.parse_mul(cur, ud)?;
         loop {
             if cur.eat(&Tok::Plus) {
@@ -590,7 +600,11 @@ impl Assembler {
         Ok(v)
     }
 
-    fn parse_mul(&mut self, cur: &mut Cursor<'_>, ud: &mut Option<String>) -> Result<i64, AsmError> {
+    fn parse_mul(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        ud: &mut Option<String>,
+    ) -> Result<i64, AsmError> {
         let mut v = self.parse_unary(cur, ud)?;
         loop {
             if cur.eat(&Tok::Star) {
@@ -651,10 +665,7 @@ impl Assembler {
                         return match self.numeric_ref(*v, forward) {
                             Some(addr) => Ok(addr),
                             None => {
-                                *ud = Some(format!(
-                                    "{v}{}",
-                                    if forward { "f" } else { "b" }
-                                ));
+                                *ud = Some(format!("{v}{}", if forward { "f" } else { "b" }));
                                 Ok(0)
                             }
                         };
@@ -700,8 +711,7 @@ impl Assembler {
     // --------------------------------------------------------- instructions
 
     fn emit_word(&mut self, raw: u32) -> Result<(), AsmError> {
-        decode(raw, &self.opts.isa)
-            .map_err(|e| err(self.line, AsmErrorKind::TargetRejects(e)))?;
+        decode(raw, &self.opts.isa).map_err(|e| err(self.line, AsmErrorKind::TargetRejects(e)))?;
         self.bytes.extend_from_slice(&raw.to_le_bytes());
         self.pc += 4;
         Ok(())
@@ -745,7 +755,12 @@ impl Assembler {
                     let rs1 = cur.try_gpr()?;
                     cur.eat_comma().then_some(())?;
                     let rs2 = cur.try_gpr()?;
-                    Some(Operands { rd, rs1, rs2, imm: 0 })
+                    Some(Operands {
+                        rd,
+                        rs1,
+                        rs2,
+                        imm: 0,
+                    })
                 }
                 Addi | Slli | Srli | Srai | Andi => {
                     let rd = cur.try_gpr()?;
@@ -753,26 +768,45 @@ impl Assembler {
                     let rs1 = cur.try_gpr()?;
                     cur.eat_comma().then_some(())?;
                     let imm = self.eval(cur, false).ok()?? as i32;
-                    Some(Operands { rd, rs1, imm, ..Default::default() })
+                    Some(Operands {
+                        rd,
+                        rs1,
+                        imm,
+                        ..Default::default()
+                    })
                 }
                 Lui => {
                     let rd = cur.try_gpr()?;
                     cur.eat_comma().then_some(())?;
                     let v = self.eval(cur, false).ok()??;
                     (-(1 << 19)..(1 << 20)).contains(&v).then_some(())?;
-                    Some(Operands { rd, imm: (v as i32) << 12, ..Default::default() })
+                    Some(Operands {
+                        rd,
+                        imm: (v as i32) << 12,
+                        ..Default::default()
+                    })
                 }
                 Lw => {
                     let rd = cur.try_gpr()?;
                     cur.eat_comma().then_some(())?;
                     let (imm, rs1) = self.try_mem_operand(cur)?;
-                    Some(Operands { rd, rs1, imm, ..Default::default() })
+                    Some(Operands {
+                        rd,
+                        rs1,
+                        imm,
+                        ..Default::default()
+                    })
                 }
                 Sw => {
                     let rs2 = cur.try_gpr()?;
                     cur.eat_comma().then_some(())?;
                     let (imm, rs1) = self.try_mem_operand(cur)?;
-                    Some(Operands { rs1, rs2, imm, ..Default::default() })
+                    Some(Operands {
+                        rs1,
+                        rs2,
+                        imm,
+                        ..Default::default()
+                    })
                 }
                 Ebreak => Some(Operands::default()),
                 _ => None,
@@ -857,14 +891,23 @@ impl Assembler {
                 let rs1 = cur.gpr()?;
                 cur.comma()?;
                 let rs2 = cur.gpr()?;
-                Operands { rd, rs1, rs2, imm: 0 }
+                Operands {
+                    rd,
+                    rs1,
+                    rs2,
+                    imm: 0,
+                }
             }
             // rd, rs
             Clz | Ctz | Pcnt | Rev8 => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs1 = cur.gpr()?;
-                Operands { rd, rs1, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    ..Default::default()
+                }
             }
             // rd, rs1, imm
             Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai => {
@@ -873,19 +916,34 @@ impl Assembler {
                 let rs1 = cur.gpr()?;
                 cur.comma()?;
                 let imm = self.eval_resolved(cur)? as i32;
-                Operands { rd, rs1, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             Lb | Lh | Lw | Lbu | Lhu => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let (imm, rs1) = self.mem_operand(cur)?;
-                Operands { rd, rs1, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             Sb | Sh | Sw => {
                 let rs2 = cur.gpr()?;
                 cur.comma()?;
                 let (imm, rs1) = self.mem_operand(cur)?;
-                Operands { rs1, rs2, imm, ..Default::default() }
+                Operands {
+                    rs1,
+                    rs2,
+                    imm,
+                    ..Default::default()
+                }
             }
             Beq | Bne | Blt | Bge | Bltu | Bgeu => {
                 let rs1 = cur.gpr()?;
@@ -893,7 +951,12 @@ impl Assembler {
                 let rs2 = cur.gpr()?;
                 cur.comma()?;
                 let imm = self.target_offset(cur)?;
-                Operands { rs1, rs2, imm, ..Default::default() }
+                Operands {
+                    rs1,
+                    rs2,
+                    imm,
+                    ..Default::default()
+                }
             }
             Jal => {
                 // `jal rd, target` or `jal target` (rd = ra)
@@ -909,7 +972,11 @@ impl Assembler {
                     }
                 };
                 let imm = self.target_offset(cur)?;
-                Operands { rd, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    imm,
+                    ..Default::default()
+                }
             }
             Jalr => {
                 // `jalr rd, off(rs1)` | `jalr rd, rs1` | `jalr rs1`
@@ -917,7 +984,12 @@ impl Assembler {
                 if cur.eat_comma() {
                     if cur.check(&Tok::LParen) || !cur.peek_is_reg() {
                         let (imm, rs1) = self.mem_operand(cur)?;
-                        Operands { rd: first, rs1, imm, ..Default::default() }
+                        Operands {
+                            rd: first,
+                            rs1,
+                            imm,
+                            ..Default::default()
+                        }
                     } else {
                         let rs1 = cur.gpr()?;
                         let imm = if cur.eat_comma() {
@@ -925,10 +997,19 @@ impl Assembler {
                         } else {
                             0
                         };
-                        Operands { rd: first, rs1, imm, ..Default::default() }
+                        Operands {
+                            rd: first,
+                            rs1,
+                            imm,
+                            ..Default::default()
+                        }
                     }
                 } else {
-                    Operands { rd: 1, rs1: first, ..Default::default() }
+                    Operands {
+                        rd: 1,
+                        rs1: first,
+                        ..Default::default()
+                    }
                 }
             }
             Lui | Auipc => {
@@ -944,9 +1025,16 @@ impl Assembler {
                         },
                     ));
                 }
-                Operands { rd, imm: (v as i32) << 12, ..Default::default() }
+                Operands {
+                    rd,
+                    imm: (v as i32) << 12,
+                    ..Default::default()
+                }
             }
-            Fence => Operands { imm: 0x0ff, ..Default::default() },
+            Fence => Operands {
+                imm: 0x0ff,
+                ..Default::default()
+            },
             FenceI | Ecall | Ebreak | Mret | Wfi => Operands::default(),
             Csrrw | Csrrs | Csrrc => {
                 let rd = cur.gpr()?;
@@ -954,7 +1042,12 @@ impl Assembler {
                 let imm = self.csr_operand(cur)?;
                 cur.comma()?;
                 let rs1 = cur.gpr()?;
-                Operands { rd, rs1, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             Csrrwi | Csrrsi | Csrrci => {
                 let rd = cur.gpr()?;
@@ -965,22 +1058,40 @@ impl Assembler {
                 if !(0..32).contains(&z) {
                     return Err(err(
                         self.line,
-                        AsmErrorKind::ValueOutOfRange { what: "zimm", value: z },
+                        AsmErrorKind::ValueOutOfRange {
+                            what: "zimm",
+                            value: z,
+                        },
                     ));
                 }
-                Operands { rd, rs1: z as u8, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1: z as u8,
+                    imm,
+                    ..Default::default()
+                }
             }
             Flw => {
                 let rd = cur.fpr()?;
                 cur.comma()?;
                 let (imm, rs1) = self.mem_operand(cur)?;
-                Operands { rd, rs1, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             Fsw => {
                 let rs2 = cur.fpr()?;
                 cur.comma()?;
                 let (imm, rs1) = self.mem_operand(cur)?;
-                Operands { rs1, rs2, imm, ..Default::default() }
+                Operands {
+                    rs1,
+                    rs2,
+                    imm,
+                    ..Default::default()
+                }
             }
             FaddS | FsubS | FmulS | FdivS | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS => {
                 let rd = cur.fpr()?;
@@ -988,25 +1099,42 @@ impl Assembler {
                 let rs1 = cur.fpr()?;
                 cur.comma()?;
                 let rs2 = cur.fpr()?;
-                Operands { rd, rs1, rs2, imm: 0 }
+                Operands {
+                    rd,
+                    rs1,
+                    rs2,
+                    imm: 0,
+                }
             }
             FsqrtS => {
                 let rd = cur.fpr()?;
                 cur.comma()?;
                 let rs1 = cur.fpr()?;
-                Operands { rd, rs1, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    ..Default::default()
+                }
             }
             FcvtWS | FcvtWuS | FmvXW | FclassS => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs1 = cur.fpr()?;
-                Operands { rd, rs1, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    ..Default::default()
+                }
             }
             FcvtSW | FcvtSWu | FmvWX => {
                 let rd = cur.fpr()?;
                 cur.comma()?;
                 let rs1 = cur.gpr()?;
-                Operands { rd, rs1, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    ..Default::default()
+                }
             }
             FeqS | FltS | FleS => {
                 let rd = cur.gpr()?;
@@ -1014,7 +1142,12 @@ impl Assembler {
                 let rs1 = cur.fpr()?;
                 cur.comma()?;
                 let rs2 = cur.fpr()?;
-                Operands { rd, rs1, rs2, imm: 0 }
+                Operands {
+                    rd,
+                    rs1,
+                    rs2,
+                    imm: 0,
+                }
             }
         };
         self.emit_kind(kind, ops)
@@ -1029,19 +1162,34 @@ impl Assembler {
                 let rs1 = cur.gpr()?;
                 cur.comma()?;
                 let imm = self.eval_resolved(cur)? as i32;
-                Operands { rd, rs1, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             CLw | CFlw => {
                 let rd = if ck == CFlw { cur.fpr()? } else { cur.gpr()? };
                 cur.comma()?;
                 let (imm, rs1) = self.mem_operand(cur)?;
-                Operands { rd, rs1, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             CSw | CFsw => {
                 let rs2 = if ck == CFsw { cur.fpr()? } else { cur.gpr()? };
                 cur.comma()?;
                 let (imm, rs1) = self.mem_operand(cur)?;
-                Operands { rs1, rs2, imm, ..Default::default() }
+                Operands {
+                    rs1,
+                    rs2,
+                    imm,
+                    ..Default::default()
+                }
             }
             CNop | CEbreak => Operands::default(),
             CAddi | CSlli | CLi => {
@@ -1049,18 +1197,32 @@ impl Assembler {
                 cur.comma()?;
                 let imm = self.eval_resolved(cur)? as i32;
                 let rs1 = if ck == CLi { 0 } else { rd };
-                Operands { rd, rs1, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             CSrli | CSrai | CAndi => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let imm = self.eval_resolved(cur)? as i32;
-                Operands { rd, rs1: rd, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1: rd,
+                    imm,
+                    ..Default::default()
+                }
             }
             CJal | CJ => {
                 let imm = self.target_offset(cur)?;
                 let rd = if ck == CJal { 1 } else { 0 };
-                Operands { rd, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    imm,
+                    ..Default::default()
+                }
             }
             CAddi16sp => {
                 // `c.addi16sp sp, imm` or `c.addi16sp imm`
@@ -1078,26 +1240,44 @@ impl Assembler {
                     cur.comma()?;
                 }
                 let imm = self.eval_resolved(cur)? as i32;
-                Operands { rd: 2, rs1: 2, imm, ..Default::default() }
+                Operands {
+                    rd: 2,
+                    rs1: 2,
+                    imm,
+                    ..Default::default()
+                }
             }
             CLui => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let v = self.eval_resolved(cur)?;
-                Operands { rd, imm: (v as i32) << 12, ..Default::default() }
+                Operands {
+                    rd,
+                    imm: (v as i32) << 12,
+                    ..Default::default()
+                }
             }
             CSub | CXor | COr | CAnd | CMv | CAdd => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs2 = cur.gpr()?;
                 let rs1 = if ck == CMv { 0 } else { rd };
-                Operands { rd, rs1, rs2, imm: 0 }
+                Operands {
+                    rd,
+                    rs1,
+                    rs2,
+                    imm: 0,
+                }
             }
             CBeqz | CBnez => {
                 let rs1 = cur.gpr()?;
                 cur.comma()?;
                 let imm = self.target_offset(cur)?;
-                Operands { rs1, imm, ..Default::default() }
+                Operands {
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             CLwsp | CFlwsp => {
                 let rd = if ck == CFlwsp { cur.fpr()? } else { cur.gpr()? };
@@ -1112,7 +1292,12 @@ impl Assembler {
                         },
                     ));
                 }
-                Operands { rd, rs1, imm, ..Default::default() }
+                Operands {
+                    rd,
+                    rs1,
+                    imm,
+                    ..Default::default()
+                }
             }
             CSwsp | CFswsp => {
                 let rs2 = if ck == CFswsp { cur.fpr()? } else { cur.gpr()? };
@@ -1127,11 +1312,19 @@ impl Assembler {
                         },
                     ));
                 }
-                Operands { rs1, rs2, imm, ..Default::default() }
+                Operands {
+                    rs1,
+                    rs2,
+                    imm,
+                    ..Default::default()
+                }
             }
             CJr | CJalr => {
                 let rs1 = cur.gpr()?;
-                Operands { rs1, ..Default::default() }
+                Operands {
+                    rs1,
+                    ..Default::default()
+                }
             }
         };
         let half =
@@ -1150,7 +1343,10 @@ impl Assembler {
                 if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
                     return Err(err(
                         self.line,
-                        AsmErrorKind::ValueOutOfRange { what: "li immediate", value: v },
+                        AsmErrorKind::ValueOutOfRange {
+                            what: "li immediate",
+                            value: v,
+                        },
                     ));
                 }
                 let v = v as u32;
@@ -1158,15 +1354,31 @@ impl Assembler {
                 if wide {
                     let hi = v.wrapping_add(0x800) & 0xffff_f000;
                     let lo = (v.wrapping_sub(hi) as i32) << 20 >> 20;
-                    self.emit_kind(Lui, Operands { rd, imm: hi as i32, ..Default::default() })?;
+                    self.emit_kind(
+                        Lui,
+                        Operands {
+                            rd,
+                            imm: hi as i32,
+                            ..Default::default()
+                        },
+                    )?;
                     self.emit_kind(
                         Addi,
-                        Operands { rd, rs1: rd, imm: lo, ..Default::default() },
+                        Operands {
+                            rd,
+                            rs1: rd,
+                            imm: lo,
+                            ..Default::default()
+                        },
                     )
                 } else {
                     self.emit_kind(
                         Addi,
-                        Operands { rd, imm: v as i32, ..Default::default() },
+                        Operands {
+                            rd,
+                            imm: v as i32,
+                            ..Default::default()
+                        },
                     )
                 }
             }
@@ -1176,50 +1388,116 @@ impl Assembler {
                 let v = self.eval_resolved(cur)? as u32;
                 let hi = v.wrapping_add(0x800) & 0xffff_f000;
                 let lo = (v.wrapping_sub(hi) as i32) << 20 >> 20;
-                self.emit_kind(Lui, Operands { rd, imm: hi as i32, ..Default::default() })?;
-                self.emit_kind(Addi, Operands { rd, rs1: rd, imm: lo, ..Default::default() })
+                self.emit_kind(
+                    Lui,
+                    Operands {
+                        rd,
+                        imm: hi as i32,
+                        ..Default::default()
+                    },
+                )?;
+                self.emit_kind(
+                    Addi,
+                    Operands {
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                        ..Default::default()
+                    },
+                )
             }
             "mv" => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs1 = cur.gpr()?;
-                self.emit_kind(Addi, Operands { rd, rs1, ..Default::default() })
+                self.emit_kind(
+                    Addi,
+                    Operands {
+                        rd,
+                        rs1,
+                        ..Default::default()
+                    },
+                )
             }
             "not" => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs1 = cur.gpr()?;
-                self.emit_kind(Xori, Operands { rd, rs1, imm: -1, ..Default::default() })
+                self.emit_kind(
+                    Xori,
+                    Operands {
+                        rd,
+                        rs1,
+                        imm: -1,
+                        ..Default::default()
+                    },
+                )
             }
             "neg" => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs2 = cur.gpr()?;
-                self.emit_kind(Sub, Operands { rd, rs2, ..Default::default() })
+                self.emit_kind(
+                    Sub,
+                    Operands {
+                        rd,
+                        rs2,
+                        ..Default::default()
+                    },
+                )
             }
             "seqz" => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs1 = cur.gpr()?;
-                self.emit_kind(Sltiu, Operands { rd, rs1, imm: 1, ..Default::default() })
+                self.emit_kind(
+                    Sltiu,
+                    Operands {
+                        rd,
+                        rs1,
+                        imm: 1,
+                        ..Default::default()
+                    },
+                )
             }
             "snez" => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs2 = cur.gpr()?;
-                self.emit_kind(Sltu, Operands { rd, rs2, ..Default::default() })
+                self.emit_kind(
+                    Sltu,
+                    Operands {
+                        rd,
+                        rs2,
+                        ..Default::default()
+                    },
+                )
             }
             "sltz" => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs1 = cur.gpr()?;
-                self.emit_kind(Slt, Operands { rd, rs1, ..Default::default() })
+                self.emit_kind(
+                    Slt,
+                    Operands {
+                        rd,
+                        rs1,
+                        ..Default::default()
+                    },
+                )
             }
             "sgtz" => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let rs2 = cur.gpr()?;
-                self.emit_kind(Slt, Operands { rd, rs2, ..Default::default() })
+                self.emit_kind(
+                    Slt,
+                    Operands {
+                        rd,
+                        rs2,
+                        ..Default::default()
+                    },
+                )
             }
             "beqz" | "bnez" | "blez" | "bgez" | "bltz" | "bgtz" => {
                 let rs = cur.gpr()?;
@@ -1233,7 +1511,15 @@ impl Assembler {
                     "bltz" => (Blt, rs, 0),
                     _ => (Blt, 0, rs),
                 };
-                self.emit_kind(kind, Operands { rs1, rs2, imm, ..Default::default() })
+                self.emit_kind(
+                    kind,
+                    Operands {
+                        rs1,
+                        rs2,
+                        imm,
+                        ..Default::default()
+                    },
+                )
             }
             "bgt" | "ble" | "bgtu" | "bleu" => {
                 let a = cur.gpr()?;
@@ -1249,24 +1535,55 @@ impl Assembler {
                 };
                 self.emit_kind(
                     kind,
-                    Operands { rs1: b, rs2: a, imm, ..Default::default() },
+                    Operands {
+                        rs1: b,
+                        rs2: a,
+                        imm,
+                        ..Default::default()
+                    },
                 )
             }
             "j" | "call" | "tail" => {
                 let imm = self.target_offset(cur)?;
                 let rd = if mnemonic == "call" { 1 } else { 0 };
-                self.emit_kind(Jal, Operands { rd, imm, ..Default::default() })
+                self.emit_kind(
+                    Jal,
+                    Operands {
+                        rd,
+                        imm,
+                        ..Default::default()
+                    },
+                )
             }
             "jr" => {
                 let rs1 = cur.gpr()?;
-                self.emit_kind(Jalr, Operands { rs1, ..Default::default() })
+                self.emit_kind(
+                    Jalr,
+                    Operands {
+                        rs1,
+                        ..Default::default()
+                    },
+                )
             }
-            "ret" => self.emit_kind(Jalr, Operands { rs1: 1, ..Default::default() }),
+            "ret" => self.emit_kind(
+                Jalr,
+                Operands {
+                    rs1: 1,
+                    ..Default::default()
+                },
+            ),
             "csrr" => {
                 let rd = cur.gpr()?;
                 cur.comma()?;
                 let imm = self.csr_operand(cur)?;
-                self.emit_kind(Csrrs, Operands { rd, imm, ..Default::default() })
+                self.emit_kind(
+                    Csrrs,
+                    Operands {
+                        rd,
+                        imm,
+                        ..Default::default()
+                    },
+                )
             }
             "csrw" | "csrs" | "csrc" => {
                 let imm = self.csr_operand(cur)?;
@@ -1277,7 +1594,14 @@ impl Assembler {
                     "csrs" => Csrrs,
                     _ => Csrrc,
                 };
-                self.emit_kind(kind, Operands { rs1, imm, ..Default::default() })
+                self.emit_kind(
+                    kind,
+                    Operands {
+                        rs1,
+                        imm,
+                        ..Default::default()
+                    },
+                )
             }
             "csrwi" | "csrsi" | "csrci" => {
                 let imm = self.csr_operand(cur)?;
@@ -1286,7 +1610,10 @@ impl Assembler {
                 if !(0..32).contains(&z) {
                     return Err(err(
                         self.line,
-                        AsmErrorKind::ValueOutOfRange { what: "zimm", value: z },
+                        AsmErrorKind::ValueOutOfRange {
+                            what: "zimm",
+                            value: z,
+                        },
                     ));
                 }
                 let kind = match mnemonic {
@@ -1294,14 +1621,29 @@ impl Assembler {
                     "csrsi" => Csrrsi,
                     _ => Csrrci,
                 };
-                self.emit_kind(kind, Operands { rs1: z as u8, imm, ..Default::default() })
+                self.emit_kind(
+                    kind,
+                    Operands {
+                        rs1: z as u8,
+                        imm,
+                        ..Default::default()
+                    },
+                )
             }
             "rdcycle" | "rdinstret" => {
                 let rd = cur.gpr()?;
-                let csr = if mnemonic == "rdcycle" { Csr::CYCLE } else { Csr::INSTRET };
+                let csr = if mnemonic == "rdcycle" {
+                    Csr::CYCLE
+                } else {
+                    Csr::INSTRET
+                };
                 self.emit_kind(
                     Csrrs,
-                    Operands { rd, imm: csr.addr() as i32, ..Default::default() },
+                    Operands {
+                        rd,
+                        imm: csr.addr() as i32,
+                        ..Default::default()
+                    },
                 )
             }
             "fmv.s" | "fabs.s" | "fneg.s" => {
@@ -1313,7 +1655,15 @@ impl Assembler {
                     "fabs.s" => FsgnjxS,
                     _ => FsgnjnS,
                 };
-                self.emit_kind(kind, Operands { rd, rs1: rs, rs2: rs, imm: 0 })
+                self.emit_kind(
+                    kind,
+                    Operands {
+                        rd,
+                        rs1: rs,
+                        rs2: rs,
+                        imm: 0,
+                    },
+                )
             }
             other => Err(err(self.line, AsmErrorKind::UnknownMnemonic(other.into()))),
         }
@@ -1483,18 +1833,57 @@ impl<'t> Cursor<'t> {
 // ------------------------------------------------------------------ lookups
 
 fn lookup_kind(mnemonic: &str) -> Option<InsnKind> {
-    InsnKind::ALL.iter().copied().find(|k| k.mnemonic() == mnemonic)
+    InsnKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.mnemonic() == mnemonic)
 }
 
 fn lookup_ckind(mnemonic: &str) -> Option<CKind> {
-    CKind::ALL.iter().copied().find(|k| k.mnemonic() == mnemonic)
+    CKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.mnemonic() == mnemonic)
 }
 
 const PSEUDOS: &[&str] = &[
-    "nop", "li", "la", "mv", "not", "neg", "seqz", "snez", "sltz", "sgtz", "beqz", "bnez",
-    "blez", "bgez", "bltz", "bgtz", "bgt", "ble", "bgtu", "bleu", "j", "jr", "ret", "call",
-    "tail", "csrr", "csrw", "csrs", "csrc", "csrwi", "csrsi", "csrci", "rdcycle", "rdinstret",
-    "fmv.s", "fabs.s", "fneg.s",
+    "nop",
+    "li",
+    "la",
+    "mv",
+    "not",
+    "neg",
+    "seqz",
+    "snez",
+    "sltz",
+    "sgtz",
+    "beqz",
+    "bnez",
+    "blez",
+    "bgez",
+    "bltz",
+    "bgtz",
+    "bgt",
+    "ble",
+    "bgtu",
+    "bleu",
+    "j",
+    "jr",
+    "ret",
+    "call",
+    "tail",
+    "csrr",
+    "csrw",
+    "csrs",
+    "csrc",
+    "csrwi",
+    "csrsi",
+    "csrci",
+    "rdcycle",
+    "rdinstret",
+    "fmv.s",
+    "fabs.s",
+    "fneg.s",
 ];
 
 fn is_pseudo(mnemonic: &str) -> bool {
@@ -1510,9 +1899,9 @@ fn gpr_by_name(name: &str) -> Option<u8> {
         }
     }
     const ABI: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     if name == "fp" {
         return Some(8);
@@ -1529,9 +1918,9 @@ fn fpr_by_name(name: &str) -> Option<u8> {
         }
     }
     const ABI: [&str; 32] = [
-        "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1",
-        "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
-        "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+        "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+        "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+        "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
     ];
     ABI.iter().position(|&n| n == name).map(|i| i as u8)
 }

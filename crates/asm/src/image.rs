@@ -135,7 +135,13 @@ mod tests {
         let mut src = BTreeMap::new();
         src.insert(0x100, 1);
         src.insert(0x104, 2);
-        Image::new(0x100, 0x100, vec![0x13, 0, 0, 0, 0x13, 0, 0, 0], symbols, src)
+        Image::new(
+            0x100,
+            0x100,
+            vec![0x13, 0, 0, 0, 0x13, 0, 0, 0],
+            symbols,
+            src,
+        )
     }
 
     #[test]

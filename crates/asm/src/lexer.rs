@@ -197,9 +197,7 @@ fn tokenize_line(line: &str, num: u32) -> Result<Vec<Tok>, AsmError> {
                             Some('0') => s.push('\0'),
                             Some('\\') => s.push('\\'),
                             Some('"') => s.push('"'),
-                            _ => {
-                                return Err(AsmError::new(num, AsmErrorKind::UnterminatedString))
-                            }
+                            _ => return Err(AsmError::new(num, AsmErrorKind::UnterminatedString)),
                         },
                         c => s.push(c),
                     }

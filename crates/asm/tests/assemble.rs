@@ -59,7 +59,10 @@ fn jal_forms() {
 #[test]
 fn jalr_forms() {
     let i = first_insn("jalr a0");
-    assert_eq!((i.kind(), i.rd(), i.rs1(), i.imm()), (InsnKind::Jalr, 1, 10, 0));
+    assert_eq!(
+        (i.kind(), i.rd(), i.rs1(), i.imm()),
+        (InsnKind::Jalr, 1, 10, 0)
+    );
     let i = first_insn("jalr zero, 8(a0)");
     assert_eq!((i.rd(), i.rs1(), i.imm()), (0, 10, 8));
     let i = first_insn("jalr t0, a0");
@@ -163,8 +166,9 @@ fn compressed_branches_to_labels() {
 
 #[test]
 fn compressed_sp_forms() {
-    let img = assemble("c.lwsp a0, 8(sp)\nc.swsp a0, 8(sp)\nc.addi16sp sp, -32\nc.addi4spn a0, sp, 16")
-        .expect("assembles");
+    let img =
+        assemble("c.lwsp a0, 8(sp)\nc.swsp a0, 8(sp)\nc.addi16sp sp, -32\nc.addi4spn a0, sp, 16")
+            .expect("assembles");
     let i = decode(img.half_at(BASE).unwrap() as u32, &IsaConfig::full()).unwrap();
     assert_eq!((i.kind(), i.rs1(), i.imm()), (InsnKind::Lw, 2, 8));
 }
@@ -528,7 +532,10 @@ fn undefined_numeric_ref_errors() {
     let e = assemble("j 3f").unwrap_err();
     assert!(matches!(e.kind(), AsmErrorKind::UndefinedSymbol(s) if s == "3f"));
     let e = assemble("1: nop\nj 1f").unwrap_err();
-    assert!(matches!(e.kind(), AsmErrorKind::UndefinedSymbol(_)), "no forward 1");
+    assert!(
+        matches!(e.kind(), AsmErrorKind::UndefinedSymbol(_)),
+        "no forward 1"
+    );
 }
 
 // ------------------------------------------------------ more error paths

@@ -14,13 +14,9 @@ fn bench_emulator(c: &mut Criterion) {
         let insns = run_image(&image, isa, true).instret;
         group.throughput(Throughput::Elements(insns));
         for (label, cache) in [("tb_cache", true), ("no_cache", false)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, kernel.name),
-                &image,
-                |b, image| {
-                    b.iter(|| run_image(image, isa, cache));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, kernel.name), &image, |b, image| {
+                b.iter(|| run_image(image, isa, cache));
+            });
         }
     }
     group.finish();

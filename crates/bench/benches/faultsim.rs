@@ -26,7 +26,9 @@ fn bench_faultsim(c: &mut Criterion) {
             image.base(),
             image.bytes(),
             image.entry(),
-            &CampaignConfig::new().isa(isa).compare_memory(compare_memory),
+            &CampaignConfig::new()
+                .isa(isa)
+                .compare_memory(compare_memory),
         )
         .expect("prepares");
         let mutants = generate_mutants(campaign.golden().trace(), &gen);

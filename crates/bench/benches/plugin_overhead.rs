@@ -1,5 +1,8 @@
 //! Ablation A2: cost of the instrumentation hooks — no plugins vs the
-//! coverage plugin vs the full QTA plugin.
+//! coverage plugin vs the hot-block profiler vs the full QTA plugin.
+//!
+//! The profiler's acceptance bound: a profiled run must stay within 2×
+//! of bare execution (each event is a handful of relaxed atomic adds).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use s4e_bench::kernels::matmul;
@@ -7,6 +10,7 @@ use s4e_bench::{build, reconstruct};
 use s4e_core::QtaPlugin;
 use s4e_coverage::CoveragePlugin;
 use s4e_isa::IsaConfig;
+use s4e_obs::ProfilePlugin;
 use s4e_vp::{RunOutcome, Vp};
 use s4e_wcet::{analyze, TimedCfg, WcetOptions};
 
@@ -33,6 +37,9 @@ fn bench_plugins(c: &mut Criterion) {
     group.bench_function("none", |b| b.iter(|| run(&|_| {})));
     group.bench_function("coverage", |b| {
         b.iter(|| run(&|vp| vp.add_plugin(Box::new(CoveragePlugin::new(isa)))))
+    });
+    group.bench_function("profile", |b| {
+        b.iter(|| run(&|vp| vp.add_plugin(Box::new(ProfilePlugin::new()))))
     });
     group.bench_function("qta", |b| {
         b.iter(|| run(&|vp| vp.add_plugin(Box::new(QtaPlugin::new(timed.clone())))))

@@ -22,14 +22,9 @@ fn main() {
     for k in wcet_benchmarks() {
         let image = build(&k.source, isa);
         let options = wcet_options_for(&k, &image);
-        let session = QtaSession::prepare(
-            image.base(),
-            image.bytes(),
-            image.entry(),
-            isa,
-            &options,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let session =
+            QtaSession::prepare(image.base(), image.bytes(), image.entry(), isa, &options)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
         let run = session.run().unwrap_or_else(|e| panic!("{}: {e}", k.name));
         assert!(
             run.invariant_holds(),

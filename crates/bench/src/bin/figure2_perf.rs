@@ -80,14 +80,22 @@ fn main() {
     let with_cov = mips(&image, isa, true, Plug::Coverage, reps);
     let with_qta = mips(&image, isa, true, Plug::Qta(timed), reps);
     println!("| none            | {cached:.1} | 1.00x |");
-    println!("| coverage plugin | {with_cov:.1} | {:.2}x |", cached / with_cov);
-    println!("| QTA plugin      | {with_qta:.1} | {:.2}x |", cached / with_qta);
+    println!(
+        "| coverage plugin | {with_cov:.1} | {:.2}x |",
+        cached / with_cov
+    );
+    println!(
+        "| QTA plugin      | {with_qta:.1} | {:.2}x |",
+        cached / with_qta
+    );
     let worst = (cached / with_cov).max(cached / with_qta);
     assert!(
         worst < 10.0,
         "shape: instrumentation overhead should stay bounded, got {worst:.1}x"
     );
     println!();
-    println!("F2 shape check: PASS (cache speedup {:.2}x, worst plugin overhead {worst:.2}x)",
-        cached / uncached);
+    println!(
+        "F2 shape check: PASS (cache speedup {:.2}x, worst plugin overhead {worst:.2}x)",
+        cached / uncached
+    );
 }

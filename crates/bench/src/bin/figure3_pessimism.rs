@@ -18,15 +18,13 @@ fn main() {
         let image = build(&kernel.source, isa);
         // Baseline analysis to obtain the exact inferred bounds.
         let base_opts = wcet_options_for(&kernel, &image);
-        let base_session = QtaSession::prepare(
-            image.base(),
-            image.bytes(),
-            image.entry(),
-            isa,
-            &base_opts,
-        )
-        .expect("prepares");
-        let exact_bounds = base_session.report().expect("prepared with analysis").all_bounds();
+        let base_session =
+            QtaSession::prepare(image.base(), image.bytes(), image.entry(), isa, &base_opts)
+                .expect("prepares");
+        let exact_bounds = base_session
+            .report()
+            .expect("prepared with analysis")
+            .all_bounds();
 
         println!();
         println!("## {}", kernel.name);
@@ -43,19 +41,17 @@ fn main() {
                 infer_bounds: false,
                 ..WcetOptions::new()
             };
-            let session = QtaSession::prepare(
-                image.base(),
-                image.bytes(),
-                image.entry(),
-                isa,
-                &opts,
-            )
-            .expect("prepares");
+            let session =
+                QtaSession::prepare(image.base(), image.bytes(), image.entry(), isa, &opts)
+                    .expect("prepares");
             let run = session.run().expect("runs");
             assert!(run.invariant_holds(), "{run:?}");
             println!(
                 "| {slack:.1} | {} | {} | {} | {:.2}x |",
-                run.static_wcet, run.qta_cycles, run.dynamic_cycles, run.pessimism()
+                run.static_wcet,
+                run.qta_cycles,
+                run.dynamic_cycles,
+                run.pessimism()
             );
             if slack10 == 10 {
                 first_static = run.static_wcet;

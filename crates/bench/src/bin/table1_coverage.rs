@@ -64,8 +64,14 @@ fn main() {
         );
     }
     println!();
-    println!("uncovered instruction types (unified): {:?}", unified.uncovered_insns());
-    println!("uncovered compressed encodings (unified): {:?}", unified.uncovered_compressed());
+    println!(
+        "uncovered instruction types (unified): {:?}",
+        unified.uncovered_insns()
+    );
+    println!(
+        "uncovered compressed encodings (unified): {:?}",
+        unified.uncovered_compressed()
+    );
     println!();
     println!("{}", unified.summary_table());
 

@@ -5,8 +5,8 @@
 //! Two axes: worker threads (throughput should scale near-linearly) and
 //! program size (per-mutant cost should grow roughly linearly).
 
-use s4e_bench::kernels::matmul;
 use s4e_bench::build;
+use s4e_bench::kernels::matmul;
 use s4e_faultsim::{generate_mutants, Campaign, CampaignConfig, GeneratorConfig, JsonlSink};
 use s4e_isa::IsaConfig;
 use s4e_torture::{torture_program, TortureConfig};
@@ -15,7 +15,9 @@ use std::time::Instant;
 
 fn main() {
     let isa = IsaConfig::full();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     // Axis 1: threads, on a compute-heavy kernel so each mutant carries
     // real simulation work.
@@ -143,14 +145,20 @@ fn main() {
         .run_all_checkpointed(&mutants, &mut sink, &CancelToken::new())
         .expect("checkpointed sweep");
     let ckpt_dt = t0.elapsed().as_secs_f64();
-    println!("| checkpointed | {} | {ckpt_dt:.3} s |", checkpointed.total());
+    println!(
+        "| checkpointed | {} | {ckpt_dt:.3} s |",
+        checkpointed.total()
+    );
 
     let t0 = Instant::now();
     let resumed = campaign
         .resume(&mutants, &path, &CancelToken::new())
         .expect("resume");
     let resume_dt = t0.elapsed().as_secs_f64();
-    println!("| resume (all skipped) | {} | {resume_dt:.3} s |", resumed.total());
+    println!(
+        "| resume (all skipped) | {} | {resume_dt:.3} s |",
+        resumed.total()
+    );
     std::fs::remove_file(&path).ok();
     assert_eq!(plain.results(), checkpointed.results());
     assert_eq!(

@@ -24,7 +24,11 @@ fn pseudo_random_words(seed: u32, n: usize) -> String {
     for i in 0..n {
         x = x.wrapping_mul(1664525).wrapping_add(1013904223);
         let sep = if i % 8 == 0 {
-            if i == 0 { ".word " } else { "\n.word " }
+            if i == 0 {
+                ".word "
+            } else {
+                "\n.word "
+            }
         } else {
             ", "
         };
@@ -179,7 +183,11 @@ pub fn binary_search(log2n: u32) -> Kernel {
     let mut sorted = String::new();
     for i in 0..n {
         let sep = if i % 8 == 0 {
-            if i == 0 { ".word " } else { "\n.word " }
+            if i == 0 {
+                ".word "
+            } else {
+                "\n.word "
+            }
         } else {
             ", "
         };

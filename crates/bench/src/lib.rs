@@ -46,7 +46,8 @@ pub fn build(source: &str, isa: IsaConfig) -> Image {
 /// instructions.
 pub fn run_image(image: &Image, isa: IsaConfig, cache: bool) -> RunStats {
     let mut vp = Vp::builder().isa(isa).block_cache(cache).build();
-    vp.load(image.base(), image.bytes()).expect("kernel fits RAM");
+    vp.load(image.base(), image.bytes())
+        .expect("kernel fits RAM");
     vp.cpu_mut().set_pc(image.entry());
     let outcome = vp.run_for(200_000_000);
     assert_eq!(outcome, RunOutcome::Break, "kernel must finish at ebreak");
@@ -157,8 +158,8 @@ mod tests {
             let image = build(&k.source, IsaConfig::full());
             let prog = reconstruct(&image, IsaConfig::full());
             let opts = wcet_options_for(&k, &image);
-            let report = s4e_wcet::analyze(&prog, &opts)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let report =
+                s4e_wcet::analyze(&prog, &opts).unwrap_or_else(|e| panic!("{}: {e}", k.name));
             let dynamic = run_image(&image, IsaConfig::full(), true).cycles;
             assert!(
                 dynamic <= report.total_wcet(),

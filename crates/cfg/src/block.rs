@@ -139,16 +139,28 @@ mod tests {
     #[test]
     fn successors_of_terminators() {
         assert_eq!(
-            Terminator::Branch { taken: 8, fallthrough: 4 }.successors(),
+            Terminator::Branch {
+                taken: 8,
+                fallthrough: 4
+            }
+            .successors(),
             vec![8, 4]
         );
         assert_eq!(
-            Terminator::Branch { taken: 4, fallthrough: 4 }.successors(),
+            Terminator::Branch {
+                taken: 4,
+                fallthrough: 4
+            }
+            .successors(),
             vec![4]
         );
         assert_eq!(Terminator::Jump { target: 16 }.successors(), vec![16]);
         assert_eq!(
-            Terminator::Call { callee: 100, ret: 8 }.successors(),
+            Terminator::Call {
+                callee: 100,
+                ret: 8
+            }
+            .successors(),
             vec![8]
         );
         assert!(Terminator::Return.successors().is_empty());

@@ -4,6 +4,7 @@
 use crate::block::Terminator;
 use crate::function::Function;
 use crate::program::Program;
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 /// Renders one function as a Graphviz `digraph`.
@@ -22,6 +23,32 @@ use std::fmt::Write;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn function_to_dot(func: &Function) -> String {
+    render_function(func, None)
+}
+
+/// Renders one function with an execution-count overlay: each block label
+/// gains an `execs` line and hot blocks are shaded (Graphviz `oranges9`
+/// scale, log-proportional to the hottest block).
+///
+/// `exec_counts` maps block start addresses to entry counts, as produced
+/// by a profiled run (the VP's translated blocks). A translated block
+/// starting anywhere inside a static block is attributed to that static
+/// block, so counts survive the usual static/dynamic block-boundary
+/// mismatch around branch targets.
+pub fn function_to_dot_annotated(func: &Function, exec_counts: &BTreeMap<u32, u64>) -> String {
+    render_function(func, Some(exec_counts))
+}
+
+fn render_function(func: &Function, exec_counts: Option<&BTreeMap<u32, u64>>) -> String {
+    let hottest = exec_counts
+        .map(|counts| {
+            func.blocks()
+                .values()
+                .map(|b| block_execs(counts, b.start(), b.end()))
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
     let mut out = String::new();
     let name = func
         .name()
@@ -34,7 +61,19 @@ pub fn function_to_dot(func: &Function) -> String {
         for (pc, insn) in block.insns() {
             let _ = write!(label, "{pc:#010x}: {insn}\\l");
         }
-        let _ = writeln!(out, "  b{addr:x} [label=\"{label}\"];");
+        let mut attrs = String::new();
+        if let Some(counts) = exec_counts {
+            let execs = block_execs(counts, block.start(), block.end());
+            let _ = write!(label, "execs: {execs}\\l");
+            if execs > 0 {
+                let _ = write!(
+                    attrs,
+                    ", style=filled, colorscheme=oranges9, fillcolor={}",
+                    heat_level(execs, hottest)
+                );
+            }
+        }
+        let _ = writeln!(out, "  b{addr:x} [label=\"{label}\"{attrs}];");
         match block.terminator() {
             Terminator::Branch { taken, fallthrough } => {
                 let _ = writeln!(out, "  b{addr:x} -> b{taken:x} [label=\"T\"];");
@@ -44,10 +83,7 @@ pub fn function_to_dot(func: &Function) -> String {
                 let _ = writeln!(out, "  b{addr:x} -> b{target:x};");
             }
             Terminator::Call { callee, ret } => {
-                let _ = writeln!(
-                    out,
-                    "  b{addr:x} -> b{ret:x} [label=\"call {callee:#x}\"];"
-                );
+                let _ = writeln!(out, "  b{addr:x} -> b{ret:x} [label=\"call {callee:#x}\"];");
             }
             Terminator::FallThrough { next } => {
                 let _ = writeln!(out, "  b{addr:x} -> b{next:x};");
@@ -62,7 +98,32 @@ pub fn function_to_dot(func: &Function) -> String {
     out
 }
 
+/// Entries into a static block: every profiled (translated) block whose
+/// start address lies inside `[start, end)` contributes its count.
+fn block_execs(counts: &BTreeMap<u32, u64>, start: u32, end: u32) -> u64 {
+    counts.range(start..end.max(start)).map(|(_, &n)| n).sum()
+}
+
+/// Maps a count onto the 1..=9 `oranges9` palette, log-proportional to
+/// the hottest block in the function.
+fn heat_level(execs: u64, hottest: u64) -> u32 {
+    if hottest <= 1 {
+        return 1;
+    }
+    let scale = (execs as f64).ln() / (hottest as f64).ln();
+    1 + (scale * 8.0).round() as u32
+}
+
 /// Renders every function of a program, concatenated.
 pub fn program_to_dot(prog: &Program) -> String {
     prog.functions().values().map(function_to_dot).collect()
+}
+
+/// Renders every function of a program with the execution-count overlay
+/// of [`function_to_dot_annotated`], concatenated.
+pub fn program_to_dot_annotated(prog: &Program, exec_counts: &BTreeMap<u32, u64>) -> String {
+    prog.functions()
+        .values()
+        .map(|f| function_to_dot_annotated(f, exec_counts))
+        .collect()
 }

@@ -50,7 +50,10 @@ impl fmt::Display for CfgError {
                 "misaligned control-transfer target {addr:#010x} from {from:#010x}"
             ),
             CfgError::RunsOffEnd { addr } => {
-                write!(f, "straight-line code runs off the image end at {addr:#010x}")
+                write!(
+                    f,
+                    "straight-line code runs off the image end at {addr:#010x}"
+                )
             }
         }
     }

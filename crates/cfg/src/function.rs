@@ -220,7 +220,12 @@ impl Function {
         }
         let mut v: Vec<NaturalLoop> = loops.into_values().collect();
         // Sort outermost-first (larger bodies first, ties by header).
-        v.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        v.sort_by(|a, b| {
+            b.body
+                .len()
+                .cmp(&a.body.len())
+                .then(a.header.cmp(&b.header))
+        });
         v
     }
 

@@ -38,7 +38,9 @@ mod function;
 mod program;
 
 pub use block::{BasicBlock, Terminator};
-pub use dot::{function_to_dot, program_to_dot};
+pub use dot::{
+    function_to_dot, function_to_dot_annotated, program_to_dot, program_to_dot_annotated,
+};
 pub use error::CfgError;
 pub use function::{Function, NaturalLoop};
 pub use program::Program;

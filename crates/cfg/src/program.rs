@@ -22,9 +22,7 @@ impl CodeView<'_> {
     }
 
     fn fetch_insn(&self, addr: u32, isa: &IsaConfig) -> Result<Insn, CfgError> {
-        let lo = self
-            .fetch16(addr)
-            .ok_or(CfgError::OutOfRange { addr })?;
+        let lo = self.fetch16(addr).ok_or(CfgError::OutOfRange { addr })?;
         let raw = if lo & 0b11 == 0b11 {
             let hi = self
                 .fetch16(addr + 2)
@@ -270,7 +268,11 @@ fn classify(addr: u32, insn: &Insn) -> Flow {
     }
 }
 
-fn discover_function(code: &CodeView<'_>, entry: u32, isa: &IsaConfig) -> Result<Function, CfgError> {
+fn discover_function(
+    code: &CodeView<'_>,
+    entry: u32,
+    isa: &IsaConfig,
+) -> Result<Function, CfgError> {
     // Phase A: decode all reachable instructions, collecting block leaders.
     let mut decoded: BTreeMap<u32, Insn> = BTreeMap::new();
     let mut leaders: BTreeSet<u32> = BTreeSet::from([entry]);

@@ -242,8 +242,8 @@ fn block_containing_lookup() {
 #[test]
 fn decode_error_surfaces_address() {
     let img = assemble("nop\n.word 0xffffffff").expect("assembles");
-    let err = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
-        .unwrap_err();
+    let err =
+        Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full()).unwrap_err();
     match err {
         CfgError::Decode { addr, .. } => assert_eq!(addr, BASE + 4),
         other => panic!("expected decode error, got {other}"),
@@ -253,8 +253,8 @@ fn decode_error_surfaces_address() {
 #[test]
 fn runs_off_end_detected() {
     let img = assemble("nop").expect("assembles");
-    let err = Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
-        .unwrap_err();
+    let err =
+        Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full()).unwrap_err();
     assert!(matches!(err, CfgError::OutOfRange { .. }));
 }
 
@@ -272,6 +272,23 @@ fn dot_output_contains_blocks_and_edges() {
     assert!(dot.contains("digraph"));
     assert!(dot.contains("->"));
     assert!(dot.contains("bnez") || dot.contains("bne"));
+}
+
+#[test]
+fn annotated_dot_overlays_exec_counts() {
+    let prog = build("loop: addi a0, a0, -1\nbnez a0, loop\nebreak");
+    let f = prog.entry_function();
+    // Counts keyed by translated-block start: the loop head plus a
+    // mid-block entry, which both attribute to the static loop block.
+    let counts = std::collections::BTreeMap::from([(BASE, 41u64), (BASE + 4, 1)]);
+    let dot = s4e_cfg::program_to_dot_annotated(&prog, &counts);
+    assert!(dot.contains("execs: 42\\l"), "{dot}");
+    assert!(dot.contains("execs: 0\\l"), "unexecuted exit block: {dot}");
+    assert!(dot.contains("style=filled"));
+    assert!(dot.contains("colorscheme=oranges9"));
+    // Plain rendering stays overlay-free.
+    let plain = s4e_cfg::function_to_dot(f);
+    assert!(!plain.contains("execs:"));
 }
 
 #[test]

@@ -12,9 +12,11 @@
 //! the bound is recorded as a violation (a falsified WCET hypothesis).
 
 use s4e_isa::Insn;
+use s4e_obs::{names, Counter, Histogram, MetricsRegistry, Snapshot};
 use s4e_vp::{Cpu, Plugin};
 use s4e_wcet::TimedCfg;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A runtime loop-bound violation observed during co-simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,25 +37,56 @@ pub struct BoundViolation {
 #[derive(Debug)]
 pub struct QtaPlugin {
     cfg: TimedCfg,
+    registry: Arc<MetricsRegistry>,
     worst_case_cycles: u64,
     visits: BTreeMap<u32, u64>,
     iteration_counts: BTreeMap<u32, u64>,
     violations: Vec<BoundViolation>,
     last_block: Option<u32>,
     unmapped_insns: u64,
+    block_cycles: BTreeMap<u32, Arc<Histogram>>,
+    slack_cycles: Arc<Histogram>,
+    overruns: Arc<Counter>,
+    pending: Option<PendingEntry>,
+    /// CPU cycles after the previously observed instruction — i.e. the
+    /// cycle count *before* the instruction currently being reported
+    /// (hooks fire post-retirement, so `cpu.cycles()` already includes
+    /// the current instruction's cost).
+    last_cycles: u64,
+}
+
+/// A block entry whose observed cycles are still accumulating (closed by
+/// the next block entry, or by [`QtaPlugin::flush`] at run end).
+#[derive(Debug, Clone, Copy)]
+struct PendingEntry {
+    pc: u32,
+    cycles: u64,
 }
 
 impl QtaPlugin {
-    /// Creates the plugin for a given annotated graph.
+    /// Creates the plugin for a given annotated graph, with a private
+    /// metrics registry.
     pub fn new(cfg: TimedCfg) -> QtaPlugin {
+        QtaPlugin::with_registry(cfg, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Creates the plugin recording its timing evidence into a shared
+    /// registry.
+    pub fn with_registry(cfg: TimedCfg, registry: Arc<MetricsRegistry>) -> QtaPlugin {
         QtaPlugin {
             cfg,
+            slack_cycles: registry.histogram(names::QTA_SLACK),
+            overruns: registry.counter(names::QTA_OVERRUNS),
+            registry,
             worst_case_cycles: 0,
             visits: BTreeMap::new(),
             iteration_counts: BTreeMap::new(),
             violations: Vec::new(),
             last_block: None,
             unmapped_insns: 0,
+            block_cycles: BTreeMap::new(),
+            pending: None,
+            last_cycles: 0,
         }
     }
 
@@ -88,7 +121,61 @@ impl QtaPlugin {
         self.unmapped_insns
     }
 
+    /// The registry holding the per-block `qta_block_{pc}_cycles`
+    /// histograms, the `qta_slack_cycles` distribution and the
+    /// `qta_overruns` counter.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A point-in-time copy of the timing evidence. Call
+    /// [`flush`](QtaPlugin::flush) first so the final block entry is
+    /// attributed.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Closes the still-open block entry, attributing the cycles from its
+    /// entry up to `final_cycles` (the CPU's cycle counter at run end).
+    /// Idempotent; without it the last executed block never reaches its
+    /// histogram.
+    pub fn flush(&mut self, final_cycles: u64) {
+        self.account(final_cycles);
+    }
+
+    /// Attributes the cycles since the previous block entry to that
+    /// block's observed-cycles histogram, and scores it against the
+    /// block's static WCET.
+    ///
+    /// Entries are stamped with the cycle count *before* the block's
+    /// first instruction, so each delta spans exactly the previous
+    /// block's instructions (plus any unmapped instructions executed in
+    /// between, e.g. trap handlers — those cycles are charged to the
+    /// interrupted block).
+    fn account(&mut self, next_cycles: u64) {
+        let Some(prev) = self.pending.take() else {
+            return;
+        };
+        let observed = next_cycles.saturating_sub(prev.cycles);
+        let hist = match self.block_cycles.get(&prev.pc) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = self.registry.histogram(&names::qta_block_cycles(prev.pc));
+                self.block_cycles.insert(prev.pc, Arc::clone(&h));
+                h
+            }
+        };
+        hist.record(observed);
+        let wcet = self.cfg.block(prev.pc).map_or(0, |b| b.wcet);
+        if observed > wcet {
+            self.overruns.inc();
+        }
+        self.slack_cycles.record(wcet.saturating_sub(observed));
+    }
+
     /// Resets all accumulated state (for re-running the same binary).
+    /// Metrics restart in a fresh registry; snapshots taken earlier keep
+    /// the old run's values.
     pub fn reset(&mut self) {
         self.worst_case_cycles = 0;
         self.visits.clear();
@@ -96,13 +183,26 @@ impl QtaPlugin {
         self.violations.clear();
         self.last_block = None;
         self.unmapped_insns = 0;
+        self.registry = Arc::new(MetricsRegistry::new());
+        self.slack_cycles = self.registry.histogram(names::QTA_SLACK);
+        self.overruns = self.registry.counter(names::QTA_OVERRUNS);
+        self.block_cycles.clear();
+        self.pending = None;
+        self.last_cycles = 0;
     }
 }
 
 impl Plugin for QtaPlugin {
-    fn on_insn_executed(&mut self, _cpu: &Cpu, pc: u32, _insn: &Insn) {
+    fn on_insn_executed(&mut self, cpu: &Cpu, pc: u32, _insn: &Insn) {
         // Block entry: the PC sits exactly on an annotated block start.
-        if let Some(block) = self.cfg.block(pc) {
+        if self.cfg.block(pc).is_some() {
+            let entry_cycles = self.last_cycles;
+            self.account(entry_cycles);
+            self.pending = Some(PendingEntry {
+                pc,
+                cycles: entry_cycles,
+            });
+            let block = self.cfg.block(pc).expect("looked up above");
             self.worst_case_cycles += block.wcet;
             *self.visits.entry(pc).or_insert(0) += 1;
             if let Some(bound) = block.loop_bound {
@@ -127,5 +227,6 @@ impl Plugin for QtaPlugin {
         } else if self.cfg.block_containing(pc).is_none() {
             self.unmapped_insns += 1;
         }
+        self.last_cycles = cpu.cycles();
     }
 }

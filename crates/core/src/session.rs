@@ -30,6 +30,10 @@ pub struct QtaRun {
     pub violations: Vec<BoundViolation>,
     /// Instructions executed outside the annotated graph.
     pub unmapped_insns: u64,
+    /// The timing evidence: per-block observed-cycle histograms
+    /// (`qta_block_{pc}_cycles`), the WCET-slack distribution and the
+    /// overrun counter.
+    pub metrics: s4e_obs::Snapshot,
 }
 
 impl QtaRun {
@@ -101,8 +105,8 @@ impl QtaSession {
         isa: IsaConfig,
         options: &WcetOptions,
     ) -> Result<QtaSession, QtaError> {
-        let program = Program::from_bytes(base, bytes, entry, &isa)
-            .map_err(s4e_wcet::WcetError::from)?;
+        let program =
+            Program::from_bytes(base, bytes, entry, &isa).map_err(s4e_wcet::WcetError::from)?;
         let report = analyze(&program, options)?;
         let timed_cfg = TimedCfg::build(&program, &report);
         Ok(QtaSession {
@@ -191,8 +195,9 @@ impl QtaSession {
         let dynamic_cycles = vp.cpu().cycles();
         let instret = vp.cpu().instret();
         let qta = vp
-            .plugin::<QtaPlugin>()
+            .plugin_mut::<QtaPlugin>()
             .expect("QTA plugin attached by build_vp");
+        qta.flush(dynamic_cycles);
         QtaRun {
             outcome,
             dynamic_cycles,
@@ -202,6 +207,7 @@ impl QtaSession {
             visits: qta.visits().clone(),
             violations: qta.violations().to_vec(),
             unmapped_insns: qta.unmapped_insns(),
+            metrics: qta.snapshot(),
         }
     }
 }

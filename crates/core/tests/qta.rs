@@ -9,8 +9,14 @@ use s4e_wcet::{LoopBounds, WcetOptions};
 
 fn session(src: &str, opts: &WcetOptions) -> QtaSession {
     let img = assemble(src).expect("assembles");
-    QtaSession::prepare(img.base(), img.bytes(), img.entry(), IsaConfig::full(), opts)
-        .expect("prepares")
+    QtaSession::prepare(
+        img.base(),
+        img.bytes(),
+        img.entry(),
+        IsaConfig::full(),
+        opts,
+    )
+    .expect("prepares")
 }
 
 #[test]
@@ -53,9 +59,12 @@ fn qta_tightens_static_bound_on_untaken_path() {
 #[test]
 fn qta_equals_static_on_worst_path() {
     // Straight-line code: executed path IS the worst path.
-    let run = session("nop\nadd a0, a0, a1\nmul a2, a2, a3\nebreak", &WcetOptions::new())
-        .run()
-        .expect("runs");
+    let run = session(
+        "nop\nadd a0, a0, a1\nmul a2, a2, a3\nebreak",
+        &WcetOptions::new(),
+    )
+    .run()
+    .expect("runs");
     assert_eq!(run.qta_cycles, run.static_wcet);
     assert_eq!(run.dynamic_cycles, run.static_wcet);
 }
@@ -83,8 +92,9 @@ fn underestimated_bound_detected_at_runtime() {
     // co-simulation must flag the violation.
     let src = "li t0, 10\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak";
     let img = assemble(src).expect("assembles");
-    let prog = s4e_cfg::Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
-        .expect("reconstructs");
+    let prog =
+        s4e_cfg::Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
+            .expect("reconstructs");
     let header = prog.entry_function().natural_loops()[0].header;
     let opts = WcetOptions {
         bounds: LoopBounds::new().with_bound(header, 5),
@@ -230,8 +240,9 @@ fn pessimism_scales_with_bound_slack_but_qta_does_not() {
     // (which follow the executed path) stay fixed.
     let src = "li t0, 20\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak";
     let img = assemble(src).expect("assembles");
-    let prog = s4e_cfg::Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
-        .expect("reconstructs");
+    let prog =
+        s4e_cfg::Program::from_bytes(img.base(), img.bytes(), img.entry(), &IsaConfig::full())
+            .expect("reconstructs");
     let header = prog.entry_function().natural_loops()[0].header;
 
     let mut runs = Vec::new();
@@ -282,4 +293,37 @@ fn shipped_timed_cfg_round_trip_session() {
     assert_eq!(a.qta_cycles, b.qta_cycles);
     assert_eq!(a.static_wcet, b.static_wcet);
     assert!(b.invariant_holds());
+}
+
+#[test]
+fn timing_metrics_histograms() {
+    let s = session(
+        "li t0, 7\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak",
+        &WcetOptions::new(),
+    );
+    let run = s.run().expect("runs");
+    let header = s
+        .timed_cfg()
+        .blocks()
+        .values()
+        .find(|b| b.loop_bound.is_some())
+        .expect("loop header annotated")
+        .start;
+    // The loop header's observed-cycles histogram saw every visit (the
+    // final one attributed by the run-end flush).
+    let hist = run
+        .metrics
+        .histogram(&format!("qta_block_{header:08x}_cycles"))
+        .expect("per-block histogram recorded");
+    assert_eq!(hist.count, run.visits[&header]);
+    assert!(hist.max > 0);
+    // Every block entry contributes one slack observation, and with an
+    // honest timing model nothing overruns its static WCET.
+    let slack = run.metrics.histogram("qta_slack_cycles").expect("slack");
+    let entries: u64 = run.visits.values().sum();
+    assert_eq!(slack.count, entries);
+    assert_eq!(run.metrics.counter("qta_overruns"), Some(0));
+    // The evidence serializes for --metrics-out.
+    let json = run.metrics.to_json();
+    assert!(json.contains("qta_slack_cycles"));
 }

@@ -101,7 +101,13 @@ impl Ratio {
 
 impl std::fmt::Display for Ratio {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{} ({:.1}%)", self.covered, self.total, self.percent())
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.covered,
+            self.total,
+            self.percent()
+        )
     }
 }
 
@@ -135,6 +141,61 @@ impl CoverageReport {
             mem_regions: BTreeSet::new(),
             total_insns: 0,
         }
+    }
+
+    /// Rebuilds the instruction-type portion of a report from an
+    /// [`s4e_obs::Snapshot`] taken from a profiled run (the
+    /// `vp_insn_*` / `vp_cinsn_*` counters that
+    /// [`ProfilePlugin`](s4e_obs::ProfilePlugin) registers eagerly).
+    ///
+    /// This recovers instruction-kind and compressed-encoding coverage —
+    /// the dimensions the profiler observes — from a serialized metrics
+    /// snapshot, so coverage can be computed offline from a
+    /// `--metrics-out` file without re-running the binary. Register, CSR
+    /// and memory-region coverage are not present in a profile snapshot
+    /// and stay empty; [`merge`](CoverageReport::merge) a live
+    /// [`CoveragePlugin`] report in when those are needed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s4e_asm::assemble;
+    /// use s4e_coverage::CoverageReport;
+    /// use s4e_isa::IsaConfig;
+    /// use s4e_obs::ProfilePlugin;
+    /// use s4e_vp::Vp;
+    ///
+    /// let img = assemble("add a0, a1, a2\nebreak")?;
+    /// let mut vp = Vp::new(IsaConfig::rv32i());
+    /// vp.load(img.base(), img.bytes())?;
+    /// vp.add_plugin(Box::new(ProfilePlugin::new()));
+    /// vp.run();
+    /// let snap = vp.plugin::<ProfilePlugin>().unwrap().snapshot();
+    /// let report = CoverageReport::from_snapshot(IsaConfig::rv32i(), &snap);
+    /// assert!(report.insn_type_coverage().percent() > 0.0);
+    /// assert_eq!(report.total_insns(), 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_snapshot(isa: IsaConfig, snapshot: &s4e_obs::Snapshot) -> CoverageReport {
+        let mut report = CoverageReport::empty(isa);
+        for &kind in InsnKind::ALL {
+            if let Some(n) = snapshot.counter(&s4e_obs::names::insn_kind(kind)) {
+                if n > 0 {
+                    report.insn_counts.insert(kind, n);
+                }
+            }
+        }
+        for &ck in CKind::ALL {
+            if let Some(n) = snapshot.counter(&s4e_obs::names::insn_ckind(ck)) {
+                if n > 0 {
+                    report.c_counts.insert(ck, n);
+                }
+            }
+        }
+        report.total_insns = snapshot
+            .counter(s4e_obs::names::INSN_RETIRED)
+            .unwrap_or_else(|| report.insn_counts.values().sum());
+        report
     }
 
     /// The ISA configuration defining the coverage universe.
@@ -231,8 +292,7 @@ impl CoverageReport {
     pub fn csr_coverage(&self) -> Ratio {
         let universe: Vec<Csr> = Csr::implemented()
             .filter(|c| {
-                self.isa.has(Extension::F)
-                    || !matches!(*c, Csr::FFLAGS | Csr::FRM | Csr::FCSR)
+                self.isa.has(Extension::F) || !matches!(*c, Csr::FFLAGS | Csr::FRM | Csr::FCSR)
             })
             .collect();
         let covered = universe
@@ -371,7 +431,9 @@ impl Plugin for CoveragePlugin {
     }
 
     fn on_mem_access(&mut self, _cpu: &Cpu, access: &MemAccess) {
-        self.report.mem_regions.insert(access.addr >> MEM_REGION_SHIFT);
+        self.report
+            .mem_regions
+            .insert(access.addr >> MEM_REGION_SHIFT);
     }
 }
 

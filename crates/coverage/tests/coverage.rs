@@ -17,7 +17,10 @@ fn measure(src: &str, isa: IsaConfig) -> CoverageReport {
 
 #[test]
 fn counts_instruction_types() {
-    let r = measure("add a0, a1, a2\nadd a3, a4, a5\nsub a0, a0, a1\nebreak", IsaConfig::rv32i());
+    let r = measure(
+        "add a0, a1, a2\nadd a3, a4, a5\nsub a0, a0, a1\nebreak",
+        IsaConfig::rv32i(),
+    );
     assert_eq!(r.insn_count(InsnKind::Add), 2);
     assert_eq!(r.insn_count(InsnKind::Sub), 1);
     assert_eq!(r.insn_count(InsnKind::Ebreak), 1);
@@ -45,14 +48,20 @@ fn x0_counts_as_register() {
 
 #[test]
 fn csr_coverage_counts_accesses() {
-    let r = measure("csrr a0, mcycle\ncsrw mscratch, a0\nebreak", IsaConfig::rv32i());
+    let r = measure(
+        "csrr a0, mcycle\ncsrw mscratch, a0\nebreak",
+        IsaConfig::rv32i(),
+    );
     assert_eq!(r.csr_coverage().covered(), 2);
     assert!(r.csr_coverage().covered() < r.csr_coverage().total());
 }
 
 #[test]
 fn compressed_encodings_tracked_separately() {
-    let r = measure("c.li a0, 1\nc.addi a0, 1\naddi a0, a0, 1\nebreak", IsaConfig::rv32imc());
+    let r = measure(
+        "c.li a0, 1\nc.addi a0, 1\naddi a0, a0, 1\nebreak",
+        IsaConfig::rv32imc(),
+    );
     // addi executed both compressed and wide: one insn type, two c-encodings.
     assert_eq!(r.insn_count(InsnKind::Addi), 3);
     assert_eq!(r.compressed_coverage().covered(), 2);
@@ -156,7 +165,57 @@ fn plugin_reset() {
     vp.load(img.base(), img.bytes()).unwrap();
     vp.add_plugin(Box::new(CoveragePlugin::new(IsaConfig::rv32i())));
     vp.run();
-    assert!(vp.plugin::<CoveragePlugin>().unwrap().report().total_insns() > 0);
+    assert!(
+        vp.plugin::<CoveragePlugin>()
+            .unwrap()
+            .report()
+            .total_insns()
+            > 0
+    );
     vp.plugin_mut::<CoveragePlugin>().unwrap().reset();
-    assert_eq!(vp.plugin::<CoveragePlugin>().unwrap().report().total_insns(), 0);
+    assert_eq!(
+        vp.plugin::<CoveragePlugin>()
+            .unwrap()
+            .report()
+            .total_insns(),
+        0
+    );
+}
+
+#[test]
+fn from_snapshot_matches_live_instruction_coverage() {
+    // A profiled run's serialized metrics carry enough to rebuild the
+    // instruction-kind and compressed-encoding dimensions offline.
+    let src = "
+        li t0, 3
+        loop: c.addi t0, -1
+        mul a0, t0, t0
+        bnez t0, loop
+        ebreak
+    ";
+    let isa = IsaConfig::rv32imc();
+    let live = measure(src, isa);
+
+    let img = assemble(src).expect("assembles");
+    let mut vp = Vp::new(isa);
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+    vp.add_plugin(Box::new(s4e_obs::ProfilePlugin::new()));
+    assert_eq!(vp.run(), RunOutcome::Break);
+    let snap = vp.plugin::<s4e_obs::ProfilePlugin>().unwrap().snapshot();
+
+    // Round-trip through JSON first: the offline path reads a file.
+    let snap = s4e_obs::Snapshot::from_json(&snap.to_json()).expect("parses");
+    let rebuilt = CoverageReport::from_snapshot(isa, &snap);
+
+    assert_eq!(rebuilt.total_insns(), live.total_insns());
+    assert_eq!(rebuilt.insn_type_coverage(), live.insn_type_coverage());
+    assert_eq!(rebuilt.compressed_coverage(), live.compressed_coverage());
+    for kind in rebuilt.insn_universe() {
+        assert_eq!(rebuilt.insn_count(kind), live.insn_count(kind), "{kind:?}");
+    }
+    assert_eq!(rebuilt.uncovered_compressed(), live.uncovered_compressed());
+    // The register/memory dimensions are not in a profile snapshot.
+    assert_eq!(rebuilt.gpr_coverage().covered(), 0);
+    assert_eq!(rebuilt.mem_regions_touched(), 0);
 }

@@ -2,6 +2,7 @@
 //! with outcome classification, and scalable parallel sweeps.
 
 use crate::fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
+use crate::progress::CampaignProgress;
 use crate::runner::MutantHook;
 use crate::trace::{ExecTrace, TracePlugin};
 use core::fmt;
@@ -143,9 +144,7 @@ impl CampaignConfig {
     /// Returns [`CampaignError::Config`] naming the offending field.
     pub fn validate(&self) -> Result<(), CampaignError> {
         if self.threads == 0 {
-            return Err(CampaignError::Config(
-                "threads must be at least 1".into(),
-            ));
+            return Err(CampaignError::Config("threads must be at least 1".into()));
         }
         if self.budget_multiplier == 0 {
             return Err(CampaignError::Config(
@@ -236,6 +235,7 @@ pub struct Campaign {
     golden: GoldenRun,
     budget: u64,
     mutant_hook: Option<MutantHook>,
+    progress: Option<std::sync::Arc<CampaignProgress>>,
 }
 
 impl fmt::Debug for Campaign {
@@ -246,6 +246,7 @@ impl fmt::Debug for Campaign {
             .field("config", &self.config)
             .field("budget", &self.budget)
             .field("mutant_hook", &self.mutant_hook.is_some())
+            .field("progress", &self.progress.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -295,6 +296,7 @@ impl Campaign {
             golden,
             budget,
             mutant_hook: None,
+            progress: None,
         })
     }
 
@@ -324,6 +326,19 @@ impl Campaign {
 
     pub(crate) fn mutant_hook(&self) -> Option<&MutantHook> {
         self.mutant_hook.as_ref()
+    }
+
+    /// Attaches live progress reporting to the supervised runner: every
+    /// classification (fresh or resumed) is counted, workers heartbeat
+    /// on each claim, and the same `Arc` can drive a
+    /// [`ProgressTicker`](crate::ProgressTicker) or be snapshotted for
+    /// `--metrics-out`.
+    pub fn set_progress(&mut self, progress: std::sync::Arc<CampaignProgress>) {
+        self.progress = Some(progress);
+    }
+
+    pub(crate) fn progress(&self) -> Option<&std::sync::Arc<CampaignProgress>> {
+        self.progress.as_ref()
     }
 
     fn build_vp(
@@ -429,8 +444,8 @@ impl Campaign {
     fn classify(&self, vp: &mut Vp, outcome: RunOutcome) -> FaultOutcome {
         match outcome {
             RunOutcome::Break | RunOutcome::Exit(0) => {
-                let regs_match = snapshot_gprs(vp) == self.golden.gprs
-                    && snapshot_fprs(vp) == self.golden.fprs;
+                let regs_match =
+                    snapshot_gprs(vp) == self.golden.gprs && snapshot_fprs(vp) == self.golden.fprs;
                 let mem_match = !self.config.compare_memory
                     || vp
                         .bus()
@@ -464,7 +479,9 @@ impl Campaign {
 fn snapshot_fprs(vp: &Vp) -> [u32; 32] {
     let mut fprs = [0u32; 32];
     for (i, slot) in fprs.iter_mut().enumerate() {
-        *slot = vp.cpu().fpr(s4e_isa::Fpr::new(i as u8).expect("index < 32"));
+        *slot = vp
+            .cpu()
+            .fpr(s4e_isa::Fpr::new(i as u8).expect("index < 32"));
     }
     fprs
 }

@@ -138,7 +138,8 @@ impl JsonlSink {
 
 impl CampaignSink for JsonlSink {
     fn record(&mut self, result: &FaultResult, panic: Option<&str>) -> io::Result<()> {
-        self.writer.write_all(encode_result(result, panic).as_bytes())?;
+        self.writer
+            .write_all(encode_result(result, panic).as_bytes())?;
         self.writer.write_all(b"\n")?;
         // A checkpoint line only counts once it reaches the OS: flush per
         // record (simulation cost per mutant dwarfs the write).
@@ -204,7 +205,12 @@ pub fn encode_result(result: &FaultResult, panic: Option<&str>) -> String {
     let _ = write!(out, ",\"out\":\"{}\"", outcome_tag(&result.outcome));
     match result.outcome {
         FaultOutcome::Detected { trap } => {
-            let _ = write!(out, ",\"cause\":{},\"tval\":{}", trap.mcause(), trap.mtval());
+            let _ = write!(
+                out,
+                ",\"cause\":{},\"tval\":{}",
+                trap.mcause(),
+                trap.mtval()
+            );
         }
         FaultOutcome::SelfReported { code } => {
             let _ = write!(out, ",\"code\":{code}");
@@ -438,7 +444,10 @@ mod tests {
     #[test]
     fn roundtrips_every_outcome_class() {
         let spec = FaultSpec {
-            target: FaultTarget::GprBit { reg: Gpr::A0, bit: 31 },
+            target: FaultTarget::GprBit {
+                reg: Gpr::A0,
+                bit: 31,
+            },
             kind: FaultKind::StuckAt { value: true },
         };
         for outcome in [
@@ -513,7 +522,10 @@ mod tests {
         let good = encode_result(
             &FaultResult {
                 spec: FaultSpec {
-                    target: FaultTarget::GprBit { reg: Gpr::A0, bit: 1 },
+                    target: FaultTarget::GprBit {
+                        reg: Gpr::A0,
+                        bit: 1,
+                    },
                     kind: FaultKind::StuckAt { value: false },
                 },
                 outcome: FaultOutcome::Masked,
@@ -540,14 +552,20 @@ mod tests {
         let path = dir.join("roundtrip.jsonl");
         let a = FaultResult {
             spec: FaultSpec {
-                target: FaultTarget::GprBit { reg: Gpr::A0, bit: 2 },
+                target: FaultTarget::GprBit {
+                    reg: Gpr::A0,
+                    bit: 2,
+                },
                 kind: FaultKind::StuckAt { value: true },
             },
             outcome: FaultOutcome::SilentCorruption,
         };
         let b = FaultResult {
             spec: FaultSpec {
-                target: FaultTarget::MemBit { addr: 0x8000_0040, bit: 5 },
+                target: FaultTarget::MemBit {
+                    addr: 0x8000_0040,
+                    bit: 5,
+                },
                 kind: FaultKind::Transient { at_insn: 3 },
             },
             outcome: FaultOutcome::Hang,
@@ -570,7 +588,10 @@ mod tests {
             vec![(a, None), (b, None)],
             "valid prefix recovered"
         );
-        assert!(read_checkpoint(dir.join("missing.jsonl")).unwrap().entries.is_empty());
+        assert!(read_checkpoint(dir.join("missing.jsonl"))
+            .unwrap()
+            .entries
+            .is_empty());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -174,7 +174,10 @@ mod tests {
         };
         assert_eq!(spec.to_string(), "a0[3] stuck-at-1");
         let spec = FaultSpec {
-            target: FaultTarget::MemBit { addr: 0x100, bit: 7 },
+            target: FaultTarget::MemBit {
+                addr: 0x100,
+                bit: 7,
+            },
             kind: FaultKind::Transient { at_insn: 42 },
         };
         assert_eq!(spec.to_string(), "mem 0x00000100[7] flip@42");
@@ -188,10 +191,7 @@ mod tests {
         assert!(!FaultOutcome::Hang.is_normal_termination());
         assert!(!FaultOutcome::Cancelled.is_normal_termination());
         assert!(!FaultOutcome::HarnessError.is_normal_termination());
-        assert!(!FaultOutcome::Detected {
-            trap: Trap::EcallM
-        }
-        .is_normal_termination());
+        assert!(!FaultOutcome::Detected { trap: Trap::EcallM }.is_normal_termination());
     }
 
     #[test]
@@ -206,8 +206,7 @@ mod tests {
             FaultOutcome::Cancelled,
             FaultOutcome::HarnessError,
         ];
-        let names: std::collections::BTreeSet<_> =
-            all.iter().map(|o| o.class_name()).collect();
+        let names: std::collections::BTreeSet<_> = all.iter().map(|o| o.class_name()).collect();
         assert_eq!(names.len(), all.len());
     }
 }

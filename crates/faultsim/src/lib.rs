@@ -51,6 +51,7 @@ mod campaign;
 mod checkpoint;
 mod fault;
 mod generate;
+mod progress;
 mod runner;
 mod trace;
 
@@ -63,5 +64,6 @@ pub use checkpoint::{
 };
 pub use fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
 pub use generate::{generate_mutants, GeneratorConfig};
+pub use progress::{CampaignProgress, ProgressSink, ProgressTicker};
 pub use runner::MutantHook;
 pub use trace::{ExecTrace, TracePlugin};

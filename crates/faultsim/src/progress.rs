@@ -1,0 +1,402 @@
+//! Live campaign progress: shared outcome counters, throughput/ETA
+//! estimation, per-worker liveness, and a stderr ticker.
+//!
+//! A 50k-mutant sweep is silent for minutes at a time without this. The
+//! pieces compose with the supervised runner:
+//!
+//! - [`CampaignProgress`] — the shared state, backed by an
+//!   [`MetricsRegistry`] so a progress snapshot is an ordinary
+//!   [`Snapshot`] (and `--metrics-out` can dump it).
+//! - [`ProgressSink`] — a [`CampaignSink`] adapter counting each
+//!   classification as it streams through the checkpoint path; the
+//!   runner installs it automatically when a campaign has progress
+//!   attached.
+//! - [`ProgressTicker`] — a background thread printing a status line to
+//!   stderr at a fixed interval, stopped by dropping the guard.
+
+use crate::campaign::FaultResult;
+use crate::checkpoint::CampaignSink;
+use crate::fault::FaultOutcome;
+use s4e_obs::{names, Counter, Gauge, MetricsRegistry, Snapshot};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The eight outcome classes, in [`FaultOutcome::class_name`] spelling.
+const CLASSES: [&str; 8] = [
+    "masked",
+    "silent corruption",
+    "detected",
+    "self-reported",
+    "timeout",
+    "hang",
+    "cancelled",
+    "harness error",
+];
+
+fn class_index(outcome: FaultOutcome) -> usize {
+    CLASSES
+        .iter()
+        .position(|&c| c == outcome.class_name())
+        .expect("every outcome class is listed")
+}
+
+/// Shared progress state for one campaign sweep.
+///
+/// All mutation is through `&self` (relaxed atomics under the hood), so
+/// one `Arc<CampaignProgress>` serves the workers, the ticker and the
+/// caller simultaneously.
+#[derive(Debug)]
+pub struct CampaignProgress {
+    registry: Arc<MetricsRegistry>,
+    total: Arc<Gauge>,
+    done: Arc<Counter>,
+    resumed: Arc<Counter>,
+    workers: Arc<Gauge>,
+    workers_exited: Arc<Counter>,
+    classes: Vec<Arc<Counter>>,
+    worker_claims: Mutex<Vec<Arc<Counter>>>,
+    started: Instant,
+}
+
+impl Default for CampaignProgress {
+    fn default() -> CampaignProgress {
+        CampaignProgress::new()
+    }
+}
+
+impl CampaignProgress {
+    /// Fresh progress state with a private registry.
+    pub fn new() -> CampaignProgress {
+        CampaignProgress::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Progress state recording into a shared registry, so one snapshot
+    /// covers the campaign alongside other instrumented subsystems.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> CampaignProgress {
+        let classes = CLASSES
+            .iter()
+            .map(|c| registry.counter(&format!("campaign_outcome_{}", names::sanitize(c))))
+            .collect();
+        CampaignProgress {
+            total: registry.gauge("campaign_total"),
+            done: registry.counter("campaign_done"),
+            resumed: registry.counter("campaign_resumed"),
+            workers: registry.gauge("campaign_workers"),
+            workers_exited: registry.counter("campaign_workers_exited"),
+            classes,
+            worker_claims: Mutex::new(Vec::new()),
+            registry,
+            started: Instant::now(),
+        }
+    }
+
+    /// Announces the sweep dimensions and registers per-worker heartbeat
+    /// counters. Called by the supervised runner before spawning workers.
+    pub fn begin(&self, total: usize, workers: usize) {
+        self.total.set(total as u64);
+        self.workers.set(workers as u64);
+        let mut claims = self.worker_claims.lock().unwrap_or_else(|p| p.into_inner());
+        claims.clear();
+        claims.extend((0..workers).map(|w| {
+            self.registry
+                .counter(&format!("campaign_worker_{w}_claims"))
+        }));
+    }
+
+    /// Counts one freshly classified mutant.
+    pub fn record_outcome(&self, outcome: FaultOutcome) {
+        self.done.inc();
+        self.classes[class_index(outcome)].inc();
+    }
+
+    /// Counts a mutant carried over from a checkpoint (resume path): it
+    /// is done, but was classified by a previous run.
+    pub fn record_resumed(&self, outcome: FaultOutcome) {
+        self.resumed.inc();
+        self.record_outcome(outcome);
+    }
+
+    /// Worker `worker` claimed a queue slot — its liveness heartbeat.
+    pub fn worker_heartbeat(&self, worker: usize) {
+        let claims = self.worker_claims.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(counter) = claims.get(worker) {
+            counter.inc();
+        }
+    }
+
+    /// A worker left the sweep (queue drained, cancellation, or death).
+    pub fn worker_exited(&self) {
+        self.workers_exited.inc();
+    }
+
+    /// Mutants classified so far (including resumed ones).
+    pub fn done(&self) -> u64 {
+        self.done.value()
+    }
+
+    /// Total mutants in the sweep (0 before [`begin`](Self::begin)).
+    pub fn total(&self) -> u64 {
+        self.total.value()
+    }
+
+    /// Workers still running.
+    pub fn workers_alive(&self) -> u64 {
+        self.workers
+            .value()
+            .saturating_sub(self.workers_exited.value())
+    }
+
+    /// Wall-clock time since this progress state was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Fresh classifications per second (resumed mutants excluded — they
+    /// cost no execution time and would inflate the estimate).
+    pub fn rate(&self) -> f64 {
+        let fresh = self.done.value().saturating_sub(self.resumed.value());
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            fresh as f64 / secs
+        }
+    }
+
+    /// Estimated time to completion at the current rate (`None` until
+    /// the rate is measurable or when the sweep is already done).
+    pub fn eta(&self) -> Option<Duration> {
+        let remaining = self.total().saturating_sub(self.done());
+        if remaining == 0 {
+            return None;
+        }
+        let rate = self.rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        Some(Duration::from_secs_f64(remaining as f64 / rate))
+    }
+
+    /// The registry backing these metrics.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A point-in-time copy of every campaign metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// One human-readable status line, e.g.
+    /// `campaign: 120/500 (24.0%) 61.2/s eta 6s workers 4/4 masked=80 detected=40`.
+    pub fn status_line(&self) -> String {
+        use std::fmt::Write as _;
+        let done = self.done();
+        let total = self.total();
+        let pct = if total == 0 {
+            0.0
+        } else {
+            done as f64 * 100.0 / total as f64
+        };
+        let mut line = format!("campaign: {done}/{total} ({pct:.1}%) {:.1}/s", self.rate());
+        match self.eta() {
+            Some(eta) => {
+                let _ = write!(line, " eta {}s", eta.as_secs());
+            }
+            None => line.push_str(" eta -"),
+        }
+        let _ = write!(
+            line,
+            " workers {}/{}",
+            self.workers_alive(),
+            self.workers.value()
+        );
+        for (class, counter) in CLASSES.iter().zip(&self.classes) {
+            let n = counter.value();
+            if n > 0 {
+                let _ = write!(line, " {}={n}", names::sanitize(class));
+            }
+        }
+        if self.resumed.value() > 0 {
+            let _ = write!(line, " resumed={}", self.resumed.value());
+        }
+        line
+    }
+}
+
+/// A [`CampaignSink`] adapter that counts every classification flowing to
+/// the inner sink. Results are counted only after the inner sink accepts
+/// them, so progress never runs ahead of the checkpoint.
+pub struct ProgressSink<'a> {
+    inner: &'a mut dyn CampaignSink,
+    progress: Arc<CampaignProgress>,
+}
+
+impl std::fmt::Debug for ProgressSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink")
+            .field("progress", &self.progress)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ProgressSink<'a> {
+    /// Wraps `inner`, mirroring each recorded result into `progress`.
+    pub fn new(inner: &'a mut dyn CampaignSink, progress: Arc<CampaignProgress>) -> Self {
+        ProgressSink { inner, progress }
+    }
+}
+
+impl CampaignSink for ProgressSink<'_> {
+    fn record(&mut self, result: &FaultResult, panic: Option<&str>) -> io::Result<()> {
+        self.inner.record(result, panic)?;
+        self.progress.record_outcome(result.outcome);
+        Ok(())
+    }
+}
+
+/// A background stderr ticker printing [`CampaignProgress::status_line`]
+/// at a fixed interval. Dropping the guard stops the thread promptly and
+/// prints one final line so short sweeps still leave a trace.
+#[derive(Debug)]
+pub struct ProgressTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressTicker {
+    /// Starts ticking every `interval` (clamped to at least 10 ms).
+    pub fn start(progress: Arc<CampaignProgress>, interval: Duration) -> ProgressTicker {
+        let interval = interval.max(Duration::from_millis(10));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            loop {
+                std::thread::park_timeout(interval);
+                if thread_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                eprintln!("{}", progress.status_line());
+            }
+            eprintln!("{}", progress.status_line());
+        });
+        ProgressTicker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for ProgressTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::MemorySink;
+    use crate::fault::{FaultKind, FaultSpec, FaultTarget};
+
+    fn spec() -> FaultSpec {
+        FaultSpec {
+            target: FaultTarget::GprBit {
+                reg: s4e_isa::Gpr::A0,
+                bit: 0,
+            },
+            kind: FaultKind::Transient { at_insn: 0 },
+        }
+    }
+
+    #[test]
+    fn outcome_counters_and_eta() {
+        let progress = CampaignProgress::new();
+        progress.begin(10, 2);
+        for _ in 0..4 {
+            progress.record_outcome(FaultOutcome::Masked);
+        }
+        progress.record_resumed(FaultOutcome::Timeout);
+        assert_eq!(progress.done(), 5);
+        assert_eq!(progress.total(), 10);
+        let snap = progress.snapshot();
+        assert_eq!(snap.counter("campaign_outcome_masked"), Some(4));
+        assert_eq!(snap.counter("campaign_outcome_timeout"), Some(1));
+        assert_eq!(snap.counter("campaign_resumed"), Some(1));
+        assert_eq!(snap.gauge("campaign_total"), Some(10));
+        // 4 fresh results in nonzero elapsed time: a rate and an ETA.
+        assert!(progress.rate() > 0.0);
+        assert!(progress.eta().is_some());
+        let line = progress.status_line();
+        assert!(line.contains("5/10"), "{line}");
+        assert!(line.contains("masked=4"), "{line}");
+        assert!(line.contains("resumed=1"), "{line}");
+    }
+
+    #[test]
+    fn every_outcome_class_has_a_counter() {
+        let progress = CampaignProgress::new();
+        for outcome in [
+            FaultOutcome::Masked,
+            FaultOutcome::SilentCorruption,
+            FaultOutcome::Detected {
+                trap: s4e_vp::Trap::Breakpoint,
+            },
+            FaultOutcome::SelfReported { code: 2 },
+            FaultOutcome::Timeout,
+            FaultOutcome::Hang,
+            FaultOutcome::Cancelled,
+            FaultOutcome::HarnessError,
+        ] {
+            progress.record_outcome(outcome);
+        }
+        let snap = progress.snapshot();
+        for class in CLASSES {
+            let name = format!("campaign_outcome_{}", names::sanitize(class));
+            assert_eq!(snap.counter(&name), Some(1), "{name}");
+        }
+    }
+
+    #[test]
+    fn progress_sink_counts_after_inner_accepts() {
+        let progress = Arc::new(CampaignProgress::new());
+        let mut inner = MemorySink::new();
+        let mut sink = ProgressSink::new(&mut inner, Arc::clone(&progress));
+        let result = FaultResult {
+            spec: spec(),
+            outcome: FaultOutcome::Masked,
+        };
+        sink.record(&result, None).expect("memory sink accepts");
+        assert_eq!(progress.done(), 1);
+        assert_eq!(inner.records().len(), 1);
+    }
+
+    #[test]
+    fn worker_liveness() {
+        let progress = CampaignProgress::new();
+        progress.begin(4, 2);
+        assert_eq!(progress.workers_alive(), 2);
+        progress.worker_heartbeat(0);
+        progress.worker_heartbeat(0);
+        progress.worker_heartbeat(1);
+        progress.worker_exited();
+        assert_eq!(progress.workers_alive(), 1);
+        let snap = progress.snapshot();
+        assert_eq!(snap.counter("campaign_worker_0_claims"), Some(2));
+        assert_eq!(snap.counter("campaign_worker_1_claims"), Some(1));
+    }
+
+    #[test]
+    fn ticker_stops_on_drop() {
+        let progress = Arc::new(CampaignProgress::new());
+        let ticker = ProgressTicker::start(Arc::clone(&progress), Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(5));
+        drop(ticker); // must not hang waiting for the interval
+    }
+}

@@ -33,6 +33,7 @@
 use crate::campaign::{Campaign, CampaignError, CampaignReport, FaultResult};
 use crate::checkpoint::{read_checkpoint, CampaignSink, JsonlSink, NullSink};
 use crate::fault::{FaultOutcome, FaultSpec};
+use crate::progress::ProgressSink;
 use s4e_vp::CancelToken;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,11 +62,7 @@ impl Campaign {
     /// [`run_all`](Campaign::run_all) with a campaign-level cancellation
     /// token: cancelling it stops the sweep promptly, and every mutant
     /// not yet classified is reported as [`FaultOutcome::Cancelled`].
-    pub fn run_all_cancellable(
-        &self,
-        specs: &[FaultSpec],
-        cancel: &CancelToken,
-    ) -> CampaignReport {
+    pub fn run_all_cancellable(&self, specs: &[FaultSpec], cancel: &CancelToken) -> CampaignReport {
         self.run_supervised(specs, &mut NullSink, cancel, &DoneMap::new())
             .expect("the null sink cannot fail")
     }
@@ -126,13 +123,28 @@ impl Campaign {
     ) -> Result<CampaignReport, CampaignError> {
         let threads = self.config().threads.min(specs.len()).max(1);
         let next = AtomicUsize::new(0);
+        // With progress attached, classifications are counted on the sink
+        // path itself — after the checkpoint accepted them, so the ticker
+        // never runs ahead of what a resume would see.
+        let mut progress_sink;
+        let sink: &mut dyn CampaignSink = match self.progress() {
+            Some(progress) => {
+                progress.begin(specs.len(), threads);
+                progress_sink = ProgressSink::new(sink, Arc::clone(progress));
+                &mut progress_sink
+            }
+            None => sink,
+        };
         let sink = Mutex::new(sink);
         let sink_error: Mutex<Option<String>> = Mutex::new(None);
 
         let worker_slots: Vec<Vec<SlotResult>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| self.worker(specs, &next, &sink, &sink_error, cancel, done))
+                .map(|worker_id| {
+                    let (next, sink, sink_error) = (&next, &sink, &sink_error);
+                    scope.spawn(move || {
+                        self.worker(worker_id, specs, next, sink, sink_error, cancel, done)
+                    })
                 })
                 .collect();
             handles
@@ -182,8 +194,10 @@ impl Campaign {
         Ok(Campaign::build_report(results, panics))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn worker(
         &self,
+        worker_id: usize,
         specs: &[FaultSpec],
         next: &AtomicUsize,
         sink: &Mutex<&mut dyn CampaignSink>,
@@ -200,9 +214,16 @@ impl Campaign {
             let Some(spec) = specs.get(index) else {
                 break;
             };
+            if let Some(progress) = self.progress() {
+                progress.worker_heartbeat(worker_id);
+            }
             if let Some((outcome, panic)) = done.get(spec) {
                 // Classified by a previous (interrupted) run: reuse the
-                // checkpointed outcome without re-recording it.
+                // checkpointed outcome without re-recording it — but it
+                // still counts as done for progress purposes.
+                if let Some(progress) = self.progress() {
+                    progress.record_resumed(*outcome);
+                }
                 out.push((index, *outcome, panic.clone()));
                 continue;
             }
@@ -242,6 +263,9 @@ impl Campaign {
                 break;
             }
             out.push((index, outcome, panic));
+        }
+        if let Some(progress) = self.progress() {
+            progress.worker_exited();
         }
         out
     }

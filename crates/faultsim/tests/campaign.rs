@@ -3,8 +3,8 @@
 
 use s4e_asm::assemble;
 use s4e_faultsim::{
-    generate_mutants, Campaign, CampaignConfig, CampaignError, FaultKind, FaultOutcome,
-    FaultSpec, FaultTarget, GeneratorConfig,
+    generate_mutants, Campaign, CampaignConfig, CampaignError, FaultKind, FaultOutcome, FaultSpec,
+    FaultTarget, GeneratorConfig,
 };
 use s4e_isa::{Gpr, IsaConfig};
 
@@ -69,7 +69,10 @@ fn accumulator_fault_corrupts_silently() {
     // Stuck bit in the accumulator: result is wrong but the program still
     // terminates → silent corruption.
     let r = c.run_one(&FaultSpec {
-        target: FaultTarget::GprBit { reg: Gpr::A0, bit: 6 },
+        target: FaultTarget::GprBit {
+            reg: Gpr::A0,
+            bit: 6,
+        },
         kind: FaultKind::StuckAt { value: true },
     });
     assert_eq!(r.outcome, FaultOutcome::SilentCorruption);
@@ -96,7 +99,10 @@ fn opcode_mutation_can_crash() {
     // Flip the low opcode bit of the first instruction: 0b11 → 0b10 turns
     // the 32-bit encoding into a (likely illegal) compressed one.
     let r = c.run_one(&FaultSpec {
-        target: FaultTarget::MemBit { addr: first_pc, bit: 0 },
+        target: FaultTarget::MemBit {
+            addr: first_pc,
+            bit: 0,
+        },
         kind: FaultKind::Transient { at_insn: 0 },
     });
     assert!(
@@ -112,7 +118,10 @@ fn opcode_mutation_can_crash() {
 fn transient_after_termination_never_manifests() {
     let c = campaign(SUM_PROGRAM, &CampaignConfig::new());
     let r = c.run_one(&FaultSpec {
-        target: FaultTarget::GprBit { reg: Gpr::A0, bit: 0 },
+        target: FaultTarget::GprBit {
+            reg: Gpr::A0,
+            bit: 0,
+        },
         kind: FaultKind::Transient {
             at_insn: c.golden().instret() + 500,
         },
@@ -125,7 +134,10 @@ fn transient_mid_run_corrupts_result() {
     let c = campaign(SUM_PROGRAM, &CampaignConfig::new());
     // Flip a high accumulator bit mid-loop: sum is corrupted, run finishes.
     let r = c.run_one(&FaultSpec {
-        target: FaultTarget::GprBit { reg: Gpr::A0, bit: 20 },
+        target: FaultTarget::GprBit {
+            reg: Gpr::A0,
+            bit: 20,
+        },
         kind: FaultKind::Transient { at_insn: 10 },
     });
     assert_eq!(r.outcome, FaultOutcome::SilentCorruption);
@@ -136,7 +148,10 @@ fn memory_data_fault_detected_by_comparison() {
     let c = campaign(SUM_PROGRAM, &CampaignConfig::new());
     let &result_byte = c.golden().trace().written_bytes.iter().next().unwrap();
     let r = c.run_one(&FaultSpec {
-        target: FaultTarget::MemBit { addr: result_byte, bit: 3 },
+        target: FaultTarget::MemBit {
+            addr: result_byte,
+            bit: 3,
+        },
         kind: FaultKind::Transient {
             at_insn: c.golden().instret() - 1,
         },
@@ -152,7 +167,10 @@ fn memory_comparison_ablation() {
     let c = campaign(SUM_PROGRAM, &cfg);
     let &result_byte = c.golden().trace().written_bytes.iter().next().unwrap();
     let r = c.run_one(&FaultSpec {
-        target: FaultTarget::MemBit { addr: result_byte, bit: 3 },
+        target: FaultTarget::MemBit {
+            addr: result_byte,
+            bit: 3,
+        },
         kind: FaultKind::Transient {
             at_insn: c.golden().instret() - 1,
         },
@@ -184,7 +202,10 @@ fn self_reported_failures_classified() {
     "#;
     let c = campaign(src, &CampaignConfig::new());
     let r = c.run_one(&FaultSpec {
-        target: FaultTarget::GprBit { reg: Gpr::A0, bit: 10 },
+        target: FaultTarget::GprBit {
+            reg: Gpr::A0,
+            bit: 10,
+        },
         kind: FaultKind::Transient { at_insn: 12 },
     });
     assert_eq!(r.outcome, FaultOutcome::SelfReported { code: 1 });
@@ -214,17 +235,18 @@ fn parallel_matches_sequential() {
     let mutants = generate_mutants(seq.golden().trace(), &GeneratorConfig::new(99));
     let a = seq.run_all(&mutants);
     let b = par.run_all(&mutants);
-    assert_eq!(a.results(), b.results(), "parallelism must not change results");
+    assert_eq!(
+        a.results(),
+        b.results(),
+        "parallelism must not change results"
+    );
 }
 
 #[test]
 fn isa_subset_scales_mutant_count() {
     // RV32IMC program exercises more instruction bytes than its RV32I
     // equivalent → more opcode mutants in the footprint.
-    let rv32i = campaign(
-        SUM_PROGRAM,
-        &CampaignConfig::new().isa(IsaConfig::rv32i()),
-    );
+    let rv32i = campaign(SUM_PROGRAM, &CampaignConfig::new().isa(IsaConfig::rv32i()));
     let g = rv32i.golden();
     assert!(g.outcome().is_normal_termination());
     let mutants = generate_mutants(g.trace(), &GeneratorConfig::new(3));
@@ -242,7 +264,11 @@ fn suspects_iterator() {
     }
     assert_eq!(
         suspects.len(),
-        report.counts().get("silent corruption").copied().unwrap_or(0)
+        report
+            .counts()
+            .get("silent corruption")
+            .copied()
+            .unwrap_or(0)
     );
 }
 

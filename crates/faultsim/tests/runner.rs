@@ -131,7 +131,10 @@ fn cancelled_token_classifies_as_cancelled() {
     token.cancel();
     let r = c.run_one_cancellable(
         &FaultSpec {
-            target: FaultTarget::GprBit { reg: Gpr::A0, bit: 0 },
+            target: FaultTarget::GprBit {
+                reg: Gpr::A0,
+                bit: 0,
+            },
             kind: FaultKind::Transient { at_insn: 5 },
         },
         Some(&token),
@@ -166,7 +169,10 @@ fn fewer_specs_than_threads() {
 fn transient_beyond_budget_never_manifests() {
     let c = campaign(SUM_PROGRAM, &CampaignConfig::new());
     let spec = FaultSpec {
-        target: FaultTarget::GprBit { reg: Gpr::A0, bit: 4 },
+        target: FaultTarget::GprBit {
+            reg: Gpr::A0,
+            bit: 4,
+        },
         kind: FaultKind::Transient {
             at_insn: c.budget() + 12345,
         },
@@ -215,7 +221,9 @@ fn harness_panic_is_isolated_and_captured() {
     assert_eq!(harness_errors[0].0, 7);
     assert_eq!(report.harness_panics().len(), 1);
     assert!(
-        report.harness_panics()[0].1.contains("injected harness bug"),
+        report.harness_panics()[0]
+            .1
+            .contains("injected harness bug"),
         "payload captured: {:?}",
         report.harness_panics()[0].1
     );
@@ -423,5 +431,50 @@ fn thousand_mutant_campaign_survives_panic_livelock_and_kill() {
         specs.len(),
         "the checkpoint now covers the whole campaign"
     );
+    std::fs::remove_file(&path).ok();
+}
+
+// ------------------------------------------------------------ progress
+
+#[test]
+fn progress_counts_fresh_and_resumed_mutants() {
+    use s4e_faultsim::CampaignProgress;
+
+    let mut c = campaign(SUM_PROGRAM, &CampaignConfig::new().threads(2));
+    let progress = Arc::new(CampaignProgress::new());
+    c.set_progress(Arc::clone(&progress));
+    let specs = unique_specs(8, 2);
+    let report = c.run_all(&specs);
+
+    assert_eq!(progress.done(), specs.len() as u64);
+    assert_eq!(progress.total(), specs.len() as u64);
+    assert_eq!(progress.workers_alive(), 0, "all workers exited");
+    // The outcome-class counters agree exactly with the report.
+    let snap = progress.snapshot();
+    for (class, count) in report.counts() {
+        let name = format!("campaign_outcome_{}", s4e_obs::names::sanitize(class));
+        assert_eq!(snap.counter(&name), Some(count as u64), "{name}");
+    }
+    // Both workers were alive enough to claim at least one slot.
+    let claims0 = snap.counter("campaign_worker_0_claims").unwrap();
+    let claims1 = snap.counter("campaign_worker_1_claims").unwrap();
+    assert_eq!(claims0 + claims1, specs.len() as u64);
+
+    // Resume with a complete checkpoint: everything is counted as
+    // resumed, nothing as freshly executed.
+    let path = temp_path("progress-resume.jsonl");
+    {
+        let mut file = std::fs::File::create(&path).expect("checkpoint");
+        for result in report.results() {
+            writeln!(file, "{}", encode_result(result, None)).unwrap();
+        }
+    }
+    let progress2 = Arc::new(CampaignProgress::new());
+    c.set_progress(Arc::clone(&progress2));
+    c.resume(&specs, &path, &CancelToken::new())
+        .expect("resumes");
+    assert_eq!(progress2.done(), specs.len() as u64);
+    let snap2 = progress2.snapshot();
+    assert_eq!(snap2.counter("campaign_resumed"), Some(specs.len() as u64));
     std::fs::remove_file(&path).ok();
 }

@@ -323,15 +323,7 @@ fn decode32(raw: u32) -> Result<Insn, DecodeError> {
     Ok(insn)
 }
 
-fn insn16(
-    kind: InsnKind,
-    ckind: CKind,
-    rd: u32,
-    rs1: u32,
-    rs2: u32,
-    imm: i32,
-    raw: u16,
-) -> Insn {
+fn insn16(kind: InsnKind, ckind: CKind, rd: u32, rs1: u32, rs2: u32, imm: i32, raw: u16) -> Insn {
     Insn::from_parts(kind, rd, rs1, rs2, imm, 2, raw as u32, Some(ckind))
 }
 
@@ -466,8 +458,7 @@ fn decode16(raw: u16) -> Result<Insn, DecodeError> {
             insn16(Slli, CSlli, rd_full, rd_full, 0, shamt as i32, raw)
         }
         (0b10, 0b010) | (0b10, 0b011) => {
-            let imm =
-                ((bits(r, 12, 12) << 5) | (bits(r, 6, 4) << 2) | (bits(r, 3, 2) << 6)) as i32;
+            let imm = ((bits(r, 12, 12) << 5) | (bits(r, 6, 4) << 2) | (bits(r, 3, 2) << 6)) as i32;
             if funct3 == 0b010 {
                 if rd_full == 0 {
                     return illegal; // reserved
@@ -787,7 +778,7 @@ mod tests {
         assert!(decode(0x0000, &FULL).is_err());
         // c.addi4spn with zero imm
         assert!(decode(0x0004, &FULL).is_err()); // funct3=000, only rd bits set
-        // c.lwsp with rd=0
+                                                 // c.lwsp with rd=0
         let raw = (0b010 << 13) | (0b10) | (0b010 << 4);
         assert!(decode(raw, &FULL).is_err());
         // RV32 shift with shamt[5]=1

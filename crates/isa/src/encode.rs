@@ -552,7 +552,10 @@ pub fn encode_compressed(ckind: CKind, ops: Operands) -> Result<u16> {
             } else {
                 (0b011, check_reg(m, ops.rd)?)
             };
-            0b10 | (f3 << 13) | ((u >> 5 & 1) << 12) | (rd << 7) | ((u >> 2 & 7) << 4)
+            0b10 | (f3 << 13)
+                | ((u >> 5 & 1) << 12)
+                | (rd << 7)
+                | ((u >> 2 & 7) << 4)
                 | ((u >> 6 & 3) << 2)
         }
         CJr => {
@@ -837,42 +840,262 @@ mod tests {
     fn compressed_roundtrip_all_kinds() {
         use CKind::*;
         let cases: Vec<(CKind, Operands)> = vec![
-            (CAddi4spn, Operands { rd: 10, rs1: 2, imm: 8, ..Default::default() }),
-            (CLw, Operands { rd: 10, rs1: 11, imm: 4, ..Default::default() }),
-            (CSw, Operands { rs1: 11, rs2: 10, imm: 4, ..Default::default() }),
-            (CFlw, Operands { rd: 10, rs1: 11, imm: 4, ..Default::default() }),
-            (CFsw, Operands { rs1: 11, rs2: 10, imm: 4, ..Default::default() }),
+            (
+                CAddi4spn,
+                Operands {
+                    rd: 10,
+                    rs1: 2,
+                    imm: 8,
+                    ..Default::default()
+                },
+            ),
+            (
+                CLw,
+                Operands {
+                    rd: 10,
+                    rs1: 11,
+                    imm: 4,
+                    ..Default::default()
+                },
+            ),
+            (
+                CSw,
+                Operands {
+                    rs1: 11,
+                    rs2: 10,
+                    imm: 4,
+                    ..Default::default()
+                },
+            ),
+            (
+                CFlw,
+                Operands {
+                    rd: 10,
+                    rs1: 11,
+                    imm: 4,
+                    ..Default::default()
+                },
+            ),
+            (
+                CFsw,
+                Operands {
+                    rs1: 11,
+                    rs2: 10,
+                    imm: 4,
+                    ..Default::default()
+                },
+            ),
             (CNop, Operands::default()),
-            (CAddi, Operands { rd: 10, rs1: 10, imm: -1, ..Default::default() }),
-            (CJal, Operands { rd: 1, imm: -2, ..Default::default() }),
-            (CLi, Operands { rd: 10, imm: 31, ..Default::default() }),
-            (CAddi16sp, Operands { rd: 2, rs1: 2, imm: -64, ..Default::default() }),
-            (CLui, Operands { rd: 10, imm: -4096, ..Default::default() }),
-            (CSrli, Operands { rd: 8, rs1: 8, imm: 3, ..Default::default() }),
-            (CSrai, Operands { rd: 8, rs1: 8, imm: 3, ..Default::default() }),
-            (CAndi, Operands { rd: 8, rs1: 8, imm: -5, ..Default::default() }),
-            (CSub, Operands { rd: 8, rs1: 8, rs2: 9, ..Default::default() }),
-            (CXor, Operands { rd: 8, rs1: 8, rs2: 9, ..Default::default() }),
-            (COr, Operands { rd: 8, rs1: 8, rs2: 9, ..Default::default() }),
-            (CAnd, Operands { rd: 8, rs1: 8, rs2: 9, ..Default::default() }),
-            (CJ, Operands { imm: 64, ..Default::default() }),
-            (CBeqz, Operands { rs1: 8, imm: -16, ..Default::default() }),
-            (CBnez, Operands { rs1: 8, imm: 254, ..Default::default() }),
-            (CSlli, Operands { rd: 10, rs1: 10, imm: 7, ..Default::default() }),
-            (CLwsp, Operands { rd: 10, rs1: 2, imm: 8, ..Default::default() }),
-            (CFlwsp, Operands { rd: 10, rs1: 2, imm: 8, ..Default::default() }),
-            (CJr, Operands { rs1: 1, ..Default::default() }),
-            (CMv, Operands { rd: 10, rs2: 11, ..Default::default() }),
+            (
+                CAddi,
+                Operands {
+                    rd: 10,
+                    rs1: 10,
+                    imm: -1,
+                    ..Default::default()
+                },
+            ),
+            (
+                CJal,
+                Operands {
+                    rd: 1,
+                    imm: -2,
+                    ..Default::default()
+                },
+            ),
+            (
+                CLi,
+                Operands {
+                    rd: 10,
+                    imm: 31,
+                    ..Default::default()
+                },
+            ),
+            (
+                CAddi16sp,
+                Operands {
+                    rd: 2,
+                    rs1: 2,
+                    imm: -64,
+                    ..Default::default()
+                },
+            ),
+            (
+                CLui,
+                Operands {
+                    rd: 10,
+                    imm: -4096,
+                    ..Default::default()
+                },
+            ),
+            (
+                CSrli,
+                Operands {
+                    rd: 8,
+                    rs1: 8,
+                    imm: 3,
+                    ..Default::default()
+                },
+            ),
+            (
+                CSrai,
+                Operands {
+                    rd: 8,
+                    rs1: 8,
+                    imm: 3,
+                    ..Default::default()
+                },
+            ),
+            (
+                CAndi,
+                Operands {
+                    rd: 8,
+                    rs1: 8,
+                    imm: -5,
+                    ..Default::default()
+                },
+            ),
+            (
+                CSub,
+                Operands {
+                    rd: 8,
+                    rs1: 8,
+                    rs2: 9,
+                    ..Default::default()
+                },
+            ),
+            (
+                CXor,
+                Operands {
+                    rd: 8,
+                    rs1: 8,
+                    rs2: 9,
+                    ..Default::default()
+                },
+            ),
+            (
+                COr,
+                Operands {
+                    rd: 8,
+                    rs1: 8,
+                    rs2: 9,
+                    ..Default::default()
+                },
+            ),
+            (
+                CAnd,
+                Operands {
+                    rd: 8,
+                    rs1: 8,
+                    rs2: 9,
+                    ..Default::default()
+                },
+            ),
+            (
+                CJ,
+                Operands {
+                    imm: 64,
+                    ..Default::default()
+                },
+            ),
+            (
+                CBeqz,
+                Operands {
+                    rs1: 8,
+                    imm: -16,
+                    ..Default::default()
+                },
+            ),
+            (
+                CBnez,
+                Operands {
+                    rs1: 8,
+                    imm: 254,
+                    ..Default::default()
+                },
+            ),
+            (
+                CSlli,
+                Operands {
+                    rd: 10,
+                    rs1: 10,
+                    imm: 7,
+                    ..Default::default()
+                },
+            ),
+            (
+                CLwsp,
+                Operands {
+                    rd: 10,
+                    rs1: 2,
+                    imm: 8,
+                    ..Default::default()
+                },
+            ),
+            (
+                CFlwsp,
+                Operands {
+                    rd: 10,
+                    rs1: 2,
+                    imm: 8,
+                    ..Default::default()
+                },
+            ),
+            (
+                CJr,
+                Operands {
+                    rs1: 1,
+                    ..Default::default()
+                },
+            ),
+            (
+                CMv,
+                Operands {
+                    rd: 10,
+                    rs2: 11,
+                    ..Default::default()
+                },
+            ),
             (CEbreak, Operands::default()),
-            (CJalr, Operands { rd: 1, rs1: 10, ..Default::default() }),
-            (CAdd, Operands { rd: 10, rs1: 10, rs2: 11, ..Default::default() }),
-            (CSwsp, Operands { rs1: 2, rs2: 10, imm: 8, ..Default::default() }),
-            (CFswsp, Operands { rs1: 2, rs2: 10, imm: 8, ..Default::default() }),
+            (
+                CJalr,
+                Operands {
+                    rd: 1,
+                    rs1: 10,
+                    ..Default::default()
+                },
+            ),
+            (
+                CAdd,
+                Operands {
+                    rd: 10,
+                    rs1: 10,
+                    rs2: 11,
+                    ..Default::default()
+                },
+            ),
+            (
+                CSwsp,
+                Operands {
+                    rs1: 2,
+                    rs2: 10,
+                    imm: 8,
+                    ..Default::default()
+                },
+            ),
+            (
+                CFswsp,
+                Operands {
+                    rs1: 2,
+                    rs2: 10,
+                    imm: 8,
+                    ..Default::default()
+                },
+            ),
         ];
         assert_eq!(cases.len(), CKind::ALL.len(), "cover every CKind");
         for (ck, ops) in cases {
-            let half = encode_compressed(ck, ops)
-                .unwrap_or_else(|e| panic!("encode {ck}: {e}"));
+            let half = encode_compressed(ck, ops).unwrap_or_else(|e| panic!("encode {ck}: {e}"));
             let insn = decode(half as u32, &FULL)
                 .unwrap_or_else(|e| panic!("decode {ck} ({half:#06x}): {e}"));
             assert_eq!(insn.ckind(), Some(ck), "ckind mismatch for {ck}");
@@ -888,25 +1111,43 @@ mod tests {
         // c.addi4spn imm=0 reserved
         assert!(encode_compressed(
             CKind::CAddi4spn,
-            Operands { rd: 10, rs1: 2, imm: 0, ..Default::default() }
+            Operands {
+                rd: 10,
+                rs1: 2,
+                imm: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         // non-prime register in c.lw
         assert!(encode_compressed(
             CKind::CLw,
-            Operands { rd: 2, rs1: 11, imm: 4, ..Default::default() }
+            Operands {
+                rd: 2,
+                rs1: 11,
+                imm: 4,
+                ..Default::default()
+            }
         )
         .is_err());
         // c.lui of x2
         assert!(encode_compressed(
             CKind::CLui,
-            Operands { rd: 2, imm: 4096, ..Default::default() }
+            Operands {
+                rd: 2,
+                imm: 4096,
+                ..Default::default()
+            }
         )
         .is_err());
         // c.mv from x0
         assert!(encode_compressed(
             CKind::CMv,
-            Operands { rd: 10, rs2: 0, ..Default::default() }
+            Operands {
+                rd: 10,
+                rs2: 0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

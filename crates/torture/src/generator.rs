@@ -77,8 +77,8 @@ impl TortureConfig {
 /// except `x0` (hardwired) and `x2`/`sp` (reserved as the scratch-buffer
 /// base).
 const WRITABLE: &[u8] = &[
-    1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
-    27, 28, 29, 30, 31,
+    1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27,
+    28, 29, 30, 31,
 ];
 
 /// Compressed-form registers (`x8`–`x15`).
@@ -214,8 +214,9 @@ fn emit_random(
     choices.push(9); // csr / misc
     match choices[rng.random_range(0..choices.len())] {
         0 => {
-            let op = ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and"]
-                [rng.random_range(0..10)];
+            let op = [
+                "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+            ][rng.random_range(0..10)];
             let _ = writeln!(out, "    {op} {d}, {s1}, {s2}");
             1
         }
@@ -284,8 +285,9 @@ fn emit_random(
             1 + fill
         }
         5 => {
-            let op = ["mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"]
-                [rng.random_range(0..8)];
+            let op = [
+                "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+            ][rng.random_range(0..8)];
             let _ = writeln!(out, "    {op} {d}, {s1}, {s2}");
             1
         }
@@ -297,7 +299,11 @@ fn emit_random(
                     let _ = writeln!(out, "    c.li {d}, {}", rng.random_range(-32..32));
                 }
                 1 => {
-                    let _ = writeln!(out, "    c.addi {d}, {}", rng.random_range(-32..32).max(-32));
+                    let _ = writeln!(
+                        out,
+                        "    c.addi {d}, {}",
+                        rng.random_range(-32..32).max(-32)
+                    );
                 }
                 2 => {
                     let _ = writeln!(out, "    c.mv {d}, {s1}");
@@ -331,8 +337,8 @@ fn emit_random(
             let fb = rng.random_range(0..32);
             match rng.random_range(0..6) {
                 0 => {
-                    let op = ["fadd.s", "fsub.s", "fmul.s", "fmin.s", "fmax.s"]
-                        [rng.random_range(0..5)];
+                    let op =
+                        ["fadd.s", "fsub.s", "fmul.s", "fmin.s", "fmax.s"][rng.random_range(0..5)];
                     let _ = writeln!(out, "    {op} f{fd}, f{fa}, f{fb}");
                 }
                 1 => {
@@ -367,8 +373,7 @@ fn emit_random(
                     let _ = writeln!(out, "    {op} {d}, {s1}");
                 }
                 _ => {
-                    let op = ["andn", "orn", "xnor", "rol", "ror", "bext"]
-                        [rng.random_range(0..6)];
+                    let op = ["andn", "orn", "xnor", "rol", "ror", "bext"][rng.random_range(0..6)];
                     let _ = writeln!(out, "    {op} {d}, {s1}, {s2}");
                 }
             }

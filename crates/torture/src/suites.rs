@@ -46,7 +46,10 @@ pub fn architectural_suite(isa: &IsaConfig) -> Vec<TestProgram> {
         .filter(|k| **k != InsnKind::Wfi)
         .map(|&kind| {
             let body = directed_body(kind);
-            prog(&format!("arch_{}", kind.mnemonic().replace('.', "_")), &body)
+            prog(
+                &format!("arch_{}", kind.mnemonic().replace('.', "_")),
+                &body,
+            )
         })
         .collect()
 }

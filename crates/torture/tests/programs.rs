@@ -158,7 +158,10 @@ fn torture_loops_remain_wcet_analyzable() {
     let isa = IsaConfig::rv32imfc();
     let mut saw_loop = false;
     for seed in 400..412 {
-        let cfg = TortureConfig::new(seed).insns(120).isa(isa).with_loops(true);
+        let cfg = TortureConfig::new(seed)
+            .insns(120)
+            .isa(isa)
+            .with_loops(true);
         let p = torture_program(&cfg);
         saw_loop |= p.source.contains("lp_");
         let img = assemble(&p.source).expect("assembles");

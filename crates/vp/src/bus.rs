@@ -185,10 +185,7 @@ impl Bus {
         }
     }
 
-    fn device_access(
-        &mut self,
-        addr: u32,
-    ) -> Option<(&mut Box<dyn Device>, u32)> {
+    fn device_access(&mut self, addr: u32) -> Option<(&mut Box<dyn Device>, u32)> {
         self.devices
             .iter_mut()
             .find(|m| addr >= m.base && (addr as u64) < m.base as u64 + m.size as u64)

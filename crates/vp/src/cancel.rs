@@ -134,6 +134,9 @@ mod tests {
     fn expired_timeout_cancels() {
         let t = CancelToken::with_timeout(Duration::ZERO);
         assert!(t.is_cancelled());
-        assert!(!t.flag_raised(), "deadline expiry is not an explicit cancel");
+        assert!(
+            !t.flag_raised(),
+            "deadline expiry is not an explicit cancel"
+        );
     }
 }

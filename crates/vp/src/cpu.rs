@@ -481,7 +481,8 @@ mod tests {
     fn interrupt_priority() {
         let mut c = cpu();
         c.csr_write(Csr::MSTATUS, MSTATUS_MIE).unwrap();
-        c.csr_write(Csr::MIE, (1 << 3) | (1 << 7) | (1 << 11)).unwrap();
+        c.csr_write(Csr::MIE, (1 << 3) | (1 << 7) | (1 << 11))
+            .unwrap();
         c.set_mip((1 << 7) | (1 << 3));
         assert_eq!(c.pending_interrupt(), Some(Trap::MachineSoftInterrupt));
         c.set_mip(1 << 7);

@@ -390,7 +390,10 @@ mod tests {
         assert!(c.msip());
         assert_eq!(c.mip_bits(0), 1 << 3);
         // mtime reflects `now`
-        assert_eq!(c.read(clint_reg::MTIME_LO, 4, 0x1_2345_6789), Some(0x2345_6789));
+        assert_eq!(
+            c.read(clint_reg::MTIME_LO, 4, 0x1_2345_6789),
+            Some(0x2345_6789)
+        );
         assert_eq!(c.read(clint_reg::MTIME_HI, 4, 0x1_2345_6789), Some(1));
     }
 }

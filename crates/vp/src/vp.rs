@@ -4,7 +4,9 @@
 use crate::bus::{Bus, BusEvent, BusFault, RAM_BASE, RAM_SIZE};
 use crate::cancel::CancelToken;
 use crate::cpu::Cpu;
-use crate::dev::{Clint, Syscon, Uart, CLINT_BASE, CLINT_SIZE, SYSCON_BASE, SYSCON_SIZE, UART_BASE, UART_SIZE};
+use crate::dev::{
+    Clint, Syscon, Uart, CLINT_BASE, CLINT_SIZE, SYSCON_BASE, SYSCON_SIZE, UART_BASE, UART_SIZE,
+};
 use crate::plugin::{BlockInfo, DeviceAccess, MemAccess, Plugin};
 use crate::timing::TimingModel;
 use crate::trap::Trap;
@@ -362,7 +364,11 @@ impl Vp {
             }
             Step::Jump(target) => {
                 self.cpu.add_cycles(self.timing.cost(insn, true));
-                let ialign = if self.cpu.isa().has(Extension::C) { 2 } else { 4 };
+                let ialign = if self.cpu.isa().has(Extension::C) {
+                    2
+                } else {
+                    4
+                };
                 if target % ialign != 0 {
                     self.notify_insn(pc, insn);
                     return self.raise(Trap::InsnMisaligned { addr: target });
@@ -468,11 +474,7 @@ impl Vp {
             }
         }
         if self.cache_enabled {
-            let end = block
-                .insns
-                .last()
-                .map(|(a, i)| i.next_pc(*a))
-                .unwrap_or(pc);
+            let end = block.insns.last().map(|(a, i)| i.next_pc(*a)).unwrap_or(pc);
             self.code_lo = self.code_lo.min(pc);
             self.code_hi = self.code_hi.max(end);
             self.cache.insert(pc, Rc::clone(&block));
@@ -832,7 +834,10 @@ impl Vp {
             FmulS => set_f(&mut self.cpu, canon(a * b)),
             FdivS => set_f(&mut self.cpu, canon(a / b)),
             FsqrtS => set_f(&mut self.cpu, canon(a.sqrt())),
-            FsgnjS => set_f(&mut self.cpu, (a_bits & 0x7fff_ffff) | (b_bits & 0x8000_0000)),
+            FsgnjS => set_f(
+                &mut self.cpu,
+                (a_bits & 0x7fff_ffff) | (b_bits & 0x8000_0000),
+            ),
             FsgnjnS => set_f(
                 &mut self.cpu,
                 (a_bits & 0x7fff_ffff) | (!b_bits & 0x8000_0000),

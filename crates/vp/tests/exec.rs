@@ -258,7 +258,10 @@ fn uart_echo() {
     let mut vp = Vp::new(IsaConfig::rv32imc());
     let img = assemble(src).unwrap();
     vp.load(img.base(), img.bytes()).unwrap();
-    vp.bus_mut().device_mut::<Uart>().unwrap().push_input(b"echo");
+    vp.bus_mut()
+        .device_mut::<Uart>()
+        .unwrap()
+        .push_input(b"echo");
     assert_eq!(vp.run(), RunOutcome::Break);
     assert_eq!(vp.bus().device::<Uart>().unwrap().output(), b"echo");
 }
@@ -610,7 +613,10 @@ fn plugin_observes_everything() {
 
     let rec = vp.plugin::<Recorder>().unwrap();
     assert_eq!(rec.insns as u64, vp.cpu().instret());
-    assert!(rec.blocks_executed > rec.blocks_translated, "loop re-executes cached blocks");
+    assert!(
+        rec.blocks_executed > rec.blocks_translated,
+        "loop re-executes cached blocks"
+    );
     assert_eq!(rec.dev.len(), 1);
     assert_eq!(rec.dev[0].device, "uart");
     assert_eq!(rec.dev[0].value, 65);
@@ -750,9 +756,8 @@ fn csr_write_to_read_only_traps() {
 
 #[test]
 fn unimplemented_csr_traps() {
-    let vp = run_src(
-        "la t0, h\ncsrw mtvec, t0\ncsrr a1, 0x7c0\nebreak\nh: csrr a0, mcause\nebreak",
-    );
+    let vp =
+        run_src("la t0, h\ncsrw mtvec, t0\ncsrr a1, 0x7c0\nebreak\nh: csrr a0, mcause\nebreak");
     assert_eq!(gpr(&vp, A0), 2);
 }
 
@@ -840,7 +845,11 @@ fn nested_trap_without_reentrancy_is_fatal() {
     let img = assemble(src).unwrap();
     let mut vp = Vp::new(IsaConfig::rv32imc());
     vp.load(img.base(), img.bytes()).unwrap();
-    assert_eq!(vp.run_for(10_000), RunOutcome::InsnLimit, "handler livelock bounded");
+    assert_eq!(
+        vp.run_for(10_000),
+        RunOutcome::InsnLimit,
+        "handler livelock bounded"
+    );
 }
 
 #[test]
@@ -905,7 +914,10 @@ fn uart_rx_raises_external_interrupt() {
     let img = assemble(src).unwrap();
     let mut vp = Vp::new(IsaConfig::rv32imc());
     vp.load(img.base(), img.bytes()).unwrap();
-    vp.bus_mut().device_mut::<Uart>().unwrap().push_input(b"abc");
+    vp.bus_mut()
+        .device_mut::<Uart>()
+        .unwrap()
+        .push_input(b"abc");
     assert_eq!(vp.run_for(100_000), RunOutcome::Break);
     assert_eq!(gpr(&vp, A0), 3, "three rx interrupts served");
     assert_eq!(vp.bus().device::<Uart>().unwrap().output(), b"abc");

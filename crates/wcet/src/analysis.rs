@@ -353,5 +353,13 @@ fn longest_path_within(
     }
     let mut memo = HashMap::new();
     let mut on_stack = BTreeSet::new();
-    go(start, start, nodes, region, &mut memo, &mut on_stack, function)
+    go(
+        start,
+        start,
+        nodes,
+        region,
+        &mut memo,
+        &mut on_stack,
+        function,
+    )
 }

@@ -210,9 +210,7 @@ pub fn infer_bound(func: &Function, lp: &NaturalLoop) -> Option<u64> {
             .iter()
             .filter_map(|a| func.block(*a))
             .flat_map(|b| b.insns())
-            .filter(|(_, i)| {
-                i.reg_uses().effective_gpr_written().map(Gpr::index) == Some(r)
-            })
+            .filter(|(_, i)| i.reg_uses().effective_gpr_written().map(Gpr::index) == Some(r))
             .count()
     };
     let (ind, other) = if written_in_body(rs1) > 0 {

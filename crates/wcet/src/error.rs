@@ -66,10 +66,9 @@ impl fmt::Display for WcetError {
             WcetError::Irreducible { function } => {
                 write!(f, "irreducible control flow in function {function:#010x}")
             }
-            WcetError::IndirectFlow { function } => write!(
-                f,
-                "unresolvable indirect jump in function {function:#010x}"
-            ),
+            WcetError::IndirectFlow { function } => {
+                write!(f, "unresolvable indirect jump in function {function:#010x}")
+            }
             WcetError::UnknownCallee { callee } => {
                 write!(f, "callee {callee:#010x} analyzed out of order")
             }

@@ -77,11 +77,8 @@ impl TimedCfg {
             let Some(fw) = report.function(fentry) else {
                 continue;
             };
-            let loop_of: BTreeMap<u32, u64> = fw
-                .loops
-                .iter()
-                .map(|l| (l.header, l.bound))
-                .collect();
+            let loop_of: BTreeMap<u32, u64> =
+                fw.loops.iter().map(|l| (l.header, l.bound)).collect();
             // Latches come from the CFG, not the report.
             let latch_map: BTreeMap<u32, Vec<u32>> = func
                 .natural_loops()
@@ -165,8 +162,7 @@ impl TimedCfg {
                 let _ = write!(out, " bound={bound}");
             }
             if !b.latches.is_empty() {
-                let latches: Vec<String> =
-                    b.latches.iter().map(|l| format!("{l:#010x}")).collect();
+                let latches: Vec<String> = b.latches.iter().map(|l| format!("{l:#010x}")).collect();
                 let _ = write!(out, " latches={}", latches.join(","));
             }
             if !b.succs.is_empty() {
@@ -243,8 +239,8 @@ impl TimedCfg {
                                     Some(value.parse().map_err(|_| bad("bad bound"))?);
                             }
                             "latches" => {
-                                block.latches = parse_u32_list(value)
-                                    .ok_or_else(|| bad("bad latches list"))?;
+                                block.latches =
+                                    parse_u32_list(value).ok_or_else(|| bad("bad latches list"))?;
                             }
                             "succs" => {
                                 block.succs =
@@ -298,7 +294,11 @@ impl ParseTimedCfgError {
 
 impl fmt::Display for ParseTimedCfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "timed-CFG parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "timed-CFG parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

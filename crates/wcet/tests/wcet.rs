@@ -78,10 +78,7 @@ fn count_up_by_step_inferred() {
     let report = analyze(&prog, &WcetOptions::new()).expect("analyzes");
     // 0,3,6,9 → body runs at t0=0,3,6,9? After body t0=3,6,9,12; continue
     // while <10 → bodies: 4.
-    assert_eq!(
-        report.function(report.entry()).unwrap().loops[0].bound,
-        4
-    );
+    assert_eq!(report.function(report.entry()).unwrap().loops[0].bound, 4);
     assert!(dynamic_cycles(&img) <= report.total_wcet());
 }
 

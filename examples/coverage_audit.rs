@@ -65,7 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !unified.uncovered_insns().is_empty() {
         println!("never executed: {:?}", unified.uncovered_insns());
     }
-    assert!(unified.gpr_coverage().is_full(), "unified GPR coverage is 100%");
-    assert!(unified.fpr_coverage().is_full(), "unified FPR coverage is 100%");
+    assert!(
+        unified.gpr_coverage().is_full(),
+        "unified GPR coverage is 100%"
+    );
+    assert!(
+        unified.fpr_coverage().is_full(),
+        "unified FPR coverage is 100%"
+    );
     Ok(())
 }

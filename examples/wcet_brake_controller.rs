@@ -87,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let static_wcet = report.total_wcet();
     println!(
         "\ndeadline check: WCET {static_wcet} cycles vs deadline {DEADLINE_CYCLES} → {}",
-        if static_wcet <= DEADLINE_CYCLES { "MET" } else { "MISSED" }
+        if static_wcet <= DEADLINE_CYCLES {
+            "MET"
+        } else {
+            "MISSED"
+        }
     );
 
     // Co-simulate across different sensor traces: calm, aggressive, noisy.

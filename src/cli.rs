@@ -5,9 +5,10 @@
 //! their output as a `String` so they are directly testable.
 
 use crate::prelude::*;
-use s4e_cfg::program_to_dot;
+use s4e_cfg::{program_to_dot, program_to_dot_annotated};
 use s4e_vp::dev::{Syscon, Uart};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// A CLI usage or execution error, with the message shown to the user.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +41,7 @@ COMMANDS:
     wcet      static WCET analysis report
     qta       WCET-annotated co-simulation (dynamic / QTA / static)
     coverage  instruction and register coverage of one run
+    profile   hot-block execution profile of one run
     campaign  coverage-driven fault-injection campaign (alias: faults)
 
 OPTIONS:
@@ -54,6 +56,10 @@ OPTIONS:
     --checkpoint <path>                          stream per-mutant results to a JSONL file
     --resume                                     skip mutants already in --checkpoint
     --max-insns <n>                              execution budget [100000000]
+    --metrics-out <path>                         write a metrics snapshot as JSON (run/profile/qta/campaign)
+    --progress                                   live status line on stderr (run/profile/campaign)
+    --dot-out <path>                             write the execution-annotated CFG (profile)
+    --top <n>                                    hot-block table rows (profile) [10]
 ";
 
 struct Options {
@@ -68,6 +74,10 @@ struct Options {
     max_insns: u64,
     emit_tcfg: Option<String>,
     tcfg: Option<String>,
+    metrics_out: Option<String>,
+    progress: bool,
+    dot_out: Option<String>,
+    top: usize,
 }
 
 fn parse_isa(name: &str) -> Result<IsaConfig, CliError> {
@@ -94,6 +104,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         max_insns: 100_000_000,
         emit_tcfg: None,
         tcfg: None,
+        metrics_out: None,
+        progress: false,
+        dot_out: None,
+        top: 10,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -139,6 +153,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| CliError::new("bad --max-insns value"))?;
             }
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--progress" => opts.progress = true,
+            "--dot-out" => opts.dot_out = Some(value("--dot-out")?),
+            "--top" => {
+                opts.top = value("--top")?
+                    .parse()
+                    .map_err(|_| CliError::new("bad --top value"))?;
+            }
             other => return Err(CliError::new(format!("unknown option `{other}`"))),
         }
     }
@@ -162,6 +184,56 @@ fn wcet_options(image: &Image, opts: &Options) -> Result<WcetOptions, CliError> 
         bounds,
         ..WcetOptions::new()
     })
+}
+
+fn write_metrics(path: &str, snapshot: &Snapshot, out: &mut String) -> Result<(), CliError> {
+    std::fs::write(path, snapshot.to_json() + "\n")
+        .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+    let _ = writeln!(out, "metrics written to {path}");
+    Ok(())
+}
+
+/// A background stderr ticker for a live VP run: while the simulation
+/// loop owns the VP, this thread reads the profiler's shared registry
+/// and reports retirement throughput. Dropping the guard stops it.
+struct RunTicker {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunTicker {
+    fn start(registry: Arc<MetricsRegistry>) -> RunTicker {
+        use std::sync::atomic::Ordering;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let insns = registry.counter(crate::obs::names::INSN_RETIRED);
+            let started = std::time::Instant::now();
+            loop {
+                std::thread::park_timeout(std::time::Duration::from_millis(500));
+                let n = insns.value();
+                let rate = n as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                eprintln!("run: {n} insns ({rate:.0}/s)");
+                if thread_stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        });
+        RunTicker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for RunTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Runs one CLI invocation. `args` excludes the program name.
@@ -216,7 +288,20 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
             let mut vp = Vp::new(opts.isa);
             crate::boot(&mut vp, &image)
                 .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
+            if opts.metrics_out.is_some() || opts.progress {
+                vp.add_plugin(Box::new(ProfilePlugin::new()));
+            }
+            let ticker = if opts.progress {
+                let registry = vp
+                    .plugin::<ProfilePlugin>()
+                    .expect("attached above")
+                    .registry();
+                Some(RunTicker::start(Arc::clone(registry)))
+            } else {
+                None
+            };
             let outcome = vp.run_for(opts.max_insns);
+            drop(ticker);
             let _ = writeln!(out, "outcome : {outcome:?}");
             let _ = writeln!(out, "a0      : {}", vp.cpu().gpr(Gpr::A0));
             let _ = writeln!(out, "insns   : {}", vp.cpu().instret());
@@ -232,6 +317,13 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
                 if !bytes.is_empty() {
                     let _ = writeln!(out, "console : {}", String::from_utf8_lossy(&bytes));
                 }
+            }
+            if let Some(path) = &opts.metrics_out {
+                let snap = vp
+                    .plugin::<ProfilePlugin>()
+                    .expect("attached above")
+                    .snapshot();
+                write_metrics(path, &snap, &mut out)?;
             }
         }
         "disasm" => {
@@ -318,6 +410,9 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
                     v.header, v.bound, v.observed
                 );
             }
+            if let Some(path) = &opts.metrics_out {
+                write_metrics(path, &run.metrics, &mut out)?;
+            }
         }
         "coverage" => {
             let mut vp = Vp::new(opts.isa);
@@ -332,6 +427,59 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
                 .report();
             out.push_str(&report.summary_table());
         }
+        "profile" => {
+            let mut vp = Vp::new(opts.isa);
+            crate::boot(&mut vp, &image)
+                .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
+            vp.add_plugin(Box::new(ProfilePlugin::new()));
+            let ticker = if opts.progress {
+                let registry = vp
+                    .plugin::<ProfilePlugin>()
+                    .expect("attached above")
+                    .registry();
+                Some(RunTicker::start(Arc::clone(registry)))
+            } else {
+                None
+            };
+            let outcome = vp.run_for(opts.max_insns);
+            drop(ticker);
+            let instret = vp.cpu().instret();
+            let profile = vp.plugin::<ProfilePlugin>().expect("attached above");
+            let snap = profile.snapshot();
+            let _ = writeln!(out, "outcome: {outcome:?}");
+            let _ = writeln!(out, "insns  : {instret}");
+            let _ = writeln!(
+                out,
+                "blocks : {} translated, {} entries",
+                snap.counter(crate::obs::names::BLOCKS_TRANSLATED)
+                    .unwrap_or(0),
+                snap.counter(crate::obs::names::BLOCK_EXECS).unwrap_or(0)
+            );
+            let _ = writeln!(
+                out,
+                "memory : {} reads, {} writes",
+                snap.counter(crate::obs::names::MEM_READS).unwrap_or(0),
+                snap.counter(crate::obs::names::MEM_WRITES).unwrap_or(0)
+            );
+            let traps = snap.counter(crate::obs::names::TRAPS).unwrap_or(0);
+            if traps > 0 {
+                let _ = writeln!(out, "traps  : {traps}");
+            }
+            out.push_str(&profile.hot_block_table(opts.top));
+            if let Some(path) = &opts.dot_out {
+                let counts = profile.block_exec_counts();
+                let mut prog =
+                    Program::from_bytes(image.base(), image.bytes(), image.entry(), &opts.isa)
+                        .map_err(|e| CliError::new(format!("CFG reconstruction failed: {e}")))?;
+                prog.apply_symbols(image.symbols().iter().map(|(n, &a)| (n.as_str(), a)));
+                std::fs::write(path, program_to_dot_annotated(&prog, &counts))
+                    .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+                let _ = writeln!(out, "annotated CFG written to {path}");
+            }
+            if let Some(path) = &opts.metrics_out {
+                write_metrics(path, &snap, &mut out)?;
+            }
+        }
         "faults" | "campaign" => {
             if opts.resume && opts.checkpoint.is_none() {
                 return Err(CliError::new("--resume needs --checkpoint <path>"));
@@ -340,8 +488,15 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
             if opts.timeout_ms > 0 {
                 cfg = cfg.timeout(std::time::Duration::from_millis(opts.timeout_ms));
             }
-            let campaign = Campaign::prepare(image.base(), image.bytes(), image.entry(), &cfg)
+            let mut campaign = Campaign::prepare(image.base(), image.bytes(), image.entry(), &cfg)
                 .map_err(|e| CliError::new(format!("campaign preparation failed: {e}")))?;
+            let progress = if opts.progress || opts.metrics_out.is_some() {
+                let progress = Arc::new(CampaignProgress::new());
+                campaign.set_progress(Arc::clone(&progress));
+                Some(progress)
+            } else {
+                None
+            };
             let gen = GeneratorConfig {
                 stuck_per_gpr: opts.mutants,
                 transient_per_gpr: opts.mutants,
@@ -352,6 +507,9 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
             };
             let mutants = generate_mutants(campaign.golden().trace(), &gen);
             let cancel = CancelToken::new();
+            let ticker = progress.as_ref().filter(|_| opts.progress).map(|p| {
+                ProgressTicker::start(Arc::clone(p), std::time::Duration::from_millis(500))
+            });
             let report = match &opts.checkpoint {
                 Some(path) if opts.resume => campaign
                     .resume(&mutants, path, &cancel)
@@ -366,6 +524,7 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
                 }
                 None => campaign.run_all(&mutants),
             };
+            drop(ticker);
             out.push_str(&report.summary_table());
             if let Some(path) = &opts.checkpoint {
                 let _ = writeln!(out, "checkpoint: {path}");
@@ -386,9 +545,14 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
                 let _ = writeln!(out, "first silent-corruption mutants:");
                 let _ = writeln!(out, "{}", suspects.join("\n"));
             }
+            if let (Some(progress), Some(path)) = (&progress, &opts.metrics_out) {
+                write_metrics(path, &progress.snapshot(), &mut out)?;
+            }
         }
         other => {
-            return Err(CliError::new(format!("unknown command `{other}`\n\n{USAGE}")));
+            return Err(CliError::new(format!(
+                "unknown command `{other}`\n\n{USAGE}"
+            )));
         }
     }
     Ok(out)

@@ -13,6 +13,7 @@
 //! | [`qta`] | `s4e-core` | the QEMU Timing Analyzer: WCET-annotated co-simulation |
 //! | [`coverage`] | `s4e-coverage` | instruction-type / register coverage metric |
 //! | [`faultsim`] | `s4e-faultsim` | coverage-driven fault-effect campaigns |
+//! | [`obs`] | `s4e-obs` | metrics registry, hot-block profiler, live campaign progress |
 //! | [`torture`] | `s4e-torture` | directed suites + random test-program generation |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@ pub use s4e_core as qta;
 pub use s4e_coverage as coverage;
 pub use s4e_faultsim as faultsim;
 pub use s4e_isa as isa;
+pub use s4e_obs as obs;
 pub use s4e_torture as torture;
 pub use s4e_vp as vp;
 pub use s4e_wcet as wcet;
@@ -82,10 +84,12 @@ pub mod prelude {
     pub use s4e_core::{QtaPlugin, QtaRun, QtaSession};
     pub use s4e_coverage::{CoveragePlugin, CoverageReport};
     pub use s4e_faultsim::{
-        generate_mutants, Campaign, CampaignConfig, CampaignReport, CampaignSink, FaultKind,
-        FaultOutcome, FaultResult, FaultSpec, FaultTarget, GeneratorConfig, JsonlSink,
+        generate_mutants, Campaign, CampaignConfig, CampaignProgress, CampaignReport, CampaignSink,
+        FaultKind, FaultOutcome, FaultResult, FaultSpec, FaultTarget, GeneratorConfig, JsonlSink,
+        ProgressTicker,
     };
     pub use s4e_isa::{decode, disassemble, Extension, Gpr, Insn, InsnKind, IsaConfig};
+    pub use s4e_obs::{MetricsRegistry, ProfilePlugin, Snapshot};
     pub use s4e_torture::{architectural_suite, torture_program, unit_suite, TortureConfig};
     pub use s4e_vp::{CancelToken, Plugin, RunOutcome, TimingModel, Vp};
     pub use s4e_wcet::{analyze, LoopBounds, TimedCfg, WcetOptions};

@@ -120,12 +120,7 @@ fn rvc_option_shrinks_disasm() {
 
 #[test]
 fn max_insns_budget() {
-    let out = run_command(
-        "run",
-        "loop: j loop",
-        &["--max-insns", "1000"],
-    )
-    .expect("runs");
+    let out = run_command("run", "loop: j loop", &["--max-insns", "1000"]).expect("runs");
     assert!(out.contains("InsnLimit"), "{out}");
 }
 
@@ -147,5 +142,111 @@ fn two_step_flow_emit_and_consume_tcfg() {
 
     let out = run_command("qta", LOOP_PROGRAM, &["--tcfg", tcfg_str]).expect("qta from tcfg");
     assert!(out.contains("invariant chain: true"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_hot_block_table() {
+    let out = run_command("profile", LOOP_PROGRAM, &["--isa", "rv32i"]).expect("profile");
+    assert!(out.contains("hot blocks"), "{out}");
+    assert!(out.contains("block-attributed insns: 12"), "{out}");
+    assert!(out.contains("insns  : 12"), "{out}");
+}
+
+#[test]
+fn profile_writes_annotated_dot_and_metrics() {
+    let dir = std::env::temp_dir().join("s4e_cli_profile_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dot = dir.join("prog.dot");
+    let metrics = dir.join("prog.json");
+    let out = run_command(
+        "profile",
+        LOOP_PROGRAM,
+        &[
+            "--isa",
+            "rv32i",
+            "--dot-out",
+            dot.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    )
+    .expect("profile");
+    assert!(out.contains("annotated CFG written"), "{out}");
+    assert!(out.contains("metrics written"), "{out}");
+
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.contains("execs:"), "{dot_text}");
+
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    let snap = scale4edge::obs::Snapshot::from_json(&json).expect("parseable metrics JSON");
+    assert_eq!(snap.counter(scale4edge::obs::names::INSN_RETIRED), Some(12));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_metrics_out_emits_parseable_json() {
+    let dir = std::env::temp_dir().join("s4e_cli_run_metrics_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("run.json");
+    let out = run_command(
+        "run",
+        "li a0, 42\nebreak",
+        &["--metrics-out", metrics.to_str().unwrap()],
+    )
+    .expect("runs");
+    assert!(out.contains("metrics written"), "{out}");
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    let snap = scale4edge::obs::Snapshot::from_json(&json).expect("parseable metrics JSON");
+    assert_eq!(snap.counter(scale4edge::obs::names::INSN_RETIRED), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn qta_metrics_out_has_timing_histograms() {
+    let dir = std::env::temp_dir().join("s4e_cli_qta_metrics_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("qta.json");
+    let out = run_command(
+        "qta",
+        LOOP_PROGRAM,
+        &["--metrics-out", metrics.to_str().unwrap()],
+    )
+    .expect("qta");
+    assert!(out.contains("metrics written"), "{out}");
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    let snap = scale4edge::obs::Snapshot::from_json(&json).expect("parseable metrics JSON");
+    assert!(snap.histogram("qta_slack_cycles").is_some(), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_metrics_out_counts_every_mutant() {
+    let dir = std::env::temp_dir().join("s4e_cli_campaign_metrics_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("campaign.json");
+    let out = run_command(
+        "campaign",
+        "li a0, 1\nli a1, 2\nadd a0, a0, a1\nla t0, d\nsw a0, 0(t0)\nebreak\nd: .word 0",
+        &[
+            "--mutants",
+            "1",
+            "--isa",
+            "rv32imc",
+            "--threads",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    )
+    .expect("campaign");
+    assert!(out.contains("metrics written"), "{out}");
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    let snap = scale4edge::obs::Snapshot::from_json(&json).expect("parseable metrics JSON");
+    let done = snap
+        .counter("campaign_done")
+        .expect("campaign_done present");
+    assert!(done > 0, "{json}");
+    assert_eq!(snap.gauge("campaign_total"), Some(done), "{json}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -50,8 +50,13 @@ fn full_pipeline_one_program() {
     assert!(cov.insn_count(InsnKind::Jalr) > 0, "ret executed");
 
     // CFG: two functions, one loop, acyclic call graph.
-    let prog = Program::from_bytes(image.base(), image.bytes(), image.entry(), &IsaConfig::full())
-        .expect("reconstructs");
+    let prog = Program::from_bytes(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        &IsaConfig::full(),
+    )
+    .expect("reconstructs");
     assert_eq!(prog.functions().len(), 2);
     assert_eq!(prog.entry_function().natural_loops().len(), 1);
     assert!(prog.recursion_cycle().is_none());
@@ -65,7 +70,11 @@ fn full_pipeline_one_program() {
         &WcetOptions::new(),
     )
     .expect("prepares");
-    let f = session.report().expect("prepared with analysis").function(image.entry()).unwrap();
+    let f = session
+        .report()
+        .expect("prepared with analysis")
+        .function(image.entry())
+        .unwrap();
     assert_eq!(f.loops[0].bound, 12, "loop bound inferred through the call");
     let run = session.run().expect("runs");
     assert!(run.invariant_holds(), "{run:?}");
