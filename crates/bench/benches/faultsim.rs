@@ -1,10 +1,13 @@
 //! Ablation A4: mutant-classification cost — full golden-state comparison
-//! (registers + memory) vs exit-code-plus-registers-only.
+//! (registers + memory) vs exit-code-plus-registers-only — and A5: the
+//! golden-prefix fast-forward against the legacy full re-run.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use s4e_bench::build;
-use s4e_faultsim::{generate_mutants, Campaign, CampaignConfig, GeneratorConfig};
-use s4e_isa::IsaConfig;
+use s4e_faultsim::{
+    generate_mutants, Campaign, CampaignConfig, FaultKind, FaultSpec, FaultTarget, GeneratorConfig,
+};
+use s4e_isa::{Gpr, IsaConfig};
 use s4e_torture::{torture_program, TortureConfig};
 
 fn bench_faultsim(c: &mut Criterion) {
@@ -38,5 +41,38 @@ fn bench_faultsim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_faultsim);
+fn bench_fast_forward(c: &mut Criterion) {
+    let isa = IsaConfig::rv32imc();
+    let program = torture_program(&TortureConfig::new(0xfa_57).insns(250).isa(isa));
+    let image = build(&program.source, isa);
+
+    let mut group = c.benchmark_group("fast_forward");
+    for (label, fast_forward) in [("legacy", false), ("fast_forward", true)] {
+        let campaign = Campaign::prepare(
+            image.base(),
+            image.bytes(),
+            image.entry(),
+            &CampaignConfig::new().isa(isa).fast_forward(fast_forward),
+        )
+        .expect("prepares");
+        // Blind-in-time transients over twice the golden length, the same
+        // shape `bench_campaign` measures at acceptance scale.
+        let golden_len = campaign.golden().instret();
+        let mutants: Vec<FaultSpec> = (0..8u8)
+            .flat_map(|bit| {
+                (0..10u64).map(move |t| FaultSpec {
+                    target: FaultTarget::GprBit { reg: Gpr::A0, bit },
+                    kind: FaultKind::Transient {
+                        at_insn: t * 2 * golden_len / 9,
+                    },
+                })
+            })
+            .collect();
+        group.throughput(Throughput::Elements(mutants.len() as u64));
+        group.bench_function(label, |b| b.iter(|| campaign.run_all(&mutants)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faultsim, bench_fast_forward);
 criterion_main!(benches);

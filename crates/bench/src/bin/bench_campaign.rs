@@ -1,0 +1,173 @@
+//! **Experiment C1** — campaign-throughput gain from golden-prefix
+//! fast-forward, plus the bare interpreter-dispatch fast path.
+//!
+//! Two measurements, written to `BENCH_campaign.json`:
+//!
+//! 1. A 1120-mutant fault campaign (the acceptance-sweep shape: 32 bits
+//!    × 35 injection times, blind-in-time over twice the golden length)
+//!    run with fast-forward off and on. The reports must be
+//!    classification-identical; the shape target is ≥ 3x throughput.
+//! 2. Bare dispatch: a branch-heavy kernel run with the reference
+//!    dispatch (`HashMap` probe, refcount clone and interrupt poll per
+//!    dispatched block) and with the fast path (direct-mapped jump
+//!    cache, no refcount traffic, throttled interrupt sampling); shape
+//!    target ≥ 1.2x.
+
+use s4e_bench::build;
+use s4e_bench::kernels::{matmul, state_machine};
+use s4e_faultsim::{Campaign, CampaignConfig, FaultKind, FaultSpec, FaultTarget};
+use s4e_isa::{Gpr, IsaConfig};
+use s4e_vp::{RunOutcome, Vp};
+use std::time::Instant;
+
+fn main() {
+    let isa = IsaConfig::full();
+    let image = build(&matmul(10).source, isa);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
+
+    // --- campaign throughput -------------------------------------------
+    let prepare = |fast_forward: bool| {
+        Campaign::prepare(
+            image.base(),
+            image.bytes(),
+            image.entry(),
+            &CampaignConfig::new()
+                .isa(isa)
+                .threads(threads)
+                .fast_forward(fast_forward),
+        )
+        .expect("prepares")
+    };
+    let fast = prepare(true);
+    let slow = prepare(false);
+    assert!(fast.fast_forward_active());
+
+    // The acceptance-sweep shape: 32 bits × 35 times = 1120 transients,
+    // sampled blind in time (a real SEU campaign does not know when the
+    // workload finishes, so injection times run past the golden length).
+    let golden_len = fast.golden().instret();
+    let specs: Vec<FaultSpec> = (0..32u8)
+        .flat_map(|bit| {
+            (0..35u64).map(move |t| FaultSpec {
+                target: FaultTarget::GprBit { reg: Gpr::A0, bit },
+                kind: FaultKind::Transient {
+                    at_insn: t * 2 * golden_len / 34,
+                },
+            })
+        })
+        .collect();
+    assert_eq!(specs.len(), 1120);
+
+    let t0 = Instant::now();
+    let legacy_report = slow.run_all(&specs);
+    let legacy_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let ff_report = fast.run_all(&specs);
+    let ff_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        legacy_report.results(),
+        ff_report.results(),
+        "fast-forward must be classification-identical"
+    );
+    let campaign_speedup = legacy_s / ff_s;
+
+    println!("# C1 — campaign fast-forward throughput");
+    println!();
+    println!("golden instret: {golden_len}, budget: {}", fast.budget());
+    println!();
+    println!("| mode | mutants | wall time | mutants/s |");
+    println!("|---|---|---|---|");
+    println!(
+        "| legacy (full re-run) | {} | {legacy_s:.3} s | {:.0} |",
+        legacy_report.total(),
+        legacy_report.total() as f64 / legacy_s
+    );
+    println!(
+        "| fast-forward | {} | {ff_s:.3} s | {:.0} |",
+        ff_report.total(),
+        ff_report.total() as f64 / ff_s
+    );
+    println!();
+    println!("campaign speedup: {campaign_speedup:.2}x");
+
+    // --- bare dispatch -------------------------------------------------
+    // A branch-heavy kernel (short blocks, so dispatch overhead is not
+    // amortized away by long straight-line runs). One VP per
+    // configuration, reset between runs by restoring a post-load
+    // snapshot (identical cost on both sides); the measurement window is
+    // time-based so each side runs long enough to be stable.
+    let branchy = build(&state_machine(128).source, isa);
+    let dispatch = |fast: bool| {
+        let mut vp = Vp::builder().isa(isa).fast_dispatch(fast).build();
+        vp.load(branchy.base(), branchy.bytes()).expect("fits RAM");
+        vp.cpu_mut().set_pc(branchy.entry());
+        let boot = vp.snapshot();
+        let mut insns = 0u64;
+        let mut per_run = 0u64;
+        let mut runs = 0u32;
+        let t0 = Instant::now();
+        while runs < 20 || t0.elapsed().as_secs_f64() < 0.5 {
+            vp.restore(&boot);
+            let outcome = vp.run_for(200_000_000);
+            assert_eq!(outcome, RunOutcome::Break);
+            per_run = vp.cpu().instret();
+            insns += per_run;
+            runs += 1;
+        }
+        (per_run, insns, t0.elapsed().as_secs_f64())
+    };
+    let (run_off, insns_off, off_s) = dispatch(false);
+    let (run_on, insns_on, on_s) = dispatch(true);
+    assert_eq!(run_on, run_off, "dispatch mode must not change results");
+    let mips_off = insns_off as f64 / off_s / 1e6;
+    let mips_on = insns_on as f64 / on_s / 1e6;
+    let dispatch_speedup = mips_on / mips_off;
+
+    println!();
+    println!("# bare dispatch (fast path vs reference)");
+    println!();
+    println!("| mode | insns | wall time | MIPS |");
+    println!("|---|---|---|---|");
+    println!("| reference dispatch | {insns_off} | {off_s:.3} s | {mips_off:.1} |");
+    println!("| fast path | {insns_on} | {on_s:.3} s | {mips_on:.1} |");
+    println!();
+    println!("dispatch speedup: {dispatch_speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"mutants\": {},\n  \"golden_instret\": {},\n  \"budget\": {},\n  \
+         \"threads\": {},\n  \"legacy_s\": {:.6},\n  \"fast_forward_s\": {:.6},\n  \
+         \"campaign_speedup\": {:.3},\n  \"classification_identical\": true,\n  \
+         \"dispatch_insns\": {},\n  \"reference_dispatch_mips\": {:.3},\n  \
+         \"fast_dispatch_mips\": {:.3},\n  \"dispatch_speedup\": {:.3}\n}}\n",
+        specs.len(),
+        golden_len,
+        fast.budget(),
+        threads,
+        legacy_s,
+        ff_s,
+        campaign_speedup,
+        insns_on,
+        mips_off,
+        mips_on,
+        dispatch_speedup,
+    );
+    std::fs::write("BENCH_campaign.json", json).expect("writes BENCH_campaign.json");
+    println!();
+    println!("wrote BENCH_campaign.json");
+
+    assert!(
+        campaign_speedup >= 3.0,
+        "shape: fast-forward should gain >= 3x on the blind-in-time sweep \
+         (got {campaign_speedup:.2}x)"
+    );
+    assert!(
+        dispatch_speedup >= 1.2,
+        "shape: the jump cache should gain >= 1.2x on bare dispatch \
+         (got {dispatch_speedup:.2}x)"
+    );
+    println!("C1 shape check: PASS");
+}

@@ -2,12 +2,13 @@
 //! with outcome classification, and scalable parallel sweeps.
 
 use crate::fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
+use crate::prefix::{PrefixCache, PrefixEntry};
 use crate::progress::CampaignProgress;
 use crate::runner::MutantHook;
 use crate::trace::{ExecTrace, TracePlugin};
 use core::fmt;
-use s4e_isa::{Gpr, IsaConfig};
-use s4e_vp::{BusFault, CancelToken, RunOutcome, TimingModel, Vp};
+use s4e_isa::{Csr, Gpr, IsaConfig};
+use s4e_vp::{BusFault, CancelToken, RunOutcome, TimingModel, Vp, VpBuilder};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -62,6 +63,14 @@ impl From<BusFault> for CampaignError {
 }
 
 /// Campaign configuration.
+///
+/// Field lifetimes split two ways. `isa`, `ram_size`, `budget_multiplier`
+/// and `compare_memory` are **per-campaign**: they are baked into the
+/// golden run, the derived instruction budget and the hoisted VP builder
+/// at [`Campaign::prepare`] time, so changing any of them requires
+/// preparing a new campaign. `threads`, `timeout` and `fast_forward` are
+/// **per-sweep execution policy**: they steer how mutants are scheduled,
+/// supervised and accelerated without affecting any classification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Target ISA of the simulated core.
@@ -83,11 +92,20 @@ pub struct CampaignConfig {
     /// [`FaultOutcome::Cancelled`]. `None` (the default) bounds mutants by
     /// instruction budget only.
     pub timeout: Option<Duration>,
+    /// Whether [`Campaign::run_all`] may use golden-prefix fast-forward:
+    /// the golden execution is replayed once to each distinct injection
+    /// point, snapshotted there, and workers restore the shared snapshot
+    /// instead of re-simulating the fault-free prefix per mutant.
+    /// Classifications are identical either way; this is purely a
+    /// throughput switch (on by default). Campaigns whose golden run arms
+    /// interrupts fall back to the legacy full re-run automatically — see
+    /// [`Campaign::fast_forward_active`].
+    pub fast_forward: bool,
 }
 
 impl CampaignConfig {
     /// Defaults: RV32IMC, 256 KiB RAM, 4× budget, single thread, memory
-    /// comparison on, no wall-clock watchdog.
+    /// comparison on, no wall-clock watchdog, fast-forward enabled.
     pub fn new() -> CampaignConfig {
         CampaignConfig {
             isa: IsaConfig::rv32imc(),
@@ -96,6 +114,7 @@ impl CampaignConfig {
             threads: 1,
             compare_memory: true,
             timeout: None,
+            fast_forward: true,
         }
     }
 
@@ -134,6 +153,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn compare_memory(mut self, on: bool) -> CampaignConfig {
         self.compare_memory = on;
+        self
+    }
+
+    /// Enables or disables golden-prefix fast-forward (the A-to-B
+    /// comparison switch; classifications are identical either way).
+    #[must_use]
+    pub fn fast_forward(mut self, on: bool) -> CampaignConfig {
+        self.fast_forward = on;
         self
     }
 
@@ -232,8 +259,15 @@ pub struct Campaign {
     bytes: Vec<u8>,
     entry: u32,
     config: CampaignConfig,
+    /// The VP recipe (ISA, RAM geometry, timing model), assembled once at
+    /// prepare time and cloned per VP — per-mutant work is a clone and a
+    /// build, not a re-derivation of the configuration.
+    vp_builder: VpBuilder,
     golden: GoldenRun,
     budget: u64,
+    /// Whether the golden run stayed interrupt-free (`mie == 0`
+    /// throughout), making split prefix replay bit-exact.
+    prefix_eligible: bool,
     mutant_hook: Option<MutantHook>,
     progress: Option<std::sync::Arc<CampaignProgress>>,
 }
@@ -245,6 +279,7 @@ impl fmt::Debug for Campaign {
             .field("entry", &self.entry)
             .field("config", &self.config)
             .field("budget", &self.budget)
+            .field("prefix_eligible", &self.prefix_eligible)
             .field("mutant_hook", &self.mutant_hook.is_some())
             .field("progress", &self.progress.is_some())
             .finish_non_exhaustive()
@@ -268,13 +303,22 @@ impl Campaign {
         config: &CampaignConfig,
     ) -> Result<Campaign, CampaignError> {
         config.validate()?;
-        let mut vp = Self::build_vp(base, bytes, entry, config)?;
+        let vp_builder = Vp::builder()
+            .isa(config.isa)
+            .ram(base & !0xfff, config.ram_size)
+            .timing(TimingModel::flat());
+        let mut vp = Self::boot_vp(&vp_builder, base, bytes, entry)?;
         vp.add_plugin(Box::new(TracePlugin::new()));
         let outcome = vp.run_for(50_000_000);
         if !outcome.is_normal_termination() {
             return Err(CampaignError::GoldenAbnormal { outcome });
         }
         let trace = vp.plugin::<TracePlugin>().expect("trace attached").trace();
+        // The per-insn trace check misses one arming pattern: `mie` set
+        // by the very last retired instruction. The final-state check
+        // closes that window (nothing but a CSR write changes `mie`).
+        let interrupts_armed =
+            trace.interrupts_armed || vp.cpu().csr_read(Csr::MIE).unwrap_or(0) != 0;
         let golden = GoldenRun {
             outcome,
             instret: vp.cpu().instret(),
@@ -293,8 +337,10 @@ impl Campaign {
             bytes: bytes.to_vec(),
             entry,
             config: config.clone(),
+            vp_builder,
             golden,
             budget,
+            prefix_eligible: !interrupts_armed,
             mutant_hook: None,
             progress: None,
         })
@@ -341,20 +387,59 @@ impl Campaign {
         self.progress.as_ref()
     }
 
-    fn build_vp(
+    /// Builds a VP from the hoisted recipe and boots the campaign image
+    /// on it. Static because `prepare` needs it before `self` exists.
+    fn boot_vp(
+        builder: &VpBuilder,
         base: u32,
         bytes: &[u8],
         entry: u32,
-        config: &CampaignConfig,
     ) -> Result<Vp, CampaignError> {
-        let mut vp = Vp::builder()
-            .isa(config.isa)
-            .ram(base & !0xfff, config.ram_size)
-            .timing(TimingModel::flat())
-            .build();
+        let mut vp = builder.clone().build();
         vp.load(base, bytes)?;
         vp.cpu_mut().set_pc(entry);
         Ok(vp)
+    }
+
+    /// A freshly booted mutant VP (the legacy, non-fast-forward path).
+    fn loaded_vp(&self) -> Vp {
+        Self::boot_vp(&self.vp_builder, self.base, &self.bytes, self.entry)
+            .expect("golden run proved the image loads")
+    }
+
+    /// Whether `run_all` will fast-forward mutants through shared golden
+    /// snapshots: requires [`CampaignConfig::fast_forward`] *and* an
+    /// interrupt-free golden run (`mie == 0` throughout). Replaying a
+    /// prefix in several `run_for` segments adds interrupt-sample points
+    /// at the seams, which is bit-exact only when no interrupt can be
+    /// delivered; otherwise every mutant re-runs its prefix legacy-style.
+    pub fn fast_forward_active(&self) -> bool {
+        self.config.fast_forward && self.prefix_eligible
+    }
+
+    /// The retired-instruction count at which `spec` injects, clamped to
+    /// the campaign budget — mirrors the legacy warmup computation
+    /// exactly (stuck-at faults and time-zero transients inject before
+    /// execution starts).
+    pub(crate) fn injection_point(&self, spec: &FaultSpec) -> u64 {
+        match spec.kind {
+            FaultKind::StuckAt { .. } => 0,
+            FaultKind::Transient { at_insn } => at_insn.min(self.budget),
+        }
+    }
+
+    /// Plans the shared golden-prefix cache for a sweep over `specs`, or
+    /// `None` when fast-forward is off or the golden run is ineligible.
+    pub(crate) fn prefix_cache(&self, specs: &[FaultSpec]) -> Option<PrefixCache> {
+        if !self.fast_forward_active() || specs.is_empty() {
+            return None;
+        }
+        let mut points: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        for spec in specs {
+            *points.entry(self.injection_point(spec)).or_insert(0) += 1;
+        }
+        let golden = Self::boot_vp(&self.vp_builder, self.base, &self.bytes, self.entry).ok()?;
+        Some(PrefixCache::new(golden, points))
     }
 
     /// Runs one mutant and classifies its effect.
@@ -378,57 +463,27 @@ impl Campaign {
     }
 
     fn execute_mutant(&self, spec: &FaultSpec, cancel: Option<&CancelToken>) -> FaultOutcome {
-        let mut vp = Self::build_vp(self.base, &self.bytes, self.entry, &self.config)
-            .expect("golden run proved the image loads");
+        let mut vp = self.loaded_vp();
         let run = |vp: &mut Vp, budget: u64| match cancel {
             Some(token) => vp.run_until(budget, token),
             None => vp.run_for(budget),
         };
-        // Static faults and time-zero transients are planted before
-        // execution.
-        let inject_now = |vp: &mut Vp| match spec.target {
-            FaultTarget::GprBit { reg, bit } => vp.cpu_mut().flip_gpr_bit(reg, bit),
-            FaultTarget::FprBit { reg, bit } => vp.cpu_mut().flip_fpr_bit(reg, bit),
-            FaultTarget::MemBit { addr, bit } => {
-                if let Some(byte) = vp.bus_mut().ram_byte_mut(addr) {
-                    *byte ^= 1 << bit;
-                }
-            }
-        };
         let run_remaining = match spec.kind {
+            // Static faults and time-zero transients are planted before
+            // execution.
             FaultKind::StuckAt { value } => {
-                match spec.target {
-                    FaultTarget::GprBit { reg, bit } => {
-                        vp.cpu_mut().plant_gpr_fault(reg, bit, value);
-                    }
-                    FaultTarget::FprBit { reg, bit } => {
-                        // Approximated as a time-zero forced value (see
-                        // FaultTarget docs).
-                        vp.cpu_mut().set_fpr_bit(reg, bit, value);
-                    }
-                    FaultTarget::MemBit { addr, bit } => {
-                        // Approximated as a time-zero flip to the stuck
-                        // value (see FaultKind docs).
-                        if let Some(byte) = vp.bus_mut().ram_byte_mut(addr) {
-                            if value {
-                                *byte |= 1 << bit;
-                            } else {
-                                *byte &= !(1 << bit);
-                            }
-                        }
-                    }
-                }
+                Self::plant_stuck_at(&mut vp, spec.target, value);
                 self.budget
             }
             FaultKind::Transient { at_insn: 0 } => {
-                inject_now(&mut vp);
+                Self::inject_flip(&mut vp, spec.target);
                 self.budget
             }
             FaultKind::Transient { at_insn } => {
                 let warmup = at_insn.min(self.budget);
                 match run(&mut vp, warmup) {
                     RunOutcome::InsnLimit => {
-                        inject_now(&mut vp);
+                        Self::inject_flip(&mut vp, spec.target);
                         self.budget - warmup
                     }
                     // Terminated before the injection time: the fault
@@ -439,6 +494,88 @@ impl Campaign {
         };
         let outcome = run(&mut vp, run_remaining.max(1));
         self.classify(&mut vp, outcome)
+    }
+
+    /// Executes one mutant from a shared golden-prefix snapshot: restore
+    /// into the worker's reusable VP (`slot`), inject, and run only the
+    /// post-injection suffix. Classification-identical to
+    /// [`execute_mutant`](Self::execute_mutant), step for step.
+    pub(crate) fn execute_mutant_fast(
+        &self,
+        spec: &FaultSpec,
+        cancel: Option<&CancelToken>,
+        entry: &PrefixEntry,
+        slot: &mut Option<Vp>,
+    ) -> FaultOutcome {
+        let vp = slot.get_or_insert_with(|| self.vp_builder.clone().build());
+        vp.restore(&entry.snapshot);
+        if let Some(outcome) = entry.terminal {
+            // The golden run terminated at or before the injection point:
+            // the fault never manifested. Classify the restored terminal
+            // state directly — resuming a terminated VP would re-execute
+            // its final instruction. Mirrors the legacy early return.
+            return self.classify(vp, outcome);
+        }
+        let run_remaining = match spec.kind {
+            FaultKind::StuckAt { value } => {
+                Self::plant_stuck_at(vp, spec.target, value);
+                self.budget
+            }
+            FaultKind::Transient { at_insn: 0 } => {
+                Self::inject_flip(vp, spec.target);
+                self.budget
+            }
+            FaultKind::Transient { at_insn } => {
+                let warmup = at_insn.min(self.budget);
+                debug_assert_eq!(warmup, entry.snapshot.instret());
+                Self::inject_flip(vp, spec.target);
+                self.budget - warmup
+            }
+        };
+        let outcome = match cancel {
+            Some(token) => vp.run_until(run_remaining.max(1), token),
+            None => vp.run_for(run_remaining.max(1)),
+        };
+        self.classify(vp, outcome)
+    }
+
+    /// Flips the targeted bit right now (the transient upset).
+    fn inject_flip(vp: &mut Vp, target: FaultTarget) {
+        match target {
+            FaultTarget::GprBit { reg, bit } => vp.cpu_mut().flip_gpr_bit(reg, bit),
+            FaultTarget::FprBit { reg, bit } => vp.cpu_mut().flip_fpr_bit(reg, bit),
+            FaultTarget::MemBit { addr, bit } => {
+                if let Some(byte) = vp.bus_mut().ram_byte_mut(addr) {
+                    *byte ^= 1 << bit;
+                }
+            }
+        }
+    }
+
+    /// Plants a permanent stuck-at fault (register masks; the memory and
+    /// FPR approximations are documented on [`FaultTarget`]/[`FaultKind`]).
+    fn plant_stuck_at(vp: &mut Vp, target: FaultTarget, value: bool) {
+        match target {
+            FaultTarget::GprBit { reg, bit } => {
+                vp.cpu_mut().plant_gpr_fault(reg, bit, value);
+            }
+            FaultTarget::FprBit { reg, bit } => {
+                // Approximated as a time-zero forced value (see
+                // FaultTarget docs).
+                vp.cpu_mut().set_fpr_bit(reg, bit, value);
+            }
+            FaultTarget::MemBit { addr, bit } => {
+                // Approximated as a time-zero flip to the stuck value
+                // (see FaultKind docs).
+                if let Some(byte) = vp.bus_mut().ram_byte_mut(addr) {
+                    if value {
+                        *byte |= 1 << bit;
+                    } else {
+                        *byte &= !(1 << bit);
+                    }
+                }
+            }
+        }
     }
 
     fn classify(&self, vp: &mut Vp, outcome: RunOutcome) -> FaultOutcome {

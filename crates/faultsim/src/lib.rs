@@ -51,6 +51,7 @@ mod campaign;
 mod checkpoint;
 mod fault;
 mod generate;
+mod prefix;
 mod progress;
 mod runner;
 mod trace;

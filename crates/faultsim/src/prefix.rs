@@ -1,0 +1,167 @@
+//! Golden-prefix fast-forward for fault campaigns.
+//!
+//! Every mutant of a campaign executes the *golden* instruction stream
+//! unchanged up to its injection point — re-simulating that prefix per
+//! mutant is the dominant cost of a large transient sweep. The
+//! [`PrefixCache`] removes it: it owns one dedicated golden VP, plans
+//! the sorted set of distinct injection points up front from the spec
+//! list, advances the VP monotonically through them, takes an
+//! O(dirty-pages) [`VpSnapshot`] at each point, and hands the snapshot
+//! out to however many workers inject there. Workers restore the shared
+//! snapshot into a reusable per-worker VP and execute only the
+//! post-injection suffix. Time-zero injections (stuck-at faults and
+//! `Transient { at_insn: 0 }`) all share the single point-`0` snapshot
+//! taken right after `load` — the image is parsed and loaded once per
+//! campaign, not once per mutant.
+//!
+//! Two structural rules keep this classification-identical with the
+//! legacy full-rerun path (`Campaign::execute_mutant`):
+//!
+//! - **Terminal prefixes are never resumed.** When the golden run
+//!   terminates at or before a planned point, re-running the terminated
+//!   VP would re-execute the terminating instruction (`ebreak` does not
+//!   advance the PC). The cache therefore stores the terminal
+//!   [`RunOutcome`] alongside the final snapshot, and the consumer
+//!   classifies that state directly — exactly the legacy early return
+//!   for a transient whose injection time the program never reaches.
+//! - **Interrupt-armed goldens are ineligible.** Splitting a run into
+//!   several `run_for` calls inserts extra interrupt-sample points at
+//!   the split boundaries; that is architecturally invisible only while
+//!   no interrupt can be delivered. `Campaign::prepare` watches `mie`
+//!   across the golden run and the campaign falls back to the legacy
+//!   path when it was ever nonzero (`Campaign::fast_forward_active`).
+//!
+//! Because the cache snapshots *every* planned point it passes while
+//! advancing (not only the requested one), workers may fetch points in
+//! any order — the work-stealing runner keeps claiming mutants in input
+//! order, preserving report and checkpoint semantics. Entries are
+//! reference-counted by planned consumer and dropped when the last
+//! consumer has fetched them, so resident snapshots are bounded by the
+//! distinct injection points still in use.
+
+use s4e_vp::{DispatchStats, RunOutcome, Vp, VpSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One shared fast-forward point.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixEntry {
+    /// Golden state at the injection point (or at golden termination,
+    /// whichever came first).
+    pub snapshot: Arc<VpSnapshot>,
+    /// Set when the golden run terminated at or before the requested
+    /// point: the consumer must classify `snapshot` with this outcome
+    /// instead of resuming it (a terminated VP re-executes its final
+    /// instruction when resumed).
+    pub terminal: Option<RunOutcome>,
+}
+
+#[derive(Debug)]
+struct PrefixState {
+    /// The dedicated golden replay VP, advanced monotonically.
+    golden: Vp,
+    /// Retired instructions of `golden` so far.
+    position: u64,
+    /// The golden termination outcome, once reached. From then on every
+    /// later planned point is served by the final snapshot.
+    terminal: Option<RunOutcome>,
+    /// Planned injection points not yet snapshotted (ascending order),
+    /// with their consumer counts.
+    planned: BTreeMap<u64, usize>,
+    /// Snapshots taken, with remaining consumer counts; an entry is
+    /// dropped when its last planned consumer has fetched it.
+    entries: BTreeMap<u64, (PrefixEntry, usize)>,
+    /// Dispatch statistics accumulated by the golden VP across advances
+    /// (snapshots taken, dirty pages flushed, jump-cache behaviour).
+    stats: DispatchStats,
+}
+
+impl PrefixState {
+    /// Snapshots the lowest still-planned point, running the golden VP
+    /// up to it. Returns `None` when no planned point remains.
+    fn advance_one(&mut self) -> Option<()> {
+        let (&point, &consumers) = self.planned.iter().next()?;
+        self.planned.remove(&point);
+        if self.terminal.is_none() && point > self.position {
+            match self.golden.run_for(point - self.position) {
+                RunOutcome::InsnLimit => self.position = point,
+                outcome => {
+                    // Terminated short of the point (or exactly at it —
+                    // termination takes precedence over the limit, same
+                    // as the legacy warmup run observes).
+                    self.position = self.golden.cpu().instret();
+                    self.terminal = Some(outcome);
+                }
+            }
+        }
+        let entry = PrefixEntry {
+            snapshot: Arc::new(self.golden.snapshot()),
+            terminal: self.terminal,
+        };
+        self.stats.merge(&self.golden.take_dispatch_stats());
+        self.entries.insert(point, (entry, consumers));
+        Some(())
+    }
+}
+
+/// The shared golden-prefix snapshot cache of one campaign sweep. All
+/// mutation is behind one mutex; the advance is serialized, but with the
+/// planned points snapshotted eagerly in passing, almost every fetch is
+/// a cache hit that only bumps an `Arc`.
+#[derive(Debug)]
+pub(crate) struct PrefixCache {
+    inner: Mutex<PrefixState>,
+}
+
+impl PrefixCache {
+    /// Plans a cache over `points` (injection instret → consumer count),
+    /// using `golden` — freshly loaded, nothing retired — as the replay
+    /// VP.
+    pub(crate) fn new(golden: Vp, points: BTreeMap<u64, usize>) -> PrefixCache {
+        PrefixCache {
+            inner: Mutex::new(PrefixState {
+                golden,
+                position: 0,
+                terminal: None,
+                planned: points,
+                entries: BTreeMap::new(),
+                stats: DispatchStats::default(),
+            }),
+        }
+    }
+
+    /// Fast-forward state for injection point `at`, advancing the golden
+    /// VP if it has not been snapshotted yet. Returns `None` when the
+    /// cache cannot serve the request — an unplanned point, an already
+    /// fully-consumed entry, or a poisoned cache (a previous advance
+    /// panicked) — in which case the caller falls back to the legacy
+    /// full re-run.
+    pub(crate) fn fetch(&self, at: u64) -> Option<PrefixEntry> {
+        let Ok(mut inner) = self.inner.lock() else {
+            return None;
+        };
+        while !inner.entries.contains_key(&at) {
+            if !inner.planned.contains_key(&at) {
+                return None;
+            }
+            inner.advance_one()?;
+        }
+        let (entry, remaining) = inner.entries.get_mut(&at)?;
+        let entry = entry.clone();
+        *remaining -= 1;
+        if *remaining == 0 {
+            inner.entries.remove(&at);
+        }
+        Some(entry)
+    }
+
+    /// Dispatch statistics accumulated by the golden replay VP so far
+    /// (zeroed when the cache is poisoned — the sweep completed on the
+    /// legacy path).
+    pub(crate) fn stats(&self) -> DispatchStats {
+        self.inner
+            .lock()
+            .map(|inner| inner.stats)
+            .unwrap_or_default()
+    }
+}

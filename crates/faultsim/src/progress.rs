@@ -18,6 +18,7 @@ use crate::campaign::FaultResult;
 use crate::checkpoint::CampaignSink;
 use crate::fault::FaultOutcome;
 use s4e_obs::{names, Counter, Gauge, MetricsRegistry, Snapshot};
+use s4e_vp::DispatchStats;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -57,6 +58,12 @@ pub struct CampaignProgress {
     workers_exited: Arc<Counter>,
     classes: Vec<Arc<Counter>>,
     worker_claims: Mutex<Vec<Arc<Counter>>>,
+    snapshots: Arc<Counter>,
+    pages_flushed: Arc<Counter>,
+    restores: Arc<Counter>,
+    pages_restored: Arc<Counter>,
+    jmp_hits: Arc<Counter>,
+    jmp_misses: Arc<Counter>,
     started: Instant,
 }
 
@@ -87,6 +94,12 @@ impl CampaignProgress {
             workers_exited: registry.counter("campaign_workers_exited"),
             classes,
             worker_claims: Mutex::new(Vec::new()),
+            snapshots: registry.counter("campaign_snapshots_taken"),
+            pages_flushed: registry.counter("campaign_dirty_pages_flushed"),
+            restores: registry.counter("campaign_snapshot_restores"),
+            pages_restored: registry.counter("campaign_dirty_pages_restored"),
+            jmp_hits: registry.counter("campaign_jmp_cache_hits"),
+            jmp_misses: registry.counter("campaign_jmp_cache_misses"),
             registry,
             started: Instant::now(),
         }
@@ -116,6 +129,21 @@ impl CampaignProgress {
     pub fn record_resumed(&self, outcome: FaultOutcome) {
         self.resumed.inc();
         self.record_outcome(outcome);
+    }
+
+    /// Merges one VP's [`DispatchStats`] into the campaign metrics: the
+    /// fast-forward efficiency counters (snapshots taken and restored,
+    /// dirty pages moved each way) and the interpreter's jump-cache
+    /// hit/miss split. Workers call this per mutant with their reusable
+    /// VP's reset-on-read stats; the runner adds the shared golden
+    /// replay VP's share once at the end of the sweep.
+    pub fn record_dispatch(&self, stats: &DispatchStats) {
+        self.snapshots.add(stats.snapshots);
+        self.pages_flushed.add(stats.pages_flushed);
+        self.restores.add(stats.restores);
+        self.pages_restored.add(stats.pages_restored);
+        self.jmp_hits.add(stats.jmp_cache_hits);
+        self.jmp_misses.add(stats.jmp_cache_misses);
     }
 
     /// Worker `worker` claimed a queue slot — its liveness heartbeat.

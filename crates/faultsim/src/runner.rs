@@ -33,8 +33,9 @@
 use crate::campaign::{Campaign, CampaignError, CampaignReport, FaultResult};
 use crate::checkpoint::{read_checkpoint, CampaignSink, JsonlSink, NullSink};
 use crate::fault::{FaultOutcome, FaultSpec};
+use crate::prefix::PrefixCache;
 use crate::progress::ProgressSink;
-use s4e_vp::CancelToken;
+use s4e_vp::{CancelToken, Vp};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -137,13 +138,20 @@ impl Campaign {
         };
         let sink = Mutex::new(sink);
         let sink_error: Mutex<Option<String>> = Mutex::new(None);
+        // The shared golden-prefix snapshot cache (None: fast-forward off
+        // or the golden run armed interrupts — every mutant then re-runs
+        // its fault-free prefix the legacy way).
+        let prefix = self.prefix_cache(specs);
 
         let worker_slots: Vec<Vec<SlotResult>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|worker_id| {
                     let (next, sink, sink_error) = (&next, &sink, &sink_error);
+                    let prefix = prefix.as_ref();
                     scope.spawn(move || {
-                        self.worker(worker_id, specs, next, sink, sink_error, cancel, done)
+                        self.worker(
+                            worker_id, specs, next, sink, sink_error, cancel, done, prefix,
+                        )
                     })
                 })
                 .collect();
@@ -156,6 +164,12 @@ impl Campaign {
                 .filter_map(|h| h.join().ok())
                 .collect()
         });
+
+        if let (Some(progress), Some(prefix)) = (self.progress(), prefix.as_ref()) {
+            // The golden replay VP's share of the fast-forward work:
+            // snapshots taken and dirty pages flushed along the prefix.
+            progress.record_dispatch(&prefix.stats());
+        }
 
         if let Some(msg) = sink_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
             return Err(CampaignError::Checkpoint(msg));
@@ -204,8 +218,14 @@ impl Campaign {
         sink_error: &Mutex<Option<String>>,
         cancel: &CancelToken,
         done: &DoneMap,
+        prefix: Option<&PrefixCache>,
     ) -> Vec<SlotResult> {
         let mut out = Vec::new();
+        // The worker's reusable mutant VP for the fast-forward path:
+        // restoring a snapshot into it costs O(diverged pages), where a
+        // fresh VP per mutant costs a full RAM allocation plus the image
+        // load. Discarded after a caught panic (its state is suspect).
+        let mut slot: Option<Vp> = None;
         loop {
             if cancel.flag_raised() {
                 break;
@@ -227,6 +247,18 @@ impl Campaign {
                 out.push((index, *outcome, panic.clone()));
                 continue;
             }
+            // Fetch the shared prefix snapshot before arming the
+            // watchdog: the fetch may serialize behind another worker's
+            // golden advance, and that shared work must not count
+            // against this mutant's wall-clock budget. A panic inside
+            // the advance poisons the cache; this mutant (and every
+            // later one) falls back to the legacy full re-run instead
+            // of killing the worker.
+            let entry = prefix.and_then(|cache| {
+                catch_unwind(AssertUnwindSafe(|| cache.fetch(self.injection_point(spec))))
+                    .ok()
+                    .flatten()
+            });
             let mutant_token = match self.config().timeout {
                 Some(timeout) => cancel.child(timeout),
                 None => cancel.clone(),
@@ -235,8 +267,16 @@ impl Campaign {
                 if let Some(hook) = self.mutant_hook() {
                     hook(index, spec);
                 }
-                self.run_one_cancellable(spec, Some(&mutant_token)).outcome
+                match &entry {
+                    Some(entry) => {
+                        self.execute_mutant_fast(spec, Some(&mutant_token), entry, &mut slot)
+                    }
+                    None => self.run_one_cancellable(spec, Some(&mutant_token)).outcome,
+                }
             }));
+            if let (Some(progress), Some(vp)) = (self.progress(), slot.as_mut()) {
+                progress.record_dispatch(&vp.take_dispatch_stats());
+            }
             let (outcome, panic) = match execution {
                 Ok(FaultOutcome::Cancelled) if cancel.flag_raised() => {
                     // Campaign shutdown, not a watchdog expiry: leave the
@@ -244,7 +284,10 @@ impl Campaign {
                     break;
                 }
                 Ok(outcome) => (outcome, None),
-                Err(payload) => (FaultOutcome::HarnessError, Some(panic_message(&*payload))),
+                Err(payload) => {
+                    slot = None;
+                    (FaultOutcome::HarnessError, Some(panic_message(&*payload)))
+                }
             };
             let recorded = {
                 let mut guard = sink.lock().unwrap_or_else(|p| p.into_inner());

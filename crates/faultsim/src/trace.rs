@@ -1,6 +1,6 @@
 //! Execution tracing for coverage-driven mutant generation.
 
-use s4e_isa::{Fpr, Gpr, Insn};
+use s4e_isa::{Csr, Fpr, Gpr, Insn};
 use s4e_vp::{Cpu, MemAccess, Plugin};
 use std::collections::BTreeSet;
 
@@ -20,6 +20,13 @@ pub struct ExecTrace {
     pub written_bytes: BTreeSet<u32>,
     /// Total retired instructions.
     pub instret: u64,
+    /// Whether machine interrupts were ever armed (`mie != 0`) at any
+    /// observed point of the run. Gates golden-prefix fast-forward:
+    /// splitting a run into several `run_for` segments inserts extra
+    /// interrupt-sampling points at the seams, which is architecturally
+    /// invisible only while no interrupt can be delivered.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub interrupts_armed: bool,
 }
 
 /// The plugin that records an [`ExecTrace`].
@@ -41,9 +48,12 @@ impl TracePlugin {
 }
 
 impl Plugin for TracePlugin {
-    fn on_insn_executed(&mut self, _cpu: &Cpu, pc: u32, insn: &Insn) {
+    fn on_insn_executed(&mut self, cpu: &Cpu, pc: u32, insn: &Insn) {
         self.trace.executed_pcs.insert(pc);
         self.trace.instret += 1;
+        if !self.trace.interrupts_armed && cpu.csr_read(Csr::MIE).unwrap_or(0) != 0 {
+            self.trace.interrupts_armed = true;
+        }
         let uses = insn.reg_uses();
         for g in uses.gprs_read() {
             self.trace.touched_gprs.insert(g);

@@ -1,0 +1,243 @@
+//! Golden-prefix fast-forward: classification identity against the
+//! legacy full-rerun path, terminal-prefix handling, the interrupt
+//! fallback, and the s4e-obs efficiency counters.
+
+use s4e_asm::assemble;
+use s4e_faultsim::{
+    Campaign, CampaignConfig, CampaignProgress, FaultKind, FaultOutcome, FaultSpec, FaultTarget,
+};
+use s4e_isa::Gpr;
+use std::sync::Arc;
+
+/// A golden run long enough (~360 retired instructions) that transient
+/// injection times spread across a real prefix, with stores so memory
+/// comparison carries weight.
+const WORK_PROGRAM: &str = r#"
+    li t0, 60
+    li a0, 0
+    la t1, table
+    loop: add a0, a0, t0
+    sw a0, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, loop
+    la t2, result
+    sw a0, 0(t2)
+    ebreak
+    result: .word 0
+    table: .space 256
+"#;
+
+fn campaign(src: &str, cfg: &CampaignConfig) -> Campaign {
+    let img = assemble(src).expect("assembles");
+    Campaign::prepare(img.base(), img.bytes(), img.entry(), cfg).expect("prepares")
+}
+
+/// A 1120-mutant list in the acceptance-sweep shape, but covering every
+/// fault flavour the campaign knows: register transients across the
+/// whole run, code/data memory transients, and permanent stuck-ats.
+fn acceptance_specs(c: &Campaign) -> Vec<FaultSpec> {
+    let golden_len = c.golden().instret();
+    let mut specs = Vec::new();
+    // 28 bits × 30 times = 840 register transients, spread past the end
+    // of the golden run so the terminal-prefix path is exercised too.
+    for bit in 0..28u8 {
+        for t in 0..30u64 {
+            specs.push(FaultSpec {
+                target: FaultTarget::GprBit { reg: Gpr::A0, bit },
+                kind: FaultKind::Transient {
+                    at_insn: t * golden_len / 24,
+                },
+            });
+        }
+    }
+    // 160 memory transients: half mutate code bytes (block-cache and
+    // jump-cache invalidation on restore), half mutate data.
+    let base = 0x8000_0000u32;
+    for i in 0..20u32 {
+        for bit in 0..4u8 {
+            specs.push(FaultSpec {
+                target: FaultTarget::MemBit {
+                    addr: base + i * 2,
+                    bit,
+                },
+                kind: FaultKind::Transient {
+                    at_insn: u64::from(i) * 7,
+                },
+            });
+            specs.push(FaultSpec {
+                target: FaultTarget::MemBit {
+                    addr: base + 0x100 + i,
+                    bit,
+                },
+                kind: FaultKind::Transient { at_insn: 0 },
+            });
+        }
+    }
+    // 120 permanent stuck-ats.
+    for bit in 0..30u8 {
+        for (reg, value) in [(Gpr::A0, false), (Gpr::new(5).unwrap(), true)] {
+            specs.push(FaultSpec {
+                target: FaultTarget::GprBit { reg, bit },
+                kind: FaultKind::StuckAt { value },
+            });
+            specs.push(FaultSpec {
+                target: FaultTarget::GprBit { reg, bit },
+                kind: FaultKind::Transient { at_insn: 0 },
+            });
+        }
+    }
+    specs
+}
+
+#[test]
+fn fast_forward_classifications_match_legacy_exactly() {
+    let fast = campaign(WORK_PROGRAM, &CampaignConfig::new().threads(4));
+    let slow = campaign(
+        WORK_PROGRAM,
+        &CampaignConfig::new().threads(4).fast_forward(false),
+    );
+    assert!(fast.fast_forward_active());
+    assert!(!slow.fast_forward_active());
+
+    let specs = acceptance_specs(&fast);
+    assert!(specs.len() >= 1120, "{} mutants", specs.len());
+    let a = fast.run_all(&specs);
+    let b = slow.run_all(&specs);
+    assert_eq!(a.results(), b.results(), "classification-identical reports");
+    assert_eq!(a.counts(), b.counts());
+    // The sweep exercised more than one outcome class (otherwise the
+    // identity assertion proves little).
+    assert!(a.counts().len() >= 3, "{:?}", a.counts());
+}
+
+#[test]
+fn single_thread_fast_forward_matches_too() {
+    let fast = campaign(WORK_PROGRAM, &CampaignConfig::new());
+    let slow = campaign(WORK_PROGRAM, &CampaignConfig::new().fast_forward(false));
+    let specs: Vec<FaultSpec> = acceptance_specs(&fast).into_iter().step_by(7).collect();
+    assert_eq!(
+        fast.run_all(&specs).results(),
+        slow.run_all(&specs).results()
+    );
+}
+
+#[test]
+fn terminal_prefix_is_classified_not_resumed() {
+    // Injection times at and far beyond the golden run's length: the
+    // prefix snapshot *is* the final state and must classify Masked
+    // (the fault never manifests) — on both paths.
+    let fast = campaign(WORK_PROGRAM, &CampaignConfig::new());
+    let slow = campaign(WORK_PROGRAM, &CampaignConfig::new().fast_forward(false));
+    let golden_len = fast.golden().instret();
+    let specs: Vec<FaultSpec> = [
+        golden_len,
+        golden_len + 1,
+        golden_len * 3,
+        fast.budget() + 7,
+    ]
+    .into_iter()
+    .map(|at| FaultSpec {
+        target: FaultTarget::GprBit {
+            reg: Gpr::A0,
+            bit: 2,
+        },
+        kind: FaultKind::Transient { at_insn: at },
+    })
+    .collect();
+    let a = fast.run_all(&specs);
+    for r in a.results() {
+        assert_eq!(r.outcome, FaultOutcome::Masked, "{}", r.spec);
+    }
+    assert_eq!(a.results(), slow.run_all(&specs).results());
+}
+
+#[test]
+fn interrupt_armed_golden_falls_back_to_legacy() {
+    // The golden run arms the machine timer interrupt enable (without
+    // ever taking an interrupt — mstatus.MIE stays clear, so it still
+    // terminates normally). Split prefix replay is not provably
+    // bit-exact then, so fast-forward must deactivate itself.
+    let src = r#"
+        li t0, 0x80
+        csrw mie, t0
+        li t1, 12
+        li a0, 0
+        loop: add a0, a0, t1
+        addi t1, t1, -1
+        bnez t1, loop
+        ebreak
+    "#;
+    let c = campaign(src, &CampaignConfig::new());
+    assert!(
+        !c.fast_forward_active(),
+        "mie was armed; the campaign must use the legacy path"
+    );
+    assert!(c.golden().trace().interrupts_armed);
+
+    // And the sweep still classifies everything correctly.
+    let specs: Vec<FaultSpec> = (0..20u64)
+        .map(|t| FaultSpec {
+            target: FaultTarget::GprBit {
+                reg: Gpr::A0,
+                bit: (t % 8) as u8,
+            },
+            kind: FaultKind::Transient { at_insn: t },
+        })
+        .collect();
+    let report = c.run_all(&specs);
+    assert_eq!(report.total(), specs.len());
+}
+
+#[test]
+fn interrupt_free_golden_reports_unarmed_trace() {
+    let c = campaign(WORK_PROGRAM, &CampaignConfig::new());
+    assert!(!c.golden().trace().interrupts_armed);
+}
+
+#[test]
+fn fast_forward_efficiency_metrics_flow_into_progress() {
+    let mut c = campaign(WORK_PROGRAM, &CampaignConfig::new().threads(2));
+    let progress = Arc::new(CampaignProgress::new());
+    c.set_progress(Arc::clone(&progress));
+    let specs: Vec<FaultSpec> = acceptance_specs(&c).into_iter().step_by(11).collect();
+    let total = specs.len() as u64;
+    c.run_all(&specs);
+
+    let snap = progress.snapshot();
+    // Every fresh mutant restored exactly one shared snapshot.
+    assert_eq!(snap.counter("campaign_snapshot_restores"), Some(total));
+    // The golden replay VP snapshotted each distinct injection point.
+    assert!(snap.counter("campaign_snapshots_taken").unwrap_or(0) > 0);
+    // Restores moved at least the image pages on first touch.
+    assert!(snap.counter("campaign_dirty_pages_restored").unwrap_or(0) > 0);
+    // The interpreter's jump cache saw traffic and mostly hit.
+    let hits = snap.counter("campaign_jmp_cache_hits").unwrap_or(0);
+    let misses = snap.counter("campaign_jmp_cache_misses").unwrap_or(0);
+    assert!(hits > misses, "hits {hits} vs misses {misses}");
+
+    // With fast-forward off, no snapshots are restored at all.
+    let mut legacy = campaign(
+        WORK_PROGRAM,
+        &CampaignConfig::new().threads(2).fast_forward(false),
+    );
+    let progress2 = Arc::new(CampaignProgress::new());
+    legacy.set_progress(Arc::clone(&progress2));
+    legacy.run_all(&specs);
+    assert_eq!(
+        progress2.snapshot().counter("campaign_snapshot_restores"),
+        Some(0)
+    );
+}
+
+#[test]
+fn run_one_uses_the_legacy_path_and_agrees() {
+    // `run_one` (no sweep context, no shared cache) must agree with the
+    // supervised fast-forward sweep mutant for mutant.
+    let c = campaign(WORK_PROGRAM, &CampaignConfig::new());
+    let specs: Vec<FaultSpec> = acceptance_specs(&c).into_iter().step_by(97).collect();
+    let report = c.run_all(&specs);
+    for (spec, swept) in specs.iter().zip(report.results()) {
+        assert_eq!(c.run_one(spec).outcome, swept.outcome, "{spec}");
+    }
+}

@@ -8,6 +8,10 @@ use std::error::Error;
 pub const RAM_BASE: u32 = 0x8000_0000;
 /// Default RAM size in bytes (4 MiB).
 pub const RAM_SIZE: u32 = 4 << 20;
+/// Granularity of the dirty-page bitmap used by snapshot/restore (4 KiB,
+/// like a hardware MMU page).
+pub const PAGE_SIZE: u32 = 4096;
+const PAGE_SHIFT: u32 = 12;
 
 /// A bus access fault (no RAM or device claims the address, or the device
 /// rejected the access).
@@ -75,6 +79,10 @@ pub struct Bus {
     devices: Vec<Mapping>,
     /// Event raised by the most recent store, if any.
     pending_event: Option<BusEvent>,
+    /// One bit per [`PAGE_SIZE`] RAM page, set on every RAM write since
+    /// the last [`clear_dirty`](Bus::clear_dirty) — the divergence set
+    /// snapshot/restore uses to avoid O(RAM) copies.
+    dirty: Vec<u64>,
 }
 
 impl Bus {
@@ -90,11 +98,13 @@ impl Bus {
             ram_base.checked_add(ram_size - 1).is_some(),
             "RAM region wraps the 32-bit address space"
         );
+        let pages = ram_size.div_ceil(PAGE_SIZE) as usize;
         Bus {
             ram_base,
             ram: vec![0; ram_size as usize],
             devices: Vec::new(),
             pending_event: None,
+            dirty: vec![0; pages.div_ceil(64)],
         }
     }
 
@@ -173,6 +183,106 @@ impl Bus {
         self.devices
             .iter()
             .fold(0, |acc, m| acc | m.dev.mip_bits(now))
+    }
+
+    /// Marks the page(s) covering `[start, start + len)` (RAM offsets)
+    /// dirty.
+    #[inline]
+    fn mark_dirty(&mut self, start: usize, len: usize) {
+        let first = start >> PAGE_SHIFT;
+        let last = (start + len.max(1) - 1) >> PAGE_SHIFT;
+        for page in first..=last {
+            self.dirty[page >> 6] |= 1u64 << (page & 63);
+        }
+    }
+
+    /// Pages written since the last [`clear_dirty`](Bus::clear_dirty).
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the indices of pages written since the last
+    /// [`clear_dirty`](Bus::clear_dirty).
+    pub fn dirty_pages(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dirty.iter().enumerate().flat_map(|(word, &bits)| {
+            (0..64)
+                .filter(move |bit| bits & (1u64 << bit) != 0)
+                .map(move |bit| (word << 6) | bit)
+        })
+    }
+
+    /// Resets the dirty bitmap: the current RAM contents become the new
+    /// reference point for divergence tracking.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// The full RAM contents (for snapshot capture).
+    pub(crate) fn ram(&self) -> &[u8] {
+        &self.ram
+    }
+
+    /// The byte range of RAM page `page`, clamped to the RAM size.
+    pub(crate) fn page_range(&self, page: usize) -> std::ops::Range<usize> {
+        let start = page << PAGE_SHIFT;
+        start..(start + PAGE_SIZE as usize).min(self.ram.len())
+    }
+
+    /// Whether `page` was written since the last
+    /// [`clear_dirty`](Bus::clear_dirty).
+    pub fn page_is_dirty(&self, page: usize) -> bool {
+        self.dirty[page >> 6] & (1u64 << (page & 63)) != 0
+    }
+
+    /// Overwrites one RAM page from `src` (at least the page's length)
+    /// without touching the dirty bitmap.
+    pub(crate) fn copy_page_from(&mut self, page: usize, src: &[u8]) {
+        let range = self.page_range(page);
+        let len = range.len();
+        self.ram[range].copy_from_slice(&src[..len]);
+    }
+
+    /// Saves every device's state, in mapping order.
+    pub(crate) fn save_devices(&self) -> Vec<Vec<u8>> {
+        self.devices.iter().map(|m| m.dev.save_state()).collect()
+    }
+
+    /// Restores device state captured by [`save_devices`](Bus::save_devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob count does not match the mapped-device count —
+    /// snapshots only restore onto an identically-configured bus.
+    pub(crate) fn restore_devices(&mut self, states: &[Vec<u8>]) {
+        assert_eq!(
+            states.len(),
+            self.devices.len(),
+            "snapshot device count mismatch"
+        );
+        for (m, state) in self.devices.iter_mut().zip(states) {
+            m.dev.restore_state(state);
+        }
+    }
+
+    /// Sets or clears the pending bus event (snapshot restore).
+    pub(crate) fn set_pending_event(&mut self, event: Option<BusEvent>) {
+        self.pending_event = event;
+    }
+
+    /// The pending bus event without consuming it (snapshot capture).
+    pub(crate) fn peek_event(&self) -> Option<BusEvent> {
+        self.pending_event
+    }
+
+    /// The earliest cycle at which any device's `mip` contribution may
+    /// change without a bus access (`u64::MAX` = never). Devices that
+    /// cannot tell report "now", which keeps per-block sampling.
+    pub fn mip_next_change(&self, now: u64) -> u64 {
+        self.devices
+            .iter()
+            .map(|m| m.dev.mip_next_change(now))
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     #[inline]
@@ -257,6 +367,7 @@ impl Bus {
     pub fn write8(&mut self, addr: u32, value: u8, now: u64) -> Result<(), BusFault> {
         if let Some(i) = self.ram_index(addr) {
             self.ram[i] = value;
+            self.mark_dirty(i, 1);
             return Ok(());
         }
         self.write_dev(addr, value as u32, 1, now)
@@ -271,6 +382,7 @@ impl Bus {
         if let Some(i) = self.ram_index(addr) {
             if i + 1 < self.ram.len() {
                 self.ram[i..i + 2].copy_from_slice(&value.to_le_bytes());
+                self.mark_dirty(i, 2);
                 return Ok(());
             }
             return Err(BusFault { addr });
@@ -287,6 +399,7 @@ impl Bus {
         if let Some(i) = self.ram_index(addr) {
             if i + 3 < self.ram.len() {
                 self.ram[i..i + 4].copy_from_slice(&value.to_le_bytes());
+                self.mark_dirty(i, 4);
                 return Ok(());
             }
             return Err(BusFault { addr });
@@ -321,6 +434,7 @@ impl Bus {
             });
         }
         self.ram[start..end].copy_from_slice(bytes);
+        self.mark_dirty(start, bytes.len());
         Ok(())
     }
 
@@ -341,7 +455,9 @@ impl Bus {
     /// Direct mutable access to a RAM byte (used by fault injection to
     /// plant permanent memory faults without going through the bus).
     pub fn ram_byte_mut(&mut self, addr: u32) -> Option<&mut u8> {
-        self.ram_index(addr).map(move |i| &mut self.ram[i])
+        let i = self.ram_index(addr)?;
+        self.mark_dirty(i, 1);
+        Some(&mut self.ram[i])
     }
 }
 
@@ -420,5 +536,42 @@ mod tests {
         *b.ram_byte_mut(0x8000_0000).unwrap() = 7;
         assert_eq!(b.read8(0x8000_0000, 0).unwrap(), 7);
         assert!(b.ram_byte_mut(0x9000_0000).is_none());
+    }
+
+    #[test]
+    fn dirty_bitmap_tracks_writes_not_reads() {
+        let mut b = Bus::new(0x8000_0000, 4 * PAGE_SIZE);
+        assert_eq!(b.dirty_page_count(), 0);
+        b.read32(0x8000_0000, 0).unwrap();
+        assert_eq!(b.dirty_page_count(), 0);
+        b.write8(0x8000_0000, 1, 0).unwrap();
+        b.write32(0x8000_2000, 2, 0).unwrap();
+        assert_eq!(b.dirty_page_count(), 2);
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![0, 2]);
+        b.clear_dirty();
+        assert_eq!(b.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn straddling_write_marks_both_pages() {
+        let mut b = Bus::new(0x8000_0000, 4 * PAGE_SIZE);
+        b.write32(0x8000_0000 + PAGE_SIZE - 2, 0xffff_ffff, 0)
+            .unwrap();
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn load_marks_whole_range_dirty() {
+        let mut b = Bus::new(0x8000_0000, 4 * PAGE_SIZE);
+        b.load(0x8000_0800, &vec![0xab; PAGE_SIZE as usize * 2])
+            .unwrap();
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ram_byte_mut_marks_dirty() {
+        let mut b = Bus::new(0x8000_0000, 4 * PAGE_SIZE);
+        *b.ram_byte_mut(0x8000_1004).unwrap() = 9;
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![1]);
     }
 }

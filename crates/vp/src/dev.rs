@@ -23,7 +23,11 @@ pub const CLINT_SIZE: u32 = 0x1_0000;
 /// Reads and writes receive the offset within the device window, the access
 /// size in bytes (1, 2 or 4) and the current cycle count (`now`, which is
 /// the time base for timer devices). A return of `None` is an access fault.
-pub trait Device: fmt::Debug + Any {
+///
+/// Devices must be [`Send`]: a [`Vp`](crate::Vp) moves between campaign
+/// worker threads (never shared concurrently — `Vp` is `Send`, not
+/// `Sync`), and its bus devices travel with it.
+pub trait Device: fmt::Debug + Any + Send {
     /// Stable device name used in plugin events and diagnostics.
     fn name(&self) -> &'static str;
 
@@ -38,6 +42,27 @@ pub trait Device: fmt::Debug + Any {
     fn mip_bits(&self, _now: u64) -> u32 {
         0
     }
+
+    /// The earliest cycle ≥ `now` at which this device's [`mip_bits`]
+    /// contribution may change *without* an intervening bus access
+    /// (`u64::MAX` = never). The default returns `now`, i.e. "could change
+    /// any time", which disables interrupt-sampling throttling for devices
+    /// that don't implement it.
+    ///
+    /// [`mip_bits`]: Device::mip_bits
+    fn mip_next_change(&self, now: u64) -> u64 {
+        now
+    }
+
+    /// Serializes the device's mutable state for a VP snapshot. Must be
+    /// the exact inverse of [`restore_state`](Device::restore_state). The
+    /// default captures nothing (stateless device).
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`save_state`](Device::save_state).
+    fn restore_state(&mut self, _state: &[u8]) {}
 
     /// Upcast for concrete-type access through the bus.
     fn as_any(&self) -> &dyn Any;
@@ -153,6 +178,31 @@ impl Device for Uart {
         }
     }
 
+    fn mip_next_change(&self, _now: u64) -> u64 {
+        // MEIP only changes on a bus access (RXDATA read, IER write) or a
+        // host push_input — the latter cannot happen while the VP runs.
+        u64::MAX
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut state = Vec::with_capacity(9 + self.out.len() + self.input.len());
+        state.extend_from_slice(&(self.out.len() as u32).to_le_bytes());
+        state.extend_from_slice(&self.out);
+        state.extend_from_slice(&(self.input.len() as u32).to_le_bytes());
+        state.extend(self.input.iter());
+        state.push(self.rx_irq_enabled as u8);
+        state
+    }
+
+    fn restore_state(&mut self, state: &[u8]) {
+        let out_len = u32::from_le_bytes(state[..4].try_into().unwrap()) as usize;
+        self.out = state[4..4 + out_len].to_vec();
+        let rest = &state[4 + out_len..];
+        let in_len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        self.input = rest[4..4 + in_len].iter().copied().collect();
+        self.rx_irq_enabled = rest[4 + in_len] != 0;
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -228,6 +278,18 @@ impl Device for Syscon {
             }
             _ => None,
         }
+    }
+
+    fn mip_next_change(&self, _now: u64) -> u64 {
+        u64::MAX // never raises an interrupt
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        self.console.clone()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) {
+        self.console = state.to_vec();
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -335,6 +397,28 @@ impl Device for Clint {
         mip
     }
 
+    fn mip_next_change(&self, now: u64) -> u64 {
+        // MSIP only changes on a store; MTIP asserts when `now` reaches
+        // `mtimecmp` and never deasserts on its own.
+        if now >= self.mtimecmp {
+            u64::MAX
+        } else {
+            self.mtimecmp
+        }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut state = Vec::with_capacity(9);
+        state.push(self.msip as u8);
+        state.extend_from_slice(&self.mtimecmp.to_le_bytes());
+        state
+    }
+
+    fn restore_state(&mut self, state: &[u8]) {
+        self.msip = state[0] != 0;
+        self.mtimecmp = u64::from_le_bytes(state[1..9].try_into().unwrap());
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -395,5 +479,55 @@ mod tests {
             Some(0x2345_6789)
         );
         assert_eq!(c.read(clint_reg::MTIME_HI, 4, 0x1_2345_6789), Some(1));
+    }
+
+    #[test]
+    fn uart_state_round_trip() {
+        let mut u = Uart::new();
+        u.write(uart_reg::TXDATA, b'a' as u32, 1, 0);
+        u.push_input(b"xyz");
+        u.read(uart_reg::RXDATA, 1, 0); // consume 'x'
+        u.write(uart_reg::IER, 1, 1, 0);
+        let state = u.save_state();
+        let mut u2 = Uart::new();
+        u2.restore_state(&state);
+        assert_eq!(u2.output(), b"a");
+        assert!(u2.rx_irq_enabled());
+        assert_eq!(u2.read(uart_reg::RXDATA, 1, 0), Some(b'y' as u32));
+        assert_eq!(u2.read(uart_reg::RXDATA, 1, 0), Some(b'z' as u32));
+    }
+
+    #[test]
+    fn syscon_state_round_trip() {
+        let mut s = Syscon::new();
+        s.write(syscon_reg::PUTCHAR, b'q' as u32, 1, 0);
+        let mut s2 = Syscon::new();
+        s2.restore_state(&s.save_state());
+        assert_eq!(s2.console(), b"q");
+    }
+
+    #[test]
+    fn clint_state_round_trip() {
+        let mut c = Clint::new();
+        c.write(clint_reg::MSIP, 1, 4, 0);
+        c.write(clint_reg::MTIMECMP_LO, 0x1234, 4, 0);
+        c.write(clint_reg::MTIMECMP_HI, 0x5, 4, 0);
+        let mut c2 = Clint::new();
+        c2.restore_state(&c.save_state());
+        assert!(c2.msip());
+        assert_eq!(c2.mtimecmp(), 0x5_0000_1234);
+    }
+
+    #[test]
+    fn mip_next_change_semantics() {
+        let c = Clint::new();
+        assert_eq!(c.mip_next_change(0), u64::MAX); // no timer armed
+        let mut c = Clint::new();
+        c.write(clint_reg::MTIMECMP_LO, 500, 4, 0);
+        c.write(clint_reg::MTIMECMP_HI, 0, 4, 0);
+        assert_eq!(c.mip_next_change(100), 500);
+        assert_eq!(c.mip_next_change(500), u64::MAX); // MTIP latched high
+        assert_eq!(Uart::new().mip_next_change(7), u64::MAX);
+        assert_eq!(Syscon::new().mip_next_change(7), u64::MAX);
     }
 }

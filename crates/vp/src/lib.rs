@@ -32,14 +32,16 @@ mod cancel;
 mod cpu;
 pub mod dev;
 mod plugin;
+mod snapshot;
 mod timing;
 mod trap;
 mod vp;
 
-pub use bus::{Bus, BusEvent, BusFault, RAM_BASE, RAM_SIZE};
+pub use bus::{Bus, BusEvent, BusFault, PAGE_SIZE, RAM_BASE, RAM_SIZE};
 pub use cancel::CancelToken;
 pub use cpu::Cpu;
 pub use plugin::{AsAny, BlockInfo, DeviceAccess, MemAccess, Plugin};
+pub use snapshot::VpSnapshot;
 pub use timing::TimingModel;
 pub use trap::Trap;
-pub use vp::{RunOutcome, Vp, VpBuilder, DEFAULT_INSN_LIMIT};
+pub use vp::{DispatchStats, RunOutcome, Vp, VpBuilder, DEFAULT_INSN_LIMIT};

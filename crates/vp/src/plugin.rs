@@ -94,6 +94,10 @@ impl<T: Any> AsAny for T {
 /// Callbacks receive the CPU state *read-only*: observation is
 /// non-invasive by construction.
 ///
+/// Plugins must be [`Send`]: a [`Vp`](crate::Vp) moves between campaign
+/// worker threads (never shared concurrently — `Vp` is `Send`, not
+/// `Sync`), and its plugins travel with it.
+///
 /// # Examples
 ///
 /// ```
@@ -113,7 +117,7 @@ impl<T: Any> AsAny for T {
 /// }
 /// ```
 #[allow(unused_variables)]
-pub trait Plugin: AsAny + std::fmt::Debug {
+pub trait Plugin: AsAny + std::fmt::Debug + Send {
     /// A basic block was translated (decoded into the block cache).
     fn on_block_translated(&mut self, block: &BlockInfo<'_>) {}
 

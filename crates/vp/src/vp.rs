@@ -1,21 +1,37 @@
 //! The virtual prototype: fetch/decode/execute loop with a translation
 //! block cache, device bus, interrupt handling and plugin instrumentation.
 
-use crate::bus::{Bus, BusEvent, BusFault, RAM_BASE, RAM_SIZE};
+use crate::bus::{Bus, BusEvent, BusFault, PAGE_SIZE, RAM_BASE, RAM_SIZE};
 use crate::cancel::CancelToken;
 use crate::cpu::Cpu;
 use crate::dev::{
     Clint, Syscon, Uart, CLINT_BASE, CLINT_SIZE, SYSCON_BASE, SYSCON_SIZE, UART_BASE, UART_SIZE,
 };
 use crate::plugin::{BlockInfo, DeviceAccess, MemAccess, Plugin};
+use crate::snapshot::{zero_page, VpSnapshot};
 use crate::timing::TimingModel;
 use crate::trap::Trap;
 use s4e_isa::{decode, Extension, Insn, InsnKind, IsaConfig};
 use std::collections::HashMap;
-use std::rc::Rc;
+
+use std::sync::Arc;
 
 /// Maximum instructions per translation block.
 const MAX_BLOCK_INSNS: usize = 32;
+
+/// Slots in the direct-mapped jump cache (must be a power of two). Sized
+/// like QEMU's `tb_jmp_cache`: large enough that the hot working set of a
+/// typical guest maps without conflict misses, small enough to stay
+/// cache-resident.
+const JMP_CACHE_SLOTS: usize = 2048;
+
+/// Maps a block start address to its jump-cache slot. Block starts are
+/// 2-byte aligned (IALIGN with the C extension), so dropping the low bit
+/// uses all the entropy the address has.
+#[inline]
+fn jmp_cache_slot(pc: u32) -> usize {
+    (pc >> 1) as usize & (JMP_CACHE_SLOTS - 1)
+}
 
 /// Default instruction budget of [`Vp::run`].
 pub const DEFAULT_INSN_LIMIT: u64 = 100_000_000;
@@ -54,6 +70,57 @@ struct Block {
     insns: Vec<(u32, Insn)>,
 }
 
+/// Counters for the dispatch fast path and the snapshot machinery.
+///
+/// Retrieved with [`Vp::dispatch_stats`] (cumulative) or
+/// [`Vp::take_dispatch_stats`] (reset-on-read, for periodic merging into
+/// an `s4e-obs` metrics registry).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Block dispatches served by the direct-mapped jump cache.
+    pub jmp_cache_hits: u64,
+    /// Block dispatches that fell back to the `HashMap` probe (including
+    /// those that went on to translate a new block).
+    pub jmp_cache_misses: u64,
+    /// Blocks decoded from guest memory (translation-cache misses).
+    pub translations: u64,
+    /// Translated-code invalidations (self-modifying stores, `fence.i`,
+    /// `load`, bus mutation, restore).
+    pub invalidations: u64,
+    /// Snapshots captured.
+    pub snapshots: u64,
+    /// Dirty RAM pages flushed while capturing snapshots.
+    pub pages_flushed: u64,
+    /// Snapshot restores applied.
+    pub restores: u64,
+    /// RAM pages copied back from snapshots during restores.
+    pub pages_restored: u64,
+}
+
+impl DispatchStats {
+    /// The jump-cache hit rate over all block dispatches, in `[0, 1]`.
+    pub fn jmp_cache_hit_rate(&self) -> f64 {
+        let total = self.jmp_cache_hits + self.jmp_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.jmp_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &DispatchStats) {
+        self.jmp_cache_hits += other.jmp_cache_hits;
+        self.jmp_cache_misses += other.jmp_cache_misses;
+        self.translations += other.translations;
+        self.invalidations += other.invalidations;
+        self.snapshots += other.snapshots;
+        self.pages_flushed += other.pages_flushed;
+        self.restores += other.restores;
+        self.pages_restored += other.pages_restored;
+    }
+}
+
 /// Builder for a [`Vp`].
 ///
 /// # Examples
@@ -77,6 +144,7 @@ pub struct VpBuilder {
     ram_size: u32,
     timing: TimingModel,
     cache_enabled: bool,
+    fast_dispatch_enabled: bool,
     standard_devices: bool,
 }
 
@@ -112,6 +180,19 @@ impl VpBuilder {
         self
     }
 
+    /// Enables or disables the dispatch fast path (default: enabled).
+    ///
+    /// Disabling it restores the reference dispatch behavior — no
+    /// direct-mapped jump cache in front of the block-cache `HashMap`, a
+    /// refcount clone per dispatched block, and an interrupt-state poll
+    /// at every block boundary — isolating the fast path's contribution
+    /// in benchmarks. It has no architectural effect.
+    #[must_use]
+    pub fn fast_dispatch(mut self, enabled: bool) -> VpBuilder {
+        self.fast_dispatch_enabled = enabled;
+        self
+    }
+
     /// Whether to map the standard devices (UART, system controller,
     /// CLINT). Default: mapped.
     #[must_use]
@@ -132,6 +213,7 @@ impl VpBuilder {
             bus.map_device(SYSCON_BASE, SYSCON_SIZE, Box::new(Syscon::new()));
             bus.map_device(CLINT_BASE, CLINT_SIZE, Box::new(Clint::new()));
         }
+        let pages = self.ram_size.div_ceil(PAGE_SIZE) as usize;
         Vp {
             cpu: Cpu::new(self.isa, self.ram_base),
             bus,
@@ -139,9 +221,17 @@ impl VpBuilder {
             plugins: Vec::new(),
             cache: HashMap::new(),
             cache_enabled: self.cache_enabled,
+            fast_dispatch_enabled: self.fast_dispatch_enabled,
+            jmp_cache: vec![None; JMP_CACHE_SLOTS],
+            scratch: None,
             code_lo: u32::MAX,
             code_hi: 0,
             block_exit_pending: false,
+            invalidate_pending: false,
+            irq_resample: true,
+            mip_poll_at: 0,
+            sync_pages: vec![zero_page(); pages],
+            stats: DispatchStats::default(),
         }
     }
 }
@@ -154,6 +244,7 @@ impl Default for VpBuilder {
             ram_size: RAM_SIZE,
             timing: TimingModel::new(),
             cache_enabled: true,
+            fast_dispatch_enabled: true,
             standard_devices: true,
         }
     }
@@ -183,13 +274,44 @@ pub struct Vp {
     bus: Bus,
     timing: TimingModel,
     plugins: Vec<Box<dyn Plugin>>,
-    cache: HashMap<u32, Rc<Block>>,
+    cache: HashMap<u32, Arc<Block>>,
     cache_enabled: bool,
+    fast_dispatch_enabled: bool,
+    /// Direct-mapped front for `cache`, indexed by [`jmp_cache_slot`]:
+    /// `(start_pc, block)` pairs, probed before the `HashMap` on every
+    /// dispatch (QEMU's `tb_jmp_cache`).
+    jmp_cache: Vec<Option<(u32, Arc<Block>)>>,
+    /// Keeps the most recently dispatched block alive while the run loop
+    /// executes it, when nothing else is guaranteed to: the block cache
+    /// is disabled (nothing else owns it) or reference dispatch is in
+    /// force (the per-dispatch owned handle lives here).
+    scratch: Option<Arc<Block>>,
     code_lo: u32,
     code_hi: u32,
     /// Set when a store hit a device: the run loop leaves the current
     /// block so interrupt state raised by the device is sampled promptly.
     block_exit_pending: bool,
+    /// Set when translated code must be dropped (self-modifying store,
+    /// `fence.i`). Acted on at the next dispatch boundary — never
+    /// mid-block, which is what makes borrowing the current block across
+    /// instruction execution sound.
+    invalidate_pending: bool,
+    /// Forces `mip` re-sampling at the next dispatch boundary regardless
+    /// of `mip_poll_at` (set on any device access, run entry, wfi wake
+    /// and restore — everything that can move interrupt state).
+    irq_resample: bool,
+    /// The next cycle at which a device's `mip` contribution can change
+    /// spontaneously; block boundaries before this cycle skip the bus
+    /// `mip` poll.
+    mip_poll_at: u64,
+    /// Per-page lineage: the snapshot page each RAM page last agreed
+    /// with. Together with the bus dirty bitmap this makes both
+    /// [`Vp::snapshot`] and [`Vp::restore`] O(diverged pages): a page is
+    /// copied on restore only if it was written since the last
+    /// snapshot/restore *or* the target snapshot holds a different page
+    /// object than this VP last synchronized with.
+    sync_pages: Vec<Arc<[u8]>>,
+    stats: DispatchStats,
 }
 
 enum Step {
@@ -230,8 +352,10 @@ impl Vp {
     /// Mutable access to the bus (image loading, device state, memory
     /// fault injection).
     pub fn bus_mut(&mut self) -> &mut Bus {
-        // Memory contents may change: drop translated code.
-        self.cache.clear();
+        // Memory contents and interrupt state may change: drop translated
+        // code and force an interrupt re-sample.
+        self.invalidate_caches();
+        self.irq_resample = true;
         &mut self.bus
     }
 
@@ -265,8 +389,112 @@ impl Vp {
     ///
     /// Returns [`BusFault`] if the range is outside RAM.
     pub fn load(&mut self, addr: u32, bytes: &[u8]) -> Result<(), BusFault> {
-        self.cache.clear();
+        // Also resets the translated-code range: without that, stores into
+        // the *previous* image's code range would keep triggering spurious
+        // invalidations for the lifetime of the new program.
+        self.invalidate_caches();
         self.bus.load(addr, bytes)
+    }
+
+    /// Drops all translated code (block cache and jump cache) and resets
+    /// the tracked code range. Called directly from every out-of-run
+    /// mutation point; the run loop defers to its next dispatch boundary
+    /// via `invalidate_pending` instead.
+    fn invalidate_caches(&mut self) {
+        self.cache.clear();
+        self.jmp_cache.iter_mut().for_each(|s| *s = None);
+        self.scratch = None;
+        self.code_lo = u32::MAX;
+        self.code_hi = 0;
+        self.invalidate_pending = false;
+        self.stats.invalidations += 1;
+    }
+
+    /// Dispatch and snapshot counters accumulated since construction (or
+    /// since [`take_dispatch_stats`](Vp::take_dispatch_stats)).
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.stats
+    }
+
+    /// Returns the accumulated [`DispatchStats`] and resets them to zero,
+    /// for periodic draining into a metrics registry.
+    pub fn take_dispatch_stats(&mut self) -> DispatchStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    // ------------------------------------------------------- snapshot
+
+    /// Captures the complete architectural state: CPU, RAM, devices and
+    /// pending bus event. Cost is proportional to the number of RAM pages
+    /// written since the previous `snapshot()` (or since reset), not to
+    /// the RAM size: clean pages are shared with the previous capture by
+    /// reference.
+    pub fn snapshot(&mut self) -> VpSnapshot {
+        // Fold pages that diverged from the recorded lineage back in, so
+        // `sync_pages` becomes an exact image of current RAM.
+        let dirty: Vec<usize> = self.bus.dirty_pages().collect();
+        for &page in &dirty {
+            let range = self.bus.page_range(page);
+            self.sync_pages[page] = Arc::from(&self.bus.ram()[range]);
+        }
+        self.bus.clear_dirty();
+        self.stats.snapshots += 1;
+        self.stats.pages_flushed += dirty.len() as u64;
+        VpSnapshot {
+            cpu: self.cpu.clone(),
+            ram_base: self.bus.ram_base(),
+            ram_size: self.bus.ram_size(),
+            pages: self.sync_pages.clone(),
+            devices: self.bus.save_devices(),
+            pending_event: self.bus.peek_event(),
+            block_exit_pending: self.block_exit_pending,
+        }
+    }
+
+    /// Restores state captured by [`snapshot`](Vp::snapshot) — on this VP
+    /// or any other VP built with the same RAM geometry and device
+    /// complement. Only pages on which this VP's RAM and the snapshot
+    /// disagree are copied (O(diverged pages)); restoring a snapshot onto
+    /// the VP that just took it and hasn't run since copies nothing.
+    ///
+    /// Translated code is dropped (the snapshot may hold different guest
+    /// code) and interrupt state is re-sampled at the next dispatch.
+    /// Plugins are *not* part of the snapshot: attached plugins simply
+    /// observe execution resuming from the restore point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RAM geometry or device count differs from the
+    /// snapshot's — snapshots are not portable across VP configurations.
+    pub fn restore(&mut self, snapshot: &VpSnapshot) {
+        assert_eq!(
+            (snapshot.ram_base, snapshot.ram_size),
+            (self.bus.ram_base(), self.bus.ram_size()),
+            "snapshot RAM geometry mismatch"
+        );
+        // A page must be copied if RAM diverged from this VP's lineage
+        // (dirty bit) or the lineage itself differs from the snapshot's
+        // page (pointer inequality — exact, because untouched pages share
+        // one allocation all the way back to the common zero page).
+        let mut restored = 0u64;
+        for page in 0..self.sync_pages.len() {
+            if self.bus.page_is_dirty(page)
+                || !Arc::ptr_eq(&self.sync_pages[page], &snapshot.pages[page])
+            {
+                self.bus.copy_page_from(page, &snapshot.pages[page]);
+                self.sync_pages[page] = Arc::clone(&snapshot.pages[page]);
+                restored += 1;
+            }
+        }
+        self.bus.clear_dirty();
+        self.cpu = snapshot.cpu.clone();
+        self.bus.restore_devices(&snapshot.devices);
+        self.bus.set_pending_event(snapshot.pending_event);
+        self.block_exit_pending = snapshot.block_exit_pending;
+        self.invalidate_caches();
+        self.irq_resample = true;
+        self.stats.restores += 1;
+        self.stats.pages_restored += restored;
     }
 
     /// Runs with the default instruction budget.
@@ -299,6 +527,8 @@ impl Vp {
     fn run_loop(&mut self, max_insns: u64, cancel: Option<&CancelToken>) -> RunOutcome {
         let mut remaining = max_insns;
         let mut blocks = 0u32;
+        // Device or bus state may have been mutated between runs.
+        self.irq_resample = true;
         loop {
             if let Some(token) = cancel {
                 blocks = blocks.wrapping_add(1);
@@ -306,9 +536,24 @@ impl Vp {
                     return RunOutcome::Cancelled;
                 }
             }
-            // Interrupts are sampled at block boundaries, like QEMU.
-            let mip = self.bus.mip_bits(self.cpu.cycles());
-            self.cpu.set_mip(mip);
+            // Dispatch boundary: the only place deferred invalidation is
+            // acted on, so translated blocks are never freed mid-execution.
+            if self.invalidate_pending {
+                self.invalidate_caches();
+            }
+            // Interrupts are sampled at block boundaries, like QEMU — but
+            // the bus poll is skipped while no device can change its mip
+            // contribution spontaneously (e.g. no timer armed). Device
+            // accesses set `irq_resample`, so latched state can't go stale.
+            if !self.fast_dispatch_enabled
+                || self.irq_resample
+                || self.cpu.cycles() >= self.mip_poll_at
+            {
+                self.irq_resample = false;
+                let now = self.cpu.cycles();
+                self.cpu.set_mip(self.bus.mip_bits(now));
+                self.mip_poll_at = self.bus.mip_next_change(now);
+            }
             if let Some(irq) = self.cpu.pending_interrupt() {
                 if let Some(fatal) = self.raise(irq) {
                     return fatal;
@@ -330,12 +575,20 @@ impl Vp {
                     p.on_block_executed(&self.cpu, pc);
                 }
             }
-            for (pc, insn) in &block.insns {
+            // SAFETY: `block` points into an `Arc<Block>` owned by
+            // `self.cache`, `self.jmp_cache` or `self.scratch`, none of
+            // which are touched before the next dispatch boundary:
+            // invalidation requests inside `exec_insn` only set
+            // `invalidate_pending`. Each instruction is copied out before
+            // executing, so no reference is held across `&mut self` calls.
+            let len = unsafe { (*block).insns.len() };
+            for i in 0..len {
                 if remaining == 0 {
                     return RunOutcome::InsnLimit;
                 }
                 remaining -= 1;
-                match self.exec_insn(*pc, insn) {
+                let (pc, insn) = unsafe { (&(*block).insns)[i] };
+                match self.exec_insn(pc, &insn) {
                     Some(outcome) => return outcome,
                     None => {
                         if self.block_exit_pending {
@@ -343,7 +596,7 @@ impl Vp {
                             break;
                         }
                         // Control left the block (jump/branch/trap)?
-                        if self.cpu.pc() != insn.next_pc(*pc) {
+                        if self.cpu.pc() != insn.next_pc(pc) {
                             break;
                         }
                     }
@@ -427,6 +680,8 @@ impl Vp {
             let mip = self.bus.mip_bits(now);
             self.cpu.set_mip(mip);
             if self.cpu.wfi_wake_pending() {
+                // The throttle's poll deadline may predate the fast-forward.
+                self.irq_resample = true;
                 return None;
             }
             let Some(clint) = self.bus.device::<Clint>() else {
@@ -457,13 +712,41 @@ impl Vp {
 
     // ------------------------------------------------------------- fetch
 
-    fn fetch_block(&mut self, pc: u32) -> Result<Rc<Block>, Trap> {
+    /// Looks up (or translates) the block starting at `pc` and returns a
+    /// raw pointer to it. The pointee is owned by `self.cache` /
+    /// `self.jmp_cache` (or `self.scratch` when the block cache or the
+    /// dispatch fast path is disabled) and stays alive until the next
+    /// dispatch boundary — see the safety comment in
+    /// [`run_loop`](Vp::run_loop).
+    fn fetch_block(&mut self, pc: u32) -> Result<*const Block, Trap> {
         if self.cache_enabled {
+            if self.fast_dispatch_enabled {
+                // Hot path: one shift, one mask, one compare — no hashing,
+                // no `Arc` refcount traffic.
+                if let Some((tag, b)) = &self.jmp_cache[jmp_cache_slot(pc)] {
+                    if *tag == pc {
+                        self.stats.jmp_cache_hits += 1;
+                        return Ok(Arc::as_ptr(b));
+                    }
+                }
+                self.stats.jmp_cache_misses += 1;
+            }
             if let Some(b) = self.cache.get(&pc) {
-                return Ok(Rc::clone(b));
+                if self.fast_dispatch_enabled {
+                    let ptr = Arc::as_ptr(b);
+                    self.jmp_cache[jmp_cache_slot(pc)] = Some((pc, Arc::clone(b)));
+                    return Ok(ptr);
+                }
+                // Reference dispatch: hold the block through an owned
+                // handle, paying the refcount clone on every dispatch.
+                let b = Arc::clone(b);
+                let ptr = Arc::as_ptr(&b);
+                self.scratch = Some(b);
+                return Ok(ptr);
             }
         }
-        let block = Rc::new(self.translate_block(pc)?);
+        let block = Arc::new(self.translate_block(pc)?);
+        self.stats.translations += 1;
         if !self.plugins.is_empty() {
             let info = BlockInfo {
                 start_pc: pc,
@@ -473,13 +756,20 @@ impl Vp {
                 p.on_block_translated(&info);
             }
         }
+        let ptr = Arc::as_ptr(&block);
         if self.cache_enabled {
             let end = block.insns.last().map(|(a, i)| i.next_pc(*a)).unwrap_or(pc);
             self.code_lo = self.code_lo.min(pc);
             self.code_hi = self.code_hi.max(end);
-            self.cache.insert(pc, Rc::clone(&block));
+            if self.fast_dispatch_enabled {
+                self.jmp_cache[jmp_cache_slot(pc)] = Some((pc, Arc::clone(&block)));
+            }
+            self.cache.insert(pc, block);
+        } else {
+            // Nothing else owns the block: park it until the next fetch.
+            self.scratch = Some(block);
         }
-        Ok(block)
+        Ok(ptr)
     }
 
     fn translate_block(&mut self, pc: u32) -> Result<Block, Trap> {
@@ -559,6 +849,11 @@ impl Vp {
             _ => self.bus.read32(addr, now),
         }
         .map_err(|f| Trap::LoadAccessFault { addr: f.addr })?;
+        if !self.bus.is_ram(addr) {
+            // Device loads can deassert interrupt state (e.g. draining the
+            // UART receive queue drops MEIP): re-sample at the boundary.
+            self.irq_resample = true;
+        }
         self.observe_access(pc, addr, size, value, false);
         Ok(value)
     }
@@ -578,16 +873,17 @@ impl Vp {
             // A device store may raise interrupt state (CLINT msip /
             // mtimecmp); leave the block so it is sampled promptly.
             self.block_exit_pending = true;
+            self.irq_resample = true;
         }
-        // Self-modifying code: drop translated blocks when code is written.
+        // Self-modifying code: request invalidation. Deferred to the next
+        // dispatch boundary so the currently-executing block (whose
+        // storage lives in the caches) is never freed under our feet.
         if self.cache_enabled
             && !self.cache.is_empty()
             && addr.wrapping_add(size as u32) > self.code_lo
             && addr < self.code_hi
         {
-            self.cache.clear();
-            self.code_lo = u32::MAX;
-            self.code_hi = 0;
+            self.invalidate_pending = true;
         }
         self.observe_access(pc, addr, size, value, true);
         Ok(())
@@ -732,9 +1028,10 @@ impl Vp {
             Remu => set!(if rs2 == 0 { rs1 } else { rs1 % rs2 }),
             Fence => Step::Next,
             FenceI => {
-                self.cache.clear();
-                self.code_lo = u32::MAX;
-                self.code_hi = 0;
+                // `fence.i` ends its translation block, so deferring the
+                // flush to the dispatch boundary is architecturally
+                // invisible — and keeps the current block alive.
+                self.invalidate_pending = true;
                 Step::Next
             }
             Ecall => Step::Trap(Trap::EcallM),
@@ -987,5 +1284,14 @@ mod tests {
         assert!(RunOutcome::Break.is_normal_termination());
         assert!(!RunOutcome::Exit(1).is_normal_termination());
         assert!(!RunOutcome::Fatal(Trap::EcallM).is_normal_termination());
+    }
+
+    /// A `Vp` moves between campaign worker threads (shared golden VP
+    /// behind a mutex, reusable per-worker mutant VPs) — `Send` is a
+    /// load-bearing property, guarded here at compile time.
+    #[test]
+    fn vp_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Vp>();
     }
 }

@@ -91,6 +91,6 @@ pub mod prelude {
     pub use s4e_isa::{decode, disassemble, Extension, Gpr, Insn, InsnKind, IsaConfig};
     pub use s4e_obs::{MetricsRegistry, ProfilePlugin, Snapshot};
     pub use s4e_torture::{architectural_suite, torture_program, unit_suite, TortureConfig};
-    pub use s4e_vp::{CancelToken, Plugin, RunOutcome, TimingModel, Vp};
+    pub use s4e_vp::{CancelToken, DispatchStats, Plugin, RunOutcome, TimingModel, Vp, VpSnapshot};
     pub use s4e_wcet::{analyze, LoopBounds, TimedCfg, WcetOptions};
 }

@@ -33,6 +33,52 @@ proptest! {
         }
     }
 
+    /// Snapshot/restore is architecturally invisible: running to an
+    /// arbitrary split point, snapshotting, restoring onto a *different*
+    /// VP and finishing there produces exactly the state of an
+    /// uninterrupted run — registers, counters, RAM and plugin-visible
+    /// retirement counts.
+    #[test]
+    fn snapshot_round_trip_is_transparent(seed in any::<u64>(), split in 1u64..400) {
+        let isa = IsaConfig::rv32imfc();
+        let p = torture_program(&TortureConfig::new(seed).insns(120).isa(isa));
+        let image = assemble(&p.source).expect("generated programs assemble");
+
+        let mut straight = Vp::new(isa);
+        boot(&mut straight, &image).expect("boots");
+        prop_assert_eq!(straight.run_for(10_000_000), RunOutcome::Break);
+
+        let mut golden = Vp::new(isa);
+        boot(&mut golden, &image).expect("boots");
+        let at_split = golden.run_for(split);
+        let snap = golden.snapshot();
+
+        if at_split == RunOutcome::Break {
+            // The program was shorter than the split: the snapshot *is*
+            // the final state (re-running a terminated VP would re-execute
+            // the ebreak, so a fast-forward consumer must not resume it).
+            prop_assert_eq!(snap.instret(), straight.cpu().instret());
+            prop_assert_eq!(snap.cycles(), straight.cpu().cycles());
+        } else {
+            prop_assert_eq!(at_split, RunOutcome::InsnLimit);
+            let mut worker = Vp::new(isa);
+            worker.restore(&snap);
+            prop_assert_eq!(worker.cpu().instret(), snap.instret());
+            prop_assert_eq!(worker.run_for(10_000_000), RunOutcome::Break);
+            prop_assert_eq!(worker.cpu().cycles(), straight.cpu().cycles());
+            prop_assert_eq!(worker.cpu().instret(), straight.cpu().instret());
+            for i in 0..32u8 {
+                let r = Gpr::new(i).expect("index");
+                prop_assert_eq!(worker.cpu().gpr(r), straight.cpu().gpr(r));
+            }
+            let base = image.base();
+            prop_assert_eq!(
+                worker.bus().dump(base, 4096).expect("ram"),
+                straight.bus().dump(base, 4096).expect("ram")
+            );
+        }
+    }
+
     /// The QTA invariant chain `dynamic ≤ qta ≤ static` holds for
     /// arbitrary loop-free generated programs.
     #[test]
