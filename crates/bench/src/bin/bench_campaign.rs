@@ -1,5 +1,6 @@
 //! **Experiment C1** — campaign-throughput gain from golden-prefix
-//! fast-forward, plus the bare interpreter-dispatch fast path.
+//! fast-forward, plus bare interpreter-dispatch throughput across the
+//! three execution-engine tiers.
 //!
 //! Two measurements, written to `BENCH_campaign.json`:
 //!
@@ -7,25 +8,61 @@
 //!    × 35 injection times, blind-in-time over twice the golden length)
 //!    run with fast-forward off and on. The reports must be
 //!    classification-identical; the shape target is ≥ 3x throughput.
-//! 2. Bare dispatch: a branch-heavy kernel run with the reference
-//!    dispatch (`HashMap` probe, refcount clone and interrupt poll per
-//!    dispatched block) and with the fast path (direct-mapped jump
-//!    cache, no refcount traffic, throttled interrupt sampling); shape
-//!    target ≥ 1.2x.
+//! 2. Bare dispatch: a branch-heavy kernel run on the three tiers —
+//!    the per-instruction reference interpreter, the jump-cache block
+//!    dispatcher (micro-ops off), and the full micro-op engine
+//!    (lowered operands, macro-op fusion, direct block chaining).
+//!    Shape targets: jump cache ≥ 1.2x over reference, micro-op engine
+//!    ≥ 1.8x over the jump-cache tier.
+//!
+//! The JSON records the git revision, worker thread count and host CPU
+//! model so results from different checkouts and machines compare
+//! honestly.
 
 use s4e_bench::build;
 use s4e_bench::kernels::{matmul, state_machine};
 use s4e_faultsim::{Campaign, CampaignConfig, FaultKind, FaultSpec, FaultTarget};
 use s4e_isa::{Gpr, IsaConfig};
-use s4e_vp::{RunOutcome, Vp};
+use s4e_vp::{DispatchStats, RunOutcome, Vp};
 use std::time::Instant;
+
+/// The current git revision, or `"unknown"` outside a work tree.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The host CPU model from `/proc/cpuinfo`, or `"unknown"`.
+fn host_cpu() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':'))
+                .map(|(_, model)| model.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 fn main() {
     let isa = IsaConfig::full();
-    let image = build(&matmul(10).source, isa);
+    // A 16×16 matmul keeps the legacy sweep in the hundreds of
+    // milliseconds: long enough for stable wall-clock ratios now that
+    // the micro-op engine has cut per-mutant simulation time.
+    let image = build(&matmul(16).source, isa);
     let threads = std::thread::available_parallelism()
         .map(|n| n.get().min(4))
         .unwrap_or(1);
+    let git_rev = git_revision();
+    let cpu_model = host_cpu();
 
     // --- campaign throughput -------------------------------------------
     let prepare = |fast_forward: bool| {
@@ -77,6 +114,7 @@ fn main() {
 
     println!("# C1 — campaign fast-forward throughput");
     println!();
+    println!("git: {git_rev}, threads: {threads}, cpu: {cpu_model}");
     println!("golden instret: {golden_len}, budget: {}", fast.budget());
     println!();
     println!("| mode | mutants | wall time | mutants/s |");
@@ -96,13 +134,17 @@ fn main() {
 
     // --- bare dispatch -------------------------------------------------
     // A branch-heavy kernel (short blocks, so dispatch overhead is not
-    // amortized away by long straight-line runs). One VP per
-    // configuration, reset between runs by restoring a post-load
-    // snapshot (identical cost on both sides); the measurement window is
-    // time-based so each side runs long enough to be stable.
+    // amortized away by long straight-line runs). One VP per tier, reset
+    // between runs by restoring a post-load snapshot (identical cost on
+    // all sides); the measurement window is time-based so each tier runs
+    // long enough to be stable.
     let branchy = build(&state_machine(128).source, isa);
-    let dispatch = |fast: bool| {
-        let mut vp = Vp::builder().isa(isa).fast_dispatch(fast).build();
+    let dispatch = |fast: bool, uops: bool| {
+        let mut vp = Vp::builder()
+            .isa(isa)
+            .fast_dispatch(fast)
+            .micro_ops(uops)
+            .build();
         vp.load(branchy.base(), branchy.bytes()).expect("fits RAM");
         vp.cpu_mut().set_pc(branchy.entry());
         let boot = vp.snapshot();
@@ -118,42 +160,92 @@ fn main() {
             insns += per_run;
             runs += 1;
         }
-        (per_run, insns, t0.elapsed().as_secs_f64())
+        (
+            per_run,
+            insns,
+            t0.elapsed().as_secs_f64(),
+            vp.dispatch_stats(),
+        )
     };
-    let (run_off, insns_off, off_s) = dispatch(false);
-    let (run_on, insns_on, on_s) = dispatch(true);
-    assert_eq!(run_on, run_off, "dispatch mode must not change results");
-    let mips_off = insns_off as f64 / off_s / 1e6;
-    let mips_on = insns_on as f64 / on_s / 1e6;
-    let dispatch_speedup = mips_on / mips_off;
+    let (run_ref, insns_ref, ref_s, _) = dispatch(false, false);
+    let (run_jc, insns_jc, jc_s, _) = dispatch(true, false);
+    let (run_uop, insns_uop, uop_s, uop_stats) = dispatch(true, true);
+    assert_eq!(run_jc, run_ref, "dispatch tier must not change results");
+    assert_eq!(run_uop, run_ref, "dispatch tier must not change results");
+    let mips_ref = insns_ref as f64 / ref_s / 1e6;
+    let mips_jc = insns_jc as f64 / jc_s / 1e6;
+    let mips_uop = insns_uop as f64 / uop_s / 1e6;
+    let jc_speedup = mips_jc / mips_ref;
+    let uop_speedup = mips_uop / mips_jc;
+    let total_speedup = mips_uop / mips_ref;
+
+    let fused_insn_share = if insns_uop == 0 {
+        0.0
+    } else {
+        // Each fused micro-op covers two retired guest instructions.
+        2.0 * uop_stats.fused_exec as f64 / insns_uop as f64
+    };
+    let chain_hit_rate = uop_stats.chain_hit_rate();
 
     println!();
-    println!("# bare dispatch (fast path vs reference)");
+    println!("# bare dispatch (three execution-engine tiers)");
     println!();
-    println!("| mode | insns | wall time | MIPS |");
+    println!("| tier | insns | wall time | MIPS |");
     println!("|---|---|---|---|");
-    println!("| reference dispatch | {insns_off} | {off_s:.3} s | {mips_off:.1} |");
-    println!("| fast path | {insns_on} | {on_s:.3} s | {mips_on:.1} |");
+    println!("| reference (per-insn) | {insns_ref} | {ref_s:.3} s | {mips_ref:.1} |");
+    println!("| jump cache | {insns_jc} | {jc_s:.3} s | {mips_jc:.1} |");
+    println!("| micro-op engine | {insns_uop} | {uop_s:.3} s | {mips_uop:.1} |");
     println!();
-    println!("dispatch speedup: {dispatch_speedup:.2}x");
+    println!("jump cache over reference : {jc_speedup:.2}x");
+    println!("micro-op engine over jump cache: {uop_speedup:.2}x");
+    println!("micro-op engine over reference : {total_speedup:.2}x");
+    println!(
+        "chain hit rate: {:.1}%, fused insn share: {:.1}%",
+        chain_hit_rate * 100.0,
+        fused_insn_share * 100.0
+    );
 
+    let stats_json = |s: &DispatchStats| {
+        format!(
+            "{{\"chain_hits\": {}, \"chain_links\": {}, \"jmp_cache_hits\": {}, \
+             \"jmp_cache_misses\": {}, \"fused_lowered\": {}, \"fused_exec\": {}}}",
+            s.chain_hits,
+            s.chain_links,
+            s.jmp_cache_hits,
+            s.jmp_cache_misses,
+            s.fused_lowered,
+            s.fused_exec,
+        )
+    };
     let json = format!(
-        "{{\n  \"mutants\": {},\n  \"golden_instret\": {},\n  \"budget\": {},\n  \
-         \"threads\": {},\n  \"legacy_s\": {:.6},\n  \"fast_forward_s\": {:.6},\n  \
+        "{{\n  \"git_revision\": \"{}\",\n  \"threads\": {},\n  \"host_cpu\": \"{}\",\n  \
+         \"mutants\": {},\n  \"golden_instret\": {},\n  \"budget\": {},\n  \
+         \"legacy_s\": {:.6},\n  \"fast_forward_s\": {:.6},\n  \
          \"campaign_speedup\": {:.3},\n  \"classification_identical\": true,\n  \
          \"dispatch_insns\": {},\n  \"reference_dispatch_mips\": {:.3},\n  \
-         \"fast_dispatch_mips\": {:.3},\n  \"dispatch_speedup\": {:.3}\n}}\n",
+         \"jump_cache_mips\": {:.3},\n  \"uop_engine_mips\": {:.3},\n  \
+         \"jump_cache_speedup\": {:.3},\n  \"uop_engine_speedup\": {:.3},\n  \
+         \"dispatch_speedup\": {:.3},\n  \"chain_hit_rate\": {:.4},\n  \
+         \"fused_insn_share\": {:.4},\n  \"uop_dispatch_stats\": {}\n}}\n",
+        git_rev.replace('"', ""),
+        threads,
+        cpu_model.replace('"', ""),
         specs.len(),
         golden_len,
         fast.budget(),
-        threads,
         legacy_s,
         ff_s,
         campaign_speedup,
-        insns_on,
-        mips_off,
-        mips_on,
-        dispatch_speedup,
+        insns_uop,
+        mips_ref,
+        mips_jc,
+        mips_uop,
+        jc_speedup,
+        uop_speedup,
+        total_speedup,
+        chain_hit_rate,
+        fused_insn_share,
+        stats_json(&uop_stats),
     );
     std::fs::write("BENCH_campaign.json", json).expect("writes BENCH_campaign.json");
     println!();
@@ -165,9 +257,14 @@ fn main() {
          (got {campaign_speedup:.2}x)"
     );
     assert!(
-        dispatch_speedup >= 1.2,
+        jc_speedup >= 1.2,
         "shape: the jump cache should gain >= 1.2x on bare dispatch \
-         (got {dispatch_speedup:.2}x)"
+         (got {jc_speedup:.2}x)"
+    );
+    assert!(
+        uop_speedup >= 1.8,
+        "shape: the micro-op engine should gain >= 1.8x over the jump-cache \
+         tier (got {uop_speedup:.2}x)"
     );
     println!("C1 shape check: PASS");
 }

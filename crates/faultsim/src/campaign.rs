@@ -64,11 +64,11 @@ impl From<BusFault> for CampaignError {
 
 /// Campaign configuration.
 ///
-/// Field lifetimes split two ways. `isa`, `ram_size`, `budget_multiplier`
-/// and `compare_memory` are **per-campaign**: they are baked into the
-/// golden run, the derived instruction budget and the hoisted VP builder
-/// at [`Campaign::prepare`] time, so changing any of them requires
-/// preparing a new campaign. `threads`, `timeout` and `fast_forward` are
+/// Field lifetimes split two ways. `isa`, `ram_size`, `budget_multiplier`,
+/// `compare_memory` and `reference_dispatch` are **per-campaign**: they
+/// are baked into the golden run, the derived instruction budget and the
+/// hoisted VP builder at [`Campaign::prepare`] time, so changing any of
+/// them requires preparing a new campaign. `threads`, `timeout` and `fast_forward` are
 /// **per-sweep execution policy**: they steer how mutants are scheduled,
 /// supervised and accelerated without affecting any classification.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +101,12 @@ pub struct CampaignConfig {
     /// interrupts fall back to the legacy full re-run automatically — see
     /// [`Campaign::fast_forward_active`].
     pub fast_forward: bool,
+    /// Forces every campaign VP onto the reference per-instruction
+    /// dispatch path (no block cache, no micro-op lowering). Off by
+    /// default. Classifications are identical either way — this is the
+    /// A/B switch for validating the lowered execution engine and for
+    /// measuring its speedup.
+    pub reference_dispatch: bool,
 }
 
 impl CampaignConfig {
@@ -115,6 +121,7 @@ impl CampaignConfig {
             compare_memory: true,
             timeout: None,
             fast_forward: true,
+            reference_dispatch: false,
         }
     }
 
@@ -161,6 +168,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn fast_forward(mut self, on: bool) -> CampaignConfig {
         self.fast_forward = on;
+        self
+    }
+
+    /// Forces the reference per-instruction dispatch path on every
+    /// campaign VP (classifications are identical either way).
+    #[must_use]
+    pub fn reference_dispatch(mut self, on: bool) -> CampaignConfig {
+        self.reference_dispatch = on;
         self
     }
 
@@ -306,7 +321,8 @@ impl Campaign {
         let vp_builder = Vp::builder()
             .isa(config.isa)
             .ram(base & !0xfff, config.ram_size)
-            .timing(TimingModel::flat());
+            .timing(TimingModel::flat())
+            .fast_dispatch(!config.reference_dispatch);
         let mut vp = Self::boot_vp(&vp_builder, base, bytes, entry)?;
         vp.add_plugin(Box::new(TracePlugin::new()));
         let outcome = vp.run_for(50_000_000);

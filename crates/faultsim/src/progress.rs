@@ -64,6 +64,10 @@ pub struct CampaignProgress {
     pages_restored: Arc<Counter>,
     jmp_hits: Arc<Counter>,
     jmp_misses: Arc<Counter>,
+    chain_hits: Arc<Counter>,
+    chain_links: Arc<Counter>,
+    fused_lowered: Arc<Counter>,
+    fused_exec: Arc<Counter>,
     started: Instant,
 }
 
@@ -100,6 +104,10 @@ impl CampaignProgress {
             pages_restored: registry.counter("campaign_dirty_pages_restored"),
             jmp_hits: registry.counter("campaign_jmp_cache_hits"),
             jmp_misses: registry.counter("campaign_jmp_cache_misses"),
+            chain_hits: registry.counter("campaign_chain_hits"),
+            chain_links: registry.counter("campaign_chain_links"),
+            fused_lowered: registry.counter("campaign_fused_lowered"),
+            fused_exec: registry.counter("campaign_fused_executed"),
             registry,
             started: Instant::now(),
         }
@@ -133,8 +141,9 @@ impl CampaignProgress {
 
     /// Merges one VP's [`DispatchStats`] into the campaign metrics: the
     /// fast-forward efficiency counters (snapshots taken and restored,
-    /// dirty pages moved each way) and the interpreter's jump-cache
-    /// hit/miss split. Workers call this per mutant with their reusable
+    /// dirty pages moved each way), the interpreter's jump-cache
+    /// hit/miss split, and the micro-op engine's chain and fusion
+    /// counters. Workers call this per mutant with their reusable
     /// VP's reset-on-read stats; the runner adds the shared golden
     /// replay VP's share once at the end of the sweep.
     pub fn record_dispatch(&self, stats: &DispatchStats) {
@@ -144,6 +153,10 @@ impl CampaignProgress {
         self.pages_restored.add(stats.pages_restored);
         self.jmp_hits.add(stats.jmp_cache_hits);
         self.jmp_misses.add(stats.jmp_cache_misses);
+        self.chain_hits.add(stats.chain_hits);
+        self.chain_links.add(stats.chain_links);
+        self.fused_lowered.add(stats.fused_lowered);
+        self.fused_exec.add(stats.fused_exec);
     }
 
     /// Worker `worker` claimed a queue slot — its liveness heartbeat.

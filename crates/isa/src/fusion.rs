@@ -1,0 +1,316 @@
+//! Macro-op fusion patterns: adjacent instruction pairs that real RISC-V
+//! front-ends (and fast interpreters) execute as one operation.
+//!
+//! RV32 has no long immediates and no pc-relative addressing modes, so
+//! compilers emit fixed two-instruction idioms for constants
+//! (`lui`+`addi`), pc-relative addresses (`auipc`+`addi`), global
+//! loads/stores (`auipc`+`ld`/`st`), zero-extension (`slli`+`srli`) and
+//! conditional control flow on comparison results (`slt[i][u]`+`beqz`/
+//! `bnez`). [`detect`] recognizes these pairs so a translation layer can
+//! lower them to a single micro-op; the classification is purely
+//! syntactic and never changes architectural semantics — a pair is only
+//! reported when executing the fused form writes the same registers with
+//! the same values as executing the two instructions back to back.
+
+use crate::insn::Insn;
+use crate::kind::InsnKind;
+use crate::reg::Gpr;
+
+/// A fusible adjacent instruction pair, as classified by [`detect`].
+///
+/// Offsets are relative: address-forming patterns report the combined
+/// displacement from the *first* instruction's pc, and [`CmpBranch`]
+/// reports the branch displacement from the *second* (the branch's own
+/// pc), matching how each instruction encodes its immediate.
+///
+/// [`CmpBranch`]: FusionPattern::CmpBranch
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionPattern {
+    /// `lui rd, hi` + `addi rd, rd, lo`: load a 32-bit constant.
+    ConstLui {
+        /// Destination register of both halves.
+        rd: Gpr,
+        /// The materialized constant.
+        value: u32,
+    },
+    /// `auipc rd, hi` + `addi rd, rd, lo`: form a pc-relative address.
+    ConstAuipc {
+        /// Destination register of both halves.
+        rd: Gpr,
+        /// Combined displacement from the `auipc`'s pc.
+        offset: u32,
+    },
+    /// `auipc base, hi` + load via `base`: pc-relative load.
+    PcRelLoad {
+        /// The `auipc` destination (still architecturally written).
+        base: Gpr,
+        /// The load destination (may alias `base`).
+        rd: Gpr,
+        /// The load opcode (`Lb`/`Lh`/`Lw`/`Lbu`/`Lhu`).
+        kind: InsnKind,
+        /// Combined displacement from the `auipc`'s pc.
+        offset: u32,
+    },
+    /// `auipc base, hi` + store via `base`: pc-relative store.
+    PcRelStore {
+        /// The `auipc` destination (still architecturally written).
+        base: Gpr,
+        /// The register whose value is stored (never aliases `base`).
+        src: Gpr,
+        /// The store opcode (`Sb`/`Sh`/`Sw`).
+        kind: InsnKind,
+        /// Combined displacement from the `auipc`'s pc.
+        offset: u32,
+    },
+    /// `slt`/`sltu`/`slti`/`sltiu` + `beqz`/`bnez` on its result.
+    CmpBranch {
+        /// The comparison opcode.
+        cmp: InsnKind,
+        /// Comparison destination (architecturally written even when the
+        /// branch is taken).
+        rd: Gpr,
+        /// First comparison operand.
+        rs1: Gpr,
+        /// Second comparison operand (register forms only).
+        rs2: Gpr,
+        /// Comparison immediate (immediate forms only).
+        imm: i32,
+        /// `true` for `bnez` (branch when the comparison holds), `false`
+        /// for `beqz`.
+        branch_if_set: bool,
+        /// Branch displacement from the *branch's* pc.
+        offset: i32,
+    },
+    /// `slli rd, rs1, l` + `srli rd, rd, r`: bit-field extraction
+    /// (`l == r` is the canonical zero-extension idiom).
+    ShiftPair {
+        /// Destination register of both halves.
+        rd: Gpr,
+        /// Source of the left shift.
+        rs1: Gpr,
+        /// Left shift amount.
+        left: u32,
+        /// Right shift amount.
+        right: u32,
+    },
+}
+
+/// Classifies the adjacent pair `first`, `second` as a fusible macro-op.
+///
+/// Returns `None` when the pair is not one of the recognized idioms or
+/// when fusing would be architecturally observable (e.g. a store whose
+/// source register is the just-written `auipc` base). Callers are
+/// responsible for pairing only instructions that are dynamically
+/// adjacent — i.e. `first` must not end a basic block.
+///
+/// # Examples
+///
+/// ```
+/// use s4e_isa::{decode, fusion, IsaConfig};
+///
+/// let isa = IsaConfig::rv32i();
+/// let lui = decode(0x123452b7, &isa).unwrap(); // lui t0, 0x12345
+/// let addi = decode(0x67828293, &isa).unwrap(); // addi t0, t0, 0x678
+/// let Some(fusion::FusionPattern::ConstLui { value, .. }) =
+///     fusion::detect(&lui, &addi)
+/// else {
+///     panic!("should fuse");
+/// };
+/// assert_eq!(value, 0x12345678);
+/// ```
+pub fn detect(first: &Insn, second: &Insn) -> Option<FusionPattern> {
+    use InsnKind::*;
+    match (first.kind(), second.kind()) {
+        // lui rd, hi ; addi rd, rd, lo — the `li` idiom. The addi must
+        // both read and overwrite the lui's destination, otherwise the
+        // intermediate value stays live.
+        (Lui, Addi) if second.rs1() == first.rd() && second.rd() == first.rd() => {
+            Some(FusionPattern::ConstLui {
+                rd: first.rd_gpr(),
+                value: (first.imm() as u32).wrapping_add(second.imm() as u32),
+            })
+        }
+        (Auipc, Addi) if second.rs1() == first.rd() && second.rd() == first.rd() => {
+            Some(FusionPattern::ConstAuipc {
+                rd: first.rd_gpr(),
+                offset: (first.imm() as u32).wrapping_add(second.imm() as u32),
+            })
+        }
+        (Auipc, Lb | Lh | Lw | Lbu | Lhu) if second.rs1() == first.rd() => {
+            Some(FusionPattern::PcRelLoad {
+                base: first.rd_gpr(),
+                rd: second.rd_gpr(),
+                kind: second.kind(),
+                offset: (first.imm() as u32).wrapping_add(second.imm() as u32),
+            })
+        }
+        // The store's data register must not alias the auipc destination:
+        // fused execution reads it before the base register is rewritten.
+        (Auipc, Sb | Sh | Sw) if second.rs1() == first.rd() && second.rs2() != first.rd() => {
+            Some(FusionPattern::PcRelStore {
+                base: first.rd_gpr(),
+                src: second.rs2_gpr(),
+                kind: second.kind(),
+                offset: (first.imm() as u32).wrapping_add(second.imm() as u32),
+            })
+        }
+        // slt[i][u] rd ; beqz/bnez rd — branch on a comparison result.
+        // rd == x0 would make the comparison unobservable and the branch
+        // degenerate (x0 vs x0); leave that to the generic path.
+        (Slt | Sltu | Slti | Sltiu, Beq | Bne) if first.rd() != 0 => {
+            let rd = first.rd();
+            let reads_rd_vs_zero = (second.rs1() == rd && second.rs2() == 0)
+                || (second.rs1() == 0 && second.rs2() == rd);
+            if !reads_rd_vs_zero {
+                return None;
+            }
+            Some(FusionPattern::CmpBranch {
+                cmp: first.kind(),
+                rd: first.rd_gpr(),
+                rs1: first.rs1_gpr(),
+                rs2: first.rs2_gpr(),
+                imm: first.imm(),
+                branch_if_set: second.kind() == Bne,
+                offset: second.imm(),
+            })
+        }
+        (Slli, Srli) if second.rs1() == first.rd() && second.rd() == first.rd() => {
+            Some(FusionPattern::ShiftPair {
+                rd: first.rd_gpr(),
+                rs1: first.rs1_gpr(),
+                left: first.imm() as u32 & 31,
+                right: second.imm() as u32 & 31,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::encode::{encode, Operands};
+    use crate::kind::IsaConfig;
+
+    fn insn(kind: InsnKind, rd: u8, rs1: u8, rs2: u8, imm: i32) -> Insn {
+        let raw = encode(kind, Operands { rd, rs1, rs2, imm }).expect("encodes");
+        decode(raw, &IsaConfig::full()).expect("own encodings decode")
+    }
+
+    #[test]
+    fn lui_addi_folds_constant() {
+        let lui = insn(InsnKind::Lui, 5, 0, 0, 0x12345 << 12);
+        let addi = insn(InsnKind::Addi, 5, 5, 0, 0x678);
+        assert_eq!(
+            detect(&lui, &addi),
+            Some(FusionPattern::ConstLui {
+                rd: Gpr::new(5).unwrap(),
+                value: 0x12345678,
+            })
+        );
+        // Negative low part borrows from the high part.
+        let lui = insn(InsnKind::Lui, 5, 0, 0, 0x12346 << 12);
+        let addi = insn(InsnKind::Addi, 5, 5, 0, -8);
+        let Some(FusionPattern::ConstLui { value, .. }) = detect(&lui, &addi) else {
+            panic!("should fuse");
+        };
+        assert_eq!(value, 0x12345ff8);
+    }
+
+    #[test]
+    fn lui_addi_requires_rd_chain() {
+        let lui = insn(InsnKind::Lui, 5, 0, 0, 0x12345 << 12);
+        // addi into a different register keeps the lui value live.
+        let other_rd = insn(InsnKind::Addi, 6, 5, 0, 1);
+        assert_eq!(detect(&lui, &other_rd), None);
+        // addi from a different source is unrelated.
+        let other_rs = insn(InsnKind::Addi, 5, 6, 0, 1);
+        assert_eq!(detect(&lui, &other_rs), None);
+    }
+
+    #[test]
+    fn auipc_load_and_store() {
+        let auipc = insn(InsnKind::Auipc, 7, 0, 0, 0x1 << 12);
+        let lw = insn(InsnKind::Lw, 8, 7, 0, -4);
+        assert_eq!(
+            detect(&auipc, &lw),
+            Some(FusionPattern::PcRelLoad {
+                base: Gpr::new(7).unwrap(),
+                rd: Gpr::new(8).unwrap(),
+                kind: InsnKind::Lw,
+                offset: 0xffc,
+            })
+        );
+        let sw = insn(InsnKind::Sw, 0, 7, 8, 16);
+        assert_eq!(
+            detect(&auipc, &sw),
+            Some(FusionPattern::PcRelStore {
+                base: Gpr::new(7).unwrap(),
+                src: Gpr::new(8).unwrap(),
+                kind: InsnKind::Sw,
+                offset: 0x1010,
+            })
+        );
+        // Storing the base register itself must not fuse: the fused form
+        // would read it after the auipc rewrote it.
+        let sw_base = insn(InsnKind::Sw, 0, 7, 7, 16);
+        assert_eq!(detect(&auipc, &sw_base), None);
+    }
+
+    #[test]
+    fn cmp_branch_polarity_and_operand_order() {
+        let slt = insn(InsnKind::Slt, 9, 10, 11, 0);
+        let bnez = insn(InsnKind::Bne, 0, 9, 0, 64);
+        let Some(FusionPattern::CmpBranch {
+            branch_if_set,
+            offset,
+            ..
+        }) = detect(&slt, &bnez)
+        else {
+            panic!("should fuse");
+        };
+        assert!(branch_if_set);
+        assert_eq!(offset, 64);
+        // Operands swapped (beq x0, rd) is the same comparison.
+        let beqz = insn(InsnKind::Beq, 0, 0, 9, -32);
+        let Some(FusionPattern::CmpBranch { branch_if_set, .. }) = detect(&slt, &beqz) else {
+            panic!("should fuse");
+        };
+        assert!(!branch_if_set);
+        // A branch against a live register is not a beqz/bnez.
+        let bne_reg = insn(InsnKind::Bne, 0, 9, 10, 64);
+        assert_eq!(detect(&slt, &bne_reg), None);
+        // rd == x0 makes the comparison result unobservable: no fusion.
+        let slt_x0 = insn(InsnKind::Slt, 0, 10, 11, 0);
+        let beqz_x0 = insn(InsnKind::Beq, 0, 0, 0, 64);
+        assert_eq!(detect(&slt_x0, &beqz_x0), None);
+    }
+
+    #[test]
+    fn shift_pair_zero_extend() {
+        let slli = insn(InsnKind::Slli, 12, 13, 0, 16);
+        let srli = insn(InsnKind::Srli, 12, 12, 0, 16);
+        assert_eq!(
+            detect(&slli, &srli),
+            Some(FusionPattern::ShiftPair {
+                rd: Gpr::new(12).unwrap(),
+                rs1: Gpr::new(13).unwrap(),
+                left: 16,
+                right: 16,
+            })
+        );
+        // Unequal amounts are still a single extract; different rd is not.
+        let srli_24 = insn(InsnKind::Srli, 12, 12, 0, 24);
+        assert!(detect(&slli, &srli_24).is_some());
+        let srli_other = insn(InsnKind::Srli, 14, 12, 0, 16);
+        assert_eq!(detect(&slli, &srli_other), None);
+    }
+
+    #[test]
+    fn unrelated_pairs_do_not_fuse() {
+        let add = insn(InsnKind::Add, 1, 2, 3, 0);
+        let sub = insn(InsnKind::Sub, 4, 5, 6, 0);
+        assert_eq!(detect(&add, &sub), None);
+    }
+}

@@ -31,6 +31,7 @@
 mod decode;
 mod disasm;
 pub mod encode;
+pub mod fusion;
 mod insn;
 mod kind;
 mod reg;

@@ -145,6 +145,18 @@ impl Cpu {
         self.instret = self.instret.wrapping_add(1);
     }
 
+    /// Retires `n` instructions at once (the micro-op engine's batched
+    /// accounting path).
+    pub(crate) fn retire_n(&mut self, n: u64) {
+        self.instret = self.instret.wrapping_add(n);
+    }
+
+    /// Whether injected register fault masks are active — i.e. whether
+    /// [`gpr`](Cpu::gpr) reads are being filtered through stuck-at masks.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults_enabled
+    }
+
     /// Updates the externally-driven interrupt-pending bits (from the bus).
     pub fn set_mip(&mut self, bits: u32) {
         self.mip = bits;

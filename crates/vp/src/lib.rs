@@ -35,6 +35,7 @@ mod plugin;
 mod snapshot;
 mod timing;
 mod trap;
+mod uop;
 mod vp;
 
 pub use bus::{Bus, BusEvent, BusFault, PAGE_SIZE, RAM_BASE, RAM_SIZE};

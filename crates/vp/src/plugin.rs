@@ -124,6 +124,21 @@ pub trait Plugin: AsAny + std::fmt::Debug + Send {
     /// A basic block is about to execute.
     fn on_block_executed(&mut self, cpu: &Cpu, start_pc: u32) {}
 
+    /// Whether this plugin needs
+    /// [`on_insn_executed`](Plugin::on_insn_executed) callbacks.
+    ///
+    /// The default is `true` — conservative, and correct for any plugin
+    /// that overrides `on_insn_executed`. A plugin that leaves
+    /// `on_insn_executed` at its empty default should return `false`
+    /// here: while no attached plugin wants per-instruction events, the
+    /// VP's micro-op engine executes blocks with per-instruction plugin
+    /// dispatch elided entirely (block, memory, device and trap hooks
+    /// still fire). Queried once per [`Vp::add_plugin`][crate::Vp::add_plugin],
+    /// so the answer must not change over the plugin's lifetime.
+    fn wants_insn_events(&self) -> bool {
+        true
+    }
+
     /// An instruction retired (state already updated).
     fn on_insn_executed(&mut self, cpu: &Cpu, pc: u32, insn: &Insn) {}
 

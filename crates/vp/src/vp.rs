@@ -11,8 +11,11 @@ use crate::plugin::{BlockInfo, DeviceAccess, MemAccess, Plugin};
 use crate::snapshot::{zero_page, VpSnapshot};
 use crate::timing::TimingModel;
 use crate::trap::Trap;
+use crate::uop::{lower_block, MicroOp, Op};
 use s4e_isa::{decode, Extension, Insn, InsnKind, IsaConfig};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
+use std::ptr::NonNull;
 
 use std::sync::Arc;
 
@@ -68,6 +71,62 @@ impl RunOutcome {
 #[derive(Debug)]
 struct Block {
     insns: Vec<(u32, Insn)>,
+    /// The lowered micro-op form, executed by the fast path (empty when
+    /// the micro-op engine is disabled at build time).
+    uops: Vec<MicroOp>,
+    /// The fall-through pc (one past the last instruction).
+    fall_pc: u32,
+    /// The static taken target of the final instruction, when it has one
+    /// (conditional branches and `jal`).
+    target_pc: Option<u32>,
+    /// Direct links to the translated successors at `fall_pc` (slot 0)
+    /// and `target_pc` (slot 1), installed lazily by the dispatch loop
+    /// and severed wholesale by [`Vp::invalidate_caches`].
+    links: [ChainLink; 2],
+}
+
+/// An interior-mutable successor pointer for direct block chaining.
+///
+/// Links are raw pointers, not `Arc`s: blocks readily form cycles (any
+/// loop does), and the refcount traffic is exactly what the fast path
+/// exists to avoid. Instead, validity is a cache-lifetime invariant:
+///
+/// - links are only installed between blocks owned by `Vp::cache`
+///   (never scratch blocks), so a linked-to block stays alive as long
+///   as any link to it exists;
+/// - `Vp::invalidate_caches` clears every link in the cache *before*
+///   dropping the blocks, so no dangling link survives an invalidation
+///   (SMC, `fence.i`, `load`, `bus_mut`, restore).
+///
+/// # Safety
+///
+/// All access goes through the uniquely-owning `Vp` (`&mut self` on
+/// every path that reads or writes a link), and `Vp` is `Send` but not
+/// `Sync`, so two threads can never race on a cell. The impls below
+/// exist only so `Arc<Block>` stays `Send` and `Vp` keeps its
+/// load-bearing `Send` bound.
+#[derive(Default)]
+struct ChainLink(UnsafeCell<Option<NonNull<Block>>>);
+
+unsafe impl Send for ChainLink {}
+unsafe impl Sync for ChainLink {}
+
+impl ChainLink {
+    fn get(&self) -> Option<NonNull<Block>> {
+        unsafe { *self.0.get() }
+    }
+
+    fn set(&self, target: Option<NonNull<Block>>) {
+        unsafe { *self.0.get() = target }
+    }
+}
+
+impl std::fmt::Debug for ChainLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ChainLink")
+            .field(&self.get().map(|_| "linked"))
+            .finish()
+    }
 }
 
 /// Counters for the dispatch fast path and the snapshot machinery.
@@ -77,11 +136,23 @@ struct Block {
 /// an `s4e-obs` metrics registry).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DispatchStats {
+    /// Block dispatches served by a direct chain link — the predecessor
+    /// block remembered its successor, skipping both the jump cache and
+    /// the `HashMap`.
+    pub chain_hits: u64,
+    /// Chain links installed between translated blocks.
+    pub chain_links: u64,
     /// Block dispatches served by the direct-mapped jump cache.
     pub jmp_cache_hits: u64,
     /// Block dispatches that fell back to the `HashMap` probe (including
     /// those that went on to translate a new block).
     pub jmp_cache_misses: u64,
+    /// Macro-op fusions performed at lowering time (instruction pairs
+    /// collapsed into one micro-op).
+    pub fused_lowered: u64,
+    /// Fused micro-ops dispatched by the execution loop (each covers two
+    /// guest instructions).
+    pub fused_exec: u64,
     /// Blocks decoded from guest memory (translation-cache misses).
     pub translations: u64,
     /// Translated-code invalidations (self-modifying stores, `fence.i`,
@@ -108,10 +179,25 @@ impl DispatchStats {
         }
     }
 
+    /// The fraction of all block dispatches served by a direct chain
+    /// link, in `[0, 1]`.
+    pub fn chain_hit_rate(&self) -> f64 {
+        let total = self.chain_hits + self.jmp_cache_hits + self.jmp_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.chain_hits as f64 / total as f64
+        }
+    }
+
     /// Accumulates `other` into `self`.
     pub fn merge(&mut self, other: &DispatchStats) {
+        self.chain_hits += other.chain_hits;
+        self.chain_links += other.chain_links;
         self.jmp_cache_hits += other.jmp_cache_hits;
         self.jmp_cache_misses += other.jmp_cache_misses;
+        self.fused_lowered += other.fused_lowered;
+        self.fused_exec += other.fused_exec;
         self.translations += other.translations;
         self.invalidations += other.invalidations;
         self.snapshots += other.snapshots;
@@ -145,6 +231,7 @@ pub struct VpBuilder {
     timing: TimingModel,
     cache_enabled: bool,
     fast_dispatch_enabled: bool,
+    uops_enabled: bool,
     standard_devices: bool,
 }
 
@@ -193,6 +280,22 @@ impl VpBuilder {
         self
     }
 
+    /// Enables or disables the micro-op execution engine and direct
+    /// block chaining (default: enabled).
+    ///
+    /// Disabling it keeps the jump-cache dispatch fast path but executes
+    /// blocks through the reference per-instruction interpreter — the
+    /// ablation tier isolating what pre-lowered execution itself buys on
+    /// top of fast dispatch. It has no architectural effect. Only
+    /// meaningful while [`fast_dispatch`](VpBuilder::fast_dispatch) and
+    /// [`block_cache`](VpBuilder::block_cache) are enabled; the engine
+    /// is implicitly off otherwise.
+    #[must_use]
+    pub fn micro_ops(mut self, enabled: bool) -> VpBuilder {
+        self.uops_enabled = enabled;
+        self
+    }
+
     /// Whether to map the standard devices (UART, system controller,
     /// CLINT). Default: mapped.
     #[must_use]
@@ -222,6 +325,8 @@ impl VpBuilder {
             cache: HashMap::new(),
             cache_enabled: self.cache_enabled,
             fast_dispatch_enabled: self.fast_dispatch_enabled,
+            uops_enabled: self.uops_enabled && self.fast_dispatch_enabled && self.cache_enabled,
+            insn_hooks: false,
             jmp_cache: vec![None; JMP_CACHE_SLOTS],
             scratch: None,
             code_lo: u32::MAX,
@@ -245,6 +350,7 @@ impl Default for VpBuilder {
             timing: TimingModel::new(),
             cache_enabled: true,
             fast_dispatch_enabled: true,
+            uops_enabled: true,
             standard_devices: true,
         }
     }
@@ -277,6 +383,13 @@ pub struct Vp {
     cache: HashMap<u32, Arc<Block>>,
     cache_enabled: bool,
     fast_dispatch_enabled: bool,
+    /// Whether blocks are lowered to micro-ops and chained (resolved at
+    /// build time: requires the cache and the dispatch fast path).
+    uops_enabled: bool,
+    /// Whether any attached plugin wants per-instruction callbacks
+    /// (recomputed on [`Vp::add_plugin`]). While `false`, the micro-op
+    /// engine elides per-instruction plugin dispatch entirely.
+    insn_hooks: bool,
     /// Direct-mapped front for `cache`, indexed by [`jmp_cache_slot`]:
     /// `(start_pc, block)` pairs, probed before the `HashMap` on every
     /// dispatch (QEMU's `tb_jmp_cache`).
@@ -320,6 +433,14 @@ enum Step {
     Trap(Trap),
     Break,
     Wfi,
+}
+
+/// How a block-execution engine left the block: the run ended with an
+/// outcome, or control reached a dispatch boundary (`cpu.pc()` holds the
+/// next fetch address).
+enum BlockExit {
+    Done,
+    Outcome(RunOutcome),
 }
 
 impl Vp {
@@ -366,6 +487,7 @@ impl Vp {
 
     /// Attaches an instrumentation plugin.
     pub fn add_plugin(&mut self, plugin: Box<dyn Plugin>) {
+        self.insn_hooks = self.insn_hooks || plugin.wants_insn_events();
         self.plugins.push(plugin);
     }
 
@@ -401,6 +523,12 @@ impl Vp {
     /// mutation point; the run loop defers to its next dispatch boundary
     /// via `invalidate_pending` instead.
     fn invalidate_caches(&mut self) {
+        // Sever every chain link before dropping the blocks: links are
+        // raw pointers whose validity is exactly the cache's lifetime.
+        for block in self.cache.values() {
+            block.links[0].set(None);
+            block.links[1].set(None);
+        }
         self.cache.clear();
         self.jmp_cache.iter_mut().for_each(|s| *s = None);
         self.scratch = None;
@@ -529,6 +657,17 @@ impl Vp {
         let mut blocks = 0u32;
         // Device or bus state may have been mutated between runs.
         self.irq_resample = true;
+        // Micro-op execution requires that no plugin wants per-insn
+        // callbacks; chaining only requires the engine itself (both fixed
+        // for the duration of a run: `add_plugin` needs `&mut self`).
+        let use_uops = self.uops_enabled && !self.insn_hooks;
+        // The block to dispatch next via a direct chain link, and the
+        // (predecessor, slot) pair waiting for its successor to be
+        // resolved so the link can be installed. Both are dropped at
+        // every point where pc stops being the plain successor of the
+        // previous block (interrupts, traps, invalidation).
+        let mut chained: Option<NonNull<Block>> = None;
+        let mut pending_link: Option<(NonNull<Block>, usize)> = None;
         loop {
             if let Some(token) = cancel {
                 blocks = blocks.wrapping_add(1);
@@ -540,6 +679,8 @@ impl Vp {
             // acted on, so translated blocks are never freed mid-execution.
             if self.invalidate_pending {
                 self.invalidate_caches();
+                chained = None;
+                pending_link = None;
             }
             // Interrupts are sampled at block boundaries, like QEMU — but
             // the bus poll is skipped while no device can change its mip
@@ -555,20 +696,32 @@ impl Vp {
                 self.mip_poll_at = self.bus.mip_next_change(now);
             }
             if let Some(irq) = self.cpu.pending_interrupt() {
+                chained = None;
+                pending_link = None;
                 if let Some(fatal) = self.raise(irq) {
                     return fatal;
                 }
                 continue;
             }
-            let block = match self.fetch_block(self.cpu.pc()) {
-                Ok(b) => b,
-                Err(trap) => {
-                    if let Some(fatal) = self.raise(trap) {
-                        return fatal;
-                    }
-                    continue;
+            let block: *const Block = match chained.take() {
+                // SAFETY: the link was read from a cache-owned block at
+                // the previous boundary and every invalidation since
+                // would have cleared `chained` above.
+                Some(b) => {
+                    self.stats.chain_hits += 1;
+                    b.as_ptr()
                 }
+                None => match self.fetch_block(self.cpu.pc(), pending_link.take()) {
+                    Ok(b) => b,
+                    Err(trap) => {
+                        if let Some(fatal) = self.raise(trap) {
+                            return fatal;
+                        }
+                        continue;
+                    }
+                },
             };
+            pending_link = None;
             if !self.plugins.is_empty() {
                 let pc = self.cpu.pc();
                 for p in &mut self.plugins {
@@ -578,31 +731,465 @@ impl Vp {
             // SAFETY: `block` points into an `Arc<Block>` owned by
             // `self.cache`, `self.jmp_cache` or `self.scratch`, none of
             // which are touched before the next dispatch boundary:
-            // invalidation requests inside `exec_insn` only set
-            // `invalidate_pending`. Each instruction is copied out before
-            // executing, so no reference is held across `&mut self` calls.
-            let len = unsafe { (*block).insns.len() };
-            for i in 0..len {
-                if remaining == 0 {
-                    return RunOutcome::InsnLimit;
-                }
-                remaining -= 1;
-                let (pc, insn) = unsafe { (&(*block).insns)[i] };
-                match self.exec_insn(pc, &insn) {
-                    Some(outcome) => return outcome,
-                    None => {
-                        if self.block_exit_pending {
-                            self.block_exit_pending = false;
-                            break;
-                        }
-                        // Control left the block (jump/branch/trap)?
-                        if self.cpu.pc() != insn.next_pc(pc) {
-                            break;
+            // invalidation requests during execution only set
+            // `invalidate_pending`.
+            let exit = if use_uops {
+                self.exec_block_uops(block, &mut remaining)
+            } else {
+                self.exec_block_insns(block, 0, &mut remaining)
+            };
+            match exit {
+                BlockExit::Outcome(outcome) => return outcome,
+                BlockExit::Done => {}
+            }
+            if self.uops_enabled {
+                // Where did control go? If it is one of this block's two
+                // static successors, either follow the already-installed
+                // link or ask the next fetch to install it. pc-equality
+                // keeps this purely a dispatch prediction: a wrong or
+                // missing link can cost a cache probe, never correctness.
+                let pc = self.cpu.pc();
+                let b = unsafe { &*block };
+                let slot = if pc == b.fall_pc {
+                    Some(0)
+                } else if Some(pc) == b.target_pc {
+                    Some(1)
+                } else {
+                    None
+                };
+                if let Some(slot) = slot {
+                    match b.links[slot].get() {
+                        Some(next) => chained = Some(next),
+                        None => {
+                            pending_link = NonNull::new(block.cast_mut()).map(|b| (b, slot));
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Executes `block` per-instruction starting at `insns[start]` — the
+    /// reference engine, also the exact-boundary tail for the micro-op
+    /// engine. The caller guarantees `cpu.pc()` equals the pc of
+    /// `insns[start]` on entry.
+    fn exec_block_insns(
+        &mut self,
+        block: *const Block,
+        start: usize,
+        remaining: &mut u64,
+    ) -> BlockExit {
+        // SAFETY: see the dispatch-boundary argument in `run_loop`. Each
+        // instruction is copied out before executing, so no reference is
+        // held across `&mut self` calls.
+        let len = unsafe { (*block).insns.len() };
+        for i in start..len {
+            if *remaining == 0 {
+                return BlockExit::Outcome(RunOutcome::InsnLimit);
+            }
+            *remaining -= 1;
+            let (pc, insn) = unsafe { (&(*block).insns)[i] };
+            match self.exec_insn(pc, &insn) {
+                Some(outcome) => return BlockExit::Outcome(outcome),
+                None => {
+                    if self.block_exit_pending {
+                        self.block_exit_pending = false;
+                        break;
+                    }
+                    // Control left the block (jump/branch/trap)?
+                    if self.cpu.pc() != insn.next_pc(pc) {
+                        break;
+                    }
+                }
+            }
+        }
+        BlockExit::Done
+    }
+
+    /// Executes `block` through its lowered micro-ops — semantically
+    /// identical to [`exec_block_insns`](Vp::exec_block_insns) from the
+    /// start, but with operands pre-extracted, cycle/instret accounting
+    /// batched per block, per-instruction pc maintenance elided, and
+    /// fused macro-ops retiring two instructions at once.
+    ///
+    /// Identity is preserved by flushing the batched accounting at every
+    /// point where exact architectural state is observable: before any
+    /// memory access (devices and plugins read `mcycle`/`minstret`),
+    /// before the generic path (CSR reads), at traps and at block exits.
+    /// Two situations replay the remainder of the block through the
+    /// reference engine instead: an instruction budget that expires
+    /// inside the block (fault campaigns inject at exact instret
+    /// boundaries, which may split a fused pair) and active stuck-at
+    /// register faults (fused ops would constant-fold through a register
+    /// read the reference path filters through the fault masks).
+    #[allow(clippy::too_many_lines)]
+    fn exec_block_uops(&mut self, block: *const Block, remaining: &mut u64) -> BlockExit {
+        // SAFETY: see the dispatch-boundary argument in `run_loop`. The
+        // borrow is re-created from the raw pointer on each use and the
+        // block is never freed before the next dispatch boundary.
+        let uops: &[MicroOp] = unsafe { &(*block).uops };
+        let plugins_active = !self.plugins.is_empty();
+        let mut cycles: u64 = 0;
+        let mut retired: u64 = 0;
+        macro_rules! flush {
+            () => {{
+                self.cpu.add_cycles(cycles);
+                self.cpu.retire_n(retired);
+                #[allow(unused_assignments)]
+                {
+                    cycles = 0;
+                    retired = 0;
+                }
+            }};
+        }
+        let mut i = 0usize;
+        'dispatch: loop {
+            if i >= uops.len() {
+                // Fell off the end: straight-line block (or a not-taken
+                // final branch), control continues at the successor.
+                self.cpu.set_pc(unsafe { (*block).fall_pc });
+                flush!();
+                break 'dispatch;
+            }
+            let u = uops[i];
+            i += 1;
+            let n = u.n as u64;
+            if *remaining < n || (u.n > 1 && self.cpu.faults_enabled()) {
+                // Exact-boundary budget expiry, or stuck-at fault masks
+                // active: replay the rest of the block per-instruction.
+                flush!();
+                let pc0 = unsafe { (&(*block).insns)[u.idx as usize].0 };
+                self.cpu.set_pc(pc0);
+                return self.exec_block_insns(block, u.idx as usize, remaining);
+            }
+            *remaining -= n;
+            if u.n > 1 {
+                self.stats.fused_exec += 1;
+            }
+            macro_rules! alu {
+                ($v:expr) => {{
+                    let v = $v;
+                    self.cpu.set_gpr(u.rd, v);
+                    cycles += u.cost as u64;
+                    retired += n;
+                }};
+            }
+            macro_rules! trap {
+                ($t:expr) => {{
+                    flush!();
+                    self.cpu.set_pc(u.pc);
+                    match self.raise($t) {
+                        Some(fatal) => return BlockExit::Outcome(fatal),
+                        None => break 'dispatch,
+                    }
+                }};
+            }
+            macro_rules! mem_load {
+                ($addr:expr, $size:expr, $conv:expr) => {{
+                    flush!();
+                    if plugins_active {
+                        self.cpu.set_pc(u.pc);
+                    }
+                    match self.mem_load(u.pc, $addr, $size) {
+                        Ok(v) => {
+                            self.cpu.set_gpr(u.rd, $conv(v));
+                            cycles += u.cost as u64;
+                            retired += 1;
+                        }
+                        Err(t) => {
+                            // The faulting access's cost is charged but it
+                            // does not retire (matching the reference
+                            // `Step::Trap` sequence).
+                            self.cpu.add_cycles(u.cost as u64);
+                            trap!(t)
+                        }
+                    }
+                }};
+            }
+            macro_rules! mem_store {
+                ($addr:expr, $size:expr, $val:expr) => {{
+                    flush!();
+                    if plugins_active {
+                        self.cpu.set_pc(u.pc);
+                    }
+                    let val = $val;
+                    match self.mem_store(u.pc, $addr, $size, val) {
+                        Ok(()) => {
+                            cycles += u.cost as u64;
+                            retired += 1;
+                            if let Some(BusEvent::Exit(code)) = self.bus.take_event() {
+                                self.cpu.set_pc(u.next_pc);
+                                flush!();
+                                return BlockExit::Outcome(RunOutcome::Exit(code));
+                            }
+                            if self.block_exit_pending {
+                                self.block_exit_pending = false;
+                                self.cpu.set_pc(u.next_pc);
+                                flush!();
+                                break 'dispatch;
+                            }
+                        }
+                        Err(t) => {
+                            self.cpu.add_cycles(u.cost as u64);
+                            trap!(t)
+                        }
+                    }
+                }};
+            }
+            // The first (auipc) half of a fused memory op: retires before
+            // the access so device/plugin observers see exact counters.
+            macro_rules! abs_base {
+                () => {{
+                    flush!();
+                    self.cpu.add_cycles(u.cost2 as u64);
+                    self.cpu.retire_n(1);
+                    self.cpu.set_gpr(u.rs1, u.imm2 as u32);
+                }};
+            }
+            macro_rules! branch_to_target {
+                () => {{
+                    cycles += u.cost as u64 + u.cost2 as u64;
+                    retired += n;
+                    self.cpu.set_pc(u.imm as u32);
+                    flush!();
+                    break 'dispatch;
+                }};
+            }
+            macro_rules! branch {
+                ($cond:expr) => {{
+                    if $cond {
+                        branch_to_target!()
+                    } else {
+                        cycles += u.cost as u64;
+                        retired += n;
+                    }
+                }};
+            }
+            // Fused compare+branch: rd receives the comparison result
+            // either way; the branch polarity decides the exit.
+            macro_rules! cmp_branch {
+                ($cmp:expr, $take_if_set:expr) => {{
+                    let c = $cmp as u32;
+                    self.cpu.set_gpr(u.rd, c);
+                    branch!((c != 0) == $take_if_set)
+                }};
+            }
+            match u.op {
+                Op::LoadConst => alu!(u.imm as u32),
+                Op::Addi => alu!(self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32)),
+                Op::Slti => alu!(((self.cpu.gpr(u.rs1) as i32) < u.imm) as u32),
+                Op::Sltiu => alu!((self.cpu.gpr(u.rs1) < u.imm as u32) as u32),
+                Op::Xori => alu!(self.cpu.gpr(u.rs1) ^ u.imm as u32),
+                Op::Ori => alu!(self.cpu.gpr(u.rs1) | u.imm as u32),
+                Op::Andi => alu!(self.cpu.gpr(u.rs1) & u.imm as u32),
+                Op::Slli => alu!(self.cpu.gpr(u.rs1) << (u.imm as u32 & 31)),
+                Op::Srli => alu!(self.cpu.gpr(u.rs1) >> (u.imm as u32 & 31)),
+                Op::Srai => alu!(((self.cpu.gpr(u.rs1) as i32) >> (u.imm as u32 & 31)) as u32),
+                Op::Add => alu!(self.cpu.gpr(u.rs1).wrapping_add(self.cpu.gpr(u.rs2))),
+                Op::Sub => alu!(self.cpu.gpr(u.rs1).wrapping_sub(self.cpu.gpr(u.rs2))),
+                Op::Sll => alu!(self.cpu.gpr(u.rs1) << (self.cpu.gpr(u.rs2) & 31)),
+                Op::Slt => {
+                    alu!(((self.cpu.gpr(u.rs1) as i32) < self.cpu.gpr(u.rs2) as i32) as u32)
+                }
+                Op::Sltu => alu!((self.cpu.gpr(u.rs1) < self.cpu.gpr(u.rs2)) as u32),
+                Op::Xor => alu!(self.cpu.gpr(u.rs1) ^ self.cpu.gpr(u.rs2)),
+                Op::Srl => alu!(self.cpu.gpr(u.rs1) >> (self.cpu.gpr(u.rs2) & 31)),
+                Op::Sra => {
+                    alu!(((self.cpu.gpr(u.rs1) as i32) >> (self.cpu.gpr(u.rs2) & 31)) as u32)
+                }
+                Op::Or => alu!(self.cpu.gpr(u.rs1) | self.cpu.gpr(u.rs2)),
+                Op::And => alu!(self.cpu.gpr(u.rs1) & self.cpu.gpr(u.rs2)),
+                Op::Mul => alu!(self.cpu.gpr(u.rs1).wrapping_mul(self.cpu.gpr(u.rs2))),
+                Op::Mulh => alu!(
+                    (((self.cpu.gpr(u.rs1) as i32 as i64) * (self.cpu.gpr(u.rs2) as i32 as i64))
+                        >> 32) as u32
+                ),
+                Op::Mulhsu => alu!(
+                    (((self.cpu.gpr(u.rs1) as i32 as i64) * (self.cpu.gpr(u.rs2) as u64 as i64))
+                        >> 32) as u32
+                ),
+                Op::Mulhu => alu!(
+                    (((self.cpu.gpr(u.rs1) as u64) * (self.cpu.gpr(u.rs2) as u64)) >> 32) as u32
+                ),
+                Op::Div => {
+                    let (a, b) = (self.cpu.gpr(u.rs1), self.cpu.gpr(u.rs2));
+                    alu!(if b == 0 {
+                        u32::MAX
+                    } else if a == 0x8000_0000 && b == u32::MAX {
+                        0x8000_0000
+                    } else {
+                        ((a as i32) / (b as i32)) as u32
+                    })
+                }
+                Op::Divu => {
+                    let (a, b) = (self.cpu.gpr(u.rs1), self.cpu.gpr(u.rs2));
+                    alu!(a.checked_div(b).unwrap_or(u32::MAX))
+                }
+                Op::Rem => {
+                    let (a, b) = (self.cpu.gpr(u.rs1), self.cpu.gpr(u.rs2));
+                    alu!(if b == 0 {
+                        a
+                    } else if a == 0x8000_0000 && b == u32::MAX {
+                        0
+                    } else {
+                        ((a as i32) % (b as i32)) as u32
+                    })
+                }
+                Op::Remu => {
+                    let (a, b) = (self.cpu.gpr(u.rs1), self.cpu.gpr(u.rs2));
+                    alu!(if b == 0 { a } else { a % b })
+                }
+                Op::Clz => alu!(self.cpu.gpr(u.rs1).leading_zeros()),
+                Op::Ctz => alu!(self.cpu.gpr(u.rs1).trailing_zeros()),
+                Op::Pcnt => alu!(self.cpu.gpr(u.rs1).count_ones()),
+                Op::Andn => alu!(self.cpu.gpr(u.rs1) & !self.cpu.gpr(u.rs2)),
+                Op::Orn => alu!(self.cpu.gpr(u.rs1) | !self.cpu.gpr(u.rs2)),
+                Op::Xnor => alu!(!(self.cpu.gpr(u.rs1) ^ self.cpu.gpr(u.rs2))),
+                Op::Rol => alu!(self.cpu.gpr(u.rs1).rotate_left(self.cpu.gpr(u.rs2) & 31)),
+                Op::Ror => alu!(self.cpu.gpr(u.rs1).rotate_right(self.cpu.gpr(u.rs2) & 31)),
+                Op::Rev8 => alu!(self.cpu.gpr(u.rs1).swap_bytes()),
+                Op::Bext => alu!((self.cpu.gpr(u.rs1) >> (self.cpu.gpr(u.rs2) & 31)) & 1),
+                Op::ShiftPair => {
+                    alu!((self.cpu.gpr(u.rs1) << (u.imm as u32)) >> (u.imm2 as u32))
+                }
+                Op::Lb => mem_load!(
+                    self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32),
+                    1,
+                    |v: u32| v as u8 as i8 as i32 as u32
+                ),
+                Op::Lh => mem_load!(
+                    self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32),
+                    2,
+                    |v: u32| v as u16 as i16 as i32 as u32
+                ),
+                Op::Lw => mem_load!(
+                    self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32),
+                    4,
+                    |v: u32| v
+                ),
+                Op::Lbu => mem_load!(
+                    self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32),
+                    1,
+                    |v: u32| v
+                ),
+                Op::Lhu => mem_load!(
+                    self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32),
+                    2,
+                    |v: u32| v
+                ),
+                Op::Sb => mem_store!(
+                    self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32),
+                    1,
+                    self.cpu.gpr(u.rs2)
+                ),
+                Op::Sh => mem_store!(
+                    self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32),
+                    2,
+                    self.cpu.gpr(u.rs2)
+                ),
+                Op::Sw => mem_store!(
+                    self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32),
+                    4,
+                    self.cpu.gpr(u.rs2)
+                ),
+                Op::AbsLb => {
+                    abs_base!();
+                    mem_load!(u.imm as u32, 1, |v: u32| v as u8 as i8 as i32 as u32)
+                }
+                Op::AbsLh => {
+                    abs_base!();
+                    mem_load!(u.imm as u32, 2, |v: u32| v as u16 as i16 as i32 as u32)
+                }
+                Op::AbsLw => {
+                    abs_base!();
+                    mem_load!(u.imm as u32, 4, |v: u32| v)
+                }
+                Op::AbsLbu => {
+                    abs_base!();
+                    mem_load!(u.imm as u32, 1, |v: u32| v)
+                }
+                Op::AbsLhu => {
+                    abs_base!();
+                    mem_load!(u.imm as u32, 2, |v: u32| v)
+                }
+                Op::AbsSb => {
+                    abs_base!();
+                    mem_store!(u.imm as u32, 1, self.cpu.gpr(u.rs2))
+                }
+                Op::AbsSh => {
+                    abs_base!();
+                    mem_store!(u.imm as u32, 2, self.cpu.gpr(u.rs2))
+                }
+                Op::AbsSw => {
+                    abs_base!();
+                    mem_store!(u.imm as u32, 4, self.cpu.gpr(u.rs2))
+                }
+                Op::Beq => branch!(self.cpu.gpr(u.rs1) == self.cpu.gpr(u.rs2)),
+                Op::Bne => branch!(self.cpu.gpr(u.rs1) != self.cpu.gpr(u.rs2)),
+                Op::Blt => branch!((self.cpu.gpr(u.rs1) as i32) < self.cpu.gpr(u.rs2) as i32),
+                Op::Bge => branch!(self.cpu.gpr(u.rs1) as i32 >= self.cpu.gpr(u.rs2) as i32),
+                Op::Bltu => branch!(self.cpu.gpr(u.rs1) < self.cpu.gpr(u.rs2)),
+                Op::Bgeu => branch!(self.cpu.gpr(u.rs1) >= self.cpu.gpr(u.rs2)),
+                Op::SltBrz => cmp_branch!(
+                    (self.cpu.gpr(u.rs1) as i32) < self.cpu.gpr(u.rs2) as i32,
+                    false
+                ),
+                Op::SltBrnz => cmp_branch!(
+                    (self.cpu.gpr(u.rs1) as i32) < self.cpu.gpr(u.rs2) as i32,
+                    true
+                ),
+                Op::SltuBrz => cmp_branch!(self.cpu.gpr(u.rs1) < self.cpu.gpr(u.rs2), false),
+                Op::SltuBrnz => cmp_branch!(self.cpu.gpr(u.rs1) < self.cpu.gpr(u.rs2), true),
+                Op::SltiBrz => cmp_branch!((self.cpu.gpr(u.rs1) as i32) < u.imm2, false),
+                Op::SltiBrnz => cmp_branch!((self.cpu.gpr(u.rs1) as i32) < u.imm2, true),
+                Op::SltiuBrz => cmp_branch!(self.cpu.gpr(u.rs1) < u.imm2 as u32, false),
+                Op::SltiuBrnz => cmp_branch!(self.cpu.gpr(u.rs1) < u.imm2 as u32, true),
+                Op::Jal => {
+                    self.cpu.set_gpr(u.rd, u.next_pc);
+                    branch_to_target!()
+                }
+                Op::Jalr => {
+                    let target = self.cpu.gpr(u.rs1).wrapping_add(u.imm as u32) & !1;
+                    // rd is written even when the target turns out to be
+                    // misaligned, matching the reference sequence.
+                    self.cpu.set_gpr(u.rd, u.next_pc);
+                    cycles += u.cost as u64;
+                    if target & u.imm2 as u32 != 0 {
+                        // Charged but not retired.
+                        trap!(Trap::InsnMisaligned { addr: target })
+                    }
+                    retired += 1;
+                    self.cpu.set_pc(target);
+                    flush!();
+                    break 'dispatch;
+                }
+                Op::Nop => {
+                    cycles += u.cost as u64;
+                    retired += 1;
+                }
+                Op::Generic => {
+                    flush!();
+                    let (pc, insn) = unsafe { (&(*block).insns)[u.idx as usize] };
+                    // The reference engine keeps `cpu.pc` current per
+                    // instruction; the generic path (traps, CSR reads,
+                    // `mret`) observes it, so restore it here.
+                    self.cpu.set_pc(pc);
+                    match self.exec_insn(pc, &insn) {
+                        Some(outcome) => return BlockExit::Outcome(outcome),
+                        None => {
+                            if self.block_exit_pending {
+                                self.block_exit_pending = false;
+                                break 'dispatch;
+                            }
+                            if self.cpu.pc() != u.next_pc {
+                                break 'dispatch;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        BlockExit::Done
     }
 
     /// Executes one instruction at `pc`. Returns `Some` when the run ends.
@@ -718,7 +1305,28 @@ impl Vp {
     /// dispatch fast path is disabled) and stays alive until the next
     /// dispatch boundary — see the safety comment in
     /// [`run_loop`](Vp::run_loop).
-    fn fetch_block(&mut self, pc: u32) -> Result<*const Block, Trap> {
+    ///
+    /// When `link_from` names a (predecessor, successor-slot) pair, the
+    /// resolved block is recorded as that predecessor's direct chain
+    /// successor. Callers only pass a link while the micro-op engine is
+    /// enabled, which implies the cache owns every dispatched block.
+    fn fetch_block(
+        &mut self,
+        pc: u32,
+        link_from: Option<(NonNull<Block>, usize)>,
+    ) -> Result<*const Block, Trap> {
+        let ptr = self.fetch_block_inner(pc)?;
+        if let Some((pred, slot)) = link_from {
+            // SAFETY: the predecessor was dispatched from the cache at
+            // the previous boundary and no invalidation has run since
+            // (the run loop clears pending links on invalidation).
+            unsafe { pred.as_ref() }.links[slot].set(NonNull::new(ptr.cast_mut()));
+            self.stats.chain_links += 1;
+        }
+        Ok(ptr)
+    }
+
+    fn fetch_block_inner(&mut self, pc: u32) -> Result<*const Block, Trap> {
         if self.cache_enabled {
             if self.fast_dispatch_enabled {
                 // Hot path: one shift, one mask, one compare — no hashing,
@@ -833,7 +1441,22 @@ impl Vp {
                 }
             }
         }
-        Ok(Block { insns })
+        let (uops, fused) = if self.uops_enabled {
+            lower_block(&insns, &self.timing, &isa)
+        } else {
+            (Vec::new(), 0)
+        };
+        self.stats.fused_lowered += fused as u64;
+        let last = insns.last().expect("translated blocks are never empty");
+        let fall_pc = last.1.next_pc(last.0);
+        let target_pc = last.1.target(last.0);
+        Ok(Block {
+            insns,
+            uops,
+            fall_pc,
+            target_pc,
+            links: [ChainLink::default(), ChainLink::default()],
+        })
     }
 
     // ----------------------------------------------------------- memory

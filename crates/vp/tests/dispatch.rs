@@ -1,0 +1,202 @@
+//! Dispatch-engine tests: direct-mapped jump-cache slot aliasing, direct
+//! block chaining, and link severing on invalidation (self-modifying
+//! code and snapshot restore).
+
+use s4e_asm::assemble;
+use s4e_isa::{Gpr, IsaConfig};
+use s4e_vp::{Cpu, RunOutcome, Vp};
+
+fn load_src(vp: &mut Vp, src: &str) {
+    let img = assemble(src).expect("assembles");
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+}
+
+fn gpr(vp: &Vp, name: u8) -> u32 {
+    vp.cpu().gpr(Gpr::new(name).unwrap())
+}
+
+fn cpu_state(cpu: &Cpu) -> String {
+    format!("{cpu:?}")
+}
+
+/// Two hot blocks exactly 4096 bytes apart: the 2048-slot direct-mapped
+/// jump cache indexes with `(pc >> 1) & 2047`, so `loop` (base + 0x8)
+/// and `far` (base + 0x1008) collide in the same slot. Each iteration
+/// ping-pongs between them.
+const ALIASED_PINGPONG: &str = r#"
+    li t0, 300
+    li a0, 0
+loop:
+    addi a0, a0, 1
+    jal x0, far
+back:
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+    .org 0x80001008
+far:
+    addi a0, a0, 2
+    jal x0, back
+"#;
+
+#[test]
+fn aliased_jump_cache_slots_stay_correct() {
+    // Jump-cache-only tier: `loop` and `far` evict each other from the
+    // shared slot every iteration, so misses accumulate well past the
+    // translation count — correctness must not depend on slot residency.
+    let mut jc = Vp::builder()
+        .isa(IsaConfig::rv32imc())
+        .micro_ops(false)
+        .build();
+    load_src(&mut jc, ALIASED_PINGPONG);
+    assert_eq!(jc.run(), RunOutcome::Break);
+    assert_eq!(gpr(&jc, 10), 300 * 3);
+    let stats = jc.dispatch_stats();
+    assert!(
+        stats.jmp_cache_misses > 300,
+        "aliasing blocks must keep missing the shared slot: {stats:?}"
+    );
+
+    // Full micro-op engine: chaining bypasses the contended slot (each
+    // block links its successor directly), and the result is identical.
+    let mut full = Vp::new(IsaConfig::rv32imc());
+    load_src(&mut full, ALIASED_PINGPONG);
+    assert_eq!(full.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(full.cpu()), cpu_state(jc.cpu()));
+    let stats = full.dispatch_stats();
+    assert!(stats.chain_hits > 500, "{stats:?}");
+    assert!(
+        stats.jmp_cache_misses < 300,
+        "chaining must absorb the aliasing traffic: {stats:?}"
+    );
+}
+
+/// A self-chained hot loop whose body is patched (store + `fence.i`)
+/// after the first pass. The second pass must execute the patched
+/// instruction: the loop block's self-link was severed on invalidation,
+/// forcing a retranslation instead of a stale chained dispatch.
+const PATCHED_LOOP: &str = r#"
+    li t0, 100
+    li a0, 0
+    li s0, 0
+loop:
+    addi a0, a0, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    bnez s0, done
+    li s0, 1
+    la t1, loop
+    la t2, secret
+    lw t3, 0(t2)
+    sw t3, 0(t1)
+    fence.i
+    li t0, 100
+    jal x0, loop
+done:
+    ebreak
+secret:
+    .word 0x00550513    # addi a0, a0, 5
+"#;
+
+#[test]
+fn chained_successors_are_severed_on_smc_invalidation() {
+    let mut vp = Vp::new(IsaConfig::rv32imc());
+    load_src(&mut vp, PATCHED_LOOP);
+    assert_eq!(vp.run(), RunOutcome::Break);
+    // First pass adds 1 per iteration, second (patched) pass adds 5.
+    assert_eq!(gpr(&vp, 10), 100 + 5 * 100);
+    let stats = vp.dispatch_stats();
+    assert!(stats.chain_links > 0, "{stats:?}");
+    assert!(stats.chain_hits > 100, "{stats:?}");
+
+    // The reference interpreter agrees.
+    let mut reference = Vp::builder()
+        .isa(IsaConfig::rv32imc())
+        .fast_dispatch(false)
+        .build();
+    load_src(&mut reference, PATCHED_LOOP);
+    assert_eq!(reference.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(reference.cpu()), cpu_state(vp.cpu()));
+}
+
+#[test]
+fn chained_successors_are_severed_on_snapshot_restore() {
+    // The snapshot is taken while `patch:` holds the original insn; the
+    // flag decides whether the program patches itself before running the
+    // hot loop. Alternating runs from the same snapshot force the VP to
+    // drop chained blocks on every restore — a stale link would replay
+    // the other variant's code.
+    let src = r#"
+        la t0, patch
+        la t2, secret
+        lw t1, 0(t2)
+        la t3, flag
+        lw t4, 0(t3)
+        beqz t4, run
+        sw t1, 0(t0)
+        fence.i
+run:
+        li t5, 50
+        li a0, 0
+loop:
+patch:
+        addi a0, a0, 1      # patched variant: addi a0, a0, 5
+        addi t5, t5, -1
+        bnez t5, loop
+        ebreak
+flag:
+        .word 0
+secret:
+        .word 0x00550513    # addi a0, a0, 5
+    "#;
+    let flag_addr = assemble(src).unwrap().symbol("flag").expect("symbol");
+    let mut vp = Vp::new(IsaConfig::rv32imc());
+    load_src(&mut vp, src);
+    let snap = vp.snapshot();
+
+    for round in 0..3 {
+        // Unpatched pass: the loop block chains to itself, +1 each turn.
+        assert_eq!(vp.run(), RunOutcome::Break);
+        assert_eq!(gpr(&vp, 10), 50, "round {round}");
+        assert!(vp.dispatch_stats().chain_hits > 0);
+
+        // Restore and flip the flag: the patched loop must add 5.
+        vp.restore(&snap);
+        vp.bus_mut().write32(flag_addr, 1, 0).unwrap();
+        assert_eq!(vp.run(), RunOutcome::Break);
+        assert_eq!(gpr(&vp, 10), 250, "round {round}");
+
+        vp.restore(&snap);
+    }
+}
+
+#[test]
+fn fusion_counters_flow_for_fusable_idioms() {
+    // `li a0, 0x12345678` expands to lui+addi — the ConstLui pattern —
+    // and the loop makes the fused op execute many times.
+    let src = r#"
+        li t0, 64
+loop:
+        li a0, 0x12345678
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    "#;
+    let mut vp = Vp::new(IsaConfig::rv32i());
+    load_src(&mut vp, src);
+    assert_eq!(vp.run(), RunOutcome::Break);
+    assert_eq!(gpr(&vp, 10), 0x12345678);
+    let stats = vp.dispatch_stats();
+    assert!(stats.fused_lowered > 0, "{stats:?}");
+    assert!(stats.fused_exec >= 64, "{stats:?}");
+
+    // Identical architectural state on the reference path.
+    let mut reference = Vp::builder()
+        .isa(IsaConfig::rv32i())
+        .fast_dispatch(false)
+        .build();
+    load_src(&mut reference, src);
+    assert_eq!(reference.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(reference.cpu()), cpu_state(vp.cpu()));
+}

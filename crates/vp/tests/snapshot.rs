@@ -362,10 +362,35 @@ fn jump_cache_hits_dominate_hot_loops() {
     load_src(&mut vp, SUM_LOOP);
     assert_eq!(vp.run(), RunOutcome::Break);
     let stats = vp.dispatch_stats();
+    // With direct block chaining the hot loop body dispatches via chain
+    // links; together with the jump cache, `HashMap` fallbacks must be
+    // a rounding error.
+    let fast = stats.chain_hits + stats.jmp_cache_hits;
+    let total = fast + stats.jmp_cache_misses;
     assert!(
-        stats.jmp_cache_hit_rate() > 0.9,
-        "hot loop should hit the jump cache: {stats:?}"
+        fast as f64 / total as f64 > 0.9,
+        "hot loop should dispatch via chain links or the jump cache: {stats:?}"
     );
+    assert!(
+        stats.chain_hit_rate() > 0.5,
+        "hot loop should be dominated by chained dispatches: {stats:?}"
+    );
+
+    // The jump-cache-only tier (micro-op engine off) still hits the
+    // jump cache on the loop.
+    let mut jc = Vp::builder()
+        .isa(IsaConfig::rv32imc())
+        .micro_ops(false)
+        .build();
+    load_src(&mut jc, SUM_LOOP);
+    assert_eq!(jc.run(), RunOutcome::Break);
+    let jc_stats = jc.dispatch_stats();
+    assert!(
+        jc_stats.jmp_cache_hit_rate() > 0.9,
+        "hot loop should hit the jump cache: {jc_stats:?}"
+    );
+    assert_eq!(jc_stats.chain_hits, 0);
+    assert_eq!(cpu_state(jc.cpu()), cpu_state(vp.cpu()));
 
     // Falling back to reference dispatch changes nothing architecturally.
     let mut slow = Vp::builder()

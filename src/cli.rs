@@ -57,6 +57,7 @@ OPTIONS:
     --resume                                     skip mutants already in --checkpoint
     --max-insns <n>                              execution budget [100000000]
     --metrics-out <path>                         write a metrics snapshot as JSON (run/profile/qta/campaign)
+    --reference-dispatch                         per-insn reference interpreter, no block cache (run/profile/campaign)
     --progress                                   live status line on stderr (run/profile/campaign)
     --dot-out <path>                             write the execution-annotated CFG (profile)
     --top <n>                                    hot-block table rows (profile) [10]
@@ -78,6 +79,7 @@ struct Options {
     progress: bool,
     dot_out: Option<String>,
     top: usize,
+    reference_dispatch: bool,
 }
 
 fn parse_isa(name: &str) -> Result<IsaConfig, CliError> {
@@ -108,6 +110,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         progress: false,
         dot_out: None,
         top: 10,
+        reference_dispatch: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -154,6 +157,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .map_err(|_| CliError::new("bad --max-insns value"))?;
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--reference-dispatch" => opts.reference_dispatch = true,
             "--progress" => opts.progress = true,
             "--dot-out" => opts.dot_out = Some(value("--dot-out")?),
             "--top" => {
@@ -285,7 +289,10 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
     let mut out = String::new();
     match command {
         "run" => {
-            let mut vp = Vp::new(opts.isa);
+            let mut vp = Vp::builder()
+                .isa(opts.isa)
+                .fast_dispatch(!opts.reference_dispatch)
+                .build();
             crate::boot(&mut vp, &image)
                 .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
             if opts.metrics_out.is_some() || opts.progress {
@@ -428,7 +435,10 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
             out.push_str(&report.summary_table());
         }
         "profile" => {
-            let mut vp = Vp::new(opts.isa);
+            let mut vp = Vp::builder()
+                .isa(opts.isa)
+                .fast_dispatch(!opts.reference_dispatch)
+                .build();
             crate::boot(&mut vp, &image)
                 .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
             vp.add_plugin(Box::new(ProfilePlugin::new()));
@@ -484,7 +494,10 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
             if opts.resume && opts.checkpoint.is_none() {
                 return Err(CliError::new("--resume needs --checkpoint <path>"));
             }
-            let mut cfg = CampaignConfig::new().isa(opts.isa).threads(opts.threads);
+            let mut cfg = CampaignConfig::new()
+                .isa(opts.isa)
+                .threads(opts.threads)
+                .reference_dispatch(opts.reference_dispatch);
             if opts.timeout_ms > 0 {
                 cfg = cfg.timeout(std::time::Duration::from_millis(opts.timeout_ms));
             }

@@ -221,6 +221,31 @@ fn qta_metrics_out_has_timing_histograms() {
 }
 
 #[test]
+fn reference_dispatch_flag_is_behaviorally_invisible() {
+    // The flag selects the per-insn reference interpreter; outcome,
+    // registers and counts must match the default lowered engine.
+    let fast = run_command("run", LOOP_PROGRAM, &[]).expect("runs");
+    let reference = run_command("run", LOOP_PROGRAM, &["--reference-dispatch"]).expect("runs");
+    assert_eq!(fast, reference);
+
+    let prof = run_command(
+        "profile",
+        LOOP_PROGRAM,
+        &["--isa", "rv32i", "--reference-dispatch"],
+    )
+    .expect("profile");
+    assert!(prof.contains("insns  : 12"), "{prof}");
+
+    let campaign = run_command(
+        "campaign",
+        "li a0, 1\nli a1, 2\nadd a0, a0, a1\nla t0, d\nsw a0, 0(t0)\nebreak\nd: .word 0",
+        &["--mutants", "1", "--isa", "rv32imc", "--reference-dispatch"],
+    )
+    .expect("campaign");
+    assert!(campaign.contains("normal termination rate"), "{campaign}");
+}
+
+#[test]
 fn campaign_metrics_out_counts_every_mutant() {
     let dir = std::env::temp_dir().join("s4e_cli_campaign_metrics_test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -79,6 +79,43 @@ proptest! {
         }
     }
 
+    /// The lowered micro-op engine is architecturally invisible: for
+    /// arbitrary generated programs, the default engine (micro-ops +
+    /// fusion + block chaining), the jump-cache-only ablation tier and
+    /// the per-instruction reference interpreter all finish in exactly
+    /// the same CPU and memory state.
+    #[test]
+    fn lowered_execution_matches_reference_dispatch(seed in any::<u64>()) {
+        let isa = IsaConfig::rv32imfc();
+        let p = torture_program(&TortureConfig::new(seed).insns(120).isa(isa));
+        let image = assemble(&p.source).expect("generated programs assemble");
+
+        let lowered = run_to_break(&image, isa, true);
+        let mut jump_cache_only = Vp::builder().isa(isa).micro_ops(false).build();
+        boot(&mut jump_cache_only, &image).expect("boots");
+        prop_assert_eq!(jump_cache_only.run_for(10_000_000), RunOutcome::Break);
+        let mut reference = Vp::builder().isa(isa).fast_dispatch(false).build();
+        boot(&mut reference, &image).expect("boots");
+        prop_assert_eq!(reference.run_for(10_000_000), RunOutcome::Break);
+
+        for other in [&jump_cache_only, &reference] {
+            prop_assert_eq!(lowered.cpu().pc(), other.cpu().pc());
+            prop_assert_eq!(lowered.cpu().cycles(), other.cpu().cycles());
+            prop_assert_eq!(lowered.cpu().instret(), other.cpu().instret());
+            for i in 0..32u8 {
+                let r = Gpr::new(i).expect("index");
+                prop_assert_eq!(lowered.cpu().gpr(r), other.cpu().gpr(r));
+                let f = s4e_isa::Fpr::new(i).expect("index");
+                prop_assert_eq!(lowered.cpu().fpr(f), other.cpu().fpr(f));
+            }
+            let base = image.base();
+            prop_assert_eq!(
+                lowered.bus().dump(base, 4096).expect("ram"),
+                other.bus().dump(base, 4096).expect("ram")
+            );
+        }
+    }
+
     /// The QTA invariant chain `dynamic ≤ qta ≤ static` holds for
     /// arbitrary loop-free generated programs.
     #[test]
