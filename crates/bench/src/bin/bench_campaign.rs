@@ -14,13 +14,18 @@
 //!    (lowered operands, macro-op fusion, direct block chaining).
 //!    Shape targets: jump cache ≥ 1.2x over reference, micro-op engine
 //!    ≥ 1.8x over the jump-cache tier.
+//! 3. The same bare-dispatch sweep on a memory-bound kernel (unrolled
+//!    memcpy + checksum), with the micro-op engine measured both
+//!    without and with the RAM fast path. Shape target: the fast path
+//!    gains ≥ 1.5x on the memory-heavy kernel.
 //!
 //! The JSON records the git revision, worker thread count and host CPU
 //! model so results from different checkouts and machines compare
 //! honestly.
 
+use s4e_asm::Image;
 use s4e_bench::build;
-use s4e_bench::kernels::{matmul, state_machine};
+use s4e_bench::kernels::{matmul, memcpy_checksum, state_machine};
 use s4e_faultsim::{Campaign, CampaignConfig, FaultKind, FaultSpec, FaultTarget};
 use s4e_isa::{Gpr, IsaConfig};
 use s4e_vp::{DispatchStats, RunOutcome, Vp};
@@ -139,14 +144,15 @@ fn main() {
     // all sides); the measurement window is time-based so each tier runs
     // long enough to be stable.
     let branchy = build(&state_machine(128).source, isa);
-    let dispatch = |fast: bool, uops: bool| {
+    let dispatch = |image: &Image, fast: bool, uops: bool, mem_fast: bool| {
         let mut vp = Vp::builder()
             .isa(isa)
             .fast_dispatch(fast)
             .micro_ops(uops)
+            .mem_fast_path(mem_fast)
             .build();
-        vp.load(branchy.base(), branchy.bytes()).expect("fits RAM");
-        vp.cpu_mut().set_pc(branchy.entry());
+        vp.load(image.base(), image.bytes()).expect("fits RAM");
+        vp.cpu_mut().set_pc(image.entry());
         let boot = vp.snapshot();
         let mut insns = 0u64;
         let mut per_run = 0u64;
@@ -167,9 +173,9 @@ fn main() {
             vp.dispatch_stats(),
         )
     };
-    let (run_ref, insns_ref, ref_s, _) = dispatch(false, false);
-    let (run_jc, insns_jc, jc_s, _) = dispatch(true, false);
-    let (run_uop, insns_uop, uop_s, uop_stats) = dispatch(true, true);
+    let (run_ref, insns_ref, ref_s, _) = dispatch(&branchy, false, false, false);
+    let (run_jc, insns_jc, jc_s, _) = dispatch(&branchy, true, false, false);
+    let (run_uop, insns_uop, uop_s, uop_stats) = dispatch(&branchy, true, true, true);
     assert_eq!(run_jc, run_ref, "dispatch tier must not change results");
     assert_eq!(run_uop, run_ref, "dispatch tier must not change results");
     let mips_ref = insns_ref as f64 / ref_s / 1e6;
@@ -205,16 +211,62 @@ fn main() {
         fused_insn_share * 100.0
     );
 
+    // --- memory-bound dispatch -----------------------------------------
+    // The RAM fast-path experiment: a load/store-dominated kernel where
+    // bus dispatch and exact cycle flushing are the bottleneck. The
+    // micro-op tier runs twice — without and with the fast path — so the
+    // fast-path gain is isolated from the rest of the engine.
+    let memory = build(&memcpy_checksum(256, 8).source, isa);
+    let (run_mref, insns_mref, mref_s, _) = dispatch(&memory, false, false, false);
+    let (run_mjc, insns_mjc, mjc_s, _) = dispatch(&memory, true, false, false);
+    let (run_muop, insns_muop, muop_s, _) = dispatch(&memory, true, true, false);
+    let (run_mfast, insns_mfast, mfast_s, mfast_stats) = dispatch(&memory, true, true, true);
+    assert_eq!(run_mjc, run_mref, "dispatch tier must not change results");
+    assert_eq!(run_muop, run_mref, "dispatch tier must not change results");
+    assert_eq!(run_mfast, run_mref, "dispatch tier must not change results");
+    let mips_mref = insns_mref as f64 / mref_s / 1e6;
+    let mips_mjc = insns_mjc as f64 / mjc_s / 1e6;
+    let mips_muop = insns_muop as f64 / muop_s / 1e6;
+    let mips_mfast = insns_mfast as f64 / mfast_s / 1e6;
+    let mem_fast_speedup = mips_mfast / mips_muop;
+    let mem_accesses = mfast_stats.mem_fast_hits + mfast_stats.mem_slow_hits;
+    let mem_fast_hit_rate = if mem_accesses == 0 {
+        0.0
+    } else {
+        mfast_stats.mem_fast_hits as f64 / mem_accesses as f64
+    };
+
+    println!();
+    println!("# memory-bound dispatch (RAM fast path)");
+    println!();
+    println!("| tier | insns | wall time | MIPS |");
+    println!("|---|---|---|---|");
+    println!("| reference (per-insn) | {insns_mref} | {mref_s:.3} s | {mips_mref:.1} |");
+    println!("| jump cache | {insns_mjc} | {mjc_s:.3} s | {mips_mjc:.1} |");
+    println!("| micro-op engine, fast path off | {insns_muop} | {muop_s:.3} s | {mips_muop:.1} |");
+    println!(
+        "| micro-op engine + RAM fast path | {insns_mfast} | {mfast_s:.3} s | {mips_mfast:.1} |"
+    );
+    println!();
+    println!("RAM fast path over micro-op engine: {mem_fast_speedup:.2}x");
+    println!("fast-path hit rate: {:.1}%", mem_fast_hit_rate * 100.0);
+
     let stats_json = |s: &DispatchStats| {
         format!(
             "{{\"chain_hits\": {}, \"chain_links\": {}, \"jmp_cache_hits\": {}, \
-             \"jmp_cache_misses\": {}, \"fused_lowered\": {}, \"fused_exec\": {}}}",
+             \"jmp_cache_misses\": {}, \"fused_lowered\": {}, \"fused_exec\": {}, \
+             \"mem_fast_hits\": {}, \"mem_slow_hits\": {}, \"translations\": {}, \
+             \"warm_translations\": {}}}",
             s.chain_hits,
             s.chain_links,
             s.jmp_cache_hits,
             s.jmp_cache_misses,
             s.fused_lowered,
             s.fused_exec,
+            s.mem_fast_hits,
+            s.mem_slow_hits,
+            s.translations,
+            s.warm_translations,
         )
     };
     let json = format!(
@@ -226,7 +278,11 @@ fn main() {
          \"jump_cache_mips\": {:.3},\n  \"uop_engine_mips\": {:.3},\n  \
          \"jump_cache_speedup\": {:.3},\n  \"uop_engine_speedup\": {:.3},\n  \
          \"dispatch_speedup\": {:.3},\n  \"chain_hit_rate\": {:.4},\n  \
-         \"fused_insn_share\": {:.4},\n  \"uop_dispatch_stats\": {}\n}}\n",
+         \"fused_insn_share\": {:.4},\n  \"uop_dispatch_stats\": {},\n  \
+         \"mem_kernel_insns\": {},\n  \"mem_reference_mips\": {:.3},\n  \
+         \"mem_jump_cache_mips\": {:.3},\n  \"mem_uop_engine_mips\": {:.3},\n  \
+         \"mem_fast_path_mips\": {:.3},\n  \"mem_fast_speedup\": {:.3},\n  \
+         \"mem_fast_hit_rate\": {:.4},\n  \"mem_fast_dispatch_stats\": {}\n}}\n",
         git_rev.replace('"', ""),
         threads,
         cpu_model.replace('"', ""),
@@ -246,6 +302,14 @@ fn main() {
         chain_hit_rate,
         fused_insn_share,
         stats_json(&uop_stats),
+        insns_mfast,
+        mips_mref,
+        mips_mjc,
+        mips_muop,
+        mips_mfast,
+        mem_fast_speedup,
+        mem_fast_hit_rate,
+        stats_json(&mfast_stats),
     );
     std::fs::write("BENCH_campaign.json", json).expect("writes BENCH_campaign.json");
     println!();
@@ -265,6 +329,11 @@ fn main() {
         uop_speedup >= 1.8,
         "shape: the micro-op engine should gain >= 1.8x over the jump-cache \
          tier (got {uop_speedup:.2}x)"
+    );
+    assert!(
+        mem_fast_speedup >= 1.5,
+        "shape: the RAM fast path should gain >= 1.5x on the memory-bound \
+         kernel (got {mem_fast_speedup:.2}x)"
     );
     println!("C1 shape check: PASS");
 }

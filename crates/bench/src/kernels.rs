@@ -335,6 +335,83 @@ pub fn state_machine(events: u32) -> Kernel {
     }
 }
 
+/// A memory-bound kernel: `passes` rounds of an unrolled word-wise
+/// memcpy from `src` to `dst`, followed by a checksum pass over the
+/// copy that mixes word, halfword and byte loads and writes a running
+/// digest to a fixed scratch slot. Nearly every retired instruction is
+/// a load or a store over plain RAM, which makes this the stress
+/// workload for the RAM fast path (the other kernels are compute- or
+/// branch-bound). `words` must be a multiple of 4 (the unroll factor).
+/// The data sections follow the code, so the kernel never writes its
+/// own instructions and stays warm-translation friendly.
+pub fn memcpy_checksum(words: u32, passes: u32) -> Kernel {
+    assert!(
+        words > 0 && words.is_multiple_of(4),
+        "words must be a multiple of 4"
+    );
+    let source = format!(
+        r#"
+    _start:
+        li   s0, {passes}
+    pass_loop:
+        la   s1, src
+        la   s2, dst
+        li   s3, {chunks}       # 4-word copy chunks
+    copy_loop:
+        lw   t0, 0(s1)
+        lw   t1, 4(s1)
+        lw   t2, 8(s1)
+        lw   t3, 12(s1)
+        sw   t0, 0(s2)
+        sw   t1, 4(s2)
+        sw   t2, 8(s2)
+        sw   t3, 12(s2)
+        addi s1, s1, 16
+        addi s2, s2, 16
+        addi s3, s3, -1
+        bnez s3, copy_loop
+        la   s2, dst
+        la   s4, scratch
+        li   s3, {chunks}
+        li   a0, 0
+    sum_loop:
+        lw   t0, 0(s2)
+        lw   t1, 4(s2)
+        lw   t2, 8(s2)
+        lw   t3, 12(s2)
+        add  a0, a0, t0
+        add  a0, a0, t1
+        add  a0, a0, t2
+        add  a0, a0, t3
+        lhu  t4, 2(s2)          # sub-word traffic shares the fast path
+        xor  a0, a0, t4
+        lbu  t5, 5(s2)
+        add  a0, a0, t5
+        sh   a0, 0(s4)          # fixed slot: the page is already dirty
+        sb   a0, 2(s4)
+        addi s2, s2, 16
+        addi s3, s3, -1
+        bnez s3, sum_loop
+        addi s0, s0, -1
+        bnez s0, pass_loop
+        ebreak
+    .align 4
+    src:
+    {swords}
+    dst: .space {bytes}
+    scratch: .space 8
+    "#,
+        chunks = words / 4,
+        swords = pseudo_random_words(0x3e3e, words as usize),
+        bytes = words * 4,
+    );
+    Kernel {
+        name: "memcpy_checksum",
+        source,
+        annotations: Vec::new(),
+    }
+}
+
 /// The F1 benchmark set at reference sizes.
 pub fn wcet_benchmarks() -> Vec<Kernel> {
     vec![

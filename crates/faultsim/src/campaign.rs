@@ -8,7 +8,7 @@ use crate::runner::MutantHook;
 use crate::trace::{ExecTrace, TracePlugin};
 use core::fmt;
 use s4e_isa::{Csr, Gpr, IsaConfig};
-use s4e_vp::{BusFault, CancelToken, RunOutcome, TimingModel, Vp, VpBuilder};
+use s4e_vp::{BusFault, CancelToken, RunOutcome, SharedTranslations, TimingModel, Vp, VpBuilder};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -107,6 +107,14 @@ pub struct CampaignConfig {
     /// A/B switch for validating the lowered execution engine and for
     /// measuring its speedup.
     pub reference_dispatch: bool,
+    /// Whether the golden-prefix cache exports the golden VP's
+    /// translated blocks alongside each snapshot so workers restore them
+    /// warm ([`s4e_vp::SharedTranslations`]); on by default and only
+    /// meaningful while [`fast_forward`](Self::fast_forward) is active.
+    /// Classifications are identical either way — a mutated code byte is
+    /// caught by the per-block hash at probe time and re-translated
+    /// locally. This is the A/B switch for measuring translation reuse.
+    pub share_translations: bool,
 }
 
 impl CampaignConfig {
@@ -122,6 +130,7 @@ impl CampaignConfig {
             timeout: None,
             fast_forward: true,
             reference_dispatch: false,
+            share_translations: true,
         }
     }
 
@@ -176,6 +185,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn reference_dispatch(mut self, on: bool) -> CampaignConfig {
         self.reference_dispatch = on;
+        self
+    }
+
+    /// Enables or disables warm-seeding worker VPs with the golden VP's
+    /// translated blocks (classifications are identical either way).
+    #[must_use]
+    pub fn share_translations(mut self, on: bool) -> CampaignConfig {
+        self.share_translations = on;
         self
     }
 
@@ -279,6 +296,13 @@ pub struct Campaign {
     /// build, not a re-derivation of the configuration.
     vp_builder: VpBuilder,
     golden: GoldenRun,
+    /// The prepare-run golden VP's full translation set, exported once
+    /// so fast-forward workers (and the prefix replay VP) start warm on
+    /// every block the golden run ever executed — including the tail
+    /// past the last injection point, which the lazily-advancing replay
+    /// VP never reaches on its own. `None` when translation sharing is
+    /// off or the reference dispatch path is forced.
+    golden_warm: Option<std::sync::Arc<SharedTranslations>>,
     budget: u64,
     /// Whether the golden run stayed interrupt-free (`mie == 0`
     /// throughout), making split prefix replay bit-exact.
@@ -348,6 +372,8 @@ impl Campaign {
             trace,
         };
         let budget = golden.instret * config.budget_multiplier + 1000;
+        let golden_warm = (config.share_translations && !config.reference_dispatch)
+            .then(|| std::sync::Arc::new(vp.export_translations()));
         Ok(Campaign {
             base,
             bytes: bytes.to_vec(),
@@ -355,6 +381,7 @@ impl Campaign {
             config: config.clone(),
             vp_builder,
             golden,
+            golden_warm,
             budget,
             prefix_eligible: !interrupts_armed,
             mutant_hook: None,
@@ -455,7 +482,7 @@ impl Campaign {
             *points.entry(self.injection_point(spec)).or_insert(0) += 1;
         }
         let golden = Self::boot_vp(&self.vp_builder, self.base, &self.bytes, self.entry).ok()?;
-        Some(PrefixCache::new(golden, points))
+        Some(PrefixCache::new(golden, points, self.golden_warm.clone()))
     }
 
     /// Runs one mutant and classifies its effect.
@@ -525,6 +552,10 @@ impl Campaign {
     ) -> FaultOutcome {
         let vp = slot.get_or_insert_with(|| self.vp_builder.clone().build());
         vp.restore(&entry.snapshot);
+        // Seed the golden VP's translations so the suffix starts warm
+        // (a no-op `None` when the campaign disabled sharing; the VP
+        // itself declines a seed whose engine configuration mismatches).
+        vp.set_warm_translations(entry.warm.clone());
         if let Some(outcome) = entry.terminal {
             // The golden run terminated at or before the injection point:
             // the fault never manifested. Classify the restored terminal

@@ -38,8 +38,20 @@
 //! reference-counted by planned consumer and dropped when the last
 //! consumer has fetched them, so resident snapshots are bounded by the
 //! distinct injection points still in use.
+//!
+//! Alongside each snapshot the cache can export the golden VP's
+//! translated blocks as a read-only [`SharedTranslations`] set
+//! (`CampaignConfig::share_translations`, on by default). Workers seed
+//! the set into their VP after restoring, so the post-injection suffix
+//! starts with every golden block already translated and lowered —
+//! per-mutant translation work drops to ~0 on SMC-free campaigns. The
+//! set rides on the [`PrefixEntry`], not inside the [`VpSnapshot`]:
+//! snapshots stay purely architectural, and a worker with a different
+//! engine configuration simply declines the seed. Code mutated by the
+//! injected fault is caught by the per-block code-bytes hash at probe
+//! time and re-translated locally.
 
-use s4e_vp::{DispatchStats, RunOutcome, Vp, VpSnapshot};
+use s4e_vp::{DispatchStats, RunOutcome, SharedTranslations, Vp, VpSnapshot};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -49,6 +61,11 @@ pub(crate) struct PrefixEntry {
     /// Golden state at the injection point (or at golden termination,
     /// whichever came first).
     pub snapshot: Arc<VpSnapshot>,
+    /// The golden VP's translated blocks at snapshot time, exported for
+    /// read-only seeding into the worker VP that restores this entry —
+    /// mutants start warm instead of re-translating identical code.
+    /// `None` when the campaign disabled translation sharing.
+    pub warm: Option<Arc<SharedTranslations>>,
     /// Set when the golden run terminated at or before the requested
     /// point: the consumer must classify `snapshot` with this outcome
     /// instead of resuming it (a terminated VP re-executes its final
@@ -74,6 +91,15 @@ struct PrefixState {
     /// Dispatch statistics accumulated by the golden VP across advances
     /// (snapshots taken, dirty pages flushed, jump-cache behaviour).
     stats: DispatchStats,
+    /// The prepare-run golden VP's full translation set, seeded into the
+    /// replay VP and unioned into every re-export: it covers blocks the
+    /// lazily-advancing replay VP never reaches (everything past the
+    /// last injection point). `None` disables translation sharing.
+    base_warm: Option<Arc<SharedTranslations>>,
+    /// The most recent export, reused until the golden VP translates or
+    /// invalidates anything (per its stats delta) — on an SMC-free
+    /// golden run every entry past the first shares one allocation.
+    warm: Option<Arc<SharedTranslations>>,
 }
 
 impl PrefixState {
@@ -94,11 +120,33 @@ impl PrefixState {
                 }
             }
         }
+        if self.base_warm.is_some() && self.terminal.is_none() {
+            // A `run_for` segment can stop mid-block; pre-translate the
+            // resume block so the export below covers the exact pc the
+            // workers restore at.
+            self.golden.prefetch_current_block();
+        }
+        let snapshot = Arc::new(self.golden.snapshot());
+        // Re-export the translation set only when this advance changed
+        // it (a fresh translation, e.g. at a mid-block stop pc, or an
+        // invalidation); otherwise the previous export is still an
+        // exact image of the golden code. Each export unions the replay
+        // VP's live cache (fresher on collision) with the full-run base
+        // set, so the tail past the replay position stays covered.
+        let delta = self.golden.take_dispatch_stats();
+        if self.warm.is_none() || delta.translations > 0 || delta.invalidations > 0 {
+            self.warm = self.base_warm.as_ref().map(|base| {
+                let mut set = self.golden.export_translations();
+                set.merge_missing(base);
+                Arc::new(set)
+            });
+        }
         let entry = PrefixEntry {
-            snapshot: Arc::new(self.golden.snapshot()),
+            snapshot,
+            warm: self.warm.clone(),
             terminal: self.terminal,
         };
-        self.stats.merge(&self.golden.take_dispatch_stats());
+        self.stats.merge(&delta);
         self.entries.insert(point, (entry, consumers));
         Some(())
     }
@@ -116,8 +164,16 @@ pub(crate) struct PrefixCache {
 impl PrefixCache {
     /// Plans a cache over `points` (injection instret → consumer count),
     /// using `golden` — freshly loaded, nothing retired — as the replay
-    /// VP.
-    pub(crate) fn new(golden: Vp, points: BTreeMap<u64, usize>) -> PrefixCache {
+    /// VP. `base_warm` (the prepare-run golden VP's full translation
+    /// export) turns translation sharing on: the replay VP itself is
+    /// seeded with it, and every entry carries a warm set for the
+    /// workers. `None` disables sharing.
+    pub(crate) fn new(
+        mut golden: Vp,
+        points: BTreeMap<u64, usize>,
+        base_warm: Option<Arc<SharedTranslations>>,
+    ) -> PrefixCache {
+        golden.set_warm_translations(base_warm.clone());
         PrefixCache {
             inner: Mutex::new(PrefixState {
                 golden,
@@ -126,6 +182,8 @@ impl PrefixCache {
                 planned: points,
                 entries: BTreeMap::new(),
                 stats: DispatchStats::default(),
+                base_warm,
+                warm: None,
             }),
         }
     }

@@ -68,6 +68,10 @@ pub struct CampaignProgress {
     chain_links: Arc<Counter>,
     fused_lowered: Arc<Counter>,
     fused_exec: Arc<Counter>,
+    translations: Arc<Counter>,
+    warm_translations: Arc<Counter>,
+    mem_fast_hits: Arc<Counter>,
+    mem_slow_hits: Arc<Counter>,
     started: Instant,
 }
 
@@ -108,6 +112,10 @@ impl CampaignProgress {
             chain_links: registry.counter("campaign_chain_links"),
             fused_lowered: registry.counter("campaign_fused_lowered"),
             fused_exec: registry.counter("campaign_fused_executed"),
+            translations: registry.counter("campaign_translations"),
+            warm_translations: registry.counter("campaign_warm_translations"),
+            mem_fast_hits: registry.counter("campaign_mem_fast_hits"),
+            mem_slow_hits: registry.counter("campaign_mem_slow_hits"),
             registry,
             started: Instant::now(),
         }
@@ -142,8 +150,9 @@ impl CampaignProgress {
     /// Merges one VP's [`DispatchStats`] into the campaign metrics: the
     /// fast-forward efficiency counters (snapshots taken and restored,
     /// dirty pages moved each way), the interpreter's jump-cache
-    /// hit/miss split, and the micro-op engine's chain and fusion
-    /// counters. Workers call this per mutant with their reusable
+    /// hit/miss split, the micro-op engine's chain and fusion counters,
+    /// the memory fast/slow path split, and the warm-vs-fresh
+    /// translation split. Workers call this per mutant with their reusable
     /// VP's reset-on-read stats; the runner adds the shared golden
     /// replay VP's share once at the end of the sweep.
     pub fn record_dispatch(&self, stats: &DispatchStats) {
@@ -157,6 +166,10 @@ impl CampaignProgress {
         self.chain_links.add(stats.chain_links);
         self.fused_lowered.add(stats.fused_lowered);
         self.fused_exec.add(stats.fused_exec);
+        self.translations.add(stats.translations);
+        self.warm_translations.add(stats.warm_translations);
+        self.mem_fast_hits.add(stats.mem_fast_hits);
+        self.mem_slow_hits.add(stats.mem_slow_hits);
     }
 
     /// Worker `worker` claimed a queue slot — its liveness heartbeat.
@@ -262,6 +275,19 @@ impl CampaignProgress {
         }
         if self.resumed.value() > 0 {
             let _ = write!(line, " resumed={}", self.resumed.value());
+        }
+        let (fast, slow) = (self.mem_fast_hits.value(), self.mem_slow_hits.value());
+        if fast + slow > 0 {
+            let pct = fast as f64 * 100.0 / (fast + slow) as f64;
+            let _ = write!(line, " memfast={pct:.1}%");
+        }
+        if self.warm_translations.value() > 0 {
+            let _ = write!(
+                line,
+                " warm={} translated={}",
+                self.warm_translations.value(),
+                self.translations.value()
+            );
         }
         line
     }

@@ -1,0 +1,164 @@
+//! Cross-mutant translation reuse: workers restore a golden-prefix
+//! snapshot and adopt the golden VP's exported translated blocks
+//! instead of re-translating the same code per mutant. These tests pin
+//! the acceptance claim: on an SMC-free campaign, per-mutant fresh
+//! translations drop to ~0, and classifications are identical with the
+//! seeding on or off.
+
+use s4e_asm::assemble;
+use s4e_faultsim::{
+    Campaign, CampaignConfig, CampaignProgress, CampaignReport, FaultKind, FaultSpec, FaultTarget,
+};
+use s4e_isa::Gpr;
+use s4e_obs::Snapshot;
+use std::sync::Arc;
+
+/// A golden run of ~360 retired instructions with data stores that stay
+/// clear of the code region — no mutant of the spec set below ever
+/// mutates code bytes, so every warm probe's hash check passes.
+const WORK_PROGRAM: &str = r#"
+    li t0, 60
+    li a0, 0
+    la t1, table
+    loop: add a0, a0, t0
+    sw a0, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, loop
+    la t2, result
+    sw a0, 0(t2)
+    ebreak
+    result: .word 0
+    table: .space 256
+"#;
+
+fn campaign(src: &str, cfg: &CampaignConfig) -> Campaign {
+    let img = assemble(src).expect("assembles");
+    Campaign::prepare(img.base(), img.bytes(), img.entry(), cfg).expect("prepares")
+}
+
+/// 320 register transients spread across the golden run, none terminal
+/// and none touching memory: the SMC-free sweep shape.
+fn smc_free_specs(c: &Campaign) -> Vec<FaultSpec> {
+    let golden_len = c.golden().instret();
+    let mut specs = Vec::new();
+    for bit in 0..16u8 {
+        for t in 0..20u64 {
+            specs.push(FaultSpec {
+                target: FaultTarget::GprBit { reg: Gpr::A0, bit },
+                kind: FaultKind::Transient {
+                    at_insn: t * golden_len / 20,
+                },
+            });
+        }
+    }
+    specs
+}
+
+fn sweep(share: bool, threads: usize) -> (CampaignReport, Snapshot, usize) {
+    let mut c = campaign(
+        WORK_PROGRAM,
+        &CampaignConfig::new()
+            .threads(threads)
+            .share_translations(share),
+    );
+    assert!(c.fast_forward_active());
+    let progress = Arc::new(CampaignProgress::new());
+    c.set_progress(Arc::clone(&progress));
+    let specs = smc_free_specs(&c);
+    let report = c.run_all(&specs);
+    (report, progress.snapshot(), specs.len())
+}
+
+#[test]
+fn warm_seeding_cuts_per_mutant_translations_to_zero() {
+    let (report_on, snap_on, mutants) = sweep(true, 2);
+    let (report_off, snap_off, _) = sweep(false, 2);
+
+    assert_eq!(
+        report_on.results(),
+        report_off.results(),
+        "translation sharing must be classification-identical"
+    );
+
+    let translations_on = snap_on.counter("campaign_translations").unwrap_or(0);
+    let translations_off = snap_off.counter("campaign_translations").unwrap_or(0);
+    let warm_on = snap_on.counter("campaign_warm_translations").unwrap_or(0);
+    let warm_off = snap_off.counter("campaign_warm_translations").unwrap_or(0);
+
+    // Without sharing, every restored mutant re-translates the blocks
+    // it executes: far more fresh translations than mutants.
+    assert!(
+        translations_off > mutants as u64,
+        "legacy sweep should translate per mutant (got {translations_off} for {mutants} mutants)"
+    );
+    // With sharing, fresh translation work collapses to the golden
+    // replay VP's own share: its handful of basic blocks plus one
+    // resume block per distinct injection point (a replay segment can
+    // stop mid-block). That is O(points), not O(mutants) — 320 mutants
+    // share 20 points here, so any per-mutant residue (even one block
+    // per mutant) would blow through this bound immediately.
+    let points = 20u64;
+    assert!(
+        translations_on <= 2 * points + 16,
+        "warm sweep should only translate on the golden VP (got {translations_on})"
+    );
+    // Every non-terminal mutant adopts at least one warm block after
+    // its restore invalidated the reusable VP's caches.
+    assert!(
+        warm_on >= mutants as u64,
+        "every mutant should adopt warm blocks (got {warm_on} for {mutants} mutants)"
+    );
+    assert_eq!(warm_off, 0, "sharing off must never adopt warm blocks");
+}
+
+#[test]
+fn code_mutating_faults_fall_back_to_fresh_translation() {
+    // A MemBit fault in the code region flips an instruction byte
+    // before execution resumes: the warm probe's code-bytes hash check
+    // must reject the stale block and re-translate locally, keeping
+    // classifications identical to the unseeded sweep.
+    let base = 0x8000_0000u32;
+    let make = |share: bool| {
+        campaign(
+            WORK_PROGRAM,
+            &CampaignConfig::new().share_translations(share),
+        )
+    };
+    let specs: Vec<FaultSpec> = (0..24u32)
+        .flat_map(|i| {
+            (0..4u8).map(move |bit| FaultSpec {
+                target: FaultTarget::MemBit {
+                    addr: base + i * 2,
+                    bit,
+                },
+                kind: FaultKind::Transient {
+                    at_insn: u64::from(i) * 5,
+                },
+            })
+        })
+        .collect();
+    let shared = make(true).run_all(&specs);
+    let fresh = make(false).run_all(&specs);
+    assert_eq!(shared.results(), fresh.results());
+    // The sweep actually corrupted code: more than one outcome class.
+    assert!(shared.counts().len() >= 2, "{:?}", shared.counts());
+}
+
+#[test]
+fn reference_dispatch_declines_the_seed() {
+    // With the reference interpreter forced, the worker VP has no block
+    // cache: `set_warm_translations` must decline the seed rather than
+    // dispatch through it, and the sweep still classifies identically
+    // to the lowered engine.
+    let reference = campaign(
+        WORK_PROGRAM,
+        &CampaignConfig::new().reference_dispatch(true),
+    );
+    let lowered = campaign(WORK_PROGRAM, &CampaignConfig::new());
+    let specs: Vec<FaultSpec> = smc_free_specs(&lowered).into_iter().step_by(13).collect();
+    assert_eq!(
+        reference.run_all(&specs).results(),
+        lowered.run_all(&specs).results()
+    );
+}

@@ -37,6 +37,11 @@ pub struct TortureConfig {
     /// WCET counted-loop inference recovers, so generated programs stay
     /// statically analyzable).
     pub loops: bool,
+    /// Whether to bias generation toward scratch-buffer loads and
+    /// stores (roughly half of the body becomes memory traffic) —
+    /// the workload shape that exercises the VP's RAM fast path and
+    /// its dirty-page marking hardest.
+    pub mem_heavy: bool,
 }
 
 impl TortureConfig {
@@ -48,6 +53,7 @@ impl TortureConfig {
             insn_count: 200,
             isa: IsaConfig::rv32imfc(),
             loops: false,
+            mem_heavy: false,
         }
     }
 
@@ -69,6 +75,13 @@ impl TortureConfig {
     #[must_use]
     pub fn with_loops(mut self, on: bool) -> TortureConfig {
         self.loops = on;
+        self
+    }
+
+    /// Biases the body toward scratch-confined memory traffic.
+    #[must_use]
+    pub fn mem_heavy(mut self, on: bool) -> TortureConfig {
+        self.mem_heavy = on;
         self
     }
 }
@@ -115,9 +128,9 @@ pub fn torture_program(cfg: &TortureConfig) -> TestProgram {
     let mut emitted = 0usize;
     while emitted < cfg.insn_count {
         if cfg.loops && rng.random_range(0..12) == 0 {
-            emitted += emit_counted_loop(&mut out, &mut rng, isa, &mut label);
+            emitted += emit_counted_loop(&mut out, &mut rng, cfg, &mut label);
         } else {
-            emitted += emit_random(&mut out, &mut rng, isa, &mut label, None);
+            emitted += emit_random(&mut out, &mut rng, cfg, &mut label, None);
         }
     }
 
@@ -156,7 +169,7 @@ pub fn torture_program(cfg: &TortureConfig) -> TestProgram {
 fn emit_counted_loop(
     out: &mut String,
     rng: &mut StdRng,
-    isa: &IsaConfig,
+    cfg: &TortureConfig,
     label: &mut u32,
 ) -> usize {
     // The counter register: avoid sp (x2) and keep it out of the body.
@@ -169,7 +182,7 @@ fn emit_counted_loop(
     let body_len = rng.random_range(2..6);
     let mut emitted = 2; // li + the addi/bnez pair counts below
     for _ in 0..body_len {
-        emitted += emit_random(out, rng, isa, label, Some(counter));
+        emitted += emit_random(out, rng, cfg, label, Some(counter));
     }
     let _ = writeln!(out, "    addi x{counter}, x{counter}, -1");
     let _ = writeln!(out, "    bnez x{counter}, {head}");
@@ -182,10 +195,11 @@ fn emit_counted_loop(
 fn emit_random(
     out: &mut String,
     rng: &mut StdRng,
-    isa: &IsaConfig,
+    cfg: &TortureConfig,
     label: &mut u32,
     exclude: Option<u8>,
 ) -> usize {
+    let isa = &cfg.isa;
     let pick = |rng: &mut StdRng, regs: &[u8]| loop {
         let r = regs[rng.random_range(0..regs.len())];
         if Some(r) != exclude {
@@ -212,7 +226,14 @@ fn emit_random(
         choices.push(8);
     }
     choices.push(9); // csr / misc
-    match choices[rng.random_range(0..choices.len())] {
+                     // Memory-heavy mode: half of the body becomes scratch-buffer
+                     // loads/stores (choice 3), the workload the RAM fast path serves.
+    let choice = if cfg.mem_heavy && rng.random_range(0..2) == 0 {
+        3
+    } else {
+        choices[rng.random_range(0..choices.len())]
+    };
+    match choice {
         0 => {
             let op = [
                 "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",

@@ -459,6 +459,62 @@ impl Bus {
         self.mark_dirty(i, 1);
         Some(&mut self.ram[i])
     }
+
+    /// RAM fast-path read: a naturally aligned `size`-byte (1/2/4) load
+    /// entirely inside RAM, bypassing device dispatch. `None` means "take
+    /// the slow path" (outside RAM or crossing the RAM top edge) — never
+    /// a fault by itself, so callers fall back to [`read32`](Bus::read32)
+    /// et al. and get byte-identical `BusFault` semantics.
+    #[inline]
+    pub(crate) fn ram_read_fast(&self, addr: u32, size: u8) -> Option<u32> {
+        debug_assert!(addr.is_multiple_of(size as u32), "caller checks alignment");
+        let i = self.ram_index(addr)?;
+        let size = size as usize;
+        if i + size > self.ram.len() {
+            return None;
+        }
+        Some(match size {
+            1 => self.ram[i] as u32,
+            2 => u16::from_le_bytes([self.ram[i], self.ram[i + 1]]) as u32,
+            _ => u32::from_le_bytes([
+                self.ram[i],
+                self.ram[i + 1],
+                self.ram[i + 2],
+                self.ram[i + 3],
+            ]),
+        })
+    }
+
+    /// RAM fast-path write: the store counterpart of
+    /// [`ram_read_fast`](Bus::ram_read_fast). Returns `false` without
+    /// writing anything when the slow path must run instead.
+    ///
+    /// An aligned ≤4-byte access can never straddle a [`PAGE_SIZE`] page,
+    /// so exactly one dirty bit covers it — checked first so the hot
+    /// "page already dirty" case skips the read-modify-write entirely.
+    #[inline]
+    pub(crate) fn ram_write_fast(&mut self, addr: u32, size: u8, value: u32) -> bool {
+        debug_assert!(addr.is_multiple_of(size as u32), "caller checks alignment");
+        let Some(i) = self.ram_index(addr) else {
+            return false;
+        };
+        let size = size as usize;
+        if i + size > self.ram.len() {
+            return false;
+        }
+        let page = i >> PAGE_SHIFT;
+        let bit = 1u64 << (page & 63);
+        let word = &mut self.dirty[page >> 6];
+        if *word & bit == 0 {
+            *word |= bit;
+        }
+        match size {
+            1 => self.ram[i] = value as u8,
+            2 => self.ram[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            _ => self.ram[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -573,5 +629,97 @@ mod tests {
         let mut b = Bus::new(0x8000_0000, 4 * PAGE_SIZE);
         *b.ram_byte_mut(0x8000_1004).unwrap() = 9;
         assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn top_edge_partial_accesses_fault_without_dirtying() {
+        // 16/32-bit accesses whose first byte is in RAM but whose tail
+        // runs off the top edge must fault and leave RAM + dirty bitmap
+        // untouched (the fast path rejects them before any byte lands).
+        let mut b = Bus::new(0x8000_0000, 2 * PAGE_SIZE);
+        let top = 0x8000_0000 + 2 * PAGE_SIZE;
+        assert!(b.write16(top - 1, 0xffff, 0).is_err());
+        assert!(b.read16(top - 1, 0).is_err());
+        for addr in [top - 1, top - 2, top - 3] {
+            assert!(b.write32(addr, 0xffff_ffff, 0).is_err(), "{addr:#x}");
+            assert!(b.read32(addr, 0).is_err(), "{addr:#x}");
+        }
+        assert_eq!(b.dirty_page_count(), 0);
+        assert_eq!(b.read8(top - 1, 0).unwrap(), 0);
+        // The last fully-contained accesses still work.
+        b.write16(top - 2, 0xbeef, 0).unwrap();
+        assert_eq!(b.read16(top - 2, 0).unwrap(), 0xbeef);
+        b.write32(top - 4, 0xdead_beef, 0).unwrap();
+        assert_eq!(b.read32(top - 4, 0).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn dirty_skip_survives_clear_dirty() {
+        // The fast write path skips re-marking an already-dirty page; a
+        // clear_dirty in between must make the next write mark it again
+        // (otherwise snapshot divergence tracking silently loses pages).
+        let mut b = Bus::new(0x8000_0000, 4 * PAGE_SIZE);
+        assert!(b.ram_write_fast(0x8000_1000, 4, 0x1111_1111));
+        assert!(b.ram_write_fast(0x8000_1004, 4, 0x2222_2222)); // dirty-skip path
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![1]);
+        b.clear_dirty();
+        assert_eq!(b.dirty_page_count(), 0);
+        assert!(b.ram_write_fast(0x8000_1008, 4, 0x3333_3333));
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn fast_accessors_round_trip_and_match_slow_path() {
+        let mut b = Bus::new(0x8000_0000, 4 * PAGE_SIZE);
+        assert!(b.ram_write_fast(0x8000_0010, 1, 0xaa));
+        assert!(b.ram_write_fast(0x8000_0012, 2, 0xbbcc));
+        assert!(b.ram_write_fast(0x8000_0014, 4, 0x1122_3344));
+        assert_eq!(b.ram_read_fast(0x8000_0010, 1), Some(0xaa));
+        assert_eq!(b.ram_read_fast(0x8000_0012, 2), Some(0xbbcc));
+        assert_eq!(b.ram_read_fast(0x8000_0014, 4), Some(0x1122_3344));
+        // The slow path sees exactly the same bytes.
+        assert_eq!(b.read8(0x8000_0010, 0).unwrap(), 0xaa);
+        assert_eq!(b.read16(0x8000_0012, 0).unwrap(), 0xbbcc);
+        assert_eq!(b.read32(0x8000_0014, 0).unwrap(), 0x1122_3344);
+        // Narrow stores leave neighbours alone.
+        assert_eq!(b.ram_read_fast(0x8000_0011, 1), Some(0));
+    }
+
+    #[test]
+    fn fast_accessors_reject_out_of_ram_and_top_edge() {
+        let mut b = Bus::new(0x8000_0000, 2 * PAGE_SIZE);
+        let top = 0x8000_0000 + 2 * PAGE_SIZE;
+        // Outside RAM entirely (device space / unmapped).
+        assert_eq!(b.ram_read_fast(0x1100_0000, 4), None);
+        assert!(!b.ram_write_fast(0x1100_0000, 4, 1));
+        assert_eq!(b.ram_read_fast(top, 4), None);
+        assert!(!b.ram_write_fast(top, 4, 1));
+        // The last naturally aligned word is fine.
+        assert!(b.ram_write_fast(top - 4, 4, 0xdead_beef));
+        assert_eq!(b.ram_read_fast(top - 4, 4), Some(0xdead_beef));
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![1]);
+
+        // A non-page-multiple RAM size exposes the top-edge straddle:
+        // an aligned word whose tail runs past the end takes the slow
+        // path (None/false), it does not fault or partially write.
+        let mut odd = Bus::new(0x8000_0000, PAGE_SIZE + 6);
+        let end = 0x8000_0000 + PAGE_SIZE + 6;
+        assert_eq!(odd.ram_read_fast(end - 2, 4), None);
+        assert!(!odd.ram_write_fast(end - 2, 4, 1));
+        assert_eq!(odd.ram_read_fast(end - 2, 2), Some(0));
+        assert!(odd.ram_write_fast(end - 2, 2, 0xcafe));
+        assert_eq!(odd.ram_read_fast(end - 2, 2), Some(0xcafe));
+    }
+
+    #[test]
+    fn fast_write_marks_exactly_one_page() {
+        // Aligned ≤4-byte accesses can never straddle a page, so the
+        // single-bit marking in ram_write_fast is exact: the last word of
+        // page 0 dirties page 0 only.
+        let mut b = Bus::new(0x8000_0000, 4 * PAGE_SIZE);
+        assert!(b.ram_write_fast(0x8000_0000 + PAGE_SIZE - 4, 4, 0xffff_ffff));
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![0]);
+        assert!(b.ram_write_fast(0x8000_0000 + PAGE_SIZE, 2, 0xffff));
+        assert_eq!(b.dirty_pages().collect::<Vec<_>>(), vec![0, 1]);
     }
 }

@@ -45,4 +45,4 @@ pub use plugin::{AsAny, BlockInfo, DeviceAccess, MemAccess, Plugin};
 pub use snapshot::VpSnapshot;
 pub use timing::TimingModel;
 pub use trap::Trap;
-pub use vp::{DispatchStats, RunOutcome, Vp, VpBuilder, DEFAULT_INSN_LIMIT};
+pub use vp::{DispatchStats, RunOutcome, SharedTranslations, Vp, VpBuilder, DEFAULT_INSN_LIMIT};

@@ -11,7 +11,10 @@
 //! anything cold or complex (CSR, FP, system, `fence.i`) lowers to
 //! [`Op::Generic`], which delegates to the reference per-instruction
 //! path — the micro-op engine is an encoding of the same semantics,
-//! never a second implementation of them.
+//! never a second implementation of them. Memory micro-ops additionally
+//! carry the RAM fast path: in-RAM aligned accesses bypass bus dispatch
+//! entirely (see the load/store group below), which is where
+//! memory-heavy guests recover most of their bus overhead.
 
 use crate::timing::TimingModel;
 use s4e_isa::fusion::{detect, FusionPattern};
@@ -67,7 +70,14 @@ pub(crate) enum Op {
     Bext,
     /// Fused `slli+srli` field extract: `rd = (rs1 << imm) >> imm2`.
     ShiftPair,
-    // Loads/stores, `addr = rs1 + imm`.
+    // Loads/stores, `addr = rs1 + imm`. These are the dedicated memory
+    // micro-ops behind the RAM fast path: when the effective address is
+    // naturally aligned and falls wholly inside RAM, the execution loop
+    // reads/writes the RAM slice directly — no device-range probe, no
+    // exact accounting flush, page-granular dirty marking with an
+    // already-dirty skip. MMIO, misaligned and RAM-edge accesses (and
+    // any access observed by a plugin) fall back to full bus dispatch,
+    // so trap/event semantics stay byte-identical to the reference path.
     Lb,
     Lh,
     Lw,
@@ -77,7 +87,8 @@ pub(crate) enum Op {
     Sh,
     Sw,
     // Fused `auipc`+load/store: absolute `addr = imm`, the `auipc`
-    // destination (`rs1`) is still written with `imm2`.
+    // destination (`rs1`) is still written with `imm2`. The access half
+    // shares the RAM fast path of the plain loads/stores above.
     AbsLb,
     AbsLh,
     AbsLw,

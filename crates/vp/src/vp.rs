@@ -67,9 +67,13 @@ impl RunOutcome {
     }
 }
 
-/// One decoded basic block.
+/// The immutable payload of a translated block: decoded instructions,
+/// lowered micro-ops and static successor pcs. Split from [`Block`] so
+/// it can be shared across VPs (and threads) through
+/// [`SharedTranslations`] — everything mutable and VP-local (the raw
+/// chain-link pointers) stays behind in `Block`.
 #[derive(Debug)]
-struct Block {
+struct BlockBody {
     insns: Vec<(u32, Insn)>,
     /// The lowered micro-op form, executed by the fast path (empty when
     /// the micro-op engine is disabled at build time).
@@ -79,10 +83,90 @@ struct Block {
     /// The static taken target of the final instruction, when it has one
     /// (conditional branches and `jal`).
     target_pc: Option<u32>,
+}
+
+/// One decoded basic block as owned by a single VP: the (possibly
+/// shared) immutable body plus this VP's private chain links.
+#[derive(Debug)]
+struct Block {
+    body: Arc<BlockBody>,
     /// Direct links to the translated successors at `fall_pc` (slot 0)
     /// and `target_pc` (slot 1), installed lazily by the dispatch loop
-    /// and severed wholesale by [`Vp::invalidate_caches`].
+    /// and severed wholesale by [`Vp::invalidate_caches`]. Never shared:
+    /// links point into *this* VP's cache and are rebuilt locally by
+    /// each VP that adopts a shared body.
     links: [ChainLink; 2],
+}
+
+/// A read-only set of translated (and lowered) blocks exported from one
+/// VP with [`Vp::export_translations`] and seeded into others with
+/// [`Vp::set_warm_translations`], so VPs that execute the same immutable
+/// guest code — fault-campaign mutants restored from a common golden
+/// snapshot — start warm instead of re-translating identical code.
+///
+/// Entries are keyed by start pc and carry an FNV-1a hash of the code
+/// bytes they were decoded from. The hash is re-checked against the
+/// adopting VP's RAM at probe time, so a mutant whose injected fault
+/// flipped a code byte simply misses and translates that block fresh;
+/// nothing is ever adopted blind. Chain links are *not* part of the
+/// shared body — each adopting VP rebuilds its own — and any
+/// SMC/`fence.i`/`load` invalidation drops only the adopting VP's view,
+/// never the shared set.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTranslations {
+    blocks: HashMap<u32, SharedBlock>,
+    /// Whether the bodies carry lowered micro-ops. A body exported from
+    /// a uop-enabled VP is only adoptable by another uop-enabled VP (and
+    /// vice versa): the executing engine must match the lowered form.
+    uops: bool,
+}
+
+impl SharedTranslations {
+    /// The number of shared blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the set contains no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Adds every block of `other` this set does not already cover.
+    /// Used to union a full-run export (which knows the whole program)
+    /// with a replay VP's live cache (which knows only the prefix it
+    /// has reached): `self`'s entries win on collision because they are
+    /// fresher. Sets with mismatched lowering configurations do not
+    /// merge. A possibly-stale adopted entry is harmless — probe-time
+    /// hash validation rejects it and the prober translates fresh.
+    pub fn merge_missing(&mut self, other: &SharedTranslations) {
+        if self.uops != other.uops {
+            return;
+        }
+        for (&pc, block) in &other.blocks {
+            self.blocks.entry(pc).or_insert_with(|| block.clone());
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SharedBlock {
+    /// FNV-1a 64 of the code bytes `[pc, pc + len)` at export time.
+    hash: u64,
+    /// Length of the block's code range in bytes.
+    len: u32,
+    body: Arc<BlockBody>,
+}
+
+/// FNV-1a 64-bit over `bytes` — dependency-free and cheap, used to
+/// detect mutated code bytes when probing a warm translation set.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// An interior-mutable successor pointer for direct block chaining.
@@ -153,8 +237,21 @@ pub struct DispatchStats {
     /// Fused micro-ops dispatched by the execution loop (each covers two
     /// guest instructions).
     pub fused_exec: u64,
-    /// Blocks decoded from guest memory (translation-cache misses).
+    /// Blocks decoded from guest memory (translation-cache misses not
+    /// served by a warm shared set).
     pub translations: u64,
+    /// Translation-cache misses served by adopting a block from a warm
+    /// [`SharedTranslations`] set (code-bytes hash verified) instead of
+    /// decoding from guest memory.
+    pub warm_translations: u64,
+    /// Memory micro-ops served by the RAM fast path: aligned accesses
+    /// wholly inside RAM that bypass bus dispatch and keep cycle/instret
+    /// accounting batched.
+    pub mem_fast_hits: u64,
+    /// Memory micro-ops that took the full bus slow path (MMIO,
+    /// misalignment, RAM-edge accesses, plugins attached, or the fast
+    /// path disabled).
+    pub mem_slow_hits: u64,
     /// Translated-code invalidations (self-modifying stores, `fence.i`,
     /// `load`, bus mutation, restore).
     pub invalidations: u64,
@@ -199,6 +296,9 @@ impl DispatchStats {
         self.fused_lowered += other.fused_lowered;
         self.fused_exec += other.fused_exec;
         self.translations += other.translations;
+        self.warm_translations += other.warm_translations;
+        self.mem_fast_hits += other.mem_fast_hits;
+        self.mem_slow_hits += other.mem_slow_hits;
         self.invalidations += other.invalidations;
         self.snapshots += other.snapshots;
         self.pages_flushed += other.pages_flushed;
@@ -232,6 +332,7 @@ pub struct VpBuilder {
     cache_enabled: bool,
     fast_dispatch_enabled: bool,
     uops_enabled: bool,
+    mem_fast_enabled: bool,
     standard_devices: bool,
 }
 
@@ -296,6 +397,28 @@ impl VpBuilder {
         self
     }
 
+    /// Enables or disables the RAM fast path on memory micro-ops
+    /// (default: enabled).
+    ///
+    /// With the fast path on, aligned loads and stores whose effective
+    /// address falls wholly inside RAM read/write the RAM slice
+    /// directly — no device-range probe, page-granular dirty marking
+    /// with an already-dirty skip, and no exact cycle flush (RAM has no
+    /// time-dependent side effects, so batched accounting stays valid).
+    /// MMIO, misaligned and faulting accesses fall back to the bus slow
+    /// path, keeping `BusFault`/trap semantics byte-identical. It has no
+    /// architectural effect.
+    ///
+    /// The fast path is a micro-op-engine feature: it is implicitly off
+    /// whenever [`micro_ops`](VpBuilder::micro_ops) (or anything it
+    /// requires) is disabled, so the jump-cache and reference tiers are
+    /// unaffected by this flag.
+    #[must_use]
+    pub fn mem_fast_path(mut self, enabled: bool) -> VpBuilder {
+        self.mem_fast_enabled = enabled;
+        self
+    }
+
     /// Whether to map the standard devices (UART, system controller,
     /// CLINT). Default: mapped.
     #[must_use]
@@ -317,6 +440,7 @@ impl VpBuilder {
             bus.map_device(CLINT_BASE, CLINT_SIZE, Box::new(Clint::new()));
         }
         let pages = self.ram_size.div_ceil(PAGE_SIZE) as usize;
+        let uops_enabled = self.uops_enabled && self.fast_dispatch_enabled && self.cache_enabled;
         Vp {
             cpu: Cpu::new(self.isa, self.ram_base),
             bus,
@@ -325,7 +449,9 @@ impl VpBuilder {
             cache: HashMap::new(),
             cache_enabled: self.cache_enabled,
             fast_dispatch_enabled: self.fast_dispatch_enabled,
-            uops_enabled: self.uops_enabled && self.fast_dispatch_enabled && self.cache_enabled,
+            uops_enabled,
+            mem_fast_enabled: self.mem_fast_enabled && uops_enabled,
+            warm: None,
             insn_hooks: false,
             jmp_cache: vec![None; JMP_CACHE_SLOTS],
             scratch: None,
@@ -351,6 +477,7 @@ impl Default for VpBuilder {
             cache_enabled: true,
             fast_dispatch_enabled: true,
             uops_enabled: true,
+            mem_fast_enabled: true,
             standard_devices: true,
         }
     }
@@ -386,6 +513,14 @@ pub struct Vp {
     /// Whether blocks are lowered to micro-ops and chained (resolved at
     /// build time: requires the cache and the dispatch fast path).
     uops_enabled: bool,
+    /// Whether memory micro-ops may take the direct-RAM fast path
+    /// (resolved at build time: requires the micro-op engine).
+    mem_fast_enabled: bool,
+    /// A warm translation set probed on translation-cache misses before
+    /// decoding from guest memory. Survives [`Vp::invalidate_caches`] on
+    /// purpose: entries are hash-validated against current RAM at every
+    /// probe, so stale entries miss instead of mispredicting.
+    warm: Option<Arc<SharedTranslations>>,
     /// Whether any attached plugin wants per-instruction callbacks
     /// (recomputed on [`Vp::add_plugin`]). While `false`, the micro-op
     /// engine elides per-instruction plugin dispatch entirely.
@@ -548,6 +683,64 @@ impl Vp {
     /// for periodic draining into a metrics registry.
     pub fn take_dispatch_stats(&mut self) -> DispatchStats {
         std::mem::take(&mut self.stats)
+    }
+
+    // ------------------------------------------- shared translations
+
+    /// Exports this VP's translated blocks as a read-only
+    /// [`SharedTranslations`] set, each entry stamped with a hash of the
+    /// code bytes it was decoded from. Seed the set into other VPs with
+    /// [`set_warm_translations`](Vp::set_warm_translations) so they skip
+    /// re-translating (and re-lowering) identical code.
+    pub fn export_translations(&self) -> SharedTranslations {
+        let mut blocks = HashMap::with_capacity(self.cache.len());
+        for (&pc, block) in &self.cache {
+            let len = block.body.fall_pc.wrapping_sub(pc);
+            if let Ok(bytes) = self.bus.dump(pc, len as usize) {
+                blocks.insert(
+                    pc,
+                    SharedBlock {
+                        hash: fnv1a(bytes),
+                        len,
+                        body: Arc::clone(&block.body),
+                    },
+                );
+            }
+        }
+        SharedTranslations {
+            blocks,
+            uops: self.uops_enabled,
+        }
+    }
+
+    /// Installs (or, with `None`, clears) a warm translation set:
+    /// translation-cache misses probe it before decoding from guest
+    /// memory, adopting the shared body when its code-bytes hash still
+    /// matches this VP's RAM. Purely a translation shortcut — adopted
+    /// blocks execute exactly as if translated locally.
+    ///
+    /// A set whose lowering configuration differs from this VP's (its
+    /// exporter had the micro-op engine toggled the other way) is
+    /// ignored rather than adopted: the lowered form must match the
+    /// executing engine. Likewise ignored when this VP runs without a
+    /// block cache.
+    pub fn set_warm_translations(&mut self, warm: Option<Arc<SharedTranslations>>) {
+        self.warm = warm.filter(|w| w.uops == self.uops_enabled && self.cache_enabled);
+    }
+
+    /// Translates and caches the block starting at the current pc
+    /// without executing anything — architectural state is untouched.
+    /// The golden-prefix cache calls this right before
+    /// [`export_translations`](Vp::export_translations): a `run_for`
+    /// segment can stop mid-block, and pre-translating the resume block
+    /// puts it in the export, so every worker restoring at that pc
+    /// adopts it warm instead of translating it fresh. A decode trap is
+    /// swallowed here (resuming execution surfaces it architecturally);
+    /// a no-op without a block cache.
+    pub fn prefetch_current_block(&mut self) {
+        if self.cache_enabled {
+            let _ = self.fetch_block_inner(self.cpu.pc());
+        }
     }
 
     // ------------------------------------------------------- snapshot
@@ -750,9 +943,9 @@ impl Vp {
                 // missing link can cost a cache probe, never correctness.
                 let pc = self.cpu.pc();
                 let b = unsafe { &*block };
-                let slot = if pc == b.fall_pc {
+                let slot = if pc == b.body.fall_pc {
                     Some(0)
-                } else if Some(pc) == b.target_pc {
+                } else if Some(pc) == b.body.target_pc {
                     Some(1)
                 } else {
                     None
@@ -779,16 +972,18 @@ impl Vp {
         start: usize,
         remaining: &mut u64,
     ) -> BlockExit {
-        // SAFETY: see the dispatch-boundary argument in `run_loop`. Each
-        // instruction is copied out before executing, so no reference is
-        // held across `&mut self` calls.
-        let len = unsafe { (*block).insns.len() };
-        for i in start..len {
+        // SAFETY: see the dispatch-boundary argument in `run_loop`. The
+        // body lives on the heap behind an `Arc`, is immutable after
+        // translation, and is not freed before the next dispatch
+        // boundary, so the derived reference stays valid across the
+        // `&mut self` calls below (which never write through it).
+        let body: &BlockBody = unsafe { &*Arc::as_ptr(&(*block).body) };
+        for i in start..body.insns.len() {
             if *remaining == 0 {
                 return BlockExit::Outcome(RunOutcome::InsnLimit);
             }
             *remaining -= 1;
-            let (pc, insn) = unsafe { (&(*block).insns)[i] };
+            let (pc, insn) = body.insns[i];
             match self.exec_insn(pc, &insn) {
                 Some(outcome) => return BlockExit::Outcome(outcome),
                 None => {
@@ -814,8 +1009,13 @@ impl Vp {
     ///
     /// Identity is preserved by flushing the batched accounting at every
     /// point where exact architectural state is observable: before any
-    /// memory access (devices and plugins read `mcycle`/`minstret`),
-    /// before the generic path (CSR reads), at traps and at block exits.
+    /// memory access that can reach a device or a plugin (both read
+    /// `mcycle`/`minstret`), before the generic path (CSR reads), at
+    /// traps and at block exits. Aligned accesses wholly inside RAM take
+    /// a direct-RAM fast path with *no* flush — RAM has no
+    /// time-dependent side effects, so the batched counters are
+    /// unobservable there (and plugins, which do observe accesses,
+    /// disable the fast path for the block).
     /// Two situations replay the remainder of the block through the
     /// reference engine instead: an instruction budget that expires
     /// inside the block (fault campaigns inject at exact instret
@@ -824,11 +1024,15 @@ impl Vp {
     /// read the reference path filters through the fault masks).
     #[allow(clippy::too_many_lines)]
     fn exec_block_uops(&mut self, block: *const Block, remaining: &mut u64) -> BlockExit {
-        // SAFETY: see the dispatch-boundary argument in `run_loop`. The
-        // borrow is re-created from the raw pointer on each use and the
-        // block is never freed before the next dispatch boundary.
-        let uops: &[MicroOp] = unsafe { &(*block).uops };
+        // SAFETY: see the dispatch-boundary argument in `run_loop` and
+        // the body-lifetime argument in `exec_block_insns`: the `Arc`'d
+        // body is immutable and outlives this call.
+        let body: &BlockBody = unsafe { &*Arc::as_ptr(&(*block).body) };
+        let uops: &[MicroOp] = &body.uops;
         let plugins_active = !self.plugins.is_empty();
+        // Plugins observe every memory access with exact counters, so
+        // their presence forces the bus slow path for the whole block.
+        let mem_fast = self.mem_fast_enabled && !plugins_active;
         let mut cycles: u64 = 0;
         let mut retired: u64 = 0;
         macro_rules! flush {
@@ -847,7 +1051,7 @@ impl Vp {
             if i >= uops.len() {
                 // Fell off the end: straight-line block (or a not-taken
                 // final branch), control continues at the successor.
-                self.cpu.set_pc(unsafe { (*block).fall_pc });
+                self.cpu.set_pc(body.fall_pc);
                 flush!();
                 break 'dispatch;
             }
@@ -858,7 +1062,7 @@ impl Vp {
                 // Exact-boundary budget expiry, or stuck-at fault masks
                 // active: replay the rest of the block per-instruction.
                 flush!();
-                let pc0 = unsafe { (&(*block).insns)[u.idx as usize].0 };
+                let pc0 = body.insns[u.idx as usize].0;
                 self.cpu.set_pc(pc0);
                 return self.exec_block_insns(block, u.idx as usize, remaining);
             }
@@ -884,39 +1088,75 @@ impl Vp {
                     }
                 }};
             }
+            // Memory micro-ops try the RAM fast path first: an aligned
+            // access wholly inside RAM reads/writes the RAM slice with
+            // *no* accounting flush — RAM has no time-dependent side
+            // effects, so nothing can observe the batched counters.
+            // Everything else (MMIO, misalignment, the RAM top edge,
+            // plugins attached) flushes and takes the bus slow path,
+            // keeping trap and event semantics byte-identical.
             macro_rules! mem_load {
                 ($addr:expr, $size:expr, $conv:expr) => {{
-                    flush!();
-                    if plugins_active {
-                        self.cpu.set_pc(u.pc);
-                    }
-                    match self.mem_load(u.pc, $addr, $size) {
-                        Ok(v) => {
-                            self.cpu.set_gpr(u.rd, $conv(v));
-                            cycles += u.cost as u64;
-                            retired += 1;
+                    let addr: u32 = $addr;
+                    let fast = if mem_fast && addr.is_multiple_of($size as u32) {
+                        self.bus.ram_read_fast(addr, $size)
+                    } else {
+                        None
+                    };
+                    if let Some(v) = fast {
+                        self.cpu.set_gpr(u.rd, $conv(v));
+                        cycles += u.cost as u64;
+                        retired += 1;
+                        self.stats.mem_fast_hits += 1;
+                    } else {
+                        self.stats.mem_slow_hits += 1;
+                        flush!();
+                        if plugins_active {
+                            self.cpu.set_pc(u.pc);
                         }
-                        Err(t) => {
-                            // The faulting access's cost is charged but it
-                            // does not retire (matching the reference
-                            // `Step::Trap` sequence).
-                            self.cpu.add_cycles(u.cost as u64);
-                            trap!(t)
+                        match self.mem_load(u.pc, addr, $size) {
+                            Ok(v) => {
+                                self.cpu.set_gpr(u.rd, $conv(v));
+                                cycles += u.cost as u64;
+                                retired += 1;
+                            }
+                            Err(t) => {
+                                // The faulting access's cost is charged but
+                                // it does not retire (matching the reference
+                                // `Step::Trap` sequence).
+                                self.cpu.add_cycles(u.cost as u64);
+                                trap!(t)
+                            }
                         }
                     }
                 }};
             }
             macro_rules! mem_store {
                 ($addr:expr, $size:expr, $val:expr) => {{
-                    flush!();
-                    if plugins_active {
-                        self.cpu.set_pc(u.pc);
-                    }
+                    let addr: u32 = $addr;
                     let val = $val;
-                    match self.mem_store(u.pc, $addr, $size, val) {
-                        Ok(()) => {
-                            cycles += u.cost as u64;
-                            retired += 1;
+                    let fast = mem_fast
+                        && addr.is_multiple_of($size as u32)
+                        && self.bus.ram_write_fast(addr, $size, val);
+                    if fast {
+                        cycles += u.cost as u64;
+                        retired += 1;
+                        self.stats.mem_fast_hits += 1;
+                        // Self-modifying code check, verbatim from
+                        // `mem_store`: RAM writes bypass it on the fast
+                        // path, so it must be replicated here.
+                        if self.cache_enabled
+                            && !self.cache.is_empty()
+                            && addr.wrapping_add($size as u32) > self.code_lo
+                            && addr < self.code_hi
+                        {
+                            self.invalidate_pending = true;
+                        }
+                        // A RAM store never raises a bus event or a block
+                        // exit itself, but either may be pending from
+                        // before this block (snapshot restore carries
+                        // them): drain exactly like the slow path would.
+                        if self.bus.peek_event().is_some() || self.block_exit_pending {
                             if let Some(BusEvent::Exit(code)) = self.bus.take_event() {
                                 self.cpu.set_pc(u.next_pc);
                                 flush!();
@@ -929,9 +1169,32 @@ impl Vp {
                                 break 'dispatch;
                             }
                         }
-                        Err(t) => {
-                            self.cpu.add_cycles(u.cost as u64);
-                            trap!(t)
+                    } else {
+                        self.stats.mem_slow_hits += 1;
+                        flush!();
+                        if plugins_active {
+                            self.cpu.set_pc(u.pc);
+                        }
+                        match self.mem_store(u.pc, addr, $size, val) {
+                            Ok(()) => {
+                                cycles += u.cost as u64;
+                                retired += 1;
+                                if let Some(BusEvent::Exit(code)) = self.bus.take_event() {
+                                    self.cpu.set_pc(u.next_pc);
+                                    flush!();
+                                    return BlockExit::Outcome(RunOutcome::Exit(code));
+                                }
+                                if self.block_exit_pending {
+                                    self.block_exit_pending = false;
+                                    self.cpu.set_pc(u.next_pc);
+                                    flush!();
+                                    break 'dispatch;
+                                }
+                            }
+                            Err(t) => {
+                                self.cpu.add_cycles(u.cost as u64);
+                                trap!(t)
+                            }
                         }
                     }
                 }};
@@ -1169,7 +1432,7 @@ impl Vp {
                 }
                 Op::Generic => {
                     flush!();
-                    let (pc, insn) = unsafe { (&(*block).insns)[u.idx as usize] };
+                    let (pc, insn) = body.insns[u.idx as usize];
                     // The reference engine keeps `cpu.pc` current per
                     // instruction; the generic path (traps, CSR reads,
                     // `mret`) observes it, so restore it here.
@@ -1352,13 +1615,51 @@ impl Vp {
                 self.scratch = Some(b);
                 return Ok(ptr);
             }
+            // Translation-cache miss: probe the warm shared set before
+            // decoding. The code-bytes hash is re-checked against *this*
+            // VP's RAM, so mutated code misses and translates fresh.
+            let warm_body = self.warm.as_ref().and_then(|warm| {
+                let shared = warm.blocks.get(&pc)?;
+                let bytes = self.bus.dump(pc, shared.len as usize).ok()?;
+                (fnv1a(bytes) == shared.hash).then(|| Arc::clone(&shared.body))
+            });
+            if let Some(body) = warm_body {
+                self.stats.warm_translations += 1;
+                if !self.plugins.is_empty() {
+                    let info = BlockInfo {
+                        start_pc: pc,
+                        insns: &body.insns,
+                    };
+                    for p in &mut self.plugins {
+                        p.on_block_translated(&info);
+                    }
+                }
+                let end = body.fall_pc;
+                self.code_lo = self.code_lo.min(pc);
+                self.code_hi = self.code_hi.max(end);
+                // Links are fresh: chain pointers are VP-local and get
+                // rebuilt by this VP's own dispatch loop.
+                let block = Arc::new(Block {
+                    body,
+                    links: [ChainLink::default(), ChainLink::default()],
+                });
+                let ptr = Arc::as_ptr(&block);
+                if self.fast_dispatch_enabled {
+                    self.jmp_cache[jmp_cache_slot(pc)] = Some((pc, Arc::clone(&block)));
+                }
+                self.cache.insert(pc, block);
+                return Ok(ptr);
+            }
         }
-        let block = Arc::new(self.translate_block(pc)?);
+        let block = Arc::new(Block {
+            body: Arc::new(self.translate_block(pc)?),
+            links: [ChainLink::default(), ChainLink::default()],
+        });
         self.stats.translations += 1;
         if !self.plugins.is_empty() {
             let info = BlockInfo {
                 start_pc: pc,
-                insns: &block.insns,
+                insns: &block.body.insns,
             };
             for p in &mut self.plugins {
                 p.on_block_translated(&info);
@@ -1366,7 +1667,7 @@ impl Vp {
         }
         let ptr = Arc::as_ptr(&block);
         if self.cache_enabled {
-            let end = block.insns.last().map(|(a, i)| i.next_pc(*a)).unwrap_or(pc);
+            let end = block.body.fall_pc;
             self.code_lo = self.code_lo.min(pc);
             self.code_hi = self.code_hi.max(end);
             if self.fast_dispatch_enabled {
@@ -1380,7 +1681,7 @@ impl Vp {
         Ok(ptr)
     }
 
-    fn translate_block(&mut self, pc: u32) -> Result<Block, Trap> {
+    fn translate_block(&mut self, pc: u32) -> Result<BlockBody, Trap> {
         let mut insns = Vec::new();
         let mut addr = pc;
         let isa = *self.cpu.isa();
@@ -1450,12 +1751,11 @@ impl Vp {
         let last = insns.last().expect("translated blocks are never empty");
         let fall_pc = last.1.next_pc(last.0);
         let target_pc = last.1.target(last.0);
-        Ok(Block {
+        Ok(BlockBody {
             insns,
             uops,
             fall_pc,
             target_pc,
-            links: [ChainLink::default(), ChainLink::default()],
         })
     }
 

@@ -57,7 +57,11 @@ OPTIONS:
     --resume                                     skip mutants already in --checkpoint
     --max-insns <n>                              execution budget [100000000]
     --metrics-out <path>                         write a metrics snapshot as JSON (run/profile/qta/campaign)
-    --reference-dispatch                         per-insn reference interpreter, no block cache (run/profile/campaign)
+    --reference-dispatch                         per-insn reference interpreter: disables the block
+                                                 cache, the lowered micro-op engine and the RAM fast
+                                                 path (run/profile/campaign)
+    --no-share-translations                      do not warm-seed worker VPs with the golden VP's
+                                                 translated blocks (campaign)
     --progress                                   live status line on stderr (run/profile/campaign)
     --dot-out <path>                             write the execution-annotated CFG (profile)
     --top <n>                                    hot-block table rows (profile) [10]
@@ -80,6 +84,7 @@ struct Options {
     dot_out: Option<String>,
     top: usize,
     reference_dispatch: bool,
+    share_translations: bool,
 }
 
 fn parse_isa(name: &str) -> Result<IsaConfig, CliError> {
@@ -111,6 +116,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         dot_out: None,
         top: 10,
         reference_dispatch: false,
+        share_translations: true,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -158,6 +164,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--reference-dispatch" => opts.reference_dispatch = true,
+            "--no-share-translations" => opts.share_translations = false,
             "--progress" => opts.progress = true,
             "--dot-out" => opts.dot_out = Some(value("--dot-out")?),
             "--top" => {
@@ -497,7 +504,8 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
             let mut cfg = CampaignConfig::new()
                 .isa(opts.isa)
                 .threads(opts.threads)
-                .reference_dispatch(opts.reference_dispatch);
+                .reference_dispatch(opts.reference_dispatch)
+                .share_translations(opts.share_translations);
             if opts.timeout_ms > 0 {
                 cfg = cfg.timeout(std::time::Duration::from_millis(opts.timeout_ms));
             }

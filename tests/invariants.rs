@@ -79,18 +79,24 @@ proptest! {
         }
     }
 
-    /// The lowered micro-op engine is architecturally invisible: for
-    /// arbitrary generated programs, the default engine (micro-ops +
-    /// fusion + block chaining), the jump-cache-only ablation tier and
-    /// the per-instruction reference interpreter all finish in exactly
-    /// the same CPU and memory state.
+    /// The execution-engine tiers are architecturally invisible: for
+    /// arbitrary generated programs — including memory-heavy ones, where
+    /// roughly half the body is scratch-buffer loads/stores — the full
+    /// engine (micro-ops + fusion + chaining + RAM fast path), the same
+    /// engine with the RAM fast path ablated, the jump-cache-only tier
+    /// and the per-instruction reference interpreter all finish in
+    /// exactly the same CPU and memory state.
     #[test]
-    fn lowered_execution_matches_reference_dispatch(seed in any::<u64>()) {
+    fn lowered_execution_matches_reference_dispatch(seed in any::<u64>(), mem_heavy in any::<bool>()) {
         let isa = IsaConfig::rv32imfc();
-        let p = torture_program(&TortureConfig::new(seed).insns(120).isa(isa));
+        let cfg = TortureConfig::new(seed).insns(120).isa(isa).mem_heavy(mem_heavy);
+        let p = torture_program(&cfg);
         let image = assemble(&p.source).expect("generated programs assemble");
 
-        let lowered = run_to_break(&image, isa, true);
+        let full = run_to_break(&image, isa, true);
+        let mut bus_path_only = Vp::builder().isa(isa).mem_fast_path(false).build();
+        boot(&mut bus_path_only, &image).expect("boots");
+        prop_assert_eq!(bus_path_only.run_for(10_000_000), RunOutcome::Break);
         let mut jump_cache_only = Vp::builder().isa(isa).micro_ops(false).build();
         boot(&mut jump_cache_only, &image).expect("boots");
         prop_assert_eq!(jump_cache_only.run_for(10_000_000), RunOutcome::Break);
@@ -98,21 +104,26 @@ proptest! {
         boot(&mut reference, &image).expect("boots");
         prop_assert_eq!(reference.run_for(10_000_000), RunOutcome::Break);
 
-        for other in [&jump_cache_only, &reference] {
-            prop_assert_eq!(lowered.cpu().pc(), other.cpu().pc());
-            prop_assert_eq!(lowered.cpu().cycles(), other.cpu().cycles());
-            prop_assert_eq!(lowered.cpu().instret(), other.cpu().instret());
+        for other in [&bus_path_only, &jump_cache_only, &reference] {
+            prop_assert_eq!(full.cpu().pc(), other.cpu().pc());
+            prop_assert_eq!(full.cpu().cycles(), other.cpu().cycles());
+            prop_assert_eq!(full.cpu().instret(), other.cpu().instret());
             for i in 0..32u8 {
                 let r = Gpr::new(i).expect("index");
-                prop_assert_eq!(lowered.cpu().gpr(r), other.cpu().gpr(r));
+                prop_assert_eq!(full.cpu().gpr(r), other.cpu().gpr(r));
                 let f = s4e_isa::Fpr::new(i).expect("index");
-                prop_assert_eq!(lowered.cpu().fpr(f), other.cpu().fpr(f));
+                prop_assert_eq!(full.cpu().fpr(f), other.cpu().fpr(f));
             }
             let base = image.base();
             prop_assert_eq!(
-                lowered.bus().dump(base, 4096).expect("ram"),
+                full.bus().dump(base, 4096).expect("ram"),
                 other.bus().dump(base, 4096).expect("ram")
             );
+        }
+        // Memory-heavy programs must actually exercise the fast path on
+        // the full tier (otherwise this differential proves little).
+        if mem_heavy {
+            prop_assert!(full.dispatch_stats().mem_fast_hits > 0);
         }
     }
 
