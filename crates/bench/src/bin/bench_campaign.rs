@@ -311,7 +311,10 @@ fn main() {
         mem_fast_hit_rate,
         stats_json(&mfast_stats),
     );
-    std::fs::write("BENCH_campaign.json", json).expect("writes BENCH_campaign.json");
+    // Atomic rename: a crashed benchmark never leaves a torn JSON file
+    // for downstream tooling to trip over.
+    s4e_faultsim::atomic_write_file("BENCH_campaign.json", json.as_bytes())
+        .expect("writes BENCH_campaign.json");
     println!();
     println!("wrote BENCH_campaign.json");
 

@@ -106,34 +106,119 @@ impl JsonlSink {
     }
 
     /// Opens a checkpoint file for appending (the resume path), creating
-    /// it if missing. A file killed mid-write ends in a truncated line
-    /// with no newline; appending directly would fuse the first new
-    /// record onto that fragment and lose both, so the tail is repaired
-    /// with a newline first (the fragment then reads as one skippable
-    /// corrupt line).
+    /// it if missing. A file killed mid-write ends in a torn trailing
+    /// line with no newline; appending directly would fuse the first new
+    /// record onto that fragment and lose both, so
+    /// [`repair_torn_tail`] truncates the fragment first.
     ///
     /// # Errors
     ///
     /// Propagates the underlying file-open error.
     pub fn append(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(path)?;
-        let len = file.metadata()?.len();
-        if len > 0 {
-            let mut last = [0u8; 1];
-            file.seek(io::SeekFrom::End(-1))?;
-            file.read_exact(&mut last)?;
-            if last[0] != b'\n' {
-                file.write_all(b"\n")?;
-            }
-        }
+        repair_torn_tail(path.as_ref())?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(JsonlSink {
             writer: BufWriter::new(file),
         })
     }
+}
+
+/// Detects and truncates a torn trailing JSONL line — the signature a
+/// `kill -9` (or a chaos SIGKILL) leaves mid-write: bytes after the last
+/// newline that never got their terminator. The fragment is cut at the
+/// last complete line so the file parses cleanly again; its mutant is
+/// simply re-run on resume. A missing or empty file is a no-op.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors (other than "file not found").
+pub fn repair_torn_tail(path: impl AsRef<Path>) -> io::Result<()> {
+    let mut file = match OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let mut last = [0u8; 1];
+    file.seek(io::SeekFrom::End(-1))?;
+    file.read_exact(&mut last)?;
+    if last[0] == b'\n' {
+        return Ok(());
+    }
+    // Scan backwards in bounded chunks for the last newline; a torn line
+    // is at most one record (~200 bytes), so this touches one chunk.
+    const CHUNK: u64 = 4096;
+    let mut end = len;
+    while end > 0 {
+        let start = end.saturating_sub(CHUNK);
+        let mut buf = vec![0u8; (end - start) as usize];
+        file.seek(io::SeekFrom::Start(start))?;
+        file.read_exact(&mut buf)?;
+        if let Some(pos) = buf.iter().rposition(|&b| b == b'\n') {
+            file.set_len(start + pos as u64 + 1)?;
+            return Ok(());
+        }
+        end = start;
+    }
+    // No newline anywhere: the whole file is one torn line.
+    file.set_len(0)?;
+    Ok(())
+}
+
+/// Writes `bytes` to `path` crash-safely: the content goes to a sibling
+/// temp file first, is fsynced, and is atomically renamed over the
+/// destination — an interrupted run therefore never leaves a truncated
+/// or half-written artifact, only the old file or the complete new one.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors; the temp file is removed on failure.
+pub fn atomic_write_file(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable where the platform allows it.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
+}
+
+/// Rewrites a checkpoint file to exactly `entries`, via
+/// [`atomic_write_file`] — the crash-safe rotation path the shard
+/// supervisor uses to seed a shard's checkpoint with already-classified
+/// results (and to compact the merged campaign checkpoint): at no instant
+/// does the file hold a partial or torn state.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors.
+pub fn compact_checkpoint<'a>(
+    path: impl AsRef<Path>,
+    entries: impl IntoIterator<Item = (&'a FaultResult, Option<&'a str>)>,
+) -> io::Result<()> {
+    let mut out = String::new();
+    for (result, panic) in entries {
+        out.push_str(&encode_result(result, panic));
+        out.push('\n');
+    }
+    atomic_write_file(path, out.as_bytes())
 }
 
 impl CampaignSink for JsonlSink {
@@ -236,6 +321,7 @@ fn outcome_tag(outcome: &FaultOutcome) -> &'static str {
         FaultOutcome::Hang => "hang",
         FaultOutcome::Cancelled => "cancelled",
         FaultOutcome::HarnessError => "harness",
+        FaultOutcome::Quarantined => "quarantined",
     }
 }
 
@@ -317,6 +403,7 @@ pub fn decode_result(line: &str) -> Option<(FaultResult, Option<String>)> {
         "hang" => FaultOutcome::Hang,
         "cancelled" => FaultOutcome::Cancelled,
         "harness" => FaultOutcome::HarnessError,
+        "quarantined" => FaultOutcome::Quarantined,
         _ => return None,
     };
     let panic = text("panic").map(str::to_string);
@@ -465,6 +552,7 @@ mod tests {
             FaultOutcome::Hang,
             FaultOutcome::Cancelled,
             FaultOutcome::HarnessError,
+            FaultOutcome::Quarantined,
         ] {
             roundtrip(FaultResult { spec, outcome }, None);
         }

@@ -125,6 +125,12 @@ pub enum FaultOutcome {
     /// The panic payload is captured in
     /// [`CampaignReport::harness_panics`](crate::CampaignReport::harness_panics).
     HarnessError,
+    /// The shard supervisor isolated this mutant as the cause of repeated
+    /// worker-process deaths (segfault, abort, OOM kill): after the retry
+    /// budget was exhausted the crashing range was bisected down to this
+    /// single mutant, which was then quarantined so the rest of the
+    /// campaign could complete.
+    Quarantined,
 }
 
 impl FaultOutcome {
@@ -145,6 +151,7 @@ impl FaultOutcome {
             FaultOutcome::Hang => "hang",
             FaultOutcome::Cancelled => "cancelled",
             FaultOutcome::HarnessError => "harness error",
+            FaultOutcome::Quarantined => "quarantined",
         }
     }
 }
@@ -191,6 +198,7 @@ mod tests {
         assert!(!FaultOutcome::Hang.is_normal_termination());
         assert!(!FaultOutcome::Cancelled.is_normal_termination());
         assert!(!FaultOutcome::HarnessError.is_normal_termination());
+        assert!(!FaultOutcome::Quarantined.is_normal_termination());
         assert!(!FaultOutcome::Detected { trap: Trap::EcallM }.is_normal_termination());
     }
 
@@ -205,6 +213,7 @@ mod tests {
             FaultOutcome::Hang,
             FaultOutcome::Cancelled,
             FaultOutcome::HarnessError,
+            FaultOutcome::Quarantined,
         ];
         let names: std::collections::BTreeSet<_> = all.iter().map(|o| o.class_name()).collect();
         assert_eq!(names.len(), all.len());

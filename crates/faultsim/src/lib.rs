@@ -23,6 +23,13 @@
 //! ([`Campaign::run_all_checkpointed`] / [`Campaign::resume`]) so an
 //! interrupted sweep restarts where it stopped.
 //!
+//! Beyond in-process isolation, the shard supervisor
+//! ([`ShardSupervisor`]) executes contiguous ranges of the mutant space
+//! as separate worker *processes* ([`run_shard`]), restarting dead
+//! shards from their own checkpoints with exponential backoff, bisecting
+//! repeatedly-crashing ranges, and quarantining the offending mutant
+//! ([`FaultOutcome::Quarantined`]) instead of aborting the campaign.
+//!
 //! ## Example
 //!
 //! ```
@@ -54,17 +61,24 @@ mod generate;
 mod prefix;
 mod progress;
 mod runner;
+mod shard;
+mod supervise;
 mod trace;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignError, CampaignReport, FaultResult, GoldenRun,
 };
 pub use checkpoint::{
-    decode_result, encode_result, read_checkpoint, CampaignSink, CheckpointLoad, JsonlSink,
-    MemorySink, NullSink,
+    atomic_write_file, compact_checkpoint, decode_result, encode_result, read_checkpoint,
+    repair_torn_tail, CampaignSink, CheckpointLoad, JsonlSink, MemorySink, NullSink,
 };
 pub use fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
 pub use generate::{generate_mutants, GeneratorConfig};
 pub use progress::{CampaignProgress, ProgressSink, ProgressTicker};
 pub use runner::MutantHook;
+pub use shard::{parse_shard_range, plan_shards, run_shard, WorkerChaos};
+pub use supervise::{
+    install_interrupt_handler, interrupt_flag, ChaosConfig, ShardRequest, ShardSupervisor,
+    ShardedReport, SupervisorConfig, WORKER_FATAL_EXIT,
+};
 pub use trace::{ExecTrace, TracePlugin};

@@ -24,8 +24,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// The eight outcome classes, in [`FaultOutcome::class_name`] spelling.
-const CLASSES: [&str; 8] = [
+/// The nine outcome classes, in [`FaultOutcome::class_name`] spelling.
+const CLASSES: [&str; 9] = [
     "masked",
     "silent corruption",
     "detected",
@@ -34,6 +34,7 @@ const CLASSES: [&str; 8] = [
     "hang",
     "cancelled",
     "harness error",
+    "quarantined",
 ];
 
 fn class_index(outcome: FaultOutcome) -> usize {
@@ -58,6 +59,12 @@ pub struct CampaignProgress {
     workers_exited: Arc<Counter>,
     classes: Vec<Arc<Counter>>,
     worker_claims: Mutex<Vec<Arc<Counter>>>,
+    shards: Arc<Gauge>,
+    shards_done: Arc<Counter>,
+    shard_crashes: Arc<Counter>,
+    shard_restarts: Arc<Counter>,
+    shard_bisections: Arc<Counter>,
+    shard_backoff_ms: Arc<Counter>,
     snapshots: Arc<Counter>,
     pages_flushed: Arc<Counter>,
     restores: Arc<Counter>,
@@ -102,6 +109,12 @@ impl CampaignProgress {
             workers_exited: registry.counter("campaign_workers_exited"),
             classes,
             worker_claims: Mutex::new(Vec::new()),
+            shards: registry.gauge("campaign_shards"),
+            shards_done: registry.counter("campaign_shards_done"),
+            shard_crashes: registry.counter("campaign_shard_crashes"),
+            shard_restarts: registry.counter("campaign_shard_restarts"),
+            shard_bisections: registry.counter("campaign_shard_bisections"),
+            shard_backoff_ms: registry.counter("campaign_shard_backoff_ms"),
             snapshots: registry.counter("campaign_snapshots_taken"),
             pages_flushed: registry.counter("campaign_dirty_pages_flushed"),
             restores: registry.counter("campaign_snapshot_restores"),
@@ -170,6 +183,56 @@ impl CampaignProgress {
         self.warm_translations.add(stats.warm_translations);
         self.mem_fast_hits.add(stats.mem_fast_hits);
         self.mem_slow_hits.add(stats.mem_slow_hits);
+    }
+
+    /// Announces the shard-supervisor dimensions: `shards` worker
+    /// processes will cover the sweep. Called once before spawning.
+    pub fn begin_shards(&self, shards: usize) {
+        self.shards.set(shards as u64);
+    }
+
+    /// A shard worker process died (signal, abort, nonzero exit) before
+    /// finishing its range.
+    pub fn record_shard_crash(&self) {
+        self.shard_crashes.inc();
+    }
+
+    /// A dead shard was rescheduled from its checkpoint, after sleeping
+    /// `backoff` (exponential, per consecutive crash).
+    pub fn record_shard_restart(&self, backoff: Duration) {
+        self.shard_restarts.inc();
+        self.shard_backoff_ms.add(backoff.as_millis() as u64);
+    }
+
+    /// A repeatedly-crashing range was split in half to isolate the
+    /// offending mutant.
+    pub fn record_shard_bisection(&self) {
+        self.shard_bisections.inc();
+    }
+
+    /// A shard finished its whole range.
+    pub fn record_shard_done(&self) {
+        self.shards_done.inc();
+    }
+
+    /// Shard worker processes that crashed so far.
+    pub fn shard_crashes(&self) -> u64 {
+        self.shard_crashes.value()
+    }
+
+    /// Shard restarts performed so far.
+    pub fn shard_restarts(&self) -> u64 {
+        self.shard_restarts.value()
+    }
+
+    /// Range bisections performed so far.
+    pub fn shard_bisections(&self) -> u64 {
+        self.shard_bisections.value()
+    }
+
+    /// Mutants quarantined so far (the `quarantined` outcome counter).
+    pub fn quarantined(&self) -> u64 {
+        self.classes[class_index(FaultOutcome::Quarantined)].value()
     }
 
     /// Worker `worker` claimed a queue slot — its liveness heartbeat.
@@ -275,6 +338,25 @@ impl CampaignProgress {
         }
         if self.resumed.value() > 0 {
             let _ = write!(line, " resumed={}", self.resumed.value());
+        }
+        if self.shards.value() > 0 {
+            let _ = write!(
+                line,
+                " shards {}/{}",
+                self.shards_done.value(),
+                self.shards.value()
+            );
+            if self.shard_restarts.value() > 0 {
+                let _ = write!(
+                    line,
+                    " restarts={} backoff={}ms",
+                    self.shard_restarts.value(),
+                    self.shard_backoff_ms.value()
+                );
+            }
+            if self.shard_bisections.value() > 0 {
+                let _ = write!(line, " bisections={}", self.shard_bisections.value());
+            }
         }
         let (fast, slow) = (self.mem_fast_hits.value(), self.mem_slow_hits.value());
         if fast + slow > 0 {
@@ -420,6 +502,7 @@ mod tests {
             FaultOutcome::Hang,
             FaultOutcome::Cancelled,
             FaultOutcome::HarnessError,
+            FaultOutcome::Quarantined,
         ] {
             progress.record_outcome(outcome);
         }

@@ -50,7 +50,7 @@ pub type MutantHook = Arc<dyn Fn(usize, &FaultSpec) + Send + Sync>;
 type SlotResult = (usize, FaultOutcome, Option<String>);
 
 /// Already-classified specs carried into a run (the resume path).
-type DoneMap = HashMap<FaultSpec, (FaultOutcome, Option<String>)>;
+pub(crate) type DoneMap = HashMap<FaultSpec, (FaultOutcome, Option<String>)>;
 
 impl Campaign {
     /// Runs every mutant under the supervised engine, preserving input
@@ -115,7 +115,7 @@ impl Campaign {
         self.run_supervised(specs, &mut sink, cancel, &done)
     }
 
-    fn run_supervised(
+    pub(crate) fn run_supervised(
         &self,
         specs: &[FaultSpec],
         sink: &mut dyn CampaignSink,

@@ -1,0 +1,239 @@
+//! Shard planning and the shard-worker side of process-isolated
+//! campaigns.
+//!
+//! A sharded campaign splits the mutant-ID space (indices into the spec
+//! list) into contiguous ranges; each range executes in its own worker
+//! *process*, with the per-shard JSONL checkpoint as the unit of crash
+//! recovery. This module is the worker half: [`plan_shards`] computes
+//! the ranges, [`run_shard`] executes one range appending to the shard's
+//! checkpoint, and [`WorkerChaos`] is the test-only fault injector that
+//! makes a worker abort, hang or balloon its memory mid-range so the
+//! supervisor ([`ShardSupervisor`](crate::ShardSupervisor)) can be
+//! proven to recover.
+
+use crate::campaign::{Campaign, CampaignError, CampaignReport};
+use crate::checkpoint::{read_checkpoint, CampaignSink, JsonlSink};
+use crate::fault::FaultSpec;
+use crate::runner::DoneMap;
+use crate::FaultResult;
+use s4e_vp::CancelToken;
+use std::io;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Splits `total` queue slots into `shards` contiguous, near-equal
+/// ranges (the first `total % shards` ranges get one extra slot). The
+/// shard count is clamped to `1..=total`, so fewer than `shards` ranges
+/// come back for tiny sweeps and an empty sweep yields no ranges.
+pub fn plan_shards(total: usize, shards: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, total);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Parses the `a..b` mutant-index range syntax of the internal
+/// `--shard-worker` flag. Returns `None` for anything malformed or an
+/// empty/inverted range.
+pub fn parse_shard_range(s: &str) -> Option<Range<usize>> {
+    let (a, b) = s.split_once("..")?;
+    let start: usize = a.trim().parse().ok()?;
+    let end: usize = b.trim().parse().ok()?;
+    (start < end).then_some(start..end)
+}
+
+/// Test-only chaos injected *inside* a shard worker, read from the
+/// environment by the worker entry point. Each trigger is a count of
+/// classifications within this worker's life (not the whole range, so a
+/// restarted worker can be disrupted again):
+///
+/// - `S4E_CHAOS_ABORT_AFTER=n` — `abort()` (SIGABRT) before recording
+///   the n-th classification of this attempt.
+/// - `S4E_CHAOS_HANG_AFTER=n` — stop making progress forever after `n`
+///   classifications (exercises the supervisor's stall watchdog).
+/// - `S4E_CHAOS_OOM_AFTER=n` — allocate memory without bound after `n`
+///   classifications (exercises the supervisor's RSS budget kill).
+/// - `S4E_CHAOS_CRASH_AT=i` — `abort()` whenever the worker is about to
+///   execute global mutant index `i` (a deterministic per-mutant
+///   crasher: the supervisor must bisect down to it and quarantine it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerChaos {
+    /// Abort before the n-th record of this attempt.
+    pub abort_after: Option<u64>,
+    /// Hang (stop recording forever) after n records.
+    pub hang_after: Option<u64>,
+    /// Allocate unboundedly after n records.
+    pub oom_after: Option<u64>,
+    /// Abort on reaching this global mutant index, every attempt.
+    pub crash_at: Option<u64>,
+}
+
+impl WorkerChaos {
+    /// Reads the chaos environment variables; `None` when none are set
+    /// (the production case).
+    pub fn from_env() -> Option<WorkerChaos> {
+        let read = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+        let chaos = WorkerChaos {
+            abort_after: read("S4E_CHAOS_ABORT_AFTER"),
+            hang_after: read("S4E_CHAOS_HANG_AFTER"),
+            oom_after: read("S4E_CHAOS_OOM_AFTER"),
+            crash_at: read("S4E_CHAOS_CRASH_AT"),
+        };
+        (chaos != WorkerChaos::default()).then_some(chaos)
+    }
+}
+
+/// A [`CampaignSink`] wrapper that counts records and fires the
+/// configured [`WorkerChaos`] disruption at its threshold — *before*
+/// the record reaches the checkpoint, so the disrupted mutant is lost
+/// exactly as a real mid-classification crash would lose it.
+struct ChaosSink<'a> {
+    inner: &'a mut dyn CampaignSink,
+    chaos: WorkerChaos,
+    recorded: u64,
+}
+
+impl CampaignSink for ChaosSink<'_> {
+    fn record(&mut self, result: &FaultResult, panic: Option<&str>) -> io::Result<()> {
+        if self.chaos.abort_after == Some(self.recorded) {
+            std::process::abort();
+        }
+        if self.chaos.hang_after == Some(self.recorded) {
+            loop {
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+        if self.chaos.oom_after == Some(self.recorded) {
+            balloon_memory();
+        }
+        self.inner.record(result, panic)?;
+        self.recorded += 1;
+        Ok(())
+    }
+}
+
+/// Grows resident memory in touched 16 MiB chunks until killed, capped
+/// at 1 GiB (then hangs, so the stall watchdog is the backstop) to avoid
+/// taking the host down if the supervisor's RSS kill is disabled.
+fn balloon_memory() -> ! {
+    let mut hoard: Vec<Vec<u8>> = Vec::new();
+    while hoard.len() < 64 {
+        hoard.push(vec![0x5a; 16 * 1024 * 1024]);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    loop {
+        std::thread::sleep(Duration::from_millis(250));
+    }
+}
+
+/// Executes one shard: the mutants `specs[range]`, resumed from and
+/// appended to the shard checkpoint at `path`.
+///
+/// This is the whole worker-process body: load the checkpoint (torn
+/// trailing lines from a previous kill are truncated), skip specs it
+/// already classified, run the rest under the in-process supervised
+/// engine (panic isolation, watchdogs, work stealing across
+/// `config.threads`), and stream every fresh classification to the
+/// file. The supervisor tails the same file, so results flow out of the
+/// worker the moment they are durable.
+///
+/// `chaos` arms the test-only disruptions; production workers pass
+/// `None`.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::Config`] for an out-of-bounds range and
+/// [`CampaignError::Checkpoint`] when the shard checkpoint cannot be
+/// read or appended to.
+pub fn run_shard(
+    campaign: &mut Campaign,
+    specs: &[FaultSpec],
+    range: Range<usize>,
+    path: impl AsRef<Path>,
+    chaos: Option<WorkerChaos>,
+    cancel: &CancelToken,
+) -> Result<CampaignReport, CampaignError> {
+    let path = path.as_ref();
+    if range.end > specs.len() || range.is_empty() {
+        return Err(CampaignError::Config(format!(
+            "shard range {}..{} outside the {}-mutant queue",
+            range.start,
+            range.end,
+            specs.len()
+        )));
+    }
+    let load = read_checkpoint(path)
+        .map_err(|e| CampaignError::Checkpoint(format!("{}: {e}", path.display())))?;
+    let mut done = DoneMap::with_capacity(load.entries.len());
+    for (result, panic) in load.entries {
+        done.insert(result.spec, (result.outcome, panic));
+    }
+    let mut sink = JsonlSink::append(path)
+        .map_err(|e| CampaignError::Checkpoint(format!("{}: {e}", path.display())))?;
+    if let Some(chaos) = chaos {
+        if let Some(at) = chaos.crash_at {
+            // The deterministic crasher aborts *before* executing its
+            // mutant — process::abort is not a panic, so the runner's
+            // per-mutant isolation cannot catch it.
+            let start = range.start as u64;
+            campaign.set_mutant_hook(Arc::new(move |local, _spec| {
+                if start + local as u64 == at {
+                    std::process::abort();
+                }
+            }));
+        }
+        let mut chaos_sink = ChaosSink {
+            inner: &mut sink,
+            chaos,
+            recorded: 0,
+        };
+        return campaign.run_supervised(&specs[range], &mut chaos_sink, cancel, &done);
+    }
+    campaign.run_supervised(&specs[range], &mut sink, cancel, &done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_shards_covers_the_space_exactly() {
+        for (total, shards) in [(10, 3), (1, 4), (0, 2), (7, 7), (100, 1), (5, 16)] {
+            let ranges = plan_shards(total, shards);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous");
+                assert!(!r.is_empty(), "no empty shard");
+                next = r.end;
+            }
+            assert_eq!(next, total, "covers the whole space");
+            assert!(ranges.len() <= shards.max(1));
+        }
+        // Near-equal: lengths differ by at most one.
+        let ranges = plan_shards(11, 4);
+        let lens: Vec<usize> = ranges.iter().map(Range::len).collect();
+        assert_eq!(lens, vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn shard_range_syntax() {
+        assert_eq!(parse_shard_range("3..9"), Some(3..9));
+        assert_eq!(parse_shard_range("0..1"), Some(0..1));
+        assert_eq!(parse_shard_range("9..3"), None);
+        assert_eq!(parse_shard_range("4..4"), None);
+        assert_eq!(parse_shard_range("x..4"), None);
+        assert_eq!(parse_shard_range("4"), None);
+    }
+}

@@ -2,11 +2,16 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match scale4edge::cli::run_cli(&args) {
-        Ok(output) => print!("{output}"),
+    match scale4edge::cli::run_cli_full(&args) {
+        Ok(outcome) => {
+            print!("{}", outcome.output);
+            if outcome.code != 0 {
+                std::process::exit(outcome.code);
+            }
+        }
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

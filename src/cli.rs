@@ -10,23 +10,72 @@ use s4e_vp::dev::{Syscon, Uart};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-/// A CLI usage or execution error, with the message shown to the user.
+/// A CLI usage or execution error, with the message shown to the user
+/// and the process exit code it maps to.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(String);
+pub struct CliError {
+    message: String,
+    code: i32,
+}
 
 impl CliError {
     fn new(msg: impl Into<String>) -> CliError {
-        CliError(msg.into())
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+
+    fn with_code(msg: impl Into<String>, code: i32) -> CliError {
+        CliError {
+            message: msg.into(),
+            code,
+        }
+    }
+
+    /// The process exit code this error maps to (1 for ordinary usage
+    /// and execution errors; [`s4e_faultsim::WORKER_FATAL_EXIT`] for a
+    /// shard worker's
+    /// fatal setup failure, which the supervisor distinguishes from a
+    /// crash).
+    pub fn exit_code(&self) -> i32 {
+        self.code
     }
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
+
+/// A successful CLI invocation: the text to print, plus the process exit
+/// code (nonzero "success" codes exist: [`EXIT_QUARANTINED`] and
+/// [`EXIT_INTERRUPTED`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOutcome {
+    /// The text the command prints on stdout.
+    pub output: String,
+    /// The process exit code: 0, [`EXIT_QUARANTINED`] or
+    /// [`EXIT_INTERRUPTED`].
+    pub code: i32,
+}
+
+impl CliOutcome {
+    fn clean(output: String) -> CliOutcome {
+        CliOutcome { output, code: 0 }
+    }
+}
+
+/// Exit code of a campaign that completed but quarantined at least one
+/// mutant (results are usable; the quarantined specs need investigation).
+pub const EXIT_QUARANTINED: i32 = 2;
+
+/// Exit code of a campaign stopped by SIGINT/SIGTERM after flushing its
+/// final checkpoint (the conventional 128 + SIGINT).
+pub const EXIT_INTERRUPTED: i32 = 130;
 
 const USAGE: &str = "\
 s4e — the Scale4Edge RISC-V ecosystem driver
@@ -52,9 +101,20 @@ OPTIONS:
     --tcfg <path>                                co-simulate a shipped CFG (qta)
     --mutants <n>                                mutant count scale (campaign) [2]
     --threads <n>                                campaign worker threads [1]
-    --timeout-ms <n>                             per-mutant wall-clock watchdog, 0 = off [0]
+    --timeout-ms <n>                             per-mutant wall-clock watchdog in ms, n >= 1
+                                                 (omit the flag to disable the watchdog)
     --checkpoint <path>                          stream per-mutant results to a JSONL file
     --resume                                     skip mutants already in --checkpoint
+    --shards <n>                                 run the campaign as n process-isolated shard
+                                                 workers (needs --checkpoint); crashed shards
+                                                 restart from their checkpoints, repeat crashers
+                                                 are bisected and quarantined
+    --max-retries <n>                            shard crashes tolerated before bisection /
+                                                 quarantine (campaign) [3]
+    --shard-mem-mb <n>                           per-shard resident-memory budget; a worker over
+                                                 it is killed and restarted (campaign)
+    --shard-stall-ms <n>                         kill a shard worker producing no results for
+                                                 this long (campaign) [30000]
     --max-insns <n>                              execution budget [100000000]
     --metrics-out <path>                         write a metrics snapshot as JSON (run/profile/qta/campaign)
     --reference-dispatch                         per-insn reference interpreter: disables the block
@@ -65,17 +125,30 @@ OPTIONS:
     --progress                                   live status line on stderr (run/profile/campaign)
     --dot-out <path>                             write the execution-annotated CFG (profile)
     --top <n>                                    hot-block table rows (profile) [10]
+
+EXIT CODES:
+    0    success
+    1    usage or execution error
+    2    campaign completed with quarantined mutants
+    3    shard worker fatal setup error (internal)
+    130  interrupted by SIGINT/SIGTERM (partial results checkpointed)
 ";
 
 struct Options {
     isa: IsaConfig,
+    isa_name: String,
     rvc: bool,
     bounds: Vec<(String, u64)>,
     mutants: usize,
     threads: usize,
-    timeout_ms: u64,
+    timeout_ms: Option<u64>,
     checkpoint: Option<String>,
     resume: bool,
+    shards: usize,
+    max_retries: u32,
+    shard_mem_mb: Option<u64>,
+    shard_stall_ms: Option<u64>,
+    shard_worker: Option<std::ops::Range<usize>>,
     max_insns: u64,
     emit_tcfg: Option<String>,
     tcfg: Option<String>,
@@ -101,13 +174,19 @@ fn parse_isa(name: &str) -> Result<IsaConfig, CliError> {
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
     let mut opts = Options {
         isa: IsaConfig::full(),
+        isa_name: "full".to_string(),
         rvc: false,
         bounds: Vec::new(),
         mutants: 2,
         threads: 1,
-        timeout_ms: 0,
+        timeout_ms: None,
         checkpoint: None,
         resume: false,
+        shards: 0,
+        max_retries: 3,
+        shard_mem_mb: None,
+        shard_stall_ms: None,
+        shard_worker: None,
         max_insns: 100_000_000,
         emit_tcfg: None,
         tcfg: None,
@@ -126,7 +205,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 .ok_or_else(|| CliError::new(format!("{name} needs a value")))
         };
         match arg.as_str() {
-            "--isa" => opts.isa = parse_isa(&value("--isa")?)?,
+            "--isa" => {
+                let name = value("--isa")?;
+                opts.isa = parse_isa(&name)?;
+                opts.isa_name = name;
+            }
             "--rvc" => opts.rvc = true,
             "--bound" => {
                 let v = value("--bound")?;
@@ -149,12 +232,66 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .map_err(|_| CliError::new("bad --threads value"))?;
             }
             "--timeout-ms" => {
-                opts.timeout_ms = value("--timeout-ms")?
+                let ms: u64 = value("--timeout-ms")?
                     .parse()
                     .map_err(|_| CliError::new("bad --timeout-ms value"))?;
+                if ms == 0 {
+                    return Err(CliError::new(
+                        "--timeout-ms 0 is invalid: the watchdog period must be at \
+                         least 1 ms (omit the flag to disable the watchdog)",
+                    ));
+                }
+                opts.timeout_ms = Some(ms);
             }
             "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
             "--resume" => opts.resume = true,
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| CliError::new("bad --shards value"))?;
+                if opts.shards == 0 {
+                    return Err(CliError::new(
+                        "--shards 0 is invalid: a sharded campaign needs at least 1 \
+                         worker process (omit the flag to run unsharded)",
+                    ));
+                }
+            }
+            "--max-retries" => {
+                opts.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|_| CliError::new("bad --max-retries value"))?;
+                if opts.max_retries == 0 {
+                    return Err(CliError::new(
+                        "--max-retries 0 is invalid: a crashed shard must be allowed \
+                         at least 1 attempt",
+                    ));
+                }
+            }
+            "--shard-mem-mb" => {
+                opts.shard_mem_mb = Some(
+                    value("--shard-mem-mb")?
+                        .parse()
+                        .map_err(|_| CliError::new("bad --shard-mem-mb value"))?,
+                );
+            }
+            "--shard-stall-ms" => {
+                let ms: u64 = value("--shard-stall-ms")?
+                    .parse()
+                    .map_err(|_| CliError::new("bad --shard-stall-ms value"))?;
+                if ms == 0 {
+                    return Err(CliError::new(
+                        "--shard-stall-ms 0 is invalid: the stall watchdog period \
+                         must be at least 1 ms",
+                    ));
+                }
+                opts.shard_stall_ms = Some(ms);
+            }
+            "--shard-worker" => {
+                let v = value("--shard-worker")?;
+                opts.shard_worker = Some(s4e_faultsim::parse_shard_range(&v).ok_or_else(|| {
+                    CliError::new(format!("bad --shard-worker range `{v}` (want a..b)"))
+                })?);
+            }
             "--emit-tcfg" => opts.emit_tcfg = Some(value("--emit-tcfg")?),
             "--tcfg" => opts.tcfg = Some(value("--tcfg")?),
             "--max-insns" => {
@@ -178,6 +315,40 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
     Ok(opts)
 }
 
+/// The argument vector a shard worker needs to rebuild the *identical*
+/// mutant queue: same source, ISA, compression, generator scale and
+/// runner flags as the supervisor (the generator is seed-deterministic,
+/// so identical flags ⇒ identical mutant indices). The supervisor
+/// appends the per-shard `--shard-worker`/`--checkpoint` pair.
+fn worker_flag_args(opts: &Options, source_path: &str) -> Vec<String> {
+    let mut args = vec![
+        "campaign".to_string(),
+        source_path.to_string(),
+        "--isa".to_string(),
+        opts.isa_name.clone(),
+        "--mutants".to_string(),
+        opts.mutants.to_string(),
+        "--threads".to_string(),
+        opts.threads.to_string(),
+        "--max-insns".to_string(),
+        opts.max_insns.to_string(),
+    ];
+    if opts.rvc {
+        args.push("--rvc".to_string());
+    }
+    if let Some(ms) = opts.timeout_ms {
+        args.push("--timeout-ms".to_string());
+        args.push(ms.to_string());
+    }
+    if opts.reference_dispatch {
+        args.push("--reference-dispatch".to_string());
+    }
+    if !opts.share_translations {
+        args.push("--no-share-translations".to_string());
+    }
+    args
+}
+
 fn build_image(source: &str, opts: &Options) -> Result<Image, CliError> {
     let asm_opts = AsmOptions::new().isa(opts.isa).compress(opts.rvc);
     assemble_with(source, &asm_opts).map_err(|e| CliError::new(format!("assembly failed: {e}")))
@@ -198,7 +369,9 @@ fn wcet_options(image: &Image, opts: &Options) -> Result<WcetOptions, CliError> 
 }
 
 fn write_metrics(path: &str, snapshot: &Snapshot, out: &mut String) -> Result<(), CliError> {
-    std::fs::write(path, snapshot.to_json() + "\n")
+    // Temp-file + fsync + atomic rename: a reader polling the metrics
+    // file never observes a torn snapshot, even across a crash.
+    s4e_faultsim::atomic_write_file(path, (snapshot.to_json() + "\n").as_bytes())
         .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
     let _ = writeln!(out, "metrics written to {path}");
     Ok(())
@@ -264,11 +437,23 @@ impl Drop for RunTicker {
 /// # Ok::<(), scale4edge::cli::CliError>(())
 /// ```
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    run_cli_full(args).map(|outcome| outcome.output)
+}
+
+/// Runs one CLI invocation like [`run_cli`], but also surfaces the
+/// process exit code ([`CliOutcome::code`]) so the binary can report
+/// quarantines ([`EXIT_QUARANTINED`]) and interrupts
+/// ([`EXIT_INTERRUPTED`]) distinctly.
+///
+/// # Errors
+///
+/// Returns [`CliError`] as [`run_cli`] does.
+pub fn run_cli_full(args: &[String]) -> Result<CliOutcome, CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::new(USAGE));
     };
     if command == "help" || command == "--help" || command == "-h" {
-        return Ok(USAGE.to_string());
+        return Ok(CliOutcome::clean(USAGE.to_string()));
     }
     let path = args
         .get(1)
@@ -276,7 +461,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let source = std::fs::read_to_string(path)
         .map_err(|e| CliError::new(format!("cannot read `{path}`: {e}")))?;
     let opts = parse_options(&args[2..])?;
-    run_command_inner(command, &source, &opts)
+    run_command_inner(command, &source, Some(path), &opts)
 }
 
 /// Runs one CLI command against in-memory source (the testable core of
@@ -286,14 +471,34 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
 ///
 /// Returns [`CliError`] as [`run_cli`] does, minus the file handling.
 pub fn run_command(command: &str, source: &str, opts_args: &[&str]) -> Result<String, CliError> {
-    let owned: Vec<String> = opts_args.iter().map(|s| s.to_string()).collect();
-    let opts = parse_options(&owned)?;
-    run_command_inner(command, source, &opts)
+    run_command_full(command, source, opts_args).map(|outcome| outcome.output)
 }
 
-fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<String, CliError> {
+/// [`run_command`] with the exit code: the testable core of
+/// [`run_cli_full`].
+///
+/// # Errors
+///
+/// Returns [`CliError`] as [`run_cli`] does, minus the file handling.
+pub fn run_command_full(
+    command: &str,
+    source: &str,
+    opts_args: &[&str],
+) -> Result<CliOutcome, CliError> {
+    let owned: Vec<String> = opts_args.iter().map(|s| s.to_string()).collect();
+    let opts = parse_options(&owned)?;
+    run_command_inner(command, source, None, &opts)
+}
+
+fn run_command_inner(
+    command: &str,
+    source: &str,
+    source_path: Option<&str>,
+    opts: &Options,
+) -> Result<CliOutcome, CliError> {
     let image = build_image(source, opts)?;
     let mut out = String::new();
+    let mut code = 0;
     match command {
         "run" => {
             let mut vp = Vp::builder()
@@ -506,11 +711,21 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
                 .threads(opts.threads)
                 .reference_dispatch(opts.reference_dispatch)
                 .share_translations(opts.share_translations);
-            if opts.timeout_ms > 0 {
-                cfg = cfg.timeout(std::time::Duration::from_millis(opts.timeout_ms));
+            if let Some(ms) = opts.timeout_ms {
+                cfg = cfg.timeout(std::time::Duration::from_millis(ms));
             }
             let mut campaign = Campaign::prepare(image.base(), image.bytes(), image.entry(), &cfg)
-                .map_err(|e| CliError::new(format!("campaign preparation failed: {e}")))?;
+                .map_err(|e| {
+                    // In a shard worker a failed setup is fatal for every
+                    // retry: report it with the distinct exit code so the
+                    // supervisor aborts instead of burning restarts.
+                    let code = if opts.shard_worker.is_some() {
+                        s4e_faultsim::WORKER_FATAL_EXIT
+                    } else {
+                        1
+                    };
+                    CliError::with_code(format!("campaign preparation failed: {e}"), code)
+                })?;
             let progress = if opts.progress || opts.metrics_out.is_some() {
                 let progress = Arc::new(CampaignProgress::new());
                 campaign.set_progress(Arc::clone(&progress));
@@ -528,27 +743,154 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
             };
             let mutants = generate_mutants(campaign.golden().trace(), &gen);
             let cancel = CancelToken::new();
-            let ticker = progress.as_ref().filter(|_| opts.progress).map(|p| {
-                ProgressTicker::start(Arc::clone(p), std::time::Duration::from_millis(500))
-            });
-            let report = match &opts.checkpoint {
-                Some(path) if opts.resume => campaign
-                    .resume(&mutants, path, &cancel)
-                    .map_err(|e| CliError::new(format!("campaign failed: {e}")))?,
-                Some(path) => {
-                    let mut sink = JsonlSink::create(path).map_err(|e| {
-                        CliError::new(format!("cannot create checkpoint `{path}`: {e}"))
-                    })?;
-                    campaign
-                        .run_all_checkpointed(&mutants, &mut sink, &cancel)
-                        .map_err(|e| CliError::new(format!("campaign failed: {e}")))?
+
+            if let Some(range) = &opts.shard_worker {
+                // Internal entry point: one shard worker process. The
+                // supervisor passes identical assembly + generator flags,
+                // so the mutant list (and thus the index range) matches.
+                let path = opts.checkpoint.as_deref().ok_or_else(|| {
+                    CliError::with_code(
+                        "--shard-worker needs --checkpoint <path>",
+                        s4e_faultsim::WORKER_FATAL_EXIT,
+                    )
+                })?;
+                let chaos = s4e_faultsim::WorkerChaos::from_env();
+                let report = s4e_faultsim::run_shard(
+                    &mut campaign,
+                    &mutants,
+                    range.clone(),
+                    path,
+                    chaos,
+                    &cancel,
+                )
+                .map_err(|e| {
+                    let code = match &e {
+                        s4e_faultsim::CampaignError::Config(_) => s4e_faultsim::WORKER_FATAL_EXIT,
+                        _ => 1,
+                    };
+                    CliError::with_code(format!("shard worker failed: {e}"), code)
+                })?;
+                let _ = writeln!(
+                    out,
+                    "shard {}..{}: {} classified",
+                    range.start,
+                    range.end,
+                    report.total()
+                );
+                return Ok(CliOutcome::clean(out));
+            }
+
+            let report;
+            let mut sharded_summary = None;
+            if opts.shards > 0 {
+                // The supervisor path: process-isolated shard workers.
+                let mut sup_cfg = s4e_faultsim::SupervisorConfig::new(opts.shards);
+                sup_cfg.max_retries = opts.max_retries;
+                sup_cfg.mem_budget = opts.shard_mem_mb.map(|mb| mb * 1024 * 1024);
+                if let Some(ms) = opts.shard_stall_ms {
+                    sup_cfg.stall_timeout = std::time::Duration::from_millis(ms);
                 }
-                None => campaign.run_all(&mutants),
-            };
-            drop(ticker);
+                sup_cfg.chaos = s4e_faultsim::ChaosConfig::from_env();
+                sup_cfg
+                    .validate()
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                let merged = opts.checkpoint.as_deref().ok_or_else(|| {
+                    CliError::new(
+                        "--shards needs --checkpoint <path> (the shard unit is \
+                         the checkpoint; workers stream results through it)",
+                    )
+                })?;
+                let source_path = source_path.ok_or_else(|| {
+                    CliError::new(
+                        "--shards needs a source file on disk (workers re-read it); \
+                         run through the s4e binary",
+                    )
+                })?;
+                let worker_bin = std::env::var("S4E_WORKER_BIN")
+                    .map(std::path::PathBuf::from)
+                    .or_else(|_| std::env::current_exe())
+                    .map_err(|e| CliError::new(format!("cannot locate worker binary: {e}")))?;
+                let worker_args = worker_flag_args(opts, source_path);
+                let supervisor = s4e_faultsim::ShardSupervisor::new(sup_cfg, |req| {
+                    let mut cmd = std::process::Command::new(&worker_bin);
+                    cmd.args(&worker_args)
+                        .arg("--shard-worker")
+                        .arg(format!("{}..{}", req.range.start, req.range.end))
+                        .arg("--checkpoint")
+                        .arg(&req.checkpoint)
+                        .stdout(std::process::Stdio::null());
+                    cmd
+                });
+                let mut supervisor = supervisor;
+                if let Some(p) = &progress {
+                    supervisor.set_progress(Arc::clone(p));
+                }
+                s4e_faultsim::install_interrupt_handler();
+                let flag = s4e_faultsim::interrupt_flag();
+                flag.store(false, std::sync::atomic::Ordering::SeqCst);
+                supervisor.interrupt_on(flag);
+                let ticker = progress.as_ref().filter(|_| opts.progress).map(|p| {
+                    ProgressTicker::start(Arc::clone(p), std::time::Duration::from_millis(500))
+                });
+                let shard_dir = format!("{merged}.shards");
+                let sharded = supervisor
+                    .run(
+                        &mutants,
+                        std::path::Path::new(&shard_dir),
+                        Some(std::path::Path::new(merged)),
+                        opts.resume,
+                    )
+                    .map_err(|e| CliError::new(format!("campaign failed: {e}")))?;
+                drop(ticker);
+                if sharded.interrupted {
+                    code = EXIT_INTERRUPTED;
+                } else if !sharded.quarantined.is_empty() {
+                    code = EXIT_QUARANTINED;
+                }
+                report = sharded.report;
+                sharded_summary = Some((
+                    sharded.crashes,
+                    sharded.restarts,
+                    sharded.bisections,
+                    sharded.quarantined,
+                    sharded.interrupted,
+                ));
+            } else {
+                let ticker = progress.as_ref().filter(|_| opts.progress).map(|p| {
+                    ProgressTicker::start(Arc::clone(p), std::time::Duration::from_millis(500))
+                });
+                report = match &opts.checkpoint {
+                    Some(path) if opts.resume => campaign
+                        .resume(&mutants, path, &cancel)
+                        .map_err(|e| CliError::new(format!("campaign failed: {e}")))?,
+                    Some(path) => {
+                        let mut sink = JsonlSink::create(path).map_err(|e| {
+                            CliError::new(format!("cannot create checkpoint `{path}`: {e}"))
+                        })?;
+                        campaign
+                            .run_all_checkpointed(&mutants, &mut sink, &cancel)
+                            .map_err(|e| CliError::new(format!("campaign failed: {e}")))?
+                    }
+                    None => campaign.run_all(&mutants),
+                };
+                drop(ticker);
+            }
             out.push_str(&report.summary_table());
             if let Some(path) = &opts.checkpoint {
                 let _ = writeln!(out, "checkpoint: {path}");
+            }
+            if let Some((crashes, restarts, bisections, quarantined, interrupted)) = sharded_summary
+            {
+                let _ = writeln!(
+                    out,
+                    "shards: {crashes} crashes, {restarts} restarts, {bisections} bisections"
+                );
+                for spec in &quarantined {
+                    let _ = writeln!(out, "quarantined: {spec}");
+                }
+                if interrupted {
+                    let _ = writeln!(out, "interrupted: partial results checkpointed");
+                }
             }
             for (spec, payload) in report.harness_panics().iter().take(5) {
                 let _ = writeln!(
@@ -576,5 +918,5 @@ fn run_command_inner(command: &str, source: &str, opts: &Options) -> Result<Stri
             )));
         }
     }
-    Ok(out)
+    Ok(CliOutcome { output: out, code })
 }

@@ -1,9 +1,12 @@
 //! Tests for the `s4e` command-line driver (through the testable
-//! `run_command` core).
+//! `run_command` core, plus the real binary where exit codes and
+//! process supervision are the subject).
 
-use scale4edge::cli::{run_cli, run_command};
+use scale4edge::cli::{run_cli, run_command, run_command_full};
 
 const LOOP_PROGRAM: &str = "li t0, 5\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak";
+const CAMPAIGN_PROGRAM: &str =
+    "li a0, 1\nli a1, 2\nadd a0, a0, a1\nla t0, d\nsw a0, 0(t0)\nebreak\nd: .word 0\n";
 
 #[test]
 fn help_prints_usage() {
@@ -107,6 +110,151 @@ fn bad_option_values_error() {
     assert!(run_command("run", "ebreak", &["--what"]).is_err());
     assert!(run_command("nonsense", "ebreak", &[]).is_err());
     assert!(run_command("wcet", LOOP_PROGRAM, &["--bound", "nosuch=4"]).is_err());
+}
+
+#[test]
+fn zero_and_absurd_campaign_values_are_rejected_with_clear_errors() {
+    let err = run_command("campaign", CAMPAIGN_PROGRAM, &["--timeout-ms", "0"]).unwrap_err();
+    assert!(
+        err.to_string().contains("--timeout-ms 0 is invalid"),
+        "{err}"
+    );
+    assert!(err.to_string().contains("omit the flag"), "{err}");
+
+    let err = run_command("campaign", CAMPAIGN_PROGRAM, &["--shards", "0"]).unwrap_err();
+    assert!(err.to_string().contains("--shards 0 is invalid"), "{err}");
+
+    let err = run_command("campaign", CAMPAIGN_PROGRAM, &["--max-retries", "0"]).unwrap_err();
+    assert!(
+        err.to_string().contains("--max-retries 0 is invalid"),
+        "{err}"
+    );
+
+    let err = run_command("campaign", CAMPAIGN_PROGRAM, &["--shard-stall-ms", "0"]).unwrap_err();
+    assert!(
+        err.to_string().contains("--shard-stall-ms 0 is invalid"),
+        "{err}"
+    );
+
+    // An absurd shard count survives parsing but fails supervisor
+    // validation (before any checkpoint requirement kicks in).
+    let err = run_command(
+        "campaign",
+        CAMPAIGN_PROGRAM,
+        &["--shards", "100000", "--checkpoint", "/tmp/unused.jsonl"],
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("absurd"), "{err}");
+}
+
+#[test]
+fn sharded_campaign_requires_a_checkpoint() {
+    let err = run_command("campaign", CAMPAIGN_PROGRAM, &["--shards", "2"]).unwrap_err();
+    assert!(
+        err.to_string().contains("--shards needs --checkpoint"),
+        "{err}"
+    );
+}
+
+// ------------------------------------------------------- exit codes
+
+#[test]
+fn clean_campaign_exits_zero() {
+    let outcome = run_command_full(
+        "campaign",
+        CAMPAIGN_PROGRAM,
+        &["--mutants", "1", "--isa", "rv32imc"],
+    )
+    .expect("campaign");
+    assert_eq!(outcome.code, 0);
+    assert!(outcome.output.contains("normal termination rate"));
+}
+
+fn cli_test_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("s4e-cli-exit-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn campaign_with_quarantined_mutant_exits_2() {
+    let dir = cli_test_dir("quarantine");
+    let prog = dir.join("prog.s");
+    std::fs::write(&prog, CAMPAIGN_PROGRAM).expect("program");
+    let ckpt = dir.join("q.jsonl");
+    // A deterministic worker-killer on mutant index 5: every attempt
+    // aborts on reaching it, so the supervisor bisects down to it and
+    // quarantines — the campaign completes with the distinct exit code.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_s4e"))
+        .arg("campaign")
+        .arg(&prog)
+        .args(["--mutants", "1", "--isa", "rv32imc"])
+        .args(["--shards", "2", "--max-retries", "2"])
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
+        .env("S4E_CHAOS_CRASH_AT", "5")
+        .output()
+        .expect("s4e runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(2), "{stdout}");
+    assert!(stdout.contains("quarantined:"), "{stdout}");
+    assert!(stdout.contains("bisections"), "{stdout}");
+    // The quarantined classification is durable in the checkpoint.
+    let ckpt_text = std::fs::read_to_string(&ckpt).expect("checkpoint");
+    assert!(ckpt_text.contains("\"quarantined\""), "{ckpt_text}");
+}
+
+#[test]
+fn interrupted_campaign_flushes_checkpoint_and_exits_130() {
+    let dir = cli_test_dir("interrupt");
+    let prog = dir.join("prog.s");
+    std::fs::write(&prog, CAMPAIGN_PROGRAM).expect("program");
+    let ckpt = dir.join("i.jsonl");
+    // The worker hangs after 2 classifications (the default 30 s stall
+    // watchdog won't fire); once its records land we SIGTERM the
+    // supervisor and expect a graceful 130 with partial results flushed.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_s4e"))
+        .arg("campaign")
+        .arg(&prog)
+        .args(["--mutants", "1", "--isa", "rv32imc"])
+        .args(["--shards", "1"])
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
+        .env("S4E_CHAOS_HANG_AFTER", "2")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("s4e starts");
+    // Wait for the shard worker's first records (proof the supervisor
+    // loop — and its signal handler — is up).
+    let shard_dir = dir.join("i.jsonl.shards");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    'wait: loop {
+        assert!(std::time::Instant::now() < deadline, "worker never wrote");
+        if let Ok(entries) = std::fs::read_dir(&shard_dir) {
+            for entry in entries.flatten() {
+                let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                if len > 0 {
+                    break 'wait;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let _ = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    let output = child.wait_with_output().expect("s4e exits");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(130), "{stdout}");
+    assert!(
+        stdout.contains("interrupted: partial results checkpointed"),
+        "{stdout}"
+    );
+    // The flushed merged checkpoint holds the streamed prefix.
+    let flushed = std::fs::read_to_string(&ckpt).expect("merged checkpoint");
+    assert!(!flushed.trim().is_empty(), "partial results were flushed");
 }
 
 #[test]
