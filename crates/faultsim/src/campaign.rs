@@ -2,13 +2,18 @@
 //! with outcome classification, and scalable parallel sweeps.
 
 use crate::fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
+use crate::forensics::FLIGHT_RECORDER_CAPACITY;
 use crate::prefix::{PrefixCache, PrefixEntry};
 use crate::progress::CampaignProgress;
 use crate::runner::MutantHook;
 use crate::trace::{ExecTrace, TracePlugin};
 use core::fmt;
 use s4e_isa::{Csr, Gpr, IsaConfig};
-use s4e_vp::{BusFault, CancelToken, RunOutcome, SharedTranslations, TimingModel, Vp, VpBuilder};
+use s4e_obs::Tracer;
+use s4e_vp::{
+    BusFault, CancelToken, FlightRecorder, RunOutcome, SharedTranslations, TimingModel, Vp,
+    VpBuilder,
+};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -309,6 +314,8 @@ pub struct Campaign {
     prefix_eligible: bool,
     mutant_hook: Option<MutantHook>,
     progress: Option<std::sync::Arc<CampaignProgress>>,
+    tracer: Option<std::sync::Arc<Tracer>>,
+    trace_dir: Option<std::path::PathBuf>,
 }
 
 impl fmt::Debug for Campaign {
@@ -321,6 +328,8 @@ impl fmt::Debug for Campaign {
             .field("prefix_eligible", &self.prefix_eligible)
             .field("mutant_hook", &self.mutant_hook.is_some())
             .field("progress", &self.progress.is_some())
+            .field("tracer", &self.tracer.is_some())
+            .field("trace_dir", &self.trace_dir)
             .finish_non_exhaustive()
     }
 }
@@ -386,6 +395,8 @@ impl Campaign {
             prefix_eligible: !interrupts_armed,
             mutant_hook: None,
             progress: None,
+            tracer: None,
+            trace_dir: None,
         })
     }
 
@@ -428,6 +439,48 @@ impl Campaign {
 
     pub(crate) fn progress(&self) -> Option<&std::sync::Arc<CampaignProgress>> {
         self.progress.as_ref()
+    }
+
+    /// Attaches structured tracing: the supervised runner records a
+    /// per-mutant span (outcome, prefix/restore/warm-translation
+    /// annotations) and golden-prefix advance spans onto the shared
+    /// [`Tracer`] timeline, exportable as Chrome `trace_event` JSON.
+    pub fn set_tracer(&mut self, tracer: std::sync::Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    pub(crate) fn tracer(&self) -> Option<&std::sync::Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Arms forensic incident bundles: every worker VP flies with a
+    /// [`FlightRecorder`] attached, and a mutant that times out, hangs,
+    /// expires its watchdog or panics the harness dumps an
+    /// [`IncidentBundle`](crate::IncidentBundle) (fault spec, flight
+    /// tail, final architectural state) into `dir`.
+    pub fn set_trace_dir(&mut self, dir: impl Into<std::path::PathBuf>) {
+        self.trace_dir = Some(dir.into());
+    }
+
+    pub(crate) fn trace_dir(&self) -> Option<&std::path::Path> {
+        self.trace_dir.as_deref()
+    }
+
+    /// Whether the supervised runner should keep flight recorders armed
+    /// and worker VPs parked where forensics can reach them.
+    pub(crate) fn forensics_active(&self) -> bool {
+        self.tracer.is_some() || self.trace_dir.is_some()
+    }
+
+    /// Ensures the worker's reusable VP exists and flies with a cleared
+    /// flight recorder — called right before a fast-forward mutant
+    /// restores into it, so a dumped tail never mixes two executions.
+    pub(crate) fn arm_slot_flight(&self, slot: &mut Option<Vp>) {
+        let vp = slot.get_or_insert_with(|| self.vp_builder.clone().build());
+        match vp.flight_recorder_mut() {
+            Some(flight) => flight.clear(),
+            None => vp.set_flight_recorder(Some(FlightRecorder::new(FLIGHT_RECORDER_CAPACITY))),
+        }
     }
 
     /// Builds a VP from the hoisted recipe and boots the campaign image
@@ -507,6 +560,41 @@ impl Campaign {
 
     fn execute_mutant(&self, spec: &FaultSpec, cancel: Option<&CancelToken>) -> FaultOutcome {
         let mut vp = self.loaded_vp();
+        self.execute_mutant_on(&mut vp, spec, cancel)
+    }
+
+    /// The legacy full-rerun path with forensics attached: same fresh
+    /// boot per mutant as [`execute_mutant`](Self::execute_mutant), but
+    /// the VP inherits the worker slot's (cleared) flight recorder and
+    /// is parked back in the slot afterwards, so an incident dump can
+    /// read the tail and the final architectural state.
+    pub(crate) fn execute_mutant_forensic(
+        &self,
+        spec: &FaultSpec,
+        cancel: Option<&CancelToken>,
+        slot: &mut Option<Vp>,
+    ) -> FaultOutcome {
+        let flight = slot
+            .take()
+            .and_then(|mut old| old.take_flight_recorder())
+            .map(|mut flight| {
+                flight.clear();
+                flight
+            })
+            .unwrap_or_else(|| FlightRecorder::new(FLIGHT_RECORDER_CAPACITY));
+        let mut vp = self.loaded_vp();
+        vp.set_flight_recorder(Some(flight));
+        let outcome = self.execute_mutant_on(&mut vp, spec, cancel);
+        *slot = Some(vp);
+        outcome
+    }
+
+    fn execute_mutant_on(
+        &self,
+        vp: &mut Vp,
+        spec: &FaultSpec,
+        cancel: Option<&CancelToken>,
+    ) -> FaultOutcome {
         let run = |vp: &mut Vp, budget: u64| match cancel {
             Some(token) => vp.run_until(budget, token),
             None => vp.run_for(budget),
@@ -515,28 +603,28 @@ impl Campaign {
             // Static faults and time-zero transients are planted before
             // execution.
             FaultKind::StuckAt { value } => {
-                Self::plant_stuck_at(&mut vp, spec.target, value);
+                Self::plant_stuck_at(vp, spec.target, value);
                 self.budget
             }
             FaultKind::Transient { at_insn: 0 } => {
-                Self::inject_flip(&mut vp, spec.target);
+                Self::inject_flip(vp, spec.target);
                 self.budget
             }
             FaultKind::Transient { at_insn } => {
                 let warmup = at_insn.min(self.budget);
-                match run(&mut vp, warmup) {
+                match run(&mut *vp, warmup) {
                     RunOutcome::InsnLimit => {
-                        Self::inject_flip(&mut vp, spec.target);
+                        Self::inject_flip(vp, spec.target);
                         self.budget - warmup
                     }
                     // Terminated before the injection time: the fault
                     // never manifested.
-                    outcome => return self.classify(&mut vp, outcome),
+                    outcome => return self.classify(vp, outcome),
                 }
             }
         };
-        let outcome = run(&mut vp, run_remaining.max(1));
-        self.classify(&mut vp, outcome)
+        let outcome = run(&mut *vp, run_remaining.max(1));
+        self.classify(vp, outcome)
     }
 
     /// Executes one mutant from a shared golden-prefix snapshot: restore

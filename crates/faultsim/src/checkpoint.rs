@@ -311,7 +311,9 @@ pub fn encode_result(result: &FaultResult, panic: Option<&str>) -> String {
     out
 }
 
-fn outcome_tag(outcome: &FaultOutcome) -> &'static str {
+/// The short class tag of an outcome — shared with the forensic-bundle
+/// file naming so checkpoint lines and bundle names use one vocabulary.
+pub(crate) fn outcome_tag(outcome: &FaultOutcome) -> &'static str {
     match outcome {
         FaultOutcome::Masked => "masked",
         FaultOutcome::SilentCorruption => "silent",
@@ -325,7 +327,7 @@ fn outcome_tag(outcome: &FaultOutcome) -> &'static str {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -57,6 +57,7 @@
 mod campaign;
 mod checkpoint;
 mod fault;
+mod forensics;
 mod generate;
 mod prefix;
 mod progress;
@@ -73,6 +74,7 @@ pub use checkpoint::{
     repair_torn_tail, CampaignSink, CheckpointLoad, JsonlSink, MemorySink, NullSink,
 };
 pub use fault::{FaultKind, FaultOutcome, FaultSpec, FaultTarget};
+pub use forensics::{IncidentBundle, FLIGHT_RECORDER_CAPACITY};
 pub use generate::{generate_mutants, GeneratorConfig};
 pub use progress::{CampaignProgress, ProgressSink, ProgressTicker};
 pub use runner::MutantHook;

@@ -51,6 +51,7 @@
 //! injected fault is caught by the per-block code-bytes hash at probe
 //! time and re-translated locally.
 
+use s4e_obs::TraceRing;
 use s4e_vp::{DispatchStats, RunOutcome, SharedTranslations, Vp, VpSnapshot};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -193,8 +194,10 @@ impl PrefixCache {
     /// cache cannot serve the request — an unplanned point, an already
     /// fully-consumed entry, or a poisoned cache (a previous advance
     /// panicked) — in which case the caller falls back to the legacy
-    /// full re-run.
-    pub(crate) fn fetch(&self, at: u64) -> Option<PrefixEntry> {
+    /// full re-run. With `ring` attached, each golden advance performed
+    /// on behalf of this fetch is recorded as a `golden_advance` span
+    /// (the shared work a cache miss serializes behind).
+    pub(crate) fn fetch(&self, at: u64, mut ring: Option<&mut TraceRing>) -> Option<PrefixEntry> {
         let Ok(mut inner) = self.inner.lock() else {
             return None;
         };
@@ -202,7 +205,20 @@ impl PrefixCache {
             if !inner.planned.contains_key(&at) {
                 return None;
             }
+            let start = ring.as_deref().map(TraceRing::now_us);
+            let from = inner.position;
             inner.advance_one()?;
+            if let (Some(ring), Some(start)) = (ring.as_deref_mut(), start) {
+                ring.span(
+                    "golden_advance",
+                    "prefix",
+                    start,
+                    &[
+                        ("from_instret", from.to_string()),
+                        ("to_instret", inner.position.to_string()),
+                    ],
+                );
+            }
         }
         let (entry, remaining) = inner.entries.get_mut(&at)?;
         let entry = entry.clone();

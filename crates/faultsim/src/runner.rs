@@ -31,8 +31,9 @@
 //! by contrast, is a final classification and is checkpointed.
 
 use crate::campaign::{Campaign, CampaignError, CampaignReport, FaultResult};
-use crate::checkpoint::{read_checkpoint, CampaignSink, JsonlSink, NullSink};
+use crate::checkpoint::{outcome_tag, read_checkpoint, CampaignSink, JsonlSink, NullSink};
 use crate::fault::{FaultOutcome, FaultSpec};
+use crate::forensics::IncidentBundle;
 use crate::prefix::PrefixCache;
 use crate::progress::ProgressSink;
 use s4e_vp::{CancelToken, Vp};
@@ -142,6 +143,7 @@ impl Campaign {
         // or the golden run armed interrupts — every mutant then re-runs
         // its fault-free prefix the legacy way).
         let prefix = self.prefix_cache(specs);
+        let sweep_start = self.tracer().map(|t| t.now_us());
 
         let worker_slots: Vec<Vec<SlotResult>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -169,6 +171,20 @@ impl Campaign {
             // The golden replay VP's share of the fast-forward work:
             // snapshots taken and dirty pages flushed along the prefix.
             progress.record_dispatch(&prefix.stats());
+        }
+
+        if let (Some(tracer), Some(start)) = (self.tracer(), sweep_start) {
+            let mut ring = tracer.ring();
+            ring.span(
+                "sweep",
+                "campaign",
+                start,
+                &[
+                    ("mutants", specs.len().to_string()),
+                    ("threads", threads.to_string()),
+                ],
+            );
+            tracer.collect(ring);
         }
 
         if let Some(msg) = sink_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
@@ -221,6 +237,10 @@ impl Campaign {
         prefix: Option<&PrefixCache>,
     ) -> Vec<SlotResult> {
         let mut out = Vec::new();
+        // The worker's private trace lane (None: tracing off — every
+        // record below is then gated on one Option check).
+        let mut ring = self.tracer().map(|t| t.ring());
+        let forensics = self.forensics_active();
         // The worker's reusable mutant VP for the fast-forward path:
         // restoring a snapshot into it costs O(diverged pages), where a
         // fresh VP per mutant costs a full RAM allocation plus the image
@@ -255,40 +275,91 @@ impl Campaign {
             // later one) falls back to the legacy full re-run instead
             // of killing the worker.
             let entry = prefix.and_then(|cache| {
-                catch_unwind(AssertUnwindSafe(|| cache.fetch(self.injection_point(spec))))
-                    .ok()
-                    .flatten()
+                catch_unwind(AssertUnwindSafe(|| {
+                    cache.fetch(self.injection_point(spec), ring.as_mut())
+                }))
+                .ok()
+                .flatten()
             });
             let mutant_token = match self.config().timeout {
                 Some(timeout) => cancel.child(timeout),
                 None => cancel.clone(),
             };
+            let mutant_start = ring.as_ref().map(|r| r.now_us());
             let execution = catch_unwind(AssertUnwindSafe(|| {
                 if let Some(hook) = self.mutant_hook() {
                     hook(index, spec);
                 }
                 match &entry {
                     Some(entry) => {
+                        if forensics {
+                            self.arm_slot_flight(&mut slot);
+                        }
                         self.execute_mutant_fast(spec, Some(&mutant_token), entry, &mut slot)
+                    }
+                    None if forensics => {
+                        self.execute_mutant_forensic(spec, Some(&mutant_token), &mut slot)
                     }
                     None => self.run_one_cancellable(spec, Some(&mutant_token)).outcome,
                 }
             }));
-            if let (Some(progress), Some(vp)) = (self.progress(), slot.as_mut()) {
-                progress.record_dispatch(&vp.take_dispatch_stats());
+            let stats = if self.progress().is_some() || ring.is_some() {
+                slot.as_mut().map(|vp| vp.take_dispatch_stats())
+            } else {
+                None
+            };
+            if let (Some(progress), Some(stats)) = (self.progress(), stats.as_ref()) {
+                progress.record_dispatch(stats);
             }
-            let (outcome, panic) = match execution {
+            let (outcome, panic, crashed) = match execution {
                 Ok(FaultOutcome::Cancelled) if cancel.flag_raised() => {
                     // Campaign shutdown, not a watchdog expiry: leave the
                     // mutant unclassified so a resume re-runs it.
                     break;
                 }
-                Ok(outcome) => (outcome, None),
+                Ok(outcome) => (outcome, None, None),
                 Err(payload) => {
-                    slot = None;
-                    (FaultOutcome::HarnessError, Some(panic_message(&*payload)))
+                    // The slot VP's state is suspect after a panic: pull
+                    // it out for the forensic dump and never reuse it.
+                    let crashed = slot.take();
+                    (
+                        FaultOutcome::HarnessError,
+                        Some(panic_message(&*payload)),
+                        crashed,
+                    )
                 }
             };
+            if let Some(dir) = self.trace_dir() {
+                if matches!(
+                    outcome,
+                    FaultOutcome::Timeout
+                        | FaultOutcome::Hang
+                        | FaultOutcome::Cancelled
+                        | FaultOutcome::HarnessError
+                ) {
+                    let mut bundle = IncidentBundle::new(outcome_tag(&outcome), *spec);
+                    bundle.set_index(index);
+                    if let Some(message) = panic.as_deref() {
+                        bundle.set_panic(message);
+                    }
+                    if let Some(vp) = crashed.as_ref().or(slot.as_ref()) {
+                        bundle.attach_vp(vp);
+                    }
+                    // Forensics must never fail the sweep: a dump error
+                    // only loses this bundle.
+                    if let (Ok(path), Some(ring)) = (bundle.write(dir), ring.as_mut()) {
+                        ring.instant(
+                            "incident_bundle",
+                            "forensics",
+                            &[
+                                ("incident", outcome_tag(&outcome).to_string()),
+                                ("path", path.display().to_string()),
+                                ("spec", spec.to_string()),
+                            ],
+                        );
+                    }
+                }
+            }
             let recorded = {
                 let mut guard = sink.lock().unwrap_or_else(|p| p.into_inner());
                 guard.record(
@@ -305,10 +376,31 @@ impl Campaign {
                 cancel.cancel();
                 break;
             }
+            if let (Some(ring), Some(start)) = (ring.as_mut(), mutant_start) {
+                let mut args = vec![
+                    ("index", index.to_string()),
+                    ("outcome", outcome.to_string()),
+                    (
+                        "prefix",
+                        if entry.is_some() { "snapshot" } else { "rerun" }.to_string(),
+                    ),
+                    ("spec", spec.to_string()),
+                ];
+                if let Some(stats) = stats.as_ref() {
+                    args.push(("pages_restored", stats.pages_restored.to_string()));
+                    args.push(("restores", stats.restores.to_string()));
+                    args.push(("translations", stats.translations.to_string()));
+                    args.push(("warm_translations", stats.warm_translations.to_string()));
+                }
+                ring.span("mutant", "campaign", start, &args);
+            }
             out.push((index, outcome, panic));
         }
         if let Some(progress) = self.progress() {
             progress.worker_exited();
+        }
+        if let (Some(tracer), Some(ring)) = (self.tracer(), ring.take()) {
+            tracer.collect(ring);
         }
         out
     }

@@ -46,12 +46,14 @@
 use crate::campaign::{Campaign, CampaignError, CampaignReport};
 use crate::checkpoint::{compact_checkpoint, decode_result, read_checkpoint};
 use crate::fault::{FaultOutcome, FaultSpec};
+use crate::forensics::IncidentBundle;
 use crate::progress::CampaignProgress;
 use crate::runner::DoneMap;
 use crate::shard::plan_shards;
 use crate::FaultResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use s4e_obs::Tracer;
 use std::collections::{HashSet, VecDeque};
 use std::fs::File;
 use std::io::{Read as _, Seek, SeekFrom};
@@ -262,6 +264,12 @@ pub struct ShardedReport {
     pub report: CampaignReport,
     /// The mutants isolated as worker-killers.
     pub quarantined: Vec<FaultSpec>,
+    /// Forensic bundles written for the quarantined mutants (one per
+    /// entry of [`quarantined`](Self::quarantined) when a trace
+    /// directory was attached; empty otherwise). Each bundle names the
+    /// [`FaultSpec`] and carries the supervisor's attempt history for
+    /// the crashing range.
+    pub quarantine_bundles: Vec<PathBuf>,
     /// Worker-process deaths observed.
     pub crashes: u64,
     /// Restarts performed.
@@ -287,6 +295,10 @@ struct Task {
     /// only ever advanced past complete lines, so it stays valid across
     /// the worker's own torn-tail truncation on restart.
     offset: u64,
+    /// Human-readable attempt history (spawns, exits, backoffs,
+    /// bisections), carried across restarts and into bisected halves so
+    /// a quarantine bundle can show the full escalation that led to it.
+    history: Vec<String>,
 }
 
 /// A task with a live child process.
@@ -299,6 +311,9 @@ struct Running {
     /// Fresh classifications streamed by *this* attempt — a crash after
     /// progress resets the task's consecutive-crash count.
     fresh: u64,
+    /// Trace-clock timestamp of the spawn, closing the `shard_attempt`
+    /// span when the worker exits (`None`: tracing off).
+    trace_start: Option<u64>,
 }
 
 /// The process-isolation layer for fault campaigns: splits the mutant
@@ -310,6 +325,8 @@ pub struct ShardSupervisor<'a> {
     spawner: Box<dyn Fn(&ShardRequest) -> Command + 'a>,
     progress: Option<Arc<CampaignProgress>>,
     interrupt: Option<&'a AtomicBool>,
+    tracer: Option<Arc<Tracer>>,
+    trace_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for ShardSupervisor<'_> {
@@ -318,6 +335,8 @@ impl std::fmt::Debug for ShardSupervisor<'_> {
             .field("config", &self.config)
             .field("progress", &self.progress.is_some())
             .field("interrupt", &self.interrupt.is_some())
+            .field("tracer", &self.tracer.is_some())
+            .field("trace_dir", &self.trace_dir)
             .finish_non_exhaustive()
     }
 }
@@ -333,7 +352,25 @@ impl<'a> ShardSupervisor<'a> {
             spawner: Box::new(spawner),
             progress: None,
             interrupt: None,
+            tracer: None,
+            trace_dir: None,
         }
+    }
+
+    /// Attaches structured tracing: every worker attempt becomes a span
+    /// on the supervisor's timeline, and restarts, backoffs, bisections
+    /// and quarantines become instant events — mergeable with the
+    /// workers' own trace chunks into one Chrome `trace_event` file.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Arms quarantine forensics: a mutant isolated as a worker-killer
+    /// gets an [`IncidentBundle`] (fault spec + the supervisor's attempt
+    /// history for the crashing range) written into `dir`, and its path
+    /// reported in [`ShardedReport::quarantine_bundles`].
+    pub fn set_trace_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.trace_dir = Some(dir.into());
     }
 
     /// Attaches live progress: merged classifications, shard restarts,
@@ -413,13 +450,17 @@ impl<'a> ShardSupervisor<'a> {
                     ready_at: Instant::now(),
                     needs_seed: true,
                     offset: 0,
+                    history: Vec::new(),
                 };
                 next_id += 1;
                 task
             })
             .collect();
+        let mut ring = self.tracer.as_ref().map(|t| t.ring());
+        let sweep_start = ring.as_ref().map(|r| r.now_us());
         let mut running: Vec<Running> = Vec::new();
         let mut quarantined: Vec<FaultSpec> = Vec::new();
+        let mut quarantine_bundles: Vec<PathBuf> = Vec::new();
         let mut stats = (0u64, 0u64, 0u64); // crashes, restarts, bisections
         let mut chaos_rng = self
             .config
@@ -512,12 +553,18 @@ impl<'a> ShardSupervisor<'a> {
                 let child = cmd.spawn().map_err(|e| {
                     CampaignError::Checkpoint(format!("spawning shard worker: {e}"))
                 })?;
+                task.history.push(format!(
+                    "attempt {} spawn shard {} range {}..{}",
+                    request.attempt, task.id, task.range.start, task.range.end
+                ));
+                let trace_start = ring.as_ref().map(|r| r.now_us());
                 running.push(Running {
                     task,
                     child,
                     last_progress: Instant::now(),
                     kill_at,
                     fresh: 0,
+                    trace_start,
                 });
             }
 
@@ -553,6 +600,27 @@ impl<'a> ShardSupervisor<'a> {
                         // poll and the exit.
                         let fresh = tail_records(&run.task.checkpoint, &mut run.task.offset);
                         run.fresh += merge_records(fresh, &mut done, self.progress.as_deref());
+                        let status_text = status.to_string();
+                        run.task.history.push(format!(
+                            "exit ({status_text}) after {} fresh classifications",
+                            run.fresh
+                        ));
+                        if let (Some(ring), Some(start)) = (ring.as_mut(), run.trace_start) {
+                            ring.span(
+                                "shard_attempt",
+                                "supervisor",
+                                start,
+                                &[
+                                    ("fresh", run.fresh.to_string()),
+                                    (
+                                        "range",
+                                        format!("{}..{}", run.task.range.start, run.task.range.end),
+                                    ),
+                                    ("shard", run.task.id.to_string()),
+                                    ("status", status_text),
+                                ],
+                            );
+                        }
                         let remaining = remaining_indices(&run.task.range, specs, &done);
                         if remaining.is_empty() {
                             if let Some(p) = &self.progress {
@@ -590,6 +658,30 @@ impl<'a> ShardSupervisor<'a> {
                                     p.record_outcome(FaultOutcome::Quarantined);
                                     p.record_shard_done();
                                 }
+                                run.task.history.push(format!("quarantined {spec}"));
+                                if let Some(dir) = &self.trace_dir {
+                                    let mut bundle = IncidentBundle::new("quarantined", spec);
+                                    bundle.set_index(remaining[0]);
+                                    for line in &run.task.history {
+                                        bundle.push_attempt(line.clone());
+                                    }
+                                    // Forensics never fail the sweep: a
+                                    // dump error only loses this bundle.
+                                    if let Ok(path) = bundle.write(dir) {
+                                        quarantine_bundles.push(path);
+                                    }
+                                }
+                                if let Some(ring) = ring.as_mut() {
+                                    ring.instant(
+                                        "quarantine",
+                                        "supervisor",
+                                        &[
+                                            ("index", remaining[0].to_string()),
+                                            ("shard", run.task.id.to_string()),
+                                            ("spec", spec.to_string()),
+                                        ],
+                                    );
+                                }
                                 continue;
                             }
                             // Bisect the surviving work in half; each
@@ -606,6 +698,28 @@ impl<'a> ShardSupervisor<'a> {
                                 remaining[0]..split,
                                 split..remaining[remaining.len() - 1] + 1,
                             ];
+                            run.task.history.push(format!(
+                                "bisect {}..{} at {split}",
+                                remaining[0],
+                                remaining[remaining.len() - 1] + 1
+                            ));
+                            if let Some(ring) = ring.as_mut() {
+                                ring.instant(
+                                    "shard_bisect",
+                                    "supervisor",
+                                    &[
+                                        (
+                                            "range",
+                                            format!(
+                                                "{}..{}",
+                                                run.task.range.start, run.task.range.end
+                                            ),
+                                        ),
+                                        ("shard", run.task.id.to_string()),
+                                        ("split", split.to_string()),
+                                    ],
+                                );
+                            }
                             for half in halves {
                                 pending.push_back(Task {
                                     id: next_id,
@@ -616,6 +730,9 @@ impl<'a> ShardSupervisor<'a> {
                                     ready_at: Instant::now() + self.config.backoff_base,
                                     needs_seed: true,
                                     offset: 0,
+                                    // Each half inherits the escalation
+                                    // history that created it.
+                                    history: run.task.history.clone(),
                                 });
                                 next_id += 1;
                             }
@@ -630,6 +747,20 @@ impl<'a> ShardSupervisor<'a> {
                         stats.1 += 1;
                         if let Some(p) = &self.progress {
                             p.record_shard_restart(backoff);
+                        }
+                        run.task
+                            .history
+                            .push(format!("backoff {}ms then restart", backoff.as_millis()));
+                        if let Some(ring) = ring.as_mut() {
+                            ring.instant(
+                                "shard_restart",
+                                "supervisor",
+                                &[
+                                    ("backoff_ms", backoff.as_millis().to_string()),
+                                    ("crashes", run.task.crashes.to_string()),
+                                    ("shard", run.task.id.to_string()),
+                                ],
+                            );
                         }
                         run.task.ready_at = Instant::now() + backoff;
                         pending.push_back(run.task);
@@ -676,6 +807,25 @@ impl<'a> ShardSupervisor<'a> {
             compact_checkpoint(path, owned.iter().map(|(r, p)| (r, p.as_deref())))
                 .map_err(|e| CampaignError::Checkpoint(format!("{}: {e}", path.display())))?;
         }
+        // Close the supervisor lane before the fatal early-return so a
+        // failed sweep still leaves its trace behind.
+        if let (Some(tracer), Some(mut ring)) = (self.tracer.as_ref(), ring.take()) {
+            if let Some(start) = sweep_start {
+                ring.span(
+                    "sharded_sweep",
+                    "supervisor",
+                    start,
+                    &[
+                        ("bisections", stats.2.to_string()),
+                        ("crashes", stats.0.to_string()),
+                        ("mutants", specs.len().to_string()),
+                        ("quarantined", quarantined.len().to_string()),
+                        ("restarts", stats.1.to_string()),
+                    ],
+                );
+            }
+            tracer.collect(ring);
+        }
         if let Some(e) = fatal {
             return Err(e);
         }
@@ -698,6 +848,7 @@ impl<'a> ShardSupervisor<'a> {
         Ok(ShardedReport {
             report: Campaign::build_report(results, panics),
             quarantined,
+            quarantine_bundles,
             crashes: stats.0,
             restarts: stats.1,
             bisections: stats.2,

@@ -258,6 +258,40 @@ fn watchdog_cancels_a_stalled_mutant() {
     assert_eq!(cancelled[0].0, 5);
 }
 
+#[test]
+fn timeout_mutant_dumps_an_incident_bundle() {
+    let dir = temp_path("incident-bundles");
+    let expected = dir.join("timeout-gpr-5-31-stuck-1.json");
+    let _ = std::fs::remove_file(&expected);
+
+    let mut c = campaign(SUM_PROGRAM, &CampaignConfig::new());
+    c.set_trace_dir(&dir);
+    // A stuck countdown high bit never reaches zero: Timeout, which is
+    // an incident class — the runner must drop a forensic bundle named
+    // after the FaultSpec's checkpoint spelling.
+    let spec = FaultSpec {
+        target: FaultTarget::GprBit {
+            reg: Gpr::new(5).unwrap(),
+            bit: 31,
+        },
+        kind: FaultKind::StuckAt { value: true },
+    };
+    let report = c.run_all(std::slice::from_ref(&spec));
+    assert_eq!(report.results()[0].outcome, FaultOutcome::Timeout);
+
+    let bundle = std::fs::read_to_string(&expected).expect("bundle written");
+    assert!(bundle.contains("\"incident\":\"timeout\""));
+    assert!(
+        bundle.contains(&format!("\"display\":\"{spec}\"")),
+        "bundle names the fault spec: {bundle}"
+    );
+    // Forensics arms a flight recorder on every worker VP, so the
+    // bundle carries the execution tail leading into the incident.
+    assert!(bundle.contains("\"flight\":{\"blocks\":"));
+    assert!(bundle.contains("\"ev\":\"block\""));
+    assert!(bundle.contains("\"state\":{\"pc\":"));
+}
+
 // ------------------------------------------------- checkpoint / resume
 
 #[test]

@@ -16,6 +16,10 @@
 //! - [`ProfilePlugin`] — a VP [`Plugin`](s4e_vp::Plugin) that counts block
 //!   executions, per-kind instruction retirement, memory/device traffic
 //!   and traps, and renders a hot-block table.
+//! - [`Tracer`]/[`TraceRing`] — bounded per-thread span/event rings
+//!   merged into one Chrome `trace_event` timeline
+//!   ([`to_chrome_json`]), so a whole sharded campaign — supervisor,
+//!   workers, VP incidents — is inspectable in Perfetto.
 //!
 //! # Examples
 //!
@@ -42,12 +46,16 @@ mod json;
 mod metrics;
 mod profile;
 mod snapshot;
+mod trace;
 
 pub use metrics::{
     bucket_index, bucket_upper, Counter, Gauge, Histogram, MetricsRegistry, NUM_BUCKETS,
 };
 pub use profile::{HotBlock, ProfilePlugin};
 pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot, SnapshotParseError};
+pub use trace::{
+    from_chrome_json, merge_events, to_chrome_json, TraceEvent, TraceParseError, TraceRing, Tracer,
+};
 
 pub mod names {
     //! The metric naming scheme shared by every instrumented subsystem.
@@ -154,6 +162,93 @@ pub mod names {
     pub const QTA_SLACK: &str = "qta_slack_cycles";
     /// Block entries whose observed cycles exceeded the static WCET.
     pub const QTA_OVERRUNS: &str = "qta_overruns";
+
+    /// The `# HELP` text for a metric name, when the name belongs to one
+    /// of the ecosystem's known families (exact names first, then the
+    /// generated-name prefixes). [`Snapshot::to_text`](crate::Snapshot::to_text)
+    /// emits the returned line ahead of the metric's `# TYPE`; unknown
+    /// names get no `# HELP` line, which scrapers accept.
+    pub fn help_for(name: &str) -> Option<&'static str> {
+        let exact = match name {
+            INSN_RETIRED => "Instructions observed by the profiler (retired, plus trapped).",
+            BLOCKS_TRANSLATED => "Basic blocks translated into the block cache.",
+            BLOCK_EXECS => "Basic-block entries (all blocks).",
+            MEM_READS => "RAM loads observed.",
+            MEM_WRITES => "RAM stores observed.",
+            DEV_READS => "Device loads observed.",
+            DEV_WRITES => "Device stores observed.",
+            TRAPS => "Traps taken (exceptions and interrupts).",
+            QTA_SLACK => "Per-block-entry slack (static WCET minus observed cycles).",
+            QTA_OVERRUNS => "Block entries whose observed cycles exceeded the static WCET.",
+            "campaign_total" => "Mutants queued for the sweep.",
+            "campaign_done" => "Mutants classified so far.",
+            "campaign_resumed" => "Mutants skipped because a checkpoint already held them.",
+            "campaign_workers" => "Worker threads dispatching mutants.",
+            "campaign_workers_exited" => "Worker threads that finished their queue.",
+            "campaign_shards" => "Worker processes of the sharded campaign.",
+            "campaign_shards_done" => "Shard ranges fully classified.",
+            "campaign_shard_crashes" => "Shard worker processes that died and were reaped.",
+            "campaign_shard_restarts" => "Shard workers restarted from their checkpoints.",
+            "campaign_shard_bisections" => "Crashing shard ranges split to isolate the culprit.",
+            "campaign_shard_backoff_ms" => "Milliseconds spent backing off before restarts.",
+            "campaign_snapshots_taken" => {
+                "Golden-prefix snapshots taken by the fast-forward cache."
+            }
+            "campaign_dirty_pages_flushed" => "Pages copied while taking prefix snapshots.",
+            "campaign_snapshot_restores" => "Per-mutant restores from a shared prefix snapshot.",
+            "campaign_dirty_pages_restored" => "Pages copied while restoring prefix snapshots.",
+            "campaign_jmp_cache_hits" => "Jump-cache hits in the lowered dispatch loop.",
+            "campaign_jmp_cache_misses" => "Jump-cache misses in the lowered dispatch loop.",
+            "campaign_chain_hits" => "Block-to-block transfers taken without a dispatch lookup.",
+            "campaign_chain_links" => "Chain links patched between translated blocks.",
+            "campaign_fused_lowered" => "Micro-op pairs fused at lowering time.",
+            "campaign_fused_executed" => "Fused micro-ops executed.",
+            "campaign_translations" => "Blocks translated across all mutant executions.",
+            "campaign_warm_translations" => {
+                "Blocks adopted from the shared golden translation set."
+            }
+            "campaign_mem_fast_hits" => "Memory accesses served by the RAM fast path.",
+            "campaign_mem_slow_hits" => "Memory accesses that fell back to the full bus walk.",
+            _ => "",
+        };
+        if !exact.is_empty() {
+            return Some(exact);
+        }
+        if name.starts_with("vp_trap_irq_") {
+            return Some("Interrupts taken with this IRQ number.");
+        }
+        if name.starts_with("vp_trap_cause_") {
+            return Some("Exceptions taken with this mcause value.");
+        }
+        if name.starts_with("vp_class_") {
+            return Some("Instructions retired in this class.");
+        }
+        if name.starts_with("vp_cinsn_") {
+            return Some("Compressed instructions retired with this mnemonic.");
+        }
+        if name.starts_with("vp_insn_") {
+            return Some("Instructions retired with this mnemonic.");
+        }
+        if name.starts_with(BLOCK_PREFIX) && name.ends_with("_execs") {
+            return Some("Entries into this basic block.");
+        }
+        if name.starts_with(BLOCK_PREFIX) && name.ends_with("_insns") {
+            return Some("Instructions attributed to this basic block.");
+        }
+        if name.starts_with("qta_block_") {
+            return Some("Observed cycles per entry of this basic block.");
+        }
+        if name.starts_with("campaign_worker_") {
+            return Some("Mutants claimed by this worker thread (liveness heartbeat).");
+        }
+        if name.starts_with("campaign_outcome_") {
+            return Some("Mutants classified with this outcome.");
+        }
+        if name.starts_with("campaign_quarantined_") {
+            return Some("A quarantined mutant and its forensic bundle path.");
+        }
+        None
+    }
 
     /// Histogram name for a block's observed cycles
     /// (`qta_block_00000100_cycles`).

@@ -110,6 +110,11 @@ pub enum MetricValue {
     Gauge(u64),
     /// A histogram's distribution.
     Histogram(HistogramSnapshot),
+    /// A free-text annotation riding alongside the numeric metrics —
+    /// how a campaign names its quarantined mutants and forensic-bundle
+    /// paths in a `--metrics-out` snapshot. Not a Prometheus sample; the
+    /// text exposition renders the value as a quoted JSON string.
+    Info(String),
 }
 
 impl MetricValue {
@@ -118,6 +123,7 @@ impl MetricValue {
             MetricValue::Counter(_) => "counter",
             MetricValue::Gauge(_) => "gauge",
             MetricValue::Histogram(_) => "histogram",
+            MetricValue::Info(_) => "info",
         }
     }
 }
@@ -253,6 +259,9 @@ impl Snapshot {
                         mine.merge(theirs);
                     }
                 }
+                // An annotation is a statement about this snapshot's own
+                // run; another run's text does not accumulate into it.
+                Some(MetricValue::Info(_)) => {}
             }
         }
     }
@@ -282,6 +291,9 @@ impl Snapshot {
             match value {
                 MetricValue::Counter(n) | MetricValue::Gauge(n) => {
                     let _ = write!(out, ",\"value\":{n}");
+                }
+                MetricValue::Info(s) => {
+                    let _ = write!(out, ",\"value\":\"{}\"", json::escape(s));
                 }
                 MetricValue::Histogram(h) => {
                     let _ = write!(
@@ -332,6 +344,15 @@ impl Snapshot {
             let value = match kind {
                 "counter" => MetricValue::Counter(num("value")?),
                 "gauge" => MetricValue::Gauge(num("value")?),
+                "info" => MetricValue::Info(
+                    fields
+                        .get("value")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| {
+                            SnapshotParseError::new(format!("`{name}` is missing string `value`"))
+                        })?
+                        .to_string(),
+                ),
                 "histogram" => {
                     let raw = fields
                         .get("buckets")
@@ -383,18 +404,26 @@ impl Snapshot {
 
     // ------------------------------------------------------------- text
 
-    /// Serializes in Prometheus-style text exposition: a `# TYPE` line
+    /// Serializes in Prometheus-style text exposition: a `# HELP` line
+    /// for every name the ecosystem's naming scheme knows
+    /// ([`names::help_for`](crate::names::help_for)) and a `# TYPE` line
     /// per metric, cumulative `_bucket{le="…"}` lines for histograms
-    /// (bucket upper bounds), plus `_sum`, `_count` and a non-standard
-    /// `_max` line carrying the exact maximum so the text form
-    /// round-trips.
+    /// (bucket upper bounds, closed by the `+Inf` terminal), plus
+    /// `_sum`, `_count` and a non-standard `_max` line carrying the
+    /// exact maximum so the text form round-trips.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.metrics {
+            if let Some(help) = crate::names::help_for(name) {
+                let _ = writeln!(out, "# HELP {name} {help}");
+            }
             let _ = writeln!(out, "# TYPE {name} {}", value.kind_name());
             match value {
                 MetricValue::Counter(n) | MetricValue::Gauge(n) => {
                     let _ = writeln!(out, "{name} {n}");
+                }
+                MetricValue::Info(s) => {
+                    let _ = writeln!(out, "{name} \"{}\"", json::escape(s));
                 }
                 MetricValue::Histogram(h) => {
                     let mut cumulative = 0u64;
@@ -449,6 +478,18 @@ impl Snapshot {
                 continue;
             }
             if line.starts_with('#') {
+                continue;
+            }
+            if let Some((name, kind)) = current.as_ref().filter(|cur| cur.1 == "info") {
+                let text = line
+                    .strip_prefix(name.as_str())
+                    .and_then(|rest| rest.strip_prefix(' '))
+                    .and_then(|rest| json::parse(rest.trim()))
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .ok_or_else(|| {
+                        SnapshotParseError::new(format!("bad {kind} sample `{line}`"))
+                    })?;
+                metrics.insert(name.clone(), MetricValue::Info(text));
                 continue;
             }
             let (sample, value) = line

@@ -189,12 +189,62 @@ fn text_roundtrip() {
 }
 
 #[test]
+fn help_lines_precede_known_metrics() {
+    let snap = sample_snapshot();
+    let text = snap.to_text();
+    assert!(text.contains("# HELP vp_insn_retired "));
+    assert!(text.contains("# HELP qta_block_00000100_cycles "));
+    // HELP precedes TYPE for the same metric, Prometheus-style.
+    let help = text.find("# HELP vp_insn_retired").unwrap();
+    let ty = text.find("# TYPE vp_insn_retired").unwrap();
+    assert!(help < ty);
+    // Unknown names get no HELP line and still round-trip.
+    assert!(!text.contains("# HELP campaign_inflight"));
+    assert_eq!(Snapshot::from_text(&text).expect("parses back"), snap);
+}
+
+#[test]
+fn info_metrics_roundtrip_both_expositions() {
+    let mut snap = sample_snapshot();
+    snap.insert(
+        "campaign_quarantined_0",
+        MetricValue::Info("gpr a0 bit 31 stuck@1 => traces/quarantined.json".to_string()),
+    );
+    snap.insert(
+        "campaign_quarantined_1",
+        MetricValue::Info("tricky \"quoted\"\nnewline".to_string()),
+    );
+    let json = snap.to_json();
+    assert_eq!(Snapshot::from_json(&json).expect("json parses"), snap);
+    let text = snap.to_text();
+    assert!(text.contains("# TYPE campaign_quarantined_0 info"));
+    assert!(text.contains("# HELP campaign_quarantined_0 "));
+    assert_eq!(Snapshot::from_text(&text).expect("text parses"), snap);
+    // Merging never concatenates annotations: the first value wins.
+    let mut merged = snap.clone();
+    let mut other = Snapshot::new();
+    other.insert("campaign_quarantined_0", MetricValue::Info("x".to_string()));
+    other.insert("campaign_quarantined_9", MetricValue::Info("y".to_string()));
+    merged.merge(&other);
+    assert_eq!(
+        merged.get("campaign_quarantined_0"),
+        snap.get("campaign_quarantined_0")
+    );
+    assert_eq!(
+        merged.get("campaign_quarantined_9"),
+        Some(&MetricValue::Info("y".to_string()))
+    );
+}
+
+#[test]
 fn parsers_reject_malformed_input() {
     assert!(Snapshot::from_json("").is_err());
     assert!(Snapshot::from_json("{\"a\":{\"type\":\"nope\",\"value\":1}}").is_err());
     assert!(Snapshot::from_json("{\"a\":{\"type\":\"counter\"}}").is_err());
+    assert!(Snapshot::from_json("{\"a\":{\"type\":\"info\",\"value\":1}}").is_err());
     assert!(Snapshot::from_text("vp_x 1").is_err()); // sample before TYPE
     assert!(Snapshot::from_text("# TYPE vp_x counter\nvp_x nope").is_err());
+    assert!(Snapshot::from_text("# TYPE vp_x info\nvp_x unquoted").is_err());
 }
 
 #[test]

@@ -1,0 +1,271 @@
+//! The crash flight recorder: a bounded tail of what the VP executed
+//! last.
+//!
+//! When a fault campaign quarantines a mutant or a worker dies, the
+//! question is always "what was the guest *doing*?" — and by then the
+//! VP is gone. The [`FlightRecorder`] answers it the way an aircraft
+//! recorder does: a fixed-size ring of the most recent executed blocks,
+//! traps and device accesses, cheap enough to leave armed for a whole
+//! sweep and dumped into a forensic bundle only when something goes
+//! wrong.
+//!
+//! Unlike the [`Plugin`](crate::Plugin) hook API, the recorder is wired
+//! natively into the dispatch loop behind a single `Option` check:
+//! attaching a plugin disables the RAM fast path (plugins observe every
+//! memory access), but the recorder only cares about block entries,
+//! traps and MMIO — all of which are visible without leaving the
+//! micro-op engine's fast paths. Events are stamped with the retired
+//! instruction count, the campaign's deterministic timeline.
+
+use std::collections::VecDeque;
+
+/// One recorded execution event, stamped with `instret` at the time it
+/// happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FlightEvent {
+    /// A basic block was dispatched.
+    Block {
+        /// Instructions retired when the block was entered.
+        instret: u64,
+        /// The block's start pc.
+        pc: u32,
+    },
+    /// A trap (exception or interrupt) was taken.
+    Trap {
+        /// Instructions retired when the trap was raised.
+        instret: u64,
+        /// The pc the trap was raised at.
+        pc: u32,
+        /// The `mcause` encoding of the trap.
+        mcause: u32,
+    },
+    /// A data access hit a memory-mapped device.
+    Device {
+        /// Instructions retired when the access completed.
+        instret: u64,
+        /// PC of the accessing instruction.
+        pc: u32,
+        /// Effective address.
+        addr: u32,
+        /// Value stored or loaded.
+        value: u32,
+        /// `true` for stores.
+        is_store: bool,
+    },
+}
+
+impl FlightEvent {
+    /// The event's `instret` stamp.
+    pub fn instret(&self) -> u64 {
+        match self {
+            FlightEvent::Block { instret, .. }
+            | FlightEvent::Trap { instret, .. }
+            | FlightEvent::Device { instret, .. } => *instret,
+        }
+    }
+}
+
+/// A bounded ring of the last N [`FlightEvent`]s, owned by one
+/// [`Vp`](crate::Vp). Recording is a discriminant check plus a ring
+/// write; when full, the oldest event is evicted and counted.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    events: VecDeque<FlightEvent>,
+    capacity: usize,
+    evicted: u64,
+    blocks: u64,
+    traps: u64,
+    device_accesses: u64,
+    /// The device name of the most recent `Device` event (kept out of
+    /// the `Copy` event so the ring stays flat); indices parallel
+    /// `events` positions holding `Device` entries.
+    device_names: VecDeque<&'static str>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+            blocks: 0,
+            traps: 0,
+            device_accesses: 0,
+            device_names: VecDeque::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, event: FlightEvent) {
+        if self.events.len() == self.capacity {
+            if let Some(FlightEvent::Device { .. }) = self.events.pop_front() {
+                self.device_names.pop_front();
+            }
+            self.evicted += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Records a block dispatch.
+    #[inline]
+    pub fn record_block(&mut self, instret: u64, pc: u32) {
+        self.blocks += 1;
+        self.push(FlightEvent::Block { instret, pc });
+    }
+
+    /// Records a trap being taken.
+    #[inline]
+    pub fn record_trap(&mut self, instret: u64, pc: u32, mcause: u32) {
+        self.traps += 1;
+        self.push(FlightEvent::Trap {
+            instret,
+            pc,
+            mcause,
+        });
+    }
+
+    /// Records a device (MMIO) access.
+    #[inline]
+    pub fn record_device(
+        &mut self,
+        instret: u64,
+        pc: u32,
+        device: &'static str,
+        addr: u32,
+        value: u32,
+        is_store: bool,
+    ) {
+        self.device_accesses += 1;
+        self.device_names.push_back(device);
+        self.push(FlightEvent::Device {
+            instret,
+            pc,
+            addr,
+            value,
+            is_store,
+        });
+    }
+
+    /// The recorded tail, oldest first, with the device name attached to
+    /// each `Device` event (`None` for blocks and traps).
+    pub fn tail(&self) -> Vec<(FlightEvent, Option<&'static str>)> {
+        let mut names = self.device_names.iter();
+        self.events
+            .iter()
+            .map(|ev| {
+                let name = match ev {
+                    FlightEvent::Device { .. } => names.next().copied(),
+                    _ => None,
+                };
+                (*ev, name)
+            })
+            .collect()
+    }
+
+    /// Events currently held (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted since the last [`clear`](FlightRecorder::clear).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total block dispatches recorded (including evicted ones).
+    pub fn blocks_recorded(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Total traps recorded (including evicted ones).
+    pub fn traps_recorded(&self) -> u64 {
+        self.traps
+    }
+
+    /// Total device accesses recorded (including evicted ones).
+    pub fn device_accesses_recorded(&self) -> u64 {
+        self.device_accesses
+    }
+
+    /// Empties the ring and zeroes every counter — called between
+    /// mutants so a dumped tail never mixes two executions.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.device_names.clear();
+        self.evicted = 0;
+        self.blocks = 0;
+        self.traps = 0;
+        self.device_accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_last_n_events() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..6u64 {
+            fr.record_block(i, 0x100 + i as u32 * 4);
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.evicted(), 3);
+        assert_eq!(fr.blocks_recorded(), 6);
+        let tail = fr.tail();
+        assert_eq!(
+            tail[0].0,
+            FlightEvent::Block {
+                instret: 3,
+                pc: 0x10c
+            }
+        );
+        assert_eq!(
+            tail[2].0,
+            FlightEvent::Block {
+                instret: 5,
+                pc: 0x114
+            }
+        );
+    }
+
+    #[test]
+    fn device_names_survive_eviction() {
+        let mut fr = FlightRecorder::new(2);
+        fr.record_device(1, 0x100, "uart", 0x1000_0000, 0x41, true);
+        fr.record_block(2, 0x104);
+        fr.record_device(3, 0x108, "clint", 0x0200_0000, 7, false);
+        // The uart access was evicted; the clint one must keep its name.
+        let tail = fr.tail();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].1, None);
+        assert_eq!(tail[1].1, Some("clint"));
+        assert_eq!(fr.device_accesses_recorded(), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut fr = FlightRecorder::new(2);
+        fr.record_trap(5, 0x100, 2);
+        fr.record_block(6, 0x104);
+        fr.record_block(7, 0x108);
+        fr.clear();
+        assert!(fr.is_empty());
+        assert_eq!(fr.evicted(), 0);
+        assert_eq!(fr.traps_recorded(), 0);
+        assert_eq!(fr.capacity(), 2);
+    }
+}

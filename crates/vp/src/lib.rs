@@ -31,6 +31,7 @@ mod bus;
 mod cancel;
 mod cpu;
 pub mod dev;
+mod flight;
 mod plugin;
 mod snapshot;
 mod timing;
@@ -41,6 +42,7 @@ mod vp;
 pub use bus::{Bus, BusEvent, BusFault, PAGE_SIZE, RAM_BASE, RAM_SIZE};
 pub use cancel::CancelToken;
 pub use cpu::Cpu;
+pub use flight::{FlightEvent, FlightRecorder};
 pub use plugin::{AsAny, BlockInfo, DeviceAccess, MemAccess, Plugin};
 pub use snapshot::VpSnapshot;
 pub use timing::TimingModel;

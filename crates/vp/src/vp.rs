@@ -7,6 +7,7 @@ use crate::cpu::Cpu;
 use crate::dev::{
     Clint, Syscon, Uart, CLINT_BASE, CLINT_SIZE, SYSCON_BASE, SYSCON_SIZE, UART_BASE, UART_SIZE,
 };
+use crate::flight::FlightRecorder;
 use crate::plugin::{BlockInfo, DeviceAccess, MemAccess, Plugin};
 use crate::snapshot::{zero_page, VpSnapshot};
 use crate::timing::TimingModel;
@@ -463,6 +464,7 @@ impl VpBuilder {
             mip_poll_at: 0,
             sync_pages: vec![zero_page(); pages],
             stats: DispatchStats::default(),
+            flight: None,
         }
     }
 }
@@ -560,6 +562,12 @@ pub struct Vp {
     /// object than this VP last synchronized with.
     sync_pages: Vec<Arc<[u8]>>,
     stats: DispatchStats,
+    /// The crash flight recorder, when armed: a bounded tail of executed
+    /// blocks, traps and device accesses, recorded natively (one
+    /// `Option` discriminant check per event when disarmed) so arming it
+    /// does not disable the micro-op engine or the RAM fast path the way
+    /// a plugin would.
+    flight: Option<FlightRecorder>,
 }
 
 enum Step {
@@ -618,6 +626,30 @@ impl Vp {
     /// The timing model in force.
     pub fn timing(&self) -> &TimingModel {
         &self.timing
+    }
+
+    /// Arms (or with `None`, disarms) the crash flight recorder. Unlike
+    /// a [`Plugin`], an armed recorder keeps the micro-op engine and the
+    /// RAM fast path active: it only observes block dispatches, traps
+    /// and device accesses, all visible off the fast paths.
+    pub fn set_flight_recorder(&mut self, recorder: Option<FlightRecorder>) {
+        self.flight = recorder;
+    }
+
+    /// The armed flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Mutable access to the armed flight recorder (clearing between
+    /// mutants).
+    pub fn flight_recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
+    }
+
+    /// Disarms and returns the flight recorder.
+    pub fn take_flight_recorder(&mut self) -> Option<FlightRecorder> {
+        self.flight.take()
     }
 
     /// Attaches an instrumentation plugin.
@@ -915,6 +947,9 @@ impl Vp {
                 },
             };
             pending_link = None;
+            if let Some(flight) = &mut self.flight {
+                flight.record_block(self.cpu.instret(), self.cpu.pc());
+            }
             if !self.plugins.is_empty() {
                 let pc = self.cpu.pc();
                 for p in &mut self.plugins {
@@ -1548,6 +1583,9 @@ impl Vp {
 
     /// Takes a trap; returns the fatal outcome if no vector is installed.
     fn raise(&mut self, trap: Trap) -> Option<RunOutcome> {
+        if let Some(flight) = &mut self.flight {
+            flight.record_trap(self.cpu.instret(), self.cpu.pc(), trap.mcause());
+        }
         if !self.plugins.is_empty() {
             for p in &mut self.plugins {
                 p.on_trap(&self.cpu, &trap);
@@ -1813,10 +1851,13 @@ impl Vp {
     }
 
     fn observe_access(&mut self, pc: u32, addr: u32, size: u8, value: u32, is_store: bool) {
-        if self.plugins.is_empty() {
+        if self.plugins.is_empty() && self.flight.is_none() {
             return;
         }
         if let Some(device) = self.bus.device_name_at(addr) {
+            if let Some(flight) = &mut self.flight {
+                flight.record_device(self.cpu.instret(), pc, device, addr, value, is_store);
+            }
             let access = DeviceAccess {
                 device,
                 pc,

@@ -1,0 +1,151 @@
+//! Flight-recorder integration: the recorder rides the native dispatch
+//! loop (not the plugin hooks), so it must capture blocks, traps and
+//! device accesses from a live run without disturbing execution, and its
+//! tail must survive the snapshot/restore cycle a fault campaign puts a
+//! worker VP through.
+
+use s4e_asm::assemble;
+use s4e_isa::{Gpr, IsaConfig};
+use s4e_vp::{FlightEvent, FlightRecorder, RunOutcome, Vp};
+
+fn load_src(vp: &mut Vp, src: &str) {
+    let img = assemble(src).expect("assembles");
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+}
+
+const MIXED_TRAFFIC: &str = r#"
+    .equ UART, 0x10000000
+    la t0, handler
+    csrw mtvec, t0
+    li t0, UART
+    li t1, 65
+    sw t1, 0(t0)        # device store ('A' to uart txdata)
+    ecall               # trap to handler
+    after:
+    li t2, 3
+    loop: addi t3, t3, 1
+    blt t3, t2, loop
+    ebreak
+
+    handler:
+    csrr t4, mepc
+    addi t4, t4, 4
+    csrw mepc, t4
+    mret
+"#;
+
+#[test]
+fn recorder_captures_blocks_traps_and_devices() {
+    let mut vp = Vp::new(IsaConfig::rv32imc());
+    load_src(&mut vp, MIXED_TRAFFIC);
+    vp.set_flight_recorder(Some(FlightRecorder::new(64)));
+    assert_eq!(vp.run(), RunOutcome::Break);
+
+    let recorder = vp.flight_recorder().expect("still armed");
+    assert!(recorder.blocks_recorded() > 0, "blocks recorded");
+    assert_eq!(recorder.traps_recorded(), 1, "one ecall trap");
+    assert_eq!(recorder.device_accesses_recorded(), 1, "one uart store");
+
+    let tail = recorder.tail();
+    let trap = tail
+        .iter()
+        .find_map(|(ev, _)| match ev {
+            FlightEvent::Trap { mcause, .. } => Some(*mcause),
+            _ => None,
+        })
+        .expect("trap in tail");
+    assert_eq!(trap, 11, "ecall from M-mode");
+    let (addr, value, is_store, device) = tail
+        .iter()
+        .find_map(|(ev, name)| match ev {
+            FlightEvent::Device {
+                addr,
+                value,
+                is_store,
+                ..
+            } => Some((*addr, *value, *is_store, *name)),
+            _ => None,
+        })
+        .expect("device access in tail");
+    assert_eq!(addr, 0x1000_0000);
+    assert_eq!(value, 65);
+    assert!(is_store);
+    assert_eq!(device, Some("uart"));
+    // Event instret stamps are monotonically non-decreasing: the tail
+    // reads as a timeline.
+    let stamps: Vec<u64> = tail.iter().map(|(ev, _)| ev.instret()).collect();
+    let mut sorted = stamps.clone();
+    sorted.sort_unstable();
+    assert_eq!(stamps, sorted);
+}
+
+#[test]
+fn recorder_does_not_perturb_execution() {
+    let run = |recorder: Option<FlightRecorder>| {
+        let mut vp = Vp::new(IsaConfig::rv32imc());
+        load_src(&mut vp, MIXED_TRAFFIC);
+        vp.set_flight_recorder(recorder);
+        let outcome = vp.run();
+        let t3 = vp.cpu().gpr(Gpr::new(28).unwrap());
+        (outcome, t3, vp.cpu().instret())
+    };
+    let bare = run(None);
+    let armed = run(Some(FlightRecorder::new(8)));
+    assert_eq!(bare, armed, "architectural results identical");
+}
+
+#[test]
+fn recorder_survives_snapshot_restore() {
+    let mut vp = Vp::new(IsaConfig::rv32imc());
+    load_src(&mut vp, MIXED_TRAFFIC);
+    let snapshot = vp.snapshot();
+    vp.set_flight_recorder(Some(FlightRecorder::new(64)));
+    assert_eq!(vp.run(), RunOutcome::Break);
+    let first_blocks = vp.flight_recorder().unwrap().blocks_recorded();
+    assert!(first_blocks > 0);
+
+    // The campaign's per-mutant cycle: restore architectural state,
+    // clear the ring, run again. The recorder stays armed — it is
+    // harness state, not guest state — and records the second run from
+    // scratch.
+    vp.restore(&snapshot);
+    vp.flight_recorder_mut().unwrap().clear();
+    assert!(vp.flight_recorder().unwrap().is_empty());
+    assert_eq!(vp.run(), RunOutcome::Break);
+    assert_eq!(
+        vp.flight_recorder().unwrap().blocks_recorded(),
+        first_blocks,
+        "identical rerun records the identical block tail"
+    );
+
+    let taken = vp.take_flight_recorder().expect("take disarms");
+    assert!(vp.flight_recorder().is_none());
+    assert_eq!(taken.blocks_recorded(), first_blocks);
+}
+
+#[test]
+fn bounded_ring_keeps_only_the_newest_tail() {
+    let src = r#"
+        li t0, 50
+        loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    "#;
+    let mut vp = Vp::new(IsaConfig::rv32imc());
+    load_src(&mut vp, src);
+    vp.set_flight_recorder(Some(FlightRecorder::new(4)));
+    assert_eq!(vp.run(), RunOutcome::Break);
+    let recorder = vp.flight_recorder().unwrap();
+    assert_eq!(recorder.len(), 4, "ring holds exactly its capacity");
+    assert!(recorder.evicted() > 0, "older events were evicted");
+    let tail = recorder.tail();
+    // The newest event the ring kept is the final block entered.
+    let last = tail.last().unwrap().0.instret();
+    assert!(
+        recorder.blocks_recorded() >= 50,
+        "every loop iteration entered a block"
+    );
+    assert!(last <= vp.cpu().instret());
+}

@@ -6,9 +6,20 @@
 
 use crate::prelude::*;
 use s4e_cfg::{program_to_dot, program_to_dot_annotated};
+use s4e_obs::{from_chrome_json, merge_events, to_chrome_json, MetricValue, TraceRing, Tracer};
 use s4e_vp::dev::{Syscon, Uart};
+use s4e_vp::{FlightEvent, FlightRecorder};
 use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// Per-thread trace-ring capacity for `--trace-out`: events beyond it
+/// degrade to a sliding window instead of unbounded memory.
+const TRACE_RING_CAPACITY: usize = 1 << 16;
+
+/// Flight-recorder depth for interactive `run`/`profile` traces (the
+/// campaign's per-mutant forensics use the smaller
+/// [`s4e_faultsim::FLIGHT_RECORDER_CAPACITY`]).
+const RUN_FLIGHT_CAPACITY: usize = 1024;
 
 /// A CLI usage or execution error, with the message shown to the user
 /// and the process exit code it maps to.
@@ -117,6 +128,12 @@ OPTIONS:
                                                  this long (campaign) [30000]
     --max-insns <n>                              execution budget [100000000]
     --metrics-out <path>                         write a metrics snapshot as JSON (run/profile/qta/campaign)
+    --trace-out <path>                           write a Chrome trace_event JSON timeline of the
+                                                 run, loadable in Perfetto (run/profile/campaign)
+    --trace-dir <dir>                            write per-incident forensic bundles (FaultSpec,
+                                                 flight-recorder tail, final arch state) on
+                                                 timeouts, hangs, harness errors and quarantines
+                                                 (campaign)
     --reference-dispatch                         per-insn reference interpreter: disables the block
                                                  cache, the lowered micro-op engine and the RAM fast
                                                  path (run/profile/campaign)
@@ -153,6 +170,8 @@ struct Options {
     emit_tcfg: Option<String>,
     tcfg: Option<String>,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
+    trace_dir: Option<String>,
     progress: bool,
     dot_out: Option<String>,
     top: usize,
@@ -191,6 +210,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         emit_tcfg: None,
         tcfg: None,
         metrics_out: None,
+        trace_out: None,
+        trace_dir: None,
         progress: false,
         dot_out: None,
         top: 10,
@@ -300,6 +321,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .map_err(|_| CliError::new("bad --max-insns value"))?;
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-dir" => opts.trace_dir = Some(value("--trace-dir")?),
             "--reference-dispatch" => opts.reference_dispatch = true,
             "--no-share-translations" => opts.share_translations = false,
             "--progress" => opts.progress = true,
@@ -375,6 +398,91 @@ fn write_metrics(path: &str, snapshot: &Snapshot, out: &mut String) -> Result<()
         .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
     let _ = writeln!(out, "metrics written to {path}");
     Ok(())
+}
+
+fn write_trace(
+    path: &str,
+    events: &[s4e_obs::TraceEvent],
+    out: &mut String,
+) -> Result<(), CliError> {
+    s4e_faultsim::atomic_write_file(path, to_chrome_json(events).as_bytes())
+        .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
+    let _ = writeln!(out, "trace written to {path} ({} events)", events.len());
+    Ok(())
+}
+
+/// Projects the flight-recorder tail of a finished `run`/`profile` VP
+/// onto its wall-clock trace span: the recorder stamps events with
+/// `instret`, so each timestamp interpolates the `[start_us, end_us]`
+/// window by retired-instruction fraction — ordering is exact, spacing
+/// is approximate.
+fn trace_flight_tail(ring: &mut TraceRing, vp: &mut Vp, start_us: u64, end_us: u64) {
+    let Some(recorder) = vp.take_flight_recorder() else {
+        return;
+    };
+    let total = vp.cpu().instret().max(1);
+    let window = end_us.saturating_sub(start_us);
+    for (event, device) in recorder.tail() {
+        let ts = start_us + ((window as u128 * event.instret() as u128) / total as u128) as u64;
+        match event {
+            FlightEvent::Block { instret, pc } => ring.instant_at(
+                "block",
+                "flight",
+                ts,
+                &[
+                    ("instret", instret.to_string()),
+                    ("pc", format!("{pc:#010x}")),
+                ],
+            ),
+            FlightEvent::Trap {
+                instret,
+                pc,
+                mcause,
+            } => ring.instant_at(
+                "trap",
+                "flight",
+                ts,
+                &[
+                    ("instret", instret.to_string()),
+                    ("mcause", format!("{mcause:#x}")),
+                    ("pc", format!("{pc:#010x}")),
+                ],
+            ),
+            FlightEvent::Device {
+                instret,
+                pc,
+                addr,
+                value,
+                is_store,
+            } => ring.instant_at(
+                "device",
+                "flight",
+                ts,
+                &[
+                    ("addr", format!("{addr:#010x}")),
+                    ("device", device.unwrap_or("?").to_string()),
+                    ("instret", instret.to_string()),
+                    ("op", if is_store { "store" } else { "load" }.to_string()),
+                    ("pc", format!("{pc:#010x}")),
+                    ("value", format!("{value:#x}")),
+                ],
+            ),
+        }
+    }
+    ring.instant_at(
+        "flight_summary",
+        "flight",
+        end_us,
+        &[
+            ("blocks", recorder.blocks_recorded().to_string()),
+            (
+                "device_accesses",
+                recorder.device_accesses_recorded().to_string(),
+            ),
+            ("evicted", recorder.evicted().to_string()),
+            ("traps", recorder.traps_recorded().to_string()),
+        ],
+    );
 }
 
 /// A background stderr ticker for a live VP run: while the simulation
@@ -510,6 +618,9 @@ fn run_command_inner(
             if opts.metrics_out.is_some() || opts.progress {
                 vp.add_plugin(Box::new(ProfilePlugin::new()));
             }
+            if opts.trace_out.is_some() {
+                vp.set_flight_recorder(Some(FlightRecorder::new(RUN_FLIGHT_CAPACITY)));
+            }
             let ticker = if opts.progress {
                 let registry = vp
                     .plugin::<ProfilePlugin>()
@@ -519,6 +630,11 @@ fn run_command_inner(
             } else {
                 None
             };
+            let mut ring = opts
+                .trace_out
+                .as_ref()
+                .map(|_| TraceRing::new(TRACE_RING_CAPACITY));
+            let run_start = ring.as_ref().map(TraceRing::now_us);
             let outcome = vp.run_for(opts.max_insns);
             drop(ticker);
             let _ = writeln!(out, "outcome : {outcome:?}");
@@ -543,6 +659,23 @@ fn run_command_inner(
                     .expect("attached above")
                     .snapshot();
                 write_metrics(path, &snap, &mut out)?;
+            }
+            if let (Some(mut ring), Some(start), Some(path)) =
+                (ring.take(), run_start, &opts.trace_out)
+            {
+                let end = ring.now_us();
+                trace_flight_tail(&mut ring, &mut vp, start, end);
+                ring.span_at(
+                    "run",
+                    "vp",
+                    start,
+                    end,
+                    &[
+                        ("insns", vp.cpu().instret().to_string()),
+                        ("outcome", format!("{outcome:?}")),
+                    ],
+                );
+                write_trace(path, &merge_events(vec![ring.drain()]), &mut out)?;
             }
         }
         "disasm" => {
@@ -654,6 +787,9 @@ fn run_command_inner(
             crate::boot(&mut vp, &image)
                 .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
             vp.add_plugin(Box::new(ProfilePlugin::new()));
+            if opts.trace_out.is_some() {
+                vp.set_flight_recorder(Some(FlightRecorder::new(RUN_FLIGHT_CAPACITY)));
+            }
             let ticker = if opts.progress {
                 let registry = vp
                     .plugin::<ProfilePlugin>()
@@ -663,6 +799,11 @@ fn run_command_inner(
             } else {
                 None
             };
+            let mut ring = opts
+                .trace_out
+                .as_ref()
+                .map(|_| TraceRing::new(TRACE_RING_CAPACITY));
+            let run_start = ring.as_ref().map(TraceRing::now_us);
             let outcome = vp.run_for(opts.max_insns);
             drop(ticker);
             let instret = vp.cpu().instret();
@@ -701,6 +842,23 @@ fn run_command_inner(
             if let Some(path) = &opts.metrics_out {
                 write_metrics(path, &snap, &mut out)?;
             }
+            if let (Some(mut ring), Some(start), Some(path)) =
+                (ring.take(), run_start, &opts.trace_out)
+            {
+                let end = ring.now_us();
+                trace_flight_tail(&mut ring, &mut vp, start, end);
+                ring.span_at(
+                    "profile",
+                    "vp",
+                    start,
+                    end,
+                    &[
+                        ("insns", instret.to_string()),
+                        ("outcome", format!("{outcome:?}")),
+                    ],
+                );
+                write_trace(path, &merge_events(vec![ring.drain()]), &mut out)?;
+            }
         }
         "faults" | "campaign" => {
             if opts.resume && opts.checkpoint.is_none() {
@@ -733,6 +891,16 @@ fn run_command_inner(
             } else {
                 None
             };
+            let tracer = opts
+                .trace_out
+                .as_ref()
+                .map(|_| Arc::new(Tracer::new(TRACE_RING_CAPACITY)));
+            if let Some(t) = &tracer {
+                campaign.set_tracer(Arc::clone(t));
+            }
+            if let Some(dir) = &opts.trace_dir {
+                campaign.set_trace_dir(dir);
+            }
             let gen = GeneratorConfig {
                 stuck_per_gpr: opts.mutants,
                 transient_per_gpr: opts.mutants,
@@ -777,6 +945,11 @@ fn run_command_inner(
                     range.end,
                     report.total()
                 );
+                // Flush this worker's trace chunk; the supervisor merges
+                // every shard's chunk into the sweep timeline.
+                if let (Some(tracer), Some(path)) = (&tracer, &opts.trace_out) {
+                    write_trace(path, &tracer.drain(), &mut out)?;
+                }
                 return Ok(CliOutcome::clean(out));
             }
 
@@ -819,11 +992,26 @@ fn run_command_inner(
                         .arg("--checkpoint")
                         .arg(&req.checkpoint)
                         .stdout(std::process::Stdio::null());
+                    if opts.trace_out.is_some() {
+                        // Each worker streams its trace chunk next to its
+                        // checkpoint; the supervisor merges the chunks.
+                        cmd.arg("--trace-out")
+                            .arg(req.checkpoint.with_extension("trace.json"));
+                    }
+                    if let Some(dir) = &opts.trace_dir {
+                        cmd.arg("--trace-dir").arg(dir);
+                    }
                     cmd
                 });
                 let mut supervisor = supervisor;
                 if let Some(p) = &progress {
                     supervisor.set_progress(Arc::clone(p));
+                }
+                if let Some(t) = &tracer {
+                    supervisor.set_tracer(Arc::clone(t));
+                }
+                if let Some(dir) = &opts.trace_dir {
+                    supervisor.set_trace_dir(dir);
                 }
                 s4e_faultsim::install_interrupt_handler();
                 let flag = s4e_faultsim::interrupt_flag();
@@ -847,12 +1035,42 @@ fn run_command_inner(
                 } else if !sharded.quarantined.is_empty() {
                     code = EXIT_QUARANTINED;
                 }
+                // Merge the supervisor's own lane with every shard chunk
+                // that survived (a worker killed mid-range never flushes
+                // its chunk; its classified results still made the
+                // checkpoint, so only its spans are lost).
+                if let (Some(tracer), Some(path)) = (&tracer, &opts.trace_out) {
+                    let mut chunks = vec![tracer.drain()];
+                    let mut skipped = 0usize;
+                    if let Ok(entries) = std::fs::read_dir(&shard_dir) {
+                        let mut chunk_paths: Vec<std::path::PathBuf> = entries
+                            .flatten()
+                            .map(|e| e.path())
+                            .filter(|p| p.to_string_lossy().ends_with(".trace.json"))
+                            .collect();
+                        chunk_paths.sort();
+                        for chunk in chunk_paths {
+                            match std::fs::read_to_string(&chunk)
+                                .ok()
+                                .and_then(|text| from_chrome_json(&text).ok())
+                            {
+                                Some(events) => chunks.push(events),
+                                None => skipped += 1,
+                            }
+                        }
+                    }
+                    if skipped > 0 {
+                        let _ = writeln!(out, "trace: {skipped} shard chunk(s) unreadable");
+                    }
+                    write_trace(path, &merge_events(chunks), &mut out)?;
+                }
                 report = sharded.report;
                 sharded_summary = Some((
                     sharded.crashes,
                     sharded.restarts,
                     sharded.bisections,
                     sharded.quarantined,
+                    sharded.quarantine_bundles,
                     sharded.interrupted,
                 ));
             } else {
@@ -874,21 +1092,40 @@ fn run_command_inner(
                     None => campaign.run_all(&mutants),
                 };
                 drop(ticker);
+                if let (Some(tracer), Some(path)) = (&tracer, &opts.trace_out) {
+                    write_trace(path, &tracer.drain(), &mut out)?;
+                }
             }
             out.push_str(&report.summary_table());
             if let Some(path) = &opts.checkpoint {
                 let _ = writeln!(out, "checkpoint: {path}");
             }
-            if let Some((crashes, restarts, bisections, quarantined, interrupted)) = sharded_summary
+            if let Some(dir) = &opts.trace_dir {
+                let _ = writeln!(out, "forensics: incident bundles in {dir}");
+            }
+            if let Some((crashes, restarts, bisections, quarantined, bundles, interrupted)) =
+                &sharded_summary
             {
                 let _ = writeln!(
                     out,
                     "shards: {crashes} crashes, {restarts} restarts, {bisections} bisections"
                 );
-                for spec in &quarantined {
-                    let _ = writeln!(out, "quarantined: {spec}");
+                // Bundle paths pair with quarantined specs positionally;
+                // a failed bundle write breaks the pairing, so only a
+                // complete set is attributed per-spec.
+                let paired = bundles.len() == quarantined.len();
+                for (i, spec) in quarantined.iter().enumerate() {
+                    match bundles.get(i).filter(|_| paired) {
+                        Some(path) => {
+                            let _ =
+                                writeln!(out, "quarantined: {spec} (bundle: {})", path.display());
+                        }
+                        None => {
+                            let _ = writeln!(out, "quarantined: {spec}");
+                        }
+                    }
                 }
-                if interrupted {
+                if *interrupted {
                     let _ = writeln!(out, "interrupted: partial results checkpointed");
                 }
             }
@@ -909,7 +1146,24 @@ fn run_command_inner(
                 let _ = writeln!(out, "{}", suspects.join("\n"));
             }
             if let (Some(progress), Some(path)) = (&progress, &opts.metrics_out) {
-                write_metrics(path, &progress.snapshot(), &mut out)?;
+                let mut snap = progress.snapshot();
+                // The quarantine listing rides in the snapshot as info
+                // annotations, one per quarantined FaultSpec, with the
+                // forensic bundle path when one was written.
+                if let Some((_, _, _, quarantined, bundles, _)) = &sharded_summary {
+                    let paired = bundles.len() == quarantined.len();
+                    for (i, spec) in quarantined.iter().enumerate() {
+                        let value = match bundles.get(i).filter(|_| paired) {
+                            Some(bundle) => format!("{spec} => {}", bundle.display()),
+                            None => spec.to_string(),
+                        };
+                        snap.insert(
+                            format!("campaign_quarantined_{i}"),
+                            MetricValue::Info(value),
+                        );
+                    }
+                }
+                write_metrics(path, &snap, &mut out)?;
             }
         }
         other => {

@@ -215,7 +215,7 @@ fn interrupted_campaign_flushes_checkpoint_and_exits_130() {
     // The worker hangs after 2 classifications (the default 30 s stall
     // watchdog won't fire); once its records land we SIGTERM the
     // supervisor and expect a graceful 130 with partial results flushed.
-    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_s4e"))
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_s4e"))
         .arg("campaign")
         .arg(&prog)
         .args(["--mutants", "1", "--isa", "rv32imc"])
@@ -366,6 +366,109 @@ fn qta_metrics_out_has_timing_histograms() {
     let snap = scale4edge::obs::Snapshot::from_json(&json).expect("parseable metrics JSON");
     assert!(snap.histogram("qta_slack_cycles").is_some(), "{json}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_trace_out_emits_parseable_chrome_trace() {
+    let dir = std::env::temp_dir().join("s4e_cli_run_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("run.trace.json");
+    let out = run_command(
+        "run",
+        LOOP_PROGRAM,
+        &["--trace-out", trace.to_str().unwrap()],
+    )
+    .expect("runs");
+    assert!(out.contains("trace written"), "{out}");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let events = scale4edge::obs::from_chrome_json(&json).expect("parseable Chrome trace");
+    // One top-level run span plus the flight-recorder tail projected
+    // into it (block instants at minimum).
+    let run_span = events
+        .iter()
+        .find(|e| e.name == "run" && e.ph == 'X')
+        .expect("run span present");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "block" && e.cat == "flight"),
+        "{json}"
+    );
+    let summary = events
+        .iter()
+        .find(|e| e.name == "flight_summary")
+        .expect("flight summary instant");
+    assert!(summary.ts_us >= run_span.ts_us, "tail inside the run span");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_trace_out_spans_every_mutant() {
+    let dir = std::env::temp_dir().join("s4e_cli_campaign_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("campaign.trace.json");
+    let out = run_command(
+        "campaign",
+        "li a0, 1\nli a1, 2\nadd a0, a0, a1\nla t0, d\nsw a0, 0(t0)\nebreak\nd: .word 0",
+        &[
+            "--mutants",
+            "1",
+            "--isa",
+            "rv32imc",
+            "--threads",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ],
+    )
+    .expect("campaign");
+    assert!(out.contains("trace written"), "{out}");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let events = scale4edge::obs::from_chrome_json(&json).expect("parseable Chrome trace");
+    let sweep = events
+        .iter()
+        .find(|e| e.name == "sweep" && e.ph == 'X')
+        .expect("sweep span present");
+    let mutants: Vec<_> = events.iter().filter(|e| e.name == "mutant").collect();
+    assert!(!mutants.is_empty(), "per-mutant spans recorded");
+    // Every mutant span nests inside the sweep span's window.
+    for m in &mutants {
+        assert!(m.ts_us >= sweep.ts_us, "{json}");
+        assert!(m.ts_us + m.dur_us <= sweep.ts_us + sweep.dur_us, "{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_campaign_merges_worker_trace_chunks() {
+    let dir = cli_test_dir("sharded-trace");
+    let prog = dir.join("prog.s");
+    std::fs::write(&prog, CAMPAIGN_PROGRAM).expect("program");
+    let ckpt = dir.join("t.jsonl");
+    let trace = dir.join("sweep.trace.json");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_s4e"))
+        .arg("campaign")
+        .arg(&prog)
+        .args(["--mutants", "1", "--isa", "rv32imc"])
+        .args(["--shards", "2"])
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
+        .args(["--trace-out", trace.to_str().unwrap()])
+        .output()
+        .expect("s4e runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "{stdout}");
+    let json = std::fs::read_to_string(&trace).expect("merged trace");
+    let events = scale4edge::obs::from_chrome_json(&json).expect("parseable Chrome trace");
+    // The supervisor's lane plus one lane per shard worker process.
+    let mut pids: Vec<u64> = events.iter().map(|e| e.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert!(pids.len() >= 3, "supervisor + 2 shard lanes: {pids:?}");
+    assert!(events.iter().any(|e| e.name == "sharded_sweep"), "{json}");
+    assert!(events.iter().any(|e| e.name == "shard_attempt"), "{json}");
+    assert!(events.iter().any(|e| e.name == "mutant"), "{json}");
+    // Merged output is globally ordered by timestamp.
+    assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
 }
 
 #[test]

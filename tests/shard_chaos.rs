@@ -224,3 +224,53 @@ fn chaos_progress_counters_reach_the_metrics_snapshot() {
     );
     assert_eq!(snap.gauge("campaign_shards"), Some(2), "{json}");
 }
+
+#[test]
+fn quarantined_mutant_leaves_a_forensic_bundle() {
+    let dir = temp_dir("quarantine-bundle");
+    let prog = write_program(&dir);
+    let ckpt = dir.join("q.jsonl");
+    let traces = dir.join("traces");
+    // Mutant 5 deterministically aborts every attempt: the supervisor
+    // bisects down to it, quarantines it, and — with a trace dir armed —
+    // must leave an incident bundle naming the FaultSpec.
+    let (code, out) = s4e_campaign(
+        &prog,
+        &[
+            "--shards",
+            "2",
+            "--max-retries",
+            "2",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--trace-dir",
+            traces.to_str().unwrap(),
+        ],
+        &[("S4E_CHAOS_CRASH_AT", "5")],
+    );
+    assert_eq!(code, 2, "quarantine exit code:\n{out}");
+    let bundles: Vec<PathBuf> = std::fs::read_dir(&traces)
+        .expect("trace dir created")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("quarantined-") && n.ends_with(".json"))
+        })
+        .collect();
+    assert_eq!(bundles.len(), 1, "one quarantine bundle: {bundles:?}");
+    let text = std::fs::read_to_string(&bundles[0]).expect("bundle readable");
+    assert!(text.contains("\"incident\":\"quarantined\""), "{text}");
+    assert!(text.contains("\"spec\":{"), "bundle names the spec: {text}");
+    // The attempt history records the supervision chain that convicted
+    // the mutant: crash, backoff/restart, bisection.
+    assert!(text.contains("\"attempts\":["), "{text}");
+    assert!(text.contains("bisect"), "{text}");
+    // The summary points the operator at the bundle.
+    assert!(out.contains("quarantined:"), "{out}");
+    assert!(
+        out.contains(bundles[0].file_name().unwrap().to_str().unwrap()),
+        "summary links the bundle:\n{out}"
+    );
+}
