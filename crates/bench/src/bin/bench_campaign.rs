@@ -32,9 +32,13 @@
 use s4e_asm::Image;
 use s4e_bench::build;
 use s4e_bench::kernels::{matmul, memcpy_checksum, state_machine};
-use s4e_faultsim::{Campaign, CampaignConfig, FaultKind, FaultSpec, FaultTarget};
+use s4e_faultsim::{
+    generate_mutants, Campaign, CampaignConfig, CampaignProgress, FaultKind, FaultSpec,
+    FaultTarget, GeneratorConfig,
+};
 use s4e_isa::{Gpr, IsaConfig};
 use s4e_vp::{DispatchStats, FlightRecorder, RunOutcome, Vp};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The current git revision, or `"unknown"` outside a work tree.
@@ -69,13 +73,17 @@ fn main() {
     // milliseconds: long enough for stable wall-clock ratios now that
     // the micro-op engine has cut per-mutant simulation time.
     let image = build(&matmul(16).source, isa);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get().min(4))
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
         .unwrap_or(1);
+    let threads = host_cores.min(4);
     let git_rev = git_revision();
     let cpu_model = host_cpu();
 
     // --- campaign throughput -------------------------------------------
+    // Pruning off on both arms: C1 isolates the fast-forward gain, so
+    // every mutant must execute. The scale section below measures the
+    // pruning gain separately.
     let prepare = |fast_forward: bool| {
         Campaign::prepare(
             image.base(),
@@ -84,7 +92,8 @@ fn main() {
             &CampaignConfig::new()
                 .isa(isa)
                 .threads(threads)
-                .fast_forward(fast_forward),
+                .fast_forward(fast_forward)
+                .prune(false),
         )
         .expect("prepares")
     };
@@ -153,6 +162,110 @@ fn main() {
     );
     println!();
     println!("campaign speedup: {campaign_speedup:.2}x");
+
+    // --- scale sweep: 10^5+ mutants, threads × pruning -----------------
+    // The generator's balanced shape scaled until the sweep crosses
+    // 100k mutants, sorted by injection point so the shared golden
+    // advancer produces prefix snapshots just ahead of their consumers
+    // (unsorted, a late-point fetch would force every earlier snapshot
+    // live at once).
+    let golden_trace = fast.golden().trace();
+    let base = generate_mutants(golden_trace, &GeneratorConfig::new(0xC1));
+    let factor = 100_000usize.div_ceil(base.len().max(1));
+    let mut scale_specs =
+        generate_mutants(golden_trace, &GeneratorConfig::new(0xC1).scaled(factor));
+    assert!(scale_specs.len() >= 100_000, "{}", scale_specs.len());
+    scale_specs.sort_by_key(|s| match s.kind {
+        FaultKind::StuckAt { .. } => 0,
+        FaultKind::Transient { at_insn } => at_insn,
+    });
+
+    let scale_run = |threads: usize, prune: bool, specs: &[FaultSpec]| {
+        let mut c = Campaign::prepare(
+            image.base(),
+            image.bytes(),
+            image.entry(),
+            &CampaignConfig::new().isa(isa).threads(threads).prune(prune),
+        )
+        .expect("prepares");
+        let progress = Arc::new(CampaignProgress::new());
+        c.set_progress(Arc::clone(&progress));
+        let t0 = Instant::now();
+        let report = c.run_all(specs);
+        let secs = t0.elapsed().as_secs_f64();
+        let snap = progress.snapshot();
+        let pruned = snap.counter("campaign_pruned_dead").unwrap_or(0)
+            + snap.counter("campaign_pruned_dedup").unwrap_or(0);
+        let steals = snap.counter("campaign_queue_steals").unwrap_or(0);
+        let lock_waits = snap.counter("campaign_lock_waits").unwrap_or(0);
+        (report, secs, pruned, steals, lock_waits)
+    };
+
+    println!();
+    println!(
+        "# scale sweep — {} mutants, equivalence pruning on",
+        scale_specs.len()
+    );
+    println!();
+    println!("(host exposes {host_cores} core(s); per-thread rows measure scheduling, not physical parallelism, when threads exceed cores)");
+    println!();
+    println!("| threads | wall time | mutants/s | mutants/s/core | pruned | steals | lock waits |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut scale_rows = Vec::new();
+    for t in [1usize, 2, 4] {
+        let (report, secs, pruned, steals, lock_waits) = scale_run(t, true, &scale_specs);
+        assert_eq!(report.total(), scale_specs.len());
+        let rate = report.total() as f64 / secs;
+        let per_core = rate / t.min(host_cores) as f64;
+        println!(
+            "| {t} | {secs:.3} s | {rate:.0} | {per_core:.0} | {pruned} | {steals} | {lock_waits} |"
+        );
+        scale_rows.push((t, secs, rate, per_core, pruned, steals, lock_waits, report));
+    }
+    let (_, t1_s, ..) = scale_rows[0];
+    let (_, t2_s, ..) = scale_rows[1];
+    let (_, t4_s, ..) = scale_rows[2];
+    let speedup_2t = t1_s / t2_s;
+    let speedup_4t = t1_s / t4_s;
+    let ncore_row = &scale_rows[2];
+    let pruned_share = ncore_row.4 as f64 / scale_specs.len() as f64;
+    let mutants_per_sec = ncore_row.2;
+    let mutants_per_sec_per_core = ncore_row.3;
+    println!();
+    println!("thread scaling: 2t {speedup_2t:.2}x, 4t {speedup_4t:.2}x over 1t (host has {host_cores} core(s))");
+    println!("pruned share: {:.1}%", pruned_share * 100.0);
+
+    // A/B the pruned path against full execution on a subsample (the
+    // full 100k no-prune sweep would dominate the benchmark's runtime):
+    // classifications must agree spec for spec.
+    let sub_specs: Vec<FaultSpec> = scale_specs.iter().copied().step_by(10).collect();
+    let sub_pruned: Vec<_> = ncore_row
+        .7
+        .results()
+        .iter()
+        .step_by(10)
+        .map(|r| (r.spec, r.outcome))
+        .collect();
+    let (sub_report, noprune_s, _, _, _) = scale_run(threads, false, &sub_specs);
+    let sub_executed: Vec<_> = sub_report
+        .results()
+        .iter()
+        .map(|r| (r.spec, r.outcome))
+        .collect();
+    assert_eq!(
+        sub_pruned, sub_executed,
+        "pruned sweep must be classification-identical to full execution"
+    );
+    let (_, prune_sub_s, ..) = scale_run(threads, true, &sub_specs);
+    let prune_speedup = noprune_s / prune_sub_s;
+    println!(
+        "pruning speedup on a 1-in-10 subsample: {prune_speedup:.2}x \
+         ({noprune_s:.3} s executed vs {prune_sub_s:.3} s pruned)"
+    );
+    println!(
+        "pruned-vs-executed classification identity: PASS ({} specs)",
+        sub_specs.len()
+    );
 
     // --- bare dispatch -------------------------------------------------
     // A branch-heavy kernel (short blocks, so dispatch overhead is not
@@ -382,10 +495,18 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"git_revision\": \"{}\",\n  \"threads\": {},\n  \"host_cpu\": \"{}\",\n  \
+        "{{\n  \"git_revision\": \"{}\",\n  \"threads\": {},\n  \"host_cores\": {},\n  \
+         \"host_cpu\": \"{}\",\n  \
          \"mutants\": {},\n  \"golden_instret\": {},\n  \"budget\": {},\n  \
          \"legacy_s\": {:.6},\n  \"fast_forward_s\": {:.6},\n  \
          \"campaign_speedup\": {:.3},\n  \"classification_identical\": true,\n  \
+         \"scale_mutants\": {},\n  \"scale_threads1_s\": {:.6},\n  \
+         \"scale_threads2_s\": {:.6},\n  \"scale_threads4_s\": {:.6},\n  \
+         \"scale_speedup_2t\": {:.3},\n  \"scale_speedup_4t\": {:.3},\n  \
+         \"mutants_per_sec\": {:.1},\n  \"mutants_per_sec_per_core\": {:.1},\n  \
+         \"pruned_share\": {:.4},\n  \"queue_steals\": {},\n  \"lock_waits\": {},\n  \
+         \"prune_speedup_subsample\": {:.3},\n  \
+         \"prune_classification_identical\": true,\n  \
          \"dispatch_insns\": {},\n  \"reference_dispatch_mips\": {:.3},\n  \
          \"jump_cache_mips\": {:.3},\n  \"uop_engine_mips\": {:.3},\n  \
          \"jump_cache_speedup\": {:.3},\n  \"uop_engine_speedup\": {:.3},\n  \
@@ -399,6 +520,7 @@ fn main() {
          \"mem_fast_hit_rate\": {:.4},\n  \"mem_fast_dispatch_stats\": {}\n}}\n",
         git_rev.replace('"', ""),
         threads,
+        host_cores,
         cpu_model.replace('"', ""),
         specs.len(),
         golden_len,
@@ -406,6 +528,18 @@ fn main() {
         legacy_s,
         ff_s,
         campaign_speedup,
+        scale_specs.len(),
+        t1_s,
+        t2_s,
+        t4_s,
+        speedup_2t,
+        speedup_4t,
+        mutants_per_sec,
+        mutants_per_sec_per_core,
+        pruned_share,
+        ncore_row.5,
+        ncore_row.6,
+        prune_speedup,
         insns_uop,
         mips_ref,
         mips_jc,
@@ -441,6 +575,19 @@ fn main() {
         "shape: fast-forward should gain >= 3x on the blind-in-time sweep \
          (got {campaign_speedup:.2}x)"
     );
+    assert!(
+        pruned_share > 0.0,
+        "shape: the scaled generator sweep must contain prunable mutants"
+    );
+    // Thread scaling is reported, not gated: this host exposes
+    // {host_cores} core(s), and threads beyond physical cores measure
+    // scheduler fairness, not parallel speedup.
+    if host_cores >= 4 {
+        assert!(
+            speedup_4t >= 2.0,
+            "shape: 4 threads on >=4 cores should gain >= 2x (got {speedup_4t:.2}x)"
+        );
+    }
     assert!(
         jc_speedup >= 1.2,
         "shape: the jump cache should gain >= 1.2x on bare dispatch \

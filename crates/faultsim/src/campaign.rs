@@ -73,9 +73,10 @@ impl From<BusFault> for CampaignError {
 /// `compare_memory` and `reference_dispatch` are **per-campaign**: they
 /// are baked into the golden run, the derived instruction budget and the
 /// hoisted VP builder at [`Campaign::prepare`] time, so changing any of
-/// them requires preparing a new campaign. `threads`, `timeout` and `fast_forward` are
-/// **per-sweep execution policy**: they steer how mutants are scheduled,
-/// supervised and accelerated without affecting any classification.
+/// them requires preparing a new campaign. `threads`, `timeout`,
+/// `fast_forward` and `prune` are **per-sweep execution policy**: they
+/// steer how mutants are scheduled, supervised and accelerated without
+/// affecting any classification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Target ISA of the simulated core.
@@ -120,11 +121,21 @@ pub struct CampaignConfig {
     /// caught by the per-block hash at probe time and re-translated
     /// locally. This is the A/B switch for measuring translation reuse.
     pub share_translations: bool,
+    /// Whether [`Campaign::run_all`] may prune provably-equivalent
+    /// mutants instead of executing them: a def-use sweep over one extra
+    /// golden replay classifies mutants whose injected bit is dead
+    /// (overwritten before its next read, or never accessed again), and
+    /// mutants sharing a restore-state fingerprint and injected delta
+    /// share one executed classification (see the `prune` module docs).
+    /// On by default; classifications are identical either way — this is
+    /// purely a throughput switch and the `--no-prune` A/B path.
+    pub prune: bool,
 }
 
 impl CampaignConfig {
     /// Defaults: RV32IMC, 256 KiB RAM, 4× budget, single thread, memory
-    /// comparison on, no wall-clock watchdog, fast-forward enabled.
+    /// comparison on, no wall-clock watchdog, fast-forward and
+    /// equivalence pruning enabled.
     pub fn new() -> CampaignConfig {
         CampaignConfig {
             isa: IsaConfig::rv32imc(),
@@ -136,6 +147,7 @@ impl CampaignConfig {
             fast_forward: true,
             reference_dispatch: false,
             share_translations: true,
+            prune: true,
         }
     }
 
@@ -198,6 +210,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn share_translations(mut self, on: bool) -> CampaignConfig {
         self.share_translations = on;
+        self
+    }
+
+    /// Enables or disables equivalence pruning (classifications are
+    /// identical either way — the `--no-prune` A/B switch).
+    #[must_use]
+    pub fn prune(mut self, on: bool) -> CampaignConfig {
+        self.prune = on;
         self
     }
 
@@ -497,10 +517,28 @@ impl Campaign {
         Ok(vp)
     }
 
-    /// A freshly booted mutant VP (the legacy, non-fast-forward path).
-    fn loaded_vp(&self) -> Vp {
+    /// A freshly booted mutant VP (the legacy, non-fast-forward path;
+    /// also the pruning sweep's replay VP).
+    pub(crate) fn loaded_vp(&self) -> Vp {
         Self::boot_vp(&self.vp_builder, self.base, &self.bytes, self.entry)
             .expect("golden run proved the image loads")
+    }
+
+    /// RAM bounds `(base, size)` of the campaign VPs — the address range
+    /// a `MemBit` fault can actually land in.
+    pub(crate) fn ram_bounds(&self) -> (u32, u32) {
+        (self.base & !0xfff, self.config.ram_size)
+    }
+
+    /// The value a RAM bit holds before execution starts: the loaded
+    /// image byte, or zero outside the image (RAM boots cleared).
+    pub(crate) fn initial_ram_bit(&self, addr: u32, bit: u8) -> bool {
+        let byte = addr
+            .checked_sub(self.base)
+            .and_then(|off| self.bytes.get(off as usize))
+            .copied()
+            .unwrap_or(0);
+        byte & (1 << bit) != 0
     }
 
     /// Whether `run_all` will fast-forward mutants through shared golden
@@ -526,16 +564,44 @@ impl Campaign {
 
     /// Plans the shared golden-prefix cache for a sweep over `specs`, or
     /// `None` when fast-forward is off or the golden run is ineligible.
-    pub(crate) fn prefix_cache(&self, specs: &[FaultSpec]) -> Option<PrefixCache> {
+    /// Specs already classified by the pruning `plan` are excluded from
+    /// the consumer counts: nobody will fetch their injection points, so
+    /// the golden replay neither advances to nor snapshots points only
+    /// pruned mutants needed. Dedupe candidates still count — the worker
+    /// fetches their entry for its restore-state fingerprint.
+    pub(crate) fn prefix_cache(
+        &self,
+        specs: &[FaultSpec],
+        plan: Option<&crate::prune::PrunePlan>,
+    ) -> Option<PrefixCache> {
         if !self.fast_forward_active() || specs.is_empty() {
             return None;
         }
         let mut points: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
-        for spec in specs {
+        for (i, spec) in specs.iter().enumerate() {
+            if plan.is_some_and(|p| p.verdict(i).is_some()) {
+                continue;
+            }
             *points.entry(self.injection_point(spec)).or_insert(0) += 1;
+        }
+        if points.is_empty() {
+            return None;
         }
         let golden = Self::boot_vp(&self.vp_builder, self.base, &self.bytes, self.entry).ok()?;
         Some(PrefixCache::new(golden, points, self.golden_warm.clone()))
+    }
+
+    /// Builds the equivalence-pruning plan for a sweep over `specs`, or
+    /// `None` when pruning is disabled (or the analysis replay panics —
+    /// pruning is an optimisation, never a correctness dependency).
+    pub(crate) fn prune_plan(&self, specs: &[FaultSpec]) -> Option<crate::prune::PrunePlan> {
+        if !self.config.prune || specs.is_empty() {
+            return None;
+        }
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::prune::PrunePlan::build(self, specs)
+        }))
+        .ok()
     }
 
     /// Runs one mutant and classifies its effect.

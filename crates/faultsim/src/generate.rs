@@ -38,6 +38,20 @@ impl GeneratorConfig {
             data_mutants: 16,
         }
     }
+
+    /// Multiplies every per-category count by `factor`, preserving the
+    /// default balance between categories. The scale knob for large
+    /// sweeps: `new(seed).scaled(100)` plans roughly 100× the mutants of
+    /// the balanced default on the same footprint.
+    #[must_use]
+    pub fn scaled(mut self, factor: usize) -> GeneratorConfig {
+        self.stuck_per_gpr *= factor;
+        self.transient_per_gpr *= factor;
+        self.transient_per_fpr *= factor;
+        self.opcode_mutants *= factor;
+        self.data_mutants *= factor;
+        self
+    }
 }
 
 /// Generates a deterministic mutant list from an execution footprint.

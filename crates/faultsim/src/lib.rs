@@ -61,6 +61,7 @@ mod forensics;
 mod generate;
 mod prefix;
 mod progress;
+mod prune;
 mod runner;
 mod shard;
 mod supervise;

@@ -39,6 +39,25 @@
 //! consumer has fetched them, so resident snapshots are bounded by the
 //! distinct injection points still in use.
 //!
+//! ## Concurrency shape
+//!
+//! Each planned point gets its own [`Slot`]: a `ready` flag published
+//! with release/acquire ordering, the entry behind a per-slot `RwLock`,
+//! and an atomic consumer count. A fetch of an already-produced point —
+//! the overwhelmingly common case once the replay VP has passed it —
+//! touches nothing shared with the planner: it checks the flag, clones
+//! two `Arc`s under an uncontended read lock, and decrements the
+//! consumer count (the last consumer reclaims the entry). Only *misses*
+//! serialize, behind the single `advancer` mutex that owns the golden
+//! replay VP; waiters re-check their slot's flag after acquiring, since
+//! the advance they queued up behind usually produced it. Contended
+//! acquisitions of that mutex are counted (with their blocked time) into
+//! [`DispatchStats::lock_waits`]/[`lock_wait_us`], surfaced as
+//! `campaign_lock_waits`/`campaign_lock_wait_us` — the direct measure of
+//! how often restore-and-run serialized on the planner. A panic inside
+//! an advance poisons only the advancer: already-produced slots keep
+//! serving hits, and misses fall back to the legacy full re-run.
+//!
 //! Alongside each snapshot the cache can export the golden VP's
 //! translated blocks as a read-only [`SharedTranslations`] set
 //! (`CampaignConfig::share_translations`, on by default). Workers seed
@@ -47,14 +66,20 @@
 //! per-mutant translation work drops to ~0 on SMC-free campaigns. The
 //! set rides on the [`PrefixEntry`], not inside the [`VpSnapshot`]:
 //! snapshots stay purely architectural, and a worker with a different
-//! engine configuration simply declines the seed. Code mutated by the
-//! injected fault is caught by the per-block code-bytes hash at probe
-//! time and re-translated locally.
+//! engine configuration simply declines the seed. Seeding itself is
+//! contention-free — an `Arc` clone taken on the slot's hit path. Code
+//! mutated by the injected fault is caught by the per-block code-bytes
+//! hash at probe time and re-translated locally.
+//!
+//! [`DispatchStats::lock_waits`]: s4e_vp::DispatchStats::lock_waits
+//! [`lock_wait_us`]: s4e_vp::DispatchStats::lock_wait_us
 
 use s4e_obs::TraceRing;
 use s4e_vp::{DispatchStats, RunOutcome, SharedTranslations, Vp, VpSnapshot};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
+use std::time::Instant;
 
 /// One shared fast-forward point.
 #[derive(Debug, Clone)]
@@ -74,8 +99,26 @@ pub(crate) struct PrefixEntry {
     pub terminal: Option<RunOutcome>,
 }
 
+/// One planned injection point's publication cell.
 #[derive(Debug)]
-struct PrefixState {
+struct Slot {
+    /// The injection point (retired instructions).
+    at: u64,
+    /// Planned consumers that have not fetched yet; the fetch that
+    /// brings this to zero reclaims the entry.
+    consumers: AtomicUsize,
+    /// Published flag: set (release) by the advancer after the entry is
+    /// written, checked (acquire) lock-free by every fetch.
+    ready: AtomicBool,
+    /// The produced entry; `None` before production and again after the
+    /// last consumer drained it.
+    entry: RwLock<Option<PrefixEntry>>,
+}
+
+/// The serialized side of the cache: the golden replay VP and the
+/// cursor over not-yet-produced slots. Only cache misses lock this.
+#[derive(Debug)]
+struct Advancer {
     /// The dedicated golden replay VP, advanced monotonically.
     golden: Vp,
     /// Retired instructions of `golden` so far.
@@ -83,12 +126,9 @@ struct PrefixState {
     /// The golden termination outcome, once reached. From then on every
     /// later planned point is served by the final snapshot.
     terminal: Option<RunOutcome>,
-    /// Planned injection points not yet snapshotted (ascending order),
-    /// with their consumer counts.
-    planned: BTreeMap<u64, usize>,
-    /// Snapshots taken, with remaining consumer counts; an entry is
-    /// dropped when its last planned consumer has fetched it.
-    entries: BTreeMap<u64, (PrefixEntry, usize)>,
+    /// Index of the first slot not yet produced (slots are sorted by
+    /// injection point, and production is strictly in order).
+    next_slot: usize,
     /// Dispatch statistics accumulated by the golden VP across advances
     /// (snapshots taken, dirty pages flushed, jump-cache behaviour).
     stats: DispatchStats,
@@ -103,12 +143,11 @@ struct PrefixState {
     warm: Option<Arc<SharedTranslations>>,
 }
 
-impl PrefixState {
-    /// Snapshots the lowest still-planned point, running the golden VP
-    /// up to it. Returns `None` when no planned point remains.
-    fn advance_one(&mut self) -> Option<()> {
-        let (&point, &consumers) = self.planned.iter().next()?;
-        self.planned.remove(&point);
+impl Advancer {
+    /// Runs the golden VP up to `slot`'s point, snapshots, and publishes
+    /// the entry into the slot.
+    fn produce(&mut self, slot: &Slot) {
+        let point = slot.at;
         if self.terminal.is_none() && point > self.position {
             match self.golden.run_for(point - self.position) {
                 RunOutcome::InsnLimit => self.position = point,
@@ -142,24 +181,28 @@ impl PrefixState {
                 Arc::new(set)
             });
         }
-        let entry = PrefixEntry {
+        self.stats.merge(&delta);
+        *slot.entry.write().expect("no reader panics holding this") = Some(PrefixEntry {
             snapshot,
             warm: self.warm.clone(),
             terminal: self.terminal,
-        };
-        self.stats.merge(&delta);
-        self.entries.insert(point, (entry, consumers));
-        Some(())
+        });
+        slot.ready.store(true, Ordering::Release);
     }
 }
 
-/// The shared golden-prefix snapshot cache of one campaign sweep. All
-/// mutation is behind one mutex; the advance is serialized, but with the
-/// planned points snapshotted eagerly in passing, almost every fetch is
-/// a cache hit that only bumps an `Arc`.
+/// The shared golden-prefix snapshot cache of one campaign sweep. See
+/// the module docs for the concurrency shape: per-slot publication with
+/// lock-free hits, misses serialized behind the advancer mutex.
 #[derive(Debug)]
 pub(crate) struct PrefixCache {
-    inner: Mutex<PrefixState>,
+    /// Planned points in ascending order.
+    slots: Vec<Slot>,
+    advancer: Mutex<Advancer>,
+    /// Contended advancer acquisitions and the microseconds blocked on
+    /// them, merged into [`stats`](PrefixCache::stats).
+    lock_waits: AtomicU64,
+    lock_wait_us: AtomicU64,
 }
 
 impl PrefixCache {
@@ -176,66 +219,99 @@ impl PrefixCache {
     ) -> PrefixCache {
         golden.set_warm_translations(base_warm.clone());
         PrefixCache {
-            inner: Mutex::new(PrefixState {
+            slots: points
+                .into_iter()
+                .map(|(at, consumers)| Slot {
+                    at,
+                    consumers: AtomicUsize::new(consumers),
+                    ready: AtomicBool::new(false),
+                    entry: RwLock::new(None),
+                })
+                .collect(),
+            advancer: Mutex::new(Advancer {
                 golden,
                 position: 0,
                 terminal: None,
-                planned: points,
-                entries: BTreeMap::new(),
+                next_slot: 0,
                 stats: DispatchStats::default(),
                 base_warm,
                 warm: None,
             }),
+            lock_waits: AtomicU64::new(0),
+            lock_wait_us: AtomicU64::new(0),
         }
     }
 
     /// Fast-forward state for injection point `at`, advancing the golden
     /// VP if it has not been snapshotted yet. Returns `None` when the
     /// cache cannot serve the request — an unplanned point, an already
-    /// fully-consumed entry, or a poisoned cache (a previous advance
+    /// fully-consumed entry, or a poisoned advancer (a previous advance
     /// panicked) — in which case the caller falls back to the legacy
     /// full re-run. With `ring` attached, each golden advance performed
     /// on behalf of this fetch is recorded as a `golden_advance` span
     /// (the shared work a cache miss serializes behind).
     pub(crate) fn fetch(&self, at: u64, mut ring: Option<&mut TraceRing>) -> Option<PrefixEntry> {
-        let Ok(mut inner) = self.inner.lock() else {
-            return None;
-        };
-        while !inner.entries.contains_key(&at) {
-            if !inner.planned.contains_key(&at) {
-                return None;
-            }
-            let start = ring.as_deref().map(TraceRing::now_us);
-            let from = inner.position;
-            inner.advance_one()?;
-            if let (Some(ring), Some(start)) = (ring.as_deref_mut(), start) {
-                ring.span(
-                    "golden_advance",
-                    "prefix",
-                    start,
-                    &[
-                        ("from_instret", from.to_string()),
-                        ("to_instret", inner.position.to_string()),
-                    ],
-                );
+        let idx = self.slots.binary_search_by_key(&at, |s| s.at).ok()?;
+        let slot = &self.slots[idx];
+        if !slot.ready.load(Ordering::Acquire) {
+            let mut advancer = match self.advancer.try_lock() {
+                Ok(guard) => guard,
+                Err(TryLockError::Poisoned(_)) => return None,
+                Err(TryLockError::WouldBlock) => {
+                    let blocked = Instant::now();
+                    let guard = self.advancer.lock().ok()?;
+                    self.lock_waits.fetch_add(1, Ordering::Relaxed);
+                    self.lock_wait_us
+                        .fetch_add(blocked.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    guard
+                }
+            };
+            // Re-check after acquiring: the advance this fetch queued up
+            // behind usually produced our slot already.
+            while !slot.ready.load(Ordering::Acquire) {
+                let next = advancer.next_slot;
+                let start = ring.as_deref().map(TraceRing::now_us);
+                let from = advancer.position;
+                advancer.produce(&self.slots[next]);
+                advancer.next_slot = next + 1;
+                if let (Some(ring), Some(start)) = (ring.as_deref_mut(), start) {
+                    ring.span(
+                        "golden_advance",
+                        "prefix",
+                        start,
+                        &[
+                            ("from_instret", from.to_string()),
+                            ("to_instret", advancer.position.to_string()),
+                        ],
+                    );
+                }
             }
         }
-        let (entry, remaining) = inner.entries.get_mut(&at)?;
-        let entry = entry.clone();
-        *remaining -= 1;
-        if *remaining == 0 {
-            inner.entries.remove(&at);
+        // Hit path: clone the entry's `Arc`s under the (uncontended)
+        // read lock *before* giving up our consumer slot — the last
+        // consumer reclaims the entry, and must not free it while a
+        // slower sibling is still mid-clone.
+        let entry = slot.entry.read().ok()?.clone()?;
+        if slot.consumers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Ok(mut cell) = slot.entry.write() {
+                *cell = None;
+            }
         }
         Some(entry)
     }
 
-    /// Dispatch statistics accumulated by the golden replay VP so far
-    /// (zeroed when the cache is poisoned — the sweep completed on the
-    /// legacy path).
+    /// Dispatch statistics accumulated by the golden replay VP so far,
+    /// plus the cache's own lock-contention counters (golden-VP stats
+    /// are zeroed when the advancer is poisoned — the sweep completed on
+    /// the legacy path).
     pub(crate) fn stats(&self) -> DispatchStats {
-        self.inner
+        let mut stats = self
+            .advancer
             .lock()
-            .map(|inner| inner.stats)
-            .unwrap_or_default()
+            .map(|advancer| advancer.stats)
+            .unwrap_or_default();
+        stats.lock_waits += self.lock_waits.load(Ordering::Relaxed);
+        stats.lock_wait_us += self.lock_wait_us.load(Ordering::Relaxed);
+        stats
     }
 }

@@ -79,6 +79,11 @@ pub struct CampaignProgress {
     warm_translations: Arc<Counter>,
     mem_fast_hits: Arc<Counter>,
     mem_slow_hits: Arc<Counter>,
+    pruned_dead: Arc<Counter>,
+    pruned_dedup: Arc<Counter>,
+    queue_steals: Arc<Counter>,
+    lock_waits: Arc<Counter>,
+    lock_wait_us: Arc<Counter>,
     started: Instant,
 }
 
@@ -129,6 +134,11 @@ impl CampaignProgress {
             warm_translations: registry.counter("campaign_warm_translations"),
             mem_fast_hits: registry.counter("campaign_mem_fast_hits"),
             mem_slow_hits: registry.counter("campaign_mem_slow_hits"),
+            pruned_dead: registry.counter("campaign_pruned_dead"),
+            pruned_dedup: registry.counter("campaign_pruned_dedup"),
+            queue_steals: registry.counter("campaign_queue_steals"),
+            lock_waits: registry.counter("campaign_lock_waits"),
+            lock_wait_us: registry.counter("campaign_lock_wait_us"),
             registry,
             started: Instant::now(),
         }
@@ -183,6 +193,32 @@ impl CampaignProgress {
         self.warm_translations.add(stats.warm_translations);
         self.mem_fast_hits.add(stats.mem_fast_hits);
         self.mem_slow_hits.add(stats.mem_slow_hits);
+        self.lock_waits.add(stats.lock_waits);
+        self.lock_wait_us.add(stats.lock_wait_us);
+    }
+
+    /// A mutant classified by the def-use dead-bit analysis without
+    /// executing (the flipped bit was overwritten or never touched).
+    pub fn record_pruned_dead(&self) {
+        self.pruned_dead.inc();
+    }
+
+    /// A mutant that shared an already-executed classification because
+    /// its post-injection state was identical (restore fingerprint plus
+    /// injected delta).
+    pub fn record_pruned_dedup(&self) {
+        self.pruned_dedup.inc();
+    }
+
+    /// Mutants classified without execution so far, by either prune rule.
+    pub fn pruned(&self) -> u64 {
+        self.pruned_dead.value() + self.pruned_dedup.value()
+    }
+
+    /// A worker claimed a queue slot right after a *different* worker's
+    /// claim — the work-stealing queue migrated between workers.
+    pub fn record_steal(&self) {
+        self.queue_steals.inc();
     }
 
     /// Announces the shard-supervisor dimensions: `shards` worker
@@ -338,6 +374,20 @@ impl CampaignProgress {
         }
         if self.resumed.value() > 0 {
             let _ = write!(line, " resumed={}", self.resumed.value());
+        }
+        if self.pruned() > 0 {
+            let _ = write!(line, " pruned={}", self.pruned());
+        }
+        if self.queue_steals.value() > 0 {
+            let _ = write!(line, " steals={}", self.queue_steals.value());
+        }
+        if self.lock_waits.value() > 0 {
+            let _ = write!(
+                line,
+                " lockwait={}x{}us",
+                self.lock_waits.value(),
+                self.lock_wait_us.value()
+            );
         }
         if self.shards.value() > 0 {
             let _ = write!(

@@ -36,6 +36,7 @@ use crate::fault::{FaultOutcome, FaultSpec};
 use crate::forensics::IncidentBundle;
 use crate::prefix::PrefixCache;
 use crate::progress::ProgressSink;
+use crate::prune::PrunePlan;
 use s4e_vp::{CancelToken, Vp};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -139,20 +140,38 @@ impl Campaign {
         };
         let sink = Mutex::new(sink);
         let sink_error: Mutex<Option<String>> = Mutex::new(None);
+        // The equivalence-pruning plan (None: pruning off, or the
+        // analysis itself panicked — every mutant then executes).
+        let plan = self.prune_plan(specs);
         // The shared golden-prefix snapshot cache (None: fast-forward off
         // or the golden run armed interrupts — every mutant then re-runs
-        // its fault-free prefix the legacy way).
-        let prefix = self.prefix_cache(specs);
+        // its fault-free prefix the legacy way). Pre-verdicted specs are
+        // excluded from its consumer counts: they never fetch.
+        let prefix = self.prefix_cache(specs, plan.as_ref());
+        // Which worker claimed the previous queue slot — a claim by a
+        // different worker than the last one is counted as a steal (the
+        // queue migrated because the previous claimant was still busy).
+        let last_claimer = AtomicUsize::new(usize::MAX);
         let sweep_start = self.tracer().map(|t| t.now_us());
 
         let worker_slots: Vec<Vec<SlotResult>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|worker_id| {
                     let (next, sink, sink_error) = (&next, &sink, &sink_error);
-                    let prefix = prefix.as_ref();
+                    let (prefix, plan) = (prefix.as_ref(), plan.as_ref());
+                    let last_claimer = &last_claimer;
                     scope.spawn(move || {
                         self.worker(
-                            worker_id, specs, next, sink, sink_error, cancel, done, prefix,
+                            worker_id,
+                            specs,
+                            next,
+                            sink,
+                            sink_error,
+                            cancel,
+                            done,
+                            prefix,
+                            plan,
+                            last_claimer,
                         )
                     })
                 })
@@ -235,6 +254,8 @@ impl Campaign {
         cancel: &CancelToken,
         done: &DoneMap,
         prefix: Option<&PrefixCache>,
+        plan: Option<&PrunePlan>,
+        last_claimer: &AtomicUsize,
     ) -> Vec<SlotResult> {
         let mut out = Vec::new();
         // The worker's private trace lane (None: tracing off — every
@@ -254,8 +275,12 @@ impl Campaign {
             let Some(spec) = specs.get(index) else {
                 break;
             };
+            let previous_claimer = last_claimer.swap(worker_id, Ordering::Relaxed);
             if let Some(progress) = self.progress() {
                 progress.worker_heartbeat(worker_id);
+                if previous_claimer != worker_id && previous_claimer != usize::MAX {
+                    progress.record_steal();
+                }
             }
             if let Some((outcome, panic)) = done.get(spec) {
                 // Classified by a previous (interrupted) run: reuse the
@@ -267,6 +292,12 @@ impl Campaign {
                 out.push((index, *outcome, panic.clone()));
                 continue;
             }
+            // The equivalence-pruning pre-verdict, when the def-use
+            // analysis proved this mutant's classification without
+            // running it. Pre-verdicted specs skip the prefix fetch
+            // entirely — the plan already excluded them from the
+            // cache's consumer counts.
+            let pre = plan.and_then(|p| p.verdict(index));
             // Fetch the shared prefix snapshot before arming the
             // watchdog: the fetch may serialize behind another worker's
             // golden advance, and that shared work must not count
@@ -274,13 +305,17 @@ impl Campaign {
             // the advance poisons the cache; this mutant (and every
             // later one) falls back to the legacy full re-run instead
             // of killing the worker.
-            let entry = prefix.and_then(|cache| {
-                catch_unwind(AssertUnwindSafe(|| {
-                    cache.fetch(self.injection_point(spec), ring.as_mut())
-                }))
-                .ok()
-                .flatten()
-            });
+            let entry = if pre.is_some() {
+                None
+            } else {
+                prefix.and_then(|cache| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        cache.fetch(self.injection_point(spec), ring.as_mut())
+                    }))
+                    .ok()
+                    .flatten()
+                })
+            };
             let mutant_token = match self.config().timeout {
                 Some(timeout) => cancel.child(timeout),
                 None => cancel.clone(),
@@ -290,7 +325,22 @@ impl Campaign {
                 if let Some(hook) = self.mutant_hook() {
                     hook(index, spec);
                 }
-                match &entry {
+                if let Some(outcome) = pre {
+                    return (outcome, Some("pruned"));
+                }
+                // Post-injection state dedupe: a mutant restoring the
+                // same snapshot (by fingerprint) with the same injected
+                // delta as an already-executed one shares its outcome.
+                let dedup_key = match (plan, &entry) {
+                    (Some(plan), Some(entry)) => plan.dedup_key(index, &entry.snapshot),
+                    _ => None,
+                };
+                if let (Some(plan), Some(key)) = (plan, dedup_key.as_ref()) {
+                    if let Some(outcome) = plan.dedup_lookup(key) {
+                        return (outcome, Some("dedup"));
+                    }
+                }
+                let outcome = match &entry {
                     Some(entry) => {
                         if forensics {
                             self.arm_slot_flight(&mut slot);
@@ -301,7 +351,11 @@ impl Campaign {
                         self.execute_mutant_forensic(spec, Some(&mutant_token), &mut slot)
                     }
                     None => self.run_one_cancellable(spec, Some(&mutant_token)).outcome,
+                };
+                if let (Some(plan), Some(key)) = (plan, dedup_key) {
+                    plan.dedup_insert(key, outcome);
                 }
+                (outcome, None)
             }));
             let stats = if self.progress().is_some() || ring.is_some() {
                 slot.as_mut().map(|vp| vp.take_dispatch_stats())
@@ -311,25 +365,37 @@ impl Campaign {
             if let (Some(progress), Some(stats)) = (self.progress(), stats.as_ref()) {
                 progress.record_dispatch(stats);
             }
-            let (outcome, panic, crashed) = match execution {
-                Ok(FaultOutcome::Cancelled) if cancel.flag_raised() => {
+            let (outcome, prune_tag, panic, crashed) = match execution {
+                Ok((FaultOutcome::Cancelled, _)) if cancel.flag_raised() => {
                     // Campaign shutdown, not a watchdog expiry: leave the
                     // mutant unclassified so a resume re-runs it.
                     break;
                 }
-                Ok(outcome) => (outcome, None, None),
+                Ok((outcome, tag)) => (outcome, tag, None, None),
                 Err(payload) => {
                     // The slot VP's state is suspect after a panic: pull
                     // it out for the forensic dump and never reuse it.
                     let crashed = slot.take();
                     (
                         FaultOutcome::HarnessError,
+                        None,
                         Some(panic_message(&*payload)),
                         crashed,
                     )
                 }
             };
-            if let Some(dir) = self.trace_dir() {
+            if let (Some(progress), Some(tag)) = (self.progress(), prune_tag) {
+                if tag == "dedup" {
+                    progress.record_pruned_dedup();
+                } else {
+                    progress.record_pruned_dead();
+                }
+            }
+            // A shared (dedup) or proved (pruned) classification did not
+            // run on this worker's VP: an incident bundle would capture
+            // unrelated state, so forensics only fire for executed
+            // mutants.
+            if let (Some(dir), None) = (self.trace_dir(), prune_tag) {
                 if matches!(
                     outcome,
                     FaultOutcome::Timeout
@@ -382,7 +448,9 @@ impl Campaign {
                     ("outcome", outcome.to_string()),
                     (
                         "prefix",
-                        if entry.is_some() { "snapshot" } else { "rerun" }.to_string(),
+                        prune_tag
+                            .unwrap_or(if entry.is_some() { "snapshot" } else { "rerun" })
+                            .to_string(),
                     ),
                     ("spec", spec.to_string()),
                 ];

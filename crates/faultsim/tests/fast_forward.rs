@@ -92,10 +92,15 @@ fn acceptance_specs(c: &Campaign) -> Vec<FaultSpec> {
 
 #[test]
 fn fast_forward_classifications_match_legacy_exactly() {
-    let fast = campaign(WORK_PROGRAM, &CampaignConfig::new().threads(4));
+    // Pruning off on both sides: this test is about the fast-forward
+    // execution path itself, so every mutant must actually run.
+    let fast = campaign(WORK_PROGRAM, &CampaignConfig::new().threads(4).prune(false));
     let slow = campaign(
         WORK_PROGRAM,
-        &CampaignConfig::new().threads(4).fast_forward(false),
+        &CampaignConfig::new()
+            .threads(4)
+            .fast_forward(false)
+            .prune(false),
     );
     assert!(fast.fast_forward_active());
     assert!(!slow.fast_forward_active());
@@ -113,8 +118,11 @@ fn fast_forward_classifications_match_legacy_exactly() {
 
 #[test]
 fn single_thread_fast_forward_matches_too() {
-    let fast = campaign(WORK_PROGRAM, &CampaignConfig::new());
-    let slow = campaign(WORK_PROGRAM, &CampaignConfig::new().fast_forward(false));
+    let fast = campaign(WORK_PROGRAM, &CampaignConfig::new().prune(false));
+    let slow = campaign(
+        WORK_PROGRAM,
+        &CampaignConfig::new().fast_forward(false).prune(false),
+    );
     let specs: Vec<FaultSpec> = acceptance_specs(&fast).into_iter().step_by(7).collect();
     assert_eq!(
         fast.run_all(&specs).results(),
@@ -197,7 +205,9 @@ fn interrupt_free_golden_reports_unarmed_trace() {
 
 #[test]
 fn fast_forward_efficiency_metrics_flow_into_progress() {
-    let mut c = campaign(WORK_PROGRAM, &CampaignConfig::new().threads(2));
+    // Pruning off: the per-mutant restore accounting below assumes
+    // every mutant executes.
+    let mut c = campaign(WORK_PROGRAM, &CampaignConfig::new().threads(2).prune(false));
     let progress = Arc::new(CampaignProgress::new());
     c.set_progress(Arc::clone(&progress));
     let specs: Vec<FaultSpec> = acceptance_specs(&c).into_iter().step_by(11).collect();
@@ -231,7 +241,10 @@ fn fast_forward_efficiency_metrics_flow_into_progress() {
     // With fast-forward off, no snapshots are restored at all.
     let mut legacy = campaign(
         WORK_PROGRAM,
-        &CampaignConfig::new().threads(2).fast_forward(false),
+        &CampaignConfig::new()
+            .threads(2)
+            .fast_forward(false)
+            .prune(false),
     );
     let progress2 = Arc::new(CampaignProgress::new());
     legacy.set_progress(Arc::clone(&progress2));

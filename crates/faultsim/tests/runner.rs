@@ -234,11 +234,14 @@ fn harness_panic_is_isolated_and_captured() {
 
 #[test]
 fn watchdog_cancels_a_stalled_mutant() {
+    // Pruning off: a pre-verdicted mutant never arms the watchdog, and
+    // this test needs mutant 5 to actually execute under it.
     let mut c = campaign(
         SUM_PROGRAM,
         &CampaignConfig::new()
             .threads(4)
-            .timeout(Duration::from_millis(200)),
+            .timeout(Duration::from_millis(200))
+            .prune(false),
     );
     // Mutant 5 stalls well past the watchdog; everyone else is sub-ms.
     c.set_mutant_hook(Arc::new(|index, _spec| {

@@ -209,6 +209,13 @@ pub mod names {
             }
             "campaign_mem_fast_hits" => "Memory accesses served by the RAM fast path.",
             "campaign_mem_slow_hits" => "Memory accesses that fell back to the full bus walk.",
+            "campaign_pruned_dead" => "Mutants classified by def-use analysis without executing.",
+            "campaign_pruned_dedup" => {
+                "Mutants sharing an identical already-executed classification."
+            }
+            "campaign_queue_steals" => "Queue claims that migrated between worker threads.",
+            "campaign_lock_waits" => "Contended acquisitions of the golden-prefix advancer lock.",
+            "campaign_lock_wait_us" => "Microseconds spent blocked on the advancer lock.",
             _ => "",
         };
         if !exact.is_empty() {

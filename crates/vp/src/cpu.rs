@@ -157,6 +157,45 @@ impl Cpu {
         self.faults_enabled
     }
 
+    /// Folds every field of the architectural state (including the
+    /// stuck-at fault masks, excluding the immutable ISA configuration)
+    /// into an FNV-1a accumulator. Two CPUs fold to the same value iff
+    /// they would behave identically from here on under the same bus —
+    /// the CPU half of [`VpSnapshot::fingerprint`](crate::VpSnapshot::fingerprint).
+    pub(crate) fn fold_state(&self, mut h: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let byte = |h: u64, b: u8| (h ^ u64::from(b)).wrapping_mul(PRIME);
+        let word = |h: u64, v: u32| v.to_le_bytes().iter().fold(h, |h, &b| byte(h, b));
+        let dword = |h: u64, v: u64| word(word(h, v as u32), (v >> 32) as u32);
+        h = word(h, self.pc);
+        for &r in &self.gprs {
+            h = word(h, r);
+        }
+        for &r in &self.fprs {
+            h = word(h, r);
+        }
+        h = dword(h, self.cycles);
+        h = dword(h, self.instret);
+        for v in [
+            self.mstatus,
+            self.mie,
+            self.mip,
+            self.mtvec,
+            self.mscratch,
+            self.mepc,
+            self.mcause,
+            self.mtval,
+            self.fcsr,
+        ] {
+            h = word(h, v);
+        }
+        h = word(h, u32::from(self.faults_enabled));
+        for &m in self.gpr_stuck_one.iter().chain(&self.gpr_stuck_zero) {
+            h = word(h, m);
+        }
+        h
+    }
+
     /// Updates the externally-driven interrupt-pending bits (from the bus).
     pub fn set_mip(&mut self, bits: u32) {
         self.mip = bits;

@@ -78,6 +78,9 @@ pub struct VpSnapshot {
     pub(crate) devices: Vec<Vec<u8>>,
     pub(crate) pending_event: Option<BusEvent>,
     pub(crate) block_exit_pending: bool,
+    /// Lazily-computed state hash, shared by clones made after the
+    /// first [`fingerprint`](VpSnapshot::fingerprint) call.
+    pub(crate) fingerprint: OnceLock<u64>,
 }
 
 impl VpSnapshot {
@@ -104,6 +107,45 @@ impl VpSnapshot {
     /// RAM geometry `(base, size)` this snapshot was captured from.
     pub fn ram_geometry(&self) -> (u32, u32) {
         (self.ram_base, self.ram_size)
+    }
+
+    /// An FNV-1a hash of the complete captured state: CPU registers and
+    /// CSRs (including the cycle/instret counters and stuck-at fault
+    /// masks), every RAM page, serialized device state, and the pending
+    /// bus event. Two snapshots with equal fingerprints describe the
+    /// same architectural restore point, so deterministic execution from
+    /// either must produce the same result — the property the fault
+    /// campaign's equivalence dedupe relies on.
+    ///
+    /// Computed on first call and cached; pages still sharing the
+    /// all-zeros reset allocation are folded as a marker instead of
+    /// being re-hashed byte by byte.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let byte = |h: u64, b: u8| (h ^ u64::from(b)).wrapping_mul(PRIME);
+            let bytes = |h: u64, bs: &[u8]| bs.iter().fold(h, |h, &b| byte(h, b));
+            let zero = zero_page();
+            let mut h = self.cpu.fold_state(0xcbf2_9ce4_8422_2325);
+            h = bytes(h, &self.ram_base.to_le_bytes());
+            h = bytes(h, &self.ram_size.to_le_bytes());
+            for page in &self.pages {
+                if Arc::ptr_eq(page, &zero) {
+                    h = byte(h, 0);
+                } else {
+                    h = bytes(byte(h, 1), page);
+                }
+            }
+            for dev in &self.devices {
+                h = bytes(h, &(dev.len() as u32).to_le_bytes());
+                h = bytes(h, dev);
+            }
+            h = match self.pending_event {
+                None => byte(h, 0),
+                Some(BusEvent::Exit(code)) => bytes(byte(h, 1), &code.to_le_bytes()),
+            };
+            byte(h, u8::from(self.block_exit_pending))
+        })
     }
 }
 

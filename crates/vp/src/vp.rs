@@ -264,6 +264,12 @@ pub struct DispatchStats {
     pub restores: u64,
     /// RAM pages copied back from snapshots during restores.
     pub pages_restored: u64,
+    /// Contended acquisitions of a shared-state lock (the fault
+    /// campaign's golden-prefix advancer): `try_lock` failed and the
+    /// caller had to block. Uncontended acquisitions are not counted.
+    pub lock_waits: u64,
+    /// Microseconds spent blocked on those contended acquisitions.
+    pub lock_wait_us: u64,
 }
 
 impl DispatchStats {
@@ -305,6 +311,8 @@ impl DispatchStats {
         self.pages_flushed += other.pages_flushed;
         self.restores += other.restores;
         self.pages_restored += other.pages_restored;
+        self.lock_waits += other.lock_waits;
+        self.lock_wait_us += other.lock_wait_us;
     }
 }
 
@@ -801,6 +809,7 @@ impl Vp {
             devices: self.bus.save_devices(),
             pending_event: self.bus.peek_event(),
             block_exit_pending: self.block_exit_pending,
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 

@@ -139,6 +139,10 @@ OPTIONS:
                                                  path (run/profile/campaign)
     --no-share-translations                      do not warm-seed worker VPs with the golden VP's
                                                  translated blocks (campaign)
+    --no-prune                                   execute every mutant: disable the def-use
+                                                 dead-bit analysis and post-injection state
+                                                 dedupe that classify provably equivalent
+                                                 mutants without running them (campaign)
     --progress                                   live status line on stderr (run/profile/campaign)
     --dot-out <path>                             write the execution-annotated CFG (profile)
     --top <n>                                    hot-block table rows (profile) [10]
@@ -177,6 +181,7 @@ struct Options {
     top: usize,
     reference_dispatch: bool,
     share_translations: bool,
+    prune: bool,
 }
 
 fn parse_isa(name: &str) -> Result<IsaConfig, CliError> {
@@ -217,6 +222,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         top: 10,
         reference_dispatch: false,
         share_translations: true,
+        prune: true,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -325,6 +331,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--trace-dir" => opts.trace_dir = Some(value("--trace-dir")?),
             "--reference-dispatch" => opts.reference_dispatch = true,
             "--no-share-translations" => opts.share_translations = false,
+            "--no-prune" => opts.prune = false,
             "--progress" => opts.progress = true,
             "--dot-out" => opts.dot_out = Some(value("--dot-out")?),
             "--top" => {
@@ -368,6 +375,9 @@ fn worker_flag_args(opts: &Options, source_path: &str) -> Vec<String> {
     }
     if !opts.share_translations {
         args.push("--no-share-translations".to_string());
+    }
+    if !opts.prune {
+        args.push("--no-prune".to_string());
     }
     args
 }
@@ -868,7 +878,8 @@ fn run_command_inner(
                 .isa(opts.isa)
                 .threads(opts.threads)
                 .reference_dispatch(opts.reference_dispatch)
-                .share_translations(opts.share_translations);
+                .share_translations(opts.share_translations)
+                .prune(opts.prune);
             if let Some(ms) = opts.timeout_ms {
                 cfg = cfg.timeout(std::time::Duration::from_millis(ms));
             }

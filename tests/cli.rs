@@ -497,6 +497,84 @@ fn reference_dispatch_flag_is_behaviorally_invisible() {
 }
 
 #[test]
+fn no_prune_flag_is_classification_invisible() {
+    // `--no-prune` executes every mutant instead of pruning provably
+    // equivalent ones; the classification summary must not change.
+    let pruned = run_command(
+        "campaign",
+        CAMPAIGN_PROGRAM,
+        &["--mutants", "2", "--isa", "rv32imc", "--threads", "2"],
+    )
+    .expect("campaign");
+    let executed = run_command(
+        "campaign",
+        CAMPAIGN_PROGRAM,
+        &[
+            "--mutants",
+            "2",
+            "--isa",
+            "rv32imc",
+            "--threads",
+            "2",
+            "--no-prune",
+        ],
+    )
+    .expect("campaign");
+    let summary = |out: &str| {
+        out.lines()
+            .filter(|l| l.contains('%') || l.starts_with("mutants:"))
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(summary(&pruned), summary(&executed), "{pruned}\n{executed}");
+    assert!(!summary(&pruned).is_empty(), "{pruned}");
+}
+
+#[test]
+fn sharded_workers_inherit_the_thread_count() {
+    // `--shards N --threads T` must forward T to every worker process:
+    // each worker's sweep span carries the thread count it actually ran.
+    let dir = cli_test_dir("sharded-threads");
+    let prog = dir.join("prog.s");
+    std::fs::write(&prog, CAMPAIGN_PROGRAM).expect("program");
+    let ckpt = dir.join("t.jsonl");
+    let trace = dir.join("sweep.trace.json");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_s4e"))
+        .arg("campaign")
+        .arg(&prog)
+        .args(["--mutants", "1", "--isa", "rv32imc"])
+        .args(["--shards", "2", "--threads", "2", "--no-prune"])
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
+        .args(["--trace-out", trace.to_str().unwrap()])
+        .output()
+        .expect("s4e runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(0), "{stdout}");
+    let json = std::fs::read_to_string(&trace).expect("merged trace");
+    let events = scale4edge::obs::from_chrome_json(&json).expect("parseable Chrome trace");
+    let sweeps: Vec<_> = events.iter().filter(|e| e.name == "sweep").collect();
+    assert!(sweeps.len() >= 2, "one sweep span per shard worker: {json}");
+    for sweep in &sweeps {
+        assert!(
+            sweep
+                .args
+                .contains(&("threads".to_string(), "2".to_string())),
+            "worker sweep ran with the forwarded thread count: {:?}",
+            sweep.args
+        );
+    }
+    // `--no-prune` was forwarded too: no mutant classification was
+    // produced by the pruning paths in any worker.
+    assert!(
+        events.iter().filter(|e| e.name == "mutant").all(|m| m
+            .args
+            .iter()
+            .all(|(k, v)| k != "prefix" || (v != "pruned" && v != "dedup"))),
+        "{json}"
+    );
+}
+
+#[test]
 fn campaign_metrics_out_counts_every_mutant() {
     let dir = std::env::temp_dir().join("s4e_cli_campaign_metrics_test");
     std::fs::create_dir_all(&dir).unwrap();
