@@ -8,12 +8,18 @@
 //!    × 35 injection times, blind-in-time over twice the golden length)
 //!    run with fast-forward off and on. The reports must be
 //!    classification-identical; the shape target is ≥ 3x throughput.
-//! 2. Bare dispatch: a branch-heavy kernel run on the three tiers —
+//!    The same sweep re-run with the template JIT disabled must also be
+//!    classification-identical (the JIT accelerates golden-prefix
+//!    replay; mutant execution itself is always interpreted).
+//! 2. Bare dispatch: a branch-heavy kernel run on the four tiers —
 //!    the per-instruction reference interpreter, the jump-cache block
-//!    dispatcher (micro-ops off), and the full micro-op engine
-//!    (lowered operands, macro-op fusion, direct block chaining).
-//!    Shape targets: jump cache ≥ 1.2x over reference, micro-op engine
-//!    ≥ 1.8x over the jump-cache tier.
+//!    dispatcher (micro-ops off), the full micro-op engine (lowered
+//!    operands, macro-op fusion, direct block chaining), and the
+//!    template JIT (hot blocks compiled to host code). Shape targets:
+//!    jump cache ≥ 1.2x over reference, micro-op engine ≥ 1.8x over
+//!    the jump-cache tier, JIT ≥ 3x over the micro-op engine. A
+//!    warm-seeded row (fresh VP per run adopting exported
+//!    translations) must report `warm_translations > 0`.
 //! 3. The same bare-dispatch sweep on a memory-bound kernel (unrolled
 //!    memcpy + checksum), with the micro-op engine measured both
 //!    without and with the RAM fast path. Shape target: the fast path
@@ -41,17 +47,33 @@ use s4e_vp::{DispatchStats, FlightRecorder, RunOutcome, Vp};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The current git revision, or `"unknown"` outside a work tree.
+/// The current git revision — with a `-dirty` suffix when the work tree
+/// differs from `HEAD`, so numbers from uncommitted builds never
+/// masquerade as a reproducible revision — or `"unknown"` outside a
+/// work tree.
 fn git_revision() -> String {
-    std::process::Command::new("git")
+    let rev = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
         .ok()
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+        .filter(|s| !s.is_empty());
+    let Some(rev) = rev else {
+        return "unknown".to_string();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
 }
 
 /// The host CPU model from `/proc/cpuinfo`, or `"unknown"`.
@@ -143,6 +165,30 @@ fn main() {
     );
     let campaign_speedup = legacy_s / ff_s;
 
+    // JIT A/B on the same 1120-spec sweep: mutant execution itself
+    // always runs interpreted (every mutant arms a flight recorder and
+    // fault masks, which gate native execution off), so this gates the
+    // JIT-accelerated golden-prefix replay — classifications must be
+    // identical with the JIT disabled outright.
+    let nojit_campaign = Campaign::prepare(
+        image.base(),
+        image.bytes(),
+        image.entry(),
+        &CampaignConfig::new()
+            .isa(isa)
+            .threads(threads)
+            .fast_forward(true)
+            .prune(false)
+            .jit(false),
+    )
+    .expect("prepares");
+    let nojit_report = nojit_campaign.run_all(&specs);
+    assert_eq!(
+        nojit_report.results(),
+        ff_report.results(),
+        "the JIT must be classification-identical on the acceptance sweep"
+    );
+
     println!("# C1 — campaign fast-forward throughput");
     println!();
     println!("git: {git_rev}, threads: {threads}, cpu: {cpu_model}");
@@ -162,6 +208,10 @@ fn main() {
     );
     println!();
     println!("campaign speedup: {campaign_speedup:.2}x");
+    println!(
+        "JIT-on vs --no-jit classification identity: PASS ({} specs)",
+        specs.len()
+    );
 
     // --- scale sweep: 10^5+ mutants, threads × pruning -----------------
     // The generator's balanced shape scaled until the sweep crosses
@@ -272,51 +322,56 @@ fn main() {
     // amortized away by long straight-line runs). One VP per tier, reset
     // between runs by restoring a post-load snapshot (identical cost on
     // all sides); the measurement window is time-based so each tier runs
-    // long enough to be stable.
-    let branchy = build(&state_machine(128).source, isa);
-    let dispatch = |image: &Image, fast: bool, uops: bool, mem_fast: bool, flight: bool| {
-        let mut vp = Vp::builder()
-            .isa(isa)
-            .fast_dispatch(fast)
-            .micro_ops(uops)
-            .mem_fast_path(mem_fast)
-            .build();
-        vp.load(image.base(), image.bytes()).expect("fits RAM");
-        vp.cpu_mut().set_pc(image.entry());
-        if flight {
-            vp.set_flight_recorder(Some(FlightRecorder::new(1024)));
-        }
-        let boot = vp.snapshot();
-        let mut insns = 0u64;
-        let mut per_run = 0u64;
-        let mut runs = 0u32;
-        let t0 = Instant::now();
-        while runs < 20 || t0.elapsed().as_secs_f64() < 0.5 {
-            vp.restore(&boot);
-            let outcome = vp.run_for(200_000_000);
-            assert_eq!(outcome, RunOutcome::Break);
-            per_run = vp.cpu().instret();
-            insns += per_run;
-            runs += 1;
-        }
-        (
-            per_run,
-            insns,
-            t0.elapsed().as_secs_f64(),
-            vp.dispatch_stats(),
-        )
-    };
+    // long enough to be stable. 4096 events ≈ 55k instructions per run:
+    // long enough that per-run warm-up (translation, and for the JIT
+    // tier promotion + compilation — restore drops all compiled code)
+    // amortizes, so every tier is measured at its steady state.
+    let branchy = build(&state_machine(4096).source, isa);
+    let dispatch =
+        |image: &Image, fast: bool, uops: bool, mem_fast: bool, jit: bool, flight: bool| {
+            let mut vp = Vp::builder()
+                .isa(isa)
+                .fast_dispatch(fast)
+                .micro_ops(uops)
+                .mem_fast_path(mem_fast)
+                .jit(jit)
+                .build();
+            vp.load(image.base(), image.bytes()).expect("fits RAM");
+            vp.cpu_mut().set_pc(image.entry());
+            if flight {
+                vp.set_flight_recorder(Some(FlightRecorder::new(1024)));
+            }
+            let boot = vp.snapshot();
+            let mut insns = 0u64;
+            let mut per_run = 0u64;
+            let mut runs = 0u32;
+            let t0 = Instant::now();
+            while runs < 20 || t0.elapsed().as_secs_f64() < 0.5 {
+                vp.restore(&boot);
+                let outcome = vp.run_for(200_000_000);
+                assert_eq!(outcome, RunOutcome::Break);
+                per_run = vp.cpu().instret();
+                insns += per_run;
+                runs += 1;
+            }
+            (
+                per_run,
+                insns,
+                t0.elapsed().as_secs_f64(),
+                vp.dispatch_stats(),
+            )
+        };
     // Host throughput on shared runners drifts by double-digit
     // percentages between measurement windows, so tier ratios taken
     // from single sequential windows are unusable: measure every tier
     // in interleaved rounds and keep each tier's fastest window —
     // transient load only ever slows a window down, so the maxima
     // compare all tiers at the host's shared full speed.
-    let sweep = |image: &Image, arms: &[(bool, bool, bool)]| {
+    let sweep = |image: &Image, arms: &[(bool, bool, bool, bool)]| {
         let mut best: Vec<Option<(u64, u64, f64, DispatchStats)>> = vec![None; arms.len()];
         for _ in 0..3 {
-            for (i, &(fast, uops, mem_fast)) in arms.iter().enumerate() {
-                let sample = dispatch(image, fast, uops, mem_fast, false);
+            for (i, &(fast, uops, mem_fast, jit)) in arms.iter().enumerate() {
+                let sample = dispatch(image, fast, uops, mem_fast, jit, false);
                 let mips = sample.1 as f64 / sample.2;
                 if best[i]
                     .as_ref()
@@ -333,22 +388,31 @@ fn main() {
     let tiers = sweep(
         &branchy,
         &[
-            (false, false, false),
-            (true, false, false),
-            (true, true, true),
+            (false, false, false, false),
+            (true, false, false, false),
+            (true, true, true, false),
+            (true, true, true, true),
         ],
     );
     let (run_ref, insns_ref, ref_s, _) = tiers[0];
     let (run_jc, insns_jc, jc_s, _) = tiers[1];
     let (run_uop, insns_uop, uop_s, uop_stats) = tiers[2];
+    let (run_jit, insns_jit, jit_s, jit_stats) = tiers[3];
     assert_eq!(run_jc, run_ref, "dispatch tier must not change results");
     assert_eq!(run_uop, run_ref, "dispatch tier must not change results");
+    assert_eq!(run_jit, run_ref, "dispatch tier must not change results");
     let mips_ref = insns_ref as f64 / ref_s / 1e6;
     let mips_jc = insns_jc as f64 / jc_s / 1e6;
     let mips_uop = insns_uop as f64 / uop_s / 1e6;
+    let mips_jit = insns_jit as f64 / jit_s / 1e6;
     let jc_speedup = mips_jc / mips_ref;
     let uop_speedup = mips_uop / mips_jc;
     let total_speedup = mips_uop / mips_ref;
+    let jit_speedup = mips_jit / mips_uop;
+    assert!(
+        jit_stats.jit_blocks > 0 && jit_stats.jit_exec > 0,
+        "the JIT tier must actually execute native code: {jit_stats:?}"
+    );
 
     let fused_insn_share = if insns_uop == 0 {
         0.0
@@ -359,22 +423,81 @@ fn main() {
     let chain_hit_rate = uop_stats.chain_hit_rate();
 
     println!();
-    println!("# bare dispatch (three execution-engine tiers)");
+    println!("# bare dispatch (four execution-engine tiers)");
     println!();
     println!("| tier | insns | wall time | MIPS |");
     println!("|---|---|---|---|");
     println!("| reference (per-insn) | {insns_ref} | {ref_s:.3} s | {mips_ref:.1} |");
     println!("| jump cache | {insns_jc} | {jc_s:.3} s | {mips_jc:.1} |");
     println!("| micro-op engine | {insns_uop} | {uop_s:.3} s | {mips_uop:.1} |");
+    println!("| template JIT | {insns_jit} | {jit_s:.3} s | {mips_jit:.1} |");
     println!();
     println!("jump cache over reference : {jc_speedup:.2}x");
     println!("micro-op engine over jump cache: {uop_speedup:.2}x");
     println!("micro-op engine over reference : {total_speedup:.2}x");
+    println!("template JIT over micro-op engine: {jit_speedup:.2}x");
     println!(
         "chain hit rate: {:.1}%, fused insn share: {:.1}%",
         chain_hit_rate * 100.0,
         fused_insn_share * 100.0
     );
+    println!(
+        "jit blocks: {}, native block executions: {}, bailouts: {}",
+        jit_stats.jit_blocks, jit_stats.jit_exec, jit_stats.jit_bailouts
+    );
+
+    // --- warm-seeded dispatch ------------------------------------------
+    // The campaign fast-forward path in miniature: a fresh VP per run
+    // adopts a hot VP's exported translations instead of decoding and
+    // lowering from RAM. The adopt counter must actually move — a silent
+    // hash or config mismatch would turn warm seeding into a no-op while
+    // this row kept reporting plausible numbers.
+    let warm_set = {
+        let mut vp = Vp::builder().isa(isa).jit(false).build();
+        vp.load(branchy.base(), branchy.bytes()).expect("fits RAM");
+        vp.cpu_mut().set_pc(branchy.entry());
+        assert_eq!(vp.run_for(200_000_000), RunOutcome::Break);
+        Arc::new(vp.export_translations())
+    };
+    let warm_dispatch = || {
+        let mut insns = 0u64;
+        let mut adopted = 0u64;
+        let mut runs = 0u32;
+        let t0 = Instant::now();
+        while runs < 20 || t0.elapsed().as_secs_f64() < 0.5 {
+            let mut vp = Vp::builder().isa(isa).jit(false).build();
+            vp.set_warm_translations(Some(Arc::clone(&warm_set)));
+            vp.load(branchy.base(), branchy.bytes()).expect("fits RAM");
+            vp.cpu_mut().set_pc(branchy.entry());
+            assert_eq!(vp.run_for(200_000_000), RunOutcome::Break);
+            assert_eq!(
+                vp.cpu().instret(),
+                run_ref,
+                "warm adoption must not change results"
+            );
+            insns += vp.cpu().instret();
+            adopted += vp.dispatch_stats().warm_translations;
+            runs += 1;
+        }
+        (insns as f64 / t0.elapsed().as_secs_f64() / 1e6, adopted)
+    };
+    let mut mips_warm = 0.0f64;
+    let mut warm_adopted = 0u64;
+    for _ in 0..3 {
+        let (mips, adopted) = warm_dispatch();
+        mips_warm = mips_warm.max(mips);
+        warm_adopted = warm_adopted.max(adopted);
+    }
+    assert!(
+        warm_adopted > 0,
+        "warm seeding must adopt shared translations"
+    );
+    println!();
+    println!("# warm-seeded dispatch (fresh VP per run, shared translations)");
+    println!();
+    println!("| mode | MIPS | adopted translations |");
+    println!("|---|---|---|");
+    println!("| warm-seeded micro-op engine | {mips_warm:.1} | {warm_adopted} |");
 
     // --- memory-bound dispatch -----------------------------------------
     // The RAM fast-path experiment: a load/store-dominated kernel where
@@ -382,13 +505,16 @@ fn main() {
     // micro-op tier runs twice — without and with the fast path — so the
     // fast-path gain is isolated from the rest of the engine.
     let memory = build(&memcpy_checksum(256, 8).source, isa);
+    // JIT pinned off on every arm: the experiment isolates the RAM fast
+    // path inside the interpreter, and a native tier on top would fold
+    // the JIT's own memory handling into the ratio.
     let mem_tiers = sweep(
         &memory,
         &[
-            (false, false, false),
-            (true, false, false),
-            (true, true, false),
-            (true, true, true),
+            (false, false, false, false),
+            (true, false, false, false),
+            (true, true, false, false),
+            (true, true, true, false),
         ],
     );
     let (run_mref, insns_mref, mref_s, _) = mem_tiers[0];
@@ -437,8 +563,11 @@ fn main() {
     // so back-to-back windows with best-of-3 maxima are the only
     // comparison that can resolve 2%. The armed arm rides the same
     // loop, giving the real (reported, ungated) recording cost.
+    // JIT pinned off on both arms: an armed flight recorder structurally
+    // disables native execution, so with the JIT on the armed arm would
+    // measure the loss of the JIT, not the recorder's own cost.
     let measure = |flight: bool| {
-        let (run, insns, secs, _) = dispatch(&branchy, true, true, true, flight);
+        let (run, insns, secs, _) = dispatch(&branchy, true, true, true, false, flight);
         assert_eq!(run, run_ref, "observability must not change results");
         insns as f64 / secs / 1e6
     };
@@ -481,7 +610,8 @@ fn main() {
             "{{\"chain_hits\": {}, \"chain_links\": {}, \"jmp_cache_hits\": {}, \
              \"jmp_cache_misses\": {}, \"fused_lowered\": {}, \"fused_exec\": {}, \
              \"mem_fast_hits\": {}, \"mem_slow_hits\": {}, \"translations\": {}, \
-             \"warm_translations\": {}}}",
+             \"warm_translations\": {}, \"jit_blocks\": {}, \"jit_exec\": {}, \
+             \"jit_bailouts\": {}}}",
             s.chain_hits,
             s.chain_links,
             s.jmp_cache_hits,
@@ -492,6 +622,9 @@ fn main() {
             s.mem_slow_hits,
             s.translations,
             s.warm_translations,
+            s.jit_blocks,
+            s.jit_exec,
+            s.jit_bailouts,
         )
     };
     let json = format!(
@@ -512,6 +645,10 @@ fn main() {
          \"jump_cache_speedup\": {:.3},\n  \"uop_engine_speedup\": {:.3},\n  \
          \"dispatch_speedup\": {:.3},\n  \"chain_hit_rate\": {:.4},\n  \
          \"fused_insn_share\": {:.4},\n  \"uop_dispatch_stats\": {},\n  \
+         \"jit_mips\": {:.3},\n  \"jit_speedup\": {:.3},\n  \
+         \"jit_dispatch_stats\": {},\n  \
+         \"jit_classification_identical\": true,\n  \
+         \"warm_dispatch_mips\": {:.3},\n  \"warm_translations\": {},\n  \
          \"trace_off_mips\": {:.3},\n  \"trace_off_overhead\": {:.4},\n  \
          \"flight_recorder_mips\": {:.3},\n  \"flight_recorder_overhead\": {:.4},\n  \
          \"mem_kernel_insns\": {},\n  \"mem_reference_mips\": {:.3},\n  \
@@ -550,6 +687,11 @@ fn main() {
         chain_hit_rate,
         fused_insn_share,
         stats_json(&uop_stats),
+        mips_jit,
+        jit_speedup,
+        stats_json(&jit_stats),
+        mips_warm,
+        warm_adopted,
         mips_off,
         trace_off_overhead,
         mips_fr,
@@ -597,6 +739,12 @@ fn main() {
         uop_speedup >= 1.8,
         "shape: the micro-op engine should gain >= 1.8x over the jump-cache \
          tier (got {uop_speedup:.2}x)"
+    );
+    assert!(
+        jit_speedup >= 3.0,
+        "shape: the template JIT should gain >= 3x over the micro-op engine \
+         on the branch-heavy kernel (got {jit_speedup:.2}x, {mips_jit:.0} vs \
+         {mips_uop:.0} MIPS)"
     );
     // The fast-path ratio swings with host memory performance (observed
     // 1.3x–1.5x for the same binary across load conditions); the gate

@@ -105,6 +105,34 @@ mod tests {
     use kernels::*;
 
     #[test]
+    fn fusion_fires_on_the_dispatch_bench_kernel() {
+        // The state-machine kernel is built from decrement-and-branch
+        // (`addi rd, rd, -1; bnez rd`) and compare-immediate
+        // (`li rd, C; beq/bne rs, rd`) idioms — exactly the AddBranch
+        // fusion targets. JIT pinned off so `fused_exec` counts the
+        // interpreter's own fused retirement, the number the bench
+        // campaign reports as `fused_insn_share`.
+        let k = state_machine(128);
+        let image = build(&k.source, IsaConfig::rv32imc());
+        let mut vp = Vp::builder().isa(IsaConfig::rv32imc()).jit(false).build();
+        vp.load(image.base(), image.bytes()).expect("fits RAM");
+        vp.cpu_mut().set_pc(image.entry());
+        assert_eq!(vp.run_for(200_000_000), RunOutcome::Break);
+        let stats = vp.dispatch_stats();
+        assert!(stats.fused_lowered > 0, "{stats:?}");
+        // Each fused uop retires two instructions; the share must be a
+        // real fraction of the kernel, not the former 0.0012 rounding
+        // error.
+        let share = 2.0 * stats.fused_exec as f64 / vp.cpu().instret() as f64;
+        assert!(
+            share > 0.05,
+            "fused_insn_share {share:.4} too low (fused_exec {}, instret {})",
+            stats.fused_exec,
+            vp.cpu().instret()
+        );
+    }
+
+    #[test]
     fn wcet_kernels_run_and_produce_results() {
         for k in wcet_benchmarks() {
             let stats = run_kernel(&k.source, IsaConfig::full());

@@ -130,6 +130,13 @@ pub struct CampaignConfig {
     /// On by default; classifications are identical either way — this is
     /// purely a throughput switch and the `--no-prune` A/B path.
     pub prune: bool,
+    /// Whether campaign VPs may promote hot blocks to the template JIT
+    /// tier. On by default; classifications are identical either way —
+    /// mutant execution itself always runs interpreted (the per-mutant
+    /// flight recorder and injected fault masks gate native code off),
+    /// so this accelerates the golden-prefix replay and pruning-analysis
+    /// VPs and is the `--no-jit` A/B switch.
+    pub jit: bool,
 }
 
 impl CampaignConfig {
@@ -148,6 +155,7 @@ impl CampaignConfig {
             reference_dispatch: false,
             share_translations: true,
             prune: true,
+            jit: true,
         }
     }
 
@@ -218,6 +226,15 @@ impl CampaignConfig {
     #[must_use]
     pub fn prune(mut self, on: bool) -> CampaignConfig {
         self.prune = on;
+        self
+    }
+
+    /// Enables or disables the template JIT on campaign VPs
+    /// (classifications are identical either way — the `--no-jit` A/B
+    /// switch).
+    #[must_use]
+    pub fn jit(mut self, on: bool) -> CampaignConfig {
+        self.jit = on;
         self
     }
 
@@ -375,7 +392,8 @@ impl Campaign {
             .isa(config.isa)
             .ram(base & !0xfff, config.ram_size)
             .timing(TimingModel::flat())
-            .fast_dispatch(!config.reference_dispatch);
+            .fast_dispatch(!config.reference_dispatch)
+            .jit(config.jit);
         let mut vp = Self::boot_vp(&vp_builder, base, bytes, entry)?;
         vp.add_plugin(Box::new(TracePlugin::new()));
         let outcome = vp.run_for(50_000_000);

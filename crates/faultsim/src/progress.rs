@@ -79,6 +79,9 @@ pub struct CampaignProgress {
     warm_translations: Arc<Counter>,
     mem_fast_hits: Arc<Counter>,
     mem_slow_hits: Arc<Counter>,
+    jit_blocks: Arc<Counter>,
+    jit_exec: Arc<Counter>,
+    jit_bailouts: Arc<Counter>,
     pruned_dead: Arc<Counter>,
     pruned_dedup: Arc<Counter>,
     queue_steals: Arc<Counter>,
@@ -134,6 +137,9 @@ impl CampaignProgress {
             warm_translations: registry.counter("campaign_warm_translations"),
             mem_fast_hits: registry.counter("campaign_mem_fast_hits"),
             mem_slow_hits: registry.counter("campaign_mem_slow_hits"),
+            jit_blocks: registry.counter("campaign_jit_blocks_compiled"),
+            jit_exec: registry.counter("campaign_jit_blocks_executed"),
+            jit_bailouts: registry.counter("campaign_jit_bailouts"),
             pruned_dead: registry.counter("campaign_pruned_dead"),
             pruned_dedup: registry.counter("campaign_pruned_dedup"),
             queue_steals: registry.counter("campaign_queue_steals"),
@@ -193,6 +199,9 @@ impl CampaignProgress {
         self.warm_translations.add(stats.warm_translations);
         self.mem_fast_hits.add(stats.mem_fast_hits);
         self.mem_slow_hits.add(stats.mem_slow_hits);
+        self.jit_blocks.add(stats.jit_blocks);
+        self.jit_exec.add(stats.jit_exec);
+        self.jit_bailouts.add(stats.jit_bailouts);
         self.lock_waits.add(stats.lock_waits);
         self.lock_wait_us.add(stats.lock_wait_us);
     }

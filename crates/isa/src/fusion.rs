@@ -81,6 +81,29 @@ pub enum FusionPattern {
         /// Branch displacement from the *branch's* pc.
         offset: i32,
     },
+    /// `addi rd, rs1, imm` + `beq`/`bne` reading `rd` against another
+    /// register: add (or load an immediate, when `rs1` is `x0`) and
+    /// branch on equality with the result. Covers the two idioms that
+    /// dominate branchy compiled code: `li rd, imm ; beq rs, rd, ...`
+    /// (compare against a small constant) and `addi rd, rd, -1 ;
+    /// bnez rd, loop` (counted-loop decrement).
+    AddBranch {
+        /// The `addi` destination (architecturally written even when the
+        /// branch is taken).
+        rd: Gpr,
+        /// The `addi` source (`x0` for the `li` form).
+        rs1: Gpr,
+        /// The `addi` immediate.
+        imm: i32,
+        /// The branch operand that is *not* `rd` (never aliases `rd`;
+        /// may be `x0` for the `beqz`/`bnez` forms).
+        other: Gpr,
+        /// `true` for `beq` (branch when `rd == other`), `false` for
+        /// `bne`.
+        branch_on_eq: bool,
+        /// Branch displacement from the *branch's* pc.
+        offset: i32,
+    },
     /// `slli rd, rs1, l` + `srli rd, rd, r`: bit-field extraction
     /// (`l == r` is the canonical zero-extension idiom).
     ShiftPair {
@@ -171,6 +194,28 @@ pub fn detect(first: &Insn, second: &Insn) -> Option<FusionPattern> {
                 rs2: first.rs2_gpr(),
                 imm: first.imm(),
                 branch_if_set: second.kind() == Bne,
+                offset: second.imm(),
+            })
+        }
+        // addi rd ; beq/bne reading rd — add (or li) and branch on the
+        // result. rd == x0 would make the add unobservable; a branch
+        // whose other operand is also rd is degenerate (always compares
+        // the new value against itself) — both stay on the generic path.
+        (Addi, Beq | Bne) if first.rd() != 0 => {
+            let rd = first.rd();
+            let other = if second.rs1() == rd && second.rs2() != rd {
+                second.rs2_gpr()
+            } else if second.rs2() == rd && second.rs1() != rd {
+                second.rs1_gpr()
+            } else {
+                return None;
+            };
+            Some(FusionPattern::AddBranch {
+                rd: first.rd_gpr(),
+                rs1: first.rs1_gpr(),
+                imm: first.imm(),
+                other,
+                branch_on_eq: second.kind() == Beq,
                 offset: second.imm(),
             })
         }
@@ -285,6 +330,57 @@ mod tests {
         let slt_x0 = insn(InsnKind::Slt, 0, 10, 11, 0);
         let beqz_x0 = insn(InsnKind::Beq, 0, 0, 0, 64);
         assert_eq!(detect(&slt_x0, &beqz_x0), None);
+    }
+
+    #[test]
+    fn add_branch_covers_li_compare_and_decrement() {
+        // li t1, 1 ; beq s2, t1, +32 — compare a live register against a
+        // small constant (the branchy-kernel dispatch idiom).
+        let li = insn(InsnKind::Addi, 6, 0, 0, 1);
+        let beq = insn(InsnKind::Beq, 0, 18, 6, 32);
+        assert_eq!(
+            detect(&li, &beq),
+            Some(FusionPattern::AddBranch {
+                rd: Gpr::new(6).unwrap(),
+                rs1: Gpr::ZERO,
+                imm: 1,
+                other: Gpr::new(18).unwrap(),
+                branch_on_eq: true,
+                offset: 32,
+            })
+        );
+        // addi s0, s0, -1 ; bnez s0, -16 — counted-loop decrement.
+        let dec = insn(InsnKind::Addi, 8, 8, 0, -1);
+        let bnez = insn(InsnKind::Bne, 0, 8, 0, -16);
+        assert_eq!(
+            detect(&dec, &bnez),
+            Some(FusionPattern::AddBranch {
+                rd: Gpr::new(8).unwrap(),
+                rs1: Gpr::new(8).unwrap(),
+                imm: -1,
+                other: Gpr::ZERO,
+                branch_on_eq: false,
+                offset: -16,
+            })
+        );
+        // Operand order is symmetric: beq t1, s2 is the same comparison.
+        let beq_swapped = insn(InsnKind::Beq, 0, 6, 18, 32);
+        assert!(matches!(
+            detect(&li, &beq_swapped),
+            Some(FusionPattern::AddBranch {
+                branch_on_eq: true,
+                ..
+            })
+        ));
+        // rd == x0 makes the add unobservable: no fusion.
+        let nop_addi = insn(InsnKind::Addi, 0, 5, 0, 1);
+        assert_eq!(detect(&nop_addi, &bnez), None);
+        // A branch reading rd on both sides is degenerate: no fusion.
+        let beq_self = insn(InsnKind::Beq, 0, 6, 6, 32);
+        assert_eq!(detect(&li, &beq_self), None);
+        // A branch not reading rd at all is unrelated.
+        let beq_other = insn(InsnKind::Beq, 0, 18, 19, 32);
+        assert_eq!(detect(&li, &beq_other), None);
     }
 
     #[test]

@@ -222,6 +222,25 @@ impl Bus {
         &self.ram
     }
 
+    /// Raw pointer to RAM for the template JIT. Compiled code accesses
+    /// only bounds-checked, aligned offsets (the checks are emitted
+    /// inline, mirroring [`ram_read_fast`](Bus::ram_read_fast) and
+    /// [`ram_write_fast`](Bus::ram_write_fast)); the backing `Vec` is
+    /// never resized after construction, so the pointer is stable for
+    /// the lifetime of the bus.
+    pub(crate) fn ram_ptr(&mut self) -> *mut u8 {
+        self.ram.as_mut_ptr()
+    }
+
+    /// Raw pointer to the dirty-page bitmap for the template JIT, which
+    /// sets the page bit on every native store (same page arithmetic as
+    /// [`ram_write_fast`](Bus::ram_write_fast)). Stable like
+    /// [`ram_ptr`](Bus::ram_ptr): the bitmap is sized once at
+    /// construction.
+    pub(crate) fn dirty_ptr(&mut self) -> *mut u64 {
+        self.dirty.as_mut_ptr()
+    }
+
     /// The byte range of RAM page `page`, clamped to the RAM size.
     pub(crate) fn page_range(&self, page: usize) -> std::ops::Range<usize> {
         let start = page << PAGE_SHIFT;

@@ -114,6 +114,15 @@ impl Cpu {
         }
     }
 
+    /// Raw pointer to the GPR file for the template JIT. Compiled code
+    /// reads and writes `gprs[1..32]` directly (and never writes slot 0,
+    /// preserving the hard-wired `x0`); valid only while no stuck-at
+    /// fault masks are active — the JIT dispatcher checks
+    /// [`faults_enabled`](Cpu::faults_enabled) before every native run.
+    pub(crate) fn gprs_ptr(&mut self) -> *mut u32 {
+        self.gprs.as_mut_ptr()
+    }
+
     /// Reads a floating-point register (raw bits).
     #[inline]
     pub fn fpr(&self, reg: Fpr) -> u32 {

@@ -1,0 +1,1694 @@
+//! Copy-and-patch template JIT: hot translation blocks, already lowered
+//! to micro-ops, are compiled into host x86-64 machine code in a W^X
+//! code arena and chained directly block-to-block.
+//!
+//! The design goal is *never a second implementation of the
+//! semantics*: each micro-op gets a short host-code template that
+//! performs exactly the micro-op engine's RAM-fast-path behavior, and
+//! everything a template does not cover bails out — **before any
+//! architectural effect of the uncovered micro-op** — back to the
+//! micro-op engine, which resumes mid-block at the bailing micro-op
+//! index. CSR/system/FP instructions lower to `Op::Generic` and make a
+//! block ineligible outright; MMIO, misaligned or RAM-edge accesses,
+//! stores into the translated code range and mid-block budget expiry
+//! bail dynamically.
+//!
+//! ## Execution contract
+//!
+//! Compiled code runs under a context (`JitCtx`) refreshed at every
+//! native entry and obeys:
+//!
+//! - **Accounting**: the cycle/instret/fused-op deltas along any path
+//!   through a block are compile-time constants; each exit site adds
+//!   its path constant to the context accumulators, so counters are
+//!   exact at every exit. This is the micro-op engine's "batched,
+//!   flushed at observable points" scheme taken to its limit: nothing
+//!   observable can happen *inside* native code, which is exactly what
+//!   the entry preconditions and the bail conditions guarantee.
+//! - **Deadline**: every block entry compares the accumulated cycles
+//!   against a deadline — `min(cycles until mip can next change,
+//!   JIT_SLICE)` — and exits to the dispatcher when reached, so
+//!   interrupts are delivered at exactly the block boundary the
+//!   interpreter would deliver them at, and cancellation/watchdog
+//!   latency stays bounded.
+//! - **Budget**: every block entry checks that the remaining
+//!   instruction budget covers the whole block and otherwise bails at
+//!   micro-op 0; the micro-op engine then reproduces the exact
+//!   mid-block (and mid-fused-pair) expiry boundary.
+//! - **Memory**: loads and stores inline the RAM fast path (aligned,
+//!   wholly inside RAM) including page-granular dirty marking;
+//!   anything else bails. Stores additionally bail when they overlap
+//!   the translated code range, so native code never triggers an
+//!   invalidation itself — the micro-op engine re-executes the store
+//!   and requests the deferred invalidation, exactly like the
+//!   interpreter's fast path.
+//!
+//! ## Arena lifecycle
+//!
+//! Code lives in one lazily-`mmap`'d arena per VP, toggled between RW
+//! (while compiling/patching) and R+X (while executing) — never
+//! writable and executable at once. `Vp::invalidate_caches` — SMC,
+//! `fence.i`, `load`, `bus_mut`, snapshot restore — resets the arena
+//! cursor and forgets all entry points alongside dropping the
+//! translated blocks that hold the entry cookies; this is sound
+//! because invalidation only runs at dispatch boundaries, never while
+//! native code is on the stack.
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use native::JitEngine;
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) use stub::JitEngine;
+
+/// Cycle ceiling per native entry: even with no timer armed, native
+/// chains return to the dispatcher at least this often so cancellation
+/// tokens and watchdog clocks stay responsive.
+pub(crate) const JIT_SLICE: u64 = 100_000;
+
+/// Outcome of a compilation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Compiled {
+    /// The block was compiled; execute it via `JitEngine::run` with
+    /// this entry cookie.
+    Entry(usize),
+    /// The block contains micro-ops with no template (or the arena is
+    /// full or unavailable): keep executing it through the micro-op
+    /// engine.
+    Ineligible,
+}
+
+/// Result of one native run. `bail_uop` is `Some(k)` when a compiled
+/// block hit a condition its templates don't cover: `exit_pc` then
+/// names the *bailing block* (which can differ from the entry block
+/// after chaining) and `k` the micro-op to resume at, with no
+/// architectural effect of micro-op `k` applied yet. Otherwise
+/// `exit_pc` is simply the next fetch pc.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JitExit {
+    pub exit_pc: u32,
+    pub bail_uop: Option<u32>,
+    /// Cycles consumed, to add to the CPU's counter.
+    pub cycles: u64,
+    /// Instructions retired (budget already consumed).
+    pub retired: u64,
+    /// Remaining instruction budget after the run.
+    pub remaining: u64,
+    /// Native block executions (including the bailing one, if any).
+    pub blocks: u64,
+    /// Fused macro-ops executed natively (feeds `fused_exec`).
+    pub fused: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod stub {
+    //! Non-x86-64 hosts: the JIT compiles out; the engine is never
+    //! constructed and every block is "ineligible".
+    use super::{Compiled, JitExit};
+    use crate::uop::MicroOp;
+
+    #[derive(Debug)]
+    pub(crate) struct JitEngine {}
+
+    impl JitEngine {
+        pub(crate) fn new() -> Option<JitEngine> {
+            None
+        }
+
+        pub(crate) fn reset(&mut self) {}
+
+        pub(crate) fn compile(
+            &mut self,
+            _pc: u32,
+            _uops: &[MicroOp],
+            _fall_pc: u32,
+            _ram_base: u32,
+            _ram_len: u32,
+        ) -> Compiled {
+            Compiled::Ineligible
+        }
+
+        /// # Safety
+        /// Never called: no entry cookie can exist on this target.
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) unsafe fn run(
+            &mut self,
+            _entry: usize,
+            _gprs: *mut u32,
+            _ram: *mut u8,
+            _dirty: *mut u64,
+            _remaining: u64,
+            _deadline: u64,
+            _code_lo: u32,
+            _code_hi: u32,
+        ) -> JitExit {
+            unreachable!("stub JIT engine cannot run")
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod native {
+    use super::{Compiled, JitExit};
+    use crate::uop::{MicroOp, Op};
+    use std::collections::HashMap;
+
+    /// Arena capacity. Blocks average a few hundred bytes of host
+    /// code; 4 MiB covers tens of thousands of hot blocks — far beyond
+    /// any guest working set — and is only reserved, not committed,
+    /// until written.
+    const ARENA_CAP: usize = 4 << 20;
+
+    // Raw libc bindings: the JIT must not add dependencies, mirroring
+    // the `signal(2)` binding in `s4e-faultsim`.
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        fn mprotect(addr: *mut core::ffi::c_void, len: usize, prot: i32) -> i32;
+        fn memfd_create(name: *const core::ffi::c_char, flags: u32) -> i32;
+        fn ftruncate(fd: i32, length: i64) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const PROT_EXEC: i32 = 4;
+    const MAP_SHARED: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    const MAP_ANONYMOUS: i32 = 0x20;
+    const MFD_CLOEXEC: u32 = 1;
+
+    /// A W^X code buffer: no mapping ever holds write and execute
+    /// permission together.
+    ///
+    /// Preferred shape: one `memfd` mapped **twice** — an RW write view
+    /// for the compiler and an R+X exec view for the trampoline. The
+    /// views share physical pages, so installing a block or patching a
+    /// chain site is an ordinary store with no syscall on the compile
+    /// path (the old whole-arena `mprotect` toggle cost two TLB-shooting
+    /// syscalls per compiled block, which dominated warm-up-heavy
+    /// workloads).
+    ///
+    /// Fallback (no `memfd_create`, e.g. a locked-down seccomp profile):
+    /// a single anonymous mapping toggled RW ⇄ R+X around each compile,
+    /// exactly the old behaviour.
+    #[derive(Debug)]
+    struct CodeArena {
+        /// RW view: all emission and patching goes through this.
+        write_base: *mut u8,
+        /// R+X view handed to the trampoline. Aliases `write_base` in
+        /// the single-mapping fallback.
+        exec_base: *mut u8,
+        cap: usize,
+        /// Dual-view mode: `set_exec` is a no-op.
+        dual: bool,
+    }
+
+    // SAFETY: the arena exclusively owns its mapping(s); all access
+    // goes through the uniquely-owning `JitEngine` inside a `Vp`, which
+    // moves between threads only as a whole (`Vp: Send`).
+    unsafe impl Send for CodeArena {}
+
+    impl CodeArena {
+        fn new(cap: usize) -> Option<CodeArena> {
+            CodeArena::new_dual(cap).or_else(|| CodeArena::new_single(cap))
+        }
+
+        /// The dual-view arena: `memfd` + RW mapping + R+X mapping.
+        fn new_dual(cap: usize) -> Option<CodeArena> {
+            // SAFETY: plain syscalls; every result is checked before
+            // use, and partially constructed resources are released on
+            // the error paths.
+            unsafe {
+                let fd = memfd_create(c"s4e-jit".as_ptr(), MFD_CLOEXEC);
+                if fd < 0 {
+                    return None;
+                }
+                if ftruncate(fd, cap as i64) != 0 {
+                    close(fd);
+                    return None;
+                }
+                let write_base = mmap(
+                    core::ptr::null_mut(),
+                    cap,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED,
+                    fd,
+                    0,
+                );
+                if write_base as isize == -1 || write_base.is_null() {
+                    close(fd);
+                    return None;
+                }
+                let exec_base = mmap(
+                    core::ptr::null_mut(),
+                    cap,
+                    PROT_READ | PROT_EXEC,
+                    MAP_SHARED,
+                    fd,
+                    0,
+                );
+                // The mappings keep the pages alive on their own.
+                close(fd);
+                if exec_base as isize == -1 || exec_base.is_null() {
+                    munmap(write_base, cap);
+                    return None;
+                }
+                Some(CodeArena {
+                    write_base: write_base.cast(),
+                    exec_base: exec_base.cast(),
+                    cap,
+                    dual: true,
+                })
+            }
+        }
+
+        /// The single-mapping fallback, toggled by `set_exec`.
+        fn new_single(cap: usize) -> Option<CodeArena> {
+            // SAFETY: fresh anonymous private mapping at no particular
+            // address; failure is checked below.
+            let base = unsafe {
+                mmap(
+                    core::ptr::null_mut(),
+                    cap,
+                    PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS,
+                    -1,
+                    0,
+                )
+            };
+            if base as isize == -1 || base.is_null() {
+                return None;
+            }
+            Some(CodeArena {
+                write_base: base.cast(),
+                exec_base: base.cast(),
+                cap,
+                dual: false,
+            })
+        }
+
+        /// Single-mapping fallback only: flip the whole arena between
+        /// RW (compile/patch) and R+X (execute). A no-op in dual-view
+        /// mode, where the two permissions live on separate views.
+        fn set_exec(&mut self, exec: bool) {
+            if self.dual {
+                return;
+            }
+            let prot = if exec {
+                PROT_READ | PROT_EXEC
+            } else {
+                PROT_READ | PROT_WRITE
+            };
+            // SAFETY: `write_base`/`cap` describe our own live mapping.
+            let rc = unsafe { mprotect(self.write_base.cast(), self.cap, prot) };
+            assert_eq!(rc, 0, "mprotect on the JIT arena failed");
+        }
+
+        fn write(&mut self, at: usize, bytes: &[u8]) {
+            assert!(at + bytes.len() <= self.cap, "JIT arena overflow");
+            // SAFETY: in-bounds (asserted) write into our RW view; in
+            // fallback mode the engine only calls this between
+            // `set_exec(false)` and `set_exec(true)`.
+            unsafe {
+                core::ptr::copy_nonoverlapping(
+                    bytes.as_ptr(),
+                    self.write_base.add(at),
+                    bytes.len(),
+                );
+            }
+        }
+
+        fn patch32(&mut self, at: usize, value: i32) {
+            self.write(at, &value.to_le_bytes());
+        }
+    }
+
+    impl Drop for CodeArena {
+        fn drop(&mut self) {
+            // SAFETY: unmapping the mapping(s) we own; nothing can run
+            // from them afterwards — the engine is being dropped, and
+            // with it the `Vp` holding every entry cookie.
+            unsafe {
+                munmap(self.write_base.cast(), self.cap);
+                if self.dual {
+                    munmap(self.exec_base.cast(), self.cap);
+                }
+            }
+        }
+    }
+
+    /// The in/out parameter block shared between the dispatcher and
+    /// native code. Field offsets are baked into the templates — keep
+    /// the layout and the `OFF_*` constants in sync.
+    #[repr(C)]
+    #[derive(Debug)]
+    struct JitCtx {
+        gprs: *mut u32,  // 0
+        ram: *mut u8,    // 8
+        dirty: *mut u64, // 16
+        remaining: u64,  // 24 (in/out: instruction budget)
+        cyc: u64,        // 32 (out: cycles consumed this run)
+        deadline: u64,   // 40 (in: cycle ceiling for this run)
+        blocks: u64,     // 48 (out: native block executions)
+        exit_pc: u32,    // 56 (out)
+        bail_uop: u32,   // 60 (out; NO_BAIL = clean exit)
+        code_lo: u32,    // 64 (in: translated guest code range)
+        code_hi: u32,    // 68
+        fused: u64,      // 72 (out: fused macro-ops executed)
+    }
+
+    const OFF_GPRS: i8 = 0;
+    const OFF_RAM: i8 = 8;
+    const OFF_DIRTY: i8 = 16;
+    const OFF_REMAINING: i8 = 24;
+    const OFF_CYC: i8 = 32;
+    const OFF_DEADLINE: i8 = 40;
+    const OFF_BLOCKS: i8 = 48;
+    const OFF_EXIT_PC: i8 = 56;
+    const OFF_BAIL_UOP: i8 = 60;
+    const OFF_CODE_LO: i8 = 64;
+    const OFF_CODE_HI: i8 = 68;
+    const OFF_FUSED: i8 = 72;
+
+    /// `bail_uop` value meaning "no bail: `exit_pc` is the next fetch
+    /// pc".
+    const NO_BAIL: u32 = u32::MAX;
+
+    // ---------------------------------------------------- assembler
+
+    // Host register numbers (x86-64 encoding values). Fixed roles
+    // inside native code: r15 = ctx, rbx = GPR file, r13 = RAM base,
+    // r14 = remaining instruction budget; rax/rcx/rdx are scratch.
+    const RAX: u8 = 0;
+    const RCX: u8 = 1;
+    const RDX: u8 = 2;
+    const RBX: u8 = 3;
+    const RBP: u8 = 5;
+    const RSI: u8 = 6;
+    const RDI: u8 = 7;
+    const R12: u8 = 12;
+    const R13: u8 = 13;
+    const R14: u8 = 14;
+    const R15: u8 = 15;
+
+    // Condition codes (the low nibble of `0F 8x` jcc / `0F 9x` setcc).
+    const CC_B: u8 = 0x2; // unsigned <
+    const CC_AE: u8 = 0x3; // unsigned >=
+    const CC_E: u8 = 0x4;
+    const CC_NE: u8 = 0x5;
+    const CC_L: u8 = 0xc; // signed <
+    const CC_GE: u8 = 0xd; // signed >=
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    struct Label(usize);
+
+    enum FixTarget {
+        /// A label inside the code being assembled.
+        Label(Label),
+        /// An arena-absolute offset (the shared epilogue).
+        Abs(usize),
+    }
+
+    /// A minimal x86-64 emitter: exactly the instruction forms the
+    /// templates need, nothing more. Code assembles into a buffer
+    /// whose final arena position (`base`) is known up front, so rel32
+    /// references to arena-absolute targets resolve at finalize time.
+    struct Asm {
+        base: usize,
+        code: Vec<u8>,
+        labels: Vec<Option<usize>>,
+        fixups: Vec<(usize, FixTarget)>,
+    }
+
+    impl Asm {
+        fn new(base: usize) -> Asm {
+            Asm {
+                base,
+                code: Vec::with_capacity(512),
+                labels: Vec::new(),
+                fixups: Vec::new(),
+            }
+        }
+
+        /// Arena-absolute position of the next emitted byte.
+        fn pos(&self) -> usize {
+            self.base + self.code.len()
+        }
+
+        fn label(&mut self) -> Label {
+            self.labels.push(None);
+            Label(self.labels.len() - 1)
+        }
+
+        fn bind(&mut self, l: Label) {
+            debug_assert!(self.labels[l.0].is_none(), "label bound twice");
+            self.labels[l.0] = Some(self.pos());
+        }
+
+        fn byte(&mut self, b: u8) {
+            self.code.push(b);
+        }
+
+        fn bytes(&mut self, b: &[u8]) {
+            self.code.extend_from_slice(b);
+        }
+
+        fn imm32(&mut self, v: i32) {
+            self.bytes(&v.to_le_bytes());
+        }
+
+        /// Optional REX prefix: `w` selects 64-bit operand size,
+        /// `reg`/`rm` contribute their high bits to REX.R/REX.B.
+        fn rex(&mut self, w: bool, reg: u8, rm: u8) {
+            let b = 0x40 | u8::from(w) << 3 | (reg >> 3) << 2 | (rm >> 3);
+            if b != 0x40 {
+                self.byte(b);
+            }
+        }
+
+        fn modrm(&mut self, md: u8, reg: u8, rm: u8) {
+            self.byte(md << 6 | (reg & 7) << 3 | (rm & 7));
+        }
+
+        /// `[base + disp8]` operand; `base` must not be rsp/r12 (no
+        /// SIB support here) — the templates only use rbx and r15.
+        fn mem_disp8(&mut self, reg: u8, base: u8, disp: i8) {
+            debug_assert!(base & 7 != 4, "rsp/r12 base needs a SIB");
+            self.modrm(1, reg, base);
+            self.byte(disp as u8);
+        }
+
+        fn push_reg(&mut self, r: u8) {
+            self.rex(false, 0, r);
+            self.byte(0x50 + (r & 7));
+        }
+
+        fn pop_reg(&mut self, r: u8) {
+            self.rex(false, 0, r);
+            self.byte(0x58 + (r & 7));
+        }
+
+        /// `mov r64, r64`.
+        fn mov_rr64(&mut self, dst: u8, src: u8) {
+            self.rex(true, src, dst);
+            self.byte(0x89);
+            self.modrm(3, src, dst);
+        }
+
+        /// `mov r32, imm32`.
+        fn mov_ri32(&mut self, dst: u8, imm: i32) {
+            self.rex(false, 0, dst);
+            self.byte(0xb8 + (dst & 7));
+            self.imm32(imm);
+        }
+
+        /// `mov r64, [base + disp8]`.
+        fn mov_r64_mem(&mut self, dst: u8, base: u8, disp: i8) {
+            self.rex(true, dst, base);
+            self.byte(0x8b);
+            self.mem_disp8(dst, base, disp);
+        }
+
+        /// `mov [base + disp8], r64`.
+        fn mov_mem_r64(&mut self, base: u8, disp: i8, src: u8) {
+            self.rex(true, src, base);
+            self.byte(0x89);
+            self.mem_disp8(src, base, disp);
+        }
+
+        /// `mov r32, [base + disp8]`.
+        fn mov_r32_mem(&mut self, dst: u8, base: u8, disp: i8) {
+            self.rex(false, dst, base);
+            self.byte(0x8b);
+            self.mem_disp8(dst, base, disp);
+        }
+
+        /// `mov [base + disp8], r32`.
+        fn mov_mem_r32(&mut self, base: u8, disp: i8, src: u8) {
+            self.rex(false, src, base);
+            self.byte(0x89);
+            self.mem_disp8(src, base, disp);
+        }
+
+        /// `mov dword [base + disp8], imm32`.
+        fn mov_mem32_imm(&mut self, base: u8, disp: i8, imm: i32) {
+            self.rex(false, 0, base);
+            self.byte(0xc7);
+            self.mem_disp8(0, base, disp);
+            self.imm32(imm);
+        }
+
+        /// 32-bit ALU `op r32, [base + disp8]` via the `op r32, r/m32`
+        /// opcodes: 0x03 add, 0x2b sub, 0x23 and, 0x0b or, 0x33 xor,
+        /// 0x3b cmp.
+        fn alu_r32_mem(&mut self, opc: u8, dst: u8, base: u8, disp: i8) {
+            self.rex(false, dst, base);
+            self.byte(opc);
+            self.mem_disp8(dst, base, disp);
+        }
+
+        /// 32-bit ALU `op r32, imm32` via `81 /ext`: 0 add, 1 or,
+        /// 4 and, 5 sub, 6 xor, 7 cmp.
+        fn alu_ri32(&mut self, ext: u8, dst: u8, imm: i32) {
+            self.rex(false, 0, dst);
+            self.byte(0x81);
+            self.modrm(3, ext, dst);
+            self.imm32(imm);
+        }
+
+        /// `test r32, imm32`.
+        fn test_ri32(&mut self, r: u8, imm: i32) {
+            self.rex(false, 0, r);
+            self.byte(0xf7);
+            self.modrm(3, 0, r);
+            self.imm32(imm);
+        }
+
+        /// `test r32, r32`.
+        fn test_rr32(&mut self, a: u8, b: u8) {
+            self.rex(false, b, a);
+            self.byte(0x85);
+            self.modrm(3, b, a);
+        }
+
+        /// 32-bit shift by immediate via `C1 /ext`: 4 shl, 5 shr,
+        /// 7 sar.
+        fn shift_ri32(&mut self, ext: u8, r: u8, imm: u8) {
+            self.rex(false, 0, r);
+            self.byte(0xc1);
+            self.modrm(3, ext, r);
+            self.byte(imm & 31);
+        }
+
+        /// 32-bit shift by `cl` via `D3 /ext` — the CPU masks the
+        /// count to 5 bits, exactly the RV32 `& 31`.
+        fn shift_cl32(&mut self, ext: u8, r: u8) {
+            self.rex(false, 0, r);
+            self.byte(0xd3);
+            self.modrm(3, ext, r);
+        }
+
+        /// `shr r64, imm`.
+        fn shr_r64(&mut self, r: u8, imm: u8) {
+            self.rex(true, 0, r);
+            self.byte(0xc1);
+            self.modrm(3, 5, r);
+            self.byte(imm & 63);
+        }
+
+        /// `imul r32, r32`.
+        fn imul_rr32(&mut self, dst: u8, src: u8) {
+            self.rex(false, dst, src);
+            self.bytes(&[0x0f, 0xaf]);
+            self.modrm(3, dst, src);
+        }
+
+        /// `imul r64, r64`.
+        fn imul_rr64(&mut self, dst: u8, src: u8) {
+            self.rex(true, dst, src);
+            self.bytes(&[0x0f, 0xaf]);
+            self.modrm(3, dst, src);
+        }
+
+        /// `movsxd r64, dword [base + disp8]`.
+        fn movsxd_mem(&mut self, dst: u8, base: u8, disp: i8) {
+            self.rex(true, dst, base);
+            self.byte(0x63);
+            self.mem_disp8(dst, base, disp);
+        }
+
+        /// `setcc` + `movzx r32, r8`; `r` must be rax..rdx (byte
+        /// registers that need no REX).
+        fn setcc_zx32(&mut self, cc: u8, r: u8) {
+            debug_assert!(r <= RDX);
+            self.bytes(&[0x0f, 0x90 + cc]);
+            self.modrm(3, 0, r);
+            self.bytes(&[0x0f, 0xb6]);
+            self.modrm(3, r, r);
+        }
+
+        /// `cmp r64, imm32` (sign-extended).
+        fn cmp_r64_imm(&mut self, r: u8, imm: i32) {
+            self.rex(true, 0, r);
+            self.byte(0x81);
+            self.modrm(3, 7, r);
+            self.imm32(imm);
+        }
+
+        /// `sub r64, imm32` (sign-extended).
+        fn sub_r64_imm(&mut self, r: u8, imm: i32) {
+            self.rex(true, 0, r);
+            self.byte(0x81);
+            self.modrm(3, 5, r);
+            self.imm32(imm);
+        }
+
+        /// `cmp r64, [base + disp8]`.
+        fn cmp_r64_mem(&mut self, r: u8, base: u8, disp: i8) {
+            self.rex(true, r, base);
+            self.byte(0x3b);
+            self.mem_disp8(r, base, disp);
+        }
+
+        /// `add qword [base + disp8], imm` (sign-extended).
+        fn add_mem64_imm(&mut self, base: u8, disp: i8, imm: i32) {
+            self.rex(true, 0, base);
+            if (-128..128).contains(&imm) {
+                self.byte(0x83);
+                self.mem_disp8(0, base, disp);
+                self.byte(imm as u8);
+            } else {
+                self.byte(0x81);
+                self.mem_disp8(0, base, disp);
+                self.imm32(imm);
+            }
+        }
+
+        /// `bts [base], r64` — sets bit `r64` of the bit string at
+        /// `base` (the CPU addresses the containing qword itself).
+        fn bts_mem_r64(&mut self, base: u8, bit: u8) {
+            self.rex(true, bit, base);
+            self.bytes(&[0x0f, 0xab]);
+            self.modrm(0, bit, base);
+        }
+
+        /// Opcode bytes for a RAM-width memory op: `movzx`/`movsx`/
+        /// `mov` loads or plain `mov` stores, 8/16/32-bit.
+        fn ram_opcode(&mut self, reg: u8, size: u8, signed: bool, store: bool) {
+            if store && size == 2 {
+                self.byte(0x66);
+            }
+            self.rex(false, reg, R13);
+            match (store, size, signed) {
+                (true, 1, _) => self.byte(0x88),
+                (true, _, _) => self.byte(0x89),
+                (false, 1, false) => self.bytes(&[0x0f, 0xb6]),
+                (false, 1, true) => self.bytes(&[0x0f, 0xbe]),
+                (false, 2, false) => self.bytes(&[0x0f, 0xb7]),
+                (false, 2, true) => self.bytes(&[0x0f, 0xbf]),
+                (false, _, _) => self.byte(0x8b),
+            }
+        }
+
+        /// RAM access at `[r13 + rax]` (dynamic offset in rax).
+        fn ram_dyn(&mut self, reg: u8, size: u8, signed: bool, store: bool) {
+            self.ram_opcode(reg, size, signed, store);
+            // mod=01 rm=100 -> SIB + disp8; SIB: index=rax, base=r13.
+            self.modrm(1, reg, 4);
+            self.byte((RAX & 7) << 3 | (R13 & 7));
+            self.byte(0);
+        }
+
+        /// RAM access at `[r13 + disp32]` (static offset).
+        fn ram_abs(&mut self, reg: u8, size: u8, signed: bool, store: bool, disp: i32) {
+            self.ram_opcode(reg, size, signed, store);
+            // mod=10 rm=101 with REX.B -> [r13 + disp32].
+            self.modrm(2, reg, 5);
+            self.imm32(disp);
+        }
+
+        fn jcc(&mut self, cc: u8, target: Label) {
+            self.bytes(&[0x0f, 0x80 + cc]);
+            let at = self.code.len();
+            self.imm32(0);
+            self.fixups.push((at, FixTarget::Label(target)));
+        }
+
+        /// `jmp rel32` to an arena-absolute offset (the epilogue).
+        fn jmp_abs(&mut self, target: usize) {
+            self.byte(0xe9);
+            let at = self.code.len();
+            self.imm32(0);
+            self.fixups.push((at, FixTarget::Abs(target)));
+        }
+
+        /// `jmp r64`.
+        fn jmp_reg(&mut self, r: u8) {
+            self.rex(false, 0, r);
+            self.byte(0xff);
+            self.modrm(3, 4, r);
+        }
+
+        fn ret(&mut self) {
+            self.byte(0xc3);
+        }
+
+        /// `jmp rel32` recorded as a chain site: until patched it goes
+        /// to `fallback`; returns the arena-absolute offset of the
+        /// rel32 field for later cross-block patching.
+        fn jmp_chain(&mut self, fallback: Label) -> usize {
+            self.byte(0xe9);
+            let at = self.code.len();
+            self.imm32(0);
+            self.fixups.push((at, FixTarget::Label(fallback)));
+            self.base + at
+        }
+
+        /// Resolves all fixups and returns the code bytes.
+        fn finalize(mut self) -> Vec<u8> {
+            for (at, target) in &self.fixups {
+                let target_abs = match target {
+                    FixTarget::Label(l) => self.labels[l.0].expect("label unbound"),
+                    FixTarget::Abs(a) => *a,
+                };
+                let rel = target_abs as i64 - (self.base + at + 4) as i64;
+                let rel = i32::try_from(rel).expect("rel32 overflow inside arena");
+                self.code[*at..at + 4].copy_from_slice(&rel.to_le_bytes());
+            }
+            self.code
+        }
+    }
+
+    // ------------------------------------------------------- engine
+
+    /// The per-VP template JIT: code arena, entry-point map and the
+    /// cross-block chain patch lists.
+    #[derive(Debug)]
+    pub(crate) struct JitEngine {
+        arena: Option<CodeArena>,
+        /// Set when arena allocation failed: the engine is dead and
+        /// every compile returns [`Compiled::Ineligible`].
+        dead: bool,
+        /// Arena offset where the next block goes.
+        cursor: usize,
+        /// Arena offsets of the entry trampoline and shared epilogue.
+        trampoline: usize,
+        epilogue: usize,
+        /// End of the trampoline/epilogue region — the reset point.
+        code_start: usize,
+        /// Block start pc -> arena entry offset.
+        entries: HashMap<u32, usize>,
+        /// Target pc -> rel32 chain sites waiting for that block.
+        pending: HashMap<u32, Vec<usize>>,
+        ctx: JitCtx,
+    }
+
+    // SAFETY: the raw pointers in `ctx` are parameters of the *current*
+    // `run` call only — they are rewritten from `&mut` borrows at every
+    // entry and never dereferenced between runs — so moving the engine
+    // (inside its owning `Vp`) to another thread is sound. The arena
+    // pointer is exclusively owned (anonymous private mapping).
+    unsafe impl Send for JitEngine {}
+
+    impl JitEngine {
+        pub(crate) fn new() -> Option<JitEngine> {
+            Some(JitEngine {
+                arena: None,
+                dead: false,
+                cursor: 0,
+                trampoline: 0,
+                epilogue: 0,
+                code_start: 0,
+                entries: HashMap::new(),
+                pending: HashMap::new(),
+                ctx: JitCtx {
+                    gprs: core::ptr::null_mut(),
+                    ram: core::ptr::null_mut(),
+                    dirty: core::ptr::null_mut(),
+                    remaining: 0,
+                    cyc: 0,
+                    deadline: 0,
+                    blocks: 0,
+                    exit_pc: 0,
+                    bail_uop: NO_BAIL,
+                    code_lo: 0,
+                    code_hi: 0,
+                    fused: 0,
+                },
+            })
+        }
+
+        /// Drops every compiled block and resets the arena cursor.
+        /// Called from `Vp::invalidate_caches`, which also drops the
+        /// `Block`s holding the entry cookies, so no stale cookie can
+        /// survive. The trampoline and epilogue are position-fixed and
+        /// block-independent; they persist across resets.
+        pub(crate) fn reset(&mut self) {
+            self.entries.clear();
+            self.pending.clear();
+            self.cursor = self.code_start;
+        }
+
+        /// Lazily maps the arena and emits the trampoline and shared
+        /// epilogue. Returns `false` when mapping fails; the engine is
+        /// then permanently dead.
+        fn ensure_arena(&mut self) -> bool {
+            if self.arena.is_some() {
+                return true;
+            }
+            if self.dead {
+                return false;
+            }
+            let Some(mut arena) = CodeArena::new(ARENA_CAP) else {
+                self.dead = true;
+                return false;
+            };
+            let mut a = Asm::new(0);
+            // Trampoline (`extern "C" fn(ctx: *mut JitCtx, entry)`):
+            // save callee-saved registers, adopt the fixed role
+            // registers from the context, tail-jump into the block.
+            self.trampoline = a.pos();
+            for r in [RBX, RBP, R12, R13, R14, R15] {
+                a.push_reg(r);
+            }
+            a.mov_rr64(R15, RDI); // ctx
+            a.mov_r64_mem(RBX, R15, OFF_GPRS);
+            a.mov_r64_mem(R13, R15, OFF_RAM);
+            a.mov_r64_mem(R14, R15, OFF_REMAINING);
+            a.jmp_reg(RSI);
+            // Shared epilogue: every exit/bail stub jumps here with
+            // exit_pc/bail_uop and the accounting fields already
+            // written. Publish the budget register and return.
+            self.epilogue = a.pos();
+            a.mov_mem_r64(R15, OFF_REMAINING, R14);
+            for r in [R15, R14, R13, R12, RBP, RBX] {
+                a.pop_reg(r);
+            }
+            a.ret();
+            let code = a.finalize();
+            arena.write(0, &code);
+            arena.set_exec(true);
+            self.code_start = code.len();
+            self.cursor = code.len();
+            self.arena = Some(arena);
+            true
+        }
+
+        /// Runs compiled code starting at `entry`.
+        ///
+        /// # Safety
+        ///
+        /// - `entry` must be a cookie returned by [`JitEngine::compile`]
+        ///   on this engine after the most recent [`JitEngine::reset`].
+        /// - `gprs` must point to the 32-slot GPR file, `ram` to the
+        ///   RAM slice and `dirty` to its page dirty bitmap, all
+        ///   exclusively borrowed for the duration of the call, with
+        ///   `ram`/`dirty` matching the `ram_base`/`ram_len` the
+        ///   blocks were compiled against.
+        /// - `code_lo..code_hi` must cover every guest address whose
+        ///   translation is live (same contract as the interpreter's
+        ///   SMC filter).
+        /// - Register faults must be disabled and no plugin attached:
+        ///   templates read the GPR file raw.
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) unsafe fn run(
+            &mut self,
+            entry: usize,
+            gprs: *mut u32,
+            ram: *mut u8,
+            dirty: *mut u64,
+            remaining: u64,
+            deadline: u64,
+            code_lo: u32,
+            code_hi: u32,
+        ) -> JitExit {
+            let arena = self.arena.as_ref().expect("JIT run without an arena");
+            self.ctx = JitCtx {
+                gprs,
+                ram,
+                dirty,
+                remaining,
+                cyc: 0,
+                deadline,
+                blocks: 0,
+                exit_pc: 0,
+                bail_uop: NO_BAIL,
+                code_lo,
+                code_hi,
+                fused: 0,
+            };
+            // SAFETY (per the function contract): `trampoline` and
+            // `entry` point at finalized code in the R+X exec view; the
+            // trampoline preserves callee-saved registers and every
+            // exit path returns through the shared epilogue.
+            unsafe {
+                let tramp: unsafe extern "C" fn(*mut JitCtx, *const u8) =
+                    core::mem::transmute(arena.exec_base.add(self.trampoline).cast_const());
+                tramp(&mut self.ctx, arena.exec_base.add(entry).cast_const());
+            }
+            JitExit {
+                exit_pc: self.ctx.exit_pc,
+                bail_uop: (self.ctx.bail_uop != NO_BAIL).then_some(self.ctx.bail_uop),
+                cycles: self.ctx.cyc,
+                retired: remaining - self.ctx.remaining,
+                remaining: self.ctx.remaining,
+                blocks: self.ctx.blocks,
+                fused: self.ctx.fused,
+            }
+        }
+
+        /// Compiles a block's micro-ops into native code and installs
+        /// it at `pc`, patching any chain sites that were waiting for
+        /// this block. Returns [`Compiled::Ineligible`] when any
+        /// micro-op lacks a template, a fused-`auipc` access is not
+        /// statically a valid RAM fast-path access, path sums overflow
+        /// an `imm32`, or the arena is full/unavailable.
+        pub(crate) fn compile(
+            &mut self,
+            pc: u32,
+            uops: &[MicroOp],
+            fall_pc: u32,
+            ram_base: u32,
+            ram_len: u32,
+        ) -> Compiled {
+            if self.dead || uops.is_empty() {
+                return Compiled::Ineligible;
+            }
+            let mut worst_cyc: u64 = 0;
+            let mut total_n: u64 = 0;
+            for u in uops {
+                if !covers(u, ram_base, ram_len) {
+                    return Compiled::Ineligible;
+                }
+                worst_cyc += u.cost as u64 + u.cost2 as u64;
+                total_n += u.n as u64;
+            }
+            if worst_cyc > i32::MAX as u64 || total_n > i32::MAX as u64 {
+                return Compiled::Ineligible;
+            }
+            if !self.ensure_arena() || self.cursor + 256 + uops.len() * 192 > ARENA_CAP {
+                return Compiled::Ineligible;
+            }
+            let epilogue = self.epilogue;
+            let entry = self.cursor;
+            let mut a = Asm::new(entry);
+            let mut sites: Vec<(usize, u32)> = Vec::new();
+            let mut takens: Vec<TakenStub> = Vec::new();
+            let mut bails: Vec<BailStub> = Vec::new();
+
+            // Entry checks: deadline, then whole-block budget. The
+            // block-execution counter only advances once both pass —
+            // a deadline exit or an entry bail executes nothing here.
+            let deadline_lbl = a.label();
+            let bail0 = a.label();
+            bails.push(BailStub {
+                label: bail0,
+                k: 0,
+                cyc: 0,
+                n: 0,
+                fused: 0,
+            });
+            a.mov_r64_mem(RAX, R15, OFF_CYC);
+            a.cmp_r64_mem(RAX, R15, OFF_DEADLINE);
+            a.jcc(CC_AE, deadline_lbl);
+            a.cmp_r64_imm(R14, total_n as i32);
+            a.jcc(CC_B, bail0);
+            a.add_mem64_imm(R15, OFF_BLOCKS, 1);
+
+            // Body: one template per micro-op, with running
+            // path-constant sums (cycles / retired / fused ops) of the
+            // micro-ops *completed before* the one being emitted.
+            let g = |r: u8| -> i8 { (r as i8) * 4 };
+            let mut cyc: u64 = 0;
+            let mut n: u64 = 0;
+            let mut fused: u64 = 0;
+            for (k, u) in uops.iter().enumerate() {
+                let k = k as u32;
+                let (rd, rs1, rs2) = (u.rd.index(), u.rs1.index(), u.rs2.index());
+                let (cost, cost2, un) = (u.cost as u64, u.cost2 as u64, u.n as u64);
+                let f = u64::from(u.n > 1);
+                // Accounting constants for this micro-op's exits: a
+                // taken branch/jump charges cost+cost2, everything
+                // else cost (fused-`auipc` accesses cost+cost2 as two
+                // halves, handled via `abs_extra` below).
+                let taken_cyc = cyc + cost + cost2;
+                let taken_n = n + un;
+                let taken_fused = fused + f;
+                let mut abs_extra = 0u64;
+                match u.op {
+                    Op::Nop => {}
+                    Op::LoadConst => {
+                        if rd != 0 {
+                            a.mov_mem32_imm(RBX, g(rd), u.imm);
+                        }
+                    }
+                    Op::Addi | Op::Xori | Op::Ori | Op::Andi => {
+                        if rd != 0 {
+                            let ext = match u.op {
+                                Op::Addi => 0,
+                                Op::Ori => 1,
+                                Op::Andi => 4,
+                                _ => 6,
+                            };
+                            a.mov_r32_mem(RAX, RBX, g(rs1));
+                            if !(u.op == Op::Addi && u.imm == 0) {
+                                a.alu_ri32(ext, RAX, u.imm);
+                            }
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::Slti | Op::Sltiu => {
+                        if rd != 0 {
+                            a.mov_r32_mem(RAX, RBX, g(rs1));
+                            a.alu_ri32(7, RAX, u.imm);
+                            a.setcc_zx32(if u.op == Op::Slti { CC_L } else { CC_B }, RAX);
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::Slli | Op::Srli | Op::Srai => {
+                        if rd != 0 {
+                            let ext = match u.op {
+                                Op::Slli => 4,
+                                Op::Srli => 5,
+                                _ => 7,
+                            };
+                            a.mov_r32_mem(RAX, RBX, g(rs1));
+                            a.shift_ri32(ext, RAX, (u.imm as u32 & 31) as u8);
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::Add | Op::Sub | Op::Xor | Op::Or | Op::And => {
+                        if rd != 0 {
+                            let opc = match u.op {
+                                Op::Add => 0x03,
+                                Op::Sub => 0x2b,
+                                Op::Xor => 0x33,
+                                Op::Or => 0x0b,
+                                _ => 0x23,
+                            };
+                            a.mov_r32_mem(RAX, RBX, g(rs1));
+                            a.alu_r32_mem(opc, RAX, RBX, g(rs2));
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::Slt | Op::Sltu => {
+                        if rd != 0 {
+                            a.mov_r32_mem(RAX, RBX, g(rs1));
+                            a.alu_r32_mem(0x3b, RAX, RBX, g(rs2));
+                            a.setcc_zx32(if u.op == Op::Slt { CC_L } else { CC_B }, RAX);
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::Sll | Op::Srl | Op::Sra => {
+                        if rd != 0 {
+                            let ext = match u.op {
+                                Op::Sll => 4,
+                                Op::Srl => 5,
+                                _ => 7,
+                            };
+                            a.mov_r32_mem(RAX, RBX, g(rs1));
+                            a.mov_r32_mem(RCX, RBX, g(rs2));
+                            a.shift_cl32(ext, RAX);
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::Mul => {
+                        if rd != 0 {
+                            a.mov_r32_mem(RAX, RBX, g(rs1));
+                            a.mov_r32_mem(RCX, RBX, g(rs2));
+                            a.imul_rr32(RAX, RCX);
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::Mulh | Op::Mulhsu | Op::Mulhu => {
+                        if rd != 0 {
+                            if u.op == Op::Mulhu {
+                                a.mov_r32_mem(RAX, RBX, g(rs1));
+                            } else {
+                                a.movsxd_mem(RAX, RBX, g(rs1));
+                            }
+                            if u.op == Op::Mulh {
+                                a.movsxd_mem(RCX, RBX, g(rs2));
+                            } else {
+                                a.mov_r32_mem(RCX, RBX, g(rs2));
+                            }
+                            a.imul_rr64(RAX, RCX);
+                            a.shr_r64(RAX, 32);
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::ShiftPair => {
+                        if rd != 0 {
+                            a.mov_r32_mem(RAX, RBX, g(rs1));
+                            a.shift_ri32(4, RAX, (u.imm as u32 & 31) as u8);
+                            a.shift_ri32(5, RAX, (u.imm2 as u32 & 31) as u8);
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                    }
+                    Op::Lb | Op::Lh | Op::Lw | Op::Lbu | Op::Lhu => {
+                        let (size, signed) = load_kind(u.op);
+                        a.mov_r32_mem(RAX, RBX, g(rs1));
+                        if u.imm != 0 {
+                            a.alu_ri32(0, RAX, u.imm);
+                        }
+                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused);
+                        if size > 1 {
+                            a.test_ri32(RAX, i32::from(size - 1));
+                            a.jcc(CC_NE, bail);
+                        }
+                        a.alu_ri32(5, RAX, ram_base as i32);
+                        a.alu_ri32(7, RAX, (ram_len - (size as u32 - 1)) as i32);
+                        a.jcc(CC_AE, bail);
+                        if rd != 0 {
+                            a.ram_dyn(RCX, size, signed, false);
+                            a.mov_mem_r32(RBX, g(rd), RCX);
+                        }
+                    }
+                    Op::Sb | Op::Sh | Op::Sw => {
+                        let size = store_size(u.op);
+                        a.mov_r32_mem(RAX, RBX, g(rs1));
+                        if u.imm != 0 {
+                            a.alu_ri32(0, RAX, u.imm);
+                        }
+                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused);
+                        if size > 1 {
+                            a.test_ri32(RAX, i32::from(size - 1));
+                            a.jcc(CC_NE, bail);
+                        }
+                        // SMC filter (same wrapping comparison as the
+                        // interpreter): a store overlapping the
+                        // translated range bails so the micro-op
+                        // engine performs it and schedules the
+                        // deferred invalidation.
+                        let ok = a.label();
+                        a.mov_rr32(RCX, RAX);
+                        a.alu_ri32(0, RCX, i32::from(size));
+                        a.alu_r32_mem(0x3b, RCX, R15, OFF_CODE_LO);
+                        a.jcc(CC_BE, ok);
+                        a.alu_r32_mem(0x3b, RAX, R15, OFF_CODE_HI);
+                        a.jcc(CC_B, bail);
+                        a.bind(ok);
+                        a.alu_ri32(5, RAX, ram_base as i32);
+                        a.alu_ri32(7, RAX, (ram_len - (size as u32 - 1)) as i32);
+                        a.jcc(CC_AE, bail);
+                        a.mov_rr32(RCX, RAX);
+                        a.shift_ri32(5, RCX, 12);
+                        a.mov_r64_mem(RDX, R15, OFF_DIRTY);
+                        a.bts_mem_r64(RDX, RCX);
+                        a.mov_r32_mem(RCX, RBX, g(rs2));
+                        a.ram_dyn(RCX, size, false, true);
+                    }
+                    Op::AbsLb | Op::AbsLh | Op::AbsLw | Op::AbsLbu | Op::AbsLhu => {
+                        // Statically valid RAM access (checked by
+                        // `covers`): no dynamic checks at all. The
+                        // auipc half writes its register first, like
+                        // the micro-op engine's `abs_base`.
+                        let (size, signed) = load_kind(u.op);
+                        let off = (u.imm as u32).wrapping_sub(ram_base);
+                        abs_extra = cost2;
+                        if rs1 != 0 {
+                            a.mov_mem32_imm(RBX, g(rs1), u.imm2);
+                        }
+                        if rd != 0 {
+                            a.ram_abs(RCX, size, signed, false, off as i32);
+                            a.mov_mem_r32(RBX, g(rd), RCX);
+                        }
+                    }
+                    Op::AbsSb | Op::AbsSh | Op::AbsSw => {
+                        let size = store_size(u.op);
+                        let off = (u.imm as u32).wrapping_sub(ram_base);
+                        abs_extra = cost2;
+                        // SMC filter first: the bail must precede the
+                        // auipc half's register write.
+                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused);
+                        let ok = a.label();
+                        a.mov_ri32(RCX, (u.imm as u32).wrapping_add(size as u32) as i32);
+                        a.alu_r32_mem(0x3b, RCX, R15, OFF_CODE_LO);
+                        a.jcc(CC_BE, ok);
+                        a.mov_ri32(RCX, u.imm);
+                        a.alu_r32_mem(0x3b, RCX, R15, OFF_CODE_HI);
+                        a.jcc(CC_B, bail);
+                        a.bind(ok);
+                        if rs1 != 0 {
+                            a.mov_mem32_imm(RBX, g(rs1), u.imm2);
+                        }
+                        a.mov_r64_mem(RDX, R15, OFF_DIRTY);
+                        a.mov_ri32(RAX, (off >> 12) as i32);
+                        a.bts_mem_r64(RDX, RAX);
+                        a.mov_r32_mem(RCX, RBX, g(rs2));
+                        a.ram_abs(RCX, size, false, true, off as i32);
+                    }
+                    Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu => {
+                        let cc = match u.op {
+                            Op::Beq => CC_E,
+                            Op::Bne => CC_NE,
+                            Op::Blt => CC_L,
+                            Op::Bge => CC_GE,
+                            Op::Bltu => CC_B,
+                            _ => CC_AE,
+                        };
+                        a.mov_r32_mem(RAX, RBX, g(rs1));
+                        a.alu_r32_mem(0x3b, RAX, RBX, g(rs2));
+                        let t = taken_label(
+                            &mut a,
+                            &mut takens,
+                            u.imm as u32,
+                            taken_cyc,
+                            taken_n,
+                            taken_fused,
+                        );
+                        a.jcc(cc, t);
+                    }
+                    Op::SltBrz
+                    | Op::SltBrnz
+                    | Op::SltuBrz
+                    | Op::SltuBrnz
+                    | Op::SltiBrz
+                    | Op::SltiBrnz
+                    | Op::SltiuBrz
+                    | Op::SltiuBrnz => {
+                        let (cc, imm_form, take_if_set) = match u.op {
+                            Op::SltBrz => (CC_L, false, false),
+                            Op::SltBrnz => (CC_L, false, true),
+                            Op::SltuBrz => (CC_B, false, false),
+                            Op::SltuBrnz => (CC_B, false, true),
+                            Op::SltiBrz => (CC_L, true, false),
+                            Op::SltiBrnz => (CC_L, true, true),
+                            Op::SltiuBrz => (CC_B, true, false),
+                            _ => (CC_B, true, true),
+                        };
+                        a.mov_r32_mem(RAX, RBX, g(rs1));
+                        if imm_form {
+                            a.alu_ri32(7, RAX, u.imm2);
+                        } else {
+                            a.alu_r32_mem(0x3b, RAX, RBX, g(rs2));
+                        }
+                        a.setcc_zx32(cc, RAX);
+                        if rd != 0 {
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                        a.test_rr32(RAX, RAX);
+                        let t = taken_label(
+                            &mut a,
+                            &mut takens,
+                            u.imm as u32,
+                            taken_cyc,
+                            taken_n,
+                            taken_fused,
+                        );
+                        a.jcc(if take_if_set { CC_NE } else { CC_E }, t);
+                    }
+                    Op::AddBeq | Op::AddBne => {
+                        a.mov_r32_mem(RAX, RBX, g(rs1));
+                        if u.imm2 != 0 {
+                            a.alu_ri32(0, RAX, u.imm2);
+                        }
+                        if rd != 0 {
+                            a.mov_mem_r32(RBX, g(rd), RAX);
+                        }
+                        a.alu_r32_mem(0x3b, RAX, RBX, g(rs2));
+                        let t = taken_label(
+                            &mut a,
+                            &mut takens,
+                            u.imm as u32,
+                            taken_cyc,
+                            taken_n,
+                            taken_fused,
+                        );
+                        a.jcc(if u.op == Op::AddBeq { CC_E } else { CC_NE }, t);
+                    }
+                    Op::Jal => {
+                        if rd != 0 {
+                            a.mov_mem32_imm(RBX, g(rd), u.next_pc as i32);
+                        }
+                        emit_exit(
+                            &mut a,
+                            &mut sites,
+                            epilogue,
+                            u.imm as u32,
+                            taken_cyc,
+                            taken_n,
+                            taken_fused,
+                        );
+                    }
+                    Op::Jalr => {
+                        a.mov_r32_mem(RAX, RBX, g(rs1));
+                        if u.imm != 0 {
+                            a.alu_ri32(0, RAX, u.imm);
+                        }
+                        a.alu_ri32(4, RAX, -2);
+                        if u.imm2 != 0 {
+                            // Misaligned target: bail *before* the rd
+                            // write so the micro-op engine replays the
+                            // write-then-trap sequence.
+                            let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused);
+                            a.test_ri32(RAX, u.imm2);
+                            a.jcc(CC_NE, bail);
+                        }
+                        if rd != 0 {
+                            a.mov_mem32_imm(RBX, g(rd), u.next_pc as i32);
+                        }
+                        // Dynamic-target exit (no chain site): jalr
+                        // charges cost only, like the micro-op engine.
+                        let ec = cyc + cost;
+                        if ec != 0 {
+                            a.add_mem64_imm(R15, OFF_CYC, ec as i32);
+                        }
+                        a.sub_r64_imm(R14, (n + un) as i32);
+                        if fused != 0 {
+                            a.add_mem64_imm(R15, OFF_FUSED, fused as i32);
+                        }
+                        a.mov_mem_r32(R15, OFF_EXIT_PC, RAX);
+                        a.mov_mem32_imm(R15, OFF_BAIL_UOP, NO_BAIL as i32);
+                        a.jmp_abs(epilogue);
+                    }
+                    _ => unreachable!("op without template passed `covers`"),
+                }
+                cyc += cost + abs_extra;
+                n += un;
+                fused += f;
+            }
+            // Fell off the end (straight-line block or not-taken final
+            // branch): continue at the successor, chainable.
+            emit_exit(&mut a, &mut sites, epilogue, fall_pc, cyc, n, fused);
+            // Deferred taken-branch exits.
+            for t in std::mem::take(&mut takens) {
+                a.bind(t.label);
+                emit_exit(&mut a, &mut sites, epilogue, t.target, t.cyc, t.n, t.fused);
+            }
+            // Deferred bail stubs: account the completed prefix, name
+            // the resume micro-op, and leave through the epilogue.
+            for b in bails {
+                a.bind(b.label);
+                if b.cyc != 0 {
+                    a.add_mem64_imm(R15, OFF_CYC, b.cyc as i32);
+                }
+                if b.n != 0 {
+                    a.sub_r64_imm(R14, b.n as i32);
+                }
+                if b.fused != 0 {
+                    a.add_mem64_imm(R15, OFF_FUSED, b.fused as i32);
+                }
+                a.mov_mem32_imm(R15, OFF_EXIT_PC, pc as i32);
+                a.mov_mem32_imm(R15, OFF_BAIL_UOP, b.k as i32);
+                a.jmp_abs(epilogue);
+            }
+            // Deadline exit: a clean block-boundary stop at this pc —
+            // the dispatcher polls and redispatches.
+            a.bind(deadline_lbl);
+            a.mov_mem32_imm(R15, OFF_EXIT_PC, pc as i32);
+            a.mov_mem32_imm(R15, OFF_BAIL_UOP, NO_BAIL as i32);
+            a.jmp_abs(epilogue);
+
+            let code = a.finalize();
+            let arena = self.arena.as_mut().expect("arena ensured above");
+            arena.set_exec(false);
+            arena.write(entry, &code);
+            self.cursor = entry + code.len();
+            self.entries.insert(pc, entry);
+            // Chain: point this block's static exits at already
+            // compiled successors (including itself), queue the rest,
+            // and resolve any sites that were waiting for this pc.
+            for (site, target) in sites {
+                if let Some(&e) = self.entries.get(&target) {
+                    arena.patch32(site, (e as i64 - (site as i64 + 4)) as i32);
+                } else {
+                    self.pending.entry(target).or_default().push(site);
+                }
+            }
+            if let Some(waiters) = self.pending.remove(&pc) {
+                for site in waiters {
+                    arena.patch32(site, (entry as i64 - (site as i64 + 4)) as i32);
+                }
+            }
+            arena.set_exec(true);
+            Compiled::Entry(entry)
+        }
+    }
+
+    const CC_BE: u8 = 0x6; // unsigned <=
+
+    impl Asm {
+        /// `mov r32, r32`.
+        fn mov_rr32(&mut self, dst: u8, src: u8) {
+            self.rex(false, src, dst);
+            self.byte(0x89);
+            self.modrm(3, src, dst);
+        }
+    }
+
+    struct TakenStub {
+        label: Label,
+        target: u32,
+        cyc: u64,
+        n: u64,
+        fused: u64,
+    }
+
+    struct BailStub {
+        label: Label,
+        k: u32,
+        cyc: u64,
+        n: u64,
+        fused: u64,
+    }
+
+    fn bail_label(
+        a: &mut Asm,
+        bails: &mut Vec<BailStub>,
+        k: u32,
+        cyc: u64,
+        n: u64,
+        fused: u64,
+    ) -> Label {
+        let label = a.label();
+        bails.push(BailStub {
+            label,
+            k,
+            cyc,
+            n,
+            fused,
+        });
+        label
+    }
+
+    fn taken_label(
+        a: &mut Asm,
+        takens: &mut Vec<TakenStub>,
+        target: u32,
+        cyc: u64,
+        n: u64,
+        fused: u64,
+    ) -> Label {
+        let label = a.label();
+        takens.push(TakenStub {
+            label,
+            target,
+            cyc,
+            n,
+            fused,
+        });
+        label
+    }
+
+    /// A static exit to `target`: apply the path-constant accounting,
+    /// then jump through a patchable chain site that initially falls
+    /// to an exit stub (set `exit_pc`, leave) and later gets patched
+    /// to the target block's entry.
+    fn emit_exit(
+        a: &mut Asm,
+        sites: &mut Vec<(usize, u32)>,
+        epilogue: usize,
+        target: u32,
+        cyc: u64,
+        n: u64,
+        fused: u64,
+    ) {
+        if cyc != 0 {
+            a.add_mem64_imm(R15, OFF_CYC, cyc as i32);
+        }
+        if n != 0 {
+            a.sub_r64_imm(R14, n as i32);
+        }
+        if fused != 0 {
+            a.add_mem64_imm(R15, OFF_FUSED, fused as i32);
+        }
+        let resolve = a.label();
+        let site = a.jmp_chain(resolve);
+        sites.push((site, target));
+        a.bind(resolve);
+        a.mov_mem32_imm(R15, OFF_EXIT_PC, target as i32);
+        a.mov_mem32_imm(R15, OFF_BAIL_UOP, NO_BAIL as i32);
+        a.jmp_abs(epilogue);
+    }
+
+    fn load_kind(op: Op) -> (u8, bool) {
+        match op {
+            Op::Lb | Op::AbsLb => (1, true),
+            Op::Lh | Op::AbsLh => (2, true),
+            Op::Lbu | Op::AbsLbu => (1, false),
+            Op::Lhu | Op::AbsLhu => (2, false),
+            _ => (4, false),
+        }
+    }
+
+    fn store_size(op: Op) -> u8 {
+        match op {
+            Op::Sb | Op::AbsSb => 1,
+            Op::Sh | Op::AbsSh => 2,
+            _ => 4,
+        }
+    }
+
+    /// Whether every dynamic behavior of this micro-op is either
+    /// covered by its template or guarded by a bail.
+    fn covers(u: &MicroOp, ram_base: u32, ram_len: u32) -> bool {
+        let abs_ok = |size: u32| {
+            let addr = u.imm as u32;
+            let off = addr.wrapping_sub(ram_base);
+            addr.is_multiple_of(size) && off as u64 + size as u64 <= ram_len as u64
+        };
+        match u.op {
+            Op::Nop
+            | Op::LoadConst
+            | Op::Addi
+            | Op::Slti
+            | Op::Sltiu
+            | Op::Xori
+            | Op::Ori
+            | Op::Andi
+            | Op::Slli
+            | Op::Srli
+            | Op::Srai
+            | Op::Add
+            | Op::Sub
+            | Op::Sll
+            | Op::Slt
+            | Op::Sltu
+            | Op::Xor
+            | Op::Srl
+            | Op::Sra
+            | Op::Or
+            | Op::And
+            | Op::Mul
+            | Op::Mulh
+            | Op::Mulhsu
+            | Op::Mulhu
+            | Op::ShiftPair
+            | Op::Lb
+            | Op::Lh
+            | Op::Lw
+            | Op::Lbu
+            | Op::Lhu
+            | Op::Sb
+            | Op::Sh
+            | Op::Sw
+            | Op::Beq
+            | Op::Bne
+            | Op::Blt
+            | Op::Bge
+            | Op::Bltu
+            | Op::Bgeu
+            | Op::SltBrz
+            | Op::SltBrnz
+            | Op::SltuBrz
+            | Op::SltuBrnz
+            | Op::SltiBrz
+            | Op::SltiBrnz
+            | Op::SltiuBrz
+            | Op::SltiuBrnz
+            | Op::AddBeq
+            | Op::AddBne
+            | Op::Jal
+            | Op::Jalr => true,
+            Op::AbsLb | Op::AbsLbu | Op::AbsSb => abs_ok(1),
+            Op::AbsLh | Op::AbsLhu | Op::AbsSh => abs_ok(2),
+            Op::AbsLw | Op::AbsSw => abs_ok(4),
+            // Div/Rem (variable-latency host idioms), Xbmi bit
+            // manipulation and Generic have no templates.
+            _ => false,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn assembler_encodes_known_forms() {
+            let mut a = Asm::new(0);
+            a.mov_rr64(R15, RDI);
+            a.mov_r64_mem(RBX, R15, 0);
+            a.mov_mem32_imm(RBX, 8, 0x1234);
+            a.ram_dyn(RCX, 4, false, false);
+            assert_eq!(
+                a.finalize(),
+                vec![
+                    0x49, 0x89, 0xff, // mov r15, rdi
+                    0x49, 0x8b, 0x5f, 0x00, // mov rbx, [r15+0]
+                    0xc7, 0x43, 0x08, 0x34, 0x12, 0x00, 0x00, // mov dword [rbx+8], 0x1234
+                    0x41, 0x8b, 0x4c, 0x05, 0x00, // mov ecx, [r13+rax]
+                ]
+            );
+        }
+
+        #[test]
+        #[ignore = "scratch perf probe; run with --ignored --nocapture"]
+        fn compile_throughput_probe() {
+            use crate::uop::MicroOp;
+            use s4e_isa::Gpr;
+            let mut e = JitEngine::new().unwrap();
+            let x1 = Gpr::new(1).unwrap();
+            let uop = |op: Op| {
+                let mut u = MicroOp {
+                    op,
+                    rd: x1,
+                    rs1: x1,
+                    rs2: x1,
+                    imm: 5,
+                    imm2: 0,
+                    idx: 0,
+                    pc: 0x8000_0000,
+                    next_pc: 0x8000_0004,
+                    cost: 1,
+                    cost2: 0,
+                    n: 1,
+                };
+                if op == Op::Bne {
+                    u.imm = 0x8000_1000u32 as i32;
+                }
+                u
+            };
+            let uops = vec![uop(Op::Addi), uop(Op::Xor), uop(Op::Addi), uop(Op::Bne)];
+            let t0 = std::time::Instant::now();
+            let rounds = 20_000u32;
+            for r in 0..rounds {
+                for b in 0..15u32 {
+                    let pc = 0x8000_0000 + b * 0x40;
+                    match e.compile(pc, &uops, pc + 0x10, 0x8000_0000, 0x100000) {
+                        Compiled::Entry(_) => {}
+                        Compiled::Ineligible => panic!("round {r}: ineligible"),
+                    }
+                }
+                e.reset();
+            }
+            let s = t0.elapsed().as_secs_f64();
+            let n = rounds as f64 * 15.0;
+            println!("{n} compiles in {s:.3}s = {:.0} ns/compile", s / n * 1e9);
+        }
+
+        #[test]
+        fn trampoline_round_trips_budget() {
+            let mut e = JitEngine::new().unwrap();
+            assert!(e.ensure_arena());
+            let mut gprs = [0u32; 32];
+            let mut ram = [0u8; 64];
+            let mut dirty = [0u64; 1];
+            let entry = e.epilogue;
+            // SAFETY: the shared epilogue is a valid (trivial) entry:
+            // it publishes the untouched budget and returns.
+            let x = unsafe {
+                e.run(
+                    entry,
+                    gprs.as_mut_ptr(),
+                    ram.as_mut_ptr(),
+                    dirty.as_mut_ptr(),
+                    42,
+                    1000,
+                    0,
+                    0,
+                )
+            };
+            assert_eq!(x.remaining, 42);
+            assert_eq!(x.retired, 0);
+            assert_eq!(x.blocks, 0);
+            assert_eq!(x.bail_uop, None);
+        }
+    }
+}

@@ -32,6 +32,7 @@ mod cancel;
 mod cpu;
 pub mod dev;
 mod flight;
+mod jit;
 mod plugin;
 mod snapshot;
 mod timing;

@@ -114,6 +114,11 @@ pub(crate) enum Op {
     SltiBrnz,
     SltiuBrz,
     SltiuBrnz,
+    // Fused `addi` + `beq`/`bne` on its result (`AddBranch`): `rd` is
+    // written with `rs1 + imm2`, branch to `imm` when the result
+    // equals (`AddBeq`) / differs from (`AddBne`) `rs2`.
+    AddBeq,
+    AddBne,
     /// `jal`: `rd = next_pc`, jump to the absolute target in `imm`.
     Jal,
     /// `jalr`: `rd = next_pc`, jump to `(rs1 + imm) & !1`; `imm2` holds
@@ -431,6 +436,26 @@ fn lower_fused(
             u.imm2 = imm;
             u.cost2 = c32(timing.branch_taken_extra())?;
         }
+        FusionPattern::AddBranch {
+            rd,
+            rs1,
+            imm,
+            other,
+            branch_on_eq,
+            offset,
+        } => {
+            let target = pc2.wrapping_add(offset as u32);
+            if !target.is_multiple_of(ialign) {
+                return None;
+            }
+            u.op = if branch_on_eq { Op::AddBeq } else { Op::AddBne };
+            u.rd = rd;
+            u.rs1 = rs1;
+            u.rs2 = other;
+            u.imm = target as i32;
+            u.imm2 = imm;
+            u.cost2 = c32(timing.branch_taken_extra())?;
+        }
         FusionPattern::ShiftPair {
             rd,
             rs1,
@@ -515,6 +540,22 @@ mod tests {
         let (uops, _) = lower_block(&insns, &TimingModel::new(), &IsaConfig::full());
         assert_eq!(uops[0].op, Op::Generic);
         assert_eq!(uops[1].op, Op::Generic);
+    }
+
+    #[test]
+    fn lowers_decrement_branch_to_one_uop() {
+        // addi s0, s0, -1 ; bne s0, x0, -4 (back to the addi)
+        let insns = program(&[0xfff40413, 0xfe041ee3], 0x8000_0000);
+        let (uops, fused) = lower_block(&insns, &TimingModel::new(), &IsaConfig::full());
+        assert_eq!(fused, 1);
+        assert_eq!(uops.len(), 1);
+        assert_eq!(uops[0].op, Op::AddBne);
+        assert_eq!(uops[0].n, 2);
+        assert_eq!(uops[0].imm2, -1);
+        // The branch target is absolute: branch pc 0x8000_0004 - 4.
+        assert_eq!(uops[0].imm as u32, 0x8000_0000);
+        assert_eq!(uops[0].idx, 0);
+        assert_eq!(uops[0].pc, 0x8000_0004);
     }
 
     #[test]

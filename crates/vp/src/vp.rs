@@ -8,6 +8,7 @@ use crate::dev::{
     Clint, Syscon, Uart, CLINT_BASE, CLINT_SIZE, SYSCON_BASE, SYSCON_SIZE, UART_BASE, UART_SIZE,
 };
 use crate::flight::FlightRecorder;
+use crate::jit::{self, JitEngine};
 use crate::plugin::{BlockInfo, DeviceAccess, MemAccess, Plugin};
 use crate::snapshot::{zero_page, VpSnapshot};
 use crate::timing::TimingModel;
@@ -97,6 +98,11 @@ struct Block {
     /// links point into *this* VP's cache and are rebuilt locally by
     /// each VP that adopts a shared body.
     links: [ChainLink; 2],
+    /// This VP's template-JIT promotion state for the block. Like
+    /// `links`, strictly VP-private: shared bodies carry no JIT state,
+    /// so a warm-adopted block starts counting from zero, and
+    /// invalidation discards the state together with the block.
+    jit: JitSlot,
 }
 
 /// A read-only set of translated (and lowered) blocks exported from one
@@ -214,6 +220,47 @@ impl std::fmt::Debug for ChainLink {
     }
 }
 
+/// Per-block template-JIT promotion state.
+///
+/// Interior-mutable for the same reason — and under the same safety
+/// argument — as [`ChainLink`]: every read and write goes through the
+/// uniquely-owning `Vp` (`&mut self`), which is `Send` but not `Sync`,
+/// so no two threads can race on the cell. The `unsafe impl`s only keep
+/// `Arc<Block>` (and thereby `Vp`) `Send`.
+struct JitSlot(UnsafeCell<JitState>);
+
+/// Where a block stands on the path to native code.
+#[derive(Debug, Clone, Copy)]
+enum JitState {
+    /// Executions observed so far; promoted at `Vp::jit_threshold`.
+    Counting(u32),
+    /// Compiled: the arena entry cookie for `JitEngine::run`. Valid
+    /// exactly as long as the block itself — `invalidate_caches` resets
+    /// the engine in the same breath as it drops the blocks.
+    Compiled(usize),
+    /// Contains a micro-op with no template (or the arena was full):
+    /// never re-attempted until invalidation retranslates the block.
+    Ineligible,
+}
+
+unsafe impl Send for JitSlot {}
+unsafe impl Sync for JitSlot {}
+
+impl Default for JitSlot {
+    fn default() -> JitSlot {
+        JitSlot(UnsafeCell::new(JitState::Counting(0)))
+    }
+}
+
+impl std::fmt::Debug for JitSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // SAFETY: `&self` from the owning `Vp`; see the type docs.
+        f.debug_tuple("JitSlot")
+            .field(unsafe { &*self.0.get() })
+            .finish()
+    }
+}
+
 /// Counters for the dispatch fast path and the snapshot machinery.
 ///
 /// Retrieved with [`Vp::dispatch_stats`] (cumulative) or
@@ -270,6 +317,16 @@ pub struct DispatchStats {
     pub lock_waits: u64,
     /// Microseconds spent blocked on those contended acquisitions.
     pub lock_wait_us: u64,
+    /// Hot blocks compiled to host machine code by the template JIT.
+    pub jit_blocks: u64,
+    /// Translation blocks executed as JIT'd host code (each block entry
+    /// in a chained native run counts once).
+    pub jit_exec: u64,
+    /// JIT bail-outs: a compiled block hit a condition its templates do
+    /// not cover (MMIO or misaligned access, self-modifying store,
+    /// mid-block budget expiry) and fell back to the micro-op engine
+    /// before any architectural effect of the uncovered micro-op.
+    pub jit_bailouts: u64,
 }
 
 impl DispatchStats {
@@ -313,6 +370,9 @@ impl DispatchStats {
         self.pages_restored += other.pages_restored;
         self.lock_waits += other.lock_waits;
         self.lock_wait_us += other.lock_wait_us;
+        self.jit_blocks += other.jit_blocks;
+        self.jit_exec += other.jit_exec;
+        self.jit_bailouts += other.jit_bailouts;
     }
 }
 
@@ -343,6 +403,8 @@ pub struct VpBuilder {
     uops_enabled: bool,
     mem_fast_enabled: bool,
     standard_devices: bool,
+    jit_enabled: bool,
+    jit_threshold: u32,
 }
 
 impl VpBuilder {
@@ -436,6 +498,38 @@ impl VpBuilder {
         self
     }
 
+    /// Enables or disables the template JIT tier (default: enabled).
+    ///
+    /// With the JIT on, blocks that stay hot past the promotion
+    /// threshold are compiled from their micro-ops to host machine code
+    /// and chained directly block-to-block; anything the templates do
+    /// not cover bails out to the micro-op engine before taking any
+    /// architectural effect, so the tier has no architectural effect —
+    /// it is a strict speedup. The JIT is a micro-op-engine feature and
+    /// additionally requires the RAM fast path: it is implicitly off
+    /// whenever [`micro_ops`](VpBuilder::micro_ops) or
+    /// [`mem_fast_path`](VpBuilder::mem_fast_path) (or anything they
+    /// require) is disabled, and on hosts other than x86-64.
+    #[must_use]
+    pub fn jit(mut self, enabled: bool) -> VpBuilder {
+        self.jit_enabled = enabled;
+        self
+    }
+
+    /// Sets how many times a block must execute before the JIT compiles
+    /// it (default: 8; clamped to at least 1). Compilation is a
+    /// copy-and-patch pass over the block's micro-ops into a dual-view
+    /// arena — no per-compile syscalls — so compiling a block costs on
+    /// the order of interpreting it a handful of times; a low default
+    /// keeps restore-heavy workloads (which drop all compiled code at
+    /// every restore) from spending their runs warming up. Tests pin
+    /// this to 1 to force immediate promotion.
+    #[must_use]
+    pub fn jit_threshold(mut self, executions: u32) -> VpBuilder {
+        self.jit_threshold = executions;
+        self
+    }
+
     /// Builds the virtual prototype.
     ///
     /// # Panics
@@ -450,6 +544,14 @@ impl VpBuilder {
         }
         let pages = self.ram_size.div_ceil(PAGE_SIZE) as usize;
         let uops_enabled = self.uops_enabled && self.fast_dispatch_enabled && self.cache_enabled;
+        let mem_fast_enabled = self.mem_fast_enabled && uops_enabled;
+        // The JIT templates assume the RAM fast path's memory semantics;
+        // `JitEngine::new` additionally returns `None` off x86-64.
+        let jit = if self.jit_enabled && mem_fast_enabled {
+            JitEngine::new().map(Box::new)
+        } else {
+            None
+        };
         Vp {
             cpu: Cpu::new(self.isa, self.ram_base),
             bus,
@@ -459,7 +561,9 @@ impl VpBuilder {
             cache_enabled: self.cache_enabled,
             fast_dispatch_enabled: self.fast_dispatch_enabled,
             uops_enabled,
-            mem_fast_enabled: self.mem_fast_enabled && uops_enabled,
+            mem_fast_enabled,
+            jit,
+            jit_threshold: self.jit_threshold.max(1),
             warm: None,
             insn_hooks: false,
             jmp_cache: vec![None; JMP_CACHE_SLOTS],
@@ -489,6 +593,8 @@ impl Default for VpBuilder {
             uops_enabled: true,
             mem_fast_enabled: true,
             standard_devices: true,
+            jit_enabled: true,
+            jit_threshold: 8,
         }
     }
 }
@@ -526,6 +632,12 @@ pub struct Vp {
     /// Whether memory micro-ops may take the direct-RAM fast path
     /// (resolved at build time: requires the micro-op engine).
     mem_fast_enabled: bool,
+    /// The template JIT engine — `None` when disabled at build time,
+    /// when anything it requires (micro-op engine, RAM fast path) is
+    /// off, or on hosts other than x86-64.
+    jit: Option<Box<JitEngine>>,
+    /// Block executions before a hot block is promoted to native code.
+    jit_threshold: u32,
     /// A warm translation set probed on translation-cache misses before
     /// decoding from guest memory. Survives [`Vp::invalidate_caches`] on
     /// purpose: entries are hash-validated against current RAM at every
@@ -707,6 +819,11 @@ impl Vp {
         self.cache.clear();
         self.jmp_cache.iter_mut().for_each(|s| *s = None);
         self.scratch = None;
+        // Dropping the blocks above destroyed every `JitSlot` entry
+        // cookie, so the arena can be recycled wholesale.
+        if let Some(jit) = &mut self.jit {
+            jit.reset();
+        }
         self.code_lo = u32::MAX;
         self.code_hi = 0;
         self.invalidate_pending = false;
@@ -895,6 +1012,17 @@ impl Vp {
         // callbacks; chaining only requires the engine itself (both fixed
         // for the duration of a run: `add_plugin` needs `&mut self`).
         let use_uops = self.uops_enabled && !self.insn_hooks;
+        // The template JIT additionally requires that nothing wants to
+        // observe execution at sub-block grain: no plugins (block hooks
+        // included — native chains skip intermediate boundaries), no
+        // flight recorder, and no armed register fault masks (compiled
+        // code reads the GPR file raw). All fixed for the run's duration
+        // for the same `&mut self` reason as above.
+        let use_jit = self.jit.is_some()
+            && use_uops
+            && self.plugins.is_empty()
+            && self.flight.is_none()
+            && !self.cpu.faults_enabled();
         // The block to dispatch next via a direct chain link, and the
         // (predecessor, slot) pair waiting for its successor to be
         // resolved so the link can be installed. Both are dropped at
@@ -971,7 +1099,22 @@ impl Vp {
             // invalidation requests during execution only set
             // `invalidate_pending`.
             let exit = if use_uops {
-                self.exec_block_uops(block, &mut remaining)
+                // Try the native tier first. It declines (returning
+                // `None`) while the block is cold or uncompilable, when
+                // a device event or block-exit request is pending, or
+                // when the interpreter must poll `mip` before running
+                // anything — the micro-op engine is the unconditional
+                // fallback either way.
+                let native =
+                    if use_jit && !self.block_exit_pending && self.bus.peek_event().is_none() {
+                        self.jit_dispatch(block, &mut remaining)
+                    } else {
+                        None
+                    };
+                match native {
+                    Some(exit) => exit,
+                    None => self.exec_block_uops(block, 0, &mut remaining),
+                }
             } else {
                 self.exec_block_insns(block, 0, &mut remaining)
             };
@@ -1002,6 +1145,115 @@ impl Vp {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Tries to execute `block` natively through the template JIT.
+    ///
+    /// Returns `None` — the caller falls back to the micro-op engine —
+    /// while the block is cold, when it has no native translation
+    /// (ineligible micro-ops or a full arena), when the budget is
+    /// already spent, or when the interpreter is due to poll `mip`
+    /// before running anything. Otherwise runs native code (following
+    /// direct native chains) until a block boundary at the `mip`
+    /// deadline, budget exhaustion, or a template bail-out, then folds
+    /// the accumulated cycle/instret deltas into the CPU. A bail-out
+    /// resumes the bailing block mid-way through the micro-op engine
+    /// with no architectural effect of the bailing micro-op applied.
+    fn jit_dispatch(&mut self, block: *const Block, remaining: &mut u64) -> Option<BlockExit> {
+        if *remaining == 0 {
+            return None;
+        }
+        // SAFETY: dispatch-boundary argument as in `exec_block_uops`;
+        // slot access follows the `JitSlot` exclusive-`Vp` rule.
+        let state = unsafe { &mut *(*block).jit.0.get() };
+        let entry = match *state {
+            JitState::Ineligible => return None,
+            JitState::Compiled(entry) => entry,
+            JitState::Counting(seen) => {
+                let seen = seen.saturating_add(1);
+                if seen < self.jit_threshold {
+                    *state = JitState::Counting(seen);
+                    return None;
+                }
+                // Hot: compile now. SAFETY: the `Arc`'d body is
+                // immutable and outlives this call (see above).
+                let body: &BlockBody = unsafe { &*Arc::as_ptr(&(*block).body) };
+                let jit = self.jit.as_mut().expect("jit_dispatch requires an engine");
+                match jit.compile(
+                    body.insns[0].0,
+                    &body.uops,
+                    body.fall_pc,
+                    self.bus.ram_base(),
+                    self.bus.ram_size(),
+                ) {
+                    jit::Compiled::Entry(entry) => {
+                        self.stats.jit_blocks += 1;
+                        *state = JitState::Compiled(entry);
+                        entry
+                    }
+                    jit::Compiled::Ineligible => {
+                        *state = JitState::Ineligible;
+                        return None;
+                    }
+                }
+            }
+        };
+        // Native code stops at the block boundary where the interpreter
+        // would next poll `mip`, capped by `JIT_SLICE` so cancellation
+        // tokens and watchdog clocks stay responsive. Zero means "poll
+        // before running anything": let the interpreter take this block.
+        let deadline = self
+            .mip_poll_at
+            .saturating_sub(self.cpu.cycles())
+            .min(jit::JIT_SLICE);
+        if deadline == 0 {
+            return None;
+        }
+        let code_lo = self.code_lo;
+        let code_hi = self.code_hi;
+        let gprs = self.cpu.gprs_ptr();
+        let ram = self.bus.ram_ptr();
+        let dirty = self.bus.dirty_ptr();
+        let jit = self.jit.as_mut().expect("compiled above");
+        // SAFETY: `entry` was produced by this engine after its last
+        // reset — cookies live in `JitSlot`s, and `invalidate_caches`
+        // resets the engine in the same step that drops every block.
+        // The GPR/RAM/dirty pointers are exclusively ours through
+        // `&mut self` for the duration of the call, and fault masks,
+        // plugins and the flight recorder are gated off by `use_jit`.
+        let res = unsafe {
+            jit.run(
+                entry, gprs, ram, dirty, *remaining, deadline, code_lo, code_hi,
+            )
+        };
+        self.cpu.add_cycles(res.cycles);
+        self.cpu.retire_n(res.retired);
+        *remaining = res.remaining;
+        self.stats.jit_exec += res.blocks;
+        self.stats.fused_exec += res.fused;
+        match res.bail_uop {
+            None => {
+                self.cpu.set_pc(res.exit_pc);
+                Some(BlockExit::Done)
+            }
+            Some(k) => {
+                self.stats.jit_bailouts += 1;
+                // The bailing block can be any block reached through
+                // native chaining, not necessarily `block`. Compiled
+                // blocks are always cache-owned (only cached blocks are
+                // ever promoted), so it resolves by start pc.
+                let bail: *const Block = Arc::as_ptr(
+                    self.cache
+                        .get(&res.exit_pc)
+                        .expect("JIT bailed in a block that is no longer cached"),
+                );
+                // SAFETY: cache-owned block, same boundary argument.
+                let body: &BlockBody = unsafe { &*Arc::as_ptr(&(*bail).body) };
+                let k = k as usize;
+                self.cpu.set_pc(body.insns[body.uops[k].idx as usize].0);
+                Some(self.exec_block_uops(bail, k, remaining))
             }
         }
     }
@@ -1066,8 +1318,17 @@ impl Vp {
     /// boundaries, which may split a fused pair) and active stuck-at
     /// register faults (fused ops would constant-fold through a register
     /// read the reference path filters through the fault masks).
+    /// `start` is the micro-op to begin at: 0 from the dispatch loop, a
+    /// bail point when resuming a block the JIT gave up on mid-way (the
+    /// caller guarantees `cpu.pc()` matches `uops[start]`'s first
+    /// constituent instruction, exactly as for `exec_block_insns`).
     #[allow(clippy::too_many_lines)]
-    fn exec_block_uops(&mut self, block: *const Block, remaining: &mut u64) -> BlockExit {
+    fn exec_block_uops(
+        &mut self,
+        block: *const Block,
+        start: usize,
+        remaining: &mut u64,
+    ) -> BlockExit {
         // SAFETY: see the dispatch-boundary argument in `run_loop` and
         // the body-lifetime argument in `exec_block_insns`: the `Arc`'d
         // body is immutable and outlives this call.
@@ -1090,7 +1351,7 @@ impl Vp {
                 }
             }};
         }
-        let mut i = 0usize;
+        let mut i = start;
         'dispatch: loop {
             if i >= uops.len() {
                 // Fell off the end: straight-line block (or a not-taken
@@ -1451,6 +1712,16 @@ impl Vp {
                 Op::SltiBrnz => cmp_branch!((self.cpu.gpr(u.rs1) as i32) < u.imm2, true),
                 Op::SltiuBrz => cmp_branch!(self.cpu.gpr(u.rs1) < u.imm2 as u32, false),
                 Op::SltiuBrnz => cmp_branch!(self.cpu.gpr(u.rs1) < u.imm2 as u32, true),
+                Op::AddBeq => {
+                    let v = self.cpu.gpr(u.rs1).wrapping_add(u.imm2 as u32);
+                    self.cpu.set_gpr(u.rd, v);
+                    branch!(v == self.cpu.gpr(u.rs2))
+                }
+                Op::AddBne => {
+                    let v = self.cpu.gpr(u.rs1).wrapping_add(u.imm2 as u32);
+                    self.cpu.set_gpr(u.rd, v);
+                    branch!(v != self.cpu.gpr(u.rs2))
+                }
                 Op::Jal => {
                     self.cpu.set_gpr(u.rd, u.next_pc);
                     branch_to_target!()
@@ -1689,6 +1960,7 @@ impl Vp {
                 let block = Arc::new(Block {
                     body,
                     links: [ChainLink::default(), ChainLink::default()],
+                    jit: JitSlot::default(),
                 });
                 let ptr = Arc::as_ptr(&block);
                 if self.fast_dispatch_enabled {
@@ -1701,6 +1973,7 @@ impl Vp {
         let block = Arc::new(Block {
             body: Arc::new(self.translate_block(pc)?),
             links: [ChainLink::default(), ChainLink::default()],
+            jit: JitSlot::default(),
         });
         self.stats.translations += 1;
         if !self.plugins.is_empty() {

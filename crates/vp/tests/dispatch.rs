@@ -58,9 +58,11 @@ fn aliased_jump_cache_slots_stay_correct() {
         "aliasing blocks must keep missing the shared slot: {stats:?}"
     );
 
-    // Full micro-op engine: chaining bypasses the contended slot (each
-    // block links its successor directly), and the result is identical.
-    let mut full = Vp::new(IsaConfig::rv32imc());
+    // Full micro-op engine (JIT pinned off so the *interpreter's*
+    // chaining is what's measured): chaining bypasses the contended
+    // slot (each block links its successor directly), and the result
+    // is identical.
+    let mut full = Vp::builder().isa(IsaConfig::rv32imc()).jit(false).build();
     load_src(&mut full, ALIASED_PINGPONG);
     assert_eq!(full.run(), RunOutcome::Break);
     assert_eq!(cpu_state(full.cpu()), cpu_state(jc.cpu()));
@@ -70,6 +72,19 @@ fn aliased_jump_cache_slots_stay_correct() {
         stats.jmp_cache_misses < 300,
         "chaining must absorb the aliasing traffic: {stats:?}"
     );
+
+    // JIT tier: hot blocks go native and chain inside the arena, again
+    // with identical architectural state (cycles and instret included).
+    let mut jit = Vp::builder()
+        .isa(IsaConfig::rv32imc())
+        .jit_threshold(1)
+        .build();
+    load_src(&mut jit, ALIASED_PINGPONG);
+    assert_eq!(jit.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(jit.cpu()), cpu_state(jc.cpu()));
+    let stats = jit.dispatch_stats();
+    assert!(stats.jit_blocks > 0, "{stats:?}");
+    assert!(stats.jit_exec > 500, "{stats:?}");
 }
 
 /// A self-chained hot loop whose body is patched (store + `fence.i`)
@@ -101,7 +116,11 @@ secret:
 
 #[test]
 fn chained_successors_are_severed_on_smc_invalidation() {
-    let mut vp = Vp::new(IsaConfig::rv32imc());
+    // JIT pinned off: this test asserts the *interpreter's* chain
+    // counters around invalidation (the JIT/SMC edge is covered by
+    // tests/jit.rs), and the default promotion threshold is low enough
+    // that the hot loop would otherwise go native and stop chaining.
+    let mut vp = Vp::builder().isa(IsaConfig::rv32imc()).jit(false).build();
     load_src(&mut vp, PATCHED_LOOP);
     assert_eq!(vp.run(), RunOutcome::Break);
     // First pass adds 1 per iteration, second (patched) pass adds 5.

@@ -1,0 +1,227 @@
+//! Template-JIT teardown edges: the places where native code must hand
+//! control back to the interpreter without leaking any architectural
+//! difference — self-modifying stores invalidating compiled code
+//! mid-chain, snapshot restore discarding the arena, interrupt delivery
+//! while a hot loop runs natively, and an instruction budget expiring
+//! inside a compiled block. Every test is a differential against the
+//! identical program with the JIT pinned off.
+
+use s4e_asm::assemble;
+use s4e_isa::{Gpr, IsaConfig};
+use s4e_vp::{RunOutcome, Vp};
+
+/// Threshold 1: every block is compiled on its first execution, so the
+/// edge under test is guaranteed to involve native code.
+fn jit_vp() -> Vp {
+    Vp::builder()
+        .isa(IsaConfig::rv32imc())
+        .jit_threshold(1)
+        .build()
+}
+
+fn nojit_vp() -> Vp {
+    Vp::builder().isa(IsaConfig::rv32imc()).jit(false).build()
+}
+
+fn load_src(vp: &mut Vp, src: &str) {
+    let img = assemble(src).expect("assembles");
+    vp.load(img.base(), img.bytes()).expect("loads");
+    vp.cpu_mut().set_pc(img.entry());
+}
+
+/// The full architectural fingerprint: pc, counters and every register
+/// ride along in `Cpu`'s Debug output.
+fn cpu_state(vp: &Vp) -> String {
+    format!("{:?}", vp.cpu())
+}
+
+fn gpr(vp: &Vp, name: u8) -> u32 {
+    vp.cpu().gpr(Gpr::new(name).unwrap())
+}
+
+/// A hot self-chaining loop whose body is patched by a store into the
+/// code range, from code that is itself compiled (no `fence.i`: the
+/// VP's SMC detection on the store is the edge under test, and a
+/// `fence.i` would make the patcher block JIT-ineligible). The store
+/// must bail out of native execution *before* writing, the deferred
+/// invalidation must drop the arena, and the patched loop must be
+/// re-promoted and produce the patched semantics.
+const SELF_PATCHING: &str = r#"
+    li t0, 200
+    li a0, 0
+    li s0, 0
+loop:
+    addi a0, a0, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    bnez s0, done
+    li s0, 1
+    la t1, loop
+    la t2, secret
+    lw t3, 0(t2)
+    sw t3, 0(t1)
+    li t0, 200
+    jal x0, loop
+done:
+    ebreak
+secret:
+    .word 0x00550513    # addi a0, a0, 5
+"#;
+
+#[test]
+fn smc_invalidation_mid_chain_is_exact() {
+    let mut jit = jit_vp();
+    load_src(&mut jit, SELF_PATCHING);
+    assert_eq!(jit.run(), RunOutcome::Break);
+    // First pass +1 per iteration, patched pass +5.
+    assert_eq!(gpr(&jit, 10), 200 + 5 * 200);
+
+    let mut nojit = nojit_vp();
+    load_src(&mut nojit, SELF_PATCHING);
+    assert_eq!(nojit.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(&jit), cpu_state(&nojit));
+
+    let stats = jit.dispatch_stats();
+    assert!(
+        stats.jit_exec > 200,
+        "loop must have run natively: {stats:?}"
+    );
+    assert!(
+        stats.jit_bailouts >= 1,
+        "the code-range store must bail, not write natively: {stats:?}"
+    );
+    assert!(stats.invalidations >= 1, "{stats:?}");
+    // The loop block was compiled once per code version: the arena was
+    // really discarded and the patched loop re-promoted.
+    assert!(stats.jit_blocks >= 2, "{stats:?}");
+}
+
+/// A plain hot loop for the restore and budget edges.
+const HOT_LOOP: &str = r#"
+    li t0, 500
+    li a0, 0
+loop:
+    addi a0, a0, 3
+    xor a1, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+"#;
+
+#[test]
+fn snapshot_restore_discards_native_code() {
+    let mut jit = jit_vp();
+    load_src(&mut jit, HOT_LOOP);
+    let snap = jit.snapshot();
+    assert_eq!(jit.run(), RunOutcome::Break);
+    let first = cpu_state(&jit);
+    let stats = jit.take_dispatch_stats();
+    assert!(stats.jit_blocks > 0 && stats.jit_exec > 400, "{stats:?}");
+
+    // Restore drops the block cache and with it every arena entry; the
+    // second run must recompile from scratch and agree exactly.
+    jit.restore(&snap);
+    assert_eq!(jit.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(&jit), first);
+    let stats = jit.take_dispatch_stats();
+    assert!(
+        stats.jit_blocks > 0,
+        "post-restore run must re-promote, not reuse stale code: {stats:?}"
+    );
+
+    let mut nojit = nojit_vp();
+    load_src(&mut nojit, HOT_LOOP);
+    assert_eq!(nojit.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(&nojit), first);
+}
+
+/// A timer interrupt armed to fire while the spin loop is executing
+/// natively: the JIT's deadline stops native chains at exactly the
+/// block boundary where the interpreter would poll `mip`, so iteration
+/// count, cycle count and the interrupt's architectural timing are
+/// identical with and without the JIT.
+const TIMED_SPIN: &str = r#"
+    .equ CLINT, 0x02000000
+    la t0, handler
+    csrw mtvec, t0
+    li t1, CLINT + 0x4000
+    csrr t2, mcycle
+    addi t2, t2, 2000
+    sw zero, 4(t1)      # mtimecmp hi = 0 first (reset value is MAX)
+    sw t2, 0(t1)        # mtimecmp lo
+    li t3, 128
+    csrw mie, t3
+    csrsi mstatus, 8
+    li a0, 0
+    li a1, 0
+spin:
+    addi a1, a1, 1
+    beqz a0, spin
+    ebreak
+handler:
+    li a0, 1
+    csrr a2, mcause
+    li t4, CLINT + 0x4000
+    li t5, -1
+    sw t5, 4(t4)
+    mret
+"#;
+
+#[test]
+fn interrupt_delivery_during_native_loop_is_exact() {
+    let mut jit = jit_vp();
+    load_src(&mut jit, TIMED_SPIN);
+    assert_eq!(jit.run(), RunOutcome::Break);
+    assert_eq!(gpr(&jit, 10), 1, "handler must have run");
+    assert_eq!(gpr(&jit, 12), 0x8000_0007, "machine timer interrupt");
+    assert!(gpr(&jit, 11) > 100, "the spin loop must actually spin");
+    let stats = jit.dispatch_stats();
+    assert!(
+        stats.jit_exec > 100,
+        "the spin loop must run natively: {stats:?}"
+    );
+
+    let mut nojit = nojit_vp();
+    load_src(&mut nojit, TIMED_SPIN);
+    assert_eq!(nojit.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(&jit), cpu_state(&nojit));
+}
+
+#[test]
+fn insn_budget_expiry_inside_native_block_is_exact() {
+    // Budgets ending at every offset through the first few hundred
+    // instructions land both at native block boundaries and in the
+    // middle of compiled blocks (the loop body is four instructions):
+    // the JIT must stop at the exact instruction either way.
+    for budget in [1u64, 7, 50, 101, 102, 103, 104, 333] {
+        let mut jit = jit_vp();
+        load_src(&mut jit, HOT_LOOP);
+        let jit_outcome = jit.run_for(budget);
+
+        let mut nojit = nojit_vp();
+        load_src(&mut nojit, HOT_LOOP);
+        let nojit_outcome = nojit.run_for(budget);
+
+        assert_eq!(jit_outcome, nojit_outcome, "budget {budget}");
+        assert_eq!(jit.cpu().instret(), budget, "budget {budget}");
+        assert_eq!(cpu_state(&jit), cpu_state(&nojit), "budget {budget}");
+
+        // Resuming both to completion stays in lockstep.
+        assert_eq!(jit.run(), RunOutcome::Break, "budget {budget}");
+        assert_eq!(nojit.run(), RunOutcome::Break, "budget {budget}");
+        assert_eq!(cpu_state(&jit), cpu_state(&nojit), "budget {budget}");
+    }
+}
+
+#[test]
+fn jit_is_a_pure_performance_feature_on_stats() {
+    // With the JIT off (or on a non-x86-64 host, where the builder flag
+    // is a no-op), no jit counters may move.
+    let mut nojit = nojit_vp();
+    load_src(&mut nojit, HOT_LOOP);
+    assert_eq!(nojit.run(), RunOutcome::Break);
+    let stats = nojit.dispatch_stats();
+    assert_eq!(stats.jit_blocks, 0, "{stats:?}");
+    assert_eq!(stats.jit_exec, 0, "{stats:?}");
+    assert_eq!(stats.jit_bailouts, 0, "{stats:?}");
+}

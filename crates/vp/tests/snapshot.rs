@@ -358,7 +358,10 @@ store_loop:
 
 #[test]
 fn jump_cache_hits_dominate_hot_loops() {
-    let mut vp = Vp::new(IsaConfig::rv32imc());
+    // JIT pinned off: this asserts the *interpreter's* chain/jump-cache
+    // counters, and the default promotion threshold is low enough that
+    // the hot loop would otherwise go native after a few iterations.
+    let mut vp = Vp::builder().isa(IsaConfig::rv32imc()).jit(false).build();
     load_src(&mut vp, SUM_LOOP);
     assert_eq!(vp.run(), RunOutcome::Break);
     let stats = vp.dispatch_stats();

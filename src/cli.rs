@@ -143,6 +143,9 @@ OPTIONS:
                                                  dead-bit analysis and post-injection state
                                                  dedupe that classify provably equivalent
                                                  mutants without running them (campaign)
+    --no-jit                                     disable the template JIT tier: hot blocks stay
+                                                 on the micro-op interpreter instead of being
+                                                 compiled to host code (run/profile/campaign)
     --progress                                   live status line on stderr (run/profile/campaign)
     --dot-out <path>                             write the execution-annotated CFG (profile)
     --top <n>                                    hot-block table rows (profile) [10]
@@ -182,6 +185,7 @@ struct Options {
     reference_dispatch: bool,
     share_translations: bool,
     prune: bool,
+    jit: bool,
 }
 
 fn parse_isa(name: &str) -> Result<IsaConfig, CliError> {
@@ -223,6 +227,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         reference_dispatch: false,
         share_translations: true,
         prune: true,
+        jit: true,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -332,6 +337,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--reference-dispatch" => opts.reference_dispatch = true,
             "--no-share-translations" => opts.share_translations = false,
             "--no-prune" => opts.prune = false,
+            "--no-jit" => opts.jit = false,
             "--progress" => opts.progress = true,
             "--dot-out" => opts.dot_out = Some(value("--dot-out")?),
             "--top" => {
@@ -378,6 +384,9 @@ fn worker_flag_args(opts: &Options, source_path: &str) -> Vec<String> {
     }
     if !opts.prune {
         args.push("--no-prune".to_string());
+    }
+    if !opts.jit {
+        args.push("--no-jit".to_string());
     }
     args
 }
@@ -622,6 +631,7 @@ fn run_command_inner(
             let mut vp = Vp::builder()
                 .isa(opts.isa)
                 .fast_dispatch(!opts.reference_dispatch)
+                .jit(opts.jit)
                 .build();
             crate::boot(&mut vp, &image)
                 .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
@@ -793,6 +803,7 @@ fn run_command_inner(
             let mut vp = Vp::builder()
                 .isa(opts.isa)
                 .fast_dispatch(!opts.reference_dispatch)
+                .jit(opts.jit)
                 .build();
             crate::boot(&mut vp, &image)
                 .map_err(|e| CliError::new(format!("image does not fit RAM: {e}")))?;
@@ -879,7 +890,8 @@ fn run_command_inner(
                 .threads(opts.threads)
                 .reference_dispatch(opts.reference_dispatch)
                 .share_translations(opts.share_translations)
-                .prune(opts.prune);
+                .prune(opts.prune)
+                .jit(opts.jit);
             if let Some(ms) = opts.timeout_ms {
                 cfg = cfg.timeout(std::time::Duration::from_millis(ms));
             }

@@ -81,11 +81,13 @@ proptest! {
 
     /// The execution-engine tiers are architecturally invisible: for
     /// arbitrary generated programs — including memory-heavy ones, where
-    /// roughly half the body is scratch-buffer loads/stores — the full
-    /// engine (micro-ops + fusion + chaining + RAM fast path), the same
-    /// engine with the RAM fast path ablated, the jump-cache-only tier
-    /// and the per-instruction reference interpreter all finish in
-    /// exactly the same CPU and memory state.
+    /// roughly half the body is scratch-buffer loads/stores — all five
+    /// tiers finish in exactly the same CPU and memory state: the
+    /// template JIT (promotion threshold pinned to 1 so every block goes
+    /// native immediately), the full interpreter (micro-ops + fusion +
+    /// chaining + RAM fast path, JIT pinned off), the same with the RAM
+    /// fast path ablated, the jump-cache-only tier and the
+    /// per-instruction reference interpreter.
     #[test]
     fn lowered_execution_matches_reference_dispatch(seed in any::<u64>(), mem_heavy in any::<bool>()) {
         let isa = IsaConfig::rv32imfc();
@@ -93,7 +95,12 @@ proptest! {
         let p = torture_program(&cfg);
         let image = assemble(&p.source).expect("generated programs assemble");
 
-        let full = run_to_break(&image, isa, true);
+        let mut full = Vp::builder().isa(isa).jit(false).build();
+        boot(&mut full, &image).expect("boots");
+        prop_assert_eq!(full.run_for(10_000_000), RunOutcome::Break);
+        let mut jit = Vp::builder().isa(isa).jit_threshold(1).build();
+        boot(&mut jit, &image).expect("boots");
+        prop_assert_eq!(jit.run_for(10_000_000), RunOutcome::Break);
         let mut bus_path_only = Vp::builder().isa(isa).mem_fast_path(false).build();
         boot(&mut bus_path_only, &image).expect("boots");
         prop_assert_eq!(bus_path_only.run_for(10_000_000), RunOutcome::Break);
@@ -104,7 +111,7 @@ proptest! {
         boot(&mut reference, &image).expect("boots");
         prop_assert_eq!(reference.run_for(10_000_000), RunOutcome::Break);
 
-        for other in [&bus_path_only, &jump_cache_only, &reference] {
+        for other in [&jit, &bus_path_only, &jump_cache_only, &reference] {
             prop_assert_eq!(full.cpu().pc(), other.cpu().pc());
             prop_assert_eq!(full.cpu().cycles(), other.cpu().cycles());
             prop_assert_eq!(full.cpu().instret(), other.cpu().instret());
