@@ -8,9 +8,12 @@
 //!    × 35 injection times, blind-in-time over twice the golden length)
 //!    run with fast-forward off and on. The reports must be
 //!    classification-identical; the shape target is ≥ 3x throughput.
-//!    The same sweep re-run with the template JIT disabled must also be
-//!    classification-identical (the JIT accelerates golden-prefix
-//!    replay; mutant execution itself is always interpreted).
+//!    The same sweep is then A/B'd with the template JIT disabled: the
+//!    JIT now covers mutant *suffixes* too (the arena survives each
+//!    per-mutant restore and the flight ring is written from native
+//!    prologues), so this arm gates both classification identity and
+//!    the `campaign_jit_*` executed-mutant throughput target (≥ 2x on
+//!    the SMC-free sweep).
 //! 2. Bare dispatch: a branch-heavy kernel run on the four tiers —
 //!    the per-instruction reference interpreter, the jump-cache block
 //!    dispatcher (micro-ops off), the full micro-op engine (lowered
@@ -119,9 +122,15 @@ fn main() {
         )
         .expect("prepares")
     };
-    let fast = prepare(true);
+    let mut fast = prepare(true);
     let slow = prepare(false);
     assert!(fast.fast_forward_active());
+    // The jit-on arm doubles as the tentpole measurement: its progress
+    // registry captures how much of the mutant suffixes actually ran
+    // natively (retained adoptions, native block executions, and the
+    // per-reason bailout split).
+    let jit_progress = Arc::new(CampaignProgress::new());
+    fast.set_progress(Arc::clone(&jit_progress));
 
     // The acceptance-sweep shape: 32 bits × 35 times = 1120 transients,
     // sampled blind in time (a real SEU campaign does not know when the
@@ -139,37 +148,12 @@ fn main() {
         .collect();
     assert_eq!(specs.len(), 1120);
 
-    // Interleave the two arms and keep each arm's fastest pass: host
-    // throughput drifts enough between multi-second phases to skew a
-    // single-pass ratio, but transient load only ever slows a pass, so
-    // the minima compare both arms at the host's shared full speed.
-    let mut legacy_s = f64::INFINITY;
-    let mut ff_s = f64::INFINITY;
-    let mut reports = None;
-    for _ in 0..2 {
-        let t0 = Instant::now();
-        let legacy_report = slow.run_all(&specs);
-        legacy_s = legacy_s.min(t0.elapsed().as_secs_f64());
-
-        let t0 = Instant::now();
-        let ff_report = fast.run_all(&specs);
-        ff_s = ff_s.min(t0.elapsed().as_secs_f64());
-        reports = Some((legacy_report, ff_report));
-    }
-    let (legacy_report, ff_report) = reports.expect("measured");
-
-    assert_eq!(
-        legacy_report.results(),
-        ff_report.results(),
-        "fast-forward must be classification-identical"
-    );
-    let campaign_speedup = legacy_s / ff_s;
-
-    // JIT A/B on the same 1120-spec sweep: mutant execution itself
-    // always runs interpreted (every mutant arms a flight recorder and
-    // fault masks, which gate native execution off), so this gates the
-    // JIT-accelerated golden-prefix replay — classifications must be
-    // identical with the JIT disabled outright.
+    // JIT-in-mutants A/B arm on the same 1120-spec sweep: mutant
+    // suffixes now execute natively (the arena survives each per-mutant
+    // restore, the flight ring is written from the native prologues,
+    // and armed fault masks cost a per-dispatch bail), so the jit-off
+    // arm times what the whole campaign loses without the native tier.
+    // Classifications must be bit-identical either way.
     let nojit_campaign = Campaign::prepare(
         image.base(),
         image.bytes(),
@@ -182,11 +166,57 @@ fn main() {
             .jit(false),
     )
     .expect("prepares");
-    let nojit_report = nojit_campaign.run_all(&specs);
+
+    // Interleave the arms and keep each arm's fastest pass: host
+    // throughput drifts enough between multi-second phases to skew a
+    // single-pass ratio, but transient load only ever slows a pass, so
+    // the minima compare all arms at the host's shared full speed.
+    let mut legacy_s = f64::INFINITY;
+    let mut ff_s = f64::INFINITY;
+    let mut nojit_s = f64::INFINITY;
+    let mut reports = None;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let legacy_report = slow.run_all(&specs);
+        legacy_s = legacy_s.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let ff_report = fast.run_all(&specs);
+        ff_s = ff_s.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let nojit_report = nojit_campaign.run_all(&specs);
+        nojit_s = nojit_s.min(t0.elapsed().as_secs_f64());
+        reports = Some((legacy_report, ff_report, nojit_report));
+    }
+    let (legacy_report, ff_report, nojit_report) = reports.expect("measured");
+
     assert_eq!(
-        nojit_report.results(),
+        legacy_report.results(),
         ff_report.results(),
-        "the JIT must be classification-identical on the acceptance sweep"
+        "fast-forward must be classification-identical"
+    );
+    let campaign_speedup = legacy_s / ff_s;
+
+    let jit_classification_identical = nojit_report.results() == ff_report.results();
+    assert!(
+        jit_classification_identical,
+        "JIT-in-mutants must be classification-identical on the acceptance sweep"
+    );
+    // Executed-mutant throughput with native suffixes vs interpreted
+    // suffixes — the tentpole's acceptance ratio. Both arms fast-forward
+    // and execute all 1120 mutants, so the wall-time ratio is exactly
+    // the executed-mutant throughput ratio.
+    let campaign_jit_speedup = nojit_s / ff_s;
+    let jit_snap = jit_progress.snapshot();
+    let jit_counter = |name: &str| jit_snap.counter(name).unwrap_or(0);
+    let campaign_jit_retained = jit_counter("campaign_jit_retained");
+    let campaign_jit_exec = jit_counter("campaign_jit_blocks_executed");
+    let campaign_jit_bailouts = jit_counter("campaign_jit_bailouts");
+    assert!(
+        campaign_jit_retained > 0 && campaign_jit_exec > 0,
+        "mutant suffixes must actually adopt retained native code \
+         (retained {campaign_jit_retained}, executed {campaign_jit_exec})"
     );
 
     println!("# C1 — campaign fast-forward throughput");
@@ -206,11 +236,27 @@ fn main() {
         ff_report.total(),
         ff_report.total() as f64 / ff_s
     );
+    println!(
+        "| fast-forward, --no-jit | {} | {nojit_s:.3} s | {:.0} |",
+        nojit_report.total(),
+        nojit_report.total() as f64 / nojit_s
+    );
     println!();
     println!("campaign speedup: {campaign_speedup:.2}x");
+    println!("JIT-in-mutants speedup: {campaign_jit_speedup:.2}x over interpreted suffixes");
     println!(
         "JIT-on vs --no-jit classification identity: PASS ({} specs)",
         specs.len()
+    );
+    println!(
+        "native suffix coverage: {campaign_jit_exec} block executions, \
+         {campaign_jit_retained} retained adoptions, {campaign_jit_bailouts} bailouts \
+         (mem={} budget={} smc={} mask={} reval={})",
+        jit_counter("campaign_jit_bail_mem_slow_path"),
+        jit_counter("campaign_jit_bail_budget_expiry"),
+        jit_counter("campaign_jit_bail_smc_store"),
+        jit_counter("campaign_jit_bail_mask_armed"),
+        jit_counter("campaign_jit_bail_revalidation_miss"),
     );
 
     // --- scale sweep: 10^5+ mutants, threads × pruning -----------------
@@ -257,18 +303,19 @@ fn main() {
         scale_specs.len()
     );
     println!();
-    println!("(host exposes {host_cores} core(s); per-thread rows measure scheduling, not physical parallelism, when threads exceed cores)");
+    println!("(host exposes {host_cores} core(s); rows where threads exceed cores are marked oversubscribed — they measure scheduling, not physical parallelism, and are excluded from gating and summary figures)");
     println!();
-    println!("| threads | wall time | mutants/s | mutants/s/core | pruned | steals | lock waits |");
-    println!("|---|---|---|---|---|---|---|");
+    println!("| threads | wall time | mutants/s | mutants/s/core | pruned | steals | lock waits | oversubscribed |");
+    println!("|---|---|---|---|---|---|---|---|");
     let mut scale_rows = Vec::new();
     for t in [1usize, 2, 4] {
         let (report, secs, pruned, steals, lock_waits) = scale_run(t, true, &scale_specs);
         assert_eq!(report.total(), scale_specs.len());
         let rate = report.total() as f64 / secs;
         let per_core = rate / t.min(host_cores) as f64;
+        let oversubscribed = t > host_cores;
         println!(
-            "| {t} | {secs:.3} s | {rate:.0} | {per_core:.0} | {pruned} | {steals} | {lock_waits} |"
+            "| {t} | {secs:.3} s | {rate:.0} | {per_core:.0} | {pruned} | {steals} | {lock_waits} | {oversubscribed} |"
         );
         scale_rows.push((t, secs, rate, per_core, pruned, steals, lock_waits, report));
     }
@@ -277,12 +324,38 @@ fn main() {
     let (_, t4_s, ..) = scale_rows[2];
     let speedup_2t = t1_s / t2_s;
     let speedup_4t = t1_s / t4_s;
-    let ncore_row = &scale_rows[2];
+    let oversubscribed_2t = 2 > host_cores;
+    let oversubscribed_4t = 4 > host_cores;
+    // Summary figures come from the highest-thread row that is *not*
+    // oversubscribed: a row scheduling more workers than the host has
+    // cores records context-switch fairness, not throughput, and must
+    // not masquerade as either.
+    let ncore_row = scale_rows
+        .iter()
+        .rev()
+        .find(|row| row.0 <= host_cores)
+        .unwrap_or(&scale_rows[0]);
     let pruned_share = ncore_row.4 as f64 / scale_specs.len() as f64;
     let mutants_per_sec = ncore_row.2;
     let mutants_per_sec_per_core = ncore_row.3;
     println!();
-    println!("thread scaling: 2t {speedup_2t:.2}x, 4t {speedup_4t:.2}x over 1t (host has {host_cores} core(s))");
+    println!(
+        "thread scaling: 2t {speedup_2t:.2}x{}, 4t {speedup_4t:.2}x{} over 1t (host has {host_cores} core(s))",
+        if oversubscribed_2t {
+            " [oversubscribed]"
+        } else {
+            ""
+        },
+        if oversubscribed_4t {
+            " [oversubscribed]"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "summary figures from the {}-thread row",
+        ncore_row.0
+    );
     println!("pruned share: {:.1}%", pruned_share * 100.0);
 
     // A/B the pruned path against full execution on a subsample (the
@@ -611,7 +684,9 @@ fn main() {
              \"jmp_cache_misses\": {}, \"fused_lowered\": {}, \"fused_exec\": {}, \
              \"mem_fast_hits\": {}, \"mem_slow_hits\": {}, \"translations\": {}, \
              \"warm_translations\": {}, \"jit_blocks\": {}, \"jit_exec\": {}, \
-             \"jit_bailouts\": {}}}",
+             \"jit_bailouts\": {}, \"jit_bail_mem\": {}, \"jit_bail_budget\": {}, \
+             \"jit_bail_smc\": {}, \"jit_bail_mask\": {}, \"jit_bail_reval_miss\": {}, \
+             \"jit_retained\": {}, \"jit_revalidations\": {}}}",
             s.chain_hits,
             s.chain_links,
             s.jmp_cache_hits,
@@ -625,6 +700,13 @@ fn main() {
             s.jit_blocks,
             s.jit_exec,
             s.jit_bailouts,
+            s.jit_bail_mem,
+            s.jit_bail_budget,
+            s.jit_bail_smc,
+            s.jit_bail_mask,
+            s.jit_bail_reval_miss,
+            s.jit_retained,
+            s.jit_revalidations,
         )
     };
     let json = format!(
@@ -633,9 +715,22 @@ fn main() {
          \"mutants\": {},\n  \"golden_instret\": {},\n  \"budget\": {},\n  \
          \"legacy_s\": {:.6},\n  \"fast_forward_s\": {:.6},\n  \
          \"campaign_speedup\": {:.3},\n  \"classification_identical\": true,\n  \
+         \"campaign_jit_s\": {:.6},\n  \"campaign_nojit_s\": {:.6},\n  \
+         \"campaign_jit_speedup\": {:.3},\n  \
+         \"campaign_jit_classification_identical\": {},\n  \
+         \"campaign_jit_retained\": {},\n  \
+         \"campaign_jit_blocks_executed\": {},\n  \
+         \"campaign_jit_bailouts\": {},\n  \
+         \"campaign_jit_bail_mem_slow_path\": {},\n  \
+         \"campaign_jit_bail_budget_expiry\": {},\n  \
+         \"campaign_jit_bail_smc_store\": {},\n  \
+         \"campaign_jit_bail_mask_armed\": {},\n  \
+         \"campaign_jit_bail_revalidation_miss\": {},\n  \
          \"scale_mutants\": {},\n  \"scale_threads1_s\": {:.6},\n  \
          \"scale_threads2_s\": {:.6},\n  \"scale_threads4_s\": {:.6},\n  \
-         \"scale_speedup_2t\": {:.3},\n  \"scale_speedup_4t\": {:.3},\n  \
+         \"scale_speedup_2t\": {:.3},\n  \"scale_speedup_2t_oversubscribed\": {},\n  \
+         \"scale_speedup_4t\": {:.3},\n  \"scale_speedup_4t_oversubscribed\": {},\n  \
+         \"scale_summary_threads\": {},\n  \
          \"mutants_per_sec\": {:.1},\n  \"mutants_per_sec_per_core\": {:.1},\n  \
          \"pruned_share\": {:.4},\n  \"queue_steals\": {},\n  \"lock_waits\": {},\n  \
          \"prune_speedup_subsample\": {:.3},\n  \
@@ -665,12 +760,27 @@ fn main() {
         legacy_s,
         ff_s,
         campaign_speedup,
+        ff_s,
+        nojit_s,
+        campaign_jit_speedup,
+        jit_classification_identical,
+        campaign_jit_retained,
+        campaign_jit_exec,
+        campaign_jit_bailouts,
+        jit_counter("campaign_jit_bail_mem_slow_path"),
+        jit_counter("campaign_jit_bail_budget_expiry"),
+        jit_counter("campaign_jit_bail_smc_store"),
+        jit_counter("campaign_jit_bail_mask_armed"),
+        jit_counter("campaign_jit_bail_revalidation_miss"),
         scale_specs.len(),
         t1_s,
         t2_s,
         t4_s,
         speedup_2t,
+        oversubscribed_2t,
         speedup_4t,
+        oversubscribed_4t,
+        ncore_row.0,
         mutants_per_sec,
         mutants_per_sec_per_core,
         pruned_share,
@@ -716,6 +826,12 @@ fn main() {
         campaign_speedup >= 3.0,
         "shape: fast-forward should gain >= 3x on the blind-in-time sweep \
          (got {campaign_speedup:.2}x)"
+    );
+    assert!(
+        campaign_jit_speedup >= 2.0,
+        "shape: JIT-in-mutants should gain >= 2x executed-mutant throughput \
+         over interpreted suffixes on the SMC-free sweep \
+         (got {campaign_jit_speedup:.2}x, {ff_s:.3} s vs {nojit_s:.3} s)"
     );
     assert!(
         pruned_share > 0.0,

@@ -132,10 +132,14 @@ pub struct CampaignConfig {
     pub prune: bool,
     /// Whether campaign VPs may promote hot blocks to the template JIT
     /// tier. On by default; classifications are identical either way —
-    /// mutant execution itself always runs interpreted (the per-mutant
-    /// flight recorder and injected fault masks gate native code off),
-    /// so this accelerates the golden-prefix replay and pruning-analysis
-    /// VPs and is the `--no-jit` A/B switch.
+    /// mutant suffixes now run *natively* too: the JIT arena survives
+    /// each per-mutant snapshot restore (blocks re-validate against the
+    /// code bytes they were compiled from), an armed flight recorder is
+    /// written from the native block prologues, and armed stuck-at
+    /// fault masks cost a per-dispatch bail rather than gating the run,
+    /// so only the injection instant itself interprets. This is the
+    /// `--no-jit` A/B switch over the whole campaign — golden run,
+    /// prefix replays, pruning analysis and every mutant suffix.
     pub jit: bool,
 }
 
@@ -393,7 +397,13 @@ impl Campaign {
             .ram(base & !0xfff, config.ram_size)
             .timing(TimingModel::flat())
             .fast_dispatch(!config.reference_dispatch)
-            .jit(config.jit);
+            .jit(config.jit)
+            // Campaign workloads are restore-heavy but the arena now
+            // survives restores, so blocks compiled early in the golden
+            // run stay hot for every mutant: promote almost immediately
+            // — the compile cost is ~a handful of interpreted passes
+            // and is amortised over thousands of suffixes.
+            .jit_threshold(2);
         let mut vp = Self::boot_vp(&vp_builder, base, bytes, entry)?;
         vp.add_plugin(Box::new(TracePlugin::new()));
         let outcome = vp.run_for(50_000_000);
@@ -627,6 +637,29 @@ impl Campaign {
         self.run_one_cancellable(spec, None)
     }
 
+    /// Re-executes one mutant in *this* process with a flight recorder
+    /// armed, returning its outcome and the VP it finished on. The
+    /// shard supervisor's quarantine path uses this: the runs that
+    /// convicted the mutant happened inside worker subprocesses that
+    /// are already dead, so the incident bundle's flight tail and final
+    /// architectural state have to come from an in-process replay.
+    /// Bounded by [`CampaignConfig::timeout`] and panic-isolated — a
+    /// mutant hostile enough to kill the harness yields `None` instead
+    /// of taking the supervisor down with it.
+    pub fn replay_forensic(&self, spec: &FaultSpec) -> Option<(FaultOutcome, Vp)> {
+        let token = CancelToken::new();
+        let token = match self.config.timeout {
+            Some(timeout) => token.child(timeout),
+            None => token,
+        };
+        let mut slot = None;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_mutant_forensic(spec, Some(&token), &mut slot)
+        }))
+        .ok()?;
+        Some((outcome, slot?))
+    }
+
     /// Runs one mutant under cooperative cancellation: when `cancel`
     /// trips (explicit cancel or its wall-clock deadline) the mutant is
     /// classified [`FaultOutcome::Cancelled`].
@@ -764,9 +797,9 @@ impl Campaign {
             FaultTarget::GprBit { reg, bit } => vp.cpu_mut().flip_gpr_bit(reg, bit),
             FaultTarget::FprBit { reg, bit } => vp.cpu_mut().flip_fpr_bit(reg, bit),
             FaultTarget::MemBit { addr, bit } => {
-                if let Some(byte) = vp.bus_mut().ram_byte_mut(addr) {
-                    *byte ^= 1 << bit;
-                }
+                // Injected under the guest-store SMC rule so a data-byte
+                // flip leaves warm (retained native) code untouched.
+                vp.update_ram_byte(addr, |b| b ^ (1 << bit));
             }
         }
     }
@@ -786,13 +819,10 @@ impl Campaign {
             FaultTarget::MemBit { addr, bit } => {
                 // Approximated as a time-zero flip to the stuck value
                 // (see FaultKind docs).
-                if let Some(byte) = vp.bus_mut().ram_byte_mut(addr) {
-                    if value {
-                        *byte |= 1 << bit;
-                    } else {
-                        *byte &= !(1 << bit);
-                    }
-                }
+                vp.update_ram_byte(
+                    addr,
+                    |b| if value { b | (1 << bit) } else { b & !(1 << bit) },
+                );
             }
         }
     }

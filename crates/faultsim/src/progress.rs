@@ -82,6 +82,13 @@ pub struct CampaignProgress {
     jit_blocks: Arc<Counter>,
     jit_exec: Arc<Counter>,
     jit_bailouts: Arc<Counter>,
+    jit_bail_mem: Arc<Counter>,
+    jit_bail_budget: Arc<Counter>,
+    jit_bail_smc: Arc<Counter>,
+    jit_bail_mask: Arc<Counter>,
+    jit_bail_reval_miss: Arc<Counter>,
+    jit_retained: Arc<Counter>,
+    jit_revalidations: Arc<Counter>,
     pruned_dead: Arc<Counter>,
     pruned_dedup: Arc<Counter>,
     queue_steals: Arc<Counter>,
@@ -140,6 +147,13 @@ impl CampaignProgress {
             jit_blocks: registry.counter("campaign_jit_blocks_compiled"),
             jit_exec: registry.counter("campaign_jit_blocks_executed"),
             jit_bailouts: registry.counter("campaign_jit_bailouts"),
+            jit_bail_mem: registry.counter("campaign_jit_bail_mem_slow_path"),
+            jit_bail_budget: registry.counter("campaign_jit_bail_budget_expiry"),
+            jit_bail_smc: registry.counter("campaign_jit_bail_smc_store"),
+            jit_bail_mask: registry.counter("campaign_jit_bail_mask_armed"),
+            jit_bail_reval_miss: registry.counter("campaign_jit_bail_revalidation_miss"),
+            jit_retained: registry.counter("campaign_jit_retained"),
+            jit_revalidations: registry.counter("campaign_jit_revalidations"),
             pruned_dead: registry.counter("campaign_pruned_dead"),
             pruned_dedup: registry.counter("campaign_pruned_dedup"),
             queue_steals: registry.counter("campaign_queue_steals"),
@@ -180,8 +194,9 @@ impl CampaignProgress {
     /// fast-forward efficiency counters (snapshots taken and restored,
     /// dirty pages moved each way), the interpreter's jump-cache
     /// hit/miss split, the micro-op engine's chain and fusion counters,
-    /// the memory fast/slow path split, and the warm-vs-fresh
-    /// translation split. Workers call this per mutant with their reusable
+    /// the memory fast/slow path split, the warm-vs-fresh translation
+    /// split, and the native tier's compile/execute/retention counters
+    /// with the per-reason bailout breakdown. Workers call this per mutant with their reusable
     /// VP's reset-on-read stats; the runner adds the shared golden
     /// replay VP's share once at the end of the sweep.
     pub fn record_dispatch(&self, stats: &DispatchStats) {
@@ -202,6 +217,13 @@ impl CampaignProgress {
         self.jit_blocks.add(stats.jit_blocks);
         self.jit_exec.add(stats.jit_exec);
         self.jit_bailouts.add(stats.jit_bailouts);
+        self.jit_bail_mem.add(stats.jit_bail_mem);
+        self.jit_bail_budget.add(stats.jit_bail_budget);
+        self.jit_bail_smc.add(stats.jit_bail_smc);
+        self.jit_bail_mask.add(stats.jit_bail_mask);
+        self.jit_bail_reval_miss.add(stats.jit_bail_reval_miss);
+        self.jit_retained.add(stats.jit_retained);
+        self.jit_revalidations.add(stats.jit_revalidations);
         self.lock_waits.add(stats.lock_waits);
         self.lock_wait_us.add(stats.lock_wait_us);
     }
@@ -429,6 +451,29 @@ impl CampaignProgress {
                 self.warm_translations.value(),
                 self.translations.value()
             );
+        }
+        // Native-tier health: how much ran at JIT speed, how much was
+        // retained across restores, and the per-reason bail split that
+        // explains any coverage regression at a glance.
+        if self.jit_exec.value() > 0 || self.jit_bailouts.value() > 0 {
+            let _ = write!(
+                line,
+                " jit={} retained={}",
+                self.jit_exec.value(),
+                self.jit_retained.value()
+            );
+            let bails = self.jit_bailouts.value();
+            if bails > 0 {
+                let _ = write!(
+                    line,
+                    " bail={bails}(mem={} budget={} smc={} mask={} reval={})",
+                    self.jit_bail_mem.value(),
+                    self.jit_bail_budget.value(),
+                    self.jit_bail_smc.value(),
+                    self.jit_bail_mask.value(),
+                    self.jit_bail_reval_miss.value()
+                );
+            }
         }
         line
     }

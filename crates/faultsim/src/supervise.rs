@@ -327,6 +327,7 @@ pub struct ShardSupervisor<'a> {
     interrupt: Option<&'a AtomicBool>,
     tracer: Option<Arc<Tracer>>,
     trace_dir: Option<PathBuf>,
+    forensic_replay: Option<Box<dyn Fn(&FaultSpec, &mut IncidentBundle) + 'a>>,
 }
 
 impl std::fmt::Debug for ShardSupervisor<'_> {
@@ -337,6 +338,7 @@ impl std::fmt::Debug for ShardSupervisor<'_> {
             .field("interrupt", &self.interrupt.is_some())
             .field("tracer", &self.tracer.is_some())
             .field("trace_dir", &self.trace_dir)
+            .field("forensic_replay", &self.forensic_replay.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -354,6 +356,7 @@ impl<'a> ShardSupervisor<'a> {
             interrupt: None,
             tracer: None,
             trace_dir: None,
+            forensic_replay: None,
         }
     }
 
@@ -371,6 +374,21 @@ impl<'a> ShardSupervisor<'a> {
     /// reported in [`ShardedReport::quarantine_bundles`].
     pub fn set_trace_dir(&mut self, dir: impl Into<PathBuf>) {
         self.trace_dir = Some(dir.into());
+    }
+
+    /// Arms in-process forensic replay for quarantined mutants. The
+    /// supervisor only ever sees a killer mutant through the corpses of
+    /// its worker subprocesses, so without help a quarantine bundle
+    /// carries attempt history and nothing else. `replay` is called
+    /// once per quarantine with the convicted spec and the bundle about
+    /// to be written — typically it re-runs the mutant on an in-process
+    /// [`Campaign`] with forensics armed and attaches the VP, giving
+    /// the bundle a flight tail and final architectural state.
+    pub fn set_forensic_replay(
+        &mut self,
+        replay: impl Fn(&FaultSpec, &mut IncidentBundle) + 'a,
+    ) {
+        self.forensic_replay = Some(Box::new(replay));
     }
 
     /// Attaches live progress: merged classifications, shard restarts,
@@ -664,6 +682,9 @@ impl<'a> ShardSupervisor<'a> {
                                     bundle.set_index(remaining[0]);
                                     for line in &run.task.history {
                                         bundle.push_attempt(line.clone());
+                                    }
+                                    if let Some(replay) = &self.forensic_replay {
+                                        replay(&spec, &mut bundle);
                                     }
                                     // Forensics never fail the sweep: a
                                     // dump error only loses this bundle.

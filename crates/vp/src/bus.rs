@@ -11,7 +11,9 @@ pub const RAM_SIZE: u32 = 4 << 20;
 /// Granularity of the dirty-page bitmap used by snapshot/restore (4 KiB,
 /// like a hardware MMU page).
 pub const PAGE_SIZE: u32 = 4096;
-const PAGE_SHIFT: u32 = 12;
+/// `log2(PAGE_SIZE)`, shared with the JIT's retention logic so arena
+/// survival and the restore path agree on page indices.
+pub(crate) const PAGE_SHIFT: u32 = 12;
 
 /// A bus access fault (no RAM or device claims the address, or the device
 /// rejected the access).

@@ -48,11 +48,23 @@
 //! Code lives in one lazily-`mmap`'d arena per VP, toggled between RW
 //! (while compiling/patching) and R+X (while executing) — never
 //! writable and executable at once. `Vp::invalidate_caches` — SMC,
-//! `fence.i`, `load`, `bus_mut`, snapshot restore — resets the arena
-//! cursor and forgets all entry points alongside dropping the
-//! translated blocks that hold the entry cookies; this is sound
-//! because invalidation only runs at dispatch boundaries, never while
-//! native code is on the stack.
+//! `fence.i`, `load`, `bus_mut` — resets the arena cursor and forgets
+//! all entry points alongside dropping the translated blocks that hold
+//! the entry cookies; this is sound because invalidation only runs at
+//! dispatch boundaries, never while native code is on the stack.
+//!
+//! Snapshot **restore** is different: it retains the arena. Each
+//! compiled block remembers the FNV-1a hash and length of the guest
+//! code it was compiled from; `retain_across_restore` drops only the
+//! blocks whose code bytes actually changed — a block on a copied page
+//! is re-hashed in place, so a data store that merely shares the 4 KiB
+//! page with code (ubiquitous in small guests) costs nothing. Dropped
+//! blocks have the rel32 chain sites that jumped into them severed
+//! back to their local exit stubs, and the dispatcher re-validates a
+//! retained block's hash against current RAM before re-adopting its
+//! entry cookie. That keeps the golden run's native code hot across
+//! every SMC-free mutant of a fault campaign instead of recompiling it
+//! per mutant.
 
 #[cfg(target_arch = "x86_64")]
 pub(crate) use native::JitEngine;
@@ -63,6 +75,20 @@ pub(crate) use stub::JitEngine;
 /// chains return to the dispatcher at least this often so cancellation
 /// tokens and watchdog clocks stay responsive.
 pub(crate) const JIT_SLICE: u64 = 100_000;
+
+/// Bail reason codes written by the native bail stubs into
+/// `JitCtx::bail_reason` and surfaced through [`JitExit::reason`], so
+/// the dispatcher can split the bailout counter by cause.
+pub(crate) const BAIL_NONE: u32 = 0;
+/// Memory slow path: misaligned, MMIO or RAM-edge access (including a
+/// misaligned `jalr` target, which bails through the same stub kind).
+pub(crate) const BAIL_MEM: u32 = 1;
+/// Whole-block budget check failed at entry: the micro-op engine
+/// reproduces the exact mid-block expiry boundary.
+pub(crate) const BAIL_BUDGET: u32 = 2;
+/// A store overlapped the translated code range (self-modifying code):
+/// the micro-op engine re-executes it and schedules the invalidation.
+pub(crate) const BAIL_SMC: u32 = 3;
 
 /// Outcome of a compilation attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +122,9 @@ pub(crate) struct JitExit {
     pub blocks: u64,
     /// Fused macro-ops executed natively (feeds `fused_exec`).
     pub fused: u64,
+    /// One of the `BAIL_*` codes; meaningful only when `bail_uop` is
+    /// `Some` ([`BAIL_NONE`] on clean exits).
+    pub reason: u32,
 }
 
 #[cfg(not(target_arch = "x86_64"))]
@@ -103,6 +132,7 @@ mod stub {
     //! Non-x86-64 hosts: the JIT compiles out; the engine is never
     //! constructed and every block is "ineligible".
     use super::{Compiled, JitExit};
+    use crate::flight::FlightRing;
     use crate::uop::MicroOp;
 
     #[derive(Debug)]
@@ -115,6 +145,26 @@ mod stub {
 
         pub(crate) fn reset(&mut self) {}
 
+        pub(crate) fn retain_across_restore(
+            &mut self,
+            _restored: &[u64],
+            _ram_base: u32,
+            _ram: &[u8],
+        ) -> Option<(u32, u32)> {
+            None
+        }
+
+        pub(crate) fn invalidate_span(&mut self, _addr: u32, _len: u32) -> Option<(u32, u32)> {
+            None
+        }
+
+        pub(crate) fn retained(&self, _pc: u32) -> Option<(usize, u64, u32)> {
+            None
+        }
+
+        pub(crate) fn drop_retained(&mut self, _pc: u32) {}
+
+        #[allow(clippy::too_many_arguments)]
         pub(crate) fn compile(
             &mut self,
             _pc: u32,
@@ -122,6 +172,7 @@ mod stub {
             _fall_pc: u32,
             _ram_base: u32,
             _ram_len: u32,
+            _hash: u64,
         ) -> Compiled {
             Compiled::Ineligible
         }
@@ -139,6 +190,8 @@ mod stub {
             _deadline: u64,
             _code_lo: u32,
             _code_hi: u32,
+            _flight: *mut FlightRing,
+            _instret_bias: u64,
         ) -> JitExit {
             unreachable!("stub JIT engine cannot run")
         }
@@ -147,7 +200,9 @@ mod stub {
 
 #[cfg(target_arch = "x86_64")]
 mod native {
-    use super::{Compiled, JitExit};
+    use super::{Compiled, JitExit, BAIL_BUDGET, BAIL_MEM, BAIL_NONE, BAIL_SMC};
+    use crate::bus::PAGE_SHIFT;
+    use crate::flight::FlightRing;
     use crate::uop::{MicroOp, Op};
     use std::collections::HashMap;
 
@@ -361,6 +416,15 @@ mod native {
         code_lo: u32,    // 64 (in: translated guest code range)
         code_hi: u32,    // 68
         fused: u64,      // 72 (out: fused macro-ops executed)
+        /// Armed flight-recorder ring header, or null. Non-null makes
+        /// every block entry append a `Block` event natively.
+        flight: *mut FlightRing, // 80 (in)
+        /// `instret at native entry + remaining at native entry`: the
+        /// ring write stamps each block with `instret_bias - r14`,
+        /// which is exactly `instret` at that block's entry.
+        instret_bias: u64, // 88 (in)
+        /// One of the `BAIL_*` codes (out; meaningful on bail exits).
+        bail_reason: u32, // 96
     }
 
     const OFF_GPRS: i8 = 0;
@@ -375,6 +439,20 @@ mod native {
     const OFF_CODE_LO: i8 = 64;
     const OFF_CODE_HI: i8 = 68;
     const OFF_FUSED: i8 = 72;
+    const OFF_FLIGHT: i8 = 80;
+    const OFF_INSTRET_BIAS: i8 = 88;
+    const OFF_BAIL_REASON: i8 = 96;
+
+    // Offsets into the `repr(C)` [`FlightRing`] header (asserted
+    // against the real layout by a test in `flight.rs`) and its 32-byte
+    // ring slots.
+    const RING_BUF: i8 = 0;
+    const RING_CAP: i8 = 8;
+    const RING_POS: i8 = 16;
+    const RING_LEN: i8 = 24;
+    const RING_EVICTED: i8 = 32;
+    const RING_BLOCKS: i8 = 40;
+    const RING_SLOT_SHIFT: u8 = 5;
 
     /// `bail_uop` value meaning "no bail: `exit_pc` is the next fetch
     /// pc".
@@ -577,6 +655,20 @@ mod native {
             self.modrm(3, b, a);
         }
 
+        /// `test r64, r64`.
+        fn test_rr64(&mut self, a: u8, b: u8) {
+            self.rex(true, b, a);
+            self.byte(0x85);
+            self.modrm(3, b, a);
+        }
+
+        /// `sub r64, r64`.
+        fn sub_rr64(&mut self, dst: u8, src: u8) {
+            self.rex(true, dst, src);
+            self.byte(0x2b);
+            self.modrm(3, dst, src);
+        }
+
         /// 32-bit shift by immediate via `C1 /ext`: 4 shl, 5 shr,
         /// 7 sar.
         fn shift_ri32(&mut self, ext: u8, r: u8, imm: u8) {
@@ -599,6 +691,14 @@ mod native {
             self.rex(true, 0, r);
             self.byte(0xc1);
             self.modrm(3, 5, r);
+            self.byte(imm & 63);
+        }
+
+        /// `shl r64, imm`.
+        fn shl_r64(&mut self, r: u8, imm: u8) {
+            self.rex(true, 0, r);
+            self.byte(0xc1);
+            self.modrm(3, 4, r);
             self.byte(imm & 63);
         }
 
@@ -654,6 +754,22 @@ mod native {
             self.rex(true, r, base);
             self.byte(0x3b);
             self.mem_disp8(r, base, disp);
+        }
+
+        /// 64-bit ALU `op r64, [base + disp8]` via the `op r64, r/m64`
+        /// opcodes (0x03 add, 0x2b sub, 0x3b cmp, ...).
+        fn alu_r64_mem(&mut self, opc: u8, dst: u8, base: u8, disp: i8) {
+            self.rex(true, dst, base);
+            self.byte(opc);
+            self.mem_disp8(dst, base, disp);
+        }
+
+        /// `add r64, imm32` (sign-extended).
+        fn add_r64_imm(&mut self, r: u8, imm: i32) {
+            self.rex(true, 0, r);
+            self.byte(0x81);
+            self.modrm(3, 0, r);
+            self.imm32(imm);
         }
 
         /// `add qword [base + disp8], imm` (sign-extended).
@@ -720,6 +836,14 @@ mod native {
             self.fixups.push((at, FixTarget::Label(target)));
         }
 
+        /// `jmp rel32` to a local label.
+        fn jmp_lbl(&mut self, target: Label) {
+            self.byte(0xe9);
+            let at = self.code.len();
+            self.imm32(0);
+            self.fixups.push((at, FixTarget::Label(target)));
+        }
+
         /// `jmp rel32` to an arena-absolute offset (the epilogue).
         fn jmp_abs(&mut self, target: usize) {
             self.byte(0xe9);
@@ -767,6 +891,24 @@ mod native {
 
     // ------------------------------------------------------- engine
 
+    /// High-watermark for retention: when a restore finds the arena
+    /// cursor past this point, the engine does a full reset instead of
+    /// retaining — retention never reclaims dropped blocks' bytes, so
+    /// a long campaign with code-page churn would otherwise fill the
+    /// arena with garbage.
+    const RETAIN_WATERMARK: usize = ARENA_CAP / 4 * 3;
+
+    /// One compiled block's retention metadata: its entry cookie plus
+    /// the FNV-1a hash and byte length of the guest code it was
+    /// compiled from, so a post-restore adoption can re-validate that
+    /// the code bytes are still exactly what was compiled.
+    #[derive(Debug, Clone, Copy)]
+    struct NativeBlock {
+        entry: usize,
+        hash: u64,
+        len: u32,
+    }
+
     /// The per-VP template JIT: code arena, entry-point map and the
     /// cross-block chain patch lists.
     #[derive(Debug)]
@@ -782,10 +924,17 @@ mod native {
         epilogue: usize,
         /// End of the trampoline/epilogue region — the reset point.
         code_start: usize,
-        /// Block start pc -> arena entry offset.
-        entries: HashMap<u32, usize>,
+        /// Block start pc -> compiled block (entry offset + retention
+        /// metadata).
+        blocks: HashMap<u32, NativeBlock>,
         /// Target pc -> rel32 chain sites waiting for that block.
         pending: HashMap<u32, Vec<usize>>,
+        /// Target pc -> rel32 chain sites already patched to jump into
+        /// that block's entry. Dropping a block (restore dirtied its
+        /// code page, or revalidation missed) re-points each inbound
+        /// site to rel32 = 0, i.e. its local fall-through exit stub,
+        /// and re-queues it on `pending` for a future recompile.
+        applied: HashMap<u32, Vec<usize>>,
         ctx: JitCtx,
     }
 
@@ -805,8 +954,9 @@ mod native {
                 trampoline: 0,
                 epilogue: 0,
                 code_start: 0,
-                entries: HashMap::new(),
+                blocks: HashMap::new(),
                 pending: HashMap::new(),
+                applied: HashMap::new(),
                 ctx: JitCtx {
                     gprs: core::ptr::null_mut(),
                     ram: core::ptr::null_mut(),
@@ -820,6 +970,9 @@ mod native {
                     code_lo: 0,
                     code_hi: 0,
                     fused: 0,
+                    flight: core::ptr::null_mut(),
+                    instret_bias: 0,
+                    bail_reason: BAIL_NONE,
                 },
             })
         }
@@ -830,9 +983,151 @@ mod native {
         /// survive. The trampoline and epilogue are position-fixed and
         /// block-independent; they persist across resets.
         pub(crate) fn reset(&mut self) {
-            self.entries.clear();
+            self.blocks.clear();
             self.pending.clear();
+            self.applied.clear();
             self.cursor = self.code_start;
+        }
+
+        /// Retention across a snapshot restore: keeps every compiled
+        /// block whose code bytes are still exactly what it was
+        /// compiled from, drops (and chain-severs) the rest. `restored`
+        /// is a bitmap of RAM page indices the restore copied and `ram`
+        /// is guest RAM *after* those copies. Returns the surviving
+        /// translated code range `(lo, hi)` for the VP's SMC filter, or
+        /// `None` when nothing survived (the engine then behaves as
+        /// freshly reset).
+        ///
+        /// Survivor soundness: a page the restore did not copy is, by
+        /// the restore's own condition (not dirty and same snapshot
+        /// lineage), bit-identical to the restored image — so a block
+        /// wholly on untouched pages still matches the guest code byte
+        /// for byte. A block on a *copied* page is not lost either: the
+        /// copy re-imposed the snapshot image (the common case is a
+        /// data store merely sharing the 4 KiB page with code, which
+        /// small guests do constantly), so the block survives iff its
+        /// current bytes still hash to the FNV-1a value it was compiled
+        /// under. Every survivor is byte-validated one way or the
+        /// other, so chain jumps *between* survivors stay exact.
+        pub(crate) fn retain_across_restore(
+            &mut self,
+            restored: &[u64],
+            ram_base: u32,
+            ram: &[u8],
+        ) -> Option<(u32, u32)> {
+            if self.blocks.is_empty() {
+                self.reset();
+                return None;
+            }
+            if self.cursor > RETAIN_WATERMARK {
+                self.reset();
+                return None;
+            }
+            let page_restored = |page: u32| {
+                restored
+                    .get((page >> 6) as usize)
+                    .is_some_and(|w| w & (1u64 << (page & 63)) != 0)
+            };
+            let dropped: Vec<u32> = self
+                .blocks
+                .iter()
+                .filter(|(pc, b)| {
+                    if b.hash == 0 {
+                        return true;
+                    }
+                    let first = pc.wrapping_sub(ram_base) >> PAGE_SHIFT;
+                    let last =
+                        pc.wrapping_add(b.len.max(1) - 1).wrapping_sub(ram_base) >> PAGE_SHIFT;
+                    if !(first..=last).any(&page_restored) {
+                        return false;
+                    }
+                    let off = pc.wrapping_sub(ram_base) as usize;
+                    ram.get(off..off + b.len as usize)
+                        .map(crate::vp::fnv1a)
+                        != Some(b.hash)
+                })
+                .map(|(pc, _)| *pc)
+                .collect();
+            self.drop_blocks(dropped)
+        }
+
+        /// Drops (and chain-severs) every compiled block whose code
+        /// bytes overlap `[addr, addr + len)`, leaving the rest of the
+        /// arena warm. This is the surgical form of a code mutation:
+        /// fault campaigns use it when an injected bit flip lands inside
+        /// the tracked code range, so an opcode mutant costs exactly the
+        /// blocks it rewrote rather than a full arena reset. Returns the
+        /// surviving code range like
+        /// [`retain_across_restore`](JitEngine::retain_across_restore)
+        /// (survivor bytes are untouched by the mutation, so their
+        /// compile-time hashes — and chain jumps between them — stay
+        /// exact).
+        pub(crate) fn invalidate_span(&mut self, addr: u32, len: u32) -> Option<(u32, u32)> {
+            let dropped: Vec<u32> = self
+                .blocks
+                .iter()
+                .filter(|(pc, b)| {
+                    addr.wrapping_add(len) > **pc && addr < pc.wrapping_add(b.len)
+                })
+                .map(|(pc, _)| *pc)
+                .collect();
+            self.drop_blocks(dropped)
+        }
+
+        /// Removes `dropped` from the block map, unpatches every chain
+        /// site that jumped into a dropped block (back to the rel32 = 0
+        /// epilogue form, re-queued as pending), and recomputes the
+        /// surviving code range. Resets the engine outright when nothing
+        /// survives.
+        fn drop_blocks(&mut self, dropped: Vec<u32>) -> Option<(u32, u32)> {
+            if dropped.len() == self.blocks.len() {
+                self.reset();
+                return None;
+            }
+            if !dropped.is_empty() {
+                let arena = self.arena.as_mut().expect("compiled blocks imply an arena");
+                arena.set_exec(false);
+                for pc in dropped {
+                    self.blocks.remove(&pc);
+                    if let Some(sites) = self.applied.remove(&pc) {
+                        for &site in &sites {
+                            arena.patch32(site, 0);
+                        }
+                        self.pending.entry(pc).or_default().extend(sites);
+                    }
+                }
+                arena.set_exec(true);
+            }
+            let (mut lo, mut hi) = (u32::MAX, 0u32);
+            for (pc, b) in &self.blocks {
+                lo = lo.min(*pc);
+                hi = hi.max(pc.wrapping_add(b.len));
+            }
+            Some((lo, hi))
+        }
+
+        /// A retained block awaiting re-adoption at `pc`, as
+        /// `(entry, hash, len)`. The caller re-validates `hash` against
+        /// the current code bytes before running the entry.
+        pub(crate) fn retained(&self, pc: u32) -> Option<(usize, u64, u32)> {
+            self.blocks.get(&pc).map(|b| (b.entry, b.hash, b.len))
+        }
+
+        /// Drops one retained block whose revalidation missed, severing
+        /// any chain sites patched into it.
+        pub(crate) fn drop_retained(&mut self, pc: u32) {
+            if self.blocks.remove(&pc).is_none() {
+                return;
+            }
+            if let Some(sites) = self.applied.remove(&pc) {
+                let arena = self.arena.as_mut().expect("compiled blocks imply an arena");
+                arena.set_exec(false);
+                for &site in &sites {
+                    arena.patch32(site, 0);
+                }
+                arena.set_exec(true);
+                self.pending.entry(pc).or_default().extend(sites);
+            }
         }
 
         /// Lazily maps the arena and emits the trampoline and shared
@@ -896,6 +1191,8 @@ mod native {
         ///   SMC filter).
         /// - Register faults must be disabled and no plugin attached:
         ///   templates read the GPR file raw.
+        /// - `flight` is either null or an exclusively borrowed
+        ///   [`FlightRing`] whose buffer stays valid for the call.
         #[allow(clippy::too_many_arguments)]
         pub(crate) unsafe fn run(
             &mut self,
@@ -907,6 +1204,8 @@ mod native {
             deadline: u64,
             code_lo: u32,
             code_hi: u32,
+            flight: *mut FlightRing,
+            instret_bias: u64,
         ) -> JitExit {
             let arena = self.arena.as_ref().expect("JIT run without an arena");
             self.ctx = JitCtx {
@@ -922,6 +1221,9 @@ mod native {
                 code_lo,
                 code_hi,
                 fused: 0,
+                flight,
+                instret_bias,
+                bail_reason: BAIL_NONE,
             };
             // SAFETY (per the function contract): `trampoline` and
             // `entry` point at finalized code in the R+X exec view; the
@@ -940,15 +1242,19 @@ mod native {
                 remaining: self.ctx.remaining,
                 blocks: self.ctx.blocks,
                 fused: self.ctx.fused,
+                reason: self.ctx.bail_reason,
             }
         }
 
         /// Compiles a block's micro-ops into native code and installs
         /// it at `pc`, patching any chain sites that were waiting for
-        /// this block. Returns [`Compiled::Ineligible`] when any
-        /// micro-op lacks a template, a fused-`auipc` access is not
-        /// statically a valid RAM fast-path access, path sums overflow
-        /// an `imm32`, or the arena is full/unavailable.
+        /// this block. `hash` is the FNV-1a hash of the block's guest
+        /// code bytes, kept for post-restore revalidation (0 = not
+        /// hashable, never retained). Returns [`Compiled::Ineligible`]
+        /// when any micro-op lacks a template, a fused-`auipc` access
+        /// is not statically a valid RAM fast-path access, path sums
+        /// overflow an `imm32`, or the arena is full/unavailable.
+        #[allow(clippy::too_many_arguments)]
         pub(crate) fn compile(
             &mut self,
             pc: u32,
@@ -956,6 +1262,7 @@ mod native {
             fall_pc: u32,
             ram_base: u32,
             ram_len: u32,
+            hash: u64,
         ) -> Compiled {
             if self.dead || uops.is_empty() {
                 return Compiled::Ineligible;
@@ -982,9 +1289,15 @@ mod native {
             let mut takens: Vec<TakenStub> = Vec::new();
             let mut bails: Vec<BailStub> = Vec::new();
 
-            // Entry checks: deadline, then whole-block budget. The
-            // block-execution counter only advances once both pass —
-            // a deadline exit or an entry bail executes nothing here.
+            // Entry checks: deadline, then the inline flight-recorder
+            // write, then whole-block budget. The ordering is the
+            // equivalence contract with the interpreter: a deadline
+            // exit redispatches the same block (which records then),
+            // while an entry-budget bail resumes *this* dispatch in the
+            // micro-op engine without re-recording — so the ring write
+            // must sit between the two checks to record each dispatch
+            // exactly once. The block-execution counter only advances
+            // once both checks pass.
             let deadline_lbl = a.label();
             let bail0 = a.label();
             bails.push(BailStub {
@@ -993,10 +1306,48 @@ mod native {
                 cyc: 0,
                 n: 0,
                 fused: 0,
+                reason: BAIL_BUDGET,
             });
             a.mov_r64_mem(RAX, R15, OFF_CYC);
             a.cmp_r64_mem(RAX, R15, OFF_DEADLINE);
             a.jcc(CC_AE, deadline_lbl);
+            // Flight ring append (skipped when no recorder is armed):
+            // slot = buf + pos*32; slot = {instret_bias - budget, pc,
+            // TAG_BLOCK}; pos = (pos+1) % cap; len < cap ? len++ :
+            // evicted++; blocks++ — the exact wraparound arithmetic of
+            // `FlightRecorder::record_block`.
+            let no_flight = a.label();
+            a.mov_r64_mem(RDX, R15, OFF_FLIGHT);
+            a.test_rr64(RDX, RDX);
+            a.jcc(CC_E, no_flight);
+            a.mov_r64_mem(RAX, R15, OFF_INSTRET_BIAS);
+            a.sub_rr64(RAX, R14);
+            a.mov_r64_mem(RCX, RDX, RING_POS);
+            a.mov_rr64(RSI, RCX);
+            a.shl_r64(RSI, RING_SLOT_SHIFT);
+            a.alu_r64_mem(0x03, RSI, RDX, RING_BUF);
+            a.mov_mem_r64(RSI, 0, RAX); // slot.instret
+            a.mov_mem32_imm(RSI, 8, pc as i32); // slot.pc
+            a.mov_mem32_imm(RSI, 12, 0); // slot.tag = Block
+            a.add_r64_imm(RCX, 1);
+            a.cmp_r64_mem(RCX, RDX, RING_CAP);
+            let no_wrap = a.label();
+            a.jcc(CC_B, no_wrap);
+            a.mov_ri32(RCX, 0);
+            a.bind(no_wrap);
+            a.mov_mem_r64(RDX, RING_POS, RCX);
+            a.mov_r64_mem(RAX, RDX, RING_LEN);
+            a.cmp_r64_mem(RAX, RDX, RING_CAP);
+            let ring_full = a.label();
+            let ring_done = a.label();
+            a.jcc(CC_AE, ring_full);
+            a.add_mem64_imm(RDX, RING_LEN, 1);
+            a.jmp_lbl(ring_done);
+            a.bind(ring_full);
+            a.add_mem64_imm(RDX, RING_EVICTED, 1);
+            a.bind(ring_done);
+            a.add_mem64_imm(RDX, RING_BLOCKS, 1);
+            a.bind(no_flight);
             a.cmp_r64_imm(R14, total_n as i32);
             a.jcc(CC_B, bail0);
             a.add_mem64_imm(R15, OFF_BLOCKS, 1);
@@ -1137,7 +1488,7 @@ mod native {
                         if u.imm != 0 {
                             a.alu_ri32(0, RAX, u.imm);
                         }
-                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused);
+                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused, BAIL_MEM);
                         if size > 1 {
                             a.test_ri32(RAX, i32::from(size - 1));
                             a.jcc(CC_NE, bail);
@@ -1156,7 +1507,8 @@ mod native {
                         if u.imm != 0 {
                             a.alu_ri32(0, RAX, u.imm);
                         }
-                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused);
+                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused, BAIL_MEM);
+                        let bail_smc = bail_label(&mut a, &mut bails, k, cyc, n, fused, BAIL_SMC);
                         if size > 1 {
                             a.test_ri32(RAX, i32::from(size - 1));
                             a.jcc(CC_NE, bail);
@@ -1172,7 +1524,7 @@ mod native {
                         a.alu_r32_mem(0x3b, RCX, R15, OFF_CODE_LO);
                         a.jcc(CC_BE, ok);
                         a.alu_r32_mem(0x3b, RAX, R15, OFF_CODE_HI);
-                        a.jcc(CC_B, bail);
+                        a.jcc(CC_B, bail_smc);
                         a.bind(ok);
                         a.alu_ri32(5, RAX, ram_base as i32);
                         a.alu_ri32(7, RAX, (ram_len - (size as u32 - 1)) as i32);
@@ -1206,7 +1558,7 @@ mod native {
                         abs_extra = cost2;
                         // SMC filter first: the bail must precede the
                         // auipc half's register write.
-                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused);
+                        let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused, BAIL_SMC);
                         let ok = a.label();
                         a.mov_ri32(RCX, (u.imm as u32).wrapping_add(size as u32) as i32);
                         a.alu_r32_mem(0x3b, RCX, R15, OFF_CODE_LO);
@@ -1326,8 +1678,9 @@ mod native {
                         if u.imm2 != 0 {
                             // Misaligned target: bail *before* the rd
                             // write so the micro-op engine replays the
-                            // write-then-trap sequence.
-                            let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused);
+                            // write-then-trap sequence. Counted as a
+                            // mem-slow-path bail.
+                            let bail = bail_label(&mut a, &mut bails, k, cyc, n, fused, BAIL_MEM);
                             a.test_ri32(RAX, u.imm2);
                             a.jcc(CC_NE, bail);
                         }
@@ -1363,7 +1716,8 @@ mod native {
                 emit_exit(&mut a, &mut sites, epilogue, t.target, t.cyc, t.n, t.fused);
             }
             // Deferred bail stubs: account the completed prefix, name
-            // the resume micro-op, and leave through the epilogue.
+            // the resume micro-op and the bail reason, and leave
+            // through the epilogue.
             for b in bails {
                 a.bind(b.label);
                 if b.cyc != 0 {
@@ -1375,6 +1729,7 @@ mod native {
                 if b.fused != 0 {
                     a.add_mem64_imm(R15, OFF_FUSED, b.fused as i32);
                 }
+                a.mov_mem32_imm(R15, OFF_BAIL_REASON, b.reason as i32);
                 a.mov_mem32_imm(R15, OFF_EXIT_PC, pc as i32);
                 a.mov_mem32_imm(R15, OFF_BAIL_UOP, b.k as i32);
                 a.jmp_abs(epilogue);
@@ -1391,13 +1746,23 @@ mod native {
             arena.set_exec(false);
             arena.write(entry, &code);
             self.cursor = entry + code.len();
-            self.entries.insert(pc, entry);
+            self.blocks.insert(
+                pc,
+                NativeBlock {
+                    entry,
+                    hash,
+                    len: fall_pc.wrapping_sub(pc),
+                },
+            );
             // Chain: point this block's static exits at already
             // compiled successors (including itself), queue the rest,
             // and resolve any sites that were waiting for this pc.
+            // Every applied site is remembered per target so dropping a
+            // retained block after a restore can sever it again.
             for (site, target) in sites {
-                if let Some(&e) = self.entries.get(&target) {
-                    arena.patch32(site, (e as i64 - (site as i64 + 4)) as i32);
+                if let Some(b) = self.blocks.get(&target) {
+                    arena.patch32(site, (b.entry as i64 - (site as i64 + 4)) as i32);
+                    self.applied.entry(target).or_default().push(site);
                 } else {
                     self.pending.entry(target).or_default().push(site);
                 }
@@ -1405,6 +1770,7 @@ mod native {
             if let Some(waiters) = self.pending.remove(&pc) {
                 for site in waiters {
                     arena.patch32(site, (entry as i64 - (site as i64 + 4)) as i32);
+                    self.applied.entry(pc).or_default().push(site);
                 }
             }
             arena.set_exec(true);
@@ -1437,6 +1803,9 @@ mod native {
         cyc: u64,
         n: u64,
         fused: u64,
+        /// The `BAIL_*` code the stub publishes, so the dispatcher can
+        /// count bailouts by cause.
+        reason: u32,
     }
 
     fn bail_label(
@@ -1446,6 +1815,7 @@ mod native {
         cyc: u64,
         n: u64,
         fused: u64,
+        reason: u32,
     ) -> Label {
         let label = a.label();
         bails.push(BailStub {
@@ -1454,6 +1824,7 @@ mod native {
             cyc,
             n,
             fused,
+            reason,
         });
         label
     }
@@ -1651,7 +2022,7 @@ mod native {
             for r in 0..rounds {
                 for b in 0..15u32 {
                     let pc = 0x8000_0000 + b * 0x40;
-                    match e.compile(pc, &uops, pc + 0x10, 0x8000_0000, 0x100000) {
+                    match e.compile(pc, &uops, pc + 0x10, 0x8000_0000, 0x100000, 1) {
                         Compiled::Entry(_) => {}
                         Compiled::Ineligible => panic!("round {r}: ineligible"),
                     }
@@ -1683,12 +2054,112 @@ mod native {
                     1000,
                     0,
                     0,
+                    core::ptr::null_mut(),
+                    0,
                 )
             };
             assert_eq!(x.remaining, 42);
             assert_eq!(x.retired, 0);
             assert_eq!(x.blocks, 0);
             assert_eq!(x.bail_uop, None);
+        }
+
+        #[test]
+        fn retention_drops_dirty_pages_and_keeps_clean_ones() {
+            use crate::uop::MicroOp;
+            use s4e_isa::Gpr;
+            let mut e = JitEngine::new().unwrap();
+            let x1 = Gpr::new(1).unwrap();
+            let uops = vec![MicroOp {
+                op: Op::Addi,
+                rd: x1,
+                rs1: x1,
+                rs2: x1,
+                imm: 5,
+                imm2: 0,
+                idx: 0,
+                pc: 0x8000_0000,
+                next_pc: 0x8000_0004,
+                cost: 1,
+                cost2: 0,
+                n: 1,
+            }];
+            let ram_base = 0x8000_0000;
+            let ram = vec![0u8; 0x10000];
+            // The page-0 block at +0x40 hashes its actual (zero) code
+            // bytes, so a page-0 copy-back that leaves those bytes
+            // intact must keep it; the stale-hash blocks must drop.
+            let intact = crate::vp::fnv1a(&ram[0x40..0x44]);
+            // Two blocks on page 0, one on page 1.
+            for (pc, hash) in [
+                (ram_base, 11),
+                (ram_base + 0x40, intact),
+                (ram_base + 0x1000, 13),
+            ] {
+                assert!(matches!(
+                    e.compile(pc, &uops, pc + 4, ram_base, 0x10000, hash),
+                    Compiled::Entry(_)
+                ));
+            }
+            assert_eq!(e.retained(ram_base).map(|(_, h, _)| h), Some(11));
+            // Restore copied page 0 only: the stale page-0 block drops,
+            // the byte-identical page-0 block and the untouched page-1
+            // block survive and report the surviving range.
+            let restored = [1u64];
+            let range = e.retain_across_restore(&restored, ram_base, &ram);
+            assert_eq!(range, Some((ram_base + 0x40, ram_base + 0x1004)));
+            assert!(e.retained(ram_base).is_none());
+            assert_eq!(e.retained(ram_base + 0x40).map(|(_, h, _)| h), Some(intact));
+            assert_eq!(e.retained(ram_base + 0x1000).map(|(_, h, _)| h), Some(13));
+            // Dropping the survivors too leaves nothing retained.
+            e.drop_retained(ram_base + 0x40);
+            e.drop_retained(ram_base + 0x1000);
+            assert!(e.retained(ram_base + 0x1000).is_none());
+            let range = e.retain_across_restore(&[0u64], ram_base, &ram);
+            assert_eq!(range, None);
+        }
+
+        #[test]
+        fn invalidate_span_drops_only_overlapping_blocks() {
+            use crate::uop::MicroOp;
+            use s4e_isa::Gpr;
+            let mut e = JitEngine::new().unwrap();
+            let x1 = Gpr::new(1).unwrap();
+            let uops = vec![MicroOp {
+                op: Op::Addi,
+                rd: x1,
+                rs1: x1,
+                rs2: x1,
+                imm: 5,
+                imm2: 0,
+                idx: 0,
+                pc: 0x8000_0000,
+                next_pc: 0x8000_0004,
+                cost: 1,
+                cost2: 0,
+                n: 1,
+            }];
+            let ram_base = 0x8000_0000;
+            // Three adjacent 4-byte blocks on one page.
+            for pc in [ram_base, ram_base + 4, ram_base + 8] {
+                assert!(matches!(
+                    e.compile(pc, &uops, pc + 4, ram_base, 0x10000, 7),
+                    Compiled::Entry(_)
+                ));
+            }
+            // A byte mutation inside the middle block drops exactly that
+            // block; its neighbours stay warm and report their range.
+            let range = e.invalidate_span(ram_base + 6, 1);
+            assert_eq!(range, Some((ram_base, ram_base + 12)));
+            assert!(e.retained(ram_base + 4).is_none());
+            assert!(e.retained(ram_base).is_some());
+            assert!(e.retained(ram_base + 8).is_some());
+            // A mutation outside every block drops nothing.
+            let range = e.invalidate_span(ram_base + 0x100, 1);
+            assert_eq!(range, Some((ram_base, ram_base + 12)));
+            // Mutating the survivors too resets the engine outright.
+            assert_eq!(e.invalidate_span(ram_base, 12), None);
+            assert!(e.retained(ram_base).is_none());
         }
     }
 }

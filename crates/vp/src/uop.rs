@@ -15,6 +15,13 @@
 //! carry the RAM fast path: in-RAM aligned accesses bypass bus dispatch
 //! entirely (see the load/store group below), which is where
 //! memory-heavy guests recover most of their bus overhead.
+//!
+//! The lowered block is also the template JIT's source form (`jit.rs`):
+//! each micro-op here maps one-to-one onto a native code template, a
+//! block containing [`Op::Generic`] is never promoted, and a compiled
+//! block that bails mid-flight resumes interpretation at exactly the
+//! bailing micro-op — keeping this array the single semantic authority
+//! for everything the JIT emits.
 
 use crate::timing::TimingModel;
 use s4e_isa::fusion::{detect, FusionPattern};

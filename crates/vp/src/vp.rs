@@ -167,7 +167,7 @@ struct SharedBlock {
 
 /// FNV-1a 64-bit over `bytes` — dependency-free and cheap, used to
 /// detect mutated code bytes when probing a warm translation set.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
@@ -323,10 +323,34 @@ pub struct DispatchStats {
     /// in a chained native run counts once).
     pub jit_exec: u64,
     /// JIT bail-outs: a compiled block hit a condition its templates do
-    /// not cover (MMIO or misaligned access, self-modifying store,
-    /// mid-block budget expiry) and fell back to the micro-op engine
-    /// before any architectural effect of the uncovered micro-op.
+    /// not cover and fell back to the micro-op engine before any
+    /// architectural effect of the uncovered micro-op, or a native
+    /// dispatch was declined for armed fault masks / a failed
+    /// revalidation. Always the sum of the five `jit_bail_*` counters.
     pub jit_bailouts: u64,
+    /// Bails through the memory slow path: MMIO, misaligned or RAM-edge
+    /// access (including a misaligned `jalr` target).
+    pub jit_bail_mem: u64,
+    /// Entry bails because the remaining instruction budget did not
+    /// cover the whole block (the micro-op engine reproduces the exact
+    /// expiry boundary).
+    pub jit_bail_budget: u64,
+    /// Bails on a store overlapping the translated code range
+    /// (self-modifying code).
+    pub jit_bail_smc: u64,
+    /// Native dispatches declined because a register fault mask was
+    /// armed — the interpreter applies masks on every register read, so
+    /// the whole dispatch runs interpreted.
+    pub jit_bail_mask: u64,
+    /// Retained native entries dropped because the code-bytes hash no
+    /// longer matched at re-adoption after a snapshot restore.
+    pub jit_bail_reval_miss: u64,
+    /// Compiled blocks retained across a snapshot restore and
+    /// re-adopted without recompiling.
+    pub jit_retained: u64,
+    /// Code-bytes hash checks performed when re-adopting retained
+    /// native entries after a restore.
+    pub jit_revalidations: u64,
 }
 
 impl DispatchStats {
@@ -373,6 +397,13 @@ impl DispatchStats {
         self.jit_blocks += other.jit_blocks;
         self.jit_exec += other.jit_exec;
         self.jit_bailouts += other.jit_bailouts;
+        self.jit_bail_mem += other.jit_bail_mem;
+        self.jit_bail_budget += other.jit_bail_budget;
+        self.jit_bail_smc += other.jit_bail_smc;
+        self.jit_bail_mask += other.jit_bail_mask;
+        self.jit_bail_reval_miss += other.jit_bail_reval_miss;
+        self.jit_retained += other.jit_retained;
+        self.jit_revalidations += other.jit_revalidations;
     }
 }
 
@@ -743,6 +774,51 @@ impl Vp {
         &mut self.bus
     }
 
+    /// Mutates one RAM byte in place under a guest store's invalidation
+    /// contract instead of [`bus_mut`](Vp::bus_mut)'s drop-everything
+    /// rule: the page is dirty-marked (so snapshot lineage stays exact),
+    /// interrupts are re-sampled, and translated/native code is dropped
+    /// only when the byte lies inside the tracked code range — the same
+    /// SMC rule guest stores obey. Fault campaigns inject memory mutants
+    /// through this so a data-byte flip leaves warm code, interpreted
+    /// and JIT-compiled alike, untouched. Returns `false` (and changes
+    /// nothing) when `addr` is outside RAM.
+    pub fn update_ram_byte(&mut self, addr: u32, f: impl FnOnce(u8) -> u8) -> bool {
+        let Some(byte) = self.bus.ram_byte_mut(addr) else {
+            return false;
+        };
+        *byte = f(*byte);
+        // Unlike the in-run store check this does not require a
+        // non-empty interpreter cache: right after a restore the block
+        // cache is empty while retained native code is still live, and
+        // a code-byte mutation must drop it. Interpreter translations
+        // are cheap to rebuild and dropped wholesale; native blocks are
+        // dropped surgically — only those whose bytes cover the mutated
+        // address — so a campaign's opcode mutants pay for the block
+        // they rewrote, not a cold arena.
+        if addr >= self.code_lo && addr < self.code_hi {
+            self.drop_translations();
+            let survivors = match &mut self.jit {
+                Some(jit) => jit.invalidate_span(addr, 1),
+                None => None,
+            };
+            match survivors {
+                Some((lo, hi)) => {
+                    self.code_lo = lo;
+                    self.code_hi = hi;
+                }
+                None => {
+                    self.code_lo = u32::MAX;
+                    self.code_hi = 0;
+                }
+            }
+            self.invalidate_pending = false;
+            self.stats.invalidations += 1;
+        }
+        self.irq_resample = true;
+        true
+    }
+
     /// The timing model in force.
     pub fn timing(&self) -> &TimingModel {
         &self.timing
@@ -810,17 +886,12 @@ impl Vp {
     /// mutation point; the run loop defers to its next dispatch boundary
     /// via `invalidate_pending` instead.
     fn invalidate_caches(&mut self) {
-        // Sever every chain link before dropping the blocks: links are
-        // raw pointers whose validity is exactly the cache's lifetime.
-        for block in self.cache.values() {
-            block.links[0].set(None);
-            block.links[1].set(None);
-        }
-        self.cache.clear();
-        self.jmp_cache.iter_mut().for_each(|s| *s = None);
-        self.scratch = None;
+        self.drop_translations();
         // Dropping the blocks above destroyed every `JitSlot` entry
-        // cookie, so the arena can be recycled wholesale.
+        // cookie, so the arena can be recycled wholesale. (The restore
+        // path is the one caller that instead *retains* native code —
+        // it calls `drop_translations` directly and lets the engine
+        // keep every block whose code pages the restore left alone.)
         if let Some(jit) = &mut self.jit {
             jit.reset();
         }
@@ -828,6 +899,20 @@ impl Vp {
         self.code_hi = 0;
         self.invalidate_pending = false;
         self.stats.invalidations += 1;
+    }
+
+    /// Drops the interpreter-side translated code — block cache, jump
+    /// cache and scratch block — without touching the JIT arena or the
+    /// tracked code range. Severs every chain link first: links are raw
+    /// pointers whose validity is exactly the cache's lifetime.
+    fn drop_translations(&mut self) {
+        for block in self.cache.values() {
+            block.links[0].set(None);
+            block.links[1].set(None);
+        }
+        self.cache.clear();
+        self.jmp_cache.iter_mut().for_each(|s| *s = None);
+        self.scratch = None;
     }
 
     /// Dispatch and snapshot counters accumulated since construction (or
@@ -936,10 +1021,16 @@ impl Vp {
     /// disagree are copied (O(diverged pages)); restoring a snapshot onto
     /// the VP that just took it and hasn't run since copies nothing.
     ///
-    /// Translated code is dropped (the snapshot may hold different guest
-    /// code) and interrupt state is re-sampled at the next dispatch.
-    /// Plugins are *not* part of the snapshot: attached plugins simply
-    /// observe execution resuming from the restore point.
+    /// Interpreter-side translated blocks are dropped (the snapshot may
+    /// hold different guest code) and interrupt state is re-sampled at
+    /// the next dispatch, but the JIT arena *survives*: native blocks
+    /// whose code pages this restore did not rewrite stay compiled, and
+    /// are re-adopted — after their code bytes re-hash to the value they
+    /// were compiled from — the first time a freshly translated block
+    /// meets them. Restore-heavy campaign workloads therefore keep the
+    /// golden run's native code warm across every mutant. Plugins are
+    /// *not* part of the snapshot: attached plugins simply observe
+    /// execution resuming from the restore point.
     ///
     /// # Panics
     ///
@@ -956,12 +1047,14 @@ impl Vp {
         // page (pointer inequality — exact, because untouched pages share
         // one allocation all the way back to the common zero page).
         let mut restored = 0u64;
+        let mut restored_pages = vec![0u64; self.sync_pages.len().div_ceil(64)];
         for page in 0..self.sync_pages.len() {
             if self.bus.page_is_dirty(page)
                 || !Arc::ptr_eq(&self.sync_pages[page], &snapshot.pages[page])
             {
                 self.bus.copy_page_from(page, &snapshot.pages[page]);
                 self.sync_pages[page] = Arc::clone(&snapshot.pages[page]);
+                restored_pages[page >> 6] |= 1 << (page & 63);
                 restored += 1;
             }
         }
@@ -970,7 +1063,34 @@ impl Vp {
         self.bus.restore_devices(&snapshot.devices);
         self.bus.set_pending_event(snapshot.pending_event);
         self.block_exit_pending = snapshot.block_exit_pending;
-        self.invalidate_caches();
+        // Retain the JIT arena: a native block survives when its code
+        // bytes are still exactly what it was compiled from — trivially
+        // true on pages the copy loop never touched, and checked by
+        // FNV-1a re-hash on pages it did copy (a data store sharing the
+        // 4 KiB page with code dirties the page without changing one
+        // code byte, and the copy re-imposed the snapshot image). Each
+        // survivor is additionally re-validated by code-bytes hash when
+        // a fresh `JitSlot` first adopts it. The tracked code range
+        // re-keys to the survivor union so both engines' SMC filters
+        // keep covering retained code that has not been re-fetched yet.
+        self.drop_translations();
+        let ram_base = self.bus.ram_base();
+        let survivors = match &mut self.jit {
+            Some(jit) => jit.retain_across_restore(&restored_pages, ram_base, self.bus.ram()),
+            None => None,
+        };
+        match survivors {
+            Some((lo, hi)) => {
+                self.code_lo = lo;
+                self.code_hi = hi;
+            }
+            None => {
+                self.code_lo = u32::MAX;
+                self.code_hi = 0;
+            }
+        }
+        self.invalidate_pending = false;
+        self.stats.invalidations += 1;
         self.irq_resample = true;
         self.stats.restores += 1;
         self.stats.pages_restored += restored;
@@ -1012,17 +1132,16 @@ impl Vp {
         // callbacks; chaining only requires the engine itself (both fixed
         // for the duration of a run: `add_plugin` needs `&mut self`).
         let use_uops = self.uops_enabled && !self.insn_hooks;
-        // The template JIT additionally requires that nothing wants to
-        // observe execution at sub-block grain: no plugins (block hooks
-        // included — native chains skip intermediate boundaries), no
-        // flight recorder, and no armed register fault masks (compiled
-        // code reads the GPR file raw). All fixed for the run's duration
-        // for the same `&mut self` reason as above.
-        let use_jit = self.jit.is_some()
-            && use_uops
-            && self.plugins.is_empty()
-            && self.flight.is_none()
-            && !self.cpu.faults_enabled();
+        // The template JIT additionally requires that no plugin wants
+        // block hooks (native chains skip intermediate boundaries — and
+        // plugins observe exact per-block state the JIT batches). An
+        // armed flight recorder no longer disqualifies native entry:
+        // the templates write the block-entry ring inline, identically
+        // to `FlightRecorder::record_block`. Armed register fault masks
+        // are a per-dispatch *bail* inside `jit_dispatch` (compiled code
+        // reads the GPR file raw), not a run-long gate, so campaigns
+        // interpret only while the injection masks are actually armed.
+        let use_jit = self.jit.is_some() && use_uops && self.plugins.is_empty();
         // The block to dispatch next via a direct chain link, and the
         // (predecessor, slot) pair waiting for its successor to be
         // resolved so the link can be installed. Both are dropped at
@@ -1084,39 +1203,45 @@ impl Vp {
                 },
             };
             pending_link = None;
-            if let Some(flight) = &mut self.flight {
-                flight.record_block(self.cpu.instret(), self.cpu.pc());
-            }
-            if !self.plugins.is_empty() {
-                let pc = self.cpu.pc();
-                for p in &mut self.plugins {
-                    p.on_block_executed(&self.cpu, pc);
-                }
-            }
             // SAFETY: `block` points into an `Arc<Block>` owned by
             // `self.cache`, `self.jmp_cache` or `self.scratch`, none of
             // which are touched before the next dispatch boundary:
             // invalidation requests during execution only set
             // `invalidate_pending`.
-            let exit = if use_uops {
-                // Try the native tier first. It declines (returning
-                // `None`) while the block is cold or uncompilable, when
-                // a device event or block-exit request is pending, or
-                // when the interpreter must poll `mip` before running
-                // anything — the micro-op engine is the unconditional
-                // fallback either way.
-                let native =
-                    if use_jit && !self.block_exit_pending && self.bus.peek_event().is_none() {
-                        self.jit_dispatch(block, &mut remaining)
-                    } else {
-                        None
-                    };
-                match native {
-                    Some(exit) => exit,
-                    None => self.exec_block_uops(block, 0, &mut remaining),
-                }
+            //
+            // Try the native tier first. It declines (returning `None`)
+            // while the block is cold or uncompilable, when a device
+            // event or block-exit request is pending, when fault masks
+            // are armed, or when the interpreter must poll `mip` before
+            // running anything — the micro-op engine is the
+            // unconditional fallback either way. Native blocks write
+            // the flight ring from their own prologues, so the recorder
+            // (and plugin block hooks, which gate the JIT off entirely)
+            // fire here only on the interpreted path — exactly once per
+            // block entry either way.
+            let native = if use_jit && !self.block_exit_pending && self.bus.peek_event().is_none() {
+                self.jit_dispatch(block, &mut remaining)
             } else {
-                self.exec_block_insns(block, 0, &mut remaining)
+                None
+            };
+            let exit = match native {
+                Some(exit) => exit,
+                None => {
+                    if let Some(flight) = &mut self.flight {
+                        flight.record_block(self.cpu.instret(), self.cpu.pc());
+                    }
+                    if !self.plugins.is_empty() {
+                        let pc = self.cpu.pc();
+                        for p in &mut self.plugins {
+                            p.on_block_executed(&self.cpu, pc);
+                        }
+                    }
+                    if use_uops {
+                        self.exec_block_uops(block, 0, &mut remaining)
+                    } else {
+                        self.exec_block_insns(block, 0, &mut remaining)
+                    }
+                }
             };
             match exit {
                 BlockExit::Outcome(outcome) => return outcome,
@@ -1154,7 +1279,8 @@ impl Vp {
     /// Returns `None` — the caller falls back to the micro-op engine —
     /// while the block is cold, when it has no native translation
     /// (ineligible micro-ops or a full arena), when the budget is
-    /// already spent, or when the interpreter is due to poll `mip`
+    /// already spent, when register fault masks are armed (a counted
+    /// per-dispatch bail), or when the interpreter is due to poll `mip`
     /// before running anything. Otherwise runs native code (following
     /// direct native chains) until a block boundary at the `mip`
     /// deadline, budget exhaustion, or a template bail-out, then folds
@@ -1165,6 +1291,16 @@ impl Vp {
         if *remaining == 0 {
             return None;
         }
+        // Armed register fault masks filter every GPR read through the
+        // stuck-at bits; compiled code reads the file raw. Bail per
+        // dispatch (counted, so campaigns can see the cost) rather than
+        // gating the whole run — a campaign mutant interprets only for
+        // the blocks where its injection masks are actually armed.
+        if self.cpu.faults_enabled() {
+            self.stats.jit_bail_mask += 1;
+            self.stats.jit_bailouts += 1;
+            return None;
+        }
         // SAFETY: dispatch-boundary argument as in `exec_block_uops`;
         // slot access follows the `JitSlot` exclusive-`Vp` rule.
         let state = unsafe { &mut *(*block).jit.0.get() };
@@ -1172,30 +1308,67 @@ impl Vp {
             JitState::Ineligible => return None,
             JitState::Compiled(entry) => entry,
             JitState::Counting(seen) => {
-                let seen = seen.saturating_add(1);
-                if seen < self.jit_threshold {
-                    *state = JitState::Counting(seen);
-                    return None;
-                }
-                // Hot: compile now. SAFETY: the `Arc`'d body is
-                // immutable and outlives this call (see above).
+                // SAFETY: the `Arc`'d body is immutable and outlives
+                // this call (see above).
                 let body: &BlockBody = unsafe { &*Arc::as_ptr(&(*block).body) };
-                let jit = self.jit.as_mut().expect("jit_dispatch requires an engine");
-                match jit.compile(
-                    body.insns[0].0,
-                    &body.uops,
-                    body.fall_pc,
-                    self.bus.ram_base(),
-                    self.bus.ram_size(),
-                ) {
-                    jit::Compiled::Entry(entry) => {
-                        self.stats.jit_blocks += 1;
-                        *state = JitState::Compiled(entry);
-                        entry
+                let pc = body.insns[0].0;
+                // A restore dropped every `Block` (and with it each
+                // `JitSlot` cookie) but retained the arena: probe for a
+                // surviving native translation before counting from
+                // cold, re-validating its code bytes against current
+                // RAM with the same FNV-1a hash `SharedTranslations`
+                // keys on. A miss means this pc re-used pages whose
+                // contents changed under the survivor — drop it and
+                // fall back to counting.
+                let retained = self
+                    .jit
+                    .as_ref()
+                    .expect("jit_dispatch requires an engine")
+                    .retained(pc);
+                let adopted = retained.and_then(|(entry, hash, len)| {
+                    if self.bus.dump(pc, len as usize).map(fnv1a).ok() == Some(hash) {
+                        self.stats.jit_retained += 1;
+                        self.stats.jit_revalidations += 1;
+                        Some(entry)
+                    } else {
+                        self.jit.as_mut().expect("probed above").drop_retained(pc);
+                        self.stats.jit_bail_reval_miss += 1;
+                        self.stats.jit_bailouts += 1;
+                        None
                     }
-                    jit::Compiled::Ineligible => {
-                        *state = JitState::Ineligible;
+                });
+                if let Some(entry) = adopted {
+                    *state = JitState::Compiled(entry);
+                    entry
+                } else {
+                    let seen = seen.saturating_add(1);
+                    if seen < self.jit_threshold {
+                        *state = JitState::Counting(seen);
                         return None;
+                    }
+                    // Hot: compile now, keyed to the code-bytes hash so
+                    // the translation can survive future restores (a
+                    // failed dump hashes to 0, which is never retained).
+                    let len = body.fall_pc.wrapping_sub(pc);
+                    let hash = self.bus.dump(pc, len as usize).map(fnv1a).unwrap_or(0);
+                    let jit = self.jit.as_mut().expect("jit_dispatch requires an engine");
+                    match jit.compile(
+                        pc,
+                        &body.uops,
+                        body.fall_pc,
+                        self.bus.ram_base(),
+                        self.bus.ram_size(),
+                        hash,
+                    ) {
+                        jit::Compiled::Entry(entry) => {
+                            self.stats.jit_blocks += 1;
+                            *state = JitState::Compiled(entry);
+                            entry
+                        }
+                        jit::Compiled::Ineligible => {
+                            *state = JitState::Ineligible;
+                            return None;
+                        }
                     }
                 }
             }
@@ -1216,16 +1389,35 @@ impl Vp {
         let gprs = self.cpu.gprs_ptr();
         let ram = self.bus.ram_ptr();
         let dirty = self.bus.dirty_ptr();
+        // The native block-entry ring write stamps `bias - budget`,
+        // which equals instret at that entry exactly (the budget has
+        // not yet been charged for the entered block), matching what
+        // `record_block` would have stamped interpreted.
+        let instret_bias = self.cpu.instret().wrapping_add(*remaining);
+        let flight = self
+            .flight
+            .as_mut()
+            .map_or(std::ptr::null_mut(), FlightRecorder::ring_ptr);
         let jit = self.jit.as_mut().expect("compiled above");
-        // SAFETY: `entry` was produced by this engine after its last
-        // reset — cookies live in `JitSlot`s, and `invalidate_caches`
-        // resets the engine in the same step that drops every block.
-        // The GPR/RAM/dirty pointers are exclusively ours through
-        // `&mut self` for the duration of the call, and fault masks,
-        // plugins and the flight recorder are gated off by `use_jit`.
+        // SAFETY: `entry` was produced by this engine since its last
+        // reset — cookies live in `JitSlot`s (dropped with the blocks
+        // whenever the engine resets) and retained entries are hash-
+        // revalidated at adoption. The GPR/RAM/dirty pointers and the
+        // flight ring are exclusively ours through `&mut self` for the
+        // duration of the call; fault masks bailed above and plugins
+        // are gated off by `use_jit`.
         let res = unsafe {
             jit.run(
-                entry, gprs, ram, dirty, *remaining, deadline, code_lo, code_hi,
+                entry,
+                gprs,
+                ram,
+                dirty,
+                *remaining,
+                deadline,
+                code_lo,
+                code_hi,
+                flight,
+                instret_bias,
             )
         };
         self.cpu.add_cycles(res.cycles);
@@ -1240,15 +1432,37 @@ impl Vp {
             }
             Some(k) => {
                 self.stats.jit_bailouts += 1;
+                match res.reason {
+                    jit::BAIL_MEM => self.stats.jit_bail_mem += 1,
+                    jit::BAIL_BUDGET => self.stats.jit_bail_budget += 1,
+                    jit::BAIL_SMC => self.stats.jit_bail_smc += 1,
+                    _ => {}
+                }
                 // The bailing block can be any block reached through
-                // native chaining, not necessarily `block`. Compiled
-                // blocks are always cache-owned (only cached blocks are
-                // ever promoted), so it resolves by start pc.
-                let bail: *const Block = Arc::as_ptr(
-                    self.cache
-                        .get(&res.exit_pc)
-                        .expect("JIT bailed in a block that is no longer cached"),
-                );
+                // native chaining, not necessarily `block` — including
+                // a *retained* survivor from before a restore that no
+                // fetch has re-cached yet. Resolve by start pc, re-
+                // translating if the cache has no entry: survivor code
+                // bytes are unchanged by construction, so the fresh
+                // lowering is identical to what the native code was
+                // compiled from.
+                let bail: *const Block = match self.cache.get(&res.exit_pc) {
+                    Some(b) => Arc::as_ptr(b),
+                    None => match self.fetch_block_inner(res.exit_pc) {
+                        Ok(b) => b,
+                        Err(trap) => {
+                            // Defensive: survivor code bytes are
+                            // unchanged, so re-decode cannot fail — but
+                            // if it somehow does, surface the fetch
+                            // trap architecturally rather than panic.
+                            self.cpu.set_pc(res.exit_pc);
+                            return Some(match self.raise(trap) {
+                                Some(fatal) => BlockExit::Outcome(fatal),
+                                None => BlockExit::Done,
+                            });
+                        }
+                    },
+                };
                 // SAFETY: cache-owned block, same boundary argument.
                 let body: &BlockBody = unsafe { &*Arc::as_ptr(&(*bail).body) };
                 let k = k as usize;

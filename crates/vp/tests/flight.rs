@@ -149,3 +149,121 @@ fn bounded_ring_keeps_only_the_newest_tail() {
     );
     assert!(last <= vp.cpu().instret());
 }
+
+// ------------------------------------------------ native equivalence
+
+/// Torture programs for the JIT-on/JIT-off ring differential: a tight
+/// loop (hot native chains, heavy wraparound), nested branches (both
+/// chain slots exercised), and mixed trap/device traffic (native code
+/// hands those to the interpreter, which records them).
+const TORTURE: &[(&str, &str)] = &[
+    (
+        "tight_loop",
+        r#"
+        li t0, 120
+        li a0, 0
+    loop:
+        addi a0, a0, 1
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    "#,
+    ),
+    (
+        "nested_branches",
+        r#"
+        li t0, 40
+        li a0, 0
+        li a1, 0
+    outer:
+        andi t1, t0, 1
+        beqz t1, even
+        addi a0, a0, 3
+        jal x0, next
+    even:
+        addi a1, a1, 5
+    next:
+        addi t0, t0, -1
+        bnez t0, outer
+        ebreak
+    "#,
+    ),
+    ("mixed_traffic", MIXED_TRAFFIC),
+];
+
+/// Runs `src` to completion (optionally in `slice`-instruction budget
+/// chunks, landing expiries mid-block) with the recorder armed, and
+/// returns everything the differential compares: the decoded block
+/// tail (instret stamps + pcs), eviction and lifetime-block counts,
+/// and the full architectural state.
+fn flight_fingerprint(
+    jit_on: bool,
+    cap: usize,
+    src: &str,
+    slice: Option<u64>,
+    restore_cycle: bool,
+) -> (Vec<(u64, u32)>, u64, u64, String) {
+    let b = Vp::builder().isa(IsaConfig::rv32imc());
+    let b = if jit_on { b.jit_threshold(1) } else { b.jit(false) };
+    let mut vp = b.build();
+    load_src(&mut vp, src);
+    let snap = restore_cycle.then(|| vp.snapshot());
+    vp.set_flight_recorder(Some(FlightRecorder::new(cap)));
+    let run_to_break = |vp: &mut Vp| match slice {
+        None => assert_eq!(vp.run(), RunOutcome::Break),
+        Some(n) => loop {
+            match vp.run_for(n) {
+                RunOutcome::InsnLimit => {}
+                RunOutcome::Break => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        },
+    };
+    run_to_break(&mut vp);
+    if let Some(snap) = &snap {
+        // The campaign's per-mutant cycle: with the JIT on, the second
+        // run executes from *retained* native code end to end — the
+        // ring contents must not notice.
+        vp.restore(snap);
+        vp.flight_recorder_mut().unwrap().clear();
+        run_to_break(&mut vp);
+    }
+    let rec = vp.flight_recorder().unwrap();
+    let tail: Vec<(u64, u32)> = rec
+        .tail()
+        .iter()
+        .filter_map(|(ev, _)| match ev {
+            FlightEvent::Block { instret, pc } => Some((*instret, *pc)),
+            _ => None,
+        })
+        .collect();
+    (
+        tail,
+        rec.evicted(),
+        rec.blocks_recorded(),
+        format!("{:?}", vp.cpu()),
+    )
+}
+
+/// Property-style sweep: across every torture program, ring capacity
+/// (down to 1, forcing constant wraparound), budget slicing (expiries
+/// landing mid-block), and the restore-survival cycle, the flight ring
+/// with the JIT on is indistinguishable from the interpreted one —
+/// same block pcs, same instret stamps, same eviction accounting.
+#[test]
+fn flight_ring_is_identical_with_jit_on_and_off() {
+    for (name, src) in TORTURE {
+        for cap in [1usize, 2, 3, 5, 64] {
+            for slice in [None, Some(7), Some(64)] {
+                for restore_cycle in [false, true] {
+                    let native = flight_fingerprint(true, cap, src, slice, restore_cycle);
+                    let interp = flight_fingerprint(false, cap, src, slice, restore_cycle);
+                    assert_eq!(
+                        native, interp,
+                        "{name}: cap={cap} slice={slice:?} restore={restore_cycle}"
+                    );
+                }
+            }
+        }
+    }
+}

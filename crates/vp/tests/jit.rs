@@ -1,10 +1,11 @@
 //! Template-JIT teardown edges: the places where native code must hand
 //! control back to the interpreter without leaking any architectural
 //! difference — self-modifying stores invalidating compiled code
-//! mid-chain, snapshot restore discarding the arena, interrupt delivery
-//! while a hot loop runs natively, and an instruction budget expiring
-//! inside a compiled block. Every test is a differential against the
-//! identical program with the JIT pinned off.
+//! mid-chain, snapshot restore retaining the arena (and dropping
+//! exactly the entries whose code pages the restore rewrote), interrupt
+//! delivery while a hot loop runs natively, and an instruction budget
+//! expiring inside a compiled block. Every test is a differential
+//! against the identical program with the JIT pinned off.
 
 use s4e_asm::assemble;
 use s4e_isa::{Gpr, IsaConfig};
@@ -109,7 +110,7 @@ loop:
 "#;
 
 #[test]
-fn snapshot_restore_discards_native_code() {
+fn snapshot_restore_retains_native_code() {
     let mut jit = jit_vp();
     load_src(&mut jit, HOT_LOOP);
     let snap = jit.snapshot();
@@ -118,21 +119,53 @@ fn snapshot_restore_discards_native_code() {
     let stats = jit.take_dispatch_stats();
     assert!(stats.jit_blocks > 0 && stats.jit_exec > 400, "{stats:?}");
 
-    // Restore drops the block cache and with it every arena entry; the
-    // second run must recompile from scratch and agree exactly.
+    // Restore drops the block cache but *retains* the arena: the loop
+    // never wrote its own code pages, so the second run re-adopts the
+    // compiled blocks (after hash revalidation) instead of recompiling,
+    // and still agrees exactly.
     jit.restore(&snap);
     assert_eq!(jit.run(), RunOutcome::Break);
     assert_eq!(cpu_state(&jit), first);
     let stats = jit.take_dispatch_stats();
-    assert!(
-        stats.jit_blocks > 0,
-        "post-restore run must re-promote, not reuse stale code: {stats:?}"
+    assert_eq!(
+        stats.jit_blocks, 0,
+        "post-restore run must re-adopt retained code, not recompile: {stats:?}"
     );
+    assert!(
+        stats.jit_retained > 0 && stats.jit_retained == stats.jit_revalidations,
+        "every adoption must have revalidated the code bytes: {stats:?}"
+    );
+    assert!(stats.jit_exec > 400, "retained code must run: {stats:?}");
 
     let mut nojit = nojit_vp();
     load_src(&mut nojit, HOT_LOOP);
     assert_eq!(nojit.run(), RunOutcome::Break);
     assert_eq!(cpu_state(&nojit), first);
+}
+
+#[test]
+fn restore_drops_native_code_on_rewritten_pages() {
+    // Run the self-patching program to completion: the loop's code page
+    // now differs from the snapshot image. Restoring must copy that
+    // page back and drop the (patched) native loop — re-running from
+    // the snapshot recompiles the *original* code and produces the full
+    // self-patching result again, not a stale-arena artifact.
+    let mut jit = jit_vp();
+    load_src(&mut jit, SELF_PATCHING);
+    let snap = jit.snapshot();
+    assert_eq!(jit.run(), RunOutcome::Break);
+    let first = cpu_state(&jit);
+    jit.take_dispatch_stats();
+
+    jit.restore(&snap);
+    assert_eq!(jit.run(), RunOutcome::Break);
+    assert_eq!(cpu_state(&jit), first);
+    assert_eq!(gpr(&jit, 10), 200 + 5 * 200);
+    let stats = jit.take_dispatch_stats();
+    assert!(
+        stats.jit_blocks >= 2,
+        "rewritten code pages must recompile, not reuse stale code: {stats:?}"
+    );
 }
 
 /// A timer interrupt armed to fire while the spin loop is executing

@@ -145,7 +145,12 @@ OPTIONS:
                                                  mutants without running them (campaign)
     --no-jit                                     disable the template JIT tier: hot blocks stay
                                                  on the micro-op interpreter instead of being
-                                                 compiled to host code (run/profile/campaign)
+                                                 compiled to host code; in campaigns this now
+                                                 covers mutant suffixes too — native code
+                                                 survives each per-mutant restore and records
+                                                 flight data inline, so --no-jit slows the
+                                                 whole sweep, not just the golden replay
+                                                 (run/profile/campaign)
     --progress                                   live status line on stderr (run/profile/campaign)
     --dot-out <path>                             write the execution-annotated CFG (profile)
     --top <n>                                    hot-block table rows (profile) [10]
@@ -1035,6 +1040,24 @@ fn run_command_inner(
                 }
                 if let Some(dir) = &opts.trace_dir {
                     supervisor.set_trace_dir(dir);
+                    // Quarantined mutants convicted their workers from
+                    // beyond the grave — replay them here, in-process
+                    // (worker chaos env vars are only honoured behind
+                    // --shard-worker), so the bundle gets a flight tail
+                    // and final state instead of bare attempt history.
+                    supervisor.set_forensic_replay(|spec, bundle| {
+                        match campaign.replay_forensic(spec) {
+                            Some((outcome, vp)) => {
+                                bundle.push_attempt(format!(
+                                    "in-process forensic replay classified {outcome}"
+                                ));
+                                bundle.attach_vp(&vp);
+                            }
+                            None => bundle.push_attempt(
+                                "in-process forensic replay crashed the harness",
+                            ),
+                        }
+                    });
                 }
                 s4e_faultsim::install_interrupt_handler();
                 let flag = s4e_faultsim::interrupt_flag();

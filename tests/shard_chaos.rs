@@ -267,6 +267,18 @@ fn quarantined_mutant_leaves_a_forensic_bundle() {
     // the mutant: crash, backoff/restart, bisection.
     assert!(text.contains("\"attempts\":["), "{text}");
     assert!(text.contains("bisect"), "{text}");
+    // Mutant suffixes execute natively by default now; the JIT's inline
+    // ring write must keep feeding the forensic tail, so the bundle
+    // still carries the blocks the convicted mutant ran through.
+    assert!(text.contains("\"flight\":{"), "{text}");
+    assert!(
+        !text.contains("\"tail\":[]"),
+        "quarantine bundles must carry a flight tail with native mutants: {text}"
+    );
+    assert!(
+        text.contains("{\"ev\":\"block\""),
+        "the tail must contain block-entry events: {text}"
+    );
     // The summary points the operator at the bundle.
     assert!(out.contains("quarantined:"), "{out}");
     assert!(
